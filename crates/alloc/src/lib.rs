@@ -1,0 +1,42 @@
+//! # spmlab-alloc — static scratchpad allocation
+//!
+//! Implements the paper's allocation flow (after Steinke et al., DATE'02):
+//! every function and global data object is a *memory object* with a size
+//! and an energy benefit derived from profiled access counts; choosing the
+//! subset that fits the scratchpad is a 0/1 knapsack, solved exactly (DP,
+//! cross-checked against the ILP formulation like the paper's CPLEX).
+//!
+//! Two benefit functions are provided:
+//!
+//! * [`knapsack::allocate`] — the paper's **energy-optimal** allocation
+//!   using the Steinke-style [`energy::EnergyModel`];
+//! * [`wcet_aware::allocate`] — the paper's *future work*: a greedy
+//!   WCET-driven allocator that re-runs the static WCET analysis to pick
+//!   the objects that shrink the bound most per byte.
+//!
+//! ```
+//! use spmlab_alloc::energy::EnergyModel;
+//! use spmlab_alloc::knapsack;
+//! use spmlab_cc::{compile, link, SpmAssignment};
+//! use spmlab_isa::mem::MemoryMap;
+//! use spmlab_sim::{simulate, MachineConfig, SimOptions};
+//!
+//! let src = "int t[16]; int s; void main() { int i;
+//!     for (i = 0; i < 16; i = i + 1) { __loopbound(16); t[i] = i; }
+//!     for (i = 0; i < 16; i = i + 1) { __loopbound(16); s = s + t[i]; } }";
+//! let module = compile(src)?;
+//! // Profile on the baseline (no scratchpad), as the paper's workflow does.
+//! let base = link(&module, &MemoryMap::no_spm(), &SpmAssignment::none())?;
+//! let prof = simulate(&base.exe, &MachineConfig::uncached(), &SimOptions::default())?.profile;
+//! let alloc = knapsack::allocate(&module, &prof, 256, &EnergyModel::default());
+//! assert!(alloc.assignment.len() > 0, "something fits in 256 bytes");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod energy;
+pub mod knapsack;
+pub mod objects;
+pub mod wcet_aware;
+
+pub use knapsack::{allocate, Allocation};
+pub use objects::MemoryObject;

@@ -1,0 +1,88 @@
+//! Memory objects: the allocation candidates.
+
+use crate::energy::EnergyModel;
+use spmlab_cc::ObjModule;
+use spmlab_isa::mem::AccessWidth;
+use spmlab_sim::Profile;
+
+/// One allocation candidate with its profiled access counts and computed
+/// energy benefit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryObject {
+    /// Name (function or global).
+    pub name: String,
+    /// Size in bytes (functions include their literal pool).
+    pub size: u32,
+    /// Whether this is a function.
+    pub is_func: bool,
+    /// Profiled 16-bit instruction fetches (functions only).
+    pub fetches: u64,
+    /// Profiled data accesses by width (reads + writes).
+    pub accesses: [u64; 3],
+    /// Energy saved by placing the object in the scratchpad (nJ).
+    pub benefit_nj: f64,
+}
+
+/// Builds the candidate list from a compiled module and a baseline profile
+/// (gathered on the no-scratchpad executable, as in the paper's workflow).
+///
+/// `spm_size` fixes the scratchpad energy used in the benefit function —
+/// the paper solves one knapsack per capacity.
+pub fn memory_objects(
+    module: &ObjModule,
+    profile: &Profile,
+    spm_size: u32,
+    energy: &EnergyModel,
+) -> Vec<MemoryObject> {
+    let widths = [AccessWidth::Byte, AccessWidth::Half, AccessWidth::Word];
+    let mut out = Vec::new();
+    for (name, size) in module.memory_objects() {
+        let is_func = module.func(&name).is_some();
+        let (fetches, accesses) = match profile.symbol(&name) {
+            Some(p) => {
+                let mut acc = [0u64; 3];
+                for i in 0..3 {
+                    acc[i] = p.reads[i] + p.writes[i];
+                }
+                (p.fetches, acc)
+            }
+            None => (0, [0; 3]),
+        };
+        let mut benefit = fetches as f64 * energy.saving_nj(AccessWidth::Half, spm_size);
+        for (i, w) in widths.iter().enumerate() {
+            benefit += accesses[i] as f64 * energy.saving_nj(*w, spm_size);
+        }
+        out.push(MemoryObject { name, size, is_func, fetches, accesses, benefit_nj: benefit });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmlab_cc::{compile, link, SpmAssignment};
+    use spmlab_isa::mem::MemoryMap;
+    use spmlab_sim::{simulate, MachineConfig, SimOptions};
+
+    #[test]
+    fn hot_objects_have_higher_benefit() {
+        let src = "
+            int hot[8]; int cold[8]; int s;
+            void main() {
+                int i; int j;
+                for (i = 0; i < 20; i = i + 1) { __loopbound(20);
+                    for (j = 0; j < 8; j = j + 1) { __loopbound(8); s = s + hot[j]; }
+                }
+                cold[0] = s;
+            }";
+        let module = compile(src).unwrap();
+        let l = link(&module, &MemoryMap::no_spm(), &SpmAssignment::none()).unwrap();
+        let r = simulate(&l.exe, &MachineConfig::uncached(), &SimOptions::default()).unwrap();
+        let objs = memory_objects(&module, &r.profile, 1024, &EnergyModel::default());
+        let find = |n: &str| objs.iter().find(|o| o.name == n).unwrap();
+        assert!(find("hot").benefit_nj > find("cold").benefit_nj * 10.0);
+        assert!(find("main").is_func);
+        assert!(find("main").fetches > 0);
+        assert_eq!(find("hot").size, 32);
+    }
+}

@@ -1,0 +1,145 @@
+//! Component benches: how fast are the substrates themselves?
+//!
+//! These track the compiler, simulator, WCET analyzer, allocator and ILP
+//! solver in isolation, so performance regressions can be localised.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use spmlab_alloc::energy::EnergyModel;
+use spmlab_cc::{compile, link, SpmAssignment};
+use spmlab_ilp::knapsack::{solve as knapsack_solve, Item};
+use spmlab_ilp::model::{Model, Sense, VarKind};
+use spmlab_isa::decode::decode;
+use spmlab_isa::encode::encode;
+use spmlab_isa::insn::Insn;
+use spmlab_isa::mem::MemoryMap;
+use spmlab_isa::reg::R0;
+use spmlab_sim::{simulate, MachineConfig, SimOptions};
+use spmlab_wcet::{analyze, WcetConfig};
+use spmlab_workloads::{inputs, ADPCM, G721, INSERTSORT};
+
+fn bench_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compiler");
+    g.throughput(Throughput::Bytes(G721.source.len() as u64));
+    g.bench_function("compile_g721", |b| b.iter(|| compile(G721.source).unwrap()));
+    g.finish();
+}
+
+fn bench_link(c: &mut Criterion) {
+    let module = compile(G721.source).unwrap();
+    c.bench_function("link_g721", |b| {
+        b.iter(|| link(&module, &MemoryMap::no_spm(), &SpmAssignment::none()).unwrap())
+    });
+}
+
+fn bench_simulate(c: &mut Criterion) {
+    let input = inputs::speech_like(64, 1);
+    let linked = ADPCM.build(&MemoryMap::no_spm(), &SpmAssignment::none(), &input).unwrap();
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(20);
+    g.bench_function("adpcm_64_samples_uncached", |b| {
+        b.iter(|| simulate(&linked.exe, &MachineConfig::uncached(), &SimOptions::default()).unwrap())
+    });
+    g.bench_function("adpcm_64_samples_cached", |b| {
+        b.iter(|| {
+            simulate(&linked.exe, &MachineConfig::with_unified_cache(1024), &SimOptions::default())
+                .unwrap()
+        })
+    });
+    let mut fast = SimOptions::default();
+    fast.insn_stats = false;
+    fast.profile = false;
+    g.bench_function("adpcm_64_samples_no_stats", |b| {
+        b.iter(|| simulate(&linked.exe, &MachineConfig::uncached(), &fast).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_wcet(c: &mut Criterion) {
+    let input = (INSERTSORT.typical_input)();
+    let linked =
+        INSERTSORT.build(&MemoryMap::no_spm(), &SpmAssignment::none(), &input).unwrap();
+    let mut g = c.benchmark_group("wcet");
+    g.sample_size(20);
+    g.bench_function("region_timing_insertsort", |b| {
+        b.iter(|| analyze(&linked.exe, &WcetConfig::region_timing(), &linked.annotations).unwrap())
+    });
+    let cache = spmlab_isa::cachecfg::CacheConfig::unified(1024);
+    g.bench_function("cache_must_insertsort", |b| {
+        b.iter(|| {
+            analyze(&linked.exe, &WcetConfig::with_cache(cache.clone()), &linked.annotations)
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_alloc(c: &mut Criterion) {
+    let module = compile(G721.source).unwrap();
+    let input = inputs::speech_like(64, 1);
+    let linked = G721.link_with_input(&module, &MemoryMap::no_spm(), &SpmAssignment::none(), &input)
+        .unwrap();
+    let profile = simulate(&linked.exe, &MachineConfig::uncached(), &SimOptions::default())
+        .unwrap()
+        .profile;
+    c.bench_function("knapsack_allocate_g721", |b| {
+        b.iter(|| spmlab_alloc::allocate(&module, &profile, 2048, &EnergyModel::default()))
+    });
+}
+
+fn bench_ilp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ilp");
+    g.bench_function("knapsack_dp_64_items", |b| {
+        let items: Vec<Item> = (0..64)
+            .map(|i| Item { weight: 8 + (i * 7) % 120, value: (i % 13) as f64 + 1.0 })
+            .collect();
+        b.iter(|| knapsack_solve(&items, 2048))
+    });
+    g.bench_function("simplex_30_vars", |b| {
+        b.iter(|| {
+            let mut m = Model::new(Sense::Maximize);
+            let vars: Vec<_> = (0..30)
+                .map(|i| m.add_var(format!("x{i}"), VarKind::Continuous, Some(10.0)))
+                .collect();
+            for w in vars.windows(2) {
+                m.add_le(&[(w[0], 1.0), (w[1], 2.0)], 12.0);
+            }
+            let obj: Vec<_> = vars.iter().enumerate().map(|(i, &v)| (v, 1.0 + (i % 3) as f64)).collect();
+            m.set_objective(&obj);
+            spmlab_ilp::simplex::solve_lp(&m).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_isa(c: &mut Criterion) {
+    let insns: Vec<Insn> = (0..=u16::MAX).step_by(7).map(|hw| decode(hw, None).0).collect();
+    let mut g = c.benchmark_group("isa");
+    g.throughput(Throughput::Elements(insns.len() as u64));
+    g.bench_function("encode_decode_roundtrip", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for i in &insns {
+                let hw = encode(i);
+                let (d, _) = decode(hw[0], hw.get(1).copied());
+                acc = acc.wrapping_add(d.size());
+            }
+            acc
+        })
+    });
+    g.bench_function("encode_movs", |b| {
+        b.iter(|| encode(&Insn::MovImm { rd: R0, imm: 42 }))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    toolchain,
+    bench_compile,
+    bench_link,
+    bench_simulate,
+    bench_wcet,
+    bench_alloc,
+    bench_ilp,
+    bench_isa
+);
+criterion_main!(toolchain);

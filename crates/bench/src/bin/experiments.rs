@@ -1,0 +1,57 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! experiments [--quick] all            # everything, report order
+//! experiments [--quick] <id> [<id>..]  # selected experiments
+//! experiments verify                   # check the paper's claims hold
+//! experiments list                     # available ids
+//! ```
+
+use spmlab_bench::{run_experiment, verify_claims, EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let ids: Vec<&str> =
+        args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+
+    if ids.is_empty() || ids.contains(&"list") {
+        eprintln!("usage: experiments [--quick] <all|verify|{}>", EXPERIMENTS.join("|"));
+        std::process::exit(if ids.contains(&"list") { 0 } else { 2 });
+    }
+
+    if ids.contains(&"verify") {
+        match verify_claims(quick) {
+            Ok(claims) => {
+                let mut ok = true;
+                for (claim, holds) in claims {
+                    println!("[{}] {claim}", if holds { "PASS" } else { "FAIL" });
+                    ok &= holds;
+                }
+                std::process::exit(if ok { 0 } else { 1 });
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let selected: Vec<&str> = if ids.contains(&"all") {
+        EXPERIMENTS.to_vec()
+    } else {
+        ids
+    };
+    for id in selected {
+        match run_experiment(id, quick) {
+            Ok(text) => {
+                println!("==== {id} ====");
+                println!("{text}");
+            }
+            Err(e) => {
+                eprintln!("error in `{id}`: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! # spmlab-bench — experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation section
+//! (see DESIGN.md §4 for the index). The `experiments` binary prints the
+//! same rows/series the paper reports:
+//!
+//! ```text
+//! cargo run --release -p spmlab-bench --bin experiments -- all
+//! cargo run --release -p spmlab-bench --bin experiments -- fig4
+//! cargo run --release -p spmlab-bench --bin experiments -- --quick fig5
+//! ```
+//!
+//! The Criterion benches in `benches/` time the same artefact generators
+//! on reduced inputs, one group per paper artefact.
+
+use spmlab::figures::{table1, table2, Figure3, Tightness};
+use spmlab::pipeline::Pipeline;
+use spmlab::report;
+use spmlab::sweep::cache_sweep_with;
+use spmlab::{CoreError, PAPER_SIZES};
+use spmlab_alloc::wcet_aware;
+use spmlab_isa::annot::AnnotationSet;
+use spmlab_isa::cachecfg::{CacheConfig, Replacement};
+use spmlab_workloads::{paper_benchmarks, ADPCM, G721, INSERTSORT, MULTISORT};
+
+/// Experiment sizes: the paper's 64 B … 8 KiB, or a reduced set for quick
+/// runs and benches.
+pub fn sizes(quick: bool) -> &'static [u32] {
+    if quick {
+        &spmlab::config::QUICK_SIZES
+    } else {
+        &PAPER_SIZES
+    }
+}
+
+/// Table 1: memory access cycles.
+pub fn exp_table1() -> String {
+    report::render_table1(&table1())
+}
+
+/// Table 2: benchmark inventory.
+///
+/// # Errors
+///
+/// Compiler failures.
+pub fn exp_table2() -> Result<String, CoreError> {
+    Ok(report::render_table2(&table2(&paper_benchmarks())?))
+}
+
+/// Figures 3 (G.721, panels a+b) and 4 (its ratio plot).
+///
+/// # Errors
+///
+/// Pipeline failures.
+pub fn exp_fig3_fig4(quick: bool) -> Result<String, CoreError> {
+    let fig = Figure3::run(&G721, sizes(quick))?;
+    let (spm_r, cache_r) = fig.ratio_series();
+    Ok(format!(
+        "{}\n{}",
+        report::render_figure3(&fig, "Figure 3"),
+        report::render_ratios("Figure 4", &fig.benchmark, &spm_r, &cache_r)
+    ))
+}
+
+/// Figure 5: MultiSort WCET/sim ratios.
+///
+/// # Errors
+///
+/// Pipeline failures.
+pub fn exp_fig5(quick: bool) -> Result<String, CoreError> {
+    let fig = Figure3::run(&MULTISORT, sizes(quick))?;
+    let (spm_r, cache_r) = fig.ratio_series();
+    Ok(format!(
+        "{}\n{}",
+        report::render_figure3(&fig, "Figure 5 (underlying sweeps)"),
+        report::render_ratios("Figure 5", &fig.benchmark, &spm_r, &cache_r)
+    ))
+}
+
+/// Figure 6: ADPCM absolute cycles and WCET for both branches.
+///
+/// # Errors
+///
+/// Pipeline failures.
+pub fn exp_fig6(quick: bool) -> Result<String, CoreError> {
+    let fig = Figure3::run(&ADPCM, sizes(quick))?;
+    let (spm_r, cache_r) = fig.ratio_series();
+    Ok(format!(
+        "{}\n{}",
+        report::render_figure3(&fig, "Figure 6"),
+        report::render_ratios("Figure 6 (ratios)", &fig.benchmark, &spm_r, &cache_r)
+    ))
+}
+
+/// §4 tightness experiment: insertion sort with worst-case input.
+///
+/// # Errors
+///
+/// Pipeline failures.
+pub fn exp_tightness() -> Result<String, CoreError> {
+    let t = Tightness::run(&INSERTSORT, 0)?;
+    Ok(report::render_tightness(&t))
+}
+
+/// Ablation: MUST-only vs MUST+persistence cache analysis (paper §5:
+/// "the full scale of cache analysis techniques … would probably lead to
+/// improved cache results").
+///
+/// # Errors
+///
+/// Pipeline failures.
+pub fn exp_ablation_persistence(quick: bool) -> Result<String, CoreError> {
+    let pipeline = Pipeline::new(&G721)?;
+    let szs = sizes(quick);
+    let must = cache_sweep_with(&pipeline, szs, false, CacheConfig::unified)?;
+    let pers = cache_sweep_with(&pipeline, szs, true, CacheConfig::unified)?;
+    let rows: Vec<Vec<String>> = must
+        .iter()
+        .zip(&pers)
+        .map(|(m, p)| {
+            vec![
+                m.size.to_string(),
+                m.result.wcet_cycles.to_string(),
+                p.result.wcet_cycles.to_string(),
+                format!(
+                    "{:.1}%",
+                    (1.0 - p.result.wcet_cycles as f64 / m.result.wcet_cycles as f64) * 100.0
+                ),
+            ]
+        })
+        .collect();
+    Ok(format!(
+        "Ablation: cache WCET, MUST-only vs +persistence (G.721)\n{}",
+        report::render_table(&["bytes", "must-only", "+persistence", "gain"], &rows)
+    ))
+}
+
+/// Ablation: unified vs instruction-only cache analysis (paper §5 future
+/// work: "other cache configurations, e.g. instruction caches instead of
+/// unified caches").
+///
+/// # Errors
+///
+/// Pipeline failures.
+pub fn exp_ablation_icache(quick: bool) -> Result<String, CoreError> {
+    let pipeline = Pipeline::new(&G721)?;
+    let szs = sizes(quick);
+    let unified = cache_sweep_with(&pipeline, szs, false, CacheConfig::unified)?;
+    let icache = cache_sweep_with(&pipeline, szs, false, CacheConfig::instr_only)?;
+    let rows: Vec<Vec<String>> = unified
+        .iter()
+        .zip(&icache)
+        .map(|(u, i)| {
+            vec![
+                u.size.to_string(),
+                u.result.sim_cycles.to_string(),
+                u.result.wcet_cycles.to_string(),
+                i.result.sim_cycles.to_string(),
+                i.result.wcet_cycles.to_string(),
+            ]
+        })
+        .collect();
+    Ok(format!(
+        "Ablation: unified vs instruction-only cache (G.721)\n{}",
+        report::render_table(
+            &["bytes", "uni sim", "uni wcet", "icache sim", "icache wcet"],
+            &rows
+        )
+    ))
+}
+
+/// Ablation: associativity and replacement policy (paper §5 future work:
+/// "set associative caches").
+///
+/// # Errors
+///
+/// Pipeline failures.
+pub fn exp_ablation_assoc(quick: bool) -> Result<String, CoreError> {
+    let pipeline = Pipeline::new(&G721)?;
+    let size = if quick { 1024 } else { 4096 };
+    let configs: Vec<(&str, CacheConfig)> = vec![
+        ("direct-mapped", CacheConfig::unified(size)),
+        ("2-way LRU", CacheConfig::set_assoc(size, 2, Replacement::Lru)),
+        ("4-way LRU", CacheConfig::set_assoc(size, 4, Replacement::Lru)),
+        ("4-way random", CacheConfig::set_assoc(size, 4, Replacement::Random { seed: 7 })),
+        ("4-way round-robin", CacheConfig::set_assoc(size, 4, Replacement::RoundRobin)),
+    ];
+    let mut rows = Vec::new();
+    for (name, cfg) in configs {
+        let r = pipeline.run_cache(cfg, false)?;
+        rows.push(vec![
+            name.to_string(),
+            r.sim_cycles.to_string(),
+            r.wcet_cycles.to_string(),
+            format!("{:.3}", r.ratio()),
+        ]);
+    }
+    Ok(format!(
+        "Ablation: associativity/replacement at {size} B (G.721)\n{}",
+        report::render_table(&["configuration", "sim", "wcet", "ratio"], &rows)
+    ))
+}
+
+/// Ablation: energy-optimal vs WCET-aware allocation (paper §5 future
+/// work: place "objects … that lie on the critical path").
+///
+/// # Errors
+///
+/// Pipeline or allocation failures.
+pub fn exp_ablation_wcet_alloc(quick: bool) -> Result<String, CoreError> {
+    let szs: &[u32] = if quick { &[256, 1024] } else { &[256, 1024, 4096] };
+    let mut rows = Vec::new();
+    for bench in [&INSERTSORT, &MULTISORT] {
+        let pipeline = Pipeline::new(bench)?;
+        for &size in szs {
+            let energy_opt = pipeline.run_spm(size)?;
+            let module = bench.compile()?;
+            let wa = wcet_aware::allocate(&module, size, &AnnotationSet::new())
+                .map_err(|e| CoreError::Cc(spmlab_cc::CcError::Sema {
+                    pos: spmlab_cc::Pos::default(),
+                    msg: e.to_string(),
+                }))?;
+            let wcet_opt = pipeline.run_spm_with_assignment(size, &wa.assignment)?;
+            rows.push(vec![
+                bench.name.to_string(),
+                size.to_string(),
+                energy_opt.wcet_cycles.to_string(),
+                wcet_opt.wcet_cycles.to_string(),
+            ]);
+        }
+    }
+    Ok(format!(
+        "Ablation: energy-optimal vs WCET-aware allocation (WCET bound)\n{}",
+        report::render_table(&["benchmark", "spm bytes", "energy-opt wcet", "wcet-aware wcet"], &rows)
+    ))
+}
+
+/// Runs one experiment by id; `all` runs everything in order.
+///
+/// # Errors
+///
+/// Unknown ids or pipeline failures.
+pub fn run_experiment(id: &str, quick: bool) -> Result<String, CoreError> {
+    match id {
+        "table1" => Ok(exp_table1()),
+        "table2" => exp_table2(),
+        "fig3" | "fig3a" | "fig3b" | "fig4" => exp_fig3_fig4(quick),
+        "fig5" => exp_fig5(quick),
+        "fig6" => exp_fig6(quick),
+        "tightness" => exp_tightness(),
+        "ablation-persistence" => exp_ablation_persistence(quick),
+        "ablation-icache" => exp_ablation_icache(quick),
+        "ablation-assoc" => exp_ablation_assoc(quick),
+        "ablation-wcet-alloc" => exp_ablation_wcet_alloc(quick),
+        other => Err(CoreError::Cc(spmlab_cc::CcError::Sema {
+            pos: spmlab_cc::Pos::default(),
+            msg: format!("unknown experiment `{other}`"),
+        })),
+    }
+}
+
+/// All experiment ids in report order.
+pub const EXPERIMENTS: [&str; 10] = [
+    "table1",
+    "table2",
+    "fig3",
+    "fig5",
+    "fig6",
+    "tightness",
+    "ablation-persistence",
+    "ablation-icache",
+    "ablation-assoc",
+    "ablation-wcet-alloc",
+];
+
+/// Spot checks of the paper's qualitative claims, used by tests and the
+/// `verify` subcommand. Returns a list of `(claim, holds)` pairs.
+///
+/// # Errors
+///
+/// Pipeline failures.
+pub fn verify_claims(quick: bool) -> Result<Vec<(String, bool)>, CoreError> {
+    let szs = sizes(quick);
+    let mut claims = Vec::new();
+    let fig = Figure3::run(&G721, szs)?;
+    let (spm_r, cache_r) = fig.ratio_series();
+
+    // Claim 1: scratchpad WCET decreases as capacity grows.
+    let spm_wcets: Vec<u64> = fig.spm.iter().map(|p| p.result.wcet_cycles).collect();
+    claims.push((
+        "G.721: scratchpad WCET decreases with capacity".into(),
+        spm_wcets.first() > spm_wcets.last(),
+    ));
+    // Claim 2: scratchpad ratio roughly constant (max/min < 1.5).
+    let rmax = spm_r.iter().map(|(_, r)| *r).fold(f64::MIN, f64::max);
+    let rmin = spm_r.iter().map(|(_, r)| *r).fold(f64::MAX, f64::min);
+    claims.push(("G.721: scratchpad WCET/sim ratio ~constant".into(), rmax / rmin < 1.5));
+    // Claim 3: cache WCET stays at a high level — it falls by less than 2×
+    // across the whole sweep while the simulated cycles fall by more than
+    // 2×, and even the best cache WCET stays above the *worst* scratchpad
+    // WCET ("it is doubtful that the results achieved by an inherently
+    // predictable scratchpad can be reached").
+    let cache_wcets: Vec<u64> = fig.cache.iter().map(|p| p.result.wcet_cycles).collect();
+    let cache_sims: Vec<u64> = fig.cache.iter().map(|p| p.result.sim_cycles).collect();
+    let wmax = *cache_wcets.iter().max().unwrap() as f64;
+    let wmin = *cache_wcets.iter().min().unwrap() as f64;
+    let sim_drop = cache_sims[0] as f64 / *cache_sims.last().unwrap() as f64;
+    let spm_worst_wcet = fig.spm.iter().map(|p| p.result.wcet_cycles).max().unwrap();
+    claims.push((
+        "G.721: cache WCET stays at a high level".into(),
+        wmax / wmin < 2.0 && sim_drop > 2.0 && wmin > spm_worst_wcet as f64,
+    ));
+    // Claim 4: cache ratio grows with size.
+    claims.push((
+        "G.721: cache WCET/sim ratio grows with cache size".into(),
+        cache_r.last().unwrap().1 > cache_r.first().unwrap().1 * 1.5,
+    ));
+    // Claim 5: spm beats cache on WCET at every size.
+    let spm_beats = fig
+        .spm
+        .iter()
+        .zip(&fig.cache)
+        .all(|(s, c)| s.result.wcet_cycles <= c.result.wcet_cycles);
+    claims.push(("G.721: scratchpad WCET ≤ cache WCET at every size".into(), spm_beats));
+    // Claim 6: soundness everywhere.
+    let sound = fig
+        .spm
+        .iter()
+        .chain(&fig.cache)
+        .all(|p| p.result.wcet_cycles >= p.result.sim_cycles);
+    claims.push(("G.721: WCET ≥ simulation at every point".into(), sound));
+
+    Ok(claims)
+}

@@ -1,0 +1,179 @@
+//! MiniC abstract syntax tree.
+
+use crate::Pos;
+
+/// Data types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Type {
+    /// 32-bit signed integer.
+    Int,
+    /// 16-bit signed integer.
+    Short,
+    /// 8-bit signed integer.
+    Char,
+    /// Function return type only.
+    Void,
+}
+
+impl Type {
+    /// Element size in bytes (`Void` has none).
+    pub fn bytes(self) -> u32 {
+        match self {
+            Type::Int => 4,
+            Type::Short => 2,
+            Type::Char => 1,
+            Type::Void => 0,
+        }
+    }
+}
+
+/// A whole translation unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Global variable definitions, in source order.
+    pub globals: Vec<Global>,
+    /// Function definitions, in source order.
+    pub funcs: Vec<Func>,
+}
+
+/// A global scalar or array definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Global {
+    /// Name.
+    pub name: String,
+    /// Element type.
+    pub ty: Type,
+    /// `Some(n)` for arrays `ty name[n]`, `None` for scalars.
+    pub array_len: Option<u32>,
+    /// Initialiser values (scalars: at most one; arrays: up to `n`,
+    /// remainder zero-filled).
+    pub init: Vec<i64>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Func {
+    /// Name.
+    pub name: String,
+    /// Return type.
+    pub ret: Type,
+    /// Parameters (name, type), at most four.
+    pub params: Vec<(String, Type)>,
+    /// Body.
+    pub body: Vec<Stmt>,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Scalar local declaration with optional initialiser.
+    Decl { name: String, ty: Type, init: Option<Expr>, pos: Pos },
+    /// Expression statement.
+    Expr(Expr),
+    /// `if (cond) then else else_`.
+    If { cond: Expr, then: Vec<Stmt>, else_: Vec<Stmt>, pos: Pos },
+    /// `while (cond) body`.
+    While { cond: Expr, body: Vec<Stmt>, pos: Pos },
+    /// `do body while (cond);`.
+    DoWhile { body: Vec<Stmt>, cond: Expr, pos: Pos },
+    /// `for (init; cond; step) body` (each header part optional).
+    For {
+        init: Option<Box<Stmt>>,
+        cond: Option<Expr>,
+        step: Option<Expr>,
+        body: Vec<Stmt>,
+        pos: Pos,
+    },
+    /// `return expr?;`
+    Return { value: Option<Expr>, pos: Pos },
+    /// `break;`
+    Break { pos: Pos },
+    /// `continue;`
+    Continue { pos: Pos },
+    /// `__loopbound(n);` — attaches to the innermost enclosing loop.
+    LoopBound { bound: u32, pos: Pos },
+    /// `__looptotal(n);` — flow fact: total back-edge executions of the
+    /// innermost enclosing loop per call of the function.
+    LoopTotal { total: u32, pos: Pos },
+    /// A nested block.
+    Block(Vec<Stmt>),
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    LogAnd,
+    LogOr,
+}
+
+impl BinOp {
+    /// Whether the operator yields a 0/1 truth value.
+    pub fn is_comparison(self) -> bool {
+        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not (yields 0/1).
+    Not,
+    /// Bitwise complement.
+    BitNot,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer constant.
+    Num { value: i64, pos: Pos },
+    /// Variable reference (local, parameter or global scalar).
+    Var { name: String, pos: Pos },
+    /// Array element `name[index]`.
+    Index { name: String, index: Box<Expr>, pos: Pos },
+    /// Assignment `lhs = rhs`; `lhs` is a `Var` or `Index`.
+    Assign { lhs: Box<Expr>, rhs: Box<Expr>, pos: Pos },
+    /// Binary operation.
+    Bin { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr>, pos: Pos },
+    /// Unary operation.
+    Un { op: UnOp, operand: Box<Expr>, pos: Pos },
+    /// Function call.
+    Call { name: String, args: Vec<Expr>, pos: Pos },
+}
+
+impl Expr {
+    /// The source position of this expression.
+    pub fn pos(&self) -> Pos {
+        match self {
+            Expr::Num { pos, .. }
+            | Expr::Var { pos, .. }
+            | Expr::Index { pos, .. }
+            | Expr::Assign { pos, .. }
+            | Expr::Bin { pos, .. }
+            | Expr::Un { pos, .. }
+            | Expr::Call { pos, .. } => *pos,
+        }
+    }
+}

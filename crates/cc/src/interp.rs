@@ -1,0 +1,510 @@
+//! Reference AST interpreter for MiniC.
+//!
+//! Executes programs directly on the AST with *exactly* the semantics the
+//! TH16 code generator implements (wrapping arithmetic, ARM-style shift
+//! amounts, `x/0 == 0`, `x%0 == x`, sign-extending narrow loads). The
+//! differential test-suite compares its final global state against the
+//! compiled binary running in the instruction-set simulator, fuzzing the
+//! whole compiler + assembler + linker + simulator stack.
+
+use crate::ast::{BinOp, Expr, Program, Stmt, Type, UnOp};
+use crate::sema::{check, TypedProgram};
+use crate::{CcError, Pos};
+use std::collections::HashMap;
+
+/// Interpreter failures (all indicate the *input program* exceeded the
+/// interpreter's limits, not a MiniC semantic error).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// The step budget was exhausted (runaway loop).
+    StepLimit,
+    /// Call depth exceeded (recursion).
+    CallDepth,
+    /// An array access fell outside the object (the compiled program would
+    /// silently touch a neighbouring object, so differential tests must
+    /// avoid it; the interpreter reports it instead).
+    OutOfBounds { name: String, index: i64, pos: Pos },
+    /// Semantic error surfaced late (should be caught by `sema`).
+    Semantic(String),
+}
+
+impl std::fmt::Display for InterpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InterpError::StepLimit => write!(f, "interpreter step limit exhausted"),
+            InterpError::CallDepth => write!(f, "interpreter call depth exceeded"),
+            InterpError::OutOfBounds { name, index, pos } => {
+                write!(f, "array access `{name}[{index}]` out of bounds at {pos}")
+            }
+            InterpError::Semantic(m) => write!(f, "semantic error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// Final interpreter state: every global with its element values
+/// (sign-extended to `i32` exactly like the simulator's
+/// [`read_global_at`](https://docs.rs)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterpOutcome {
+    /// Global name → element values after `main` returns.
+    pub globals: HashMap<String, Vec<i32>>,
+    /// Statements executed (diagnostics).
+    pub steps: u64,
+}
+
+impl InterpOutcome {
+    /// Scalar global value.
+    pub fn global(&self, name: &str) -> Option<i32> {
+        self.globals.get(name).and_then(|v| v.first().copied())
+    }
+}
+
+/// Runs `main` with a step budget.
+///
+/// # Errors
+///
+/// See [`InterpError`]; compile errors are reported as [`CcError`].
+pub fn run(program: &Program, max_steps: u64) -> Result<InterpOutcome, CcError> {
+    let typed = check(program)?;
+    Interp::new(&typed, max_steps)
+        .run()
+        .map_err(|e| CcError::Sema { pos: Pos::default(), msg: e.to_string() })
+}
+
+/// Runs `main`, returning interpreter errors unconverted (differential
+/// tests want to tell step-limit cases apart from real failures).
+///
+/// # Errors
+///
+/// See [`InterpError`].
+pub fn run_checked(typed: &TypedProgram, max_steps: u64) -> Result<InterpOutcome, InterpError> {
+    Interp::new(typed, max_steps).run()
+}
+
+// Shift semantics shared with the TH16 core (register-amount shifts use
+// the low byte; amounts ≥ 32 saturate). Mirrored from the simulator so the
+// two crates stay dependency-free; unit tests pin the behaviour.
+fn lsl(v: i32, amount: i32) -> i32 {
+    match amount as u32 & 0xFF {
+        0 => v,
+        a if a < 32 => ((v as u32) << a) as i32,
+        _ => 0,
+    }
+}
+
+fn asr(v: i32, amount: i32) -> i32 {
+    match amount as u32 & 0xFF {
+        0 => v,
+        a if a < 32 => v >> a,
+        _ => v >> 31,
+    }
+}
+
+fn sdiv(a: i32, b: i32) -> i32 {
+    if b == 0 {
+        0
+    } else {
+        a.wrapping_div(b)
+    }
+}
+
+/// `a % b` as the code generator lowers it: `a - (a / b) * b` with the
+/// TH16 division semantics (so `a % 0 == a`).
+fn srem(a: i32, b: i32) -> i32 {
+    a.wrapping_sub(sdiv(a, b).wrapping_mul(b))
+}
+
+enum Flow {
+    Normal,
+    Break,
+    Continue,
+    Return(i32),
+}
+
+struct Interp<'a> {
+    tp: &'a TypedProgram,
+    globals: HashMap<String, (Type, Vec<i32>)>,
+    steps: u64,
+    max_steps: u64,
+    depth: u32,
+}
+
+impl<'a> Interp<'a> {
+    fn new(tp: &'a TypedProgram, max_steps: u64) -> Interp<'a> {
+        let mut globals = HashMap::new();
+        for g in &tp.globals {
+            let len = g.array_len.unwrap_or(1) as usize;
+            let mut vals = vec![0i32; len];
+            for (i, v) in g.init.iter().enumerate() {
+                vals[i] = truncate(g.ty, *v as i32);
+            }
+            globals.insert(g.name.clone(), (g.ty, vals));
+        }
+        Interp { tp, globals, steps: 0, max_steps, depth: 0 }
+    }
+
+    fn run(mut self) -> Result<InterpOutcome, InterpError> {
+        self.call("main", &[])?;
+        Ok(InterpOutcome {
+            globals: self.globals.into_iter().map(|(k, (_, v))| (k, v)).collect(),
+            steps: self.steps,
+        })
+    }
+
+    fn tick(&mut self) -> Result<(), InterpError> {
+        self.steps += 1;
+        if self.steps > self.max_steps {
+            return Err(InterpError::StepLimit);
+        }
+        Ok(())
+    }
+
+    fn call(&mut self, name: &str, args: &[i32]) -> Result<i32, InterpError> {
+        self.depth += 1;
+        if self.depth > 64 {
+            return Err(InterpError::CallDepth);
+        }
+        let func = self
+            .tp
+            .funcs
+            .iter()
+            .find(|f| f.func.name == name)
+            .ok_or_else(|| InterpError::Semantic(format!("no function `{name}`")))?;
+        let mut locals: HashMap<String, i32> = HashMap::new();
+        for ((pname, _), v) in func.func.params.iter().zip(args) {
+            locals.insert(pname.clone(), *v);
+        }
+        let body = func.func.body.clone();
+        let flow = self.exec_block(&body, &mut locals)?;
+        self.depth -= 1;
+        Ok(match flow {
+            Flow::Return(v) => v,
+            _ => 0,
+        })
+    }
+
+    fn exec_block(
+        &mut self,
+        stmts: &[Stmt],
+        locals: &mut HashMap<String, i32>,
+    ) -> Result<Flow, InterpError> {
+        for s in stmts {
+            match self.exec_stmt(s, locals)? {
+                Flow::Normal => {}
+                other => return Ok(other),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(
+        &mut self,
+        s: &Stmt,
+        locals: &mut HashMap<String, i32>,
+    ) -> Result<Flow, InterpError> {
+        self.tick()?;
+        match s {
+            Stmt::Decl { name, init, .. } => {
+                let v = match init {
+                    Some(e) => self.eval(e, locals)?,
+                    // Uninitialised locals read stale stack memory on the
+                    // target; the interpreter models them as 0 and the
+                    // differential generator always initialises.
+                    None => 0,
+                };
+                locals.insert(name.clone(), v);
+                Ok(Flow::Normal)
+            }
+            Stmt::Expr(e) => {
+                self.eval(e, locals)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::If { cond, then, else_, .. } => {
+                if self.eval(cond, locals)? != 0 {
+                    self.exec_block(then, locals)
+                } else {
+                    self.exec_block(else_, locals)
+                }
+            }
+            Stmt::While { cond, body, .. } => {
+                while self.eval(cond, locals)? != 0 {
+                    self.tick()?;
+                    match self.exec_block(body, locals)? {
+                        Flow::Break => break,
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        _ => {}
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::DoWhile { body, cond, .. } => {
+                loop {
+                    self.tick()?;
+                    match self.exec_block(body, locals)? {
+                        Flow::Break => break,
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        _ => {}
+                    }
+                    if self.eval(cond, locals)? == 0 {
+                        break;
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::For { init, cond, step, body, .. } => {
+                if let Some(i) = init {
+                    self.exec_stmt(i, locals)?;
+                }
+                loop {
+                    if let Some(c) = cond {
+                        if self.eval(c, locals)? == 0 {
+                            break;
+                        }
+                    }
+                    self.tick()?;
+                    match self.exec_block(body, locals)? {
+                        Flow::Break => break,
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        _ => {}
+                    }
+                    if let Some(st) = step {
+                        self.eval(st, locals)?;
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Return { value, .. } => {
+                let v = match value {
+                    Some(e) => self.eval(e, locals)?,
+                    None => 0,
+                };
+                Ok(Flow::Return(v))
+            }
+            Stmt::Break { .. } => Ok(Flow::Break),
+            Stmt::Continue { .. } => Ok(Flow::Continue),
+            Stmt::LoopBound { .. } | Stmt::LoopTotal { .. } => Ok(Flow::Normal),
+            Stmt::Block(b) => self.exec_block(b, locals),
+        }
+    }
+
+    fn eval(&mut self, e: &Expr, locals: &mut HashMap<String, i32>) -> Result<i32, InterpError> {
+        match e {
+            Expr::Num { value, .. } => Ok(*value as i32),
+            Expr::Var { name, pos } => {
+                if let Some(v) = locals.get(name) {
+                    return Ok(*v);
+                }
+                let (ty, vals) = self
+                    .globals
+                    .get(name)
+                    .ok_or_else(|| InterpError::Semantic(format!("unknown `{name}` at {pos}")))?;
+                Ok(extend(*ty, vals[0]))
+            }
+            Expr::Index { name, index, pos } => {
+                let idx = self.eval(index, locals)?;
+                let (ty, vals) = self
+                    .globals
+                    .get(name)
+                    .ok_or_else(|| InterpError::Semantic(format!("unknown `{name}` at {pos}")))?;
+                let (ty, len) = (*ty, vals.len());
+                if idx < 0 || idx as usize >= len {
+                    return Err(InterpError::OutOfBounds {
+                        name: name.clone(),
+                        index: idx as i64,
+                        pos: *pos,
+                    });
+                }
+                Ok(extend(ty, self.globals[name].1[idx as usize]))
+            }
+            Expr::Assign { lhs, rhs, .. } => {
+                let v = self.eval(rhs, locals)?;
+                match lhs.as_ref() {
+                    Expr::Var { name, pos } => {
+                        if locals.contains_key(name) {
+                            locals.insert(name.clone(), v);
+                        } else {
+                            let (ty, vals) = self.globals.get_mut(name).ok_or_else(|| {
+                                InterpError::Semantic(format!("unknown `{name}` at {pos}"))
+                            })?;
+                            vals[0] = truncate(*ty, v);
+                        }
+                    }
+                    Expr::Index { name, index, pos } => {
+                        let idx = self.eval(index, locals)?;
+                        let (ty, vals) = self.globals.get_mut(name).ok_or_else(|| {
+                            InterpError::Semantic(format!("unknown `{name}` at {pos}"))
+                        })?;
+                        if idx < 0 || idx as usize >= vals.len() {
+                            return Err(InterpError::OutOfBounds {
+                                name: name.clone(),
+                                index: idx as i64,
+                                pos: *pos,
+                            });
+                        }
+                        let t = *ty;
+                        vals[idx as usize] = truncate(t, v);
+                    }
+                    _ => return Err(InterpError::Semantic("bad assignment target".into())),
+                }
+                Ok(v)
+            }
+            Expr::Bin { op, lhs, rhs, .. } => match op {
+                BinOp::LogAnd => {
+                    if self.eval(lhs, locals)? == 0 {
+                        Ok(0)
+                    } else {
+                        Ok((self.eval(rhs, locals)? != 0) as i32)
+                    }
+                }
+                BinOp::LogOr => {
+                    if self.eval(lhs, locals)? != 0 {
+                        Ok(1)
+                    } else {
+                        Ok((self.eval(rhs, locals)? != 0) as i32)
+                    }
+                }
+                _ => {
+                    let a = self.eval(lhs, locals)?;
+                    let b = self.eval(rhs, locals)?;
+                    Ok(match op {
+                        BinOp::Add => a.wrapping_add(b),
+                        BinOp::Sub => a.wrapping_sub(b),
+                        BinOp::Mul => a.wrapping_mul(b),
+                        BinOp::Div => sdiv(a, b),
+                        BinOp::Rem => srem(a, b),
+                        BinOp::And => a & b,
+                        BinOp::Or => a | b,
+                        BinOp::Xor => a ^ b,
+                        BinOp::Shl => lsl(a, b),
+                        BinOp::Shr => asr(a, b),
+                        BinOp::Eq => (a == b) as i32,
+                        BinOp::Ne => (a != b) as i32,
+                        BinOp::Lt => (a < b) as i32,
+                        BinOp::Le => (a <= b) as i32,
+                        BinOp::Gt => (a > b) as i32,
+                        BinOp::Ge => (a >= b) as i32,
+                        BinOp::LogAnd | BinOp::LogOr => unreachable!(),
+                    })
+                }
+            },
+            Expr::Un { op, operand, .. } => {
+                let v = self.eval(operand, locals)?;
+                Ok(match op {
+                    UnOp::Neg => 0i32.wrapping_sub(v),
+                    UnOp::Not => (v == 0) as i32,
+                    UnOp::BitNot => !v,
+                })
+            }
+            Expr::Call { name, args, .. } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a, locals)?);
+                }
+                self.call(name, &vals)
+            }
+        }
+    }
+}
+
+/// Store-side truncation: keep the bits a narrow store keeps.
+fn truncate(ty: Type, v: i32) -> i32 {
+    match ty {
+        Type::Int | Type::Void => v,
+        Type::Short => v as i16 as i32,
+        Type::Char => v as i8 as i32,
+    }
+}
+
+/// Load-side sign extension (values are stored pre-truncated, so this is a
+/// no-op kept for symmetry with the simulator's memory path).
+fn extend(_ty: Type, v: i32) -> i32 {
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn run_src(src: &str) -> InterpOutcome {
+        run(&parse(&lex(src).unwrap()).unwrap(), 1_000_000).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_semantics() {
+        let o = run_src(
+            "int a; int b; int c; int d; int e;
+             void main() {
+                 a = 7 / 0;          // TH16: x/0 == 0
+                 b = 7 % 0;          // lowered as x - (x/0)*0 == x
+                 c = 1 << 40;        // shift >= 32 gives 0
+                 d = -16 >> 50;      // asr saturates to the sign
+                 e = 2147483647 + 1; // wraps
+             }",
+        );
+        assert_eq!(o.global("a"), Some(0));
+        assert_eq!(o.global("b"), Some(7));
+        assert_eq!(o.global("c"), Some(0));
+        assert_eq!(o.global("d"), Some(-1));
+        assert_eq!(o.global("e"), Some(i32::MIN));
+    }
+
+    #[test]
+    fn narrow_globals_truncate_and_extend() {
+        let o = run_src(
+            "short s; char c; int x; int y;
+             void main() { s = 70000; c = 300; x = s; y = c; }",
+        );
+        assert_eq!(o.global("x"), Some(70000i32 as i16 as i32));
+        assert_eq!(o.global("y"), Some(300i32 as i8 as i32));
+    }
+
+    #[test]
+    fn control_flow_and_calls() {
+        let o = run_src(
+            "int r;
+             int fact(int n) {
+                 int acc; acc = 1;
+                 while (n > 1) { acc = acc * n; n = n - 1; }
+                 return acc;
+             }
+             void main() { r = fact(6); }",
+        );
+        assert_eq!(o.global("r"), Some(720));
+    }
+
+    #[test]
+    fn step_limit_stops_runaway_loops() {
+        let p = parse(&lex("void main() { while (1) { } }").unwrap()).unwrap();
+        let typed = check(&p).unwrap();
+        assert_eq!(run_checked(&typed, 1000), Err(InterpError::StepLimit));
+    }
+
+    #[test]
+    fn out_of_bounds_reported() {
+        let p = parse(&lex("int t[4]; int i; void main() { i = 9; t[i] = 1; }").unwrap())
+            .unwrap();
+        let typed = check(&p).unwrap();
+        assert!(matches!(
+            run_checked(&typed, 1000),
+            Err(InterpError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn shift_helpers_pin_target_semantics() {
+        assert_eq!(lsl(1, 31), i32::MIN);
+        assert_eq!(lsl(1, 32), 0);
+        assert_eq!(lsl(5, 0), 5);
+        assert_eq!(lsl(1, -1), 0, "negative amount saturates via low byte");
+        assert_eq!(asr(-8, 1), -4);
+        assert_eq!(asr(-8, 99), -1);
+        assert_eq!(asr(8, 99), 0);
+        assert_eq!(srem(-17, 5), -2);
+        assert_eq!(srem(17, -5), 2);
+        assert_eq!(sdiv(i32::MIN, -1), i32::MIN);
+    }
+}

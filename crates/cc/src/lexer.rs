@@ -1,0 +1,320 @@
+//! MiniC lexer.
+
+use crate::token::{Kw, Token, TokKind, P};
+use crate::{CcError, Pos};
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    at: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.at).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.at + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.at += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn pos(&self) -> Pos {
+        Pos { line: self.line, col: self.col }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> CcError {
+        CcError::Lex { pos: self.pos(), msg: msg.into() }
+    }
+}
+
+/// Tokenises MiniC source. `//` and `/* */` comments are skipped.
+///
+/// # Errors
+///
+/// Returns [`CcError::Lex`] on unknown characters, bad numeric literals or
+/// unterminated comments/char literals.
+pub fn lex(source: &str) -> Result<Vec<Token>, CcError> {
+    let mut cur = Cursor { src: source.as_bytes(), at: 0, line: 1, col: 1 };
+    let mut out = Vec::new();
+    loop {
+        // Skip whitespace and comments.
+        loop {
+            match cur.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    cur.bump();
+                }
+                Some(b'/') if cur.peek2() == Some(b'/') => {
+                    while let Some(c) = cur.bump() {
+                        if c == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                Some(b'/') if cur.peek2() == Some(b'*') => {
+                    let start = cur.pos();
+                    cur.bump();
+                    cur.bump();
+                    let mut closed = false;
+                    while let Some(c) = cur.bump() {
+                        if c == b'*' && cur.peek() == Some(b'/') {
+                            cur.bump();
+                            closed = true;
+                            break;
+                        }
+                    }
+                    if !closed {
+                        return Err(CcError::Lex {
+                            pos: start,
+                            msg: "unterminated block comment".into(),
+                        });
+                    }
+                }
+                _ => break,
+            }
+        }
+        let pos = cur.pos();
+        let Some(c) = cur.peek() else {
+            out.push(Token { kind: TokKind::Eof, pos });
+            return Ok(out);
+        };
+        let kind = match c {
+            b'0'..=b'9' => lex_number(&mut cur)?,
+            b'\'' => lex_char(&mut cur)?,
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => lex_ident(&mut cur),
+            _ => lex_punct(&mut cur)?,
+        };
+        out.push(Token { kind, pos });
+    }
+}
+
+fn lex_number(cur: &mut Cursor) -> Result<TokKind, CcError> {
+    let mut text = String::new();
+    let hex = cur.peek() == Some(b'0') && matches!(cur.peek2(), Some(b'x') | Some(b'X'));
+    if hex {
+        cur.bump();
+        cur.bump();
+        while let Some(c) = cur.peek() {
+            if c.is_ascii_hexdigit() {
+                text.push(cur.bump().unwrap() as char);
+            } else {
+                break;
+            }
+        }
+        if text.is_empty() {
+            return Err(cur.err("hex literal needs digits"));
+        }
+        let v = i64::from_str_radix(&text, 16).map_err(|e| cur.err(format!("bad hex: {e}")))?;
+        return Ok(TokKind::Int(v));
+    }
+    while let Some(c) = cur.peek() {
+        if c.is_ascii_digit() {
+            text.push(cur.bump().unwrap() as char);
+        } else {
+            break;
+        }
+    }
+    let v: i64 = text.parse().map_err(|e| cur.err(format!("bad integer: {e}")))?;
+    Ok(TokKind::Int(v))
+}
+
+fn lex_char(cur: &mut Cursor) -> Result<TokKind, CcError> {
+    cur.bump(); // opening quote
+    let c = cur.bump().ok_or_else(|| cur.err("unterminated char literal"))?;
+    let value = if c == b'\\' {
+        let esc = cur.bump().ok_or_else(|| cur.err("unterminated escape"))?;
+        match esc {
+            b'n' => b'\n' as i64,
+            b't' => b'\t' as i64,
+            b'r' => b'\r' as i64,
+            b'0' => 0,
+            b'\\' => b'\\' as i64,
+            b'\'' => b'\'' as i64,
+            other => return Err(cur.err(format!("unknown escape '\\{}'", other as char))),
+        }
+    } else {
+        c as i64
+    };
+    if cur.bump() != Some(b'\'') {
+        return Err(cur.err("char literal must be one character"));
+    }
+    Ok(TokKind::Int(value))
+}
+
+fn lex_ident(cur: &mut Cursor) -> TokKind {
+    let mut text = String::new();
+    while let Some(c) = cur.peek() {
+        if c.is_ascii_alphanumeric() || c == b'_' {
+            text.push(cur.bump().unwrap() as char);
+        } else {
+            break;
+        }
+    }
+    match text.as_str() {
+        "int" => TokKind::Kw(Kw::Int),
+        "short" => TokKind::Kw(Kw::Short),
+        "char" => TokKind::Kw(Kw::Char),
+        "void" => TokKind::Kw(Kw::Void),
+        "if" => TokKind::Kw(Kw::If),
+        "else" => TokKind::Kw(Kw::Else),
+        "while" => TokKind::Kw(Kw::While),
+        "for" => TokKind::Kw(Kw::For),
+        "do" => TokKind::Kw(Kw::Do),
+        "return" => TokKind::Kw(Kw::Return),
+        "break" => TokKind::Kw(Kw::Break),
+        "continue" => TokKind::Kw(Kw::Continue),
+        "__loopbound" => TokKind::Kw(Kw::LoopBound),
+        "__looptotal" => TokKind::Kw(Kw::LoopTotal),
+        _ => TokKind::Ident(text),
+    }
+}
+
+fn lex_punct(cur: &mut Cursor) -> Result<TokKind, CcError> {
+    let c = cur.bump().expect("caller checked");
+    let two = |cur: &mut Cursor, next: u8, a: P, b: P| {
+        if cur.peek() == Some(next) {
+            cur.bump();
+            a
+        } else {
+            b
+        }
+    };
+    let p = match c {
+        b'(' => P::LParen,
+        b')' => P::RParen,
+        b'{' => P::LBrace,
+        b'}' => P::RBrace,
+        b'[' => P::LBracket,
+        b']' => P::RBracket,
+        b';' => P::Semi,
+        b',' => P::Comma,
+        b'+' => P::Plus,
+        b'-' => P::Minus,
+        b'*' => P::Star,
+        b'/' => P::Slash,
+        b'%' => P::Percent,
+        b'^' => P::Caret,
+        b'~' => P::Tilde,
+        b'=' => two(cur, b'=', P::EqEq, P::Assign),
+        b'!' => two(cur, b'=', P::NotEq, P::Bang),
+        b'&' => two(cur, b'&', P::AndAnd, P::Amp),
+        b'|' => two(cur, b'|', P::OrOr, P::Pipe),
+        b'<' => {
+            if cur.peek() == Some(b'<') {
+                cur.bump();
+                P::Shl
+            } else {
+                two(cur, b'=', P::Le, P::Lt)
+            }
+        }
+        b'>' => {
+            if cur.peek() == Some(b'>') {
+                cur.bump();
+                P::Shr
+            } else {
+                two(cur, b'=', P::Ge, P::Gt)
+            }
+        }
+        other => return Err(cur.err(format!("unexpected character '{}'", other as char))),
+    };
+    Ok(TokKind::P(p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn numbers_and_idents() {
+        assert_eq!(
+            kinds("x 42 0x1F"),
+            vec![
+                TokKind::Ident("x".into()),
+                TokKind::Int(42),
+                TokKind::Int(31),
+                TokKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn char_literals() {
+        assert_eq!(kinds("'A' '\\n' '\\0'"), vec![
+            TokKind::Int(65),
+            TokKind::Int(10),
+            TokKind::Int(0),
+            TokKind::Eof
+        ]);
+    }
+
+    #[test]
+    fn operators_two_char() {
+        assert_eq!(
+            kinds("<< >> <= >= == != && ||"),
+            vec![
+                TokKind::P(P::Shl),
+                TokKind::P(P::Shr),
+                TokKind::P(P::Le),
+                TokKind::P(P::Ge),
+                TokKind::P(P::EqEq),
+                TokKind::P(P::NotEq),
+                TokKind::P(P::AndAnd),
+                TokKind::P(P::OrOr),
+                TokKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("a // line\n b /* block\n still */ c"),
+            vec![
+                TokKind::Ident("a".into()),
+                TokKind::Ident("b".into()),
+                TokKind::Ident("c".into()),
+                TokKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_recognised() {
+        assert_eq!(kinds("int __loopbound"), vec![
+            TokKind::Kw(Kw::Int),
+            TokKind::Kw(Kw::LoopBound),
+            TokKind::Eof
+        ]);
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(toks[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("@").is_err());
+        assert!(lex("/* never closed").is_err());
+        assert!(lex("'ab'").is_err());
+        assert!(lex("0x").is_err());
+    }
+}

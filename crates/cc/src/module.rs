@@ -1,0 +1,109 @@
+//! Relocatable object modules: the compiler's output, the linker's input.
+
+use spmlab_isa::asm::ObjFunc;
+use spmlab_isa::mem::AccessWidth;
+
+/// A global data object awaiting placement (one of the paper's scratchpad
+/// allocation candidates, alongside functions).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalDef {
+    /// Name.
+    pub name: String,
+    /// Element access width.
+    pub width: AccessWidth,
+    /// Number of elements (1 for scalars).
+    pub count: u32,
+    /// Initialiser values, element-width each; shorter than `count` means
+    /// the remainder is zero-filled.
+    pub init: Vec<i64>,
+}
+
+impl GlobalDef {
+    /// Size in bytes (unpadded).
+    pub fn size_bytes(&self) -> u32 {
+        self.count * self.width.bytes()
+    }
+
+    /// The initialiser rendered as little-endian bytes, zero-filled to the
+    /// full object size.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.size_bytes() as usize);
+        for v in &self.init {
+            match self.width {
+                AccessWidth::Byte => out.push(*v as u8),
+                AccessWidth::Half => out.extend((*v as u16).to_le_bytes()),
+                AccessWidth::Word => out.extend((*v as u32).to_le_bytes()),
+            }
+        }
+        out.resize(self.size_bytes() as usize, 0);
+        out
+    }
+}
+
+/// A compiled translation unit: relocatable functions plus global objects.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjModule {
+    /// Functions in source order (`main` among them).
+    pub funcs: Vec<ObjFunc>,
+    /// Global data objects in source order.
+    pub globals: Vec<GlobalDef>,
+}
+
+impl ObjModule {
+    /// Finds a function by name.
+    pub fn func(&self, name: &str) -> Option<&ObjFunc> {
+        self.funcs.iter().find(|f| f.name == name)
+    }
+
+    /// Finds a global by name.
+    pub fn global(&self, name: &str) -> Option<&GlobalDef> {
+        self.globals.iter().find(|g| g.name == name)
+    }
+
+    /// Names and sizes of every memory object (functions and globals) — the
+    /// candidate list for scratchpad allocation.
+    pub fn memory_objects(&self) -> Vec<(String, u32)> {
+        let mut v: Vec<(String, u32)> =
+            self.funcs.iter().map(|f| (f.name.clone(), f.total_size())).collect();
+        v.extend(self.globals.iter().map(|g| (g.name.clone(), g.size_bytes())));
+        v
+    }
+
+    /// Total code bytes (including literal pools).
+    pub fn code_bytes(&self) -> u32 {
+        self.funcs.iter().map(|f| f.total_size()).sum()
+    }
+
+    /// Total data bytes.
+    pub fn data_bytes(&self) -> u32 {
+        self.globals.iter().map(|g| g.size_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_bytes_layout() {
+        let g = GlobalDef {
+            name: "t".into(),
+            width: AccessWidth::Half,
+            count: 4,
+            init: vec![1, -1],
+        };
+        assert_eq!(g.size_bytes(), 8);
+        assert_eq!(g.to_bytes(), vec![1, 0, 0xFF, 0xFF, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn word_globals() {
+        let g = GlobalDef {
+            name: "x".into(),
+            width: AccessWidth::Word,
+            count: 1,
+            init: vec![0x0102_0304],
+        };
+        assert_eq!(g.to_bytes(), vec![4, 3, 2, 1]);
+    }
+}

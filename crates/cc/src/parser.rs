@@ -1,0 +1,518 @@
+//! Recursive-descent parser for MiniC.
+
+use crate::ast::*;
+use crate::token::{Kw, Token, TokKind, P};
+use crate::{CcError, Pos};
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    at: usize,
+}
+
+/// Parses a token stream into a [`Program`].
+///
+/// # Errors
+///
+/// Returns [`CcError::Parse`] with the offending position.
+pub fn parse(tokens: &[Token]) -> Result<Program, CcError> {
+    let mut p = Parser { toks: tokens, at: 0 };
+    let mut globals = Vec::new();
+    let mut funcs = Vec::new();
+    while !p.check_eof() {
+        let pos = p.pos();
+        let ty = p.parse_type()?;
+        let name = p.expect_ident()?;
+        if p.peek_p(P::LParen) {
+            funcs.push(p.parse_func(ty, name, pos)?);
+        } else {
+            globals.push(p.parse_global(ty, name, pos)?);
+        }
+    }
+    Ok(Program { globals, funcs })
+}
+
+impl<'a> Parser<'a> {
+    fn tok(&self) -> &Token {
+        &self.toks[self.at.min(self.toks.len() - 1)]
+    }
+
+    fn pos(&self) -> Pos {
+        self.tok().pos
+    }
+
+    fn err(&self, msg: impl Into<String>) -> CcError {
+        CcError::Parse { pos: self.pos(), msg: msg.into() }
+    }
+
+    fn check_eof(&self) -> bool {
+        matches!(self.tok().kind, TokKind::Eof)
+    }
+
+    fn bump(&mut self) -> TokKind {
+        let k = self.tok().kind.clone();
+        if self.at < self.toks.len() - 1 {
+            self.at += 1;
+        }
+        k
+    }
+
+    fn peek_p(&self, p: P) -> bool {
+        matches!(self.tok().kind, TokKind::P(q) if q == p)
+    }
+
+    fn peek_kw(&self, kw: Kw) -> bool {
+        matches!(self.tok().kind, TokKind::Kw(k) if k == kw)
+    }
+
+    fn eat_p(&mut self, p: P) -> bool {
+        if self.peek_p(p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_p(&mut self, p: P) -> Result<(), CcError> {
+        if self.eat_p(p) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{p}`, found {:?}", self.tok().kind)))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, CcError> {
+        match self.tok().kind.clone() {
+            TokKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn parse_type(&mut self) -> Result<Type, CcError> {
+        let t = match self.tok().kind {
+            TokKind::Kw(Kw::Int) => Type::Int,
+            TokKind::Kw(Kw::Short) => Type::Short,
+            TokKind::Kw(Kw::Char) => Type::Char,
+            TokKind::Kw(Kw::Void) => Type::Void,
+            _ => return Err(self.err("expected a type (`int`, `short`, `char`, `void`)")),
+        };
+        self.bump();
+        Ok(t)
+    }
+
+    fn parse_const(&mut self) -> Result<i64, CcError> {
+        // Constant expression: optional unary minus plus an integer literal.
+        let neg = self.eat_p(P::Minus);
+        match self.bump() {
+            TokKind::Int(v) => Ok(if neg { -v } else { v }),
+            other => Err(self.err(format!("expected constant, found {other:?}"))),
+        }
+    }
+
+    fn parse_global(&mut self, ty: Type, name: String, pos: Pos) -> Result<Global, CcError> {
+        if ty == Type::Void {
+            return Err(self.err("`void` is not a data type"));
+        }
+        let array_len = if self.eat_p(P::LBracket) {
+            let n = self.parse_const()?;
+            if n <= 0 || n > 1 << 20 {
+                return Err(self.err(format!("bad array length {n}")));
+            }
+            self.expect_p(P::RBracket)?;
+            Some(n as u32)
+        } else {
+            None
+        };
+        let mut init = Vec::new();
+        if self.eat_p(P::Assign) {
+            if self.eat_p(P::LBrace) {
+                if array_len.is_none() {
+                    return Err(self.err("brace initialiser on a scalar"));
+                }
+                loop {
+                    if self.eat_p(P::RBrace) {
+                        break;
+                    }
+                    init.push(self.parse_const()?);
+                    if !self.eat_p(P::Comma) {
+                        self.expect_p(P::RBrace)?;
+                        break;
+                    }
+                }
+                if init.len() as u32 > array_len.unwrap_or(0) {
+                    return Err(self.err(format!(
+                        "{} initialisers for array of {}",
+                        init.len(),
+                        array_len.unwrap_or(0)
+                    )));
+                }
+            } else {
+                init.push(self.parse_const()?);
+            }
+        }
+        self.expect_p(P::Semi)?;
+        Ok(Global { name, ty, array_len, init, pos })
+    }
+
+    fn parse_func(&mut self, ret: Type, name: String, pos: Pos) -> Result<Func, CcError> {
+        self.expect_p(P::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat_p(P::RParen) {
+            if self.peek_kw(Kw::Void) && matches!(self.toks[self.at + 1].kind, TokKind::P(P::RParen))
+            {
+                self.bump();
+                self.expect_p(P::RParen)?;
+            } else {
+                loop {
+                    let ty = self.parse_type()?;
+                    if ty == Type::Void {
+                        return Err(self.err("`void` parameter"));
+                    }
+                    let pname = self.expect_ident()?;
+                    params.push((pname, ty));
+                    if !self.eat_p(P::Comma) {
+                        self.expect_p(P::RParen)?;
+                        break;
+                    }
+                }
+            }
+        }
+        let body = self.parse_block()?;
+        Ok(Func { name, ret, params, body, pos })
+    }
+
+    fn parse_block(&mut self) -> Result<Vec<Stmt>, CcError> {
+        self.expect_p(P::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.eat_p(P::RBrace) {
+            if self.check_eof() {
+                return Err(self.err("unexpected end of input in block"));
+            }
+            stmts.push(self.parse_stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt, CcError> {
+        let pos = self.pos();
+        match self.tok().kind.clone() {
+            TokKind::P(P::LBrace) => Ok(Stmt::Block(self.parse_block()?)),
+            TokKind::P(P::Semi) => {
+                self.bump();
+                Ok(Stmt::Block(Vec::new()))
+            }
+            TokKind::Kw(Kw::Int) | TokKind::Kw(Kw::Short) | TokKind::Kw(Kw::Char) => {
+                let ty = self.parse_type()?;
+                let name = self.expect_ident()?;
+                if self.peek_p(P::LBracket) {
+                    return Err(self.err("array locals are not supported; use a global"));
+                }
+                let init =
+                    if self.eat_p(P::Assign) { Some(self.parse_expr()?) } else { None };
+                self.expect_p(P::Semi)?;
+                Ok(Stmt::Decl { name, ty, init, pos })
+            }
+            TokKind::Kw(Kw::If) => {
+                self.bump();
+                self.expect_p(P::LParen)?;
+                let cond = self.parse_expr()?;
+                self.expect_p(P::RParen)?;
+                let then = self.stmt_as_block()?;
+                let else_ = if self.peek_kw(Kw::Else) {
+                    self.bump();
+                    self.stmt_as_block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If { cond, then, else_, pos })
+            }
+            TokKind::Kw(Kw::While) => {
+                self.bump();
+                self.expect_p(P::LParen)?;
+                let cond = self.parse_expr()?;
+                self.expect_p(P::RParen)?;
+                let body = self.stmt_as_block()?;
+                Ok(Stmt::While { cond, body, pos })
+            }
+            TokKind::Kw(Kw::Do) => {
+                self.bump();
+                let body = self.stmt_as_block()?;
+                if !self.peek_kw(Kw::While) {
+                    return Err(self.err("expected `while` after `do` body"));
+                }
+                self.bump();
+                self.expect_p(P::LParen)?;
+                let cond = self.parse_expr()?;
+                self.expect_p(P::RParen)?;
+                self.expect_p(P::Semi)?;
+                Ok(Stmt::DoWhile { body, cond, pos })
+            }
+            TokKind::Kw(Kw::For) => {
+                self.bump();
+                self.expect_p(P::LParen)?;
+                let init = if self.eat_p(P::Semi) {
+                    None
+                } else {
+                    let e = self.parse_expr()?;
+                    self.expect_p(P::Semi)?;
+                    Some(Box::new(Stmt::Expr(e)))
+                };
+                let cond = if self.peek_p(P::Semi) { None } else { Some(self.parse_expr()?) };
+                self.expect_p(P::Semi)?;
+                let step = if self.peek_p(P::RParen) { None } else { Some(self.parse_expr()?) };
+                self.expect_p(P::RParen)?;
+                let body = self.stmt_as_block()?;
+                Ok(Stmt::For { init, cond, step, body, pos })
+            }
+            TokKind::Kw(Kw::Return) => {
+                self.bump();
+                let value = if self.peek_p(P::Semi) { None } else { Some(self.parse_expr()?) };
+                self.expect_p(P::Semi)?;
+                Ok(Stmt::Return { value, pos })
+            }
+            TokKind::Kw(Kw::Break) => {
+                self.bump();
+                self.expect_p(P::Semi)?;
+                Ok(Stmt::Break { pos })
+            }
+            TokKind::Kw(Kw::Continue) => {
+                self.bump();
+                self.expect_p(P::Semi)?;
+                Ok(Stmt::Continue { pos })
+            }
+            TokKind::Kw(Kw::LoopBound) => {
+                self.bump();
+                self.expect_p(P::LParen)?;
+                let bound = self.parse_const()?;
+                if bound < 0 || bound > u32::MAX as i64 {
+                    return Err(self.err(format!("bad loop bound {bound}")));
+                }
+                self.expect_p(P::RParen)?;
+                self.expect_p(P::Semi)?;
+                Ok(Stmt::LoopBound { bound: bound as u32, pos })
+            }
+            TokKind::Kw(Kw::LoopTotal) => {
+                self.bump();
+                self.expect_p(P::LParen)?;
+                let total = self.parse_const()?;
+                if total < 0 || total > u32::MAX as i64 {
+                    return Err(self.err(format!("bad loop total {total}")));
+                }
+                self.expect_p(P::RParen)?;
+                self.expect_p(P::Semi)?;
+                Ok(Stmt::LoopTotal { total: total as u32, pos })
+            }
+            _ => {
+                let e = self.parse_expr()?;
+                self.expect_p(P::Semi)?;
+                Ok(Stmt::Expr(e))
+            }
+        }
+    }
+
+    fn stmt_as_block(&mut self) -> Result<Vec<Stmt>, CcError> {
+        if self.peek_p(P::LBrace) {
+            self.parse_block()
+        } else {
+            Ok(vec![self.parse_stmt()?])
+        }
+    }
+
+    fn parse_expr(&mut self) -> Result<Expr, CcError> {
+        self.parse_assign()
+    }
+
+    fn parse_assign(&mut self) -> Result<Expr, CcError> {
+        let lhs = self.parse_binary(0)?;
+        if self.peek_p(P::Assign) {
+            let pos = self.pos();
+            self.bump();
+            if !matches!(lhs, Expr::Var { .. } | Expr::Index { .. }) {
+                return Err(CcError::Parse {
+                    pos,
+                    msg: "assignment target must be a variable or array element".into(),
+                });
+            }
+            let rhs = self.parse_assign()?;
+            return Ok(Expr::Assign { lhs: Box::new(lhs), rhs: Box::new(rhs), pos });
+        }
+        Ok(lhs)
+    }
+
+    /// Precedence-climbing over binary operators.
+    fn parse_binary(&mut self, min_prec: u8) -> Result<Expr, CcError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let Some((op, prec)) = self.peek_binop() else { break };
+            if prec < min_prec {
+                break;
+            }
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.parse_binary(prec + 1)?;
+            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs), pos };
+        }
+        Ok(lhs)
+    }
+
+    fn peek_binop(&self) -> Option<(BinOp, u8)> {
+        let TokKind::P(p) = self.tok().kind else { return None };
+        Some(match p {
+            P::OrOr => (BinOp::LogOr, 1),
+            P::AndAnd => (BinOp::LogAnd, 2),
+            P::Pipe => (BinOp::Or, 3),
+            P::Caret => (BinOp::Xor, 4),
+            P::Amp => (BinOp::And, 5),
+            P::EqEq => (BinOp::Eq, 6),
+            P::NotEq => (BinOp::Ne, 6),
+            P::Lt => (BinOp::Lt, 7),
+            P::Le => (BinOp::Le, 7),
+            P::Gt => (BinOp::Gt, 7),
+            P::Ge => (BinOp::Ge, 7),
+            P::Shl => (BinOp::Shl, 8),
+            P::Shr => (BinOp::Shr, 8),
+            P::Plus => (BinOp::Add, 9),
+            P::Minus => (BinOp::Sub, 9),
+            P::Star => (BinOp::Mul, 10),
+            P::Slash => (BinOp::Div, 10),
+            P::Percent => (BinOp::Rem, 10),
+            _ => return None,
+        })
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, CcError> {
+        let pos = self.pos();
+        if self.eat_p(P::Minus) {
+            // Fold negation of literals so INT_MIN is expressible.
+            let inner = self.parse_unary()?;
+            if let Expr::Num { value, .. } = inner {
+                return Ok(Expr::Num { value: -value, pos });
+            }
+            return Ok(Expr::Un { op: UnOp::Neg, operand: Box::new(inner), pos });
+        }
+        if self.eat_p(P::Bang) {
+            return Ok(Expr::Un { op: UnOp::Not, operand: Box::new(self.parse_unary()?), pos });
+        }
+        if self.eat_p(P::Tilde) {
+            return Ok(Expr::Un {
+                op: UnOp::BitNot,
+                operand: Box::new(self.parse_unary()?),
+                pos,
+            });
+        }
+        if self.eat_p(P::Plus) {
+            return self.parse_unary();
+        }
+        self.parse_postfix()
+    }
+
+    fn parse_postfix(&mut self) -> Result<Expr, CcError> {
+        let pos = self.pos();
+        match self.bump() {
+            TokKind::Int(value) => Ok(Expr::Num { value, pos }),
+            TokKind::Ident(name) => {
+                if self.eat_p(P::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat_p(P::RParen) {
+                        loop {
+                            args.push(self.parse_expr()?);
+                            if !self.eat_p(P::Comma) {
+                                self.expect_p(P::RParen)?;
+                                break;
+                            }
+                        }
+                    }
+                    Ok(Expr::Call { name, args, pos })
+                } else if self.eat_p(P::LBracket) {
+                    let index = self.parse_expr()?;
+                    self.expect_p(P::RBracket)?;
+                    Ok(Expr::Index { name, index: Box::new(index), pos })
+                } else {
+                    Ok(Expr::Var { name, pos })
+                }
+            }
+            TokKind::P(P::LParen) => {
+                let e = self.parse_expr()?;
+                self.expect_p(P::RParen)?;
+                Ok(e)
+            }
+            other => Err(CcError::Parse {
+                pos,
+                msg: format!("expected expression, found {other:?}"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Result<Program, CcError> {
+        parse(&lex(src).unwrap())
+    }
+
+    #[test]
+    fn globals_and_arrays() {
+        let p = parse_src("int a; short t[4] = {1, 2, -3}; char c = 'x';").unwrap();
+        assert_eq!(p.globals.len(), 3);
+        assert_eq!(p.globals[1].array_len, Some(4));
+        assert_eq!(p.globals[1].init, vec![1, 2, -3]);
+        assert_eq!(p.globals[2].init, vec![120]);
+    }
+
+    #[test]
+    fn function_with_control_flow() {
+        let p = parse_src(
+            "int f(int n) {
+                int s;
+                s = 0;
+                while (n > 0) { __loopbound(100); s = s + n; n = n - 1; }
+                do { s = s + 1; } while (s < 0);
+                for (n = 0; n < 4; n = n + 1) { __loopbound(4); s = s + 1; }
+                if (s == 3) return 1; else return s;
+            }",
+        )
+        .unwrap();
+        assert_eq!(p.funcs.len(), 1);
+        assert_eq!(p.funcs[0].params.len(), 1);
+        assert_eq!(p.funcs[0].body.len(), 6);
+    }
+
+    #[test]
+    fn precedence() {
+        let p = parse_src("int f() { return 1 + 2 * 3 == 7 && 4 < 5; }").unwrap();
+        let Stmt::Return { value: Some(e), .. } = &p.funcs[0].body[0] else { panic!() };
+        // Top node must be &&.
+        let Expr::Bin { op: BinOp::LogAnd, .. } = e else { panic!("got {e:?}") };
+    }
+
+    #[test]
+    fn void_params_ok() {
+        let p = parse_src("void f(void) { }").unwrap();
+        assert!(p.funcs[0].params.is_empty());
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_src("int f() { 1 = 2; }").is_err());
+        assert!(parse_src("void x;").is_err());
+        assert!(parse_src("int f() { int a[3]; }").is_err());
+        assert!(parse_src("int t[2] = {1,2,3};").is_err());
+        assert!(parse_src("int f() {").is_err());
+    }
+
+    #[test]
+    fn negative_literals_fold() {
+        let p = parse_src("int f() { return -5; }").unwrap();
+        let Stmt::Return { value: Some(Expr::Num { value, .. }), .. } = &p.funcs[0].body[0]
+        else {
+            panic!()
+        };
+        assert_eq!(*value, -5);
+    }
+}

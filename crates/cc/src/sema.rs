@@ -1,0 +1,375 @@
+//! Semantic analysis: name resolution, arity/type checks, loop-bound
+//! placement, and the structural restrictions that keep MiniC compilable to
+//! predictable TH16 code (scalar locals, ≤ 4 parameters, no recursion at
+//! the syntactic level — mutual recursion is caught by the WCET analyzer's
+//! call-graph check).
+
+use crate::ast::*;
+use crate::{CcError, Pos};
+use std::collections::HashMap;
+
+/// Information about a global.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GlobalInfo {
+    /// Element type.
+    pub ty: Type,
+    /// `Some(len)` for arrays.
+    pub array_len: Option<u32>,
+}
+
+/// A function signature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sig {
+    /// Return type.
+    pub ret: Type,
+    /// Parameter types.
+    pub params: Vec<Type>,
+}
+
+/// A function with its resolved local-variable layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypedFunc {
+    /// The function AST.
+    pub func: Func,
+    /// All locals in slot order: parameters first, then declarations.
+    pub locals: Vec<(String, Type)>,
+}
+
+impl TypedFunc {
+    /// Slot index of a local, if it exists.
+    pub fn local_slot(&self, name: &str) -> Option<usize> {
+        self.locals.iter().position(|(n, _)| n == name)
+    }
+}
+
+/// A checked program ready for code generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypedProgram {
+    /// Global definitions in source order.
+    pub globals: Vec<Global>,
+    /// Global lookup.
+    pub global_info: HashMap<String, GlobalInfo>,
+    /// Function signatures.
+    pub sigs: HashMap<String, Sig>,
+    /// Checked functions in source order.
+    pub funcs: Vec<TypedFunc>,
+}
+
+/// Maximum number of function parameters (all passed in `r0..r3`).
+pub const MAX_PARAMS: usize = 4;
+
+/// Checks `program`.
+///
+/// # Errors
+///
+/// Returns [`CcError::Sema`] for undefined/duplicate names, arity
+/// mismatches, misplaced `break`/`continue`/`__loopbound`, and constructs
+/// outside the MiniC subset.
+pub fn check(program: &Program) -> Result<TypedProgram, CcError> {
+    let mut global_info = HashMap::new();
+    let mut sigs = HashMap::new();
+
+    for g in &program.globals {
+        if global_info
+            .insert(g.name.clone(), GlobalInfo { ty: g.ty, array_len: g.array_len })
+            .is_some()
+        {
+            return err(g.pos, format!("duplicate global `{}`", g.name));
+        }
+        if g.array_len.is_none() && g.init.len() > 1 {
+            return err(g.pos, format!("scalar `{}` with multiple initialisers", g.name));
+        }
+    }
+    for f in &program.funcs {
+        if global_info.contains_key(&f.name) {
+            return err(f.pos, format!("`{}` is both a global and a function", f.name));
+        }
+        if f.params.len() > MAX_PARAMS {
+            return err(
+                f.pos,
+                format!("`{}` has {} parameters; MiniC allows {MAX_PARAMS}", f.name, f.params.len()),
+            );
+        }
+        let sig = Sig { ret: f.ret, params: f.params.iter().map(|(_, t)| *t).collect() };
+        if sigs.insert(f.name.clone(), sig).is_some() {
+            return err(f.pos, format!("duplicate function `{}`", f.name));
+        }
+    }
+
+    let mut funcs = Vec::with_capacity(program.funcs.len());
+    for f in &program.funcs {
+        funcs.push(check_func(f, &global_info, &sigs)?);
+    }
+
+    Ok(TypedProgram { globals: program.globals.clone(), global_info, sigs, funcs })
+}
+
+fn err<T>(pos: Pos, msg: String) -> Result<T, CcError> {
+    Err(CcError::Sema { pos, msg })
+}
+
+struct FuncCx<'a> {
+    globals: &'a HashMap<String, GlobalInfo>,
+    sigs: &'a HashMap<String, Sig>,
+    locals: Vec<(String, Type)>,
+    ret: Type,
+    loop_depth: u32,
+}
+
+fn check_func(
+    f: &Func,
+    globals: &HashMap<String, GlobalInfo>,
+    sigs: &HashMap<String, Sig>,
+) -> Result<TypedFunc, CcError> {
+    let mut cx = FuncCx { globals, sigs, locals: Vec::new(), ret: f.ret, loop_depth: 0 };
+    for (name, ty) in &f.params {
+        if cx.locals.iter().any(|(n, _)| n == name) {
+            return err(f.pos, format!("duplicate parameter `{name}`"));
+        }
+        cx.locals.push((name.clone(), *ty));
+    }
+    check_block(&f.body, &mut cx)?;
+    Ok(TypedFunc { func: f.clone(), locals: cx.locals })
+}
+
+fn check_block(stmts: &[Stmt], cx: &mut FuncCx) -> Result<(), CcError> {
+    for (i, s) in stmts.iter().enumerate() {
+        check_stmt(s, cx, i == 0)?;
+    }
+    Ok(())
+}
+
+fn check_stmt(s: &Stmt, cx: &mut FuncCx, _first: bool) -> Result<(), CcError> {
+    match s {
+        Stmt::Decl { name, ty, init, pos } => {
+            if *ty == Type::Void {
+                return err(*pos, format!("`void` local `{name}`"));
+            }
+            if cx.locals.iter().any(|(n, _)| n == name) {
+                return err(*pos, format!("duplicate local `{name}` (MiniC has one scope per function)"));
+            }
+            if cx.globals.contains_key(name) {
+                // Shadowing globals is allowed in C but a footgun in MiniC;
+                // reject for clarity.
+                return err(*pos, format!("local `{name}` shadows a global"));
+            }
+            cx.locals.push((name.clone(), *ty));
+            if let Some(e) = init {
+                check_expr(e, cx)?;
+            }
+            Ok(())
+        }
+        Stmt::Expr(e) => check_expr(e, cx).map(|_| ()),
+        Stmt::If { cond, then, else_, .. } => {
+            check_expr(cond, cx)?;
+            check_block(then, cx)?;
+            check_block(else_, cx)
+        }
+        Stmt::While { cond, body, .. } | Stmt::DoWhile { body, cond, .. } => {
+            check_expr(cond, cx)?;
+            cx.loop_depth += 1;
+            let r = check_block(body, cx);
+            cx.loop_depth -= 1;
+            r
+        }
+        Stmt::For { init, cond, step, body, .. } => {
+            if let Some(i) = init {
+                check_stmt(i, cx, false)?;
+            }
+            if let Some(c) = cond {
+                check_expr(c, cx)?;
+            }
+            if let Some(st) = step {
+                check_expr(st, cx)?;
+            }
+            cx.loop_depth += 1;
+            let r = check_block(body, cx);
+            cx.loop_depth -= 1;
+            r
+        }
+        Stmt::Return { value, pos } => match (cx.ret, value) {
+            (Type::Void, Some(_)) => err(*pos, "`return` with a value in a void function".into()),
+            (Type::Void, None) => Ok(()),
+            (_, None) => err(*pos, "`return` without a value in a non-void function".into()),
+            (_, Some(e)) => check_expr(e, cx).map(|_| ()),
+        },
+        Stmt::Break { pos } => {
+            if cx.loop_depth == 0 {
+                err(*pos, "`break` outside a loop".into())
+            } else {
+                Ok(())
+            }
+        }
+        Stmt::Continue { pos } => {
+            if cx.loop_depth == 0 {
+                err(*pos, "`continue` outside a loop".into())
+            } else {
+                Ok(())
+            }
+        }
+        Stmt::LoopBound { pos, .. } => {
+            if cx.loop_depth == 0 {
+                err(*pos, "`__loopbound` outside a loop".into())
+            } else {
+                Ok(())
+            }
+        }
+        Stmt::LoopTotal { pos, .. } => {
+            if cx.loop_depth == 0 {
+                err(*pos, "`__looptotal` outside a loop".into())
+            } else {
+                Ok(())
+            }
+        }
+        Stmt::Block(b) => check_block(b, cx),
+    }
+}
+
+/// Checks an expression; every MiniC expression evaluates to `int`.
+fn check_expr(e: &Expr, cx: &mut FuncCx) -> Result<(), CcError> {
+    match e {
+        Expr::Num { value, pos } => {
+            if *value > u32::MAX as i64 || *value < i32::MIN as i64 {
+                return err(*pos, format!("constant {value} does not fit in 32 bits"));
+            }
+            Ok(())
+        }
+        Expr::Var { name, pos } => {
+            if cx.locals.iter().any(|(n, _)| n == name) {
+                return Ok(());
+            }
+            match cx.globals.get(name) {
+                Some(info) if info.array_len.is_some() => {
+                    err(*pos, format!("array `{name}` used without an index"))
+                }
+                Some(_) => Ok(()),
+                None => err(*pos, format!("undefined variable `{name}`")),
+            }
+        }
+        Expr::Index { name, index, pos } => {
+            match cx.globals.get(name) {
+                Some(info) if info.array_len.is_some() => {
+                    check_expr(index, cx)?;
+                    // Constant index bounds check.
+                    if let Expr::Num { value, .. } = index.as_ref() {
+                        let len = info.array_len.unwrap() as i64;
+                        if *value < 0 || *value >= len {
+                            return err(
+                                *pos,
+                                format!("constant index {value} out of bounds for `{name}[{len}]`"),
+                            );
+                        }
+                    }
+                    Ok(())
+                }
+                Some(_) => err(*pos, format!("`{name}` is not an array")),
+                None => err(*pos, format!("undefined array `{name}`")),
+            }
+        }
+        Expr::Assign { lhs, rhs, .. } => {
+            check_expr(lhs, cx)?;
+            check_expr(rhs, cx)
+        }
+        Expr::Bin { lhs, rhs, .. } => {
+            check_expr(lhs, cx)?;
+            check_expr(rhs, cx)
+        }
+        Expr::Un { operand, .. } => check_expr(operand, cx),
+        Expr::Call { name, args, pos } => {
+            let sig = cx
+                .sigs
+                .get(name)
+                .ok_or_else(|| CcError::Sema {
+                    pos: *pos,
+                    msg: format!("call to undefined function `{name}`"),
+                })?
+                .clone();
+            if sig.params.len() != args.len() {
+                return err(
+                    *pos,
+                    format!("`{name}` takes {} arguments, got {}", sig.params.len(), args.len()),
+                );
+            }
+            for a in args {
+                check_expr(a, cx)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn check_src(src: &str) -> Result<TypedProgram, CcError> {
+        check(&parse(&lex(src).unwrap()).unwrap())
+    }
+
+    #[test]
+    fn accepts_valid_program() {
+        let t = check_src(
+            "int tab[4] = {1,2,3,4};
+             int sum(int n) {
+                 int i; int s;
+                 s = 0;
+                 for (i = 0; i < n; i = i + 1) { __loopbound(4); s = s + tab[i]; }
+                 return s;
+             }
+             void main() { sum(4); }",
+        )
+        .unwrap();
+        assert_eq!(t.funcs.len(), 2);
+        assert_eq!(t.funcs[0].locals.len(), 3); // n, i, s
+        assert_eq!(t.funcs[0].local_slot("s"), Some(2));
+    }
+
+    #[test]
+    fn rejects_undefined_names() {
+        assert!(check_src("void main() { x = 1; }").is_err());
+        assert!(check_src("void main() { f(); }").is_err());
+        assert!(check_src("void main() { int a; a = t[0]; }").is_err());
+    }
+
+    #[test]
+    fn rejects_array_misuse() {
+        assert!(check_src("int t[2]; void main() { t = 1; }").is_err());
+        assert!(check_src("int x; void main() { x[0] = 1; }").is_err());
+        assert!(check_src("int t[2]; void main() { t[5] = 1; }").is_err(), "const OOB index");
+    }
+
+    #[test]
+    fn rejects_misplaced_control() {
+        assert!(check_src("void main() { break; }").is_err());
+        assert!(check_src("void main() { continue; }").is_err());
+        assert!(check_src("void main() { __loopbound(3); }").is_err());
+    }
+
+    #[test]
+    fn return_type_discipline() {
+        assert!(check_src("void f() { return 1; }").is_err());
+        assert!(check_src("int f() { return; }").is_err());
+        assert!(check_src("int f() { return 1; }").is_ok());
+    }
+
+    #[test]
+    fn arity_checked() {
+        assert!(check_src("int f(int a) { return a; } void main() { f(); }").is_err());
+        assert!(check_src("int f(int a) { return a; } void main() { f(1, 2); }").is_err());
+    }
+
+    #[test]
+    fn param_limit() {
+        assert!(check_src("int f(int a, int b, int c, int d, int e) { return 0; }").is_err());
+        assert!(check_src("int f(int a, int b, int c, int d) { return 0; }").is_ok());
+    }
+
+    #[test]
+    fn duplicate_and_shadowing_locals() {
+        assert!(check_src("void f() { int a; int a; }").is_err());
+        assert!(check_src("int g; void f() { int g; }").is_err());
+        assert!(check_src("int f(int a) { int b; return a + b; }").is_ok());
+    }
+}

@@ -1,0 +1,119 @@
+//! MiniC tokens.
+
+use crate::Pos;
+
+/// A lexical token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokKind,
+    /// Position of the first character.
+    pub pos: Pos,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokKind {
+    /// Integer literal (already folded to its value).
+    Int(i64),
+    /// Identifier.
+    Ident(String),
+    /// Keyword.
+    Kw(Kw),
+    /// Punctuation / operator.
+    P(P),
+    /// End of input.
+    Eof,
+}
+
+/// Keywords.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kw {
+    Int,
+    Short,
+    Char,
+    Void,
+    If,
+    Else,
+    While,
+    For,
+    Do,
+    Return,
+    Break,
+    Continue,
+    /// `__loopbound` intrinsic.
+    LoopBound,
+    /// `__looptotal` intrinsic (flow fact).
+    LoopTotal,
+}
+
+/// Punctuation and operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum P {
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Shl,
+    Shr,
+    AndAnd,
+    OrOr,
+    EqEq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl std::fmt::Display for P {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            P::LParen => "(",
+            P::RParen => ")",
+            P::LBrace => "{",
+            P::RBrace => "}",
+            P::LBracket => "[",
+            P::RBracket => "]",
+            P::Semi => ";",
+            P::Comma => ",",
+            P::Assign => "=",
+            P::Plus => "+",
+            P::Minus => "-",
+            P::Star => "*",
+            P::Slash => "/",
+            P::Percent => "%",
+            P::Amp => "&",
+            P::Pipe => "|",
+            P::Caret => "^",
+            P::Tilde => "~",
+            P::Bang => "!",
+            P::Shl => "<<",
+            P::Shr => ">>",
+            P::AndAnd => "&&",
+            P::OrOr => "||",
+            P::EqEq => "==",
+            P::NotEq => "!=",
+            P::Lt => "<",
+            P::Le => "<=",
+            P::Gt => ">",
+            P::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}

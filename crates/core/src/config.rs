@@ -1,0 +1,8 @@
+//! Experiment constants.
+
+/// The paper's capacity sweep: "scratchpad sizes from 64 bytes to 8k" and
+/// "cache capacities from 64 bytes to 8k".
+pub const PAPER_SIZES: [u32; 8] = [64, 128, 256, 512, 1024, 2048, 4096, 8192];
+
+/// A shorter sweep for debug-mode tests.
+pub const QUICK_SIZES: [u32; 4] = [64, 256, 1024, 4096];

@@ -1,0 +1,161 @@
+//! Data structures regenerating each table and figure of the paper's
+//! evaluation section (see DESIGN.md §4 for the experiment index).
+
+use crate::pipeline::Pipeline;
+use crate::sweep::{cache_sweep, ratios, spm_sweep, SweepPoint};
+use crate::CoreError;
+use spmlab_isa::mem::{access_cycles, AccessWidth, RegionKind};
+use spmlab_workloads::Benchmark;
+
+/// Table 1: cycles per memory access (access + waitstates) by width and
+/// region — regenerated from the timing model the whole workspace shares.
+pub fn table1() -> Vec<(AccessWidth, u64, u64)> {
+    AccessWidth::ALL
+        .iter()
+        .map(|&w| {
+            (w, access_cycles(RegionKind::Main, w), access_cycles(RegionKind::Scratchpad, w))
+        })
+        .collect()
+}
+
+/// One row of Table 2: benchmark inventory with measured sizes.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Description.
+    pub description: String,
+    /// Code bytes (functions + literal pools).
+    pub code_bytes: u32,
+    /// Data bytes (globals).
+    pub data_bytes: u32,
+    /// Number of memory objects (allocation candidates).
+    pub objects: usize,
+}
+
+/// Table 2: the benchmark programs, with sizes measured from compilation.
+///
+/// # Errors
+///
+/// Propagates compiler failures.
+pub fn table2(benchmarks: &[&'static Benchmark]) -> Result<Vec<Table2Row>, CoreError> {
+    benchmarks
+        .iter()
+        .map(|b| {
+            let module = b.compile()?;
+            Ok(Table2Row {
+                name: b.name.to_string(),
+                description: b.description.to_string(),
+                code_bytes: module.code_bytes(),
+                data_bytes: module.data_bytes(),
+                objects: module.memory_objects().len(),
+            })
+        })
+        .collect()
+}
+
+/// Figure 3 (and Figure 6, which is the same plot for ADPCM): simulated
+/// cycles and WCET bound for a benchmark across scratchpad sizes (panel a)
+/// and cache sizes (panel b).
+#[derive(Debug, Clone)]
+pub struct Figure3 {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Panel (a): scratchpad sweep.
+    pub spm: Vec<SweepPoint>,
+    /// Panel (b): unified direct-mapped cache sweep.
+    pub cache: Vec<SweepPoint>,
+}
+
+impl Figure3 {
+    /// Runs both panels for `benchmark` over `sizes`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline failures.
+    pub fn run(benchmark: &'static Benchmark, sizes: &[u32]) -> Result<Figure3, CoreError> {
+        let pipeline = Pipeline::new(benchmark)?;
+        Ok(Figure3 {
+            benchmark: benchmark.name.to_string(),
+            spm: spm_sweep(&pipeline, sizes)?,
+            cache: cache_sweep(&pipeline, sizes)?,
+        })
+    }
+
+    /// Figure 4/5 companion: WCET/sim ratio series for both branches.
+    pub fn ratio_series(&self) -> (Vec<(u32, f64)>, Vec<(u32, f64)>) {
+        (ratios(&self.spm), ratios(&self.cache))
+    }
+}
+
+/// The §4 tightness experiment: simulation vs WCET on a *worst-case*
+/// input, where the bound should be only a few percent above the
+/// measurement.
+#[derive(Debug, Clone)]
+pub struct Tightness {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Simulated cycles on the worst-case input.
+    pub sim_cycles: u64,
+    /// WCET bound.
+    pub wcet_cycles: u64,
+}
+
+impl Tightness {
+    /// Runs the experiment (benchmark must define a worst-case input).
+    ///
+    /// # Errors
+    ///
+    /// Pipeline failures, or a panic if the benchmark has no worst input.
+    pub fn run(benchmark: &'static Benchmark, spm_size: u32) -> Result<Tightness, CoreError> {
+        let worst = (benchmark.worst_input.expect("benchmark has a worst-case input"))();
+        let pipeline = Pipeline::with_input(benchmark, worst)?;
+        let r = pipeline.run_spm(spm_size)?;
+        Ok(Tightness {
+            benchmark: benchmark.name.to_string(),
+            sim_cycles: r.sim_cycles,
+            wcet_cycles: r.wcet_cycles,
+        })
+    }
+
+    /// Overestimation of the bound relative to the measurement, in percent.
+    pub fn overestimate_pct(&self) -> f64 {
+        (self.wcet_cycles as f64 / self.sim_cycles.max(1) as f64 - 1.0) * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmlab_workloads::{paper_benchmarks, INSERTSORT};
+
+    #[test]
+    fn table1_matches_paper() {
+        let t = table1();
+        // byte/half/word main-memory cycles 2/2/4, scratchpad always 1.
+        assert_eq!(t[0].1, 2);
+        assert_eq!(t[1].1, 2);
+        assert_eq!(t[2].1, 4);
+        assert!(t.iter().all(|r| r.2 == 1));
+    }
+
+    #[test]
+    fn table2_lists_paper_benchmarks() {
+        let rows = table2(&paper_benchmarks()).unwrap();
+        assert_eq!(rows.len(), 3);
+        let g721 = rows.iter().find(|r| r.name == "g721").unwrap();
+        assert!(g721.code_bytes > 1000, "G.721 is the biggest benchmark");
+        assert!(g721.objects > 10);
+    }
+
+    #[test]
+    fn tightness_on_insertsort() {
+        let t = Tightness::run(&INSERTSORT, 0).unwrap();
+        assert!(t.wcet_cycles >= t.sim_cycles);
+        assert!(
+            t.overestimate_pct() < 40.0,
+            "worst-case input should be close to the bound: {:.1}%",
+            t.overestimate_pct()
+        );
+    }
+}

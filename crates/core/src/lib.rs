@@ -1,0 +1,104 @@
+//! # spmlab — the paper's experiment pipeline
+//!
+//! This crate wires the substrates together into the workflow of Figure 1
+//! of *Wehmeyer & Marwedel, "Influence of Memory Hierarchies on
+//! Predictability for Time Constrained Embedded Software", DATE 2005*:
+//!
+//! ```text
+//!            MiniC benchmark
+//!                  │ compile (spmlab-cc)
+//!        ┌─────────┴──────────┐
+//!  scratchpad branch     cache branch
+//!        │                    │
+//!  profile → knapsack    link (no SPM)
+//!  (spmlab-alloc)             │
+//!        │                    │
+//!  link w/ assignment         │
+//!        │                    │
+//!  simulate (spmlab-sim)  simulate w/ cache
+//!  WCET region timing     WCET w/ MUST cache analysis (spmlab-wcet)
+//!        └─────────┬──────────┘
+//!             compare: cycles, WCET, ratio
+//! ```
+//!
+//! [`Pipeline`] caches the compiled module and baseline profile;
+//! [`sweep`] runs the paper's 64 B … 8 KiB capacity sweeps; [`figures`]
+//! packages each table/figure of the evaluation section; [`report`]
+//! renders them as text tables.
+//!
+//! ```no_run
+//! use spmlab::pipeline::Pipeline;
+//! use spmlab_workloads::G721;
+//!
+//! let p = Pipeline::new(&G721)?;
+//! let spm = p.run_spm(1024)?;
+//! let cache = p.run_cache_default(1024)?;
+//! println!("spm  : sim {} wcet {}", spm.sim_cycles, spm.wcet_cycles);
+//! println!("cache: sim {} wcet {}", cache.sim_cycles, cache.wcet_cycles);
+//! # Ok::<(), spmlab::CoreError>(())
+//! ```
+
+pub mod config;
+pub mod figures;
+pub mod pipeline;
+pub mod report;
+pub mod sweep;
+
+pub use config::PAPER_SIZES;
+pub use pipeline::{ConfigResult, Pipeline};
+
+/// Errors from the experiment pipeline.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Compiler/linker failure.
+    Cc(spmlab_cc::CcError),
+    /// Simulator failure.
+    Sim(spmlab_sim::SimError),
+    /// WCET analyzer failure.
+    Wcet(spmlab_wcet::WcetError),
+    /// The benchmark produced a checksum that differs from its host twin —
+    /// the toolchain miscompiled or missimulated it.
+    ChecksumMismatch { benchmark: String, expected: i32, got: i32 },
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Cc(e) => write!(f, "compile/link: {e}"),
+            CoreError::Sim(e) => write!(f, "simulate: {e}"),
+            CoreError::Wcet(e) => write!(f, "wcet: {e}"),
+            CoreError::ChecksumMismatch { benchmark, expected, got } => {
+                write!(f, "{benchmark}: checksum mismatch (expected {expected}, got {got})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Cc(e) => Some(e),
+            CoreError::Sim(e) => Some(e),
+            CoreError::Wcet(e) => Some(e),
+            CoreError::ChecksumMismatch { .. } => None,
+        }
+    }
+}
+
+impl From<spmlab_cc::CcError> for CoreError {
+    fn from(e: spmlab_cc::CcError) -> CoreError {
+        CoreError::Cc(e)
+    }
+}
+
+impl From<spmlab_sim::SimError> for CoreError {
+    fn from(e: spmlab_sim::SimError) -> CoreError {
+        CoreError::Sim(e)
+    }
+}
+
+impl From<spmlab_wcet::WcetError> for CoreError {
+    fn from(e: spmlab_wcet::WcetError) -> CoreError {
+        CoreError::Wcet(e)
+    }
+}

@@ -1,0 +1,280 @@
+//! The per-benchmark experiment pipeline.
+
+use crate::CoreError;
+use spmlab_alloc::energy::EnergyModel;
+use spmlab_alloc::knapsack;
+use spmlab_cc::{ObjModule, SpmAssignment};
+use spmlab_isa::cachecfg::CacheConfig;
+use spmlab_isa::mem::MemoryMap;
+use spmlab_sim::{simulate, MachineConfig, Profile, SimOptions, SimResult};
+use spmlab_wcet::cache::ClassifyStats;
+use spmlab_wcet::{analyze, WcetConfig};
+use spmlab_workloads::Benchmark;
+
+/// Outcome of running one benchmark under one memory configuration:
+/// average-case simulation plus static WCET bound — one data point of the
+/// paper's figures.
+#[derive(Debug, Clone)]
+pub struct ConfigResult {
+    /// Human-readable configuration label (e.g. `"spm 1024"`).
+    pub label: String,
+    /// Simulated cycles on the pipeline's input (average case).
+    pub sim_cycles: u64,
+    /// Static WCET bound in cycles.
+    pub wcet_cycles: u64,
+    /// Final checksum (validated against the host twin).
+    pub checksum: i32,
+    /// Estimated energy of the simulated run (nJ).
+    pub energy_nj: f64,
+    /// Scratchpad bytes occupied (0 for cache configurations).
+    pub spm_used: u32,
+    /// Objects placed in the scratchpad.
+    pub spm_objects: Vec<String>,
+    /// Cache classification statistics (cache configurations only).
+    pub classify: ClassifyStats,
+}
+
+impl ConfigResult {
+    /// The paper's headline metric: WCET bound over simulated cycles.
+    pub fn ratio(&self) -> f64 {
+        self.wcet_cycles as f64 / self.sim_cycles.max(1) as f64
+    }
+}
+
+/// A benchmark prepared for configuration sweeps: compiled once, profiled
+/// once on the baseline (exactly the paper's workflow — the knapsack uses
+/// the same access counts for every capacity).
+pub struct Pipeline {
+    benchmark: &'static Benchmark,
+    module: ObjModule,
+    input: Vec<i32>,
+    expected_checksum: i32,
+    baseline_profile: Profile,
+    energy: EnergyModel,
+    sim_options: SimOptions,
+}
+
+impl Pipeline {
+    /// Prepares `benchmark` with its typical input.
+    ///
+    /// # Errors
+    ///
+    /// Compile, link or baseline-simulation failures.
+    pub fn new(benchmark: &'static Benchmark) -> Result<Pipeline, CoreError> {
+        Pipeline::with_input(benchmark, (benchmark.typical_input)())
+    }
+
+    /// Prepares `benchmark` with a custom input (e.g. the worst case).
+    ///
+    /// # Errors
+    ///
+    /// Compile, link or baseline-simulation failures.
+    pub fn with_input(
+        benchmark: &'static Benchmark,
+        input: Vec<i32>,
+    ) -> Result<Pipeline, CoreError> {
+        let module = benchmark.compile()?;
+        let sim_options = SimOptions::default();
+        let baseline = benchmark.link_with_input(
+            &module,
+            &MemoryMap::no_spm(),
+            &SpmAssignment::none(),
+            &input,
+        )?;
+        let res = simulate(&baseline.exe, &MachineConfig::uncached(), &sim_options)?;
+        let expected_checksum = (benchmark.reference_checksum)(&input);
+        let got = res
+            .read_global(&baseline.exe, "checksum")
+            .unwrap_or(expected_checksum.wrapping_add(1));
+        if got != expected_checksum {
+            return Err(CoreError::ChecksumMismatch {
+                benchmark: benchmark.name.to_string(),
+                expected: expected_checksum,
+                got,
+            });
+        }
+        Ok(Pipeline {
+            benchmark,
+            module,
+            input,
+            expected_checksum,
+            baseline_profile: res.profile,
+            energy: EnergyModel::default(),
+            sim_options,
+        })
+    }
+
+    /// The benchmark under test.
+    pub fn benchmark(&self) -> &'static Benchmark {
+        self.benchmark
+    }
+
+    /// The compiled module (for size accounting).
+    pub fn module(&self) -> &ObjModule {
+        &self.module
+    }
+
+    /// The input in use.
+    pub fn input(&self) -> &[i32] {
+        &self.input
+    }
+
+    /// The baseline (no scratchpad, no cache) profile.
+    pub fn baseline_profile(&self) -> &Profile {
+        &self.baseline_profile
+    }
+
+    fn check(&self, res: &SimResult, exe: &spmlab_isa::Executable) -> Result<i32, CoreError> {
+        let got = res
+            .read_global(exe, "checksum")
+            .unwrap_or(self.expected_checksum.wrapping_add(1));
+        if got != self.expected_checksum {
+            return Err(CoreError::ChecksumMismatch {
+                benchmark: self.benchmark.name.to_string(),
+                expected: self.expected_checksum,
+                got,
+            });
+        }
+        Ok(got)
+    }
+
+    /// The left branch of Figure 1: energy-optimal knapsack allocation for
+    /// a scratchpad of `spm_size` bytes, simulation, and region-timing WCET
+    /// analysis ("no additional analysis module required").
+    ///
+    /// # Errors
+    ///
+    /// Link, simulation, WCET or checksum failures.
+    pub fn run_spm(&self, spm_size: u32) -> Result<ConfigResult, CoreError> {
+        let alloc =
+            knapsack::allocate(&self.module, &self.baseline_profile, spm_size, &self.energy);
+        self.run_spm_with_assignment(spm_size, &alloc.assignment)
+    }
+
+    /// Scratchpad run with an explicit assignment (used by the WCET-aware
+    /// allocation ablation).
+    ///
+    /// # Errors
+    ///
+    /// Link, simulation, WCET or checksum failures.
+    pub fn run_spm_with_assignment(
+        &self,
+        spm_size: u32,
+        assignment: &SpmAssignment,
+    ) -> Result<ConfigResult, CoreError> {
+        let map = MemoryMap::with_spm(spm_size);
+        let linked = self.benchmark.link_with_input(&self.module, &map, assignment, &self.input)?;
+        let sim = simulate(&linked.exe, &MachineConfig::uncached(), &self.sim_options)?;
+        let checksum = self.check(&sim, &linked.exe)?;
+        let wcet = analyze(&linked.exe, &WcetConfig::region_timing(), &linked.annotations)?;
+        let spm_used = linked.exe.bytes_in_region(spmlab_isa::mem::RegionKind::Scratchpad) as u32;
+        Ok(ConfigResult {
+            label: format!("spm {spm_size}"),
+            sim_cycles: sim.cycles,
+            wcet_cycles: wcet.wcet_cycles,
+            checksum,
+            energy_nj: self.energy.run_energy_nj(&sim.mem_stats, sim.cycles, spm_size, None),
+            spm_used,
+            spm_objects: assignment.iter().map(str::to_string).collect(),
+            classify: ClassifyStats::default(),
+        })
+    }
+
+    /// The right branch of Figure 1: unified direct-mapped cache of
+    /// `size` bytes, MUST-only cache analysis (the paper's ARM7 setup).
+    ///
+    /// # Errors
+    ///
+    /// Link, simulation, WCET or checksum failures.
+    pub fn run_cache_default(&self, size: u32) -> Result<ConfigResult, CoreError> {
+        self.run_cache(CacheConfig::unified(size), false)
+    }
+
+    /// Cache run with an explicit geometry and optional persistence
+    /// analysis (the ablations).
+    ///
+    /// # Errors
+    ///
+    /// Link, simulation, WCET or checksum failures.
+    pub fn run_cache(
+        &self,
+        cache: CacheConfig,
+        persistence: bool,
+    ) -> Result<ConfigResult, CoreError> {
+        let linked = self.benchmark.link_with_input(
+            &self.module,
+            &MemoryMap::no_spm(),
+            &SpmAssignment::none(),
+            &self.input,
+        )?;
+        let sim = simulate(
+            &linked.exe,
+            &MachineConfig { cache: Some(cache.clone()) },
+            &self.sim_options,
+        )?;
+        let checksum = self.check(&sim, &linked.exe)?;
+        let wcfg = if persistence {
+            WcetConfig::with_cache_persistence(cache.clone())
+        } else {
+            WcetConfig::with_cache(cache.clone())
+        };
+        let wcet = analyze(&linked.exe, &wcfg, &linked.annotations)?;
+        Ok(ConfigResult {
+            label: format!("cache {}", cache.size),
+            sim_cycles: sim.cycles,
+            wcet_cycles: wcet.wcet_cycles,
+            checksum,
+            energy_nj: self.energy.run_energy_nj(
+                &sim.mem_stats,
+                sim.cycles,
+                0,
+                Some(cache.size),
+            ),
+            spm_used: 0,
+            spm_objects: Vec::new(),
+            classify: wcet.total_classify(),
+        })
+    }
+
+    /// The no-scratchpad, no-cache baseline.
+    ///
+    /// # Errors
+    ///
+    /// Link, simulation, WCET or checksum failures.
+    pub fn run_baseline(&self) -> Result<ConfigResult, CoreError> {
+        let mut r = self.run_spm(0)?;
+        r.label = "baseline".into();
+        Ok(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmlab_workloads::{INSERTSORT, MULTISORT};
+
+    #[test]
+    fn spm_and_cache_branches_work() {
+        let p = Pipeline::new(&INSERTSORT).unwrap();
+        let base = p.run_baseline().unwrap();
+        let spm = p.run_spm(512).unwrap();
+        let cache = p.run_cache_default(512).unwrap();
+        // All three agree on the checksum (validated internally) and WCET
+        // bounds the simulation everywhere.
+        assert!(base.wcet_cycles >= base.sim_cycles);
+        assert!(spm.wcet_cycles >= spm.sim_cycles);
+        assert!(cache.wcet_cycles >= cache.sim_cycles);
+        // The scratchpad helps both metrics.
+        assert!(spm.sim_cycles < base.sim_cycles);
+        assert!(spm.wcet_cycles < base.wcet_cycles);
+        assert!(!spm.spm_objects.is_empty());
+        assert!(spm.spm_used > 0);
+    }
+
+    #[test]
+    fn wcet_ratio_sensible() {
+        let p = Pipeline::with_input(&MULTISORT, spmlab_workloads::inputs::random_ints(24, 9, -50, 50)).unwrap();
+        let spm = p.run_spm(1024).unwrap();
+        assert!(spm.ratio() >= 1.0);
+    }
+}

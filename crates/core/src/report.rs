@@ -1,0 +1,157 @@
+//! Plain-text rendering of experiment results.
+
+use crate::figures::{Figure3, Table2Row, Tightness};
+use crate::sweep::SweepPoint;
+use spmlab_isa::mem::AccessWidth;
+
+/// Renders a simple aligned table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:>width$}", cell, width = widths[i]));
+        }
+        line
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders Table 1.
+pub fn render_table1(rows: &[(AccessWidth, u64, u64)]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(w, main, spm)| {
+            vec![
+                format!("{w} ({} bit)", w.bytes() * 8),
+                main.to_string(),
+                spm.to_string(),
+            ]
+        })
+        .collect();
+    format!(
+        "Table 1: cycles per memory access (access + waitstates)\n{}",
+        render_table(&["access width", "main memory", "scratchpad"], &body)
+    )
+}
+
+/// Renders Table 2.
+pub fn render_table2(rows: &[Table2Row]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                r.code_bytes.to_string(),
+                r.data_bytes.to_string(),
+                r.objects.to_string(),
+                r.description.clone(),
+            ]
+        })
+        .collect();
+    format!(
+        "Table 2: benchmarks\n{}",
+        render_table(&["name", "code B", "data B", "objects", "description"], &body)
+    )
+}
+
+/// Renders one sweep as `size, sim, wcet, ratio` rows.
+pub fn render_sweep(title: &str, points: &[SweepPoint]) -> String {
+    let body: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.size.to_string(),
+                p.result.sim_cycles.to_string(),
+                p.result.wcet_cycles.to_string(),
+                format!("{:.3}", p.result.ratio()),
+            ]
+        })
+        .collect();
+    format!("{title}\n{}", render_table(&["bytes", "sim cycles", "wcet cycles", "ratio"], &body))
+}
+
+/// Renders a Figure 3/6-style two-panel result.
+pub fn render_figure3(fig: &Figure3, figure_name: &str) -> String {
+    format!(
+        "{figure_name} — {} benchmark\n{}\n{}",
+        fig.benchmark,
+        render_sweep("a) using a scratchpad", &fig.spm),
+        render_sweep("b) using a cache", &fig.cache),
+    )
+}
+
+/// Renders a Figure 4/5-style ratio comparison.
+pub fn render_ratios(
+    figure_name: &str,
+    benchmark: &str,
+    spm: &[(u32, f64)],
+    cache: &[(u32, f64)],
+) -> String {
+    let body: Vec<Vec<String>> = spm
+        .iter()
+        .zip(cache)
+        .map(|((size, rs), (_, rc))| {
+            vec![size.to_string(), format!("{rs:.3}"), format!("{rc:.3}")]
+        })
+        .collect();
+    format!(
+        "{figure_name} — {benchmark}: WCET / simulated cycles (sim ≡ 1)\n{}",
+        render_table(&["bytes", "scratchpad", "cache"], &body)
+    )
+}
+
+/// Renders the tightness experiment.
+pub fn render_tightness(t: &Tightness) -> String {
+    format!(
+        "Tightness ({}, worst-case input): sim {} cycles, wcet {} cycles, overestimate {:.2}%\n",
+        t.benchmark,
+        t.sim_cycles,
+        t.wcet_cycles,
+        t.overestimate_pct()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let s = render_table(
+            &["a", "bbb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains('a') && lines[0].contains("bbb"));
+        assert!(lines[1].starts_with('-'));
+    }
+
+    #[test]
+    fn table1_render_contains_paper_values() {
+        let s = render_table1(&crate::figures::table1());
+        assert!(s.contains("4"), "word access = 4 cycles");
+        assert!(s.contains("scratchpad"));
+    }
+}

@@ -1,0 +1,83 @@
+//! Capacity sweeps over scratchpad and cache sizes.
+
+use crate::pipeline::{ConfigResult, Pipeline};
+use crate::CoreError;
+use spmlab_isa::cachecfg::CacheConfig;
+
+/// One capacity point of a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Capacity in bytes.
+    pub size: u32,
+    /// The measurement at this capacity.
+    pub result: ConfigResult,
+}
+
+/// Runs the scratchpad branch over `sizes` (the paper's Figure 3a series).
+///
+/// # Errors
+///
+/// Propagates the first pipeline failure.
+pub fn spm_sweep(pipeline: &Pipeline, sizes: &[u32]) -> Result<Vec<SweepPoint>, CoreError> {
+    sizes
+        .iter()
+        .map(|&size| Ok(SweepPoint { size, result: pipeline.run_spm(size)? }))
+        .collect()
+}
+
+/// Runs the cache branch over `sizes` (the paper's Figure 3b series).
+///
+/// # Errors
+///
+/// Propagates the first pipeline failure.
+pub fn cache_sweep(pipeline: &Pipeline, sizes: &[u32]) -> Result<Vec<SweepPoint>, CoreError> {
+    sizes
+        .iter()
+        .map(|&size| Ok(SweepPoint { size, result: pipeline.run_cache_default(size)? }))
+        .collect()
+}
+
+/// Cache sweep with an arbitrary geometry builder (ablations: I-cache,
+/// associativity, replacement) and optional persistence analysis.
+///
+/// # Errors
+///
+/// Propagates the first pipeline failure.
+pub fn cache_sweep_with(
+    pipeline: &Pipeline,
+    sizes: &[u32],
+    persistence: bool,
+    mut geometry: impl FnMut(u32) -> CacheConfig,
+) -> Result<Vec<SweepPoint>, CoreError> {
+    sizes
+        .iter()
+        .map(|&size| {
+            Ok(SweepPoint { size, result: pipeline.run_cache(geometry(size), persistence)? })
+        })
+        .collect()
+}
+
+/// WCET/simulation ratios of a sweep, normalised the way Figure 4 plots
+/// them (simulated cycles ≡ 1).
+pub fn ratios(points: &[SweepPoint]) -> Vec<(u32, f64)> {
+    points.iter().map(|p| (p.size, p.result.ratio())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmlab_workloads::INSERTSORT;
+
+    #[test]
+    fn sweeps_cover_requested_sizes() {
+        let p = Pipeline::new(&INSERTSORT).unwrap();
+        let sizes = [64, 256];
+        let spm = spm_sweep(&p, &sizes).unwrap();
+        assert_eq!(spm.len(), 2);
+        assert_eq!(spm[0].size, 64);
+        let cache = cache_sweep(&p, &sizes).unwrap();
+        assert_eq!(cache.len(), 2);
+        let r = ratios(&spm);
+        assert!(r.iter().all(|(_, x)| *x >= 1.0));
+    }
+}

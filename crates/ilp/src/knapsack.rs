@@ -1,0 +1,166 @@
+//! Exact 0/1 knapsack by dynamic programming.
+//!
+//! The paper's scratchpad allocation is a 0/1 knapsack: each memory object
+//! has a size (weight) and an energy benefit (value); the scratchpad
+//! capacity is the budget. The instances are tiny (tens of objects, a few
+//! KiB of capacity), so an `O(n·C)` DP is exact and instant. The ILP path
+//! ([`crate::branch`]) solves the same formulation; tests assert the two
+//! agree, standing in for the paper's CPLEX.
+
+/// One knapsack item.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Item {
+    /// Weight in capacity units (bytes, for scratchpad allocation).
+    pub weight: u32,
+    /// Value (energy benefit); must be non-negative.
+    pub value: f64,
+}
+
+/// Result of a knapsack solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Selection {
+    /// Indices of chosen items, ascending.
+    pub chosen: Vec<usize>,
+    /// Total value of the chosen items.
+    pub total_value: f64,
+    /// Total weight of the chosen items.
+    pub total_weight: u32,
+}
+
+/// Solves the 0/1 knapsack exactly.
+///
+/// Items with `weight == 0` and positive value are always taken. Items with
+/// negative value are never taken (callers filter them; we clamp to 0 gain).
+///
+/// ```
+/// use spmlab_ilp::knapsack::{solve, Item};
+///
+/// let items = [
+///     Item { weight: 3, value: 4.0 },
+///     Item { weight: 4, value: 5.0 },
+///     Item { weight: 5, value: 6.0 },
+/// ];
+/// let sel = solve(&items, 7);
+/// assert_eq!(sel.chosen, vec![0, 1]);
+/// assert_eq!(sel.total_value, 9.0);
+/// ```
+pub fn solve(items: &[Item], capacity: u32) -> Selection {
+    let cap = capacity as usize;
+    let n = items.len();
+    // dp[c] = best value with capacity c over items processed so far.
+    let mut dp = vec![0.0f64; cap + 1];
+    // take[i][c] = item i taken in the optimum for capacity c at stage i.
+    let mut take = vec![vec![false; cap + 1]; n];
+
+    for (i, item) in items.iter().enumerate() {
+        if item.value <= 0.0 {
+            continue;
+        }
+        let w = item.weight as usize;
+        if w > cap {
+            continue;
+        }
+        // Descending order keeps this 0/1 (each item used at most once).
+        for c in (w..=cap).rev() {
+            let with = dp[c - w] + item.value;
+            if with > dp[c] + 1e-12 {
+                dp[c] = with;
+                take[i][c] = true;
+            }
+        }
+    }
+
+    // Backtrack.
+    let mut chosen = Vec::new();
+    let mut c = cap;
+    for i in (0..n).rev() {
+        if *take.get(i).and_then(|row| row.get(c)).unwrap_or(&false) {
+            chosen.push(i);
+            c -= items[i].weight as usize;
+        }
+    }
+    chosen.reverse();
+    let total_value = chosen.iter().map(|&i| items[i].value).sum();
+    let total_weight = chosen.iter().map(|&i| items[i].weight).sum();
+    Selection { chosen, total_value, total_weight }
+}
+
+/// Builds the equivalent ILP model (used by tests to cross-check the DP
+/// against the branch & bound solver, mirroring the paper's CPLEX usage).
+pub fn as_ilp(items: &[Item], capacity: u32) -> crate::model::Model {
+    use crate::model::{Model, Sense, VarKind};
+    let mut m = Model::new(Sense::Maximize);
+    let vars: Vec<_> = items
+        .iter()
+        .enumerate()
+        .map(|(i, _)| m.add_var(format!("obj{i}"), VarKind::Integer, Some(1.0)))
+        .collect();
+    let weight_terms: Vec<_> =
+        vars.iter().zip(items).map(|(v, it)| (*v, it.weight as f64)).collect();
+    m.add_le(&weight_terms, capacity as f64);
+    let value_terms: Vec<_> = vars.iter().zip(items).map(|(v, it)| (*v, it.value)).collect();
+    m.set_objective(&value_terms);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_zero_capacity() {
+        assert_eq!(solve(&[], 10).chosen, Vec::<usize>::new());
+        let items = [Item { weight: 1, value: 1.0 }];
+        assert_eq!(solve(&items, 0).chosen, Vec::<usize>::new());
+    }
+
+    #[test]
+    fn takes_everything_when_it_fits() {
+        let items = [Item { weight: 2, value: 1.0 }, Item { weight: 3, value: 2.0 }];
+        let sel = solve(&items, 10);
+        assert_eq!(sel.chosen, vec![0, 1]);
+        assert_eq!(sel.total_weight, 5);
+    }
+
+    #[test]
+    fn classic_instance() {
+        let items = [
+            Item { weight: 12, value: 4.0 },
+            Item { weight: 2, value: 2.0 },
+            Item { weight: 1, value: 2.0 },
+            Item { weight: 1, value: 1.0 },
+            Item { weight: 4, value: 10.0 },
+        ];
+        let sel = solve(&items, 15);
+        // Known optimum: items 1,2,3,4 → value 15, weight 8.
+        assert_eq!(sel.chosen, vec![1, 2, 3, 4]);
+        assert!((sel.total_value - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn worthless_items_skipped() {
+        let items = [Item { weight: 1, value: 0.0 }, Item { weight: 1, value: 5.0 }];
+        let sel = solve(&items, 1);
+        assert_eq!(sel.chosen, vec![1]);
+    }
+
+    #[test]
+    fn matches_ilp_on_small_instances() {
+        let items = [
+            Item { weight: 3, value: 4.0 },
+            Item { weight: 4, value: 5.0 },
+            Item { weight: 5, value: 6.0 },
+            Item { weight: 2, value: 3.0 },
+        ];
+        for cap in 0..=14 {
+            let dp = solve(&items, cap);
+            let ilp = crate::branch::solve(&as_ilp(&items, cap)).unwrap();
+            assert!(
+                (dp.total_value - ilp.objective).abs() < 1e-6,
+                "capacity {cap}: dp {} vs ilp {}",
+                dp.total_value,
+                ilp.objective
+            );
+        }
+    }
+}

@@ -1,0 +1,364 @@
+//! Dense two-phase primal simplex.
+//!
+//! Sized for this workspace's problems (IPET systems with a few hundred
+//! variables, knapsacks with a few dozen): a dense tableau with Dantzig
+//! pricing, switching permanently to Bland's rule after a fixed number of
+//! iterations to guarantee termination on degenerate problems.
+
+use crate::model::{Constraint, Model, Op, Sense, Solution};
+use crate::{IlpError, EPS};
+
+/// Solves the LP relaxation of `model` (integrality ignored), with
+/// `extra` appended as additional constraints (used by branch & bound for
+/// branching bounds).
+pub fn solve_relaxation(model: &Model, extra: &[Constraint]) -> Result<Solution, IlpError> {
+    let n = model.num_vars();
+
+    // Collect rows: model constraints, upper bounds, extra constraints.
+    let mut rows: Vec<(Vec<f64>, Op, f64)> = Vec::new();
+    for c in model.constraints.iter().chain(extra.iter()) {
+        let mut coeffs = vec![0.0; n];
+        for &(i, v) in &c.terms {
+            if i >= n {
+                return Err(IlpError::BadVariable(i));
+            }
+            coeffs[i] += v;
+        }
+        rows.push((coeffs, c.op, c.rhs));
+    }
+    for (i, def) in model.vars.iter().enumerate() {
+        if let Some(ub) = def.upper {
+            let mut coeffs = vec![0.0; n];
+            coeffs[i] = 1.0;
+            rows.push((coeffs, Op::Le, ub));
+        }
+    }
+
+    // Normalise to rhs >= 0.
+    for (coeffs, op, rhs) in &mut rows {
+        if *rhs < 0.0 {
+            for c in coeffs.iter_mut() {
+                *c = -*c;
+            }
+            *rhs = -*rhs;
+            *op = match *op {
+                Op::Le => Op::Ge,
+                Op::Ge => Op::Le,
+                Op::Eq => Op::Eq,
+            };
+        }
+    }
+
+    let m = rows.len();
+    // Column layout: structural | slacks/surpluses | artificials | rhs.
+    let n_slack = rows.iter().filter(|(_, op, _)| !matches!(op, Op::Eq)).count();
+    let n_art = rows.iter().filter(|(_, op, _)| !matches!(op, Op::Le)).count();
+    let ncols = n + n_slack + n_art;
+
+    let mut t = vec![vec![0.0f64; ncols + 1]; m];
+    let mut basis = vec![0usize; m];
+    let mut is_artificial = vec![false; ncols];
+    {
+        let mut slack_at = n;
+        let mut art_at = n + n_slack;
+        for (r, (coeffs, op, rhs)) in rows.iter().enumerate() {
+            t[r][..n].copy_from_slice(coeffs);
+            t[r][ncols] = *rhs;
+            match op {
+                Op::Le => {
+                    t[r][slack_at] = 1.0;
+                    basis[r] = slack_at;
+                    slack_at += 1;
+                }
+                Op::Ge => {
+                    t[r][slack_at] = -1.0;
+                    slack_at += 1;
+                    t[r][art_at] = 1.0;
+                    is_artificial[art_at] = true;
+                    basis[r] = art_at;
+                    art_at += 1;
+                }
+                Op::Eq => {
+                    t[r][art_at] = 1.0;
+                    is_artificial[art_at] = true;
+                    basis[r] = art_at;
+                    art_at += 1;
+                }
+            }
+        }
+    }
+
+    let iter_limit = 20_000 + 200 * (m + n);
+
+    // Phase 1: minimise the sum of artificials.
+    if n_art > 0 {
+        let mut obj = vec![0.0f64; ncols + 1];
+        for (j, flag) in is_artificial.iter().enumerate() {
+            if *flag {
+                obj[j] = 1.0;
+            }
+        }
+        // Zero out reduced costs of basic artificials.
+        for r in 0..m {
+            if is_artificial[basis[r]] {
+                for j in 0..=ncols {
+                    obj[j] -= t[r][j];
+                }
+            }
+        }
+        run_pivots(&mut t, &mut obj, &mut basis, None, iter_limit)?;
+        // Phase-1 objective value = -obj[ncols].
+        if -obj[ncols] > 1e-6 {
+            return Err(IlpError::Infeasible);
+        }
+        // Drive remaining basic artificials out of the basis.
+        for r in 0..m {
+            if is_artificial[basis[r]] {
+                let pivot_col = (0..n + n_slack).find(|&j| t[r][j].abs() > EPS);
+                if let Some(j) = pivot_col {
+                    pivot(&mut t, &mut obj, &mut basis, r, j);
+                }
+                // Otherwise the row is redundant; the artificial stays basic
+                // at value zero and is barred from re-entering below.
+            }
+        }
+    }
+
+    // Phase 2: optimise the real objective, never pricing artificials in.
+    let mut obj = vec![0.0f64; ncols + 1];
+    let flip = match model.sense {
+        Sense::Maximize => -1.0,
+        Sense::Minimize => 1.0,
+    };
+    for j in 0..n {
+        obj[j] = flip * model.objective[j];
+    }
+    for r in 0..m {
+        let b = basis[r];
+        let cb = obj[b];
+        if cb != 0.0 {
+            for j in 0..=ncols {
+                obj[j] -= cb * t[r][j];
+            }
+        }
+    }
+    run_pivots(&mut t, &mut obj, &mut basis, Some(&is_artificial), iter_limit)?;
+
+    // Extract the solution.
+    let mut values = vec![0.0f64; n];
+    for r in 0..m {
+        if basis[r] < n {
+            values[basis[r]] = t[r][ncols];
+        }
+    }
+    let objective: f64 =
+        values.iter().zip(model.objective.iter()).map(|(x, c)| x * c).sum();
+    Ok(Solution { values, objective })
+}
+
+/// Solves the LP (relaxation) of `model` directly.
+pub fn solve_lp(model: &Model) -> Result<Solution, IlpError> {
+    solve_relaxation(model, &[])
+}
+
+fn run_pivots(
+    t: &mut [Vec<f64>],
+    obj: &mut [f64],
+    basis: &mut [usize],
+    banned: Option<&[bool]>,
+    iter_limit: usize,
+) -> Result<(), IlpError> {
+    let m = t.len();
+    if m == 0 {
+        return Ok(());
+    }
+    let ncols = t[0].len() - 1;
+    let bland_after = iter_limit / 2;
+    for iter in 0..iter_limit {
+        let bland = iter >= bland_after;
+        // Entering column: negative reduced cost.
+        let mut enter: Option<usize> = None;
+        let mut best = -EPS;
+        for j in 0..ncols {
+            if banned.is_some_and(|b| b[j]) {
+                continue;
+            }
+            if obj[j] < -EPS {
+                if bland {
+                    enter = Some(j);
+                    break;
+                }
+                if obj[j] < best {
+                    best = obj[j];
+                    enter = Some(j);
+                }
+            }
+        }
+        let Some(j) = enter else { return Ok(()) };
+        // Ratio test.
+        let mut leave: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for r in 0..m {
+            if t[r][j] > EPS {
+                let ratio = t[r][ncols] / t[r][j];
+                let better = ratio < best_ratio - EPS
+                    || (ratio < best_ratio + EPS
+                        && leave.is_some_and(|l| basis[r] < basis[l]));
+                if leave.is_none() || better {
+                    best_ratio = ratio;
+                    leave = Some(r);
+                }
+            }
+        }
+        let Some(r) = leave else { return Err(IlpError::Unbounded) };
+        pivot(t, obj, basis, r, j);
+    }
+    Err(IlpError::IterationLimit)
+}
+
+fn pivot(t: &mut [Vec<f64>], obj: &mut [f64], basis: &mut [usize], r: usize, j: usize) {
+    let m = t.len();
+    let ncols = t[0].len() - 1;
+    let p = t[r][j];
+    for v in t[r].iter_mut() {
+        *v /= p;
+    }
+    for i in 0..m {
+        if i != r && t[i][j].abs() > 0.0 {
+            let f = t[i][j];
+            for k in 0..=ncols {
+                t[i][k] -= f * t[r][k];
+            }
+            t[i][j] = 0.0;
+        }
+    }
+    if obj[j].abs() > 0.0 {
+        let f = obj[j];
+        for k in 0..=ncols {
+            obj[k] -= f * t[r][k];
+        }
+        obj[j] = 0.0;
+    }
+    basis[r] = j;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, Sense, VarKind};
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-6
+    }
+
+    #[test]
+    fn textbook_maximization() {
+        // max 3x + 5y st x <= 4, 2y <= 12, 3x + 2y <= 18 → (2, 6), obj 36.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarKind::Continuous, None);
+        let y = m.add_var("y", VarKind::Continuous, None);
+        m.add_le(&[(x, 1.0)], 4.0);
+        m.add_le(&[(y, 2.0)], 12.0);
+        m.add_le(&[(x, 3.0), (y, 2.0)], 18.0);
+        m.set_objective(&[(x, 3.0), (y, 5.0)]);
+        let s = solve_lp(&m).unwrap();
+        assert!(close(s.objective, 36.0), "objective {}", s.objective);
+        assert!(close(s.value(x), 2.0));
+        assert!(close(s.value(y), 6.0));
+    }
+
+    #[test]
+    fn minimization_with_ge() {
+        // min 2x + 3y st x + y >= 4, x >= 1 → (4, 0)? obj candidates:
+        // x=4,y=0 → 8; y cheaper per unit? 2 < 3, so all x: obj 8.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", VarKind::Continuous, None);
+        let y = m.add_var("y", VarKind::Continuous, None);
+        m.add_ge(&[(x, 1.0), (y, 1.0)], 4.0);
+        m.add_ge(&[(x, 1.0)], 1.0);
+        m.set_objective(&[(x, 2.0), (y, 3.0)]);
+        let s = solve_lp(&m).unwrap();
+        assert!(close(s.objective, 8.0), "objective {}", s.objective);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // max x + y st x + 2y == 6, x <= 2 → x=2, y=2, obj 4.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarKind::Continuous, Some(2.0));
+        let y = m.add_var("y", VarKind::Continuous, None);
+        m.add_eq(&[(x, 1.0), (y, 2.0)], 6.0);
+        m.set_objective(&[(x, 1.0), (y, 1.0)]);
+        let s = solve_lp(&m).unwrap();
+        assert!(close(s.objective, 4.0), "objective {}", s.objective);
+        assert!(close(s.value(x), 2.0));
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarKind::Continuous, None);
+        m.add_le(&[(x, 1.0)], 1.0);
+        m.add_ge(&[(x, 1.0)], 2.0);
+        m.set_objective(&[(x, 1.0)]);
+        assert_eq!(solve_lp(&m), Err(IlpError::Infeasible));
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarKind::Continuous, None);
+        m.add_ge(&[(x, 1.0)], 1.0);
+        m.set_objective(&[(x, 1.0)]);
+        assert_eq!(solve_lp(&m), Err(IlpError::Unbounded));
+    }
+
+    #[test]
+    fn negative_rhs_normalised() {
+        // x - y <= -2  ≡  y - x >= 2; max x st also y <= 5 → x = 3.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarKind::Continuous, None);
+        let y = m.add_var("y", VarKind::Continuous, Some(5.0));
+        m.add_le(&[(x, 1.0), (y, -1.0)], -2.0);
+        m.set_objective(&[(x, 1.0)]);
+        let s = solve_lp(&m).unwrap();
+        assert!(close(s.objective, 3.0), "objective {}", s.objective);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Multiple redundant constraints through the optimum.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarKind::Continuous, None);
+        let y = m.add_var("y", VarKind::Continuous, None);
+        m.add_le(&[(x, 1.0), (y, 1.0)], 4.0);
+        m.add_le(&[(x, 2.0), (y, 2.0)], 8.0);
+        m.add_le(&[(x, 1.0)], 4.0);
+        m.add_le(&[(x, 3.0), (y, 3.0)], 12.0);
+        m.set_objective(&[(x, 1.0), (y, 1.0)]);
+        let s = solve_lp(&m).unwrap();
+        assert!(close(s.objective, 4.0));
+    }
+
+    #[test]
+    fn zero_objective_is_fine() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarKind::Continuous, Some(1.0));
+        m.add_le(&[(x, 1.0)], 1.0);
+        let s = solve_lp(&m).unwrap();
+        assert!(close(s.objective, 0.0));
+    }
+
+    #[test]
+    fn redundant_equalities() {
+        // Same equality twice leaves a basic artificial in a redundant row.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarKind::Continuous, None);
+        let y = m.add_var("y", VarKind::Continuous, None);
+        m.add_eq(&[(x, 1.0), (y, 1.0)], 3.0);
+        m.add_eq(&[(x, 2.0), (y, 2.0)], 6.0);
+        m.set_objective(&[(x, 1.0)]);
+        let s = solve_lp(&m).unwrap();
+        assert!(close(s.objective, 3.0), "objective {}", s.objective);
+    }
+}

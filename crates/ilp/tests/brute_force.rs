@@ -1,0 +1,119 @@
+//! Property tests: branch & bound agrees with exhaustive enumeration on
+//! random small integer programs, and the knapsack DP agrees with the ILP
+//! formulation (the paper's CPLEX cross-check).
+
+use proptest::prelude::*;
+use spmlab_ilp::knapsack::{as_ilp, solve as knapsack_solve, Item};
+use spmlab_ilp::model::{Model, Sense, VarKind};
+use spmlab_ilp::IlpError;
+
+/// Enumerates all integer points in [0, ub]^n and returns the best feasible
+/// objective, if any.
+fn brute_force(
+    objective: &[i32],
+    constraints: &[(Vec<i32>, i32)], // Σ a_i x_i <= b
+    ub: i32,
+) -> Option<i64> {
+    let n = objective.len();
+    let mut best: Option<i64> = None;
+    let mut x = vec![0i32; n];
+    loop {
+        let feasible = constraints.iter().all(|(coeffs, b)| {
+            coeffs.iter().zip(&x).map(|(a, v)| (*a as i64) * (*v as i64)).sum::<i64>()
+                <= *b as i64
+        });
+        if feasible {
+            let obj: i64 =
+                objective.iter().zip(&x).map(|(c, v)| (*c as i64) * (*v as i64)).sum();
+            best = Some(best.map_or(obj, |b: i64| b.max(obj)));
+        }
+        // Odometer increment.
+        let mut i = 0;
+        loop {
+            if i == n {
+                return best;
+            }
+            x[i] += 1;
+            if x[i] > ub {
+                x[i] = 0;
+                i += 1;
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn bnb_matches_brute_force(
+        n in 1usize..4,
+        ncons in 1usize..4,
+        seed_obj in prop::collection::vec(0i32..8, 3),
+        seed_cons in prop::collection::vec((prop::collection::vec(-2i32..5, 3), 0i32..20), 3),
+    ) {
+        let ub = 4;
+        let objective: Vec<i32> = seed_obj.iter().take(n).copied().collect();
+        let constraints: Vec<(Vec<i32>, i32)> = seed_cons
+            .iter()
+            .take(ncons)
+            .map(|(c, b)| (c.iter().take(n).copied().collect(), *b))
+            .collect();
+
+        let mut m = Model::new(Sense::Maximize);
+        let vars: Vec<_> = (0..n)
+            .map(|i| m.add_var(format!("x{i}"), VarKind::Integer, Some(ub as f64)))
+            .collect();
+        for (coeffs, b) in &constraints {
+            let terms: Vec<_> = vars.iter().zip(coeffs).map(|(v, c)| (*v, *c as f64)).collect();
+            m.add_le(&terms, *b as f64);
+        }
+        let terms: Vec<_> = vars.iter().zip(&objective).map(|(v, c)| (*v, *c as f64)).collect();
+        m.set_objective(&terms);
+
+        let expect = brute_force(&objective, &constraints, ub);
+        match spmlab_ilp::branch::solve(&m) {
+            Ok(sol) => {
+                let bf = expect.expect("solver found a point, brute force must too");
+                prop_assert!((sol.objective - bf as f64).abs() < 1e-6,
+                    "bnb {} vs brute force {}", sol.objective, bf);
+                // The returned point itself must be feasible and integral.
+                for (coeffs, b) in &constraints {
+                    let lhs: f64 = vars.iter().zip(coeffs)
+                        .map(|(v, c)| sol.value(*v) * *c as f64).sum();
+                    prop_assert!(lhs <= *b as f64 + 1e-6);
+                }
+                for v in &vars {
+                    let x = sol.value(*v);
+                    prop_assert!((x - x.round()).abs() < 1e-6);
+                    prop_assert!(x >= -1e-9 && x <= ub as f64 + 1e-9);
+                }
+            }
+            Err(IlpError::Infeasible) => prop_assert!(expect.is_none()),
+            Err(e) => return Err(TestCaseError::fail(format!("solver error: {e}"))),
+        }
+    }
+
+    #[test]
+    fn knapsack_dp_matches_ilp(
+        weights in prop::collection::vec(1u32..12, 1..7),
+        values in prop::collection::vec(0u32..30, 7),
+        capacity in 0u32..40,
+    ) {
+        let items: Vec<Item> = weights
+            .iter()
+            .zip(&values)
+            .map(|(w, v)| Item { weight: *w, value: *v as f64 })
+            .collect();
+        let dp = knapsack_solve(&items, capacity);
+        let ilp = spmlab_ilp::branch::solve(&as_ilp(&items, capacity)).unwrap();
+        prop_assert!((dp.total_value - ilp.objective).abs() < 1e-6,
+            "dp {} vs ilp {}", dp.total_value, ilp.objective);
+        prop_assert!(dp.total_weight <= capacity);
+        // Chosen indices are strictly ascending and within range.
+        prop_assert!(dp.chosen.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(dp.chosen.iter().all(|&i| i < items.len()));
+    }
+}

@@ -1,0 +1,740 @@
+//! Label-based assembler producing relocatable object functions.
+//!
+//! The MiniC code generator emits symbolic instructions (branches to labels,
+//! calls to symbols, loads of literal-pool values). The assembler performs:
+//!
+//! * **branch relaxation** — out-of-range conditional branches become an
+//!   inverted-condition skip plus a long `B`, iterated to a fixed point;
+//! * **literal pool layout** — unique pool values are placed word-aligned
+//!   after the function body (THUMB style), with range checking;
+//! * **relocation recording** — `BL` targets and pool entries naming global
+//!   symbols are fixed up later by the linker.
+//!
+//! The result, [`ObjFunc`], also carries the metadata the WCET tooling
+//! needs: loop-bound hints (from `__loopbound` markers) and data-access
+//! hints, both keyed by final code offsets.
+
+use crate::cond::Cond;
+use crate::encode::encode;
+use crate::insn::Insn;
+use crate::reg::Reg;
+use crate::IsaError;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A value destined for the function's literal pool.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LitValue {
+    /// A 32-bit constant.
+    Const(u32),
+    /// The absolute address of a symbol, known only at link time.
+    SymbolAddr(String),
+}
+
+/// Compiler knowledge about the data access performed by an instruction,
+/// used to auto-generate the paper's address annotations.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AccessHint {
+    /// Access to a global object. With `exact_offset`, the precise element
+    /// is known; otherwise any address within the object may be touched
+    /// (array indexing).
+    Global {
+        /// Name of the accessed object.
+        symbol: String,
+        /// Byte offset within the object for scalar/constant-index accesses.
+        exact_offset: Option<u32>,
+    },
+    /// Access to the current function's stack frame.
+    StackLocal,
+}
+
+/// One symbolic instruction.
+#[derive(Debug, Clone, PartialEq)]
+enum AsmInsnKind {
+    Plain(Insn),
+    BTo(String),
+    BCondTo(Cond, String),
+    BlTo(String),
+    LdrLitTo(Reg, LitValue),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Item {
+    Label(String),
+    Insn { kind: AsmInsnKind, access: Option<AccessHint> },
+}
+
+/// A `BL` call site needing link-time resolution.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CallReloc {
+    /// Byte offset of the `BL` instruction within the function's code.
+    pub offset: u32,
+    /// Callee symbol name.
+    pub target: String,
+}
+
+/// A literal-pool slot holding a symbol address, patched at link time.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LitReloc {
+    /// Byte offset of the pool slot within the function.
+    pub offset: u32,
+    /// Symbol whose absolute address belongs in the slot.
+    pub symbol: String,
+}
+
+/// An assembled, relocatable function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObjFunc {
+    /// Function name.
+    pub name: String,
+    /// Code followed by the word-aligned literal pool, as halfwords.
+    pub halfwords: Vec<u16>,
+    /// Bytes of executable instructions (the pool starts at the next
+    /// word-aligned offset).
+    pub code_size: u32,
+    /// Call sites to fix up.
+    pub call_relocs: Vec<CallReloc>,
+    /// Pool slots holding symbol addresses.
+    pub lit_relocs: Vec<LitReloc>,
+    /// `(code offset of loop header, max back-edge executions)` pairs.
+    pub loop_hints: Vec<(u32, u32)>,
+    /// `(code offset of loop header, absolute back-edge total)` pairs
+    /// (flow facts).
+    pub total_hints: Vec<(u32, u32)>,
+    /// `(code offset of memory instruction, hint)` pairs.
+    pub access_hints: Vec<(u32, AccessHint)>,
+    /// Resolved label offsets (diagnostics and tests).
+    pub labels: BTreeMap<String, u32>,
+}
+
+impl ObjFunc {
+    /// Total size in bytes (code + padding + literal pool).
+    pub fn total_size(&self) -> u32 {
+        (self.halfwords.len() * 2) as u32
+    }
+}
+
+/// Incrementally builds one function and assembles it.
+///
+/// ```
+/// use spmlab_isa::asm::FuncBuilder;
+/// use spmlab_isa::insn::Insn;
+/// use spmlab_isa::reg::R0;
+///
+/// let mut f = FuncBuilder::new("answer");
+/// f.push(Insn::MovImm { rd: R0, imm: 42 });
+/// f.push(Insn::Ret);
+/// let obj = f.assemble()?;
+/// assert_eq!(obj.code_size, 4);
+/// # Ok::<(), spmlab_isa::IsaError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FuncBuilder {
+    name: String,
+    items: Vec<Item>,
+    loop_hints: Vec<(String, u32)>,
+    total_hints: Vec<(String, u32)>,
+}
+
+impl FuncBuilder {
+    /// Starts a new function.
+    pub fn new(name: impl Into<String>) -> FuncBuilder {
+        FuncBuilder {
+            name: name.into(),
+            items: Vec::new(),
+            loop_hints: Vec::new(),
+            total_hints: Vec::new(),
+        }
+    }
+
+    /// Defines a label at the current position.
+    pub fn label(&mut self, name: impl Into<String>) {
+        self.items.push(Item::Label(name.into()));
+    }
+
+    /// Appends a fully-resolved instruction.
+    pub fn push(&mut self, insn: Insn) {
+        self.items.push(Item::Insn { kind: AsmInsnKind::Plain(insn), access: None });
+    }
+
+    /// Appends a memory instruction together with its access hint.
+    pub fn push_access(&mut self, insn: Insn, hint: AccessHint) {
+        self.items.push(Item::Insn { kind: AsmInsnKind::Plain(insn), access: Some(hint) });
+    }
+
+    /// Appends an unconditional branch to `label`.
+    pub fn b(&mut self, label: impl Into<String>) {
+        self.items.push(Item::Insn { kind: AsmInsnKind::BTo(label.into()), access: None });
+    }
+
+    /// Appends a conditional branch to `label`.
+    pub fn bcond(&mut self, cond: Cond, label: impl Into<String>) {
+        self.items.push(Item::Insn { kind: AsmInsnKind::BCondTo(cond, label.into()), access: None });
+    }
+
+    /// Appends a call to the (possibly external) function `symbol`.
+    pub fn bl(&mut self, symbol: impl Into<String>) {
+        self.items.push(Item::Insn { kind: AsmInsnKind::BlTo(symbol.into()), access: None });
+    }
+
+    /// Appends a literal-pool load into `rd`.
+    pub fn ldr_lit(&mut self, rd: Reg, value: LitValue) {
+        self.items.push(Item::Insn { kind: AsmInsnKind::LdrLitTo(rd, value), access: None });
+    }
+
+    /// Declares that the loop whose header is at `label` executes its back
+    /// edges at most `bound` times per entry.
+    pub fn loop_hint(&mut self, label: impl Into<String>, bound: u32) {
+        self.loop_hints.push((label.into(), bound));
+    }
+
+    /// Declares a flow fact: the loop at `label` executes its back edges at
+    /// most `total` times per invocation of this function.
+    pub fn loop_total_hint(&mut self, label: impl Into<String>, total: u32) {
+        self.total_hints.push((label.into(), total));
+    }
+
+    /// Number of items queued so far (labels + instructions).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether nothing has been queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Assembles the function.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`IsaError`] for undefined/duplicate labels, branches that
+    /// cannot be relaxed into range, or literal loads whose pool slot is out
+    /// of reach.
+    pub fn assemble(self) -> Result<ObjFunc, IsaError> {
+        // ------------------------------------------------------------------
+        // Phase 1: partition into segments with literal-pool islands.
+        //
+        // A PC-relative literal load only reaches ~1 KiB forward, so large
+        // functions get mid-function pool islands (jumped over by a `B`),
+        // exactly like real THUMB assemblers emit them. Each island holds
+        // the literals referenced since the previous flush point.
+        // ------------------------------------------------------------------
+        enum WItem {
+            Label(String),
+            Insn { kind: AsmInsnKind, access: Option<AccessHint> },
+            Island { lits: Vec<LitValue>, with_branch: bool },
+        }
+
+        /// Worst-case code bytes per segment; with the island overhead and
+        /// pool size this keeps every literal reference within the 1020-byte
+        /// load range.
+        const FLUSH_BUDGET: u32 = 700;
+
+        let last_is_terminator = self
+            .items
+            .iter()
+            .rev()
+            .find_map(|it| match it {
+                Item::Insn { kind, .. } => Some(match kind {
+                    AsmInsnKind::Plain(i) => i.is_terminator(),
+                    AsmInsnKind::BTo(_) => true,
+                    _ => false,
+                }),
+                Item::Label(_) => None,
+            })
+            .unwrap_or(false);
+
+        let mut witems: Vec<WItem> = Vec::new();
+        let mut pending: Vec<LitValue> = Vec::new();
+        let mut lit_island: Vec<usize> = Vec::new(); // per LdrLitTo occurrence
+        let mut island_count = 0usize;
+        let mut acc = 0u32;
+        for item in self.items {
+            match item {
+                Item::Label(l) => witems.push(WItem::Label(l)),
+                Item::Insn { kind, access } => {
+                    let worst = match &kind {
+                        AsmInsnKind::Plain(i) => i.size(),
+                        AsmInsnKind::BTo(_) => 2,
+                        AsmInsnKind::BCondTo(..) => 4, // assume relaxed
+                        AsmInsnKind::BlTo(_) => 4,
+                        AsmInsnKind::LdrLitTo(..) => 2,
+                    };
+                    if let AsmInsnKind::LdrLitTo(_, v) = &kind {
+                        if !pending.contains(v) {
+                            pending.push(v.clone());
+                            acc += 4;
+                        }
+                        lit_island.push(island_count);
+                    }
+                    witems.push(WItem::Insn { kind, access });
+                    acc += worst;
+                    if acc >= FLUSH_BUDGET && !pending.is_empty() {
+                        witems.push(WItem::Island {
+                            lits: std::mem::take(&mut pending),
+                            with_branch: true,
+                        });
+                        island_count += 1;
+                        acc = 0;
+                    }
+                }
+            }
+        }
+        if !pending.is_empty() {
+            // The final island sits past the last instruction; it only
+            // needs a skip branch when control could fall into it.
+            witems.push(WItem::Island { lits: pending, with_branch: !last_is_terminator });
+        }
+
+        fn island_size(off: u32, n_lits: usize, with_branch: bool) -> u32 {
+            let mut s = if with_branch { 2 } else { 0 };
+            if (off + s) % 4 != 0 {
+                s += 2; // alignment pad before the literal words
+            }
+            s + 4 * n_lits as u32
+        }
+
+        // ------------------------------------------------------------------
+        // Phase 2: layout + branch relaxation to a fixed point. Only BCond
+        // sizes grow (2 → 4), so this terminates.
+        // ------------------------------------------------------------------
+        let mut sizes: BTreeMap<usize, u32> = BTreeMap::new();
+        for (i, it) in witems.iter().enumerate() {
+            if let WItem::Insn { kind, .. } = it {
+                let sz = match kind {
+                    AsmInsnKind::Plain(insn) => insn.size(),
+                    AsmInsnKind::BTo(_) => 2,
+                    AsmInsnKind::BCondTo(..) => 2,
+                    AsmInsnKind::BlTo(_) => 4,
+                    AsmInsnKind::LdrLitTo(..) => 2,
+                };
+                sizes.insert(i, sz);
+            }
+        }
+
+        let mut labels: BTreeMap<String, u32> = BTreeMap::new();
+        let mut lits_start: Vec<u32> = Vec::new(); // per island
+        let mut code_size;
+        loop {
+            labels.clear();
+            lits_start.clear();
+            let mut off = 0u32;
+            code_size = 0;
+            for (i, item) in witems.iter().enumerate() {
+                match item {
+                    WItem::Label(name) => {
+                        if labels.insert(name.clone(), off).is_some() {
+                            return Err(IsaError::DuplicateLabel(name.clone()));
+                        }
+                    }
+                    WItem::Insn { .. } => {
+                        off += sizes[&i];
+                        code_size = off;
+                    }
+                    WItem::Island { lits, with_branch } => {
+                        let sz = island_size(off, lits.len(), *with_branch);
+                        lits_start.push(off + sz - 4 * lits.len() as u32);
+                        off += sz;
+                        // Mid islands count as code extent (their skip
+                        // branch executes); the *final* island does not.
+                        if *with_branch {
+                            code_size = off;
+                        }
+                    }
+                }
+            }
+            // Grow out-of-range conditional branches.
+            let mut grew = false;
+            let mut off = 0u32;
+            for (i, item) in witems.iter().enumerate() {
+                match item {
+                    WItem::Insn { kind, .. } => {
+                        if let AsmInsnKind::BCondTo(_, label) = kind {
+                            let target = *labels
+                                .get(label)
+                                .ok_or_else(|| IsaError::UndefinedLabel(label.clone()))?;
+                            let disp = target as i64 - (off as i64 + 4);
+                            if !(-256..=254).contains(&disp) && sizes[&i] == 2 {
+                                sizes.insert(i, 4);
+                                grew = true;
+                            }
+                        }
+                        off += sizes[&i];
+                    }
+                    WItem::Island { lits, with_branch } => {
+                        off += island_size(off, lits.len(), *with_branch);
+                    }
+                    WItem::Label(_) => {}
+                }
+            }
+            if grew {
+                continue;
+            }
+            // Validate B / relaxed-BCond / literal ranges on the stable
+            // layout.
+            let mut off = 0u32;
+            let mut lit_idx = 0usize;
+            for (i, item) in witems.iter().enumerate() {
+                match item {
+                    WItem::Insn { kind, .. } => {
+                        match kind {
+                            AsmInsnKind::BTo(label) => {
+                                let target = *labels
+                                    .get(label)
+                                    .ok_or_else(|| IsaError::UndefinedLabel(label.clone()))?;
+                                let disp = target as i64 - (off as i64 + 4);
+                                if !(-2048..=2046).contains(&disp) {
+                                    return Err(IsaError::BranchOutOfRange {
+                                        from: off,
+                                        to: target as i64,
+                                        insn: format!("b {label}"),
+                                    });
+                                }
+                            }
+                            AsmInsnKind::BCondTo(_, label) if sizes[&i] == 4 => {
+                                let target = *labels
+                                    .get(label)
+                                    .ok_or_else(|| IsaError::UndefinedLabel(label.clone()))?;
+                                let disp = target as i64 - (off as i64 + 2 + 4);
+                                if !(-2048..=2046).contains(&disp) {
+                                    return Err(IsaError::BranchOutOfRange {
+                                        from: off,
+                                        to: target as i64,
+                                        insn: format!("b{{cond}} {label} (relaxed)"),
+                                    });
+                                }
+                            }
+                            AsmInsnKind::LdrLitTo(_, v) => {
+                                let k = lit_island[lit_idx];
+                                lit_idx += 1;
+                                let slot = island_lits(&witems, k)
+                                    .iter()
+                                    .position(|p| p == v)
+                                    .expect("literal flushed to its island");
+                                let slot_off = lits_start[k] + 4 * slot as u32;
+                                let base = (off + 4) & !3;
+                                let disp = slot_off as i64 - base as i64;
+                                if !(0..=1020).contains(&disp) {
+                                    return Err(IsaError::LiteralOutOfRange { offset: off });
+                                }
+                            }
+                            _ => {}
+                        }
+                        off += sizes[&i];
+                    }
+                    WItem::Island { lits, with_branch } => {
+                        off += island_size(off, lits.len(), *with_branch);
+                    }
+                    WItem::Label(_) => {}
+                }
+            }
+            break;
+        }
+
+        /// Literals of island `k`, in slot order.
+        fn island_lits(witems: &[WItem], k: usize) -> &[LitValue] {
+            let mut seen = 0usize;
+            for it in witems {
+                if let WItem::Island { lits, .. } = it {
+                    if seen == k {
+                        return lits;
+                    }
+                    seen += 1;
+                }
+            }
+            &[]
+        }
+
+        // ------------------------------------------------------------------
+        // Phase 3: emission.
+        // ------------------------------------------------------------------
+        let mut halfwords: Vec<u16> = Vec::new();
+        let mut call_relocs = Vec::new();
+        let mut lit_relocs = Vec::new();
+        let mut access_hints = Vec::new();
+        let mut off = 0u32;
+        let mut lit_idx = 0usize;
+        for (i, item) in witems.iter().enumerate() {
+            match item {
+                WItem::Label(_) => {}
+                WItem::Insn { kind, access } => {
+                    if let Some(hint) = access {
+                        access_hints.push((off, hint.clone()));
+                    }
+                    match kind {
+                        AsmInsnKind::Plain(insn) => halfwords.extend(encode(insn)),
+                        AsmInsnKind::BTo(label) => {
+                            let disp = labels[label.as_str()] as i64 - (off as i64 + 4);
+                            halfwords.extend(encode(&Insn::B { off: disp as i32 }));
+                        }
+                        AsmInsnKind::BCondTo(cond, label) => {
+                            let target = labels[label.as_str()];
+                            if sizes[&i] == 2 {
+                                let disp = target as i64 - (off as i64 + 4);
+                                halfwords
+                                    .extend(encode(&Insn::BCond { cond: *cond, off: disp as i32 }));
+                            } else {
+                                halfwords
+                                    .extend(encode(&Insn::BCond { cond: cond.invert(), off: 0 }));
+                                let disp = target as i64 - (off as i64 + 2 + 4);
+                                halfwords.extend(encode(&Insn::B { off: disp as i32 }));
+                            }
+                        }
+                        AsmInsnKind::BlTo(symbol) => {
+                            call_relocs.push(CallReloc { offset: off, target: symbol.clone() });
+                            halfwords.extend(encode(&Insn::Bl { off: 0 }));
+                        }
+                        AsmInsnKind::LdrLitTo(rd, v) => {
+                            let k = lit_island[lit_idx];
+                            lit_idx += 1;
+                            let slot = island_lits(&witems, k)
+                                .iter()
+                                .position(|p| p == v)
+                                .expect("literal flushed");
+                            let slot_off = lits_start[k] + 4 * slot as u32;
+                            let base = (off + 4) & !3;
+                            let imm = ((slot_off - base) / 4) as u8;
+                            halfwords.extend(encode(&Insn::LdrLit { rd: *rd, imm }));
+                        }
+                    }
+                    off += sizes[&i];
+                }
+                WItem::Island { lits, with_branch } => {
+                    let sz = island_size(off, lits.len(), *with_branch);
+                    if *with_branch {
+                        // Jump over the pool: target = end of island.
+                        let disp = sz as i64 - 4;
+                        halfwords.extend(encode(&Insn::B { off: disp as i32 }));
+                    }
+                    while (halfwords.len() as u32 * 2) < off + sz - 4 * lits.len() as u32 {
+                        halfwords.push(0);
+                    }
+                    for (slot, v) in lits.iter().enumerate() {
+                        let slot_off = off + sz - 4 * lits.len() as u32 + 4 * slot as u32;
+                        let word = match v {
+                            LitValue::Const(c) => *c,
+                            LitValue::SymbolAddr(sym) => {
+                                lit_relocs.push(LitReloc { offset: slot_off, symbol: sym.clone() });
+                                0
+                            }
+                        };
+                        halfwords.push((word & 0xFFFF) as u16);
+                        halfwords.push((word >> 16) as u16);
+                    }
+                    off += sz;
+                }
+            }
+        }
+
+        // Resolve loop hints.
+        let mut loop_hints = Vec::new();
+        for (label, bound) in &self.loop_hints {
+            let target =
+                *labels.get(label).ok_or_else(|| IsaError::UndefinedLabel(label.clone()))?;
+            loop_hints.push((target, *bound));
+        }
+        loop_hints.sort_unstable();
+        let mut total_hints = Vec::new();
+        for (label, total) in &self.total_hints {
+            let target =
+                *labels.get(label).ok_or_else(|| IsaError::UndefinedLabel(label.clone()))?;
+            total_hints.push((target, *total));
+        }
+        total_hints.sort_unstable();
+
+        Ok(ObjFunc {
+            name: self.name,
+            halfwords,
+            code_size,
+            call_relocs,
+            lit_relocs,
+            loop_hints,
+            total_hints,
+            access_hints,
+            labels,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::decode_all;
+    use crate::mem::AccessWidth;
+    use crate::reg::{R0, R1};
+
+    #[test]
+    fn forward_and_backward_branches() {
+        let mut f = FuncBuilder::new("t");
+        f.label("top");
+        f.push(Insn::SubImm { rd: R0, imm: 1 });
+        f.bcond(Cond::Ne, "top");
+        f.b("end");
+        f.push(Insn::Nop);
+        f.label("end");
+        f.push(Insn::Ret);
+        let obj = f.assemble().unwrap();
+        let insns = decode_all(&obj.halfwords[..(obj.code_size / 2) as usize]);
+        // bcond at offset 2 targets 0: disp = 0 - (2+4) = -6.
+        assert_eq!(insns[1].1, Insn::BCond { cond: Cond::Ne, off: -6 });
+        // b at offset 4 targets 8 (skipping the nop): disp = 8 - (4+4) = 0.
+        assert_eq!(insns[2].1, Insn::B { off: 0 });
+    }
+
+    #[test]
+    fn undefined_label_errors() {
+        let mut f = FuncBuilder::new("t");
+        f.b("nowhere");
+        assert!(matches!(f.assemble(), Err(IsaError::UndefinedLabel(_))));
+    }
+
+    #[test]
+    fn duplicate_label_errors() {
+        let mut f = FuncBuilder::new("t");
+        f.label("x");
+        f.push(Insn::Nop);
+        f.label("x");
+        f.push(Insn::Ret);
+        assert!(matches!(f.assemble(), Err(IsaError::DuplicateLabel(_))));
+    }
+
+    #[test]
+    fn literal_pool_dedup_and_alignment() {
+        let mut f = FuncBuilder::new("t");
+        f.ldr_lit(R0, LitValue::Const(0xDEAD_BEEF));
+        f.ldr_lit(R1, LitValue::Const(0xDEAD_BEEF));
+        f.ldr_lit(R1, LitValue::SymbolAddr("table".into()));
+        f.push(Insn::Ret);
+        let obj = f.assemble().unwrap();
+        assert_eq!(obj.code_size, 8);
+        // Pool at offset 8, two slots (constant deduplicated).
+        assert_eq!(obj.total_size(), 8 + 8);
+        assert_eq!(obj.lit_relocs, vec![LitReloc { offset: 12, symbol: "table".into() }]);
+        let lo = obj.halfwords[4] as u32;
+        let hi = obj.halfwords[5] as u32;
+        assert_eq!(lo | (hi << 16), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn pool_padding_when_code_is_not_word_aligned() {
+        let mut f = FuncBuilder::new("t");
+        f.ldr_lit(R0, LitValue::Const(7));
+        f.push(Insn::Nop);
+        f.push(Insn::Ret); // 6 bytes of code → pool at 8 after padding
+        let obj = f.assemble().unwrap();
+        assert_eq!(obj.code_size, 6);
+        assert_eq!(obj.total_size(), 8 + 4);
+    }
+
+    #[test]
+    fn function_not_ending_in_terminator_gets_skip_branch() {
+        // Falling off the end would land in the pool, so the assembler
+        // emits a skip branch that becomes part of the code extent.
+        let mut f = FuncBuilder::new("t");
+        f.ldr_lit(R0, LitValue::Const(7));
+        f.push(Insn::Ret);
+        f.push(Insn::Nop); // not a terminator
+        let obj = f.assemble().unwrap();
+        assert_eq!(obj.code_size, 12, "skip branch + pool counted as extent");
+        assert_eq!(obj.total_size(), 12);
+    }
+
+    #[test]
+    fn large_function_gets_pool_islands() {
+        // > 700 bytes of code with literal references sprinkled through:
+        // the old single-pool layout would fail with LiteralOutOfRange.
+        let mut f = FuncBuilder::new("big");
+        for i in 0..600u32 {
+            if i % 50 == 0 {
+                f.ldr_lit(R0, LitValue::Const(0x1_0000 + i));
+            }
+            f.push(Insn::Nop);
+        }
+        f.push(Insn::Ret);
+        let obj = f.assemble().unwrap();
+        // Islands push extra bytes into the code extent.
+        assert!(obj.code_size > 600 * 2);
+        // Every literal load must be reachable by walking control flow
+        // (islands are skipped via their B).
+        let mut addr = 0u32;
+        let mut loads = 0;
+        while addr < obj.code_size {
+            let hw = obj.halfwords[(addr / 2) as usize];
+            let next = obj.halfwords.get((addr / 2 + 1) as usize).copied();
+            let (insn, size) = crate::decode::decode(hw, next);
+            match insn {
+                Insn::B { off } => {
+                    addr = addr.wrapping_add(4).wrapping_add(off as u32);
+                    continue;
+                }
+                Insn::Ret => break,
+                Insn::LdrLit { .. } => loads += 1,
+                Insn::Undefined { .. } => panic!("walked into a pool at {addr:#x}"),
+                _ => {}
+            }
+            addr += size;
+        }
+        assert_eq!(loads, 12, "all literal loads reachable through the islands");
+    }
+
+    #[test]
+    fn bcond_relaxation_kicks_in() {
+        let mut f = FuncBuilder::new("t");
+        f.bcond(Cond::Eq, "far");
+        for _ in 0..200 {
+            f.push(Insn::Nop);
+        }
+        f.label("far");
+        f.push(Insn::Ret);
+        let obj = f.assemble().unwrap();
+        let insns = decode_all(&obj.halfwords[..(obj.code_size / 2) as usize]);
+        // Relaxed: inverted bne skipping a long b.
+        assert_eq!(insns[0].1, Insn::BCond { cond: Cond::Ne, off: 0 });
+        assert!(matches!(insns[1].1, Insn::B { .. }));
+        // Execution still reaches `far` = 4 + 400 bytes.
+        if let Insn::B { off } = insns[1].1 {
+            assert_eq!(2 + 4 + off, 404);
+        }
+    }
+
+    #[test]
+    fn call_relocs_recorded() {
+        let mut f = FuncBuilder::new("t");
+        f.bl("callee");
+        f.push(Insn::Ret);
+        let obj = f.assemble().unwrap();
+        assert_eq!(obj.call_relocs, vec![CallReloc { offset: 0, target: "callee".into() }]);
+        assert_eq!(obj.code_size, 6);
+    }
+
+    #[test]
+    fn hints_resolved_to_offsets() {
+        let mut f = FuncBuilder::new("t");
+        f.push(Insn::MovImm { rd: R0, imm: 0 });
+        f.label("loop");
+        f.push_access(
+            Insn::LdrImm { width: AccessWidth::Word, rd: R1, rn: R0, off: 0 },
+            AccessHint::Global { symbol: "arr".into(), exact_offset: None },
+        );
+        f.bcond(Cond::Ne, "loop");
+        f.push(Insn::Ret);
+        f.loop_hint("loop", 33);
+        let obj = f.assemble().unwrap();
+        assert_eq!(obj.loop_hints, vec![(2, 33)]);
+        assert_eq!(obj.access_hints.len(), 1);
+        assert_eq!(obj.access_hints[0].0, 2);
+    }
+
+    #[test]
+    fn branch_out_of_range_reported() {
+        let mut f = FuncBuilder::new("t");
+        f.b("far");
+        for _ in 0..1200 {
+            f.push(Insn::Nop);
+        }
+        f.label("far");
+        f.push(Insn::Ret);
+        assert!(matches!(f.assemble(), Err(IsaError::BranchOutOfRange { .. })));
+    }
+}

@@ -1,0 +1,131 @@
+//! Cache geometry and timing — shared between the simulator and the WCET
+//! analyzer so both sides of the paper's comparison use the *same* machine
+//! model (any mismatch would invalidate the WCET ≥ simulation invariant).
+
+use serde::{Deserialize, Serialize};
+
+/// Replacement policy for set-associative configurations (irrelevant for
+/// direct-mapped caches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Replacement {
+    /// Least recently used — the policy WCET analysis likes best.
+    Lru,
+    /// Round-robin (FIFO) per set.
+    RoundRobin,
+    /// Pseudo-random (what real ARM7 cores ship); seeded for repeatability.
+    Random {
+        /// Seed for the xorshift generator.
+        seed: u64,
+    },
+}
+
+/// What traffic goes through the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CacheScope {
+    /// Unified instruction + data cache (the paper's configuration).
+    Unified,
+    /// Instructions only; data bypasses to main memory (paper future work).
+    InstrOnly,
+}
+
+/// Cache geometry and behaviour.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total size in bytes (power of two).
+    pub size: u32,
+    /// Line size in bytes (the paper: four 32-bit words = 16 bytes).
+    pub line: u32,
+    /// Associativity (1 = direct-mapped, the paper's configuration).
+    pub assoc: u32,
+    /// Replacement policy.
+    pub replacement: Replacement,
+    /// Unified or instruction-only.
+    pub scope: CacheScope,
+}
+
+impl CacheConfig {
+    /// The paper's cache: unified, direct-mapped, 16-byte lines.
+    pub fn unified(size: u32) -> CacheConfig {
+        CacheConfig {
+            size,
+            line: 16,
+            assoc: 1,
+            replacement: Replacement::Lru,
+            scope: CacheScope::Unified,
+        }
+    }
+
+    /// Instruction-only variant of the same geometry.
+    pub fn instr_only(size: u32) -> CacheConfig {
+        CacheConfig { scope: CacheScope::InstrOnly, ..CacheConfig::unified(size) }
+    }
+
+    /// Set-associative unified cache with a replacement policy.
+    pub fn set_assoc(size: u32, assoc: u32, replacement: Replacement) -> CacheConfig {
+        CacheConfig { assoc, replacement, ..CacheConfig::unified(size) }
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> u32 {
+        (self.size / self.line / self.assoc).max(1)
+    }
+
+    /// The set index of an address.
+    pub fn set_of(&self, addr: u32) -> u32 {
+        (addr / self.line) % self.num_sets()
+    }
+
+    /// The tag of an address.
+    pub fn tag_of(&self, addr: u32) -> u32 {
+        (addr / self.line) / self.num_sets()
+    }
+
+    /// Cycles for a read hit.
+    pub fn hit_cycles(&self) -> u64 {
+        1
+    }
+
+    /// Cycles for a read miss: fill the whole line with 32-bit main-memory
+    /// reads (4 cycles each, per Table 1), plus one cycle to deliver.
+    pub fn miss_cycles(&self) -> u64 {
+        (self.line as u64 / 4) * 4 + 1
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-power-of-two sizes or impossible geometry; these are
+    /// construction-time programming errors.
+    pub fn validate(&self) {
+        assert!(self.size.is_power_of_two(), "cache size must be a power of two");
+        assert!(self.line.is_power_of_two() && self.line >= 4, "line size >= 4, power of two");
+        assert!(self.assoc >= 1 && self.assoc <= self.size / self.line, "bad associativity");
+        assert!((self.size / self.line) % self.assoc == 0, "sets must divide evenly");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry() {
+        let cfg = CacheConfig::unified(8192);
+        assert_eq!(cfg.num_sets(), 512);
+        assert_eq!(cfg.miss_cycles(), 17);
+        assert_eq!(cfg.hit_cycles(), 1);
+        let cfg = CacheConfig::set_assoc(8192, 4, Replacement::Lru);
+        assert_eq!(cfg.num_sets(), 128);
+    }
+
+    #[test]
+    fn set_and_tag() {
+        let cfg = CacheConfig::unified(64); // 4 sets × 16 B
+        assert_eq!(cfg.set_of(0x00), 0);
+        assert_eq!(cfg.set_of(0x10), 1);
+        assert_eq!(cfg.set_of(0x40), 0, "wraps");
+        assert_ne!(cfg.tag_of(0x00), cfg.tag_of(0x40));
+        assert_eq!(cfg.tag_of(0x00), cfg.tag_of(0x04), "same line same tag");
+    }
+}

@@ -1,0 +1,236 @@
+//! Branch condition codes and the NZCV flag word.
+
+use serde::{Deserialize, Serialize};
+
+/// Condition codes for conditional branches, mirroring the ARM set minus
+/// `AL`/`NV` (unconditional branches have their own encoding).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Cond {
+    /// Equal (Z set).
+    Eq = 0,
+    /// Not equal (Z clear).
+    Ne = 1,
+    /// Carry set / unsigned higher or same.
+    Cs = 2,
+    /// Carry clear / unsigned lower.
+    Cc = 3,
+    /// Minus / negative (N set).
+    Mi = 4,
+    /// Plus / positive or zero (N clear).
+    Pl = 5,
+    /// Overflow (V set).
+    Vs = 6,
+    /// No overflow (V clear).
+    Vc = 7,
+    /// Unsigned higher (C set and Z clear).
+    Hi = 8,
+    /// Unsigned lower or same (C clear or Z set).
+    Ls = 9,
+    /// Signed greater than or equal (N == V).
+    Ge = 10,
+    /// Signed less than (N != V).
+    Lt = 11,
+    /// Signed greater than (Z clear and N == V).
+    Gt = 12,
+    /// Signed less than or equal (Z set or N != V).
+    Le = 13,
+}
+
+impl Cond {
+    /// All fourteen condition codes in encoding order.
+    pub const ALL: [Cond; 14] = [
+        Cond::Eq,
+        Cond::Ne,
+        Cond::Cs,
+        Cond::Cc,
+        Cond::Mi,
+        Cond::Pl,
+        Cond::Vs,
+        Cond::Vc,
+        Cond::Hi,
+        Cond::Ls,
+        Cond::Ge,
+        Cond::Lt,
+        Cond::Gt,
+        Cond::Le,
+    ];
+
+    /// Decodes a condition from its 4-bit field.
+    pub fn from_bits(bits: u8) -> Option<Cond> {
+        Cond::ALL.get(bits as usize).copied()
+    }
+
+    /// The 4-bit encoding field.
+    pub fn bits(self) -> u8 {
+        self as u8
+    }
+
+    /// The logically opposite condition (used by the assembler to relax
+    /// out-of-range conditional branches into an inverted skip + long `B`).
+    pub fn invert(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Cs => Cond::Cc,
+            Cond::Cc => Cond::Cs,
+            Cond::Mi => Cond::Pl,
+            Cond::Pl => Cond::Mi,
+            Cond::Vs => Cond::Vc,
+            Cond::Vc => Cond::Vs,
+            Cond::Hi => Cond::Ls,
+            Cond::Ls => Cond::Hi,
+            Cond::Ge => Cond::Lt,
+            Cond::Lt => Cond::Ge,
+            Cond::Gt => Cond::Le,
+            Cond::Le => Cond::Gt,
+        }
+    }
+
+    /// Evaluates the condition against a flag word.
+    pub fn holds(self, flags: Flags) -> bool {
+        let Flags { n, z, c, v } = flags;
+        match self {
+            Cond::Eq => z,
+            Cond::Ne => !z,
+            Cond::Cs => c,
+            Cond::Cc => !c,
+            Cond::Mi => n,
+            Cond::Pl => !n,
+            Cond::Vs => v,
+            Cond::Vc => !v,
+            Cond::Hi => c && !z,
+            Cond::Ls => !c || z,
+            Cond::Ge => n == v,
+            Cond::Lt => n != v,
+            Cond::Gt => !z && n == v,
+            Cond::Le => z || n != v,
+        }
+    }
+}
+
+impl std::fmt::Display for Cond {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Cs => "cs",
+            Cond::Cc => "cc",
+            Cond::Mi => "mi",
+            Cond::Pl => "pl",
+            Cond::Vs => "vs",
+            Cond::Vc => "vc",
+            Cond::Hi => "hi",
+            Cond::Ls => "ls",
+            Cond::Ge => "ge",
+            Cond::Lt => "lt",
+            Cond::Gt => "gt",
+            Cond::Le => "le",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The processor's NZCV condition flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Flags {
+    /// Negative: result bit 31.
+    pub n: bool,
+    /// Zero: result was zero.
+    pub z: bool,
+    /// Carry: unsigned overflow out of bit 31 (borrow-inverted for SUB/CMP).
+    pub c: bool,
+    /// Overflow: signed overflow into bit 31.
+    pub v: bool,
+}
+
+impl Flags {
+    /// Flags after an `ADD`: full NZCV.
+    pub fn from_add(a: u32, b: u32) -> (u32, Flags) {
+        let (res, carry) = a.overflowing_add(b);
+        let v = ((a ^ res) & (b ^ res)) >> 31 != 0;
+        (res, Flags { n: res >> 31 != 0, z: res == 0, c: carry, v })
+    }
+
+    /// Flags after a `SUB`/`CMP` (`a - b`); C is the NOT-borrow convention.
+    pub fn from_sub(a: u32, b: u32) -> (u32, Flags) {
+        let (res, borrow) = a.overflowing_sub(b);
+        let v = ((a ^ b) & (a ^ res)) >> 31 != 0;
+        (res, Flags { n: res >> 31 != 0, z: res == 0, c: !borrow, v })
+    }
+
+    /// Flags after a logical operation: N and Z from the result, C and V
+    /// preserved from `self`.
+    pub fn from_logical(self, res: u32) -> Flags {
+        Flags { n: res >> 31 != 0, z: res == 0, ..self }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invert_is_involution() {
+        for c in Cond::ALL {
+            assert_eq!(c.invert().invert(), c);
+        }
+    }
+
+    #[test]
+    fn bits_roundtrip() {
+        for c in Cond::ALL {
+            assert_eq!(Cond::from_bits(c.bits()), Some(c));
+        }
+        assert_eq!(Cond::from_bits(14), None);
+        assert_eq!(Cond::from_bits(15), None);
+    }
+
+    #[test]
+    fn sub_flag_semantics_signed() {
+        // 3 - 5: negative result, borrow happened (C clear), no overflow.
+        let (res, f) = Flags::from_sub(3, 5);
+        assert_eq!(res as i32, -2);
+        assert!(f.n && !f.z && !f.c && !f.v);
+        assert!(Cond::Lt.holds(f));
+        assert!(!Cond::Ge.holds(f));
+        assert!(Cond::Le.holds(f));
+        // INT_MIN - 1 overflows, but the condition still reflects the
+        // mathematical comparison: INT_MIN < 1.
+        let (_, f) = Flags::from_sub(i32::MIN as u32, 1);
+        assert!(f.v);
+        assert!(Cond::Lt.holds(f));
+        assert!(!Cond::Ge.holds(f));
+    }
+
+    #[test]
+    fn add_flag_semantics() {
+        let (res, f) = Flags::from_add(u32::MAX, 1);
+        assert_eq!(res, 0);
+        assert!(f.z && f.c && !f.v);
+        let (_, f) = Flags::from_add(i32::MAX as u32, 1);
+        assert!(f.v && f.n);
+    }
+
+    #[test]
+    fn unsigned_conditions() {
+        // 2 - 7 unsigned: lower → CC holds, HI fails.
+        let (_, f) = Flags::from_sub(2, 7);
+        assert!(Cond::Cc.holds(f));
+        assert!(!Cond::Hi.holds(f));
+        assert!(Cond::Ls.holds(f));
+        // 7 - 2 unsigned higher.
+        let (_, f) = Flags::from_sub(7, 2);
+        assert!(Cond::Hi.holds(f));
+        assert!(Cond::Cs.holds(f));
+    }
+
+    #[test]
+    fn eq_ne_on_equal_values() {
+        let (_, f) = Flags::from_sub(9, 9);
+        assert!(Cond::Eq.holds(f));
+        assert!(!Cond::Ne.holds(f));
+        assert!(Cond::Ge.holds(f) && Cond::Le.holds(f));
+        assert!(!Cond::Gt.holds(f) && !Cond::Lt.holds(f));
+    }
+}

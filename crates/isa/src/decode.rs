@@ -1,0 +1,331 @@
+//! Total decoding of TH16 machine code.
+//!
+//! [`decode`] maps *every* 16-bit pattern to an instruction; patterns without
+//! an assigned meaning decode to [`Insn::Undefined`], which the simulator
+//! treats as a fault and the WCET analyzer rejects during CFG reconstruction.
+//! Decoding is canonical: re-encoding a decoded instruction reproduces the
+//! original bits (property-tested), which is what makes binary-level CFG
+//! reconstruction trustworthy.
+
+use crate::cond::Cond;
+use crate::insn::{AluOp, Insn, ShiftOp};
+use crate::mem::AccessWidth;
+use crate::reg::{Reg, RegList};
+
+fn reg(bits: u16, shift: u16) -> Reg {
+    Reg::new(((bits >> shift) & 0b111) as u8)
+}
+
+fn sext(value: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((value << shift) as i32) >> shift
+}
+
+/// Decodes one instruction starting at halfword `hw`.
+///
+/// `next` supplies the following halfword so that the two-halfword `BL` pair
+/// can be recognised; pass `None` at the end of a code region. Returns the
+/// instruction and its size in bytes (2 or 4).
+pub fn decode(hw: u16, next: Option<u16>) -> (Insn, u32) {
+    let insn = decode_one(hw, next);
+    let size = insn.size();
+    (insn, size)
+}
+
+fn decode_one(hw: u16, next: Option<u16>) -> Insn {
+    match hw >> 13 {
+        0b000 => {
+            let op = (hw >> 11) & 0b11;
+            if op != 0b11 {
+                let shift_op = match op {
+                    0b00 => ShiftOp::Lsl,
+                    0b01 => ShiftOp::Lsr,
+                    _ => ShiftOp::Asr,
+                };
+                Insn::ShiftImm {
+                    op: shift_op,
+                    rd: reg(hw, 0),
+                    rm: reg(hw, 3),
+                    imm: ((hw >> 6) & 0x1F) as u8,
+                }
+            } else {
+                let imm_form = hw & (1 << 10) != 0;
+                let sub = hw & (1 << 9) != 0;
+                let rd = reg(hw, 0);
+                let rn = reg(hw, 3);
+                match (imm_form, sub) {
+                    (false, false) => Insn::AddReg { rd, rn, rm: reg(hw, 6) },
+                    (false, true) => Insn::SubReg { rd, rn, rm: reg(hw, 6) },
+                    (true, false) => Insn::AddImm3 { rd, rn, imm: ((hw >> 6) & 0b111) as u8 },
+                    (true, true) => Insn::SubImm3 { rd, rn, imm: ((hw >> 6) & 0b111) as u8 },
+                }
+            }
+        }
+        0b001 => {
+            let rd = reg(hw, 8);
+            let imm = (hw & 0xFF) as u8;
+            match (hw >> 11) & 0b11 {
+                0b00 => Insn::MovImm { rd, imm },
+                0b01 => Insn::CmpImm { rd, imm },
+                0b10 => Insn::AddImm { rd, imm },
+                _ => Insn::SubImm { rd, imm },
+            }
+        }
+        0b010 => decode_group_010(hw),
+        0b011 => {
+            let byte = hw & (1 << 12) != 0;
+            let load = hw & (1 << 11) != 0;
+            let imm5 = ((hw >> 6) & 0x1F) as u8;
+            let (width, off) = if byte {
+                (AccessWidth::Byte, imm5)
+            } else {
+                (AccessWidth::Word, imm5 * 4)
+            };
+            let rn = reg(hw, 3);
+            let rd = reg(hw, 0);
+            if load {
+                Insn::LdrImm { width, rd, rn, off }
+            } else {
+                Insn::StrImm { width, rd, rn, off }
+            }
+        }
+        0b100 => {
+            if hw & (1 << 12) == 0 {
+                // Halfword immediate-offset access.
+                let load = hw & (1 << 11) != 0;
+                let off = (((hw >> 6) & 0x1F) * 2) as u8;
+                let rn = reg(hw, 3);
+                let rd = reg(hw, 0);
+                if load {
+                    Insn::LdrImm { width: AccessWidth::Half, rd, rn, off }
+                } else {
+                    Insn::StrImm { width: AccessWidth::Half, rd, rn, off }
+                }
+            } else {
+                let load = hw & (1 << 11) != 0;
+                let rd = reg(hw, 8);
+                let imm = (hw & 0xFF) as u8;
+                if load {
+                    Insn::LdrSp { rd, imm }
+                } else {
+                    Insn::StrSp { rd, imm }
+                }
+            }
+        }
+        0b101 => {
+            if hw & (1 << 12) == 0 {
+                let rd = reg(hw, 8);
+                let imm = (hw & 0xFF) as u8;
+                if hw & (1 << 11) == 0 {
+                    Insn::Adr { rd, imm }
+                } else {
+                    Insn::AddSp { rd, imm }
+                }
+            } else {
+                decode_group_1011(hw)
+            }
+        }
+        0b110 => {
+            if hw & (1 << 12) == 0 {
+                // 1100: unassigned.
+                Insn::Undefined { raw: hw }
+            } else {
+                let cond_bits = ((hw >> 8) & 0xF) as u8;
+                let imm = (hw & 0xFF) as u8;
+                match cond_bits {
+                    15 => Insn::Swi { imm },
+                    14 => Insn::Undefined { raw: hw },
+                    _ => {
+                        let cond = Cond::from_bits(cond_bits).expect("checked above");
+                        Insn::BCond { cond, off: sext(imm as u32, 8) * 2 }
+                    }
+                }
+            }
+        }
+        _ => {
+            if hw & (1 << 12) == 0 {
+                if hw & (1 << 11) == 0 {
+                    Insn::B { off: sext((hw & 0x7FF) as u32, 11) * 2 }
+                } else {
+                    // 11101: unassigned.
+                    Insn::Undefined { raw: hw }
+                }
+            } else if hw & (1 << 11) == 0 {
+                // BL hi halfword: needs the lo halfword to form a full BL.
+                match next {
+                    Some(lo) if lo & 0xF800 == 0xF800 => {
+                        let hi_field = (hw & 0x7FF) as u32;
+                        let lo_field = (lo & 0x7FF) as u32;
+                        let halfwords = sext((hi_field << 11) | lo_field, 22);
+                        Insn::Bl { off: halfwords * 2 }
+                    }
+                    _ => Insn::Undefined { raw: hw },
+                }
+            } else {
+                // A BL lo halfword on its own.
+                Insn::Undefined { raw: hw }
+            }
+        }
+    }
+}
+
+fn decode_group_010(hw: u16) -> Insn {
+    match (hw >> 10) & 0b111 {
+        0b000 => {
+            let op = AluOp::from_bits(((hw >> 6) & 0xF) as u8).expect("4-bit field");
+            Insn::Alu { op, rd: reg(hw, 0), rm: reg(hw, 3) }
+        }
+        0b001 => {
+            let sub = (hw >> 8) & 0b11;
+            let rest_ok = (hw >> 6) & 0b11 == 0;
+            let rd = reg(hw, 0);
+            let rm = reg(hw, 3);
+            match sub {
+                0b00 if rest_ok => Insn::MovReg { rd, rm },
+                0b01 if rest_ok => Insn::Sdiv { rd, rm },
+                0b10 if rest_ok => Insn::Udiv { rd, rm },
+                0b11 if hw & 0xFF == 0 => Insn::Ret,
+                _ => Insn::Undefined { raw: hw },
+            }
+        }
+        0b010 | 0b011 => Insn::LdrLit { rd: reg(hw, 8), imm: (hw & 0xFF) as u8 },
+        _ => {
+            // 0101: register-offset loads/stores.
+            let op = (hw >> 9) & 0b111;
+            let rm = reg(hw, 6);
+            let rn = reg(hw, 3);
+            let rd = reg(hw, 0);
+            match op {
+                0b000 => Insn::StrReg { width: AccessWidth::Word, rd, rn, rm },
+                0b001 => Insn::StrReg { width: AccessWidth::Half, rd, rn, rm },
+                0b010 => Insn::StrReg { width: AccessWidth::Byte, rd, rn, rm },
+                0b011 => Insn::LdrReg { width: AccessWidth::Byte, signed: true, rd, rn, rm },
+                0b100 => Insn::LdrReg { width: AccessWidth::Word, signed: false, rd, rn, rm },
+                0b101 => Insn::LdrReg { width: AccessWidth::Half, signed: false, rd, rn, rm },
+                0b110 => Insn::LdrReg { width: AccessWidth::Byte, signed: false, rd, rn, rm },
+                _ => Insn::LdrReg { width: AccessWidth::Half, signed: true, rd, rn, rm },
+            }
+        }
+    }
+}
+
+fn decode_group_1011(hw: u16) -> Insn {
+    match (hw >> 8) & 0xF {
+        0b0000 => {
+            let neg = hw & (1 << 7) != 0;
+            let mag = (hw & 0x7F) as i16;
+            if neg && mag == 0 {
+                Insn::Undefined { raw: hw }
+            } else {
+                Insn::AdjSp { delta: if neg { -mag * 4 } else { mag * 4 } }
+            }
+        }
+        0b0100 | 0b0101 => {
+            Insn::Push { regs: RegList((hw & 0xFF) as u8), lr: hw & (1 << 8) != 0 }
+        }
+        0b1100 | 0b1101 => Insn::Pop { regs: RegList((hw & 0xFF) as u8), pc: hw & (1 << 8) != 0 },
+        0b1111 => {
+            if hw & 0xFF == 0 {
+                Insn::Nop
+            } else {
+                Insn::Undefined { raw: hw }
+            }
+        }
+        _ => Insn::Undefined { raw: hw },
+    }
+}
+
+/// Decodes a halfword stream into instructions with their byte offsets.
+///
+/// Unpaired `BL` halfwords decode as [`Insn::Undefined`]. This is a linear
+/// sweep; the WCET analyzer instead walks the CFG so that literal pools are
+/// never misinterpreted as code.
+pub fn decode_all(halfwords: &[u16]) -> Vec<(u32, Insn)> {
+    let mut out = Vec::with_capacity(halfwords.len());
+    let mut i = 0usize;
+    while i < halfwords.len() {
+        let next = halfwords.get(i + 1).copied();
+        let (insn, size) = decode(halfwords[i], next);
+        out.push(((i * 2) as u32, insn));
+        i += (size / 2) as usize;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+    use crate::reg::{R0, R1, R3};
+
+    #[test]
+    fn decode_is_total() {
+        // Every pattern decodes to something without panicking.
+        for hw in 0..=u16::MAX {
+            let (_, size) = decode(hw, None);
+            assert!(size == 2 || size == 4);
+        }
+    }
+
+    #[test]
+    fn reencode_all_patterns() {
+        // Canonical decoding: whatever a lone halfword decodes to encodes
+        // back to the same bits (BL needs its pair, so skip hi halfwords).
+        for hw in 0..=u16::MAX {
+            let (insn, size) = decode(hw, None);
+            assert_eq!(size, 2);
+            let re = encode(&insn);
+            assert_eq!(re, vec![hw], "pattern {hw:#06x} decoded to {insn:?}");
+        }
+    }
+
+    #[test]
+    fn bl_pair_roundtrip() {
+        for off in [-4_194_304i32, -2, 0, 2, 4096, 4_194_302] {
+            let hw = encode(&Insn::Bl { off });
+            let (insn, size) = decode(hw[0], Some(hw[1]));
+            assert_eq!(size, 4);
+            assert_eq!(insn, Insn::Bl { off });
+        }
+    }
+
+    #[test]
+    fn bl_hi_without_lo_is_undefined() {
+        let hw = encode(&Insn::Bl { off: 64 });
+        let (insn, size) = decode(hw[0], Some(0x0000));
+        assert_eq!(size, 2);
+        assert!(matches!(insn, Insn::Undefined { .. }));
+        let (insn, _) = decode(hw[0], None);
+        assert!(matches!(insn, Insn::Undefined { .. }));
+    }
+
+    #[test]
+    fn negative_displacements() {
+        let (insn, _) = decode(encode(&Insn::B { off: -100 })[0], None);
+        assert_eq!(insn, Insn::B { off: -100 });
+        let (insn, _) = decode(encode(&Insn::BCond { cond: Cond::Lt, off: -256 })[0], None);
+        assert_eq!(insn, Insn::BCond { cond: Cond::Lt, off: -256 });
+    }
+
+    #[test]
+    fn halfword_imm_offset_scaling() {
+        let i = Insn::LdrImm { width: AccessWidth::Half, rd: R0, rn: R1, off: 62 };
+        let (d, _) = decode(encode(&i)[0], None);
+        assert_eq!(d, i);
+        let i = Insn::StrImm { width: AccessWidth::Word, rd: R3, rn: R1, off: 124 };
+        let (d, _) = decode(encode(&i)[0], None);
+        assert_eq!(d, i);
+    }
+
+    #[test]
+    fn decode_all_walks_bl_pairs() {
+        let mut stream = encode(&Insn::MovImm { rd: R0, imm: 7 });
+        stream.extend(encode(&Insn::Bl { off: 0x100 }));
+        stream.extend(encode(&Insn::Ret));
+        let decoded = decode_all(&stream);
+        assert_eq!(decoded.len(), 3);
+        assert_eq!(decoded[0].0, 0);
+        assert_eq!(decoded[1], (2, Insn::Bl { off: 0x100 }));
+        assert_eq!(decoded[2], (6, Insn::Ret));
+    }
+}

@@ -1,0 +1,170 @@
+//! Textual disassembly of TH16 instructions.
+
+use crate::insn::{AluOp, Insn, ShiftOp};
+use crate::mem::AccessWidth;
+
+fn width_suffix(width: AccessWidth, signed: bool) -> &'static str {
+    match (width, signed) {
+        (AccessWidth::Word, _) => "",
+        (AccessWidth::Half, false) => "h",
+        (AccessWidth::Half, true) => "sh",
+        (AccessWidth::Byte, false) => "b",
+        (AccessWidth::Byte, true) => "sb",
+    }
+}
+
+/// Renders one instruction as assembly text. `addr` is the instruction's
+/// address, used to print absolute branch targets.
+pub fn disassemble(insn: &Insn, addr: u32) -> String {
+    let pc = addr.wrapping_add(4);
+    match *insn {
+        Insn::ShiftImm { op, rd, rm, imm } => {
+            let m = match op {
+                ShiftOp::Lsl => "lsls",
+                ShiftOp::Lsr => "lsrs",
+                ShiftOp::Asr => "asrs",
+            };
+            format!("{m} {rd}, {rm}, #{imm}")
+        }
+        Insn::AddReg { rd, rn, rm } => format!("adds {rd}, {rn}, {rm}"),
+        Insn::SubReg { rd, rn, rm } => format!("subs {rd}, {rn}, {rm}"),
+        Insn::AddImm3 { rd, rn, imm } => format!("adds {rd}, {rn}, #{imm}"),
+        Insn::SubImm3 { rd, rn, imm } => format!("subs {rd}, {rn}, #{imm}"),
+        Insn::MovImm { rd, imm } => format!("movs {rd}, #{imm}"),
+        Insn::CmpImm { rd, imm } => format!("cmp {rd}, #{imm}"),
+        Insn::AddImm { rd, imm } => format!("adds {rd}, #{imm}"),
+        Insn::SubImm { rd, imm } => format!("subs {rd}, #{imm}"),
+        Insn::Alu { op, rd, rm } => {
+            let m = match op {
+                AluOp::And => "ands",
+                AluOp::Eor => "eors",
+                AluOp::Lsl => "lsls",
+                AluOp::Lsr => "lsrs",
+                AluOp::Asr => "asrs",
+                AluOp::Adc => "adcs",
+                AluOp::Sbc => "sbcs",
+                AluOp::Ror => "rors",
+                AluOp::Tst => "tst",
+                AluOp::Neg => "negs",
+                AluOp::Cmp => "cmp",
+                AluOp::Cmn => "cmn",
+                AluOp::Orr => "orrs",
+                AluOp::Mul => "muls",
+                AluOp::Bic => "bics",
+                AluOp::Mvn => "mvns",
+            };
+            format!("{m} {rd}, {rm}")
+        }
+        Insn::MovReg { rd, rm } => format!("movs {rd}, {rm}"),
+        Insn::Sdiv { rd, rm } => format!("sdiv {rd}, {rm}"),
+        Insn::Udiv { rd, rm } => format!("udiv {rd}, {rm}"),
+        Insn::Ret => "bx lr".to_string(),
+        Insn::LdrLit { rd, imm } => {
+            let target = (pc & !3).wrapping_add(imm as u32 * 4);
+            format!("ldr {rd}, [pc, #{}] ; ={target:#x}", imm as u32 * 4)
+        }
+        Insn::LdrReg { width, signed, rd, rn, rm } => {
+            format!("ldr{} {rd}, [{rn}, {rm}]", width_suffix(width, signed))
+        }
+        Insn::StrReg { width, rd, rn, rm } => {
+            format!("str{} {rd}, [{rn}, {rm}]", width_suffix(width, false))
+        }
+        Insn::LdrImm { width, rd, rn, off } => {
+            format!("ldr{} {rd}, [{rn}, #{off}]", width_suffix(width, false))
+        }
+        Insn::StrImm { width, rd, rn, off } => {
+            format!("str{} {rd}, [{rn}, #{off}]", width_suffix(width, false))
+        }
+        Insn::LdrSp { rd, imm } => format!("ldr {rd}, [sp, #{}]", imm as u32 * 4),
+        Insn::StrSp { rd, imm } => format!("str {rd}, [sp, #{}]", imm as u32 * 4),
+        Insn::Adr { rd, imm } => {
+            let target = (pc & !3).wrapping_add(imm as u32 * 4);
+            format!("adr {rd}, {target:#x}")
+        }
+        Insn::AddSp { rd, imm } => format!("add {rd}, sp, #{}", imm as u32 * 4),
+        Insn::AdjSp { delta } => {
+            if delta < 0 {
+                format!("sub sp, #{}", -delta)
+            } else {
+                format!("add sp, #{delta}")
+            }
+        }
+        Insn::Push { regs, lr } => {
+            if lr {
+                if regs.is_empty() {
+                    "push {lr}".to_string()
+                } else {
+                    format!("push {{{regs},lr}}")
+                }
+            } else {
+                format!("push {{{regs}}}")
+            }
+        }
+        Insn::Pop { regs, pc } => {
+            if pc {
+                if regs.is_empty() {
+                    "pop {pc}".to_string()
+                } else {
+                    format!("pop {{{regs},pc}}")
+                }
+            } else {
+                format!("pop {{{regs}}}")
+            }
+        }
+        Insn::Nop => "nop".to_string(),
+        Insn::BCond { cond, off } => {
+            format!("b{cond} {:#x}", pc.wrapping_add(off as u32))
+        }
+        Insn::Swi { imm } => format!("swi #{imm}"),
+        Insn::B { off } => format!("b {:#x}", pc.wrapping_add(off as u32)),
+        Insn::Bl { off } => format!("bl {:#x}", pc.wrapping_add(off as u32)),
+        Insn::Undefined { raw } => format!(".hword {raw:#06x} ; undefined"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cond::Cond;
+    use crate::reg::{RegList, R0, R1, R2};
+
+    #[test]
+    fn representative_mnemonics() {
+        assert_eq!(disassemble(&Insn::MovImm { rd: R0, imm: 5 }, 0), "movs r0, #5");
+        assert_eq!(disassemble(&Insn::Ret, 0), "bx lr");
+        assert_eq!(
+            disassemble(
+                &Insn::LdrReg {
+                    width: AccessWidth::Half,
+                    signed: true,
+                    rd: R0,
+                    rn: R1,
+                    rm: R2
+                },
+                0
+            ),
+            "ldrsh r0, [r1, r2]"
+        );
+        assert_eq!(disassemble(&Insn::AdjSp { delta: -16 }, 0), "sub sp, #16");
+        assert_eq!(
+            disassemble(&Insn::Push { regs: RegList::of(&[R0, R1]), lr: true }, 0),
+            "push {r0,r1,lr}"
+        );
+    }
+
+    #[test]
+    fn branch_targets_are_absolute() {
+        // At address 0x100, pc reads 0x104; off +8 → 0x10c.
+        assert_eq!(disassemble(&Insn::B { off: 8 }, 0x100), "b 0x10c");
+        assert_eq!(disassemble(&Insn::BCond { cond: Cond::Eq, off: -4 }, 0x100), "beq 0x100");
+    }
+
+    #[test]
+    fn never_empty() {
+        // C-DEBUG-NONEMPTY in spirit: every instruction renders something.
+        for hw in (0..=u16::MAX).step_by(97) {
+            let (insn, _) = crate::decode::decode(hw, None);
+            assert!(!disassemble(&insn, 0x200).is_empty());
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Linked executable images.
+//!
+//! An [`Executable`] is what the paper's toolchain hands to both ARMulator
+//! (our simulator) and aiT (our WCET analyzer): a set of loadable regions,
+//! a symbol table describing every *memory object* (functions and global
+//! data, the allocation units of the scratchpad algorithm), the entry point
+//! and the memory map it was linked against.
+
+use crate::mem::{AccessWidth, MemoryMap, RegionKind};
+use crate::IsaError;
+use serde::{Deserialize, Serialize};
+
+/// What a symbol names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SymbolKind {
+    /// A function; `code_size` bytes of instructions followed by its literal
+    /// pool (the pool is part of the function's extent and moves with it).
+    Func {
+        /// Bytes of decodable instructions from the symbol start; the
+        /// remainder up to `size` is the literal pool.
+        code_size: u32,
+    },
+    /// A global data object with a fixed element width.
+    Object {
+        /// Element access width (arrays of `short` are accessed 16-bit wide,
+        /// etc. — this drives the paper's per-width memory annotations).
+        width: AccessWidth,
+    },
+}
+
+/// One entry of the executable's symbol table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Symbol {
+    /// Symbol name (unique within an executable).
+    pub name: String,
+    /// Start address.
+    pub addr: u32,
+    /// Extent in bytes.
+    pub size: u32,
+    /// Function or data object.
+    pub kind: SymbolKind,
+}
+
+impl Symbol {
+    /// Whether `addr` falls inside this symbol's extent.
+    pub fn contains(&self, addr: u32) -> bool {
+        addr >= self.addr && addr < self.addr + self.size
+    }
+
+    /// Whether this symbol is a function.
+    pub fn is_func(&self) -> bool {
+        matches!(self.kind, SymbolKind::Func { .. })
+    }
+}
+
+/// A loadable region of initialised bytes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoadRegion {
+    /// Load address of the first byte.
+    pub addr: u32,
+    /// The bytes to load (zero-filled regions may simply contain zeros).
+    pub bytes: Vec<u8>,
+}
+
+/// A fully linked program image.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Executable {
+    /// Loadable regions (scratchpad contents are pre-loaded, as the paper's
+    /// static allocation prescribes).
+    pub regions: Vec<LoadRegion>,
+    /// Every function and global data object, sorted by address.
+    pub symbols: Vec<Symbol>,
+    /// Entry point (the synthesized `_start`, which calls `main` and halts).
+    pub entry: u32,
+    /// The memory map this image was linked for.
+    pub memory_map: MemoryMap,
+}
+
+impl Executable {
+    /// Looks up a symbol by name.
+    pub fn symbol(&self, name: &str) -> Option<&Symbol> {
+        self.symbols.iter().find(|s| s.name == name)
+    }
+
+    /// Looks up the symbol covering `addr`, if any.
+    pub fn symbol_at(&self, addr: u32) -> Option<&Symbol> {
+        // Symbols are sorted by address and never overlap.
+        let idx = self.symbols.partition_point(|s| s.addr <= addr);
+        idx.checked_sub(1).map(|i| &self.symbols[i]).filter(|s| s.contains(addr))
+    }
+
+    /// Looks up a symbol by name, or errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::UndefinedSymbol`] when absent.
+    pub fn require_symbol(&self, name: &str) -> Result<&Symbol, IsaError> {
+        self.symbol(name).ok_or_else(|| IsaError::UndefinedSymbol(name.to_string()))
+    }
+
+    /// Reads one byte from the image (pre-load contents).
+    pub fn read_byte(&self, addr: u32) -> Option<u8> {
+        for r in &self.regions {
+            if addr >= r.addr && (addr - r.addr) < r.bytes.len() as u32 {
+                return Some(r.bytes[(addr - r.addr) as usize]);
+            }
+        }
+        None
+    }
+
+    /// Reads a little-endian halfword from the image.
+    pub fn read_half(&self, addr: u32) -> Option<u16> {
+        Some(u16::from_le_bytes([self.read_byte(addr)?, self.read_byte(addr + 1)?]))
+    }
+
+    /// Reads a little-endian word from the image.
+    pub fn read_word(&self, addr: u32) -> Option<u32> {
+        Some(u32::from_le_bytes([
+            self.read_byte(addr)?,
+            self.read_byte(addr + 1)?,
+            self.read_byte(addr + 2)?,
+            self.read_byte(addr + 3)?,
+        ]))
+    }
+
+    /// Overwrites bytes inside an existing region (used to patch input data
+    /// into a linked image without recompiling).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::UndefinedSymbol`] if `addr..addr+data.len()` is
+    /// not fully inside one region.
+    pub fn patch_bytes(&mut self, addr: u32, data: &[u8]) -> Result<(), IsaError> {
+        for r in &mut self.regions {
+            let end = r.addr as u64 + r.bytes.len() as u64;
+            if addr >= r.addr && (addr as u64 + data.len() as u64) <= end {
+                let off = (addr - r.addr) as usize;
+                r.bytes[off..off + data.len()].copy_from_slice(data);
+                return Ok(());
+            }
+        }
+        Err(IsaError::UndefinedSymbol(format!("patch target {addr:#x}")))
+    }
+
+    /// Patches a named global with little-endian values of its element
+    /// width. This is how the harness installs benchmark input data.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the symbol is missing, is a function, or `values` overflows
+    /// the object's extent.
+    pub fn patch_global(&mut self, name: &str, values: &[i32]) -> Result<(), IsaError> {
+        let sym = self.require_symbol(name)?.clone();
+        let width = match sym.kind {
+            SymbolKind::Object { width } => width,
+            SymbolKind::Func { .. } => {
+                return Err(IsaError::UndefinedSymbol(format!("{name} is a function")))
+            }
+        };
+        let need = values.len() as u64 * width.bytes() as u64;
+        if need > sym.size as u64 {
+            return Err(IsaError::RegionOverflow {
+                region: "global patch",
+                need,
+                have: sym.size as u64,
+            });
+        }
+        let mut bytes = Vec::with_capacity(need as usize);
+        for v in values {
+            match width {
+                AccessWidth::Byte => bytes.push(*v as u8),
+                AccessWidth::Half => bytes.extend((*v as u16).to_le_bytes()),
+                AccessWidth::Word => bytes.extend((*v as u32).to_le_bytes()),
+            }
+        }
+        self.patch_bytes(sym.addr, &bytes)
+    }
+
+    /// All function symbols, in address order.
+    pub fn functions(&self) -> impl Iterator<Item = &Symbol> {
+        self.symbols.iter().filter(|s| s.is_func())
+    }
+
+    /// All data-object symbols, in address order.
+    pub fn objects(&self) -> impl Iterator<Item = &Symbol> {
+        self.symbols.iter().filter(|s| !s.is_func())
+    }
+
+    /// Total bytes placed in the given region kind.
+    pub fn bytes_in_region(&self, kind: RegionKind) -> u64 {
+        self.symbols
+            .iter()
+            .filter(|s| self.memory_map.region_of(s.addr) == kind)
+            .map(|s| s.size as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Executable {
+        Executable {
+            regions: vec![LoadRegion { addr: 0x0010_0000, bytes: vec![0u8; 64] }],
+            symbols: vec![
+                Symbol {
+                    name: "main".into(),
+                    addr: 0x0010_0000,
+                    size: 32,
+                    kind: SymbolKind::Func { code_size: 24 },
+                },
+                Symbol {
+                    name: "table".into(),
+                    addr: 0x0010_0020,
+                    size: 16,
+                    kind: SymbolKind::Object { width: AccessWidth::Half },
+                },
+            ],
+            entry: 0x0010_0000,
+            memory_map: MemoryMap::no_spm(),
+        }
+    }
+
+    #[test]
+    fn symbol_lookup() {
+        let e = sample();
+        assert_eq!(e.symbol("main").unwrap().addr, 0x0010_0000);
+        assert!(e.symbol("nope").is_none());
+        assert!(e.require_symbol("nope").is_err());
+        assert_eq!(e.symbol_at(0x0010_0004).unwrap().name, "main");
+        assert_eq!(e.symbol_at(0x0010_0020).unwrap().name, "table");
+        assert!(e.symbol_at(0x0010_0030).is_none());
+        assert!(e.symbol_at(0x0000_0000).is_none());
+    }
+
+    #[test]
+    fn patch_global_halfwords() {
+        let mut e = sample();
+        e.patch_global("table", &[1, -2, 300]).unwrap();
+        assert_eq!(e.read_half(0x0010_0020), Some(1));
+        assert_eq!(e.read_half(0x0010_0022), Some(0xFFFE));
+        assert_eq!(e.read_half(0x0010_0024), Some(300));
+    }
+
+    #[test]
+    fn patch_overflow_rejected() {
+        let mut e = sample();
+        let too_many: Vec<i32> = (0..9).collect();
+        assert!(e.patch_global("table", &too_many).is_err());
+        assert!(e.patch_global("main", &[1]).is_err(), "functions are not patchable");
+    }
+
+    #[test]
+    fn word_reads_little_endian() {
+        let mut e = sample();
+        e.patch_bytes(0x0010_0000, &[0x78, 0x56, 0x34, 0x12]).unwrap();
+        assert_eq!(e.read_word(0x0010_0000), Some(0x1234_5678));
+        assert_eq!(e.read_byte(0x0020_0000), None);
+    }
+
+    #[test]
+    fn region_accounting() {
+        let e = sample();
+        assert_eq!(e.bytes_in_region(RegionKind::Main), 48);
+        assert_eq!(e.bytes_in_region(RegionKind::Scratchpad), 0);
+    }
+}

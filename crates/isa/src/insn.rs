@@ -1,0 +1,268 @@
+//! The TH16 instruction set.
+//!
+//! TH16 mirrors the THUMB-1 instruction formats (16-bit encodings, eight low
+//! registers, PC-relative literal loads, SP-relative locals, register-list
+//! push/pop, two-halfword `BL`) without being bit-compatible. One documented
+//! extension: `SDIV`/`UDIV` register-register divide instructions with a
+//! fixed 12-cycle cost, so that the compiler, the simulator and the WCET
+//! analyzer agree on division timing without a software divide routine.
+
+use crate::cond::Cond;
+use crate::mem::AccessWidth;
+use crate::reg::{Reg, RegList};
+use serde::{Deserialize, Serialize};
+
+/// Shift operations available in the shift-immediate format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ShiftOp {
+    /// Logical shift left.
+    Lsl,
+    /// Logical shift right.
+    Lsr,
+    /// Arithmetic shift right.
+    Asr,
+}
+
+/// Register-register ALU operations (THUMB format-4 set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum AluOp {
+    /// Bitwise AND.
+    And = 0,
+    /// Bitwise exclusive OR.
+    Eor = 1,
+    /// Logical shift left by register.
+    Lsl = 2,
+    /// Logical shift right by register.
+    Lsr = 3,
+    /// Arithmetic shift right by register.
+    Asr = 4,
+    /// Add with carry.
+    Adc = 5,
+    /// Subtract with carry.
+    Sbc = 6,
+    /// Rotate right by register.
+    Ror = 7,
+    /// Test bits (AND, flags only).
+    Tst = 8,
+    /// Negate (`rd = -rm`).
+    Neg = 9,
+    /// Compare (`rd - rm`, flags only).
+    Cmp = 10,
+    /// Compare negative (`rd + rm`, flags only).
+    Cmn = 11,
+    /// Bitwise inclusive OR.
+    Orr = 12,
+    /// Multiply (`rd = rd * rm`).
+    Mul = 13,
+    /// Bit clear (`rd = rd & !rm`).
+    Bic = 14,
+    /// Move NOT (`rd = !rm`).
+    Mvn = 15,
+}
+
+impl AluOp {
+    /// All sixteen operations in encoding order.
+    pub const ALL: [AluOp; 16] = [
+        AluOp::And,
+        AluOp::Eor,
+        AluOp::Lsl,
+        AluOp::Lsr,
+        AluOp::Asr,
+        AluOp::Adc,
+        AluOp::Sbc,
+        AluOp::Ror,
+        AluOp::Tst,
+        AluOp::Neg,
+        AluOp::Cmp,
+        AluOp::Cmn,
+        AluOp::Orr,
+        AluOp::Mul,
+        AluOp::Bic,
+        AluOp::Mvn,
+    ];
+
+    /// Decodes the 4-bit field.
+    pub fn from_bits(bits: u8) -> Option<AluOp> {
+        AluOp::ALL.get(bits as usize).copied()
+    }
+}
+
+/// A TH16 instruction.
+///
+/// Branch displacements (`off` fields) are stored as *byte* displacements
+/// relative to the architectural PC, which reads as `address + 4` (the THUMB
+/// pipeline convention). All displacements are even.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Insn {
+    /// `LSL/LSR/ASR rd, rm, #imm` — shift by immediate (0..=31). Sets NZ
+    /// (C untouched in TH16, a documented simplification).
+    ShiftImm { op: ShiftOp, rd: Reg, rm: Reg, imm: u8 },
+    /// `ADDS rd, rn, rm` — sets NZCV.
+    AddReg { rd: Reg, rn: Reg, rm: Reg },
+    /// `SUBS rd, rn, rm` — sets NZCV.
+    SubReg { rd: Reg, rn: Reg, rm: Reg },
+    /// `ADDS rd, rn, #imm3`.
+    AddImm3 { rd: Reg, rn: Reg, imm: u8 },
+    /// `SUBS rd, rn, #imm3`.
+    SubImm3 { rd: Reg, rn: Reg, imm: u8 },
+    /// `MOVS rd, #imm8` — sets NZ.
+    MovImm { rd: Reg, imm: u8 },
+    /// `CMP rd, #imm8`.
+    CmpImm { rd: Reg, imm: u8 },
+    /// `ADDS rd, #imm8`.
+    AddImm { rd: Reg, imm: u8 },
+    /// `SUBS rd, #imm8`.
+    SubImm { rd: Reg, imm: u8 },
+    /// Register-register ALU operation `op rd, rm`.
+    Alu { op: AluOp, rd: Reg, rm: Reg },
+    /// `MOVS rd, rm` — register move, sets NZ.
+    MovReg { rd: Reg, rm: Reg },
+    /// `SDIV rd, rm` — signed divide `rd = rd / rm` (TH16 extension,
+    /// 12 cycles). Division by zero yields 0 with flags NZ set from it.
+    Sdiv { rd: Reg, rm: Reg },
+    /// `UDIV rd, rm` — unsigned divide (TH16 extension, 12 cycles).
+    Udiv { rd: Reg, rm: Reg },
+    /// `BX lr` — return from function.
+    Ret,
+    /// `LDR rd, [pc, #imm8*4]` — literal-pool load (32-bit data access into
+    /// the code region, the paper's "literal pool" annotation case).
+    LdrLit { rd: Reg, imm: u8 },
+    /// Register-offset load `LDR{B,H,(S)B,(S)H} rd, [rn, rm]`.
+    LdrReg { width: AccessWidth, signed: bool, rd: Reg, rn: Reg, rm: Reg },
+    /// Register-offset store `STR{B,H} rd, [rn, rm]`.
+    StrReg { width: AccessWidth, rd: Reg, rn: Reg, rm: Reg },
+    /// Immediate-offset load; `off` is a byte offset, a multiple of the
+    /// access width, at most `31 * width` bytes.
+    LdrImm { width: AccessWidth, rd: Reg, rn: Reg, off: u8 },
+    /// Immediate-offset store (same offset rules as [`Insn::LdrImm`]).
+    StrImm { width: AccessWidth, rd: Reg, rn: Reg, off: u8 },
+    /// `LDR rd, [sp, #imm8*4]`.
+    LdrSp { rd: Reg, imm: u8 },
+    /// `STR rd, [sp, #imm8*4]`.
+    StrSp { rd: Reg, imm: u8 },
+    /// `ADR rd, pc+imm8*4` — address of a nearby location (aligned).
+    Adr { rd: Reg, imm: u8 },
+    /// `ADD rd, sp, #imm8*4`.
+    AddSp { rd: Reg, imm: u8 },
+    /// `ADD sp, #delta` — `delta` is a byte amount, multiple of 4, in
+    /// `-508..=508`, non-zero encodings are sign-magnitude.
+    AdjSp { delta: i16 },
+    /// `PUSH {regs[, lr]}` — stores to descending addresses.
+    Push { regs: RegList, lr: bool },
+    /// `POP {regs[, pc]}` — loads from ascending addresses; `pc` makes it a
+    /// return.
+    Pop { regs: RegList, pc: bool },
+    /// No operation.
+    Nop,
+    /// Conditional branch, range ±256 bytes.
+    BCond { cond: Cond, off: i32 },
+    /// Software interrupt: `SWI 0` halts, `SWI 1/2` are console helpers.
+    Swi { imm: u8 },
+    /// Unconditional branch, range ±2 KiB.
+    B { off: i32 },
+    /// Branch and link (two-halfword pair), range ±4 MiB.
+    Bl { off: i32 },
+    /// Any encoding not assigned a meaning; executing it is an error.
+    Undefined { raw: u16 },
+}
+
+impl Insn {
+    /// Size of the instruction in bytes (2, or 4 for `BL`).
+    pub fn size(&self) -> u32 {
+        match self {
+            Insn::Bl { .. } => 4,
+            _ => 2,
+        }
+    }
+
+    /// Internal (non-memory) extra cycles beyond the 1-cycle base:
+    /// multiplies, divides, and the pipeline-refill penalty of taken
+    /// branches. Memory-access cycles are added by the memory system.
+    pub fn extra_cycles(&self, branch_taken: bool) -> u64 {
+        match self {
+            Insn::Alu { op: AluOp::Mul, .. } => 3,
+            Insn::Sdiv { .. } | Insn::Udiv { .. } => 11,
+            Insn::B { .. } | Insn::Bl { .. } | Insn::Ret => 2,
+            Insn::BCond { .. } => {
+                if branch_taken {
+                    2
+                } else {
+                    0
+                }
+            }
+            Insn::Pop { pc, .. } => {
+                if *pc {
+                    2
+                } else {
+                    0
+                }
+            }
+            _ => 0,
+        }
+    }
+
+    /// Whether this instruction can change the control flow (ends a basic
+    /// block when reconstructing a CFG). `BL` is *not* a terminator: control
+    /// returns to the following instruction.
+    pub fn is_terminator(&self) -> bool {
+        matches!(
+            self,
+            Insn::B { .. }
+                | Insn::BCond { .. }
+                | Insn::Ret
+                | Insn::Pop { pc: true, .. }
+                | Insn::Swi { .. }
+                | Insn::Undefined { .. }
+        )
+    }
+
+    /// The worst-case extra cycles (branch assumed taken). Used by timing
+    /// analyses that do not track the branch direction of a block edge.
+    pub fn worst_extra_cycles(&self) -> u64 {
+        self.extra_cycles(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::{R0, R1};
+
+    #[test]
+    fn sizes() {
+        assert_eq!(Insn::Nop.size(), 2);
+        assert_eq!(Insn::Bl { off: 100 }.size(), 4);
+        assert_eq!(Insn::MovImm { rd: R0, imm: 1 }.size(), 2);
+    }
+
+    #[test]
+    fn extra_cycle_model() {
+        assert_eq!(Insn::Alu { op: AluOp::Mul, rd: R0, rm: R1 }.extra_cycles(false), 3);
+        assert_eq!(Insn::Sdiv { rd: R0, rm: R1 }.extra_cycles(false), 11);
+        assert_eq!(Insn::B { off: 0 }.extra_cycles(false), 2, "B is always taken");
+        let bc = Insn::BCond { cond: Cond::Eq, off: 8 };
+        assert_eq!(bc.extra_cycles(true), 2);
+        assert_eq!(bc.extra_cycles(false), 0);
+        assert_eq!(bc.worst_extra_cycles(), 2);
+        assert_eq!(Insn::Nop.extra_cycles(false), 0);
+    }
+
+    #[test]
+    fn terminators() {
+        assert!(Insn::Ret.is_terminator());
+        assert!(Insn::B { off: 2 }.is_terminator());
+        assert!(Insn::Pop { regs: RegList::of(&[R0]), pc: true }.is_terminator());
+        assert!(!Insn::Pop { regs: RegList::of(&[R0]), pc: false }.is_terminator());
+        assert!(!Insn::Bl { off: 4 }.is_terminator());
+        assert!(Insn::Swi { imm: 0 }.is_terminator());
+    }
+
+    #[test]
+    fn aluop_roundtrip() {
+        for op in AluOp::ALL {
+            assert_eq!(AluOp::from_bits(op as u8), Some(op));
+        }
+        assert_eq!(AluOp::from_bits(16), None);
+    }
+}

@@ -1,0 +1,99 @@
+//! # spmlab-isa — the TH16 target architecture
+//!
+//! TH16 is a 16-bit, THUMB-inspired load/store instruction set used as the
+//! target architecture for the Wehmeyer & Marwedel (DATE 2005) reproduction.
+//! It plays the role of the ARM7TDMI in THUMB state from the paper: 16-bit
+//! instruction fetches, 8/16/32-bit data accesses, PC-relative literal pools
+//! and SP-relative locals — the exact properties that make the paper's
+//! Table 1 memory timing meaningful.
+//!
+//! The crate provides:
+//!
+//! * [`insn::Insn`] — the instruction set, with a total
+//!   [`decode`](decode::decode) / [`encode`](encode::encode) pair,
+//! * [`asm`] — a label-based assembler with literal-pool management and
+//!   branch relaxation, producing relocatable object functions,
+//! * [`image::Executable`] — linked memory images with a symbol table,
+//! * [`mem::MemoryMap`] — the simulated board's address map (scratchpad,
+//!   main memory, MMIO) and the paper's Table 1 access-timing model,
+//! * [`annot::AnnotationSet`] — tool annotations (loop bounds, access
+//!   address ranges) in the spirit of aiT's annotation files.
+//!
+//! ```
+//! use spmlab_isa::insn::Insn;
+//! use spmlab_isa::{decode, encode};
+//!
+//! let insn = Insn::MovImm { rd: spmlab_isa::reg::R0, imm: 42 };
+//! let halfwords = encode::encode(&insn);
+//! let (decoded, size) = decode::decode(halfwords[0], None);
+//! assert_eq!(decoded, insn);
+//! assert_eq!(size, 2);
+//! ```
+
+pub mod annot;
+pub mod asm;
+pub mod cachecfg;
+pub mod cond;
+pub mod decode;
+pub mod disasm;
+pub mod encode;
+pub mod image;
+pub mod insn;
+pub mod mem;
+pub mod reg;
+
+pub use annot::AnnotationSet;
+pub use cachecfg::{CacheConfig, CacheScope, Replacement};
+pub use cond::Cond;
+pub use image::{Executable, Symbol, SymbolKind};
+pub use insn::Insn;
+pub use mem::{AccessWidth, MemoryMap, RegionKind};
+pub use reg::Reg;
+
+/// Errors produced while assembling or linking TH16 code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IsaError {
+    /// A label was referenced but never defined.
+    UndefinedLabel(String),
+    /// A label was defined more than once in the same function.
+    DuplicateLabel(String),
+    /// A branch target is out of range for its encoding even after
+    /// relaxation.
+    BranchOutOfRange { from: u32, to: i64, insn: String },
+    /// A literal-pool reference is too far from its pool slot (the pool is
+    /// placed at the end of the function; keep functions below ~1 KiB).
+    LiteralOutOfRange { offset: u32 },
+    /// An immediate operand does not fit its encoding field.
+    ImmediateOutOfRange { what: &'static str, value: i64 },
+    /// A symbol was referenced during linking but is not defined anywhere.
+    UndefinedSymbol(String),
+    /// Two symbols share a name.
+    DuplicateSymbol(String),
+    /// A memory region overflowed while laying out sections.
+    RegionOverflow { region: &'static str, need: u64, have: u64 },
+}
+
+impl std::fmt::Display for IsaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IsaError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            IsaError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            IsaError::BranchOutOfRange { from, to, insn } => {
+                write!(f, "branch out of range at {from:#x} to {to:#x} ({insn})")
+            }
+            IsaError::LiteralOutOfRange { offset } => {
+                write!(f, "literal pool entry out of range for load at offset {offset:#x}")
+            }
+            IsaError::ImmediateOutOfRange { what, value } => {
+                write!(f, "immediate {value} out of range for {what}")
+            }
+            IsaError::UndefinedSymbol(s) => write!(f, "undefined symbol `{s}`"),
+            IsaError::DuplicateSymbol(s) => write!(f, "duplicate symbol `{s}`"),
+            IsaError::RegionOverflow { region, need, have } => {
+                write!(f, "region `{region}` overflow: need {need} bytes, have {have}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IsaError {}

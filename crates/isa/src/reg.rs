@@ -1,0 +1,169 @@
+//! General-purpose registers of the TH16 core.
+//!
+//! TH16 exposes eight low registers `r0..r7` to most instructions, plus the
+//! dedicated stack pointer, link register and program counter that only a few
+//! instruction forms touch (exactly like ARM THUMB state). Register numbers
+//! are validated at construction so encodings can never go out of range.
+
+use serde::{Deserialize, Serialize};
+
+/// One of the eight low general-purpose registers `r0..r7`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Reg(u8);
+
+/// Register `r0` (first argument / return value).
+pub const R0: Reg = Reg(0);
+/// Register `r1` (second argument).
+pub const R1: Reg = Reg(1);
+/// Register `r2` (third argument).
+pub const R2: Reg = Reg(2);
+/// Register `r3` (fourth argument).
+pub const R3: Reg = Reg(3);
+/// Register `r4` (callee-saved).
+pub const R4: Reg = Reg(4);
+/// Register `r5` (callee-saved).
+pub const R5: Reg = Reg(5);
+/// Register `r6` (callee-saved).
+pub const R6: Reg = Reg(6);
+/// Register `r7` (callee-saved; the MiniC compiler reserves it as scratch).
+pub const R7: Reg = Reg(7);
+
+impl Reg {
+    /// Creates a register from its number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 7`; TH16 only encodes low registers in general
+    /// instruction forms.
+    pub fn new(n: u8) -> Reg {
+        assert!(n <= 7, "TH16 low register numbers are 0..=7, got {n}");
+        Reg(n)
+    }
+
+    /// Creates a register from its number, returning `None` if out of range.
+    pub fn try_new(n: u8) -> Option<Reg> {
+        (n <= 7).then_some(Reg(n))
+    }
+
+    /// The register number (0..=7).
+    pub fn num(self) -> u8 {
+        self.0
+    }
+
+    /// The register number as a `usize`, for indexing register files.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterates over all eight low registers in ascending order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..8).map(Reg)
+    }
+}
+
+impl std::fmt::Display for Reg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A set of low registers, as used by `PUSH`/`POP` register lists.
+///
+/// The backing byte has bit *i* set when `r<i>` is a member, matching the
+/// THUMB-style register-list encoding directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct RegList(pub u8);
+
+impl RegList {
+    /// The empty register list.
+    pub fn empty() -> RegList {
+        RegList(0)
+    }
+
+    /// Builds a list from registers.
+    pub fn of(regs: &[Reg]) -> RegList {
+        let mut bits = 0;
+        for r in regs {
+            bits |= 1 << r.num();
+        }
+        RegList(bits)
+    }
+
+    /// Whether `r` is a member.
+    pub fn contains(self, r: Reg) -> bool {
+        self.0 & (1 << r.num()) != 0
+    }
+
+    /// Adds `r` to the list.
+    pub fn insert(&mut self, r: Reg) {
+        self.0 |= 1 << r.num();
+    }
+
+    /// Number of registers in the list.
+    pub fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates members in ascending register order (the order `PUSH` stores
+    /// them to descending addresses and `POP` loads them back).
+    pub fn iter(self) -> impl Iterator<Item = Reg> {
+        (0..8).filter(move |i| self.0 & (1 << i) != 0).map(Reg)
+    }
+}
+
+impl std::fmt::Display for RegList {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut first = true;
+        for r in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{r}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_construction_and_display() {
+        assert_eq!(Reg::new(3), R3);
+        assert_eq!(R5.num(), 5);
+        assert_eq!(R7.to_string(), "r7");
+        assert_eq!(Reg::try_new(8), None);
+        assert_eq!(Reg::try_new(0), Some(R0));
+    }
+
+    #[test]
+    #[should_panic(expected = "low register")]
+    fn reg_out_of_range_panics() {
+        let _ = Reg::new(8);
+    }
+
+    #[test]
+    fn reglist_membership() {
+        let mut l = RegList::of(&[R0, R4, R7]);
+        assert!(l.contains(R4));
+        assert!(!l.contains(R1));
+        assert_eq!(l.len(), 3);
+        l.insert(R1);
+        assert!(l.contains(R1));
+        assert_eq!(l.iter().collect::<Vec<_>>(), vec![R0, R1, R4, R7]);
+        assert_eq!(l.to_string(), "r0,r1,r4,r7");
+    }
+
+    #[test]
+    fn reglist_empty() {
+        assert!(RegList::empty().is_empty());
+        assert_eq!(RegList::empty().len(), 0);
+    }
+}

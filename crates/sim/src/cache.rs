@@ -1,0 +1,230 @@
+//! Cache model: tag store only.
+//!
+//! The cache is write-through with no write-allocate, so main memory always
+//! holds current data and the model only needs tags + replacement state.
+//! This exactly matches the timing the WCET analyzer assumes and keeps the
+//! simulated data path trivially correct. Geometry and timing come from
+//! [`spmlab_isa::cachecfg::CacheConfig`], shared with the WCET analyzer.
+
+pub use spmlab_isa::cachecfg::{CacheConfig, CacheScope, Replacement};
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Way {
+    valid: bool,
+    tag: u32,
+    /// Higher = more recently used (LRU); insertion order (round-robin).
+    stamp: u64,
+}
+
+/// The tag store.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Way>>,
+    tick: u64,
+    rr_next: Vec<u32>,
+    rng: u64,
+}
+
+/// Result of a cache lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    /// Line present.
+    Hit,
+    /// Line absent (and filled, for reads).
+    Miss,
+}
+
+impl Cache {
+    /// Builds an empty (all-invalid) cache.
+    pub fn new(cfg: CacheConfig) -> Cache {
+        cfg.validate();
+        let sets = cfg.num_sets();
+        let rng_seed = match cfg.replacement {
+            Replacement::Random { seed } => seed | 1,
+            _ => 1,
+        };
+        Cache {
+            sets: vec![vec![Way::default(); cfg.assoc as usize]; sets as usize],
+            rr_next: vec![0; sets as usize],
+            cfg,
+            tick: 0,
+            rng: rng_seed,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    fn set_and_tag(&self, addr: u32) -> (usize, u32) {
+        let line_addr = addr / self.cfg.line;
+        let set = (line_addr % self.cfg.num_sets()) as usize;
+        let tag = line_addr / self.cfg.num_sets();
+        (set, tag)
+    }
+
+    fn xorshift(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x
+    }
+
+    /// A read access: returns hit/miss and fills the line on a miss.
+    pub fn read(&mut self, addr: u32) -> Lookup {
+        self.tick += 1;
+        let tick = self.tick;
+        let (set, tag) = self.set_and_tag(addr);
+        let ways = &mut self.sets[set];
+        if let Some(w) = ways.iter_mut().find(|w| w.valid && w.tag == tag) {
+            w.stamp = tick; // LRU touch (harmless for other policies).
+            return Lookup::Hit;
+        }
+        // Miss: pick a victim way and fill.
+        let victim = if let Some(inv) = ways.iter().position(|w| !w.valid) {
+            inv
+        } else {
+            match self.cfg.replacement {
+                Replacement::Lru => ways
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, w)| w.stamp)
+                    .map(|(i, _)| i)
+                    .unwrap_or(0),
+                Replacement::RoundRobin => {
+                    let v = self.rr_next[set] as usize;
+                    self.rr_next[set] = (self.rr_next[set] + 1) % self.cfg.assoc;
+                    v
+                }
+                Replacement::Random { .. } => {
+                    let r = self.xorshift();
+                    (r % self.cfg.assoc as u64) as usize
+                }
+            }
+        };
+        let ways = &mut self.sets[set];
+        ways[victim] = Way { valid: true, tag, stamp: tick };
+        Lookup::Miss
+    }
+
+    /// A write access: write-through, no allocate, no recency update.
+    /// Returns whether the line was present (timing is unaffected either
+    /// way; the write always pays the main-memory cost).
+    pub fn write(&mut self, addr: u32) -> Lookup {
+        let (set, tag) = self.set_and_tag(addr);
+        if self.sets[set].iter().any(|w| w.valid && w.tag == tag) {
+            Lookup::Hit
+        } else {
+            Lookup::Miss
+        }
+    }
+
+    /// Whether the line containing `addr` is currently present (no state
+    /// change) — used by analysis soundness tests.
+    pub fn probe(&self, addr: u32) -> bool {
+        let (set, tag) = self.set_and_tag(addr);
+        self.sets[set].iter().any(|w| w.valid && w.tag == tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_mapped_conflict() {
+        let mut c = Cache::new(CacheConfig::unified(64)); // 4 sets of 16B
+        assert_eq!(c.read(0x100), Lookup::Miss);
+        assert_eq!(c.read(0x100), Lookup::Hit);
+        assert_eq!(c.read(0x104), Lookup::Hit, "same line");
+        // 0x140 maps to the same set (64-byte stride), evicts.
+        assert_eq!(c.read(0x140), Lookup::Miss);
+        assert_eq!(c.read(0x100), Lookup::Miss, "evicted by conflict");
+    }
+
+    #[test]
+    fn two_way_lru_keeps_both() {
+        let cfg = CacheConfig::set_assoc(64, 2, Replacement::Lru);
+        let mut c = Cache::new(cfg); // 2 sets × 2 ways
+        c.read(0x000);
+        c.read(0x040); // same set, second way
+        assert_eq!(c.read(0x000), Lookup::Hit);
+        assert_eq!(c.read(0x040), Lookup::Hit);
+        // Third conflicting line evicts the LRU one (0x000 touched last ⇒
+        // 0x040 is LRU... we touched 0x040 after 0x000, then 0x000, so LRU
+        // is 0x040).
+        c.read(0x080);
+        assert_eq!(c.read(0x000), Lookup::Miss, "0x000 was LRU after 0x040 hit? order check");
+    }
+
+    #[test]
+    fn lru_order_detailed() {
+        let cfg = CacheConfig::set_assoc(32, 2, Replacement::Lru); // 1 set, 2 ways
+        let mut c = Cache::new(cfg);
+        c.read(0x00); // A
+        c.read(0x10); // B
+        c.read(0x00); // touch A → LRU is B
+        c.read(0x20); // C evicts B
+        assert!(c.probe(0x00));
+        assert!(!c.probe(0x10));
+        assert!(c.probe(0x20));
+    }
+
+    #[test]
+    fn writes_do_not_allocate() {
+        let mut c = Cache::new(CacheConfig::unified(64));
+        assert_eq!(c.write(0x200), Lookup::Miss);
+        assert!(!c.probe(0x200), "no write-allocate");
+        c.read(0x200);
+        assert_eq!(c.write(0x200), Lookup::Hit);
+        assert!(c.probe(0x200));
+    }
+
+    #[test]
+    fn round_robin_cycles_ways() {
+        let cfg = CacheConfig::set_assoc(32, 2, Replacement::RoundRobin); // 1 set
+        let mut c = Cache::new(cfg);
+        c.read(0x00);
+        c.read(0x10);
+        c.read(0x20); // evicts way 0 (A)
+        assert!(!c.probe(0x00));
+        assert!(c.probe(0x10));
+        c.read(0x30); // evicts way 1 (B)
+        assert!(!c.probe(0x10));
+        assert!(c.probe(0x20) && c.probe(0x30));
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let mk = |seed| {
+            let cfg = CacheConfig::set_assoc(64, 4, Replacement::Random { seed });
+            let mut c = Cache::new(cfg);
+            let mut pattern = Vec::new();
+            for i in 0..64u32 {
+                pattern.push(c.read(i * 16 * 7) == Lookup::Hit);
+            }
+            pattern
+        };
+        assert_eq!(mk(42), mk(42));
+    }
+
+    #[test]
+    fn miss_cost_matches_paper() {
+        let cfg = CacheConfig::unified(1024);
+        // 4 words × 4 cycles + 1 delivery = 17; hit = 1.
+        assert_eq!(cfg.miss_cycles(), 17);
+        assert_eq!(cfg.hit_cycles(), 1);
+    }
+
+    #[test]
+    fn geometry() {
+        let cfg = CacheConfig::unified(8192);
+        assert_eq!(cfg.num_sets(), 512);
+        let cfg = CacheConfig::set_assoc(8192, 4, Replacement::Lru);
+        assert_eq!(cfg.num_sets(), 128);
+    }
+}

@@ -1,0 +1,150 @@
+//! CPU architectural state and pure operation semantics.
+
+use spmlab_isa::cond::Flags;
+
+/// TH16 core state.
+#[derive(Debug, Clone, Default)]
+pub struct Cpu {
+    /// Low registers `r0..r7`.
+    pub regs: [u32; 8],
+    /// Stack pointer.
+    pub sp: u32,
+    /// Link register.
+    pub lr: u32,
+    /// Program counter (address of the next instruction to execute).
+    pub pc: u32,
+    /// Condition flags.
+    pub flags: Flags,
+}
+
+impl Cpu {
+    /// Reads a low register.
+    pub fn r(&self, reg: spmlab_isa::reg::Reg) -> u32 {
+        self.regs[reg.index()]
+    }
+
+    /// Writes a low register.
+    pub fn set_r(&mut self, reg: spmlab_isa::reg::Reg, value: u32) {
+        self.regs[reg.index()] = value;
+    }
+}
+
+/// Logical shift left by a register amount (ARM semantics, C flag ignored).
+pub fn lsl_reg(v: u32, amount: u32) -> u32 {
+    match amount & 0xFF {
+        0 => v,
+        a if a < 32 => v << a,
+        _ => 0,
+    }
+}
+
+/// Logical shift right by a register amount.
+pub fn lsr_reg(v: u32, amount: u32) -> u32 {
+    match amount & 0xFF {
+        0 => v,
+        a if a < 32 => v >> a,
+        _ => 0,
+    }
+}
+
+/// Arithmetic shift right by a register amount.
+pub fn asr_reg(v: u32, amount: u32) -> u32 {
+    match amount & 0xFF {
+        0 => v,
+        a if a < 32 => ((v as i32) >> a) as u32,
+        _ => ((v as i32) >> 31) as u32,
+    }
+}
+
+/// Rotate right by a register amount.
+pub fn ror_reg(v: u32, amount: u32) -> u32 {
+    let a = amount & 31;
+    if a == 0 {
+        v
+    } else {
+        v.rotate_right(a)
+    }
+}
+
+/// Add with carry, returning `(result, flags)`.
+pub fn adc(a: u32, b: u32, carry_in: bool) -> (u32, Flags) {
+    let wide = a as u64 + b as u64 + carry_in as u64;
+    let res = wide as u32;
+    let c = wide >> 32 != 0;
+    let v = ((a ^ res) & (b ^ res)) >> 31 != 0;
+    (res, Flags { n: res >> 31 != 0, z: res == 0, c, v })
+}
+
+/// Subtract with carry (`a - b - !carry_in`), returning `(result, flags)`.
+pub fn sbc(a: u32, b: u32, carry_in: bool) -> (u32, Flags) {
+    let borrow = 1 - carry_in as u64;
+    let wide = (a as u64).wrapping_sub(b as u64).wrapping_sub(borrow);
+    let res = wide as u32;
+    // C is NOT-borrow, as for SUB.
+    let c = (a as u64) >= (b as u64 + borrow);
+    let v = ((a ^ b) & (a ^ res)) >> 31 != 0;
+    (res, Flags { n: res >> 31 != 0, z: res == 0, c, v })
+}
+
+/// Signed division with ARM-style edge cases (x/0 = 0; INT_MIN/-1 wraps).
+pub fn sdiv(a: u32, b: u32) -> u32 {
+    if b == 0 {
+        0
+    } else {
+        (a as i32).wrapping_div(b as i32) as u32
+    }
+}
+
+/// Unsigned division (x/0 = 0).
+pub fn udiv(a: u32, b: u32) -> u32 {
+    if b == 0 {
+        0
+    } else {
+        a / b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shifts_by_register() {
+        assert_eq!(lsl_reg(1, 4), 16);
+        assert_eq!(lsl_reg(1, 0), 1);
+        assert_eq!(lsl_reg(1, 32), 0);
+        assert_eq!(lsl_reg(1, 255), 0);
+        assert_eq!(lsr_reg(0x8000_0000, 31), 1);
+        assert_eq!(lsr_reg(0x8000_0000, 32), 0);
+        assert_eq!(asr_reg(0x8000_0000, 31), 0xFFFF_FFFF);
+        assert_eq!(asr_reg(0x8000_0000, 40), 0xFFFF_FFFF);
+        assert_eq!(asr_reg(0x4000_0000, 40), 0);
+        assert_eq!(ror_reg(0x0000_00F0, 4), 0x0000_000F);
+        assert_eq!(ror_reg(1, 32), 1);
+    }
+
+    #[test]
+    fn carry_chain() {
+        let (r, f) = adc(u32::MAX, 0, true);
+        assert_eq!(r, 0);
+        assert!(f.c && f.z);
+        let (r, f) = sbc(5, 3, true);
+        assert_eq!(r, 2);
+        assert!(f.c);
+        let (r, f) = sbc(3, 5, true);
+        assert_eq!(r as i32, -2);
+        assert!(!f.c);
+        let (r, _) = sbc(5, 3, false);
+        assert_eq!(r, 1);
+    }
+
+    #[test]
+    fn division_edge_cases() {
+        assert_eq!(sdiv(10, 3), 3);
+        assert_eq!(sdiv((-10i32) as u32, 3) as i32, -3, "truncates toward zero");
+        assert_eq!(sdiv(7, 0), 0);
+        assert_eq!(sdiv(i32::MIN as u32, u32::MAX), i32::MIN as u32, "INT_MIN / -1 wraps");
+        assert_eq!(udiv(10, 3), 3);
+        assert_eq!(udiv(10, 0), 0);
+    }
+}

@@ -1,0 +1,94 @@
+//! # spmlab-sim — cycle-counting TH16 instruction-set simulator
+//!
+//! The stand-in for ARMulator in the paper's workflow: it executes linked
+//! TH16 images with a cycle model that charges
+//!
+//! * 1 base cycle per instruction (+2 for taken branches, +3 for `MUL`,
+//!   +11 for `SDIV`/`UDIV`),
+//! * instruction-fetch and data-access cycles according to the paper's
+//!   Table 1 (scratchpad 1 cycle, main memory 2 cycles for 8/16-bit and
+//!   4 cycles for 32-bit accesses),
+//! * optionally a unified or instruction-only cache (direct-mapped or
+//!   set-associative; LRU, round-robin or random replacement) with 1-cycle
+//!   hits and 17-cycle misses (4 × 4-cycle line-fill reads + 1 delivery),
+//!   write-through and no write-allocate.
+//!
+//! Beyond cycles it produces everything the rest of the toolchain needs:
+//! per-symbol access profiles (the allocator's benefit function), raw
+//! per-region access counts (the energy model), and per-instruction
+//! hit/miss statistics (used to *test* the WCET cache analysis for
+//! soundness).
+//!
+//! ```
+//! use spmlab_cc::{compile, link, SpmAssignment};
+//! use spmlab_isa::mem::MemoryMap;
+//! use spmlab_sim::{simulate, MachineConfig, SimOptions};
+//!
+//! let m = compile("int x; void main() { x = 41 + 1; }")?;
+//! let l = link(&m, &MemoryMap::no_spm(), &SpmAssignment::none())?;
+//! let res = simulate(&l.exe, &MachineConfig::uncached(), &SimOptions::default())?;
+//! assert_eq!(res.read_global(&l.exe, "x"), Some(42));
+//! assert!(res.cycles > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod cache;
+pub mod cpu;
+pub mod machine;
+pub mod memsys;
+pub mod profile;
+
+pub use cache::{CacheConfig, CacheScope, Replacement};
+pub use machine::{simulate, ExitReason, SimOptions, SimResult};
+pub use memsys::{AccessKind, MemStats};
+pub use profile::{InsnStat, Profile, SymbolProfile};
+
+/// Machine configuration: the memory map comes from the executable; this
+/// selects what sits between the core and main memory.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MachineConfig {
+    /// Cache between the core and main memory, if any. Scratchpad and MMIO
+    /// accesses always bypass it.
+    pub cache: Option<CacheConfig>,
+}
+
+impl MachineConfig {
+    /// No cache: pure Table-1 region timing (the scratchpad branch of the
+    /// paper, for any scratchpad size including zero).
+    pub fn uncached() -> MachineConfig {
+        MachineConfig { cache: None }
+    }
+
+    /// With a unified direct-mapped cache of `size` bytes (the paper's
+    /// cache branch).
+    pub fn with_unified_cache(size: u32) -> MachineConfig {
+        MachineConfig { cache: Some(CacheConfig::unified(size)) }
+    }
+}
+
+/// Simulator errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Access to an unmapped address, or a misaligned access.
+    Fault { pc: u32, addr: u32, what: &'static str },
+    /// An undefined instruction was executed.
+    UndefinedInsn { pc: u32, raw: u16 },
+    /// The watchdog cycle limit expired (runaway program).
+    Watchdog { cycles: u64 },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Fault { pc, addr, what } => {
+                write!(f, "memory fault at pc={pc:#x}: {what} access to {addr:#x}")
+            }
+            SimError::UndefinedInsn { pc, raw } => {
+                write!(f, "undefined instruction {raw:#06x} at pc={pc:#x}")
+            }
+            SimError::Watchdog { cycles } => write!(f, "watchdog expired after {cycles} cycles"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

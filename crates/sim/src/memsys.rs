@@ -1,0 +1,355 @@
+//! The memory system: region timing, cache, MMIO, statistics.
+
+use crate::cache::{Cache, CacheConfig, CacheScope, Lookup};
+use crate::SimError;
+use spmlab_isa::mem::{
+    access_cycles, AccessWidth, MemoryMap, RegionKind, MMIO_BASE, MMIO_CYCLES, MMIO_PUTC,
+    MMIO_PUTINT, MMIO_SIZE,
+};
+
+/// What kind of access the core is making.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Instruction fetch (always 16-bit).
+    Fetch,
+    /// Data read.
+    Read,
+    /// Data write.
+    Write,
+}
+
+/// Per-region, per-width access counters plus cache statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Scratchpad accesses by width (byte, half, word).
+    pub spm: [u64; 3],
+    /// Main-memory accesses by width — *core-visible* accesses; line fills
+    /// are counted separately.
+    pub main: [u64; 3],
+    /// MMIO accesses.
+    pub mmio: u64,
+    /// Cache read hits (fetch + data).
+    pub cache_hits: u64,
+    /// Cache read misses (each causing a line fill).
+    pub cache_misses: u64,
+    /// 32-bit main-memory reads performed by line fills.
+    pub fill_words: u64,
+    /// Writes that went through the cache path (write-through).
+    pub write_throughs: u64,
+}
+
+impl MemStats {
+    fn bump(&mut self, kind: RegionKind, width: AccessWidth) {
+        let idx = match width {
+            AccessWidth::Byte => 0,
+            AccessWidth::Half => 1,
+            AccessWidth::Word => 2,
+        };
+        match kind {
+            RegionKind::Scratchpad => self.spm[idx] += 1,
+            RegionKind::Main | RegionKind::Unmapped => self.main[idx] += 1,
+            RegionKind::Mmio => self.mmio += 1,
+        }
+    }
+
+    /// Total core-visible accesses.
+    pub fn total_accesses(&self) -> u64 {
+        self.spm.iter().sum::<u64>() + self.main.iter().sum::<u64>() + self.mmio
+    }
+}
+
+/// The full memory system backing the simulation loop in `machine`.
+#[derive(Debug, Clone)]
+pub struct MemSystem {
+    map: MemoryMap,
+    spm: Vec<u8>,
+    main: Vec<u8>,
+    cache: Option<Cache>,
+    /// Console bytes written via MMIO/SWI.
+    pub console: Vec<u8>,
+    /// Integers written via MMIO/SWI.
+    pub int_outputs: Vec<i32>,
+    /// Statistics.
+    pub stats: MemStats,
+    /// Cycle counter mirror (for the MMIO cycle register).
+    pub now: u64,
+}
+
+impl MemSystem {
+    /// Builds the memory system and pre-loads the executable's regions
+    /// (including scratchpad contents — static allocation is load-time).
+    pub fn new(exe: &spmlab_isa::image::Executable, cache: Option<CacheConfig>) -> MemSystem {
+        let map = exe.memory_map.clone();
+        let mut sys = MemSystem {
+            spm: vec![0; map.spm_size as usize],
+            main: vec![0; map.main_size as usize],
+            cache: cache.map(Cache::new),
+            console: Vec::new(),
+            int_outputs: Vec::new(),
+            stats: MemStats::default(),
+            now: 0,
+            map,
+        };
+        for r in &exe.regions {
+            for (i, b) in r.bytes.iter().enumerate() {
+                let addr = r.addr + i as u32;
+                match sys.map.region_of(addr) {
+                    RegionKind::Scratchpad => {
+                        sys.spm[(addr - sys.map.spm_base) as usize] = *b;
+                    }
+                    RegionKind::Main => {
+                        sys.main[(addr - sys.map.main_base) as usize] = *b;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        sys
+    }
+
+    /// The memory map.
+    pub fn map(&self) -> &MemoryMap {
+        &self.map
+    }
+
+    fn backing(&self, addr: u32, len: u32) -> Option<(&[u8], usize)> {
+        match self.map.region_of(addr) {
+            RegionKind::Scratchpad => {
+                let off = (addr - self.map.spm_base) as usize;
+                (off + len as usize <= self.spm.len()).then_some((&self.spm[..], off))
+            }
+            RegionKind::Main => {
+                let off = (addr - self.map.main_base) as usize;
+                (off + len as usize <= self.main.len()).then_some((&self.main[..], off))
+            }
+            _ => None,
+        }
+    }
+
+    /// Raw read without timing or stats (debugger-style; used to extract
+    /// results after a run).
+    pub fn peek(&self, addr: u32, width: AccessWidth) -> Option<u32> {
+        let (buf, off) = self.backing(addr, width.bytes())?;
+        Some(match width {
+            AccessWidth::Byte => buf[off] as u32,
+            AccessWidth::Half => u16::from_le_bytes([buf[off], buf[off + 1]]) as u32,
+            AccessWidth::Word => {
+                u32::from_le_bytes([buf[off], buf[off + 1], buf[off + 2], buf[off + 3]])
+            }
+        })
+    }
+
+    fn poke(&mut self, addr: u32, width: AccessWidth, value: u32) -> bool {
+        let region = self.map.region_of(addr);
+        let (buf, off): (&mut Vec<u8>, usize) = match region {
+            RegionKind::Scratchpad => (&mut self.spm, (addr - self.map.spm_base) as usize),
+            RegionKind::Main => (&mut self.main, (addr - self.map.main_base) as usize),
+            _ => return false,
+        };
+        let bytes = value.to_le_bytes();
+        let n = width.bytes() as usize;
+        if off + n > buf.len() {
+            return false;
+        }
+        buf[off..off + n].copy_from_slice(&bytes[..n]);
+        true
+    }
+
+    /// Whether the cache would serve this access (fetch vs data scope).
+    fn cached(&self, kind: AccessKind, region: RegionKind) -> bool {
+        if region != RegionKind::Main {
+            return false;
+        }
+        match &self.cache {
+            None => false,
+            Some(c) => match c.config().scope {
+                CacheScope::Unified => true,
+                CacheScope::InstrOnly => kind == AccessKind::Fetch,
+            },
+        }
+    }
+
+    /// Performs a read or fetch. Returns `(value, cycles, was_miss)`.
+    /// `was_miss` is `None` when the access bypassed the cache.
+    ///
+    /// # Errors
+    ///
+    /// Faults on unmapped or misaligned addresses.
+    pub fn read(
+        &mut self,
+        pc: u32,
+        addr: u32,
+        width: AccessWidth,
+        kind: AccessKind,
+    ) -> Result<(u32, u64, Option<bool>), SimError> {
+        if addr % width.bytes() != 0 {
+            return Err(SimError::Fault { pc, addr, what: "misaligned" });
+        }
+        let region = self.map.region_of(addr);
+        if region == RegionKind::Mmio {
+            self.stats.bump(region, width);
+            let v = match addr {
+                MMIO_CYCLES => self.now as u32,
+                _ => 0,
+            };
+            return Ok((v, 1, None));
+        }
+        let value = self
+            .peek(addr, width)
+            .ok_or(SimError::Fault { pc, addr, what: "unmapped read" })?;
+        self.stats.bump(region, width);
+        if self.cached(kind, region) {
+            let cache = self.cache.as_mut().expect("cached() checked");
+            let (cycles, miss) = match cache.read(addr) {
+                Lookup::Hit => {
+                    self.stats.cache_hits += 1;
+                    (cache.config().hit_cycles(), false)
+                }
+                Lookup::Miss => {
+                    self.stats.cache_misses += 1;
+                    self.stats.fill_words += (cache.config().line / 4) as u64;
+                    (cache.config().miss_cycles(), true)
+                }
+            };
+            Ok((value, cycles, Some(miss)))
+        } else {
+            Ok((value, access_cycles(region, width), None))
+        }
+    }
+
+    /// Performs a write. Returns cycles.
+    ///
+    /// # Errors
+    ///
+    /// Faults on unmapped or misaligned addresses.
+    pub fn write(
+        &mut self,
+        pc: u32,
+        addr: u32,
+        width: AccessWidth,
+        value: u32,
+    ) -> Result<u64, SimError> {
+        if addr % width.bytes() != 0 {
+            return Err(SimError::Fault { pc, addr, what: "misaligned" });
+        }
+        let region = self.map.region_of(addr);
+        self.stats.bump(region, width);
+        if region == RegionKind::Mmio {
+            match addr {
+                MMIO_PUTC => self.console.push(value as u8),
+                MMIO_PUTINT => self.int_outputs.push(value as i32),
+                a if (MMIO_BASE..MMIO_BASE + MMIO_SIZE).contains(&a) => {}
+                _ => unreachable!("region_of said Mmio"),
+            }
+            return Ok(1);
+        }
+        if !self.poke(addr, width, value) {
+            return Err(SimError::Fault { pc, addr, what: "unmapped write" });
+        }
+        if self.cached(AccessKind::Write, region) {
+            let cache = self.cache.as_mut().expect("cached() checked");
+            cache.write(addr);
+            self.stats.write_throughs += 1;
+        }
+        // Write-through: always pays the main-memory (or scratchpad) cost.
+        Ok(access_cycles(region, width))
+    }
+
+    /// Probes whether `addr`'s line is in the cache (tests only).
+    pub fn cache_probe(&self, addr: u32) -> Option<bool> {
+        self.cache.as_ref().map(|c| c.probe(addr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmlab_isa::image::{Executable, LoadRegion};
+    use spmlab_isa::mem::MAIN_BASE;
+
+    fn exe_with(map: MemoryMap, addr: u32, bytes: Vec<u8>) -> Executable {
+        Executable {
+            regions: vec![LoadRegion { addr, bytes }],
+            symbols: vec![],
+            entry: MAIN_BASE,
+            memory_map: map,
+        }
+    }
+
+    #[test]
+    fn uncached_timing_follows_table1() {
+        let exe = exe_with(MemoryMap::with_spm(64), MAIN_BASE, vec![1, 2, 3, 4]);
+        let mut m = MemSystem::new(&exe, None);
+        let (v, cyc, miss) = m.read(0, MAIN_BASE, AccessWidth::Word, AccessKind::Read).unwrap();
+        assert_eq!(v, 0x04030201);
+        assert_eq!(cyc, 4);
+        assert_eq!(miss, None);
+        let (_, cyc, _) = m.read(0, MAIN_BASE, AccessWidth::Half, AccessKind::Fetch).unwrap();
+        assert_eq!(cyc, 2);
+        let (_, cyc, _) = m.read(0, 0, AccessWidth::Word, AccessKind::Read).unwrap();
+        assert_eq!(cyc, 1, "scratchpad word read is single cycle");
+    }
+
+    #[test]
+    fn cached_fetch_miss_then_hit() {
+        let exe = exe_with(MemoryMap::no_spm(), MAIN_BASE, vec![0; 64]);
+        let mut m = MemSystem::new(&exe, Some(CacheConfig::unified(64)));
+        let (_, cyc, miss) = m.read(0, MAIN_BASE, AccessWidth::Half, AccessKind::Fetch).unwrap();
+        assert_eq!((cyc, miss), (17, Some(true)));
+        let (_, cyc, miss) = m.read(0, MAIN_BASE + 2, AccessWidth::Half, AccessKind::Fetch).unwrap();
+        assert_eq!((cyc, miss), (1, Some(false)), "same line hits");
+        assert_eq!(m.stats.cache_hits, 1);
+        assert_eq!(m.stats.cache_misses, 1);
+        assert_eq!(m.stats.fill_words, 4);
+    }
+
+    #[test]
+    fn instr_only_cache_bypasses_data() {
+        let exe = exe_with(MemoryMap::no_spm(), MAIN_BASE, vec![0; 64]);
+        let mut m = MemSystem::new(&exe, Some(CacheConfig::instr_only(64)));
+        let (_, cyc, miss) = m.read(0, MAIN_BASE, AccessWidth::Word, AccessKind::Read).unwrap();
+        assert_eq!((cyc, miss), (4, None));
+        let (_, cyc, _) = m.read(0, MAIN_BASE, AccessWidth::Half, AccessKind::Fetch).unwrap();
+        assert_eq!(cyc, 17, "fetches still cached");
+    }
+
+    #[test]
+    fn writes_are_write_through() {
+        let exe = exe_with(MemoryMap::no_spm(), MAIN_BASE, vec![0; 64]);
+        let mut m = MemSystem::new(&exe, Some(CacheConfig::unified(64)));
+        let cyc = m.write(0, MAIN_BASE + 8, AccessWidth::Word, 0xAABBCCDD).unwrap();
+        assert_eq!(cyc, 4, "write pays main-memory cost");
+        assert_eq!(m.peek(MAIN_BASE + 8, AccessWidth::Word), Some(0xAABBCCDD));
+        // Read it back through the cache: first read misses (no allocate).
+        let (v, cyc, miss) = m.read(0, MAIN_BASE + 8, AccessWidth::Word, AccessKind::Read).unwrap();
+        assert_eq!((v, cyc, miss), (0xAABBCCDD, 17, Some(true)));
+    }
+
+    #[test]
+    fn mmio_console() {
+        let exe = exe_with(MemoryMap::no_spm(), MAIN_BASE, vec![]);
+        let mut m = MemSystem::new(&exe, None);
+        m.write(0, MMIO_PUTC, AccessWidth::Word, b'h' as u32).unwrap();
+        m.write(0, MMIO_PUTC, AccessWidth::Word, b'i' as u32).unwrap();
+        m.write(0, MMIO_PUTINT, AccessWidth::Word, 42).unwrap();
+        assert_eq!(m.console, b"hi");
+        assert_eq!(m.int_outputs, vec![42]);
+    }
+
+    #[test]
+    fn faults() {
+        let exe = exe_with(MemoryMap::no_spm(), MAIN_BASE, vec![0; 8]);
+        let mut m = MemSystem::new(&exe, None);
+        assert!(m.read(0, 0x50, AccessWidth::Word, AccessKind::Read).is_err(), "unmapped");
+        assert!(m.read(0, MAIN_BASE + 2, AccessWidth::Word, AccessKind::Read).is_err(), "align");
+        assert!(m.write(0, 0x50, AccessWidth::Word, 0).is_err());
+    }
+
+    #[test]
+    fn spm_preloaded() {
+        let map = MemoryMap::with_spm(64);
+        let exe = exe_with(map, 0, vec![0xEF, 0xBE, 0xAD, 0xDE]);
+        let m = MemSystem::new(&exe, None);
+        assert_eq!(m.peek(0, AccessWidth::Word), Some(0xDEADBEEF));
+    }
+}

@@ -1,0 +1,174 @@
+//! Execution profiling: per-symbol access counts (the allocator's benefit
+//! function) and per-instruction hit/miss statistics (cache-analysis
+//! soundness testing).
+
+use spmlab_isa::image::Executable;
+use spmlab_isa::mem::AccessWidth;
+use std::collections::HashMap;
+
+/// Access counts for one memory object.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SymbolProfile {
+    /// Object name.
+    pub name: String,
+    /// Instruction fetches from inside the object (functions only); each is
+    /// one 16-bit access.
+    pub fetches: u64,
+    /// Data reads by width (byte, half, word) — literal-pool loads land on
+    /// the containing *function* here, exactly as the paper treats pools as
+    /// part of the function object.
+    pub reads: [u64; 3],
+    /// Data writes by width.
+    pub writes: [u64; 3],
+}
+
+impl SymbolProfile {
+    /// Total data accesses.
+    pub fn data_accesses(&self) -> u64 {
+        self.reads.iter().sum::<u64>() + self.writes.iter().sum::<u64>()
+    }
+}
+
+/// Per-instruction dynamic statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InsnStat {
+    /// Times the instruction executed.
+    pub execs: u64,
+    /// Instruction-fetch misses attributed to it (cache configs only).
+    pub fetch_misses: u64,
+    /// Data accesses it performed.
+    pub data_accesses: u64,
+    /// Data-access misses (cached reads only).
+    pub data_misses: u64,
+}
+
+/// A full execution profile.
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    /// Per-symbol counts, in symbol-table order.
+    pub symbols: Vec<SymbolProfile>,
+    /// Data accesses that hit no symbol (stack traffic, MMIO).
+    pub unattributed_reads: u64,
+    /// Writes that hit no symbol.
+    pub unattributed_writes: u64,
+    ranges: Vec<(u32, u32, usize)>,
+}
+
+impl Profile {
+    /// Prepares a profile for the executable's symbol table.
+    pub fn for_exe(exe: &Executable) -> Profile {
+        let mut symbols = Vec::with_capacity(exe.symbols.len());
+        let mut ranges = Vec::with_capacity(exe.symbols.len());
+        for (i, s) in exe.symbols.iter().enumerate() {
+            symbols.push(SymbolProfile { name: s.name.clone(), ..SymbolProfile::default() });
+            ranges.push((s.addr, s.addr + s.size, i));
+        }
+        ranges.sort_unstable();
+        Profile { symbols, unattributed_reads: 0, unattributed_writes: 0, ranges }
+    }
+
+    fn index_of(&self, addr: u32) -> Option<usize> {
+        let i = self.ranges.partition_point(|&(start, _, _)| start <= addr);
+        let (start, end, idx) = *self.ranges.get(i.checked_sub(1)?)?;
+        (addr >= start && addr < end).then_some(idx)
+    }
+
+    fn width_idx(width: AccessWidth) -> usize {
+        match width {
+            AccessWidth::Byte => 0,
+            AccessWidth::Half => 1,
+            AccessWidth::Word => 2,
+        }
+    }
+
+    /// Records an instruction fetch at `pc`.
+    pub fn record_fetch(&mut self, pc: u32) {
+        if let Some(i) = self.index_of(pc) {
+            self.symbols[i].fetches += 1;
+        }
+    }
+
+    /// Records a data read.
+    pub fn record_read(&mut self, addr: u32, width: AccessWidth) {
+        match self.index_of(addr) {
+            Some(i) => self.symbols[i].reads[Self::width_idx(width)] += 1,
+            None => self.unattributed_reads += 1,
+        }
+    }
+
+    /// Records a data write.
+    pub fn record_write(&mut self, addr: u32, width: AccessWidth) {
+        match self.index_of(addr) {
+            Some(i) => self.symbols[i].writes[Self::width_idx(width)] += 1,
+            None => self.unattributed_writes += 1,
+        }
+    }
+
+    /// Looks up a symbol's profile by name.
+    pub fn symbol(&self, name: &str) -> Option<&SymbolProfile> {
+        self.symbols.iter().find(|s| s.name == name)
+    }
+}
+
+/// Per-instruction statistics keyed by instruction address.
+pub type InsnStats = HashMap<u32, InsnStat>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmlab_isa::image::{LoadRegion, Symbol, SymbolKind};
+    use spmlab_isa::mem::MemoryMap;
+
+    fn exe() -> Executable {
+        Executable {
+            regions: vec![LoadRegion { addr: 0x0010_0000, bytes: vec![0; 64] }],
+            symbols: vec![
+                Symbol {
+                    name: "f".into(),
+                    addr: 0x0010_0000,
+                    size: 16,
+                    kind: SymbolKind::Func { code_size: 12 },
+                },
+                Symbol {
+                    name: "g".into(),
+                    addr: 0x0010_0010,
+                    size: 8,
+                    kind: SymbolKind::Object { width: AccessWidth::Word },
+                },
+            ],
+            entry: 0x0010_0000,
+            memory_map: MemoryMap::no_spm(),
+        }
+    }
+
+    #[test]
+    fn attribution() {
+        let mut p = Profile::for_exe(&exe());
+        p.record_fetch(0x0010_0002);
+        p.record_fetch(0x0010_0002);
+        p.record_read(0x0010_0014, AccessWidth::Word);
+        p.record_write(0x0010_0010, AccessWidth::Word);
+        p.record_read(0x0020_0000, AccessWidth::Word); // stack-ish
+        assert_eq!(p.symbol("f").unwrap().fetches, 2);
+        assert_eq!(p.symbol("g").unwrap().reads[2], 1);
+        assert_eq!(p.symbol("g").unwrap().writes[2], 1);
+        assert_eq!(p.unattributed_reads, 1);
+    }
+
+    #[test]
+    fn literal_pool_reads_attribute_to_function() {
+        let mut p = Profile::for_exe(&exe());
+        // Pool at f+12..16.
+        p.record_read(0x0010_000C, AccessWidth::Word);
+        assert_eq!(p.symbol("f").unwrap().reads[2], 1);
+    }
+
+    #[test]
+    fn boundaries() {
+        let mut p = Profile::for_exe(&exe());
+        p.record_read(0x0010_0017, AccessWidth::Byte); // last byte of g
+        p.record_read(0x0010_0018, AccessWidth::Byte); // past g
+        assert_eq!(p.symbol("g").unwrap().reads[0], 1);
+        assert_eq!(p.unattributed_reads, 1);
+    }
+}

@@ -1,0 +1,256 @@
+//! Per-instruction semantic tests through hand-assembled images — covering
+//! the instruction behaviours the MiniC compiler never emits (carry
+//! chains, rotates, ADR, MMIO registers), so the simulator is trustworthy
+//! for *any* TH16 binary, not just compiler output.
+
+use spmlab_isa::cond::Cond;
+use spmlab_isa::encode::encode_all;
+use spmlab_isa::image::{Executable, LoadRegion, Symbol, SymbolKind};
+use spmlab_isa::insn::{AluOp, Insn, ShiftOp};
+use spmlab_isa::mem::{AccessWidth, MemoryMap, MAIN_BASE, MMIO_PUTC, MMIO_PUTINT};
+use spmlab_isa::reg::{RegList, R0, R1, R2, R3, R4};
+use spmlab_sim::{simulate, MachineConfig, SimOptions, SimResult};
+
+/// Runs raw instructions at `MAIN_BASE` with a results area at
+/// `MAIN_BASE + 0x1000`; returns the simulation result.
+fn run(insns: &[Insn]) -> SimResult {
+    let mut all = insns.to_vec();
+    all.push(Insn::Swi { imm: 0 });
+    let halfwords = encode_all(&all);
+    let mut bytes = Vec::new();
+    for hw in &halfwords {
+        bytes.extend(hw.to_le_bytes());
+    }
+    let size = bytes.len() as u32;
+    bytes.resize(0x2000, 0);
+    let exe = Executable {
+        regions: vec![LoadRegion { addr: MAIN_BASE, bytes }],
+        symbols: vec![
+            Symbol {
+                name: "_start".into(),
+                addr: MAIN_BASE,
+                size,
+                kind: SymbolKind::Func { code_size: size },
+            },
+            Symbol {
+                name: "result".into(),
+                addr: MAIN_BASE + 0x1000,
+                size: 64,
+                kind: SymbolKind::Object { width: AccessWidth::Word },
+            },
+        ],
+        entry: MAIN_BASE,
+        memory_map: MemoryMap::no_spm(),
+    };
+    simulate(&exe, &MachineConfig::uncached(), &SimOptions::default()).unwrap()
+}
+
+/// Loads a 32-bit constant into a register via MOV/LSL/ADD chains
+/// (no literal pool in raw images).
+fn load32(rd: spmlab_isa::reg::Reg, v: u32) -> Vec<Insn> {
+    let mut out = vec![Insn::MovImm { rd, imm: (v >> 24) as u8 }];
+    for shift in [16u32, 8, 0] {
+        out.push(Insn::ShiftImm { op: ShiftOp::Lsl, rd, rm: rd, imm: 8 });
+        let byte = ((v >> shift) & 0xFF) as u8;
+        if byte != 0 {
+            out.push(Insn::AddImm { rd, imm: byte });
+        }
+    }
+    out
+}
+
+/// Stores `rd` to the results area slot `slot` (address staged in r4).
+fn store_result(rd: spmlab_isa::reg::Reg, slot: u8) -> Vec<Insn> {
+    let mut out = load32(R4, MAIN_BASE + 0x1000);
+    out.push(Insn::StrImm { width: AccessWidth::Word, rd, rn: R4, off: slot * 4 });
+    out
+}
+
+fn result(sim: &SimResult, slot: u32) -> i32 {
+    sim.peek(MAIN_BASE + 0x1000 + slot * 4, AccessWidth::Word).unwrap() as i32
+}
+
+#[test]
+fn adc_sbc_carry_chain() {
+    // 64-bit add of 0xFFFFFFFF + 1 via ADC: low word 0, high word 1.
+    let mut p = load32(R0, 0xFFFF_FFFF);
+    p.push(Insn::MovImm { rd: R1, imm: 1 });
+    p.push(Insn::MovImm { rd: R2, imm: 0 });
+    p.push(Insn::MovImm { rd: R3, imm: 0 });
+    p.push(Insn::AddReg { rd: R0, rn: R0, rm: R1 }); // sets carry
+    p.push(Insn::Alu { op: AluOp::Adc, rd: R2, rm: R3 }); // r2 = 0+0+C = 1
+    p.extend(store_result(R0, 0));
+    p.extend(store_result(R2, 1));
+    let s = run(&p);
+    assert_eq!(result(&s, 0), 0);
+    assert_eq!(result(&s, 1), 1);
+
+    // SBC: 5 - 3 with borrow clear (C=1 after CMP 5,3 since 5>=3).
+    let mut p = vec![
+        Insn::MovImm { rd: R0, imm: 5 },
+        Insn::MovImm { rd: R1, imm: 3 },
+        Insn::Alu { op: AluOp::Cmp, rd: R0, rm: R1 }, // C=1
+        Insn::Alu { op: AluOp::Sbc, rd: R0, rm: R1 }, // 5-3-0 = 2
+    ];
+    p.extend(store_result(R0, 0));
+    let s = run(&p);
+    assert_eq!(result(&s, 0), 2);
+}
+
+#[test]
+fn rotate_and_bit_ops() {
+    let mut p = vec![
+        Insn::MovImm { rd: R0, imm: 0xF0 },
+        Insn::MovImm { rd: R1, imm: 4 },
+        Insn::Alu { op: AluOp::Ror, rd: R0, rm: R1 }, // 0xF0 ror 4 = 0x0000000F
+    ];
+    p.extend(store_result(R0, 0));
+    p.extend([
+        Insn::MovImm { rd: R0, imm: 0xFF },
+        Insn::MovImm { rd: R1, imm: 0x0F },
+        Insn::Alu { op: AluOp::Bic, rd: R0, rm: R1 }, // 0xFF & !0x0F = 0xF0
+    ]);
+    p.extend(store_result(R0, 1));
+    p.extend([
+        Insn::MovImm { rd: R0, imm: 0 },
+        Insn::Alu { op: AluOp::Mvn, rd: R0, rm: R0 }, // !0 = -1
+    ]);
+    p.extend(store_result(R0, 2));
+    let s = run(&p);
+    assert_eq!(result(&s, 0), 0x0F);
+    assert_eq!(result(&s, 1), 0xF0);
+    assert_eq!(result(&s, 2), -1);
+}
+
+#[test]
+fn tst_and_cmn_set_flags_without_writing() {
+    // TST: 0x0F & 0xF0 == 0 → Z set → BEQ taken, skipping the poison MOV
+    // (a taken BCond with off 0 lands at pc+4, one halfword past it).
+    let mut p = vec![
+        Insn::MovImm { rd: R0, imm: 0x0F },
+        Insn::MovImm { rd: R1, imm: 0xF0 },
+        Insn::MovImm { rd: R2, imm: 7 },
+        Insn::Alu { op: AluOp::Tst, rd: R0, rm: R1 },
+        Insn::BCond { cond: Cond::Eq, off: 0 },
+        Insn::MovImm { rd: R2, imm: 9 }, // skipped when Z holds
+    ];
+    p.extend(store_result(R0, 0)); // r0 unchanged by TST
+    p.extend(store_result(R2, 1));
+    let s = run(&p);
+    assert_eq!(result(&s, 0), 0x0F, "TST must not write its destination");
+    assert_eq!(result(&s, 1), 7, "BEQ taken: the poison MOV was skipped");
+
+    // CMN: 5 + (-5) == 0 → Z set → BNE falls through to the witness MOV.
+    let mut p = vec![
+        Insn::MovImm { rd: R0, imm: 5 },
+        Insn::MovImm { rd: R1, imm: 5 },
+        Insn::Alu { op: AluOp::Neg, rd: R1, rm: R1 },
+        Insn::Alu { op: AluOp::Cmn, rd: R0, rm: R1 },
+        Insn::MovImm { rd: R2, imm: 0 },
+        Insn::BCond { cond: Cond::Ne, off: 0 }, // would skip the witness
+        Insn::MovImm { rd: R2, imm: 1 },
+    ];
+    p.extend(store_result(R2, 0));
+    let s = run(&p);
+    assert_eq!(result(&s, 0), 1, "5 + (-5) compares to zero");
+}
+
+#[test]
+fn adr_and_addsp_form_addresses() {
+    // ADR points into the code region, word-aligned.
+    let mut p = vec![Insn::Adr { rd: R0, imm: 2 }];
+    p.extend(store_result(R0, 0));
+    // ADD r1, sp, #8 — stack-relative address forming.
+    p.push(Insn::AddSp { rd: R1, imm: 2 });
+    p.extend(store_result(R1, 1));
+    let s = run(&p);
+    let adr = result(&s, 0) as u32;
+    // ADR at MAIN_BASE: align4(pc = MAIN_BASE+4) + 2*4.
+    assert_eq!(adr, ((MAIN_BASE + 4) & !3u32) + 8, "pc-relative, aligned, +2 words");
+    let stack_top = MemoryMap::no_spm().stack_top;
+    assert_eq!(result(&s, 1) as u32, stack_top + 8);
+}
+
+#[test]
+fn push_pop_roundtrip_and_sp_discipline() {
+    let mut p = vec![
+        Insn::MovImm { rd: R0, imm: 11 },
+        Insn::MovImm { rd: R1, imm: 22 },
+        Insn::MovImm { rd: R2, imm: 33 },
+        Insn::Push { regs: RegList::of(&[R0, R1, R2]), lr: false },
+        Insn::MovImm { rd: R0, imm: 0 },
+        Insn::MovImm { rd: R1, imm: 0 },
+        Insn::MovImm { rd: R2, imm: 0 },
+        Insn::Pop { regs: RegList::of(&[R0, R1, R2]), pc: false },
+    ];
+    p.extend(store_result(R0, 0));
+    p.extend(store_result(R1, 1));
+    p.extend(store_result(R2, 2));
+    let s = run(&p);
+    assert_eq!((result(&s, 0), result(&s, 1), result(&s, 2)), (11, 22, 33));
+}
+
+#[test]
+fn signed_and_unsigned_division_extension() {
+    let mut p = vec![
+        Insn::MovImm { rd: R0, imm: 100 },
+        Insn::MovImm { rd: R1, imm: 7 },
+        Insn::Sdiv { rd: R0, rm: R1 },
+    ];
+    p.extend(store_result(R0, 0));
+    // Unsigned: 0xFFFFFFFE / 2 = 0x7FFFFFFF.
+    p.extend(load32(R0, 0xFFFF_FFFE));
+    p.push(Insn::MovImm { rd: R1, imm: 2 });
+    p.push(Insn::Udiv { rd: R0, rm: R1 });
+    p.extend(store_result(R0, 1));
+    let s = run(&p);
+    assert_eq!(result(&s, 0), 14);
+    assert_eq!(result(&s, 1), 0x7FFF_FFFF);
+}
+
+#[test]
+fn mmio_console_from_machine_code() {
+    let mut p = load32(R4, MMIO_PUTC);
+    p.push(Insn::MovImm { rd: R0, imm: b'k' });
+    p.push(Insn::StrImm { width: AccessWidth::Word, rd: R0, rn: R4, off: 0 });
+    p.extend(load32(R4, MMIO_PUTINT));
+    p.push(Insn::MovImm { rd: R0, imm: 123 });
+    p.push(Insn::StrImm { width: AccessWidth::Word, rd: R0, rn: R4, off: 0 });
+    // SWI console too.
+    p.push(Insn::MovImm { rd: R0, imm: b'!' });
+    p.push(Insn::Swi { imm: 1 });
+    let s = run(&p);
+    assert_eq!(s.console, "k!");
+    assert_eq!(s.int_outputs, vec![123]);
+}
+
+#[test]
+fn narrow_loads_zero_extend_and_signed_variants_sign_extend() {
+    // Store 0xFFFE halfword; reload unsigned (imm) vs signed (reg).
+    let mut p = load32(R4, MAIN_BASE + 0x1000 + 32);
+    p.extend(load32(R0, 0xFFFE));
+    p.push(Insn::StrImm { width: AccessWidth::Half, rd: R0, rn: R4, off: 0 });
+    p.push(Insn::LdrImm { width: AccessWidth::Half, rd: R1, rn: R4, off: 0 });
+    p.extend(store_result(R1, 0)); // zero-extended: 0x0000FFFE
+    p.push(Insn::MovImm { rd: R2, imm: 0 });
+    p.extend(load32(R4, MAIN_BASE + 0x1000 + 32));
+    p.push(Insn::LdrReg { width: AccessWidth::Half, signed: true, rd: R1, rn: R4, rm: R2 });
+    p.extend(store_result(R1, 1)); // sign-extended: -2
+    let s = run(&p);
+    assert_eq!(result(&s, 0), 0xFFFE);
+    assert_eq!(result(&s, 1), -2);
+}
+
+#[test]
+fn cycle_accounting_matches_table1_for_straight_line_code() {
+    // movs r0,#1 (1+2 fetch) ×3 + swi (1+2) = exact cycle arithmetic.
+    let p = vec![
+        Insn::MovImm { rd: R0, imm: 1 },
+        Insn::MovImm { rd: R1, imm: 2 },
+        Insn::MovImm { rd: R2, imm: 3 },
+    ];
+    let s = run(&p);
+    // 4 instructions (incl. swi), each 1 base + 2 fetch cycles.
+    assert_eq!(s.cycles, 4 * 3);
+    assert_eq!(s.instructions, 4);
+}

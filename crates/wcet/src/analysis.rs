@@ -1,0 +1,331 @@
+//! Whole-program analysis orchestration.
+
+use crate::cache::{self, CacheCtx, ClassifyStats, Persistence};
+use crate::cfg::{build_all, FuncCfg};
+use crate::ipet;
+use crate::loops::natural_loops;
+use crate::report::{FuncWcet, WcetResult};
+use crate::stack::total_depths;
+use crate::{bounds, timing, WcetError};
+use spmlab_isa::annot::AnnotationSet;
+use spmlab_isa::cachecfg::CacheConfig;
+use spmlab_isa::image::Executable;
+use std::collections::BTreeMap;
+
+/// Analyzer configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WcetConfig {
+    /// Cache model; `None` = pure Table-1 region timing (the scratchpad
+    /// branch of the paper).
+    pub cache: Option<CacheConfig>,
+    /// Enable the persistence (first-miss) extension — *off* matches the
+    /// paper's "only a MUST analysis, no persistence" ARM7 configuration.
+    pub persistence: bool,
+    /// Enable the automatic counted-loop bound detector.
+    pub auto_loop_bounds: bool,
+}
+
+impl WcetConfig {
+    /// Region timing only (scratchpad / no-cache systems).
+    pub fn region_timing() -> WcetConfig {
+        WcetConfig { cache: None, persistence: false, auto_loop_bounds: true }
+    }
+
+    /// Cache analysis with the paper's MUST-only setup.
+    pub fn with_cache(cache: CacheConfig) -> WcetConfig {
+        WcetConfig { cache: Some(cache), persistence: false, auto_loop_bounds: true }
+    }
+
+    /// Cache analysis plus persistence (the paper's "full cache analysis
+    /// would probably improve results" future-work configuration).
+    pub fn with_cache_persistence(cache: CacheConfig) -> WcetConfig {
+        WcetConfig { cache: Some(cache), persistence: true, auto_loop_bounds: true }
+    }
+}
+
+/// Topological order of the call graph, callees first.
+///
+/// # Errors
+///
+/// [`WcetError::Recursion`] on cycles, [`WcetError::MissingFunction`] when
+/// a call targets a non-function address.
+pub fn topo_order(cfgs: &BTreeMap<u32, FuncCfg>) -> Result<Vec<u32>, WcetError> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let mut marks: BTreeMap<u32, Mark> = cfgs.keys().map(|&a| (a, Mark::White)).collect();
+    let mut order = Vec::with_capacity(cfgs.len());
+
+    fn visit(
+        f: u32,
+        cfgs: &BTreeMap<u32, FuncCfg>,
+        marks: &mut BTreeMap<u32, Mark>,
+        order: &mut Vec<u32>,
+        trail: &mut Vec<String>,
+    ) -> Result<(), WcetError> {
+        match marks[&f] {
+            Mark::Black => return Ok(()),
+            Mark::Grey => {
+                trail.push(cfgs[&f].name.clone());
+                return Err(WcetError::Recursion { cycle: trail.clone() });
+            }
+            Mark::White => {}
+        }
+        marks.insert(f, Mark::Grey);
+        trail.push(cfgs[&f].name.clone());
+        for block in cfgs[&f].blocks.values() {
+            for &callee in &block.calls {
+                if !cfgs.contains_key(&callee) {
+                    return Err(WcetError::MissingFunction(format!(
+                        "call target {callee:#x} from `{}`",
+                        cfgs[&f].name
+                    )));
+                }
+                visit(callee, cfgs, marks, order, trail)?;
+            }
+        }
+        trail.pop();
+        marks.insert(f, Mark::Black);
+        order.push(f);
+        Ok(())
+    }
+
+    let keys: Vec<u32> = cfgs.keys().copied().collect();
+    for f in keys {
+        let mut trail = Vec::new();
+        visit(f, cfgs, &mut marks, &mut order, &mut trail)?;
+    }
+    Ok(order)
+}
+
+/// Runs the full analysis: CFG reconstruction, loop bounding, stack-depth
+/// analysis, microarchitectural timing, per-function IPET, combined
+/// bottom-up over the call graph.
+///
+/// # Errors
+///
+/// Any [`WcetError`]; the most common in practice is
+/// [`WcetError::UnboundedLoop`] for a loop missing its annotation.
+pub fn analyze(
+    exe: &Executable,
+    config: &WcetConfig,
+    annotations: &AnnotationSet,
+) -> Result<WcetResult, WcetError> {
+    let cfgs = build_all(exe)?;
+    let order = topo_order(&cfgs)?;
+    let depths = total_depths(&cfgs, &order)?;
+
+    // Stack window for the entry function feeds the cache analysis.
+    let entry_addr = exe.entry;
+    let entry_depth = depths.get(&entry_addr).map(|d| d.total_bytes).unwrap_or(0);
+    let stack_top = exe.memory_map.stack_top;
+    let mut annot = annotations.clone();
+    annot.set_stack_window(stack_top.saturating_sub(entry_depth), stack_top);
+
+    let mut wcet_by_addr: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut per_function = Vec::with_capacity(order.len());
+    let mut classification = cache::Classification::default();
+
+    for &faddr in &order {
+        let cfg = &cfgs[&faddr];
+        let loops = natural_loops(cfg)?;
+        let loop_bounds =
+            bounds::loop_bounds(cfg, &loops, &annot, config.auto_loop_bounds)?;
+
+        let mut classify = ClassifyStats::default();
+        let (block_costs, entry_penalties) = match &config.cache {
+            None => {
+                let costs: BTreeMap<u32, u64> = cfg
+                    .blocks
+                    .iter()
+                    .map(|(&b, block)| {
+                        (b, timing::block_cost(block, &exe.memory_map, &annot, &wcet_by_addr))
+                    })
+                    .collect();
+                (costs, BTreeMap::new())
+            }
+            Some(cache_cfg) => {
+                let ctx = CacheCtx { cache: cache_cfg, map: &exe.memory_map, annot: &annot };
+                let persistence_info = if config.persistence {
+                    cache::persistence(cfg, &loops, &ctx)
+                } else {
+                    Persistence::disabled()
+                };
+                let in_states = cache::must_fixpoint(cfg, &ctx);
+                let top = cache::AbstractCache::top(cache_cfg);
+                let costs: BTreeMap<u32, u64> = cfg
+                    .blocks
+                    .iter()
+                    .map(|(&b, block)| {
+                        let in_state = in_states.get(&b).unwrap_or(&top);
+                        let c = cache::block_cost(
+                            block,
+                            in_state,
+                            &ctx,
+                            &persistence_info,
+                            &wcet_by_addr,
+                            &mut classify,
+                            &mut classification,
+                        );
+                        (b, c)
+                    })
+                    .collect();
+                (costs, persistence_info.entry_penalties.clone())
+            }
+        };
+
+        let totals: BTreeMap<u32, u32> =
+            loops.iter().filter_map(|l| Some((l.header, annot.loop_total(l.header)?))).collect();
+        let wcet = ipet::solve_with_totals(
+            cfg,
+            &block_costs,
+            &loops,
+            &loop_bounds,
+            &entry_penalties,
+            &totals,
+        )?;
+        wcet_by_addr.insert(faddr, wcet);
+        per_function.push(FuncWcet {
+            name: cfg.name.clone(),
+            addr: faddr,
+            wcet_cycles: wcet,
+            blocks: cfg.blocks.len(),
+            insns: cfg.insn_count(),
+            loops: loops.len(),
+            classify,
+        });
+    }
+
+    let entry_wcet = *wcet_by_addr
+        .get(&entry_addr)
+        .ok_or_else(|| WcetError::MissingFunction(format!("entry {entry_addr:#x}")))?;
+    Ok(WcetResult {
+        wcet_cycles: entry_wcet,
+        per_function,
+        stack_bytes: entry_depth,
+        classification,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmlab_cc::{compile, link, SpmAssignment};
+    use spmlab_isa::mem::MemoryMap;
+    use spmlab_sim::{simulate, MachineConfig, SimOptions};
+
+    const LOOP_SRC: &str = "
+        int x;
+        void main() {
+            int i;
+            for (i = 0; i < 25; i = i + 1) { __loopbound(25); x = x + i; }
+        }
+    ";
+
+    fn linked(src: &str, map: MemoryMap, spm: SpmAssignment) -> spmlab_cc::LinkedProgram {
+        link(&compile(src).unwrap(), &map, &spm).unwrap()
+    }
+
+    #[test]
+    fn region_wcet_bounds_simulation() {
+        let l = linked(LOOP_SRC, MemoryMap::no_spm(), SpmAssignment::none());
+        let w = analyze(&l.exe, &WcetConfig::region_timing(), &l.annotations).unwrap();
+        let s = simulate(&l.exe, &MachineConfig::uncached(), &SimOptions::default()).unwrap();
+        assert!(
+            w.wcet_cycles >= s.cycles,
+            "WCET {} must bound simulation {}",
+            w.wcet_cycles,
+            s.cycles
+        );
+        // And it should be reasonably tight for this branch-free loop.
+        assert!(
+            w.wcet_cycles < s.cycles * 2,
+            "WCET {} vs sim {} is too loose",
+            w.wcet_cycles,
+            s.cycles
+        );
+    }
+
+    #[test]
+    fn spm_lowers_wcet() {
+        let slow = linked(LOOP_SRC, MemoryMap::no_spm(), SpmAssignment::none());
+        let fast = linked(LOOP_SRC, MemoryMap::with_spm(2048), SpmAssignment::of(["main", "x"]));
+        let cfg = WcetConfig::region_timing();
+        let ws = analyze(&slow.exe, &cfg, &slow.annotations).unwrap();
+        let wf = analyze(&fast.exe, &cfg, &fast.annotations).unwrap();
+        assert!(
+            wf.wcet_cycles < ws.wcet_cycles,
+            "spm {} should beat main-memory {}",
+            wf.wcet_cycles,
+            ws.wcet_cycles
+        );
+    }
+
+    #[test]
+    fn cache_wcet_bounds_cached_simulation() {
+        let l = linked(LOOP_SRC, MemoryMap::no_spm(), SpmAssignment::none());
+        let cache = spmlab_isa::cachecfg::CacheConfig::unified(1024);
+        let w = analyze(&l.exe, &WcetConfig::with_cache(cache.clone()), &l.annotations).unwrap();
+        let s = simulate(
+            &l.exe,
+            &MachineConfig { cache: Some(cache) },
+            &SimOptions::default(),
+        )
+        .unwrap();
+        assert!(
+            w.wcet_cycles >= s.cycles,
+            "cache WCET {} must bound cached sim {}",
+            w.wcet_cycles,
+            s.cycles
+        );
+    }
+
+    #[test]
+    fn persistence_tightens_cache_wcet() {
+        let l = linked(LOOP_SRC, MemoryMap::no_spm(), SpmAssignment::none());
+        let cache = spmlab_isa::cachecfg::CacheConfig::unified(1024);
+        let must_only =
+            analyze(&l.exe, &WcetConfig::with_cache(cache.clone()), &l.annotations).unwrap();
+        let with_pers =
+            analyze(&l.exe, &WcetConfig::with_cache_persistence(cache.clone()), &l.annotations)
+                .unwrap();
+        assert!(
+            with_pers.wcet_cycles <= must_only.wcet_cycles,
+            "persistence can only tighten"
+        );
+        // Still sound vs simulation.
+        let s = simulate(&l.exe, &MachineConfig { cache: Some(cache) }, &SimOptions::default())
+            .unwrap();
+        assert!(with_pers.wcet_cycles >= s.cycles);
+    }
+
+    #[test]
+    fn recursion_rejected() {
+        let l = linked(
+            "int f(int n) { if (n > 0) { return f(n - 1); } return 0; } void main() { f(3); }",
+            MemoryMap::no_spm(),
+            SpmAssignment::none(),
+        );
+        let err = analyze(&l.exe, &WcetConfig::region_timing(), &l.annotations).unwrap_err();
+        assert!(matches!(err, WcetError::Recursion { .. }), "{err}");
+    }
+
+    #[test]
+    fn per_function_breakdown() {
+        let l = linked(
+            "int g(int a) { return a * 3; } int x; void main() { x = g(5); }",
+            MemoryMap::no_spm(),
+            SpmAssignment::none(),
+        );
+        let w = analyze(&l.exe, &WcetConfig::region_timing(), &l.annotations).unwrap();
+        assert!(w.function("g").is_some());
+        assert!(w.function("main").unwrap().wcet_cycles > w.function("g").unwrap().wcet_cycles);
+        assert!(w.function("_start").unwrap().wcet_cycles >= w.function("main").unwrap().wcet_cycles);
+        assert_eq!(w.wcet_cycles, w.function("_start").unwrap().wcet_cycles);
+        assert!(w.stack_bytes > 0);
+        assert!(!format!("{w}").is_empty());
+    }
+}

@@ -1,0 +1,267 @@
+//! Text annotation files, in the spirit of aiT's annotation language.
+//!
+//! The paper's workflow feeds aiT "user supplied annotation data concerning
+//! loop bounds and access addresses" from configuration files. This module
+//! parses a small line-based language into an [`AnnotationSet`]:
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! loop   0x00100040      bound 64      # loop header by address
+//! loop   sort+0x12       bound 31      # or symbol+offset
+//! flow   sort+0x12       total 496     # flow fact: absolute back-edge cap
+//! access 0x00100080 word range 0x00100800 0x00100900
+//! access main+0x10  half exact 0x00100844
+//! access 0x00100088 word unknown
+//! stack  0x001ff000 0x00200000
+//! ```
+//!
+//! Addresses are hex (`0x…`) or `symbol+0xOFF` / `symbol` forms resolved
+//! against the executable's symbol table.
+
+use spmlab_isa::annot::{AddrInfo, AnnotationSet};
+use spmlab_isa::image::Executable;
+use spmlab_isa::mem::AccessWidth;
+
+/// Errors from annotation parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnnotError {
+    /// 1-based line number.
+    pub line: u32,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl std::fmt::Display for AnnotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "annotation line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AnnotError {}
+
+fn err<T>(line: u32, msg: impl Into<String>) -> Result<T, AnnotError> {
+    Err(AnnotError { line, msg: msg.into() })
+}
+
+fn parse_addr(tok: &str, exe: &Executable, line: u32) -> Result<u32, AnnotError> {
+    if let Some(hex) = tok.strip_prefix("0x").or_else(|| tok.strip_prefix("0X")) {
+        return u32::from_str_radix(hex, 16)
+            .map_err(|e| AnnotError { line, msg: format!("bad address `{tok}`: {e}") });
+    }
+    let (sym, off) = match tok.split_once('+') {
+        Some((s, o)) => {
+            let off = o
+                .strip_prefix("0x")
+                .map(|h| u32::from_str_radix(h, 16))
+                .unwrap_or_else(|| o.parse::<u32>().map_err(|_| "".parse::<u32>().unwrap_err()))
+                .map_err(|_| AnnotError { line, msg: format!("bad offset in `{tok}`") })?;
+            (s, off)
+        }
+        None => (tok, 0),
+    };
+    match exe.symbol(sym) {
+        Some(s) => Ok(s.addr + off),
+        None => err(line, format!("unknown symbol `{sym}`")),
+    }
+}
+
+fn parse_width(tok: &str, line: u32) -> Result<AccessWidth, AnnotError> {
+    match tok {
+        "byte" => Ok(AccessWidth::Byte),
+        "half" => Ok(AccessWidth::Half),
+        "word" => Ok(AccessWidth::Word),
+        other => err(line, format!("bad width `{other}` (byte|half|word)")),
+    }
+}
+
+/// Parses annotation text against an executable's symbol table.
+///
+/// # Errors
+///
+/// Returns the first [`AnnotError`] with its line number.
+pub fn parse(text: &str, exe: &Executable) -> Result<AnnotationSet, AnnotError> {
+    let mut out = AnnotationSet::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = i as u32 + 1;
+        let body = raw.split('#').next().unwrap_or("").trim();
+        if body.is_empty() {
+            continue;
+        }
+        let toks: Vec<&str> = body.split_whitespace().collect();
+        match toks[0] {
+            "loop" => {
+                if toks.len() != 4 || toks[2] != "bound" {
+                    return err(line, "expected `loop <addr> bound <n>`");
+                }
+                let addr = parse_addr(toks[1], exe, line)?;
+                let n: u32 = toks[3]
+                    .parse()
+                    .map_err(|e| AnnotError { line, msg: format!("bad bound: {e}") })?;
+                out.set_loop_bound(addr, n);
+            }
+            "flow" => {
+                if toks.len() != 4 || toks[2] != "total" {
+                    return err(line, "expected `flow <addr> total <n>`");
+                }
+                let addr = parse_addr(toks[1], exe, line)?;
+                let n: u32 = toks[3]
+                    .parse()
+                    .map_err(|e| AnnotError { line, msg: format!("bad total: {e}") })?;
+                out.set_loop_total(addr, n);
+            }
+            "access" => {
+                if toks.len() < 4 {
+                    return err(line, "expected `access <addr> <width> <kind> ...`");
+                }
+                let addr = parse_addr(toks[1], exe, line)?;
+                let width = parse_width(toks[2], line)?;
+                let info = match toks[3] {
+                    "exact" => {
+                        if toks.len() != 5 {
+                            return err(line, "expected `... exact <addr>`");
+                        }
+                        AddrInfo::Exact(parse_addr(toks[4], exe, line)?)
+                    }
+                    "range" => {
+                        if toks.len() != 6 {
+                            return err(line, "expected `... range <lo> <hi>`");
+                        }
+                        let lo = parse_addr(toks[4], exe, line)?;
+                        let hi = parse_addr(toks[5], exe, line)?;
+                        if hi <= lo {
+                            return err(line, "empty range");
+                        }
+                        AddrInfo::Range { lo, hi }
+                    }
+                    "stack" => AddrInfo::Stack,
+                    "unknown" => AddrInfo::Unknown,
+                    other => return err(line, format!("bad access kind `{other}`")),
+                };
+                out.set_access(addr, width, info);
+            }
+            "stack" => {
+                if toks.len() != 3 {
+                    return err(line, "expected `stack <lo> <hi>`");
+                }
+                let lo = parse_addr(toks[1], exe, line)?;
+                let hi = parse_addr(toks[2], exe, line)?;
+                out.set_stack_window(lo, hi);
+            }
+            other => return err(line, format!("unknown directive `{other}`")),
+        }
+    }
+    Ok(out)
+}
+
+/// Renders an annotation set back to the text format (round-trips through
+/// [`parse`]; useful for dumping auto-generated annotations for editing).
+pub fn render(annot: &AnnotationSet) -> String {
+    let mut out = String::new();
+    out.push_str("# spmlab annotation file\n");
+    for lb in annot.loop_bounds() {
+        out.push_str(&format!("loop 0x{:08x} bound {}\n", lb.header_addr, lb.max_iterations));
+    }
+    for (addr, total) in annot.loop_totals() {
+        out.push_str(&format!("flow 0x{addr:08x} total {total}\n"));
+    }
+    for a in annot.accesses() {
+        let width = match a.width {
+            AccessWidth::Byte => "byte",
+            AccessWidth::Half => "half",
+            AccessWidth::Word => "word",
+        };
+        match a.addr {
+            AddrInfo::Exact(x) => {
+                out.push_str(&format!("access 0x{:08x} {width} exact 0x{x:08x}\n", a.insn_addr))
+            }
+            AddrInfo::Range { lo, hi } => out.push_str(&format!(
+                "access 0x{:08x} {width} range 0x{lo:08x} 0x{hi:08x}\n",
+                a.insn_addr
+            )),
+            AddrInfo::Stack => {
+                out.push_str(&format!("access 0x{:08x} {width} stack\n", a.insn_addr))
+            }
+            AddrInfo::Unknown => {
+                out.push_str(&format!("access 0x{:08x} {width} unknown\n", a.insn_addr))
+            }
+        }
+    }
+    if let Some((lo, hi)) = annot.stack_window() {
+        out.push_str(&format!("stack 0x{lo:08x} 0x{hi:08x}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmlab_cc::{compile, link, SpmAssignment};
+    use spmlab_isa::mem::MemoryMap;
+
+    fn exe() -> Executable {
+        link(
+            &compile("int tab[8]; void main() { tab[0] = 1; }").unwrap(),
+            &MemoryMap::no_spm(),
+            &SpmAssignment::none(),
+        )
+        .unwrap()
+        .exe
+    }
+
+    #[test]
+    fn parse_all_directives() {
+        let exe = exe();
+        let text = "
+            # header comment
+            loop main+0x10 bound 64
+            flow 0x00100040 total 496
+            access main+0x4 word range tab tab+0x20
+            access 0x00100010 half exact tab+0x4
+            access 0x00100014 byte unknown
+            stack 0x001ff000 0x00200000
+        ";
+        let a = parse(text, &exe).unwrap();
+        let main = exe.symbol("main").unwrap().addr;
+        let tab = exe.symbol("tab").unwrap().addr;
+        assert_eq!(a.loop_bound(main + 0x10), Some(64));
+        assert_eq!(a.loop_total(0x0010_0040), Some(496));
+        assert_eq!(
+            a.access(main + 4).unwrap().addr,
+            AddrInfo::Range { lo: tab, hi: tab + 0x20 }
+        );
+        assert_eq!(a.access(0x0010_0010).unwrap().addr, AddrInfo::Exact(tab + 4));
+        assert_eq!(a.access(0x0010_0014).unwrap().width, AccessWidth::Byte);
+        assert_eq!(a.stack_window(), Some((0x001F_F000, 0x0020_0000)));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let exe = exe();
+        let e = parse("loop main bound\n", &exe).unwrap_err();
+        assert_eq!(e.line, 1);
+        let e = parse("\n\nloop ghost bound 3\n", &exe).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.msg.contains("ghost"));
+        assert!(parse("access main word range tab tab\n", &exe).is_err(), "empty range");
+        assert!(parse("bogus 1 2\n", &exe).is_err());
+    }
+
+    #[test]
+    fn render_roundtrip() {
+        let exe = exe();
+        let mut a = AnnotationSet::new();
+        a.set_loop_bound(0x0010_0010, 12);
+        a.set_loop_total(0x0010_0010, 100);
+        a.set_access(0x0010_0020, AccessWidth::Word, AddrInfo::Exact(0x0010_0100));
+        a.set_access(
+            0x0010_0024,
+            AccessWidth::Half,
+            AddrInfo::Range { lo: 0x0010_0100, hi: 0x0010_0140 },
+        );
+        a.set_access(0x0010_0028, AccessWidth::Byte, AddrInfo::Unknown);
+        a.set_stack_window(0x001F_0000, 0x0020_0000);
+        let text = render(&a);
+        let back = parse(&text, &exe).unwrap();
+        assert_eq!(back, a);
+    }
+}

@@ -1,0 +1,679 @@
+//! Abstract-interpretation cache analysis (Ferdinand-style MUST analysis)
+//! with an optional persistence ("first miss") extension.
+//!
+//! The MUST cache maps each set to the lines *guaranteed* present, with an
+//! upper bound on their LRU age; the join is intersection with maximum age.
+//! For random and round-robin replacement a miss may evict *any* line of
+//! the set, so the abstract update collapses the set to just the accessed
+//! line — exactly why the paper notes that ARM7's random replacement makes
+//! "precise estimates for cache behavior difficult".
+//!
+//! Accesses with unknown addresses (array ranges, stack windows) weaken
+//! every set their range maps to — in a unified cache a data access can
+//! evict code, which is the mechanism behind the paper's headline result
+//! (cache WCET stays high regardless of cache size).
+
+use crate::addrinfo::{data_accesses, DataAccess};
+use crate::cfg::{BasicBlock, FuncCfg};
+use crate::loops::NaturalLoop;
+use spmlab_isa::annot::{AddrInfo, AnnotationSet};
+use spmlab_isa::cachecfg::{CacheConfig, CacheScope, Replacement};
+use spmlab_isa::insn::Insn;
+use spmlab_isa::mem::{access_cycles, AccessWidth, MemoryMap, RegionKind};
+use std::collections::BTreeMap;
+
+/// Analysis context shared by the fixpoint and the costing walk.
+#[derive(Debug, Clone)]
+pub struct CacheCtx<'a> {
+    /// Cache geometry/policy.
+    pub cache: &'a CacheConfig,
+    /// Memory map (to tell scratchpad/MMIO accesses apart from main).
+    pub map: &'a MemoryMap,
+    /// Access annotations.
+    pub annot: &'a AnnotationSet,
+}
+
+impl CacheCtx<'_> {
+    fn data_cached(&self) -> bool {
+        matches!(self.cache.scope, CacheScope::Unified)
+    }
+
+    fn is_main(&self, addr: u32) -> bool {
+        self.map.region_of(addr) == RegionKind::Main
+    }
+
+    fn lru(&self) -> bool {
+        matches!(self.cache.replacement, Replacement::Lru)
+    }
+}
+
+/// The abstract MUST cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbstractCache {
+    assoc: u8,
+    num_sets: u32,
+    line: u32,
+    /// Per set: tag → maximal age (0 = most recently used).
+    sets: Vec<BTreeMap<u32, u8>>,
+}
+
+impl AbstractCache {
+    /// The empty MUST cache: nothing is guaranteed (analysis start state).
+    pub fn top(cfg: &CacheConfig) -> AbstractCache {
+        AbstractCache {
+            assoc: cfg.assoc as u8,
+            num_sets: cfg.num_sets(),
+            line: cfg.line,
+            sets: vec![BTreeMap::new(); cfg.num_sets() as usize],
+        }
+    }
+
+    fn set_of(&self, addr: u32) -> usize {
+        ((addr / self.line) % self.num_sets) as usize
+    }
+
+    fn tag_of(&self, addr: u32) -> u32 {
+        (addr / self.line) / self.num_sets
+    }
+
+    /// Whether the line holding `addr` is guaranteed present.
+    pub fn contains(&self, addr: u32) -> bool {
+        self.sets[self.set_of(addr)].contains_key(&self.tag_of(addr))
+    }
+
+    /// Join (control-flow merge): intersection with maximum age.
+    pub fn join(&self, other: &AbstractCache) -> AbstractCache {
+        let mut sets = Vec::with_capacity(self.sets.len());
+        for (a, b) in self.sets.iter().zip(&other.sets) {
+            let mut merged = BTreeMap::new();
+            for (tag, &age_a) in a {
+                if let Some(&age_b) = b.get(tag) {
+                    merged.insert(*tag, age_a.max(age_b));
+                }
+            }
+            sets.push(merged);
+        }
+        AbstractCache { assoc: self.assoc, num_sets: self.num_sets, line: self.line, sets }
+    }
+
+    /// An exact-address read: returns whether it is a guaranteed hit, then
+    /// updates the state (the line is definitely present afterwards).
+    pub fn access_read_exact(&mut self, addr: u32, lru: bool) -> bool {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        let assoc = self.assoc;
+        let lines = &mut self.sets[set];
+        let hit = lines.contains_key(&tag);
+        if lru {
+            let old_age = lines.get(&tag).copied().unwrap_or(assoc);
+            for (t, age) in lines.iter_mut() {
+                if *t != tag && *age < old_age {
+                    *age += 1;
+                }
+            }
+            lines.retain(|_, age| *age < assoc);
+            lines.insert(tag, 0);
+        } else {
+            // Random/round-robin: a miss may evict anything else.
+            if !hit {
+                lines.clear();
+            }
+            lines.insert(tag, 0);
+        }
+        hit
+    }
+
+    /// One *possible* access to `set` (unknown address): ages the set (LRU)
+    /// or clears it (random/round-robin).
+    pub fn weaken_set(&mut self, set: usize, lru: bool) {
+        let assoc = self.assoc;
+        let lines = &mut self.sets[set];
+        if lru {
+            for age in lines.values_mut() {
+                *age += 1;
+            }
+            lines.retain(|_, age| *age < assoc);
+        } else {
+            lines.clear();
+        }
+    }
+
+    /// An access somewhere in `[lo, hi)`: weakens every candidate set.
+    pub fn weaken_range(&mut self, lo: u32, hi: u32, lru: bool) {
+        if hi <= lo {
+            return;
+        }
+        let first_line = lo / self.line;
+        let last_line = (hi - 1) / self.line;
+        if (last_line - first_line) as u64 + 1 >= self.num_sets as u64 {
+            for s in 0..self.sets.len() {
+                self.weaken_set(s, lru);
+            }
+            return;
+        }
+        let mut line = first_line;
+        loop {
+            self.weaken_set((line % self.num_sets) as usize, lru);
+            if line == last_line {
+                break;
+            }
+            line += 1;
+        }
+    }
+
+    /// Forgets everything (function-call clobber).
+    pub fn clear(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+    }
+
+    /// Total guaranteed lines (diagnostics).
+    pub fn guaranteed_lines(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+}
+
+/// Applies a block's accesses to the abstract state (the MUST transfer
+/// function). `clobber_calls` controls whether `BL` clears the state.
+pub fn transfer_block(state: &mut AbstractCache, block: &BasicBlock, ctx: &CacheCtx) {
+    let lru = ctx.lru();
+    for (addr, insn) in &block.insns {
+        // Instruction fetches (16-bit each; BL fetches two halfwords).
+        for off in (0..insn.size()).step_by(2) {
+            let a = addr + off;
+            if ctx.is_main(a) {
+                state.access_read_exact(a, lru);
+            }
+        }
+        // Data accesses.
+        for acc in data_accesses(insn, *addr, ctx.annot) {
+            apply_data_access(state, &acc, ctx);
+        }
+        if matches!(insn, Insn::Bl { .. }) {
+            // The callee may touch anything.
+            state.clear();
+        }
+    }
+}
+
+fn apply_data_access(state: &mut AbstractCache, acc: &DataAccess, ctx: &CacheCtx) {
+    if acc.is_write || !ctx.data_cached() {
+        return; // Write-through/no-allocate writes and bypassed data.
+    }
+    let lru = ctx.lru();
+    match acc.info {
+        AddrInfo::Exact(a) => {
+            if ctx.is_main(a) {
+                state.access_read_exact(a, lru);
+            }
+        }
+        AddrInfo::Range { lo, hi } => {
+            // Entirely scratchpad → bypasses the cache.
+            if ctx.map.region_of(lo) == RegionKind::Scratchpad
+                && ctx.map.region_of(hi.saturating_sub(1)) == RegionKind::Scratchpad
+            {
+                return;
+            }
+            state.weaken_range(lo, hi, lru);
+        }
+        AddrInfo::Stack | AddrInfo::Unknown => {
+            state.weaken_range(0, u32::MAX, lru);
+        }
+    }
+}
+
+/// MUST-analysis fixpoint: in-state per block.
+pub fn must_fixpoint(cfg: &FuncCfg, ctx: &CacheCtx) -> BTreeMap<u32, AbstractCache> {
+    let preds = cfg.predecessors();
+    let mut in_states: BTreeMap<u32, AbstractCache> = BTreeMap::new();
+    in_states.insert(cfg.entry, AbstractCache::top(ctx.cache));
+    let mut out_states: BTreeMap<u32, AbstractCache> = BTreeMap::new();
+    let mut work: Vec<u32> = cfg.blocks.keys().copied().collect();
+    let mut iterations = 0usize;
+    let budget = 64 * cfg.blocks.len().max(1) * ctx.cache.assoc as usize;
+    while let Some(b) = work.pop() {
+        iterations += 1;
+        if iterations > budget.max(4096) {
+            // Defensive cap: fall back to the safe top state everywhere.
+            for (_, s) in in_states.iter_mut() {
+                *s = AbstractCache::top(ctx.cache);
+            }
+            break;
+        }
+        // in = join of predecessors' outs (entry joins with TOP).
+        let mut input: Option<AbstractCache> = if b == cfg.entry {
+            Some(AbstractCache::top(ctx.cache))
+        } else {
+            None
+        };
+        for p in preds.get(&b).into_iter().flatten() {
+            if let Some(o) = out_states.get(p) {
+                input = Some(match input {
+                    None => o.clone(),
+                    Some(i) => i.join(o),
+                });
+            }
+        }
+        let Some(input) = input else { continue };
+        let changed_in = in_states.get(&b) != Some(&input);
+        if changed_in || !out_states.contains_key(&b) {
+            let mut s = input.clone();
+            transfer_block(&mut s, &cfg.blocks[&b], ctx);
+            in_states.insert(b, input);
+            let changed_out = out_states.get(&b) != Some(&s);
+            out_states.insert(b, s);
+            if changed_out {
+                for &succ in &cfg.blocks[&b].succs {
+                    if !work.contains(&succ) {
+                        work.push(succ);
+                    }
+                }
+            }
+        }
+    }
+    in_states
+}
+
+/// Classification statistics for one function.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassifyStats {
+    /// Fetches classified always-hit.
+    pub fetch_hits: u64,
+    /// Fetches that must be assumed misses.
+    pub fetch_unclassified: u64,
+    /// Data reads classified always-hit.
+    pub data_hits: u64,
+    /// Data reads assumed misses.
+    pub data_unclassified: u64,
+    /// Accesses classified persistent (first-miss).
+    pub persistent: u64,
+}
+
+impl ClassifyStats {
+    /// Merges another function's stats in.
+    pub fn absorb(&mut self, o: ClassifyStats) {
+        self.fetch_hits += o.fetch_hits;
+        self.fetch_unclassified += o.fetch_unclassified;
+        self.data_hits += o.data_hits;
+        self.data_unclassified += o.data_unclassified;
+        self.persistent += o.persistent;
+    }
+}
+
+/// Persistence assignment: cache line → header of the outermost loop in
+/// which the line is persistent (eviction-free once loaded).
+#[derive(Debug, Clone, Default)]
+pub struct Persistence {
+    line_to_loop: BTreeMap<u32, u32>,
+    /// Extra cost per loop entry: header → penalty cycles.
+    pub entry_penalties: BTreeMap<u32, u64>,
+    block_to_loops: BTreeMap<u32, Vec<u32>>,
+}
+
+impl Persistence {
+    /// No persistence analysis (the paper's ARM7-aiT configuration).
+    pub fn disabled() -> Persistence {
+        Persistence::default()
+    }
+
+    /// Whether the access to `addr` from `block` counts as persistent-hit.
+    pub fn is_persistent(&self, line_size: u32, addr: u32, block: u32) -> bool {
+        let line = addr / line_size * line_size;
+        match self.line_to_loop.get(&line) {
+            Some(h) => self
+                .block_to_loops
+                .get(&block)
+                .is_some_and(|hs| hs.contains(h)),
+            None => false,
+        }
+    }
+}
+
+/// Computes first-miss persistence per loop: a line is persistent in a
+/// loop when nothing in the loop can evict it — no calls, no
+/// unknown-address reads touching its set, and at most `assoc` distinct
+/// guaranteed lines mapping to the set.
+pub fn persistence(cfg: &FuncCfg, loops: &[NaturalLoop], ctx: &CacheCtx) -> Persistence {
+    let mut p = Persistence::default();
+    let line_size = ctx.cache.line;
+    let miss_penalty = ctx.cache.miss_cycles() - ctx.cache.hit_cycles();
+    // Loops sorted inner-first; process outermost last so the outermost
+    // persistent loop wins.
+    for l in loops {
+        let mut exact_lines: Vec<u32> = Vec::new();
+        let mut dirty_sets: Vec<bool> = vec![false; ctx.cache.num_sets() as usize];
+        let mut has_call = false;
+        for baddr in &l.body {
+            let block = &cfg.blocks[baddr];
+            for (addr, insn) in &block.insns {
+                if matches!(insn, Insn::Bl { .. }) {
+                    has_call = true;
+                }
+                for off in (0..insn.size()).step_by(2) {
+                    let a = addr + off;
+                    if ctx.is_main(a) {
+                        exact_lines.push(a / line_size * line_size);
+                    }
+                }
+                for acc in data_accesses(insn, *addr, ctx.annot) {
+                    if acc.is_write || !ctx.data_cached() {
+                        continue;
+                    }
+                    match acc.info {
+                        AddrInfo::Exact(a) => {
+                            if ctx.is_main(a) {
+                                exact_lines.push(a / line_size * line_size);
+                            }
+                        }
+                        AddrInfo::Range { lo, hi } => {
+                            if ctx.map.region_of(lo) == RegionKind::Scratchpad
+                                && ctx.map.region_of(hi.saturating_sub(1))
+                                    == RegionKind::Scratchpad
+                            {
+                                continue;
+                            }
+                            mark_dirty(&mut dirty_sets, lo, hi, ctx.cache);
+                        }
+                        AddrInfo::Stack | AddrInfo::Unknown => {
+                            dirty_sets.iter_mut().for_each(|d| *d = true);
+                        }
+                    }
+                }
+            }
+        }
+        if has_call {
+            continue;
+        }
+        exact_lines.sort_unstable();
+        exact_lines.dedup();
+        // Count lines per set.
+        let mut per_set: BTreeMap<u32, u32> = BTreeMap::new();
+        for &line in &exact_lines {
+            *per_set.entry(ctx.cache.set_of(line)).or_insert(0) += 1;
+        }
+        for &line in &exact_lines {
+            let set = ctx.cache.set_of(line);
+            if dirty_sets[set as usize] || per_set[&set] > ctx.cache.assoc {
+                continue;
+            }
+            // Outermost wins: loops are inner-first, so overwrite.
+            p.line_to_loop.insert(line, l.header);
+        }
+    }
+    // Penalties: one first-miss per persistent line, charged per entry of
+    // its loop; and record loop membership per block.
+    for (&line, &header) in &p.line_to_loop {
+        let _ = line;
+        *p.entry_penalties.entry(header).or_insert(0) += miss_penalty;
+    }
+    for l in loops {
+        for &b in &l.body {
+            p.block_to_loops.entry(b).or_default().push(l.header);
+        }
+    }
+    p
+}
+
+fn mark_dirty(dirty: &mut [bool], lo: u32, hi: u32, cfg: &CacheConfig) {
+    if hi <= lo {
+        return;
+    }
+    let first = lo / cfg.line;
+    let last = (hi - 1) / cfg.line;
+    if last - first + 1 >= cfg.num_sets() {
+        dirty.iter_mut().for_each(|d| *d = true);
+        return;
+    }
+    let mut l = first;
+    loop {
+        dirty[(l % cfg.num_sets()) as usize] = true;
+        if l == last {
+            break;
+        }
+        l += 1;
+    }
+}
+
+/// Per-address classification record: which instruction addresses were
+/// proven *always-hit* by the MUST analysis. The soundness test-suite
+/// checks these against the simulator's per-instruction miss counters —
+/// an always-hit access must never miss in any concrete run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Classification {
+    /// Instruction addresses whose fetch is always-hit.
+    pub fetch_always_hit: BTreeSet<u32>,
+    /// Instruction addresses whose (exact-address) data read is always-hit.
+    pub data_always_hit: BTreeSet<u32>,
+}
+
+use std::collections::BTreeSet;
+
+impl Classification {
+    /// Merges another function's classification.
+    pub fn absorb(&mut self, o: &Classification) {
+        self.fetch_always_hit.extend(o.fetch_always_hit.iter().copied());
+        self.data_always_hit.extend(o.data_always_hit.iter().copied());
+    }
+}
+
+/// Worst-case cost of one block under the cache model, starting from its
+/// MUST in-state. `callee_wcet` supplies the WCET bound of each callee.
+/// Always-hit proofs are recorded into `classification` (persistent
+/// first-miss accesses are *not* recorded — they may miss once per loop
+/// entry).
+pub fn block_cost(
+    block: &BasicBlock,
+    in_state: &AbstractCache,
+    ctx: &CacheCtx,
+    persistence_info: &Persistence,
+    callee_wcet: &BTreeMap<u32, u64>,
+    stats: &mut ClassifyStats,
+    classification: &mut Classification,
+) -> u64 {
+    let lru = ctx.lru();
+    let mut state = in_state.clone();
+    let mut cost = 0u64;
+    let hit = ctx.cache.hit_cycles();
+    let miss = ctx.cache.miss_cycles();
+    let mut calls = block.calls.iter();
+    for (addr, insn) in &block.insns {
+        cost += 1 + insn.worst_extra_cycles();
+        let mut all_fetches_hit = true;
+        for off in (0..insn.size()).step_by(2) {
+            let a = addr + off;
+            match ctx.map.region_of(a) {
+                RegionKind::Main => {
+                    let guaranteed = state.access_read_exact(a, lru);
+                    if guaranteed {
+                        stats.fetch_hits += 1;
+                        cost += hit;
+                    } else if persistence_info.is_persistent(ctx.cache.line, a, block.start) {
+                        stats.persistent += 1;
+                        all_fetches_hit = false;
+                        cost += hit;
+                    } else {
+                        stats.fetch_unclassified += 1;
+                        all_fetches_hit = false;
+                        cost += miss;
+                    }
+                }
+                region => {
+                    all_fetches_hit = false;
+                    cost += access_cycles(region, AccessWidth::Half);
+                }
+            }
+        }
+        if all_fetches_hit {
+            classification.fetch_always_hit.insert(*addr);
+        }
+        for acc in data_accesses(insn, *addr, ctx.annot) {
+            let before_hits = stats.data_hits;
+            cost += data_access_cost(&mut state, &acc, ctx, persistence_info, block.start, stats);
+            if stats.data_hits > before_hits {
+                classification.data_always_hit.insert(*addr);
+            }
+        }
+        if matches!(insn, Insn::Bl { .. }) {
+            let callee = calls.next().expect("calls list matches BL count");
+            cost += callee_wcet.get(callee).copied().unwrap_or(0);
+            state.clear();
+        }
+    }
+    cost
+}
+
+fn data_access_cost(
+    state: &mut AbstractCache,
+    acc: &DataAccess,
+    ctx: &CacheCtx,
+    persistence_info: &Persistence,
+    block: u32,
+    stats: &mut ClassifyStats,
+) -> u64 {
+    let lru = ctx.lru();
+    let hit = ctx.cache.hit_cycles();
+    let miss = ctx.cache.miss_cycles();
+    if acc.is_write {
+        // Write-through: pay the backing-store cost; no state change.
+        let region = match acc.info {
+            AddrInfo::Exact(a) => ctx.map.region_of(a),
+            AddrInfo::Range { lo, hi } => span_region(ctx.map, lo, hi),
+            _ => RegionKind::Main,
+        };
+        return access_cycles(region, acc.width);
+    }
+    match acc.info {
+        AddrInfo::Exact(a) => match ctx.map.region_of(a) {
+            RegionKind::Main if ctx.data_cached() => {
+                let guaranteed = state.access_read_exact(a, lru);
+                if guaranteed {
+                    stats.data_hits += 1;
+                    hit
+                } else if persistence_info.is_persistent(ctx.cache.line, a, block) {
+                    stats.persistent += 1;
+                    hit
+                } else {
+                    stats.data_unclassified += 1;
+                    miss
+                }
+            }
+            region => access_cycles(region, acc.width),
+        },
+        AddrInfo::Range { lo, hi } => {
+            let region = span_region(ctx.map, lo, hi);
+            if region == RegionKind::Scratchpad {
+                return access_cycles(region, acc.width);
+            }
+            if ctx.data_cached() {
+                state.weaken_range(lo, hi, lru);
+                stats.data_unclassified += 1;
+                miss
+            } else {
+                access_cycles(RegionKind::Main, acc.width)
+            }
+        }
+        AddrInfo::Stack | AddrInfo::Unknown => {
+            if ctx.data_cached() {
+                state.weaken_range(0, u32::MAX, lru);
+                stats.data_unclassified += 1;
+                miss
+            } else {
+                access_cycles(RegionKind::Main, acc.width)
+            }
+        }
+    }
+}
+
+/// The single region covering `[lo, hi)`, or `Main` as the safe worst case
+/// when the span crosses regions.
+pub fn span_region(map: &MemoryMap, lo: u32, hi: u32) -> RegionKind {
+    let a = map.region_of(lo);
+    let b = map.region_of(hi.saturating_sub(1).max(lo));
+    if a == b {
+        a
+    } else {
+        RegionKind::Main
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx_parts() -> (CacheConfig, MemoryMap, AnnotationSet) {
+        (CacheConfig::unified(64), MemoryMap::no_spm(), AnnotationSet::new())
+    }
+
+    #[test]
+    fn must_exact_access_then_guaranteed() {
+        let (cache, map, annot) = ctx_parts();
+        let ctx = CacheCtx { cache: &cache, map: &map, annot: &annot };
+        let mut s = AbstractCache::top(ctx.cache);
+        assert!(!s.access_read_exact(0x0010_0000, true), "cold");
+        assert!(s.contains(0x0010_0000));
+        assert!(s.access_read_exact(0x0010_0004, true), "same line");
+    }
+
+    #[test]
+    fn join_is_intersection_with_max_age() {
+        let cfg = CacheConfig::set_assoc(64, 2, Replacement::Lru);
+        let mut a = AbstractCache::top(&cfg);
+        let mut b = AbstractCache::top(&cfg);
+        a.access_read_exact(0x100, true); // in a only
+        a.access_read_exact(0x200, true);
+        b.access_read_exact(0x200, true);
+        let j = a.join(&b);
+        assert!(j.contains(0x200));
+        assert!(!j.contains(0x100));
+    }
+
+    #[test]
+    fn direct_mapped_unknown_access_clears_everything() {
+        let (cache, map, annot) = ctx_parts();
+        let _ = (&map, &annot);
+        let mut s = AbstractCache::top(&cache);
+        s.access_read_exact(0x0010_0000, true);
+        s.weaken_range(0, u32::MAX, true);
+        assert_eq!(s.guaranteed_lines(), 0, "assoc 1: one aging evicts all");
+    }
+
+    #[test]
+    fn two_way_survives_one_unknown_access() {
+        let cfg = CacheConfig::set_assoc(64, 2, Replacement::Lru);
+        let mut s = AbstractCache::top(&cfg);
+        s.access_read_exact(0x100, true);
+        s.weaken_range(0, u32::MAX, true);
+        assert!(s.contains(0x100), "age 1 < assoc 2: still guaranteed");
+        s.weaken_range(0, u32::MAX, true);
+        assert!(!s.contains(0x100), "second unknown access may evict");
+    }
+
+    #[test]
+    fn random_replacement_miss_clears_set() {
+        let cfg = CacheConfig::set_assoc(64, 2, Replacement::Random { seed: 1 });
+        let mut s = AbstractCache::top(&cfg);
+        s.access_read_exact(0x100, false);
+        s.access_read_exact(0x140, false); // same set (2 sets × 2 ways... set stride 32)
+        // A miss on another line of the same set clears guarantees.
+        let before = s.guaranteed_lines();
+        s.access_read_exact(0x180, false);
+        assert!(s.guaranteed_lines() <= before, "miss collapsed the set");
+        assert!(s.contains(0x180));
+    }
+
+    #[test]
+    fn ranged_write_does_not_change_state() {
+        let (cache, map, annot) = ctx_parts();
+        let ctx = CacheCtx { cache: &cache, map: &map, annot: &annot };
+        let mut s = AbstractCache::top(&cache);
+        s.access_read_exact(0x0010_0000, true);
+        let acc = DataAccess {
+            width: AccessWidth::Word,
+            info: AddrInfo::Range { lo: 0x0010_0000, hi: 0x0010_1000 },
+            is_write: true,
+        };
+        apply_data_access(&mut s, &acc, &ctx);
+        assert!(s.contains(0x0010_0000), "writes don't evict (no-allocate)");
+    }
+}

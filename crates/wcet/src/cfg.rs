@@ -1,0 +1,365 @@
+//! Control-flow graph reconstruction from machine code.
+//!
+//! Blocks are discovered by following control flow from the function entry
+//! (never by linear sweep), so literal pools — data words living between
+//! the last instruction and the end of the function — are never
+//! misinterpreted as code, exactly the discipline a binary-level WCET tool
+//! needs.
+
+use crate::WcetError;
+use spmlab_isa::decode::decode;
+use spmlab_isa::image::{Executable, Symbol, SymbolKind};
+use spmlab_isa::insn::Insn;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// One basic block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BasicBlock {
+    /// Address of the first instruction.
+    pub start: u32,
+    /// Instructions with their addresses.
+    pub insns: Vec<(u32, Insn)>,
+    /// Successor block start addresses (0, 1 or 2 entries).
+    pub succs: Vec<u32>,
+    /// Callee entry addresses for each `BL` in the block, in order.
+    pub calls: Vec<u32>,
+    /// Whether the block ends the function (return / halt).
+    pub is_exit: bool,
+}
+
+impl BasicBlock {
+    /// Address just past the last instruction.
+    pub fn end(&self) -> u32 {
+        self.insns.last().map(|(a, i)| a + i.size()).unwrap_or(self.start)
+    }
+}
+
+/// A function's control-flow graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncCfg {
+    /// Function name (from the symbol table).
+    pub name: String,
+    /// Entry block address (== the function's symbol address).
+    pub entry: u32,
+    /// Blocks keyed by start address.
+    pub blocks: BTreeMap<u32, BasicBlock>,
+}
+
+impl FuncCfg {
+    /// Predecessor map (block start → predecessors' starts).
+    pub fn predecessors(&self) -> BTreeMap<u32, Vec<u32>> {
+        let mut preds: BTreeMap<u32, Vec<u32>> = self.blocks.keys().map(|&k| (k, vec![])).collect();
+        for (&s, b) in &self.blocks {
+            for &t in &b.succs {
+                preds.entry(t).or_default().push(s);
+            }
+        }
+        preds
+    }
+
+    /// All exit blocks.
+    pub fn exits(&self) -> Vec<u32> {
+        self.blocks.values().filter(|b| b.is_exit).map(|b| b.start).collect()
+    }
+
+    /// Total decoded instructions.
+    pub fn insn_count(&self) -> usize {
+        self.blocks.values().map(|b| b.insns.len()).sum()
+    }
+}
+
+/// Reconstructs the CFG of the function at `sym`.
+///
+/// # Errors
+///
+/// Fails on undecodable instructions, branches escaping the function, or
+/// paths that run off the function end.
+pub fn build_cfg(exe: &Executable, sym: &Symbol) -> Result<FuncCfg, WcetError> {
+    let code_size = match sym.kind {
+        SymbolKind::Func { code_size } => code_size,
+        SymbolKind::Object { .. } => {
+            return Err(WcetError::InvalidCode {
+                func: sym.name.clone(),
+                addr: sym.addr,
+                reason: "symbol is a data object".into(),
+            })
+        }
+    };
+    let lo = sym.addr;
+    let hi = sym.addr + code_size;
+    let err = |addr: u32, reason: &str| WcetError::InvalidCode {
+        func: sym.name.clone(),
+        addr,
+        reason: reason.to_string(),
+    };
+
+    // Pass 1: discover reachable instructions and leaders.
+    let mut insn_at: BTreeMap<u32, Insn> = BTreeMap::new();
+    let mut leaders: BTreeSet<u32> = BTreeSet::new();
+    leaders.insert(lo);
+    let mut work: VecDeque<u32> = VecDeque::from([lo]);
+    let mut seen: BTreeSet<u32> = BTreeSet::new();
+    while let Some(mut pc) = work.pop_front() {
+        if !seen.insert(pc) {
+            continue;
+        }
+        loop {
+            if pc < lo || pc + 2 > hi {
+                return Err(err(pc, "control flow runs outside the function body"));
+            }
+            let hw = exe
+                .read_half(pc)
+                .ok_or_else(|| err(pc, "unreadable code byte"))?;
+            let next_hw = if pc + 4 <= hi { exe.read_half(pc + 2) } else { None };
+            let (insn, size) = decode(hw, next_hw);
+            if matches!(insn, Insn::Undefined { .. }) {
+                return Err(err(pc, "undefined instruction"));
+            }
+            let next = pc + size;
+            insn_at.insert(pc, insn.clone());
+            match &insn {
+                Insn::B { off } => {
+                    let t = pc.wrapping_add(4).wrapping_add(*off as u32);
+                    if t < lo || t >= hi {
+                        return Err(WcetError::EscapingBranch {
+                            func: sym.name.clone(),
+                            from: pc,
+                            to: t,
+                        });
+                    }
+                    leaders.insert(t);
+                    if !seen.contains(&t) {
+                        work.push_back(t);
+                    }
+                    break;
+                }
+                Insn::BCond { off, .. } => {
+                    let t = pc.wrapping_add(4).wrapping_add(*off as u32);
+                    if t < lo || t >= hi {
+                        return Err(WcetError::EscapingBranch {
+                            func: sym.name.clone(),
+                            from: pc,
+                            to: t,
+                        });
+                    }
+                    leaders.insert(t);
+                    leaders.insert(next);
+                    if !seen.contains(&t) {
+                        work.push_back(t);
+                    }
+                    if !seen.contains(&next) {
+                        work.push_back(next);
+                    }
+                    break;
+                }
+                Insn::Ret | Insn::Pop { pc: true, .. } => break,
+                Insn::Swi { imm: 0 } => break,
+                Insn::Bl { .. } => {
+                    // A call: control returns to the next instruction.
+                    pc = next;
+                    continue;
+                }
+                _ => {
+                    pc = next;
+                    continue;
+                }
+            }
+        }
+    }
+
+    // Every instruction following a terminator that is also reachable by
+    // fallthrough is already a leader via the branch handling above; we now
+    // split the instruction stream at leaders.
+    let mut blocks: BTreeMap<u32, BasicBlock> = BTreeMap::new();
+    let addrs: Vec<u32> = insn_at.keys().copied().collect();
+    let mut current: Option<BasicBlock> = None;
+    for &addr in &addrs {
+        let insn = insn_at[&addr].clone();
+        let size = insn.size();
+        if leaders.contains(&addr) {
+            if let Some(b) = current.take() {
+                // Fallthrough into a leader: implicit edge unless the block
+                // already terminated (handled below).
+                blocks.insert(b.start, b);
+            }
+            current = Some(BasicBlock {
+                start: addr,
+                insns: vec![],
+                succs: vec![],
+                calls: vec![],
+                is_exit: false,
+            });
+        }
+        let cur = match current.as_mut() {
+            Some(c) => c,
+            // An instruction reachable only mid-stream without a leader
+            // start: begin an implicit block (can happen when a branch
+            // target bisects a previously-walked straight-line run).
+            None => {
+                current = Some(BasicBlock {
+                    start: addr,
+                    insns: vec![],
+                    succs: vec![],
+                    calls: vec![],
+                    is_exit: false,
+                });
+                current.as_mut().expect("just set")
+            }
+        };
+        if let Insn::Bl { off } = insn {
+            cur.calls.push(addr.wrapping_add(4).wrapping_add(off as u32));
+        }
+        cur.insns.push((addr, insn.clone()));
+        let terminates = insn.is_terminator();
+        let next_is_leader = leaders.contains(&(addr + size));
+        let next_exists = insn_at.contains_key(&(addr + size));
+        if terminates || next_is_leader || !next_exists {
+            // Close the block and compute successors.
+            let mut b = current.take().expect("current set above");
+            match &insn {
+                Insn::B { off } => b.succs = vec![addr.wrapping_add(4).wrapping_add(*off as u32)],
+                Insn::BCond { off, .. } => {
+                    let t = addr.wrapping_add(4).wrapping_add(*off as u32);
+                    b.succs = vec![t, addr + size];
+                }
+                Insn::Ret | Insn::Pop { pc: true, .. } | Insn::Swi { imm: 0 } => {
+                    b.is_exit = true;
+                }
+                _ => {
+                    if next_exists {
+                        b.succs = vec![addr + size];
+                    } else {
+                        return Err(err(addr, "fallthrough off the end of the function"));
+                    }
+                }
+            }
+            blocks.insert(b.start, b);
+        }
+    }
+    if let Some(b) = current.take() {
+        blocks.insert(b.start, b);
+    }
+
+    // Sanity: every successor must be a block start.
+    for b in blocks.values() {
+        for s in &b.succs {
+            if !blocks.contains_key(s) {
+                return Err(err(*s, "successor is not a block leader"));
+            }
+        }
+    }
+
+    Ok(FuncCfg { name: sym.name.clone(), entry: lo, blocks })
+}
+
+/// Builds CFGs for every function in the executable.
+///
+/// # Errors
+///
+/// Propagates the first reconstruction failure.
+pub fn build_all(exe: &Executable) -> Result<BTreeMap<u32, FuncCfg>, WcetError> {
+    let mut out = BTreeMap::new();
+    for sym in exe.functions() {
+        out.insert(sym.addr, build_cfg(exe, sym)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmlab_cc::{compile, link, SpmAssignment};
+    use spmlab_isa::mem::MemoryMap;
+
+    fn cfg_of(src: &str, func: &str) -> FuncCfg {
+        let l = link(&compile(src).unwrap(), &MemoryMap::no_spm(), &SpmAssignment::none())
+            .unwrap();
+        build_cfg(&l.exe, l.exe.symbol(func).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn straight_line_single_block() {
+        let c = cfg_of("int x; void main() { x = 1; x = 2; }", "main");
+        // Prologue + body + epilogue with the single-exit return jump:
+        // main has a `b .Lret` → two blocks.
+        assert!(c.blocks.len() <= 3);
+        assert_eq!(c.exits().len(), 1);
+        let exit = &c.blocks[&c.exits()[0]];
+        assert!(matches!(exit.insns.last().unwrap().1, Insn::Pop { pc: true, .. }));
+    }
+
+    #[test]
+    fn if_else_diamond() {
+        let c = cfg_of(
+            "int x; void main() { if (x > 0) { x = 1; } else { x = 2; } x = 3; }",
+            "main",
+        );
+        // At least: entry+cmp, then, else, join, exit.
+        assert!(c.blocks.len() >= 4, "blocks: {}", c.blocks.len());
+        // Exactly one block has two successors.
+        let twos = c.blocks.values().filter(|b| b.succs.len() == 2).count();
+        assert_eq!(twos, 1);
+    }
+
+    #[test]
+    fn loop_has_back_edge() {
+        let c = cfg_of(
+            "int x; void main() { int i; for (i = 0; i < 5; i = i + 1) { __loopbound(5); x = x + 1; } }",
+            "main",
+        );
+        let preds = c.predecessors();
+        // Some block is reached from a later block (back edge).
+        let back = c
+            .blocks
+            .keys()
+            .any(|&h| preds[&h].iter().any(|&p| p > h));
+        assert!(back, "expected a back edge");
+    }
+
+    #[test]
+    fn calls_recorded_not_terminating() {
+        let c = cfg_of(
+            "int g(int a) { return a + 1; } int x; void main() { x = g(1) + g(2); }",
+            "main",
+        );
+        let calls: usize = c.blocks.values().map(|b| b.calls.len()).sum();
+        assert_eq!(calls, 2);
+    }
+
+    #[test]
+    fn literal_pools_not_decoded() {
+        // 0x12345 needs a literal pool; CFG must stop at the return.
+        let c = cfg_of("int x; void main() { x = 74565; }", "main");
+        for b in c.blocks.values() {
+            for (_, i) in &b.insns {
+                assert!(!matches!(i, Insn::Undefined { .. }));
+            }
+        }
+    }
+
+    #[test]
+    fn all_functions() {
+        let l = link(
+            &compile("int f() { return 1; } int g() { return f(); } void main() { g(); }")
+                .unwrap(),
+            &MemoryMap::no_spm(),
+            &SpmAssignment::none(),
+        )
+        .unwrap();
+        let cfgs = build_all(&l.exe).unwrap();
+        assert_eq!(cfgs.len(), 4, "_start, f, g, main");
+    }
+
+    #[test]
+    fn succs_are_blocks() {
+        let c = cfg_of(
+            "int x; void main() { int i; i = 0; while (i < 3) { __loopbound(3); if (i == 1) { x = 9; } i = i + 1; } }",
+            "main",
+        );
+        for b in c.blocks.values() {
+            for s in &b.succs {
+                assert!(c.blocks.contains_key(s));
+            }
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Implicit Path Enumeration Technique (IPET).
+//!
+//! The WCET of a function is the maximum of Σ cost(b)·x(b) over execution
+//! counts x satisfying structural flow conservation plus the loop-bound
+//! constraints — an integer linear program, solved with the workspace's
+//! CPLEX substitute exactly as in the paper's tool chain.
+
+use crate::cfg::FuncCfg;
+use crate::loops::NaturalLoop;
+use crate::WcetError;
+use spmlab_ilp::model::{Model, Sense, Var, VarKind};
+use std::collections::BTreeMap;
+
+/// Solves the IPET ILP for one function.
+///
+/// * `block_costs` — worst-case cycles per block (callee WCETs included);
+/// * `bounds` — per loop header, max back-edge executions per loop entry;
+/// * `entry_penalties` — extra cycles charged per entry of a loop
+///   (persistence first-miss charges), keyed by header.
+///
+/// # Errors
+///
+/// [`WcetError::Ilp`] wraps solver failures; an unbounded ILP indicates a
+/// structural bug (every loop got a bound before this call).
+pub fn solve(
+    cfg: &FuncCfg,
+    block_costs: &BTreeMap<u32, u64>,
+    loops: &[NaturalLoop],
+    bounds: &BTreeMap<u32, u32>,
+    entry_penalties: &BTreeMap<u32, u64>,
+) -> Result<u64, WcetError> {
+    solve_with_totals(cfg, block_costs, loops, bounds, entry_penalties, &BTreeMap::new())
+}
+
+/// [`solve`] with additional flow facts: `totals` bounds a loop's
+/// back-edge executions *absolutely* per function invocation (aiT-style
+/// flow constraints; essential for triangular loop nests).
+///
+/// # Errors
+///
+/// As for [`solve`].
+pub fn solve_with_totals(
+    cfg: &FuncCfg,
+    block_costs: &BTreeMap<u32, u64>,
+    loops: &[NaturalLoop],
+    bounds: &BTreeMap<u32, u32>,
+    entry_penalties: &BTreeMap<u32, u64>,
+    totals: &BTreeMap<u32, u32>,
+) -> Result<u64, WcetError> {
+    let mut m = Model::new(Sense::Maximize);
+
+    // Block count variables.
+    let mut xb: BTreeMap<u32, Var> = BTreeMap::new();
+    for &b in cfg.blocks.keys() {
+        xb.insert(b, m.add_var(format!("x_{b:x}"), VarKind::Integer, None));
+    }
+    // Edge count variables.
+    let mut de: BTreeMap<(u32, u32), Var> = BTreeMap::new();
+    for (&src, block) in &cfg.blocks {
+        for &dst in &block.succs {
+            de.entry((src, dst))
+                .or_insert_with(|| m.add_var(format!("d_{src:x}_{dst:x}"), VarKind::Integer, None));
+        }
+    }
+    // Virtual entry edge (the function executes once) and exit edges.
+    let d_entry = m.add_var("d_entry", VarKind::Integer, Some(1.0));
+    m.add_eq(&[(d_entry, 1.0)], 1.0);
+    let mut d_exits: Vec<Var> = Vec::new();
+
+    // Flow conservation.
+    for (&b, block) in &cfg.blocks {
+        // x_b == sum of incoming edges.
+        let mut in_terms: Vec<(Var, f64)> = vec![(xb[&b], 1.0)];
+        for (&(src, dst), &v) in &de {
+            let _ = src;
+            if dst == b {
+                in_terms.push((v, -1.0));
+            }
+        }
+        if b == cfg.entry {
+            in_terms.push((d_entry, -1.0));
+        }
+        m.add_eq(&in_terms, 0.0);
+        // x_b == sum of outgoing edges.
+        let mut out_terms: Vec<(Var, f64)> = vec![(xb[&b], 1.0)];
+        for &dst in &block.succs {
+            out_terms.push((de[&(b, dst)], -1.0));
+        }
+        if block.is_exit {
+            let d = m.add_var(format!("d_exit_{b:x}"), VarKind::Integer, None);
+            d_exits.push(d);
+            out_terms.push((d, -1.0));
+        }
+        m.add_eq(&out_terms, 0.0);
+    }
+    // Exactly one exit.
+    if d_exits.is_empty() {
+        // A function that cannot return has no finite WCET.
+        return Err(WcetError::Ilp(spmlab_ilp::IlpError::Infeasible));
+    }
+    let exit_terms: Vec<(Var, f64)> = d_exits.iter().map(|&v| (v, 1.0)).collect();
+    m.add_eq(&exit_terms, 1.0);
+
+    // Loop bounds: Σ back-edges ≤ bound × Σ entry-edges. When the header
+    // is the function's entry block, the virtual entry edge is one of the
+    // loop's entries (omitting it would force the back edges to zero — an
+    // unsound under-approximation caught by the hostile-binary tests).
+    for l in loops {
+        let bound = *bounds.get(&l.header).expect("bounds computed for every loop");
+        let mut terms: Vec<(Var, f64)> = Vec::new();
+        for &(s, d) in &l.back_edges {
+            terms.push((de[&(s, d)], 1.0));
+        }
+        for &(s, d) in &l.entry_edges {
+            terms.push((de[&(s, d)], -(bound as f64)));
+        }
+        if l.header == cfg.entry {
+            terms.push((d_entry, -(bound as f64)));
+        }
+        m.add_le(&terms, 0.0);
+        // Flow fact: absolute back-edge total per function invocation.
+        if let Some(&total) = totals.get(&l.header) {
+            let back_terms: Vec<(Var, f64)> =
+                l.back_edges.iter().map(|&(s, d)| (de[&(s, d)], 1.0)).collect();
+            m.add_le(&back_terms, total as f64);
+        }
+    }
+
+    // Objective: block costs plus per-entry persistence penalties.
+    let mut obj: Vec<(Var, f64)> = Vec::new();
+    for (&b, &v) in &xb {
+        obj.push((v, block_costs[&b] as f64));
+    }
+    for l in loops {
+        if let Some(&pen) = entry_penalties.get(&l.header) {
+            for &(s, d) in &l.entry_edges {
+                obj.push((de[&(s, d)], pen as f64));
+            }
+        }
+    }
+    m.set_objective(&obj);
+
+    let sol = spmlab_ilp::branch::solve(&m)?;
+    Ok(sol.objective.round() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::build_cfg;
+    use crate::loops::natural_loops;
+    use spmlab_cc::{compile, link, SpmAssignment};
+    use spmlab_isa::mem::MemoryMap;
+
+    fn ipet_for(src: &str, func: &str, uniform_cost: u64) -> u64 {
+        let l = link(&compile(src).unwrap(), &MemoryMap::no_spm(), &SpmAssignment::none())
+            .unwrap();
+        let cfg = build_cfg(&l.exe, l.exe.symbol(func).unwrap()).unwrap();
+        let loops = natural_loops(&cfg).unwrap();
+        let bounds =
+            crate::bounds::loop_bounds(&cfg, &loops, &l.annotations, true).unwrap();
+        let costs: BTreeMap<u32, u64> =
+            cfg.blocks.keys().map(|&b| (b, uniform_cost)).collect();
+        solve(&cfg, &costs, &loops, &bounds, &BTreeMap::new()).unwrap()
+    }
+
+    #[test]
+    fn straight_line_counts_each_block_once() {
+        let w = ipet_for("int x; void main() { x = 1; }", "main", 10);
+        // main without a return statement is a single block (prologue,
+        // body, epilogue fall through); allow up to 3 for layout changes.
+        assert!(w >= 10 && w <= 30, "wcet {w}");
+    }
+
+    #[test]
+    fn branch_takes_worst_arm() {
+        // if/else with unbalanced arms: IPET must take the longer one; with
+        // uniform block costs both arms count 1 block, so WCET counts one
+        // arm exactly once.
+        let w = ipet_for(
+            "int x; void main() { if (x) { x = 1; } else { x = 2; } }",
+            "main",
+            7,
+        );
+        // entry(+cmp), one arm, join/epilogue ≥ 3 blocks; both arms (4
+        // blocks) would be structurally infeasible.
+        assert_eq!(w % 7, 0);
+        let blocks = w / 7;
+        assert!((3..=5).contains(&blocks), "took {blocks} blocks");
+    }
+
+    #[test]
+    fn loop_bound_scales_wcet() {
+        let w10 = ipet_for(
+            "int x; void main() { int i; for (i = 0; i < 10; i = i + 1) { x = x + 1; } }",
+            "main",
+            1,
+        );
+        let w100 = ipet_for(
+            "int x; void main() { int i; for (i = 0; i < 100; i = i + 1) { x = x + 1; } }",
+            "main",
+            1,
+        );
+        assert!(w100 > w10 + 80, "w10={w10} w100={w100}");
+    }
+
+    #[test]
+    fn nested_loops_multiply() {
+        let w = ipet_for(
+            "int x; void main() {
+                int i; int j;
+                for (i = 0; i < 10; i = i + 1) {
+                    for (j = 0; j < 10; j = j + 1) { x = x + 1; }
+                }
+             }",
+            "main",
+            1,
+        );
+        // Inner body ≈ 100 executions.
+        assert!(w > 100, "wcet {w}");
+        assert!(w < 400, "wcet {w} should stay near the structural count");
+    }
+
+    #[test]
+    fn persistence_penalty_charged_per_entry() {
+        let src = "int x; void main() { int i; for (i = 0; i < 10; i = i + 1) { x = x + 1; } }";
+        let l = link(&compile(src).unwrap(), &MemoryMap::no_spm(), &SpmAssignment::none())
+            .unwrap();
+        let cfg = build_cfg(&l.exe, l.exe.symbol("main").unwrap()).unwrap();
+        let loops = natural_loops(&cfg).unwrap();
+        let bounds = crate::bounds::loop_bounds(&cfg, &loops, &l.annotations, true).unwrap();
+        let costs: BTreeMap<u32, u64> = cfg.blocks.keys().map(|&b| (b, 1)).collect();
+        let base = solve(&cfg, &costs, &loops, &bounds, &BTreeMap::new()).unwrap();
+        let mut pens = BTreeMap::new();
+        pens.insert(loops[0].header, 160u64);
+        let with_pen = solve(&cfg, &costs, &loops, &bounds, &pens).unwrap();
+        assert_eq!(with_pen, base + 160, "one loop entry → one penalty");
+    }
+}

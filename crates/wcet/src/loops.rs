@@ -1,0 +1,264 @@
+//! Dominator analysis and natural-loop detection.
+
+use crate::cfg::FuncCfg;
+use crate::WcetError;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A natural loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NaturalLoop {
+    /// Header block (the unique entry of a reducible loop).
+    pub header: u32,
+    /// All blocks in the loop, including the header.
+    pub body: BTreeSet<u32>,
+    /// Back edges `(tail, header)`.
+    pub back_edges: Vec<(u32, u32)>,
+    /// Edges entering the loop from outside `(src, header)`.
+    pub entry_edges: Vec<(u32, u32)>,
+}
+
+/// Computes immediate dominators with the iterative algorithm (blocks in
+/// reverse postorder).
+pub fn dominators(cfg: &FuncCfg) -> BTreeMap<u32, u32> {
+    let rpo = reverse_postorder(cfg);
+    let index: BTreeMap<u32, usize> = rpo.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+    let preds = cfg.predecessors();
+    let mut idom: BTreeMap<u32, u32> = BTreeMap::new();
+    idom.insert(cfg.entry, cfg.entry);
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in rpo.iter().skip(1) {
+            let mut new_idom: Option<u32> = None;
+            for &p in &preds[&b] {
+                if !idom.contains_key(&p) {
+                    continue;
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => intersect(cur, p, &idom, &index),
+                });
+            }
+            if let Some(ni) = new_idom {
+                if idom.get(&b) != Some(&ni) {
+                    idom.insert(b, ni);
+                    changed = true;
+                }
+            }
+        }
+    }
+    idom
+}
+
+fn intersect(
+    mut a: u32,
+    mut b: u32,
+    idom: &BTreeMap<u32, u32>,
+    index: &BTreeMap<u32, usize>,
+) -> u32 {
+    while a != b {
+        while index[&a] > index[&b] {
+            a = idom[&a];
+        }
+        while index[&b] > index[&a] {
+            b = idom[&b];
+        }
+    }
+    a
+}
+
+/// Blocks in reverse postorder from the entry.
+pub fn reverse_postorder(cfg: &FuncCfg) -> Vec<u32> {
+    let mut visited = BTreeSet::new();
+    let mut post = Vec::new();
+    // Iterative DFS with an explicit stack of (block, next-succ-index).
+    let mut stack: Vec<(u32, usize)> = vec![(cfg.entry, 0)];
+    visited.insert(cfg.entry);
+    while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+        let succs = &cfg.blocks[&b].succs;
+        if *i < succs.len() {
+            let s = succs[*i];
+            *i += 1;
+            if visited.insert(s) {
+                stack.push((s, 0));
+            }
+        } else {
+            post.push(b);
+            stack.pop();
+        }
+    }
+    post.reverse();
+    post
+}
+
+/// Whether `a` dominates `b`.
+pub fn dominates(a: u32, b: u32, idom: &BTreeMap<u32, u32>, entry: u32) -> bool {
+    let mut cur = b;
+    loop {
+        if cur == a {
+            return true;
+        }
+        if cur == entry {
+            return false;
+        }
+        match idom.get(&cur) {
+            Some(&d) if d != cur => cur = d,
+            _ => return false,
+        }
+    }
+}
+
+/// Finds all natural loops; errors on irreducible control flow (a back
+/// edge whose target does not dominate its source).
+///
+/// # Errors
+///
+/// [`WcetError::Irreducible`] when a retreating edge is not a natural back
+/// edge. MiniC-generated code is always reducible.
+pub fn natural_loops(cfg: &FuncCfg) -> Result<Vec<NaturalLoop>, WcetError> {
+    let idom = dominators(cfg);
+    let rpo = reverse_postorder(cfg);
+    let order: BTreeMap<u32, usize> = rpo.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+    let preds = cfg.predecessors();
+
+    let mut loops: BTreeMap<u32, NaturalLoop> = BTreeMap::new();
+    for (&src, block) in &cfg.blocks {
+        if !order.contains_key(&src) {
+            continue; // Unreachable block.
+        }
+        for &dst in &block.succs {
+            // Retreating edge in RPO?
+            if order[&dst] <= order[&src] {
+                if !dominates(dst, src, &idom, cfg.entry) {
+                    return Err(WcetError::Irreducible { func: cfg.name.clone(), addr: src });
+                }
+                let l = loops.entry(dst).or_insert_with(|| NaturalLoop {
+                    header: dst,
+                    body: BTreeSet::from([dst]),
+                    back_edges: vec![],
+                    entry_edges: vec![],
+                });
+                l.back_edges.push((src, dst));
+                // Grow the body: reverse reachability from src up to dst.
+                let mut work = vec![src];
+                while let Some(b) = work.pop() {
+                    if l.body.insert(b) {
+                        for &p in &preds[&b] {
+                            if !l.body.contains(&p) {
+                                work.push(p);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Entry edges: predecessors of the header from outside the body.
+    let mut result: Vec<NaturalLoop> = loops.into_values().collect();
+    for l in &mut result {
+        for &p in &preds[&l.header] {
+            if !l.body.contains(&p) {
+                l.entry_edges.push((p, l.header));
+            }
+        }
+    }
+    // Inner loops first (smaller bodies), stable by header.
+    result.sort_by_key(|l| (l.body.len(), l.header));
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmlab_cc::{compile, link, SpmAssignment};
+    use spmlab_isa::mem::MemoryMap;
+
+    fn cfg_of(src: &str, func: &str) -> FuncCfg {
+        let l = link(&compile(src).unwrap(), &MemoryMap::no_spm(), &SpmAssignment::none())
+            .unwrap();
+        crate::cfg::build_cfg(&l.exe, l.exe.symbol(func).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn single_loop_detected() {
+        let c = cfg_of(
+            "int x; void main() { int i; for (i = 0; i < 5; i = i + 1) { __loopbound(5); x = x + 1; } }",
+            "main",
+        );
+        let loops = natural_loops(&c).unwrap();
+        assert_eq!(loops.len(), 1);
+        let l = &loops[0];
+        assert_eq!(l.back_edges.len(), 1);
+        assert_eq!(l.entry_edges.len(), 1);
+        assert!(l.body.len() >= 2);
+        assert!(l.body.contains(&l.header));
+    }
+
+    #[test]
+    fn nested_loops_ordered_inner_first() {
+        let c = cfg_of(
+            "int x; void main() {
+                int i; int j;
+                for (i = 0; i < 4; i = i + 1) { __loopbound(4);
+                    for (j = 0; j < 3; j = j + 1) { __loopbound(3); x = x + 1; }
+                }
+             }",
+            "main",
+        );
+        let loops = natural_loops(&c).unwrap();
+        assert_eq!(loops.len(), 2);
+        assert!(loops[0].body.len() < loops[1].body.len());
+        assert!(
+            loops[1].body.is_superset(&loops[0].body),
+            "outer body contains inner body"
+        );
+    }
+
+    #[test]
+    fn do_while_loop() {
+        let c = cfg_of(
+            "int x; void main() { int i; i = 0; do { __loopbound(5); x = x + 1; i = i + 1; } while (i < 5); }",
+            "main",
+        );
+        let loops = natural_loops(&c).unwrap();
+        assert_eq!(loops.len(), 1);
+    }
+
+    #[test]
+    fn no_loops_in_straight_line() {
+        let c = cfg_of("int x; void main() { if (x) { x = 1; } }", "main");
+        assert!(natural_loops(&c).unwrap().is_empty());
+    }
+
+    #[test]
+    fn dominators_entry_dominates_all() {
+        let c = cfg_of(
+            "int x; void main() { int i; while (i < 3) { __loopbound(3); if (x) { x = 0; } i = i + 1; } }",
+            "main",
+        );
+        let idom = dominators(&c);
+        for &b in c.blocks.keys() {
+            if idom.contains_key(&b) {
+                assert!(dominates(c.entry, b, &idom, c.entry));
+            }
+        }
+    }
+
+    #[test]
+    fn while_with_break_single_loop() {
+        let c = cfg_of(
+            "int x; void main() { int i; i = 0; while (1) { __loopbound(10); i = i + 1; if (i > 5) break; x = x + i; } }",
+            "main",
+        );
+        let loops = natural_loops(&c).unwrap();
+        assert_eq!(loops.len(), 1);
+        // The loop must have at least one exit edge (via the break path).
+        let l = &loops[0];
+        let has_exit = l
+            .body
+            .iter()
+            .any(|&b| c.blocks[&b].succs.iter().any(|s| !l.body.contains(s)));
+        assert!(has_exit);
+    }
+}

@@ -1,0 +1,158 @@
+//! Whole-program worst-case stack-depth analysis.
+//!
+//! Tracks the SP offset through every function's CFG (TH16 manipulates SP
+//! only via `PUSH`/`POP`/`ADD SP`), then combines per-function depths over
+//! the acyclic call graph. The result bounds the runtime stack window,
+//! which the cache analysis uses as the address range of stack accesses.
+
+use crate::cfg::FuncCfg;
+use crate::WcetError;
+use spmlab_isa::insn::Insn;
+use std::collections::BTreeMap;
+
+/// Per-function stack usage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuncStack {
+    /// Maximum bytes below the entry SP used by the function itself.
+    pub local_bytes: u32,
+    /// Maximum bytes including the deepest callee chain.
+    pub total_bytes: u32,
+}
+
+/// SP effect of one instruction, in bytes (negative = grows downward).
+fn sp_delta(insn: &Insn) -> i64 {
+    match insn {
+        Insn::Push { regs, lr } => -4 * (regs.len() as i64 + *lr as i64),
+        Insn::Pop { regs, pc } => 4 * (regs.len() as i64 + *pc as i64),
+        Insn::AdjSp { delta } => *delta as i64,
+        _ => 0,
+    }
+}
+
+/// Computes each block's entry SP offset and the function's own maximum
+/// depth. Offsets are relative to the entry SP (0 at function entry,
+/// negative below).
+///
+/// # Errors
+///
+/// [`WcetError::StackImbalance`] when two paths reach a block with
+/// different SP offsets (never produced by the MiniC code generator).
+pub fn local_depth(cfg: &FuncCfg) -> Result<(u32, BTreeMap<u32, i64>), WcetError> {
+    let mut entry_off: BTreeMap<u32, i64> = BTreeMap::new();
+    entry_off.insert(cfg.entry, 0);
+    let mut work = vec![cfg.entry];
+    let mut max_depth: i64 = 0;
+    while let Some(b) = work.pop() {
+        let mut off = entry_off[&b];
+        let block = &cfg.blocks[&b];
+        for (_, insn) in &block.insns {
+            off += sp_delta(insn);
+            max_depth = max_depth.min(off);
+        }
+        for &s in &block.succs {
+            match entry_off.get(&s) {
+                None => {
+                    entry_off.insert(s, off);
+                    work.push(s);
+                }
+                Some(&prev) if prev != off => {
+                    return Err(WcetError::StackImbalance { func: cfg.name.clone(), addr: s })
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    Ok(((-max_depth) as u32, entry_off))
+}
+
+/// Combines local depths bottom-up over the call graph (callees first).
+///
+/// `call_offsets` maps a function to `(callee entry, SP offset at the call
+/// site)` pairs; `order` must list callees before callers.
+///
+/// # Errors
+///
+/// Propagates [`WcetError::StackImbalance`]; assumes recursion was already
+/// rejected.
+pub fn total_depths(
+    cfgs: &BTreeMap<u32, FuncCfg>,
+    order: &[u32],
+) -> Result<BTreeMap<u32, FuncStack>, WcetError> {
+    let mut out: BTreeMap<u32, FuncStack> = BTreeMap::new();
+    for &f in order {
+        let cfg = &cfgs[&f];
+        let (local, entry_off) = local_depth(cfg)?;
+        let mut total = local as i64;
+        for (&bstart, block) in &cfg.blocks {
+            if block.calls.is_empty() {
+                continue;
+            }
+            // SP offset just before each call: walk the block.
+            let mut off = entry_off[&bstart];
+            let mut call_idx = 0;
+            for (_, insn) in &block.insns {
+                if let Insn::Bl { .. } = insn {
+                    let callee = block.calls[call_idx];
+                    call_idx += 1;
+                    let callee_total = out
+                        .get(&callee)
+                        .map(|s| s.total_bytes as i64)
+                        .unwrap_or(0); // Unknown callee: treated as leaf.
+                    total = total.max(-off + callee_total);
+                }
+                off += sp_delta(insn);
+            }
+        }
+        out.insert(f, FuncStack { local_bytes: local, total_bytes: total as u32 });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmlab_cc::{compile, link, SpmAssignment};
+    use spmlab_isa::mem::MemoryMap;
+
+    fn depths(src: &str) -> (BTreeMap<u32, FuncStack>, BTreeMap<String, u32>) {
+        let l = link(&compile(src).unwrap(), &MemoryMap::no_spm(), &SpmAssignment::none())
+            .unwrap();
+        let cfgs = crate::cfg::build_all(&l.exe).unwrap();
+        let order = crate::analysis::topo_order(&cfgs).unwrap();
+        let d = total_depths(&cfgs, &order).unwrap();
+        let names = cfgs.iter().map(|(&a, c)| (c.name.clone(), a)).collect::<BTreeMap<_, _>>();
+        let by_name = names.iter().map(|(n, a)| (n.clone(), d[a].total_bytes)).collect();
+        (d, by_name)
+    }
+
+    #[test]
+    fn leaf_function_depth() {
+        let (_, by_name) = depths("int f(int a) { int b; b = a + 1; return b; } void main() { f(1); }");
+        // f: push {r4-r7,lr} = 20 bytes + 2 local slots = 28.
+        assert_eq!(by_name["f"], 28);
+        // main: 20 bytes frame + 0 locals + f's 28.
+        assert!(by_name["main"] >= 20 + 28);
+    }
+
+    #[test]
+    fn call_chain_accumulates() {
+        let (_, by_name) = depths(
+            "int a() { return 1; }
+             int b() { return a() + 1; }
+             int c() { return b() + 1; }
+             void main() { c(); }",
+        );
+        assert!(by_name["c"] > by_name["b"]);
+        assert!(by_name["b"] > by_name["a"]);
+        assert!(by_name["main"] > by_name["c"]);
+    }
+
+    #[test]
+    fn start_depth_covers_everything() {
+        let (_, by_name) = depths(
+            "int deep(int n) { int x; x = n * 2; return x; } void main() { deep(3); }",
+        );
+        let start = by_name["_start"];
+        assert!(start >= by_name["main"]);
+    }
+}

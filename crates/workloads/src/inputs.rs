@@ -1,0 +1,106 @@
+//! Deterministic input-data generators.
+//!
+//! The paper simulates with "a typical input data set"; we synthesise
+//! speech-like waveforms (mixed triangle carriers plus pseudo-random
+//! noise) and structured arrays, all reproducible from fixed seeds — the
+//! simulated substitute for their speech recordings.
+
+/// A tiny xorshift PRNG so inputs never depend on external crates' version
+/// behaviour.
+#[derive(Debug, Clone)]
+pub struct Lcg(u64);
+
+impl Lcg {
+    /// Creates a generator from a non-zero seed.
+    pub fn new(seed: u64) -> Lcg {
+        Lcg(seed | 1)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    pub fn range(&mut self, lo: i32, hi: i32) -> i32 {
+        let span = (hi - lo) as u64;
+        lo + (self.next_u64() % span.max(1)) as i32
+    }
+}
+
+/// Speech-like 16-bit samples: two triangle waves at different periods plus
+/// noise, amplitude well inside i16.
+pub fn speech_like(n: usize, seed: u64) -> Vec<i32> {
+    let mut rng = Lcg::new(seed);
+    let tri = |k: usize, period: usize, amp: i32| {
+        let phase = (k % period) as i32;
+        let half = (period / 2) as i32;
+        let v = if phase < half { phase } else { period as i32 - phase };
+        (v - half / 2) * amp / half.max(1)
+    };
+    (0..n)
+        .map(|k| {
+            let s = tri(k, 37, 9000) + tri(k, 11, 4000) + rng.range(-800, 800);
+            s.clamp(-32768, 32767)
+        })
+        .collect()
+}
+
+/// Uniformly random integers in `[lo, hi)`.
+pub fn random_ints(n: usize, seed: u64, lo: i32, hi: i32) -> Vec<i32> {
+    let mut rng = Lcg::new(seed);
+    (0..n).map(|_| rng.range(lo, hi)).collect()
+}
+
+/// Strictly descending values — the worst case for insertion/bubble sorts.
+pub fn descending(n: usize) -> Vec<i32> {
+    (0..n).map(|k| (n - k) as i32 * 3).collect()
+}
+
+/// Already sorted ascending values — the best case for insertion sort.
+pub fn ascending(n: usize) -> Vec<i32> {
+    (0..n).map(|k| k as i32 * 3).collect()
+}
+
+/// Pseudo-random bytes as i32 values in `[-128, 128)`.
+pub fn random_bytes(n: usize, seed: u64) -> Vec<i32> {
+    random_ints(n, seed, -128, 128)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(speech_like(64, 7), speech_like(64, 7));
+        assert_ne!(speech_like(64, 7), speech_like(64, 8));
+        assert_eq!(random_ints(10, 3, 0, 100), random_ints(10, 3, 0, 100));
+    }
+
+    #[test]
+    fn ranges_respected() {
+        for v in speech_like(512, 42) {
+            assert!((-32768..=32767).contains(&v));
+        }
+        for v in random_ints(256, 5, -50, 50) {
+            assert!((-50..50).contains(&v));
+        }
+        for v in random_bytes(64, 9) {
+            assert!((-128..128).contains(&v));
+        }
+    }
+
+    #[test]
+    fn descending_is_descending() {
+        let d = descending(16);
+        assert!(d.windows(2).all(|w| w[0] > w[1]));
+        let a = ascending(16);
+        assert!(a.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,269 @@
+//! # spmlab-workloads — the paper's benchmark programs
+//!
+//! MiniC implementations of the paper's Table 2 plus extra kernels:
+//!
+//! | name | paper | description |
+//! |------|-------|-------------|
+//! | `g721` | ✓ | G.721 speech transcoder, CCITT-reference style |
+//! | `adpcm` | ✓ | IMA/DVI ADPCM encoder + decoder |
+//! | `multisort` | ✓ | mix of sorting algorithms |
+//! | `insertsort` | §4 | tightness experiment (known worst-case input) |
+//! | `fir` | extra | branch-free 16-tap FIR filter |
+//! | `crc32` | extra | bitwise CRC-32 |
+//!
+//! Each [`Benchmark`] bundles the MiniC source, the name of its input
+//! array, deterministic typical/worst-case input generators, and a Rust
+//! twin ([`mod@reference`]) computing the expected checksum — the basis of the
+//! differential tests that validate compiler, linker and simulator.
+//!
+//! ```
+//! use spmlab_workloads::{benchmark, paper_benchmarks};
+//!
+//! let g721 = benchmark("g721").unwrap();
+//! let input = (g721.typical_input)();
+//! let expected = (g721.reference_checksum)(&input);
+//! assert_ne!(expected, 0);
+//! assert_eq!(paper_benchmarks().len(), 3);
+//! ```
+
+pub mod inputs;
+pub mod reference;
+
+use spmlab_cc::{compile, link, CcError, LinkedProgram, ObjModule, SpmAssignment};
+use spmlab_isa::mem::MemoryMap;
+
+/// A benchmark program with everything needed to run experiments on it.
+#[derive(Clone)]
+pub struct Benchmark {
+    /// Short name (also the experiment id).
+    pub name: &'static str,
+    /// Table-2-style description.
+    pub description: &'static str,
+    /// MiniC source text.
+    pub source: &'static str,
+    /// Name of the global array the harness patches with input data.
+    pub input_global: &'static str,
+    /// Name of the scalar holding the element count, patched to the
+    /// input's length (the loop-bound annotations cover the maximum).
+    pub count_global: &'static str,
+    /// Generates the "typical input data set" (paper terminology).
+    pub typical_input: fn() -> Vec<i32>,
+    /// Generates a known worst-case input, when one is known.
+    pub worst_input: Option<fn() -> Vec<i32>>,
+    /// Host twin computing the expected `checksum` global.
+    pub reference_checksum: fn(&[i32]) -> i32,
+}
+
+impl std::fmt::Debug for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Benchmark")
+            .field("name", &self.name)
+            .field("description", &self.description)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Benchmark {
+    /// Compiles the benchmark to a relocatable module.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compiler errors (should not happen for shipped sources).
+    pub fn compile(&self) -> Result<ObjModule, CcError> {
+        compile(self.source)
+    }
+
+    /// Compiles, links and patches the given input in one step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compile/link errors and input-patching failures.
+    pub fn build(
+        &self,
+        map: &MemoryMap,
+        assignment: &SpmAssignment,
+        input: &[i32],
+    ) -> Result<LinkedProgram, CcError> {
+        let module = self.compile()?;
+        self.link_with_input(&module, map, assignment, input)
+    }
+
+    /// Links a pre-compiled module and patches the input (cheaper when
+    /// sweeping configurations).
+    ///
+    /// # Errors
+    ///
+    /// Propagates link errors and input-patching failures.
+    pub fn link_with_input(
+        &self,
+        module: &ObjModule,
+        map: &MemoryMap,
+        assignment: &SpmAssignment,
+        input: &[i32],
+    ) -> Result<LinkedProgram, CcError> {
+        let mut linked = link(module, map, assignment)?;
+        linked.exe.patch_global(self.input_global, input)?;
+        linked.exe.patch_global(self.count_global, &[input.len() as i32])?;
+        Ok(linked)
+    }
+}
+
+/// G.721 speech transcoder (Table 2: "Speech encoding and decoding,
+/// reference implementation of the CCITT standard").
+pub static G721: Benchmark = Benchmark {
+    name: "g721",
+    description: "G.721 speech encoding and decoding, CCITT-reference style",
+    source: include_str!("mc/g721.mc"),
+    input_global: "input",
+    count_global: "n_samples",
+    typical_input: || inputs::speech_like(256, 0xC0FFEE),
+    worst_input: None,
+    reference_checksum: |i| reference::g721(i),
+};
+
+/// IMA ADPCM encoder/decoder (Table 2: "Adaptive Diff. PCM").
+pub static ADPCM: Benchmark = Benchmark {
+    name: "adpcm",
+    description: "IMA/DVI ADPCM speech encoder and decoder",
+    source: include_str!("mc/adpcm.mc"),
+    input_global: "input",
+    count_global: "n_samples",
+    typical_input: || inputs::speech_like(256, 0xBEEF),
+    worst_input: None,
+    reference_checksum: |i| reference::adpcm(i),
+};
+
+/// MultiSort (Table 2: "mix of sorting algorithms commonly found in many
+/// algorithms").
+pub static MULTISORT: Benchmark = Benchmark {
+    name: "multisort",
+    description: "Mix of sorting algorithms (bubble, insertion, selection, merge, heap)",
+    source: include_str!("mc/multisort.mc"),
+    input_global: "input",
+    count_global: "n",
+    typical_input: || inputs::random_ints(64, 0x5EED, -1000, 1000),
+    worst_input: Some(|| inputs::descending(64)),
+    reference_checksum: |i| reference::multisort(i),
+};
+
+/// Insertion sort with a known worst case (the paper's §4 tightness
+/// experiment).
+pub static INSERTSORT: Benchmark = Benchmark {
+    name: "insertsort",
+    description: "Insertion sort, tightness check with known worst-case input",
+    source: include_str!("mc/insertsort.mc"),
+    input_global: "data",
+    count_global: "n",
+    typical_input: || inputs::random_ints(32, 0xAB, -500, 500),
+    worst_input: Some(|| inputs::descending(32)),
+    reference_checksum: |i| reference::insertsort(i),
+};
+
+/// FIR filter (extra kernel, branch-free).
+pub static FIR: Benchmark = Benchmark {
+    name: "fir",
+    description: "16-tap FIR filter over a speech-like buffer",
+    source: include_str!("mc/fir.mc"),
+    input_global: "input",
+    count_global: "n_samples",
+    typical_input: || inputs::speech_like(256, 0xF1A),
+    worst_input: None,
+    reference_checksum: |i| reference::fir(i),
+};
+
+/// CRC-32 (extra kernel, balanced data-dependent branches).
+pub static CRC32: Benchmark = Benchmark {
+    name: "crc32",
+    description: "Bitwise CRC-32 over a byte buffer",
+    source: include_str!("mc/crc32.mc"),
+    input_global: "data",
+    count_global: "n_bytes",
+    typical_input: || inputs::random_bytes(256, 0xCAFE),
+    worst_input: None,
+    reference_checksum: |i| reference::crc32(i),
+};
+
+/// The three benchmarks of the paper's Table 2.
+pub fn paper_benchmarks() -> Vec<&'static Benchmark> {
+    vec![&G721, &ADPCM, &MULTISORT]
+}
+
+/// Every shipped benchmark.
+pub fn all_benchmarks() -> Vec<&'static Benchmark> {
+    vec![&G721, &ADPCM, &MULTISORT, &INSERTSORT, &FIR, &CRC32]
+}
+
+/// Looks a benchmark up by name.
+pub fn benchmark(name: &str) -> Option<&'static Benchmark> {
+    all_benchmarks().into_iter().find(|b| b.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmlab_sim::{simulate, MachineConfig, SimOptions};
+
+    fn run_checksum(b: &Benchmark, input: &[i32]) -> i32 {
+        let linked = b
+            .build(&MemoryMap::no_spm(), &SpmAssignment::none(), input)
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let res = simulate(&linked.exe, &MachineConfig::uncached(), &SimOptions::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        res.read_global(&linked.exe, "checksum").expect("checksum global")
+    }
+
+    #[test]
+    fn every_benchmark_compiles() {
+        for b in all_benchmarks() {
+            b.compile().unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        }
+    }
+
+    #[test]
+    fn adpcm_matches_reference() {
+        let input = (ADPCM.typical_input)();
+        assert_eq!(run_checksum(&ADPCM, &input), reference::adpcm(&input));
+    }
+
+    #[test]
+    fn g721_matches_reference() {
+        // Shorter input keeps the debug-mode test quick; the checksum still
+        // exercises every code path after a few dozen samples.
+        let input = inputs::speech_like(96, 0xC0FFEE);
+        assert_eq!(run_checksum(&G721, &input), reference::g721(&input));
+    }
+
+    #[test]
+    fn multisort_matches_reference_typical_and_worst() {
+        let t = (MULTISORT.typical_input)();
+        assert_eq!(run_checksum(&MULTISORT, &t), reference::multisort(&t));
+        let w = (MULTISORT.worst_input.unwrap())();
+        assert_eq!(run_checksum(&MULTISORT, &w), reference::multisort(&w));
+    }
+
+    #[test]
+    fn insertsort_matches_reference() {
+        for input in [(INSERTSORT.typical_input)(), (INSERTSORT.worst_input.unwrap())()] {
+            assert_eq!(run_checksum(&INSERTSORT, &input), reference::insertsort(&input));
+        }
+    }
+
+    #[test]
+    fn fir_matches_reference() {
+        let input = (FIR.typical_input)();
+        assert_eq!(run_checksum(&FIR, &input), reference::fir(&input));
+    }
+
+    #[test]
+    fn crc32_matches_reference() {
+        let input = (CRC32.typical_input)();
+        assert_eq!(run_checksum(&CRC32, &input), reference::crc32(&input));
+    }
+
+    #[test]
+    fn registry_lookup() {
+        assert!(benchmark("g721").is_some());
+        assert!(benchmark("nope").is_none());
+        assert_eq!(all_benchmarks().len(), 6);
+    }
+}

@@ -1,0 +1,64 @@
+//! A tiny objdump: compile a benchmark and print its linked image —
+//! symbols, per-function disassembly and the auto-generated annotations.
+//! Useful for understanding what the WCET analyzer actually sees.
+//!
+//! ```text
+//! cargo run --release --example objdump -- insertsort
+//! ```
+
+use spmlab_cc::{link, SpmAssignment};
+use spmlab_isa::annot::AddrInfo;
+use spmlab_isa::decode::decode;
+use spmlab_isa::disasm::disassemble;
+use spmlab_isa::image::SymbolKind;
+use spmlab_isa::mem::MemoryMap;
+use spmlab_workloads::benchmark;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "insertsort".into());
+    let bench = benchmark(&name).ok_or(format!("unknown benchmark `{name}`"))?;
+    let module = bench.compile()?;
+    let linked = link(&module, &MemoryMap::no_spm(), &SpmAssignment::none())?;
+    let exe = &linked.exe;
+
+    println!("entry point: {:#010x}\n", exe.entry);
+    println!("symbol table:");
+    for s in &exe.symbols {
+        let kind = match s.kind {
+            SymbolKind::Func { code_size } => format!("func (code {code_size} B)"),
+            SymbolKind::Object { width } => format!("object ({width})"),
+        };
+        println!("  {:#010x} {:>5} B  {:<24} {kind}", s.addr, s.size, s.name);
+    }
+
+    for sym in exe.functions() {
+        let SymbolKind::Func { code_size } = sym.kind else { continue };
+        println!("\n<{}>:", sym.name);
+        let mut addr = sym.addr;
+        let end = sym.addr + code_size;
+        while addr < end {
+            let hw = exe.read_half(addr).ok_or("unreadable code")?;
+            let next = if addr + 4 <= end { exe.read_half(addr + 2) } else { None };
+            let (insn, size) = decode(hw, next);
+            let mut line = format!("  {:#010x}:  {}", addr, disassemble(&insn, addr));
+            if let Some(bound) = linked.annotations.loop_bound(addr) {
+                line.push_str(&format!("    ; loop bound {bound}"));
+            }
+            if let Some(acc) = linked.annotations.access(addr) {
+                match acc.addr {
+                    AddrInfo::Exact(a) => line.push_str(&format!("    ; -> {a:#x}")),
+                    AddrInfo::Range { lo, hi } => {
+                        line.push_str(&format!("    ; -> [{lo:#x},{hi:#x})"))
+                    }
+                    _ => {}
+                }
+            }
+            println!("{line}");
+            addr += size;
+        }
+        if code_size < sym.size {
+            println!("  ; literal pool: {} bytes", sym.size - code_size);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,2 @@
+//! Facade crate re-exporting the `spmlab` experiment pipeline.
+pub use spmlab::*;

@@ -1,0 +1,208 @@
+//! The workspace's headline invariant, exercised across the full
+//! configuration matrix: **for every benchmark, memory configuration and
+//! input respecting the annotations, the static WCET bound is ≥ the
+//! simulated cycle count** — and every always-hit proof of the cache
+//! analysis holds in the simulator's trace.
+
+use spmlab_cc::SpmAssignment;
+use spmlab_isa::cachecfg::{CacheConfig, Replacement};
+use spmlab_isa::mem::MemoryMap;
+use spmlab_sim::{simulate, MachineConfig, SimOptions};
+use spmlab_wcet::{analyze, WcetConfig};
+use spmlab_workloads::{inputs, Benchmark, ADPCM, CRC32, FIR, G721, INSERTSORT, MULTISORT};
+
+/// Reduced inputs keep the debug-mode matrix fast while still exercising
+/// every code path.
+fn small_input(b: &Benchmark) -> Vec<i32> {
+    match b.name {
+        "g721" => inputs::speech_like(24, 11),
+        "adpcm" => inputs::speech_like(48, 12),
+        "multisort" => inputs::random_ints(24, 13, -99, 99),
+        "insertsort" => inputs::random_ints(16, 14, -99, 99),
+        "fir" => inputs::speech_like(48, 15),
+        "crc32" => inputs::random_bytes(32, 16),
+        other => panic!("unknown benchmark {other}"),
+    }
+}
+
+fn all() -> Vec<&'static Benchmark> {
+    vec![&G721, &ADPCM, &MULTISORT, &INSERTSORT, &FIR, &CRC32]
+}
+
+#[test]
+fn region_timing_bounds_simulation_everywhere() {
+    for b in all() {
+        let input = small_input(b);
+        let module = b.compile().unwrap();
+        for spm_size in [0u32, 64, 512, 4096] {
+            let map = MemoryMap::with_spm(spm_size);
+            // Move `main` plus the input array when they fit; the specific
+            // assignment does not matter for soundness.
+            let assignment = if spm_size >= 4096 {
+                SpmAssignment::of(["main"])
+            } else {
+                SpmAssignment::none()
+            };
+            let linked = b.link_with_input(&module, &map, &assignment, &input).unwrap();
+            let sim = simulate(&linked.exe, &MachineConfig::uncached(), &SimOptions::default())
+                .unwrap_or_else(|e| panic!("{} spm={spm_size}: {e}", b.name));
+            let wcet = analyze(&linked.exe, &WcetConfig::region_timing(), &linked.annotations)
+                .unwrap_or_else(|e| panic!("{} spm={spm_size}: {e}", b.name));
+            assert!(
+                wcet.wcet_cycles >= sim.cycles,
+                "{} spm={spm_size}: wcet {} < sim {}",
+                b.name,
+                wcet.wcet_cycles,
+                sim.cycles
+            );
+        }
+    }
+}
+
+#[test]
+fn cache_analysis_bounds_simulation_everywhere() {
+    for b in all() {
+        let input = small_input(b);
+        let module = b.compile().unwrap();
+        let linked = b
+            .link_with_input(&module, &MemoryMap::no_spm(), &SpmAssignment::none(), &input)
+            .unwrap();
+        for cache in [
+            CacheConfig::unified(64),
+            CacheConfig::unified(1024),
+            CacheConfig::unified(8192),
+            CacheConfig::instr_only(512),
+            CacheConfig::set_assoc(1024, 2, Replacement::Lru),
+            CacheConfig::set_assoc(1024, 4, Replacement::Random { seed: 3 }),
+            CacheConfig::set_assoc(512, 2, Replacement::RoundRobin),
+        ] {
+            let sim = simulate(
+                &linked.exe,
+                &MachineConfig { cache: Some(cache.clone()) },
+                &SimOptions::default(),
+            )
+            .unwrap();
+            for persistence in [false, true] {
+                let cfg = if persistence {
+                    WcetConfig::with_cache_persistence(cache.clone())
+                } else {
+                    WcetConfig::with_cache(cache.clone())
+                };
+                let wcet = analyze(&linked.exe, &cfg, &linked.annotations).unwrap();
+                assert!(
+                    wcet.wcet_cycles >= sim.cycles,
+                    "{} cache={cache:?} persistence={persistence}: wcet {} < sim {}",
+                    b.name,
+                    wcet.wcet_cycles,
+                    sim.cycles
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn always_hit_proofs_hold_in_simulator_traces() {
+    // Every instruction the MUST analysis proves always-hit must have zero
+    // misses in the simulator's per-instruction counters — for every
+    // benchmark, geometry and replacement policy.
+    for b in all() {
+        let input = small_input(b);
+        let module = b.compile().unwrap();
+        let linked = b
+            .link_with_input(&module, &MemoryMap::no_spm(), &SpmAssignment::none(), &input)
+            .unwrap();
+        for cache in [
+            CacheConfig::unified(256),
+            CacheConfig::unified(4096),
+            CacheConfig::set_assoc(1024, 2, Replacement::Lru),
+            CacheConfig::set_assoc(1024, 4, Replacement::Random { seed: 9 }),
+        ] {
+            let sim = simulate(
+                &linked.exe,
+                &MachineConfig { cache: Some(cache.clone()) },
+                &SimOptions::default(),
+            )
+            .unwrap();
+            let wcet =
+                analyze(&linked.exe, &WcetConfig::with_cache(cache.clone()), &linked.annotations)
+                    .unwrap();
+            for &addr in &wcet.classification.fetch_always_hit {
+                if let Some(stat) = sim.insn_stats.get(&addr) {
+                    assert_eq!(
+                        stat.fetch_misses, 0,
+                        "{} {cache:?}: fetch at {addr:#x} classified always-hit \
+                         but missed {} times over {} executions",
+                        b.name, stat.fetch_misses, stat.execs
+                    );
+                }
+            }
+            for &addr in &wcet.classification.data_always_hit {
+                if let Some(stat) = sim.insn_stats.get(&addr) {
+                    assert_eq!(
+                        stat.data_misses, 0,
+                        "{} {cache:?}: data access at {addr:#x} classified always-hit \
+                         but missed {} times",
+                        b.name, stat.data_misses
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn worst_case_inputs_stay_below_the_bound() {
+    // The bound must hold for the *worst* inputs too, not just typical
+    // ones (the annotations encode the worst case).
+    for (b, worst) in [
+        (&MULTISORT, inputs::descending(64)),
+        (&INSERTSORT, inputs::descending(32)),
+        (&INSERTSORT, inputs::ascending(32)),
+    ] {
+        let module = b.compile().unwrap();
+        let linked = b
+            .link_with_input(&module, &MemoryMap::no_spm(), &SpmAssignment::none(), &worst)
+            .unwrap();
+        let sim =
+            simulate(&linked.exe, &MachineConfig::uncached(), &SimOptions::default()).unwrap();
+        let wcet =
+            analyze(&linked.exe, &WcetConfig::region_timing(), &linked.annotations).unwrap();
+        assert!(
+            wcet.wcet_cycles >= sim.cycles,
+            "{}: wcet {} < sim {} on adversarial input",
+            b.name,
+            wcet.wcet_cycles,
+            sim.cycles
+        );
+    }
+}
+
+#[test]
+fn persistence_is_sound_and_no_looser() {
+    let input = small_input(&ADPCM);
+    let module = ADPCM.compile().unwrap();
+    let linked = ADPCM
+        .link_with_input(&module, &MemoryMap::no_spm(), &SpmAssignment::none(), &input)
+        .unwrap();
+    for size in [256u32, 1024, 8192] {
+        let cache = CacheConfig::unified(size);
+        let sim = simulate(
+            &linked.exe,
+            &MachineConfig { cache: Some(cache.clone()) },
+            &SimOptions::default(),
+        )
+        .unwrap();
+        let must =
+            analyze(&linked.exe, &WcetConfig::with_cache(cache.clone()), &linked.annotations)
+                .unwrap();
+        let pers = analyze(
+            &linked.exe,
+            &WcetConfig::with_cache_persistence(cache.clone()),
+            &linked.annotations,
+        )
+        .unwrap();
+        assert!(pers.wcet_cycles <= must.wcet_cycles, "persistence can only tighten");
+        assert!(pers.wcet_cycles >= sim.cycles, "persistence stays sound at {size}");
+    }
+}
