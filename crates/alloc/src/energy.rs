@@ -150,7 +150,10 @@ mod tests {
     fn cache_costs_more_than_spm() {
         let m = EnergyModel::default();
         for size in [64, 1024, 8192] {
-            assert!(m.cache_access_nj(size) > m.spm_access_nj(size), "tag overhead");
+            assert!(
+                m.cache_access_nj(size) > m.spm_access_nj(size),
+                "tag overhead"
+            );
         }
     }
 

@@ -53,7 +53,10 @@ pub fn allocate(
     let objects = memory_objects(module, profile, capacity, energy);
     let items: Vec<Item> = objects
         .iter()
-        .map(|o| Item { weight: aligned_size(o.size), value: o.benefit_nj })
+        .map(|o| Item {
+            weight: aligned_size(o.size),
+            value: o.benefit_nj,
+        })
         .collect();
     let sel = knapsack_solve(&items, capacity);
     let assignment = SpmAssignment::of(sel.chosen.iter().map(|&i| objects[i].name.clone()));
@@ -125,8 +128,10 @@ mod tests {
             let a = allocate(&module, &profile, cap, &energy);
             assert!(a.used_bytes <= cap, "selection must fit at {cap}");
             assert!(a.utilization() <= 1.0);
-            assert!(a.assignment.len() >= prev_selected || cap <= 256,
-                "larger capacity should not select fewer objects once the hot set fits");
+            assert!(
+                a.assignment.len() >= prev_selected || cap <= 256,
+                "larger capacity should not select fewer objects once the hot set fits"
+            );
             prev_selected = a.assignment.len();
         }
         // At 4 KiB everything hot fits; benefit clearly beats the 64 B one.
@@ -142,8 +147,18 @@ mod tests {
         let map = MemoryMap::with_spm(512);
         let fast = link(&module, &map, &alloc.assignment).unwrap();
         let base = link(&module, &MemoryMap::no_spm(), &SpmAssignment::none()).unwrap();
-        let rf = simulate(&fast.exe, &MachineConfig::uncached(), &SimOptions::default()).unwrap();
-        let rb = simulate(&base.exe, &MachineConfig::uncached(), &SimOptions::default()).unwrap();
+        let rf = simulate(
+            &fast.exe,
+            &MachineConfig::uncached(),
+            &SimOptions::default(),
+        )
+        .unwrap();
+        let rb = simulate(
+            &base.exe,
+            &MachineConfig::uncached(),
+            &SimOptions::default(),
+        )
+        .unwrap();
         assert!(rf.cycles < rb.cycles, "{} < {}", rf.cycles, rb.cycles);
         assert_eq!(
             rf.read_global(&fast.exe, "s"),

@@ -41,8 +41,8 @@ pub fn memory_objects(
         let (fetches, accesses) = match profile.symbol(&name) {
             Some(p) => {
                 let mut acc = [0u64; 3];
-                for i in 0..3 {
-                    acc[i] = p.reads[i] + p.writes[i];
+                for (i, a) in acc.iter_mut().enumerate() {
+                    *a = p.reads[i] + p.writes[i];
                 }
                 (p.fetches, acc)
             }
@@ -52,7 +52,14 @@ pub fn memory_objects(
         for (i, w) in widths.iter().enumerate() {
             benefit += accesses[i] as f64 * energy.saving_nj(*w, spm_size);
         }
-        out.push(MemoryObject { name, size, is_func, fetches, accesses, benefit_nj: benefit });
+        out.push(MemoryObject {
+            name,
+            size,
+            is_func,
+            fetches,
+            accesses,
+            benefit_nj: benefit,
+        });
     }
     out
 }

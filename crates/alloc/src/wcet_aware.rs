@@ -77,7 +77,12 @@ pub fn allocate(
 ) -> Result<WcetAllocation, WcetAllocError> {
     let map = MemoryMap::with_spm(capacity);
     let baseline_map = MemoryMap::no_spm();
-    let baseline_wcet = wcet_of(module, &baseline_map, &SpmAssignment::none(), extra_annotations)?;
+    let baseline_wcet = wcet_of(
+        module,
+        &baseline_map,
+        &SpmAssignment::none(),
+        extra_annotations,
+    )?;
 
     let mut assignment = SpmAssignment::none();
     let mut current = wcet_of(module, &map, &assignment, extra_annotations)?;
@@ -101,7 +106,7 @@ pub fn allocate(
             };
             if w < current {
                 let gain_per_byte = (current - w) as f64 / aligned as f64;
-                if best.map_or(true, |(_, _, g)| gain_per_byte > g) {
+                if best.is_none_or(|(_, _, g)| gain_per_byte > g) {
                     best = Some((i, w, gain_per_byte));
                 }
             }
@@ -114,7 +119,12 @@ pub fn allocate(
         steps.push((name, w));
     }
 
-    Ok(WcetAllocation { assignment, baseline_wcet, final_wcet: current, steps })
+    Ok(WcetAllocation {
+        assignment,
+        baseline_wcet,
+        final_wcet: current,
+        steps,
+    })
 }
 
 #[cfg(test)]

@@ -14,10 +14,18 @@ fn bench_persistence(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_persistence");
     g.sample_size(10);
     g.bench_function("must_only_1024", |b| {
-        b.iter(|| pipeline.run_cache(CacheConfig::unified(1024), false).unwrap())
+        b.iter(|| {
+            pipeline
+                .run_cache(CacheConfig::unified(1024), false)
+                .unwrap()
+        })
     });
     g.bench_function("with_persistence_1024", |b| {
-        b.iter(|| pipeline.run_cache(CacheConfig::unified(1024), true).unwrap())
+        b.iter(|| {
+            pipeline
+                .run_cache(CacheConfig::unified(1024), true)
+                .unwrap()
+        })
     });
     g.finish();
 }
@@ -27,10 +35,18 @@ fn bench_icache(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_icache");
     g.sample_size(10);
     g.bench_function("unified_1024", |b| {
-        b.iter(|| pipeline.run_cache(CacheConfig::unified(1024), false).unwrap())
+        b.iter(|| {
+            pipeline
+                .run_cache(CacheConfig::unified(1024), false)
+                .unwrap()
+        })
     });
     g.bench_function("instr_only_1024", |b| {
-        b.iter(|| pipeline.run_cache(CacheConfig::instr_only(1024), false).unwrap())
+        b.iter(|| {
+            pipeline
+                .run_cache(CacheConfig::instr_only(1024), false)
+                .unwrap()
+        })
     });
     g.finish();
 }
@@ -41,10 +57,18 @@ fn bench_assoc(c: &mut Criterion) {
     g.sample_size(10);
     for (name, cfg) in [
         ("direct", CacheConfig::unified(1024)),
-        ("2way_lru", CacheConfig::set_assoc(1024, 2, Replacement::Lru)),
-        ("4way_random", CacheConfig::set_assoc(1024, 4, Replacement::Random { seed: 7 })),
+        (
+            "2way_lru",
+            CacheConfig::set_assoc(1024, 2, Replacement::Lru),
+        ),
+        (
+            "4way_random",
+            CacheConfig::set_assoc(1024, 4, Replacement::Random { seed: 7 }),
+        ),
     ] {
-        g.bench_function(name, |b| b.iter(|| pipeline.run_cache(cfg.clone(), false).unwrap()));
+        g.bench_function(name, |b| {
+            b.iter(|| pipeline.run_cache(cfg.clone(), false).unwrap())
+        });
     }
     g.finish();
 }
@@ -59,5 +83,11 @@ fn bench_wcet_aware_alloc(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(ablations, bench_persistence, bench_icache, bench_assoc, bench_wcet_aware_alloc);
+criterion_group!(
+    ablations,
+    bench_persistence,
+    bench_icache,
+    bench_assoc,
+    bench_wcet_aware_alloc
+);
 criterion_main!(ablations);

@@ -1,0 +1,63 @@
+//! Hierarchy-sweep benches: how expensive are simulation and multi-level
+//! WCET analysis per memory configuration — and one full sweep emitting
+//! the `BENCH_hierarchy.json` artifact so the perf/predictability
+//! trajectory accumulates across revisions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spmlab::pipeline::Pipeline;
+use spmlab::MemHierarchyConfig;
+use spmlab_bench::{hierarchy_figure, hierarchy_json, hierarchy_l1_size};
+use spmlab_isa::cachecfg::CacheConfig;
+use spmlab_workloads::ADPCM;
+
+fn bench_hierarchy_points(c: &mut Criterion) {
+    let pipeline = Pipeline::new(&ADPCM).unwrap();
+    let mut g = c.benchmark_group("hierarchy_sweep");
+    g.sample_size(10);
+    let l1 = 512;
+    let configs: Vec<(&str, MemHierarchyConfig)> = vec![
+        (
+            "l1_unified",
+            MemHierarchyConfig::l1_only(CacheConfig::unified(l1)),
+        ),
+        ("l1_split", MemHierarchyConfig::split_l1(l1 / 2, l1 / 2)),
+        (
+            "l1_split_l2",
+            MemHierarchyConfig::split_l1(l1 / 2, l1 / 2).with_l2(CacheConfig::l2(4 * l1)),
+        ),
+    ];
+    for (name, cfg) in configs {
+        g.bench_function(name, |b| {
+            b.iter(|| pipeline.run_hierarchy(cfg.clone()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_axis_and_emit_artifact(c: &mut Criterion) {
+    // Time one full quick axis, then write the artifact from a fresh run.
+    let mut g = c.benchmark_group("hierarchy_axis");
+    g.sample_size(2);
+    g.bench_function("adpcm_full_axis", |b| {
+        b.iter(|| hierarchy_figure(true).unwrap())
+    });
+    g.finish();
+
+    let start = std::time::Instant::now();
+    let fig = hierarchy_figure(true).unwrap();
+    let json = hierarchy_json(&fig, start.elapsed().as_secs_f64());
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hierarchy.json");
+    std::fs::write(path, json).expect("write BENCH_hierarchy.json");
+    println!(
+        "wrote {path} ({} points, l1 = {} B)",
+        fig.rows().len(),
+        hierarchy_l1_size(true)
+    );
+}
+
+criterion_group!(
+    hierarchy,
+    bench_hierarchy_points,
+    bench_full_axis_and_emit_artifact
+);
+criterion_main!(hierarchy);

@@ -26,7 +26,9 @@ fn bench_fig3(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig3_g721");
     g.sample_size(10);
     let pipeline = Pipeline::new(&G721).unwrap();
-    g.bench_function("spm_point_1024", |b| b.iter(|| pipeline.run_spm(1024).unwrap()));
+    g.bench_function("spm_point_1024", |b| {
+        b.iter(|| pipeline.run_spm(1024).unwrap())
+    });
     g.bench_function("cache_point_1024", |b| {
         b.iter(|| pipeline.run_cache_default(1024).unwrap())
     });
@@ -45,7 +47,9 @@ fn bench_fig5(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig5_multisort");
     g.sample_size(10);
     let pipeline = Pipeline::new(&MULTISORT).unwrap();
-    g.bench_function("spm_point_1024", |b| b.iter(|| pipeline.run_spm(1024).unwrap()));
+    g.bench_function("spm_point_1024", |b| {
+        b.iter(|| pipeline.run_spm(1024).unwrap())
+    });
     g.bench_function("cache_point_1024", |b| {
         b.iter(|| pipeline.run_cache_default(1024).unwrap())
     });
@@ -56,7 +60,9 @@ fn bench_fig6(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig6_adpcm");
     g.sample_size(10);
     let pipeline = Pipeline::new(&ADPCM).unwrap();
-    g.bench_function("spm_point_512", |b| b.iter(|| pipeline.run_spm(512).unwrap()));
+    g.bench_function("spm_point_512", |b| {
+        b.iter(|| pipeline.run_spm(512).unwrap())
+    });
     g.bench_function("cache_point_512", |b| {
         b.iter(|| pipeline.run_cache_default(512).unwrap())
     });

@@ -33,21 +33,36 @@ fn bench_link(c: &mut Criterion) {
 
 fn bench_simulate(c: &mut Criterion) {
     let input = inputs::speech_like(64, 1);
-    let linked = ADPCM.build(&MemoryMap::no_spm(), &SpmAssignment::none(), &input).unwrap();
+    let linked = ADPCM
+        .build(&MemoryMap::no_spm(), &SpmAssignment::none(), &input)
+        .unwrap();
     let mut g = c.benchmark_group("simulator");
     g.sample_size(20);
     g.bench_function("adpcm_64_samples_uncached", |b| {
-        b.iter(|| simulate(&linked.exe, &MachineConfig::uncached(), &SimOptions::default()).unwrap())
+        b.iter(|| {
+            simulate(
+                &linked.exe,
+                &MachineConfig::uncached(),
+                &SimOptions::default(),
+            )
+            .unwrap()
+        })
     });
     g.bench_function("adpcm_64_samples_cached", |b| {
         b.iter(|| {
-            simulate(&linked.exe, &MachineConfig::with_unified_cache(1024), &SimOptions::default())
-                .unwrap()
+            simulate(
+                &linked.exe,
+                &MachineConfig::with_unified_cache(1024),
+                &SimOptions::default(),
+            )
+            .unwrap()
         })
     });
-    let mut fast = SimOptions::default();
-    fast.insn_stats = false;
-    fast.profile = false;
+    let fast = SimOptions {
+        insn_stats: false,
+        profile: false,
+        ..SimOptions::default()
+    };
     g.bench_function("adpcm_64_samples_no_stats", |b| {
         b.iter(|| simulate(&linked.exe, &MachineConfig::uncached(), &fast).unwrap())
     });
@@ -56,18 +71,30 @@ fn bench_simulate(c: &mut Criterion) {
 
 fn bench_wcet(c: &mut Criterion) {
     let input = (INSERTSORT.typical_input)();
-    let linked =
-        INSERTSORT.build(&MemoryMap::no_spm(), &SpmAssignment::none(), &input).unwrap();
+    let linked = INSERTSORT
+        .build(&MemoryMap::no_spm(), &SpmAssignment::none(), &input)
+        .unwrap();
     let mut g = c.benchmark_group("wcet");
     g.sample_size(20);
     g.bench_function("region_timing_insertsort", |b| {
-        b.iter(|| analyze(&linked.exe, &WcetConfig::region_timing(), &linked.annotations).unwrap())
+        b.iter(|| {
+            analyze(
+                &linked.exe,
+                &WcetConfig::region_timing(),
+                &linked.annotations,
+            )
+            .unwrap()
+        })
     });
     let cache = spmlab_isa::cachecfg::CacheConfig::unified(1024);
     g.bench_function("cache_must_insertsort", |b| {
         b.iter(|| {
-            analyze(&linked.exe, &WcetConfig::with_cache(cache.clone()), &linked.annotations)
-                .unwrap()
+            analyze(
+                &linked.exe,
+                &WcetConfig::with_cache(cache.clone()),
+                &linked.annotations,
+            )
+            .unwrap()
         })
     });
     g.finish();
@@ -76,11 +103,21 @@ fn bench_wcet(c: &mut Criterion) {
 fn bench_alloc(c: &mut Criterion) {
     let module = compile(G721.source).unwrap();
     let input = inputs::speech_like(64, 1);
-    let linked = G721.link_with_input(&module, &MemoryMap::no_spm(), &SpmAssignment::none(), &input)
+    let linked = G721
+        .link_with_input(
+            &module,
+            &MemoryMap::no_spm(),
+            &SpmAssignment::none(),
+            &input,
+        )
         .unwrap();
-    let profile = simulate(&linked.exe, &MachineConfig::uncached(), &SimOptions::default())
-        .unwrap()
-        .profile;
+    let profile = simulate(
+        &linked.exe,
+        &MachineConfig::uncached(),
+        &SimOptions::default(),
+    )
+    .unwrap()
+    .profile;
     c.bench_function("knapsack_allocate_g721", |b| {
         b.iter(|| spmlab_alloc::allocate(&module, &profile, 2048, &EnergyModel::default()))
     });
@@ -90,7 +127,10 @@ fn bench_ilp(c: &mut Criterion) {
     let mut g = c.benchmark_group("ilp");
     g.bench_function("knapsack_dp_64_items", |b| {
         let items: Vec<Item> = (0..64)
-            .map(|i| Item { weight: 8 + (i * 7) % 120, value: (i % 13) as f64 + 1.0 })
+            .map(|i| Item {
+                weight: 8 + (i * 7) % 120,
+                value: (i % 13) as f64 + 1.0,
+            })
             .collect();
         b.iter(|| knapsack_solve(&items, 2048))
     });
@@ -103,7 +143,11 @@ fn bench_ilp(c: &mut Criterion) {
             for w in vars.windows(2) {
                 m.add_le(&[(w[0], 1.0), (w[1], 2.0)], 12.0);
             }
-            let obj: Vec<_> = vars.iter().enumerate().map(|(i, &v)| (v, 1.0 + (i % 3) as f64)).collect();
+            let obj: Vec<_> = vars
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, 1.0 + (i % 3) as f64))
+                .collect();
             m.set_objective(&obj);
             spmlab_ilp::simplex::solve_lp(&m).unwrap()
         })
@@ -112,7 +156,10 @@ fn bench_ilp(c: &mut Criterion) {
 }
 
 fn bench_isa(c: &mut Criterion) {
-    let insns: Vec<Insn> = (0..=u16::MAX).step_by(7).map(|hw| decode(hw, None).0).collect();
+    let insns: Vec<Insn> = (0..=u16::MAX)
+        .step_by(7)
+        .map(|hw| decode(hw, None).0)
+        .collect();
     let mut g = c.benchmark_group("isa");
     g.throughput(Throughput::Elements(insns.len() as u64));
     g.bench_function("encode_decode_roundtrip", |b| {

@@ -12,11 +12,17 @@ use spmlab_bench::{run_experiment, verify_claims, EXPERIMENTS};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let ids: Vec<&str> =
-        args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+    let ids: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
 
     if ids.is_empty() || ids.contains(&"list") {
-        eprintln!("usage: experiments [--quick] <all|verify|{}>", EXPERIMENTS.join("|"));
+        eprintln!(
+            "usage: experiments [--quick] <all|verify|{}>",
+            EXPERIMENTS.join("|")
+        );
         std::process::exit(if ids.contains(&"list") { 0 } else { 2 });
     }
 

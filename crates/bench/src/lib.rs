@@ -13,11 +13,11 @@
 //! The Criterion benches in `benches/` time the same artefact generators
 //! on reduced inputs, one group per paper artefact.
 
-use spmlab::figures::{table1, table2, Figure3, Tightness};
+use spmlab::figures::{table1, table2, Figure3, FigureHierarchy, Tightness};
 use spmlab::pipeline::Pipeline;
 use spmlab::report;
 use spmlab::sweep::cache_sweep_with;
-use spmlab::{CoreError, PAPER_SIZES};
+use spmlab::{hierarchy_axis, CoreError, PAPER_SIZES};
 use spmlab_alloc::wcet_aware;
 use spmlab_isa::annot::AnnotationSet;
 use spmlab_isa::cachecfg::{CacheConfig, Replacement};
@@ -102,6 +102,68 @@ pub fn exp_tightness() -> Result<String, CoreError> {
     Ok(report::render_tightness(&t))
 }
 
+/// The L1 capacity the hierarchy scenario builds its axis around.
+pub fn hierarchy_l1_size(quick: bool) -> u32 {
+    if quick {
+        512
+    } else {
+        1024
+    }
+}
+
+/// The hierarchy comparison data (shared by the report experiment, the
+/// criterion bench and the `BENCH_hierarchy.json` artifact).
+///
+/// # Errors
+///
+/// Pipeline failures.
+pub fn hierarchy_figure(quick: bool) -> Result<FigureHierarchy, CoreError> {
+    let l1 = hierarchy_l1_size(quick);
+    let bench = if quick { &ADPCM } else { &G721 };
+    FigureHierarchy::run(bench, l1, &hierarchy_axis(l1))
+}
+
+/// Hierarchy scenario: the WCET-vs-simulation comparison across memory
+/// hierarchies — scratchpad (both main-memory timings), unified/split L1,
+/// and split L1 backed by a unified L2 at two capacities and two
+/// main-memory timings.
+///
+/// # Errors
+///
+/// Pipeline failures.
+pub fn exp_hierarchy(quick: bool) -> Result<String, CoreError> {
+    let fig = hierarchy_figure(quick)?;
+    let mut out = report::render_hierarchy(&fig);
+    out.push_str(&format!(
+        "sound (wcet >= sim) at every point: {}\n",
+        if fig.all_sound() { "yes" } else { "NO — BUG" }
+    ));
+    Ok(out)
+}
+
+/// Serialises the hierarchy comparison as the `BENCH_hierarchy.json`
+/// artifact (hand-rolled JSON: the build environment has no serde_json).
+pub fn hierarchy_json(fig: &FigureHierarchy, wall_seconds: f64) -> String {
+    let mut rows = String::new();
+    for (i, (label, sim, wcet)) in fig.rows().into_iter().enumerate() {
+        if i > 0 {
+            rows.push(',');
+        }
+        rows.push_str(&format!(
+            "\n    {{\"config\": \"{}\", \"sim_cycles\": {sim}, \"wcet_cycles\": {wcet}, \
+             \"ratio\": {:.4}}}",
+            label.replace('"', "'"),
+            wcet as f64 / sim.max(1) as f64
+        ));
+    }
+    format!(
+        "{{\n  \"benchmark\": \"{}\",\n  \"wall_seconds\": {wall_seconds:.3},\n  \
+         \"sound\": {},\n  \"points\": [{rows}\n  ]\n}}\n",
+        fig.benchmark,
+        fig.all_sound()
+    )
+}
+
 /// Ablation: MUST-only vs MUST+persistence cache analysis (paper §5:
 /// "the full scale of cache analysis techniques … would probably lead to
 /// improved cache results").
@@ -180,10 +242,22 @@ pub fn exp_ablation_assoc(quick: bool) -> Result<String, CoreError> {
     let size = if quick { 1024 } else { 4096 };
     let configs: Vec<(&str, CacheConfig)> = vec![
         ("direct-mapped", CacheConfig::unified(size)),
-        ("2-way LRU", CacheConfig::set_assoc(size, 2, Replacement::Lru)),
-        ("4-way LRU", CacheConfig::set_assoc(size, 4, Replacement::Lru)),
-        ("4-way random", CacheConfig::set_assoc(size, 4, Replacement::Random { seed: 7 })),
-        ("4-way round-robin", CacheConfig::set_assoc(size, 4, Replacement::RoundRobin)),
+        (
+            "2-way LRU",
+            CacheConfig::set_assoc(size, 2, Replacement::Lru),
+        ),
+        (
+            "4-way LRU",
+            CacheConfig::set_assoc(size, 4, Replacement::Lru),
+        ),
+        (
+            "4-way random",
+            CacheConfig::set_assoc(size, 4, Replacement::Random { seed: 7 }),
+        ),
+        (
+            "4-way round-robin",
+            CacheConfig::set_assoc(size, 4, Replacement::RoundRobin),
+        ),
     ];
     let mut rows = Vec::new();
     for (name, cfg) in configs {
@@ -208,18 +282,23 @@ pub fn exp_ablation_assoc(quick: bool) -> Result<String, CoreError> {
 ///
 /// Pipeline or allocation failures.
 pub fn exp_ablation_wcet_alloc(quick: bool) -> Result<String, CoreError> {
-    let szs: &[u32] = if quick { &[256, 1024] } else { &[256, 1024, 4096] };
+    let szs: &[u32] = if quick {
+        &[256, 1024]
+    } else {
+        &[256, 1024, 4096]
+    };
     let mut rows = Vec::new();
     for bench in [&INSERTSORT, &MULTISORT] {
         let pipeline = Pipeline::new(bench)?;
         for &size in szs {
             let energy_opt = pipeline.run_spm(size)?;
             let module = bench.compile()?;
-            let wa = wcet_aware::allocate(&module, size, &AnnotationSet::new())
-                .map_err(|e| CoreError::Cc(spmlab_cc::CcError::Sema {
+            let wa = wcet_aware::allocate(&module, size, &AnnotationSet::new()).map_err(|e| {
+                CoreError::Cc(spmlab_cc::CcError::Sema {
                     pos: spmlab_cc::Pos::default(),
                     msg: e.to_string(),
-                }))?;
+                })
+            })?;
             let wcet_opt = pipeline.run_spm_with_assignment(size, &wa.assignment)?;
             rows.push(vec![
                 bench.name.to_string(),
@@ -231,7 +310,15 @@ pub fn exp_ablation_wcet_alloc(quick: bool) -> Result<String, CoreError> {
     }
     Ok(format!(
         "Ablation: energy-optimal vs WCET-aware allocation (WCET bound)\n{}",
-        report::render_table(&["benchmark", "spm bytes", "energy-opt wcet", "wcet-aware wcet"], &rows)
+        report::render_table(
+            &[
+                "benchmark",
+                "spm bytes",
+                "energy-opt wcet",
+                "wcet-aware wcet"
+            ],
+            &rows
+        )
     ))
 }
 
@@ -248,6 +335,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Result<String, CoreError> {
         "fig5" => exp_fig5(quick),
         "fig6" => exp_fig6(quick),
         "tightness" => exp_tightness(),
+        "hierarchy" => exp_hierarchy(quick),
         "ablation-persistence" => exp_ablation_persistence(quick),
         "ablation-icache" => exp_ablation_icache(quick),
         "ablation-assoc" => exp_ablation_assoc(quick),
@@ -260,13 +348,14 @@ pub fn run_experiment(id: &str, quick: bool) -> Result<String, CoreError> {
 }
 
 /// All experiment ids in report order.
-pub const EXPERIMENTS: [&str; 10] = [
+pub const EXPERIMENTS: [&str; 11] = [
     "table1",
     "table2",
     "fig3",
     "fig5",
     "fig6",
     "tightness",
+    "hierarchy",
     "ablation-persistence",
     "ablation-icache",
     "ablation-assoc",
@@ -294,7 +383,10 @@ pub fn verify_claims(quick: bool) -> Result<Vec<(String, bool)>, CoreError> {
     // Claim 2: scratchpad ratio roughly constant (max/min < 1.5).
     let rmax = spm_r.iter().map(|(_, r)| *r).fold(f64::MIN, f64::max);
     let rmin = spm_r.iter().map(|(_, r)| *r).fold(f64::MAX, f64::min);
-    claims.push(("G.721: scratchpad WCET/sim ratio ~constant".into(), rmax / rmin < 1.5));
+    claims.push((
+        "G.721: scratchpad WCET/sim ratio ~constant".into(),
+        rmax / rmin < 1.5,
+    ));
     // Claim 3: cache WCET stays at a high level — it falls by less than 2×
     // across the whole sweep while the simulated cycles fall by more than
     // 2×, and even the best cache WCET stays above the *worst* scratchpad
@@ -321,7 +413,10 @@ pub fn verify_claims(quick: bool) -> Result<Vec<(String, bool)>, CoreError> {
         .iter()
         .zip(&fig.cache)
         .all(|(s, c)| s.result.wcet_cycles <= c.result.wcet_cycles);
-    claims.push(("G.721: scratchpad WCET ≤ cache WCET at every size".into(), spm_beats));
+    claims.push((
+        "G.721: scratchpad WCET ≤ cache WCET at every size".into(),
+        spm_beats,
+    ));
     // Claim 6: soundness everywhere.
     let sound = fig
         .spm
@@ -329,6 +424,29 @@ pub fn verify_claims(quick: bool) -> Result<Vec<(String, bool)>, CoreError> {
         .chain(&fig.cache)
         .all(|p| p.result.wcet_cycles >= p.result.sim_cycles);
     claims.push(("G.721: WCET ≥ simulation at every point".into(), sound));
+
+    // Claim 7 (beyond the paper): the invariant extends to multi-level
+    // hierarchies, and the scratchpad bound stays tighter than every
+    // cached configuration's.
+    let hier = hierarchy_figure(quick)?;
+    claims.push((
+        "hierarchy: WCET ≥ simulation at every configuration".into(),
+        hier.all_sound(),
+    ));
+    let spm_ratio = hier
+        .spm
+        .iter()
+        .map(|p| p.table1.ratio())
+        .fold(f64::MIN, f64::max);
+    let cached_best = hier
+        .points
+        .iter()
+        .map(|p| p.result.ratio())
+        .fold(f64::MAX, f64::min);
+    claims.push((
+        "hierarchy: scratchpad WCET/sim ratio beats every cache hierarchy".into(),
+        spm_ratio < cached_best,
+    ));
 
     Ok(claims)
 }

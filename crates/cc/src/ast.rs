@@ -71,15 +71,33 @@ pub struct Func {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Stmt {
     /// Scalar local declaration with optional initialiser.
-    Decl { name: String, ty: Type, init: Option<Expr>, pos: Pos },
+    Decl {
+        name: String,
+        ty: Type,
+        init: Option<Expr>,
+        pos: Pos,
+    },
     /// Expression statement.
     Expr(Expr),
     /// `if (cond) then else else_`.
-    If { cond: Expr, then: Vec<Stmt>, else_: Vec<Stmt>, pos: Pos },
+    If {
+        cond: Expr,
+        then: Vec<Stmt>,
+        else_: Vec<Stmt>,
+        pos: Pos,
+    },
     /// `while (cond) body`.
-    While { cond: Expr, body: Vec<Stmt>, pos: Pos },
+    While {
+        cond: Expr,
+        body: Vec<Stmt>,
+        pos: Pos,
+    },
     /// `do body while (cond);`.
-    DoWhile { body: Vec<Stmt>, cond: Expr, pos: Pos },
+    DoWhile {
+        body: Vec<Stmt>,
+        cond: Expr,
+        pos: Pos,
+    },
     /// `for (init; cond; step) body` (each header part optional).
     For {
         init: Option<Box<Stmt>>,
@@ -129,7 +147,10 @@ pub enum BinOp {
 impl BinOp {
     /// Whether the operator yields a 0/1 truth value.
     pub fn is_comparison(self) -> bool {
-        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
     }
 }
 
@@ -152,15 +173,36 @@ pub enum Expr {
     /// Variable reference (local, parameter or global scalar).
     Var { name: String, pos: Pos },
     /// Array element `name[index]`.
-    Index { name: String, index: Box<Expr>, pos: Pos },
+    Index {
+        name: String,
+        index: Box<Expr>,
+        pos: Pos,
+    },
     /// Assignment `lhs = rhs`; `lhs` is a `Var` or `Index`.
-    Assign { lhs: Box<Expr>, rhs: Box<Expr>, pos: Pos },
+    Assign {
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+        pos: Pos,
+    },
     /// Binary operation.
-    Bin { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr>, pos: Pos },
+    Bin {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+        pos: Pos,
+    },
     /// Unary operation.
-    Un { op: UnOp, operand: Box<Expr>, pos: Pos },
+    Un {
+        op: UnOp,
+        operand: Box<Expr>,
+        pos: Pos,
+    },
     /// Function call.
-    Call { name: String, args: Vec<Expr>, pos: Pos },
+    Call {
+        name: String,
+        args: Vec<Expr>,
+        pos: Pos,
+    },
 }
 
 impl Expr {

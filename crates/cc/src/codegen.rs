@@ -92,15 +92,24 @@ fn gen_func(tp: &TypedProgram, tf: &TypedFunc) -> Result<spmlab_isa::asm::ObjFun
     if g.frame_words > 255 {
         return Err(CcError::Sema {
             pos: tf.func.pos,
-            msg: format!("`{}` needs {} local slots; MiniC allows 255", tf.func.name, g.frame_words),
+            msg: format!(
+                "`{}` needs {} local slots; MiniC allows 255",
+                tf.func.name, g.frame_words
+            ),
         });
     }
 
     // Prologue.
-    g.f.push(Insn::Push { regs: RegList::of(&[R4, R5, R6, R7]), lr: true });
+    g.f.push(Insn::Push {
+        regs: RegList::of(&[R4, R5, R6, R7]),
+        lr: true,
+    });
     g.adjust_sp(-(g.frame_words as i32 * 4));
     for (i, _) in tf.func.params.iter().enumerate() {
-        g.f.push(Insn::StrSp { rd: Reg::new(i as u8), imm: i as u8 });
+        g.f.push(Insn::StrSp {
+            rd: Reg::new(i as u8),
+            imm: i as u8,
+        });
     }
 
     g.gen_block(&tf.func.body)?;
@@ -108,7 +117,10 @@ fn gen_func(tp: &TypedProgram, tf: &TypedFunc) -> Result<spmlab_isa::asm::ObjFun
     // Epilogue (single exit).
     g.f.label(g.ret_label.clone());
     g.adjust_sp(g.frame_words as i32 * 4);
-    g.f.push(Insn::Pop { regs: RegList::of(&[R4, R5, R6, R7]), pc: true });
+    g.f.push(Insn::Pop {
+        regs: RegList::of(&[R4, R5, R6, R7]),
+        pc: true,
+    });
 
     g.f.assemble().map_err(CcError::from)
 }
@@ -122,13 +134,18 @@ impl<'a> Gen<'a> {
     fn adjust_sp(&mut self, mut delta: i32) {
         while delta != 0 {
             let chunk = delta.clamp(-508, 508);
-            self.f.push(Insn::AdjSp { delta: chunk as i16 });
+            self.f.push(Insn::AdjSp {
+                delta: chunk as i16,
+            });
             delta -= chunk;
         }
     }
 
     fn sema_err<T>(&self, pos: Pos, msg: impl Into<String>) -> Result<T, CcError> {
-        Err(CcError::Sema { pos, msg: msg.into() })
+        Err(CcError::Sema {
+            pos,
+            msg: msg.into(),
+        })
     }
 
     /// SP-relative slot index for a local, accounting for words currently
@@ -167,7 +184,9 @@ impl<'a> Gen<'a> {
                 Ok(())
             }
             Stmt::Expr(e) => self.gen_expr(e, 0),
-            Stmt::If { cond, then, else_, .. } => {
+            Stmt::If {
+                cond, then, else_, ..
+            } => {
                 let l_else = self.fresh("else");
                 let l_end = self.fresh("endif");
                 self.gen_branch(cond, 0, &l_else, false)?;
@@ -215,7 +234,13 @@ impl<'a> Gen<'a> {
                 self.f.label(end);
                 Ok(())
             }
-            Stmt::For { init, cond, step, body, .. } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
                 if let Some(i) = init {
                     self.gen_stmt(i)?;
                 }
@@ -286,13 +311,7 @@ impl<'a> Gen<'a> {
 
     /// Emits a branch to `target` taken when `e` is true (`when == true`)
     /// or false (`when == false`); falls through otherwise.
-    fn gen_branch(
-        &mut self,
-        e: &Expr,
-        d: u8,
-        target: &str,
-        when: bool,
-    ) -> Result<(), CcError> {
+    fn gen_branch(&mut self, e: &Expr, d: u8, target: &str, when: bool) -> Result<(), CcError> {
         match e {
             Expr::Num { value, .. } => {
                 if (*value != 0) == when {
@@ -300,7 +319,11 @@ impl<'a> Gen<'a> {
                 }
                 Ok(())
             }
-            Expr::Un { op: UnOp::Not, operand, .. } => self.gen_branch(operand, d, target, !when),
+            Expr::Un {
+                op: UnOp::Not,
+                operand,
+                ..
+            } => self.gen_branch(operand, d, target, !when),
             Expr::Bin { op, lhs, rhs, .. } if op.is_comparison() => {
                 self.gen_compare(lhs, rhs, d)?;
                 let mut cond = cond_of(*op);
@@ -310,7 +333,12 @@ impl<'a> Gen<'a> {
                 self.f.bcond(cond, target);
                 Ok(())
             }
-            Expr::Bin { op: BinOp::LogAnd, lhs, rhs, .. } => {
+            Expr::Bin {
+                op: BinOp::LogAnd,
+                lhs,
+                rhs,
+                ..
+            } => {
                 if when {
                     let skip = self.fresh("andskip");
                     self.gen_branch(lhs, d, &skip, false)?;
@@ -322,7 +350,12 @@ impl<'a> Gen<'a> {
                 }
                 Ok(())
             }
-            Expr::Bin { op: BinOp::LogOr, lhs, rhs, .. } => {
+            Expr::Bin {
+                op: BinOp::LogOr,
+                lhs,
+                rhs,
+                ..
+            } => {
                 if when {
                     self.gen_branch(lhs, d, target, true)?;
                     self.gen_branch(rhs, d, target, true)?;
@@ -336,7 +369,10 @@ impl<'a> Gen<'a> {
             }
             _ => {
                 self.gen_expr(e, d)?;
-                self.f.push(Insn::CmpImm { rd: Reg::new(d), imm: 0 });
+                self.f.push(Insn::CmpImm {
+                    rd: Reg::new(d),
+                    imm: 0,
+                });
                 self.f.bcond(if when { Cond::Ne } else { Cond::Eq }, target);
                 Ok(())
             }
@@ -348,12 +384,19 @@ impl<'a> Gen<'a> {
         self.gen_expr(lhs, d)?;
         if let Expr::Num { value, .. } = rhs {
             if (0..=255).contains(value) {
-                self.f.push(Insn::CmpImm { rd: Reg::new(d), imm: *value as u8 });
+                self.f.push(Insn::CmpImm {
+                    rd: Reg::new(d),
+                    imm: *value as u8,
+                });
                 return Ok(());
             }
         }
         let (a, b) = self.gen_rhs(rhs, d)?;
-        self.f.push(Insn::Alu { op: AluOp::Cmp, rd: a, rm: b });
+        self.f.push(Insn::Alu {
+            op: AluOp::Cmp,
+            rd: a,
+            rm: b,
+        });
         Ok(())
     }
 
@@ -365,12 +408,18 @@ impl<'a> Gen<'a> {
             self.gen_expr(rhs, d + 1)?;
             Ok((Reg::new(d), Reg::new(d + 1)))
         } else {
-            self.f.push(Insn::Push { regs: RegList::of(&[R5]), lr: false });
+            self.f.push(Insn::Push {
+                regs: RegList::of(&[R5]),
+                lr: false,
+            });
             self.spill_words += 1;
             self.gen_expr(rhs, MAX_EVAL)?;
             self.spill_words -= 1;
             self.f.push(Insn::MovReg { rd: R6, rm: R5 });
-            self.f.push(Insn::Pop { regs: RegList::of(&[R5]), pc: false });
+            self.f.push(Insn::Pop {
+                regs: RegList::of(&[R5]),
+                pc: false,
+            });
             Ok((R5, R6))
         }
     }
@@ -394,13 +443,20 @@ impl<'a> Gen<'a> {
                     None => return self.sema_err(*pos, format!("undefined `{name}`")),
                 };
                 let width = width_of(info.ty);
-                let hint =
-                    AccessHint::Global { symbol: name.clone(), exact_offset: Some(0) };
+                let hint = AccessHint::Global {
+                    symbol: name.clone(),
+                    exact_offset: Some(0),
+                };
                 match width {
                     AccessWidth::Word => {
                         self.f.ldr_lit(rd, LitValue::SymbolAddr(name.clone()));
                         self.f.push_access(
-                            Insn::LdrImm { width, rd, rn: rd, off: 0 },
+                            Insn::LdrImm {
+                                width,
+                                rd,
+                                rn: rd,
+                                off: 0,
+                            },
                             hint,
                         );
                     }
@@ -409,7 +465,13 @@ impl<'a> Gen<'a> {
                         self.f.ldr_lit(R7, LitValue::SymbolAddr(name.clone()));
                         self.f.push(Insn::MovImm { rd, imm: 0 });
                         self.f.push_access(
-                            Insn::LdrReg { width, signed: true, rd, rn: R7, rm: rd },
+                            Insn::LdrReg {
+                                width,
+                                signed: true,
+                                rd,
+                                rn: R7,
+                                rm: rd,
+                            },
                             hint,
                         );
                     }
@@ -433,14 +495,25 @@ impl<'a> Gen<'a> {
                     if width == AccessWidth::Word && off <= 124 {
                         self.f.ldr_lit(rd, LitValue::SymbolAddr(name.clone()));
                         self.f.push_access(
-                            Insn::LdrImm { width, rd, rn: rd, off: off as u8 },
+                            Insn::LdrImm {
+                                width,
+                                rd,
+                                rn: rd,
+                                off: off as u8,
+                            },
                             hint,
                         );
                     } else {
                         self.f.ldr_lit(R7, LitValue::SymbolAddr(name.clone()));
                         self.load_const(rd, off as i32);
                         self.f.push_access(
-                            Insn::LdrReg { width, signed, rd, rn: R7, rm: rd },
+                            Insn::LdrReg {
+                                width,
+                                signed,
+                                rd,
+                                rn: R7,
+                                rm: rd,
+                            },
                             hint,
                         );
                     }
@@ -450,8 +523,17 @@ impl<'a> Gen<'a> {
                 self.scale_index(rd, width);
                 self.f.ldr_lit(R7, LitValue::SymbolAddr(name.clone()));
                 self.f.push_access(
-                    Insn::LdrReg { width, signed, rd, rn: R7, rm: rd },
-                    AccessHint::Global { symbol: name.clone(), exact_offset: None },
+                    Insn::LdrReg {
+                        width,
+                        signed,
+                        rd,
+                        rn: R7,
+                        rm: rd,
+                    },
+                    AccessHint::Global {
+                        symbol: name.clone(),
+                        exact_offset: None,
+                    },
                 );
                 Ok(())
             }
@@ -459,12 +541,20 @@ impl<'a> Gen<'a> {
             Expr::Un { op, operand, .. } => match op {
                 UnOp::Neg => {
                     self.gen_expr(operand, d)?;
-                    self.f.push(Insn::Alu { op: AluOp::Neg, rd, rm: rd });
+                    self.f.push(Insn::Alu {
+                        op: AluOp::Neg,
+                        rd,
+                        rm: rd,
+                    });
                     Ok(())
                 }
                 UnOp::BitNot => {
                     self.gen_expr(operand, d)?;
-                    self.f.push(Insn::Alu { op: AluOp::Mvn, rd, rm: rd });
+                    self.f.push(Insn::Alu {
+                        op: AluOp::Mvn,
+                        rd,
+                        rm: rd,
+                    });
                     Ok(())
                 }
                 UnOp::Not => {
@@ -542,7 +632,10 @@ impl<'a> Gen<'a> {
                 // Save the live prefix of the evaluation stack.
                 let live = RegList((1u16.wrapping_shl(d as u32) - 1) as u8);
                 if !live.is_empty() {
-                    self.f.push(Insn::Push { regs: live, lr: false });
+                    self.f.push(Insn::Push {
+                        regs: live,
+                        lr: false,
+                    });
                     self.spill_words += live.len();
                 }
                 for (i, a) in args.iter().enumerate() {
@@ -556,7 +649,10 @@ impl<'a> Gen<'a> {
                     self.f.push(Insn::MovReg { rd, rm: R0 });
                 }
                 if !live.is_empty() {
-                    self.f.push(Insn::Pop { regs: live, pc: false });
+                    self.f.push(Insn::Pop {
+                        regs: live,
+                        pc: false,
+                    });
                 }
                 Ok(())
             }
@@ -576,8 +672,16 @@ impl<'a> Gen<'a> {
                 let width = width_of(info.ty);
                 self.f.ldr_lit(R7, LitValue::SymbolAddr(name.clone()));
                 self.f.push_access(
-                    Insn::StrImm { width, rd, rn: R7, off: 0 },
-                    AccessHint::Global { symbol: name.clone(), exact_offset: Some(0) },
+                    Insn::StrImm {
+                        width,
+                        rd,
+                        rn: R7,
+                        off: 0,
+                    },
+                    AccessHint::Global {
+                        symbol: name.clone(),
+                        exact_offset: Some(0),
+                    },
                 );
                 Ok(())
             }
@@ -595,35 +699,85 @@ impl<'a> Gen<'a> {
                     let scale = width.bytes();
                     if off / scale < 32 {
                         self.f.push_access(
-                            Insn::StrImm { width, rd, rn: R7, off: off as u8 },
+                            Insn::StrImm {
+                                width,
+                                rd,
+                                rn: R7,
+                                off: off as u8,
+                            },
                             hint,
                         );
                     } else {
                         self.load_const(R6, off as i32);
-                        self.f.push(Insn::AddReg { rd: R7, rn: R7, rm: R6 });
-                        self.f.push_access(Insn::StrImm { width, rd, rn: R7, off: 0 }, hint);
+                        self.f.push(Insn::AddReg {
+                            rd: R7,
+                            rn: R7,
+                            rm: R6,
+                        });
+                        self.f.push_access(
+                            Insn::StrImm {
+                                width,
+                                rd,
+                                rn: R7,
+                                off: 0,
+                            },
+                            hint,
+                        );
                     }
                     return Ok(());
                 }
-                let hint = AccessHint::Global { symbol: name.clone(), exact_offset: None };
+                let hint = AccessHint::Global {
+                    symbol: name.clone(),
+                    exact_offset: None,
+                };
                 if d < MAX_EVAL {
                     let ri = Reg::new(d + 1);
                     self.gen_expr(index, d + 1)?;
                     self.scale_index(ri, width);
                     self.f.ldr_lit(R7, LitValue::SymbolAddr(name.clone()));
-                    self.f.push(Insn::AddReg { rd: R7, rn: R7, rm: ri });
-                    self.f.push_access(Insn::StrImm { width, rd, rn: R7, off: 0 }, hint);
+                    self.f.push(Insn::AddReg {
+                        rd: R7,
+                        rn: R7,
+                        rm: ri,
+                    });
+                    self.f.push_access(
+                        Insn::StrImm {
+                            width,
+                            rd,
+                            rn: R7,
+                            off: 0,
+                        },
+                        hint,
+                    );
                 } else {
                     // Value in r5; spill it while computing the index.
-                    self.f.push(Insn::Push { regs: RegList::of(&[R5]), lr: false });
+                    self.f.push(Insn::Push {
+                        regs: RegList::of(&[R5]),
+                        lr: false,
+                    });
                     self.spill_words += 1;
                     self.gen_expr(index, MAX_EVAL)?;
                     self.spill_words -= 1;
                     self.scale_index(R5, width);
                     self.f.ldr_lit(R7, LitValue::SymbolAddr(name.clone()));
-                    self.f.push(Insn::AddReg { rd: R7, rn: R7, rm: R5 });
-                    self.f.push(Insn::Pop { regs: RegList::of(&[R5]), pc: false });
-                    self.f.push_access(Insn::StrImm { width, rd: R5, rn: R7, off: 0 }, hint);
+                    self.f.push(Insn::AddReg {
+                        rd: R7,
+                        rn: R7,
+                        rm: R5,
+                    });
+                    self.f.push(Insn::Pop {
+                        regs: RegList::of(&[R5]),
+                        pc: false,
+                    });
+                    self.f.push_access(
+                        Insn::StrImm {
+                            width,
+                            rd: R5,
+                            rn: R7,
+                            off: 0,
+                        },
+                        hint,
+                    );
                 }
                 Ok(())
             }
@@ -634,7 +788,12 @@ impl<'a> Gen<'a> {
     fn scale_index(&mut self, r: Reg, width: AccessWidth) {
         let k = width.bytes().trailing_zeros() as u8;
         if k > 0 {
-            self.f.push(Insn::ShiftImm { op: ShiftOp::Lsl, rd: r, rm: r, imm: k });
+            self.f.push(Insn::ShiftImm {
+                op: ShiftOp::Lsl,
+                rd: r,
+                rm: r,
+                imm: k,
+            });
         }
     }
 
@@ -654,22 +813,62 @@ impl<'a> Gen<'a> {
 
     fn apply_binop(&mut self, op: BinOp, a: Reg, b: Reg) {
         match op {
-            BinOp::Add => self.f.push(Insn::AddReg { rd: a, rn: a, rm: b }),
-            BinOp::Sub => self.f.push(Insn::SubReg { rd: a, rn: a, rm: b }),
-            BinOp::Mul => self.f.push(Insn::Alu { op: AluOp::Mul, rd: a, rm: b }),
+            BinOp::Add => self.f.push(Insn::AddReg {
+                rd: a,
+                rn: a,
+                rm: b,
+            }),
+            BinOp::Sub => self.f.push(Insn::SubReg {
+                rd: a,
+                rn: a,
+                rm: b,
+            }),
+            BinOp::Mul => self.f.push(Insn::Alu {
+                op: AluOp::Mul,
+                rd: a,
+                rm: b,
+            }),
             BinOp::Div => self.f.push(Insn::Sdiv { rd: a, rm: b }),
             BinOp::Rem => {
                 // a % b = a - (a / b) * b, staged through r7.
                 self.f.push(Insn::MovReg { rd: R7, rm: a });
                 self.f.push(Insn::Sdiv { rd: R7, rm: b });
-                self.f.push(Insn::Alu { op: AluOp::Mul, rd: R7, rm: b });
-                self.f.push(Insn::SubReg { rd: a, rn: a, rm: R7 });
+                self.f.push(Insn::Alu {
+                    op: AluOp::Mul,
+                    rd: R7,
+                    rm: b,
+                });
+                self.f.push(Insn::SubReg {
+                    rd: a,
+                    rn: a,
+                    rm: R7,
+                });
             }
-            BinOp::And => self.f.push(Insn::Alu { op: AluOp::And, rd: a, rm: b }),
-            BinOp::Or => self.f.push(Insn::Alu { op: AluOp::Orr, rd: a, rm: b }),
-            BinOp::Xor => self.f.push(Insn::Alu { op: AluOp::Eor, rd: a, rm: b }),
-            BinOp::Shl => self.f.push(Insn::Alu { op: AluOp::Lsl, rd: a, rm: b }),
-            BinOp::Shr => self.f.push(Insn::Alu { op: AluOp::Asr, rd: a, rm: b }),
+            BinOp::And => self.f.push(Insn::Alu {
+                op: AluOp::And,
+                rd: a,
+                rm: b,
+            }),
+            BinOp::Or => self.f.push(Insn::Alu {
+                op: AluOp::Orr,
+                rd: a,
+                rm: b,
+            }),
+            BinOp::Xor => self.f.push(Insn::Alu {
+                op: AluOp::Eor,
+                rd: a,
+                rm: b,
+            }),
+            BinOp::Shl => self.f.push(Insn::Alu {
+                op: AluOp::Lsl,
+                rd: a,
+                rm: b,
+            }),
+            BinOp::Shr => self.f.push(Insn::Alu {
+                op: AluOp::Asr,
+                rd: a,
+                rm: b,
+            }),
             BinOp::Eq
             | BinOp::Ne
             | BinOp::Lt
@@ -685,8 +884,15 @@ impl<'a> Gen<'a> {
         if (0..=255).contains(&v) {
             self.f.push(Insn::MovImm { rd, imm: v as u8 });
         } else if (-255..0).contains(&v) {
-            self.f.push(Insn::MovImm { rd, imm: (-v) as u8 });
-            self.f.push(Insn::Alu { op: AluOp::Neg, rd, rm: rd });
+            self.f.push(Insn::MovImm {
+                rd,
+                imm: (-v) as u8,
+            });
+            self.f.push(Insn::Alu {
+                op: AluOp::Neg,
+                rd,
+                rm: rd,
+            });
         } else {
             self.f.ldr_lit(rd, LitValue::Const(v as u32));
         }
@@ -735,9 +941,7 @@ mod tests {
 
     #[test]
     fn loop_hints_attach_to_headers() {
-        let m = gen(
-            "void main() { int i; for (i = 0; i < 8; i = i + 1) { __loopbound(8); } }",
-        );
+        let m = gen("void main() { int i; for (i = 0; i < 8; i = i + 1) { __loopbound(8); } }");
         let f = m.func("main").unwrap();
         assert_eq!(f.loop_hints.len(), 1);
         assert_eq!(f.loop_hints[0].1, 8);
@@ -751,12 +955,28 @@ mod tests {
         let exact = f
             .access_hints
             .iter()
-            .filter(|(_, h)| matches!(h, AccessHint::Global { exact_offset: Some(_), .. }))
+            .filter(|(_, h)| {
+                matches!(
+                    h,
+                    AccessHint::Global {
+                        exact_offset: Some(_),
+                        ..
+                    }
+                )
+            })
             .count();
         let range = f
             .access_hints
             .iter()
-            .filter(|(_, h)| matches!(h, AccessHint::Global { exact_offset: None, .. }))
+            .filter(|(_, h)| {
+                matches!(
+                    h,
+                    AccessHint::Global {
+                        exact_offset: None,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(exact, 1);
         assert_eq!(range, 2);
@@ -773,9 +993,7 @@ mod tests {
     #[test]
     fn deep_expressions_spill() {
         // Parenthesised to force a deep right spine: depth > 6.
-        let m = gen(
-            "int f(int a) { return a + (a + (a + (a + (a + (a + (a + (a + a))))))); }",
-        );
+        let m = gen("int f(int a) { return a + (a + (a + (a + (a + (a + (a + (a + a))))))); }");
         assert!(m.func("f").is_some());
     }
 

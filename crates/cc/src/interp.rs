@@ -70,7 +70,10 @@ pub fn run(program: &Program, max_steps: u64) -> Result<InterpOutcome, CcError> 
     let typed = check(program)?;
     Interp::new(&typed, max_steps)
         .run()
-        .map_err(|e| CcError::Sema { pos: Pos::default(), msg: e.to_string() })
+        .map_err(|e| CcError::Sema {
+            pos: Pos::default(),
+            msg: e.to_string(),
+        })
 }
 
 /// Runs `main`, returning interpreter errors unconverted (differential
@@ -142,7 +145,13 @@ impl<'a> Interp<'a> {
             }
             globals.insert(g.name.clone(), (g.ty, vals));
         }
-        Interp { tp, globals, steps: 0, max_steps, depth: 0 }
+        Interp {
+            tp,
+            globals,
+            steps: 0,
+            max_steps,
+            depth: 0,
+        }
     }
 
     fn run(mut self) -> Result<InterpOutcome, InterpError> {
@@ -221,7 +230,9 @@ impl<'a> Interp<'a> {
                 self.eval(e, locals)?;
                 Ok(Flow::Normal)
             }
-            Stmt::If { cond, then, else_, .. } => {
+            Stmt::If {
+                cond, then, else_, ..
+            } => {
                 if self.eval(cond, locals)? != 0 {
                     self.exec_block(then, locals)
                 } else {
@@ -253,7 +264,13 @@ impl<'a> Interp<'a> {
                 }
                 Ok(Flow::Normal)
             }
-            Stmt::For { init, cond, step, body, .. } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
                 if let Some(i) = init {
                     self.exec_stmt(i, locals)?;
                 }
@@ -485,8 +502,7 @@ mod tests {
 
     #[test]
     fn out_of_bounds_reported() {
-        let p = parse(&lex("int t[4]; int i; void main() { i = 9; t[i] = 1; }").unwrap())
-            .unwrap();
+        let p = parse(&lex("int t[4]; int i; void main() { i = 9; t[i] = 1; }").unwrap()).unwrap();
         let typed = check(&p).unwrap();
         assert!(matches!(
             run_checked(&typed, 1000),

@@ -1,6 +1,6 @@
 //! MiniC lexer.
 
-use crate::token::{Kw, Token, TokKind, P};
+use crate::token::{Kw, TokKind, Token, P};
 use crate::{CcError, Pos};
 
 struct Cursor<'a> {
@@ -32,11 +32,17 @@ impl<'a> Cursor<'a> {
     }
 
     fn pos(&self) -> Pos {
-        Pos { line: self.line, col: self.col }
+        Pos {
+            line: self.line,
+            col: self.col,
+        }
     }
 
     fn err(&self, msg: impl Into<String>) -> CcError {
-        CcError::Lex { pos: self.pos(), msg: msg.into() }
+        CcError::Lex {
+            pos: self.pos(),
+            msg: msg.into(),
+        }
     }
 }
 
@@ -47,7 +53,12 @@ impl<'a> Cursor<'a> {
 /// Returns [`CcError::Lex`] on unknown characters, bad numeric literals or
 /// unterminated comments/char literals.
 pub fn lex(source: &str) -> Result<Vec<Token>, CcError> {
-    let mut cur = Cursor { src: source.as_bytes(), at: 0, line: 1, col: 1 };
+    let mut cur = Cursor {
+        src: source.as_bytes(),
+        at: 0,
+        line: 1,
+        col: 1,
+    };
     let mut out = Vec::new();
     loop {
         // Skip whitespace and comments.
@@ -87,7 +98,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>, CcError> {
         }
         let pos = cur.pos();
         let Some(c) = cur.peek() else {
-            out.push(Token { kind: TokKind::Eof, pos });
+            out.push(Token {
+                kind: TokKind::Eof,
+                pos,
+            });
             return Ok(out);
         };
         let kind = match c {
@@ -126,13 +140,17 @@ fn lex_number(cur: &mut Cursor) -> Result<TokKind, CcError> {
             break;
         }
     }
-    let v: i64 = text.parse().map_err(|e| cur.err(format!("bad integer: {e}")))?;
+    let v: i64 = text
+        .parse()
+        .map_err(|e| cur.err(format!("bad integer: {e}")))?;
     Ok(TokKind::Int(v))
 }
 
 fn lex_char(cur: &mut Cursor) -> Result<TokKind, CcError> {
     cur.bump(); // opening quote
-    let c = cur.bump().ok_or_else(|| cur.err("unterminated char literal"))?;
+    let c = cur
+        .bump()
+        .ok_or_else(|| cur.err("unterminated char literal"))?;
     let value = if c == b'\\' {
         let esc = cur.bump().ok_or_else(|| cur.err("unterminated escape"))?;
         match esc {
@@ -255,12 +273,15 @@ mod tests {
 
     #[test]
     fn char_literals() {
-        assert_eq!(kinds("'A' '\\n' '\\0'"), vec![
-            TokKind::Int(65),
-            TokKind::Int(10),
-            TokKind::Int(0),
-            TokKind::Eof
-        ]);
+        assert_eq!(
+            kinds("'A' '\\n' '\\0'"),
+            vec![
+                TokKind::Int(65),
+                TokKind::Int(10),
+                TokKind::Int(0),
+                TokKind::Eof
+            ]
+        );
     }
 
     #[test]
@@ -296,11 +317,14 @@ mod tests {
 
     #[test]
     fn keywords_recognised() {
-        assert_eq!(kinds("int __loopbound"), vec![
-            TokKind::Kw(Kw::Int),
-            TokKind::Kw(Kw::LoopBound),
-            TokKind::Eof
-        ]);
+        assert_eq!(
+            kinds("int __loopbound"),
+            vec![
+                TokKind::Kw(Kw::Int),
+                TokKind::Kw(Kw::LoopBound),
+                TokKind::Eof
+            ]
+        );
     }
 
     #[test]

@@ -36,7 +36,9 @@ impl SpmAssignment {
 
     /// Builds an assignment from object names.
     pub fn of<I: IntoIterator<Item = S>, S: Into<String>>(names: I) -> SpmAssignment {
-        SpmAssignment { names: names.into_iter().map(Into::into).collect() }
+        SpmAssignment {
+            names: names.into_iter().map(Into::into).collect(),
+        }
     }
 
     /// Whether `name` is assigned to the scratchpad.
@@ -166,7 +168,9 @@ pub fn link(
             name: f.name.clone(),
             addr: base,
             size: f.total_size(),
-            kind: SymbolKind::Func { code_size: f.code_size },
+            kind: SymbolKind::Func {
+                code_size: f.code_size,
+            },
         });
         // Loop-bound hints → absolute header addresses.
         for &(off, bound) in &f.loop_hints {
@@ -197,7 +201,10 @@ pub fn link(
             let (insn, _) = decode(hw, f.halfwords.get((*off / 2 + 1) as usize).copied());
             let width = access_width_of(&insn).unwrap_or(AccessWidth::Word);
             let addr = match hint {
-                AccessHint::Global { symbol, exact_offset } => {
+                AccessHint::Global {
+                    symbol,
+                    exact_offset,
+                } => {
                     let sym_addr = *addr_of
                         .get(symbol)
                         .ok_or_else(|| CcError::Isa(IsaError::UndefinedSymbol(symbol.clone())))?;
@@ -208,7 +215,10 @@ pub fn link(
                         .unwrap_or(4);
                     match exact_offset {
                         Some(o) => AddrInfo::Exact(sym_addr + o),
-                        None => AddrInfo::Range { lo: sym_addr, hi: sym_addr + size },
+                        None => AddrInfo::Range {
+                            lo: sym_addr,
+                            hi: sym_addr + size,
+                        },
                     }
                 }
                 AccessHint::StackLocal => AddrInfo::Stack,
@@ -219,9 +229,15 @@ pub fn link(
 
     let mut regions = Vec::new();
     if !spm_bytes.is_empty() {
-        regions.push(LoadRegion { addr: map.spm_base, bytes: spm_bytes });
+        regions.push(LoadRegion {
+            addr: map.spm_base,
+            bytes: spm_bytes,
+        });
     }
-    regions.push(LoadRegion { addr: map.main_base, bytes: main_bytes });
+    regions.push(LoadRegion {
+        addr: map.main_base,
+        bytes: main_bytes,
+    });
 
     let exe = Executable {
         regions,
@@ -246,7 +262,7 @@ fn resolve_func(
             .ok_or_else(|| CcError::Isa(IsaError::UndefinedSymbol(reloc.target.clone())))?;
         let insn_addr = base + reloc.offset;
         let off = target as i64 - (insn_addr as i64 + 4);
-        if off % 2 != 0 || off < -(1 << 22) || off >= (1 << 22) {
+        if off % 2 != 0 || !(-(1i64 << 22)..(1i64 << 22)).contains(&off) {
             return Err(CcError::Isa(IsaError::BranchOutOfRange {
                 from: insn_addr,
                 to: target as i64,
@@ -323,9 +339,18 @@ mod tests {
         let m = compile(SRC).unwrap();
         let map = MemoryMap::with_spm(1024);
         let l = link(&m, &map, &SpmAssignment::of(["sum", "tab"])).unwrap();
-        assert_eq!(map.region_of(l.exe.symbol("sum").unwrap().addr), RegionKind::Scratchpad);
-        assert_eq!(map.region_of(l.exe.symbol("tab").unwrap().addr), RegionKind::Scratchpad);
-        assert_eq!(map.region_of(l.exe.symbol("main").unwrap().addr), RegionKind::Main);
+        assert_eq!(
+            map.region_of(l.exe.symbol("sum").unwrap().addr),
+            RegionKind::Scratchpad
+        );
+        assert_eq!(
+            map.region_of(l.exe.symbol("tab").unwrap().addr),
+            RegionKind::Scratchpad
+        );
+        assert_eq!(
+            map.region_of(l.exe.symbol("main").unwrap().addr),
+            RegionKind::Main
+        );
         // Scratchpad contents are pre-loaded: tab's first element readable.
         let tab = l.exe.symbol("tab").unwrap();
         assert_eq!(l.exe.read_word(tab.addr), Some(1));
@@ -336,7 +361,10 @@ mod tests {
         let m = compile(SRC).unwrap();
         let map = MemoryMap::with_spm(16);
         let err = link(&m, &map, &SpmAssignment::of(["tab"])).unwrap_err();
-        assert!(matches!(err, CcError::Isa(IsaError::RegionOverflow { .. })), "{err}");
+        assert!(
+            matches!(err, CcError::Isa(IsaError::RegionOverflow { .. })),
+            "{err}"
+        );
     }
 
     #[test]
@@ -348,8 +376,7 @@ mod tests {
     #[test]
     fn unknown_assignment_rejected() {
         let m = compile(SRC).unwrap();
-        let err =
-            link(&m, &MemoryMap::with_spm(64), &SpmAssignment::of(["ghost"])).unwrap_err();
+        let err = link(&m, &MemoryMap::with_spm(64), &SpmAssignment::of(["ghost"])).unwrap_err();
         assert!(matches!(err, CcError::Isa(IsaError::UndefinedSymbol(_))));
     }
 
@@ -365,8 +392,10 @@ mod tests {
         assert!(has_range);
         // And an exact annotation for the scalar `acc`.
         let acc = l.exe.symbol("acc").unwrap();
-        let has_exact =
-            l.annotations.accesses().any(|a| matches!(a.addr, AddrInfo::Exact(x) if x == acc.addr));
+        let has_exact = l
+            .annotations
+            .accesses()
+            .any(|a| matches!(a.addr, AddrInfo::Exact(x) if x == acc.addr));
         assert!(has_exact);
     }
 
@@ -376,7 +405,12 @@ mod tests {
         let l = link(&m, &MemoryMap::with_spm(2048), &SpmAssignment::of(["tab"])).unwrap();
         let syms = &l.exe.symbols;
         for w in syms.windows(2) {
-            assert!(w[0].addr + w[0].size <= w[1].addr, "{:?} overlaps {:?}", w[0], w[1]);
+            assert!(
+                w[0].addr + w[0].size <= w[1].addr,
+                "{:?} overlaps {:?}",
+                w[0],
+                w[1]
+            );
         }
     }
 }

@@ -63,9 +63,16 @@ impl ObjModule {
     /// Names and sizes of every memory object (functions and globals) — the
     /// candidate list for scratchpad allocation.
     pub fn memory_objects(&self) -> Vec<(String, u32)> {
-        let mut v: Vec<(String, u32)> =
-            self.funcs.iter().map(|f| (f.name.clone(), f.total_size())).collect();
-        v.extend(self.globals.iter().map(|g| (g.name.clone(), g.size_bytes())));
+        let mut v: Vec<(String, u32)> = self
+            .funcs
+            .iter()
+            .map(|f| (f.name.clone(), f.total_size()))
+            .collect();
+        v.extend(
+            self.globals
+                .iter()
+                .map(|g| (g.name.clone(), g.size_bytes())),
+        );
         v
     }
 

@@ -1,7 +1,7 @@
 //! Recursive-descent parser for MiniC.
 
 use crate::ast::*;
-use crate::token::{Kw, Token, TokKind, P};
+use crate::token::{Kw, TokKind, Token, P};
 use crate::{CcError, Pos};
 
 struct Parser<'a> {
@@ -15,7 +15,10 @@ struct Parser<'a> {
 ///
 /// Returns [`CcError::Parse`] with the offending position.
 pub fn parse(tokens: &[Token]) -> Result<Program, CcError> {
-    let mut p = Parser { toks: tokens, at: 0 };
+    let mut p = Parser {
+        toks: tokens,
+        at: 0,
+    };
     let mut globals = Vec::new();
     let mut funcs = Vec::new();
     while !p.check_eof() {
@@ -41,7 +44,10 @@ impl<'a> Parser<'a> {
     }
 
     fn err(&self, msg: impl Into<String>) -> CcError {
-        CcError::Parse { pos: self.pos(), msg: msg.into() }
+        CcError::Parse {
+            pos: self.pos(),
+            msg: msg.into(),
+        }
     }
 
     fn check_eof(&self) -> bool {
@@ -154,14 +160,21 @@ impl<'a> Parser<'a> {
             }
         }
         self.expect_p(P::Semi)?;
-        Ok(Global { name, ty, array_len, init, pos })
+        Ok(Global {
+            name,
+            ty,
+            array_len,
+            init,
+            pos,
+        })
     }
 
     fn parse_func(&mut self, ret: Type, name: String, pos: Pos) -> Result<Func, CcError> {
         self.expect_p(P::LParen)?;
         let mut params = Vec::new();
         if !self.eat_p(P::RParen) {
-            if self.peek_kw(Kw::Void) && matches!(self.toks[self.at + 1].kind, TokKind::P(P::RParen))
+            if self.peek_kw(Kw::Void)
+                && matches!(self.toks[self.at + 1].kind, TokKind::P(P::RParen))
             {
                 self.bump();
                 self.expect_p(P::RParen)?;
@@ -181,7 +194,13 @@ impl<'a> Parser<'a> {
             }
         }
         let body = self.parse_block()?;
-        Ok(Func { name, ret, params, body, pos })
+        Ok(Func {
+            name,
+            ret,
+            params,
+            body,
+            pos,
+        })
     }
 
     fn parse_block(&mut self) -> Result<Vec<Stmt>, CcError> {
@@ -210,10 +229,18 @@ impl<'a> Parser<'a> {
                 if self.peek_p(P::LBracket) {
                     return Err(self.err("array locals are not supported; use a global"));
                 }
-                let init =
-                    if self.eat_p(P::Assign) { Some(self.parse_expr()?) } else { None };
+                let init = if self.eat_p(P::Assign) {
+                    Some(self.parse_expr()?)
+                } else {
+                    None
+                };
                 self.expect_p(P::Semi)?;
-                Ok(Stmt::Decl { name, ty, init, pos })
+                Ok(Stmt::Decl {
+                    name,
+                    ty,
+                    init,
+                    pos,
+                })
             }
             TokKind::Kw(Kw::If) => {
                 self.bump();
@@ -227,7 +254,12 @@ impl<'a> Parser<'a> {
                 } else {
                     Vec::new()
                 };
-                Ok(Stmt::If { cond, then, else_, pos })
+                Ok(Stmt::If {
+                    cond,
+                    then,
+                    else_,
+                    pos,
+                })
             }
             TokKind::Kw(Kw::While) => {
                 self.bump();
@@ -260,16 +292,34 @@ impl<'a> Parser<'a> {
                     self.expect_p(P::Semi)?;
                     Some(Box::new(Stmt::Expr(e)))
                 };
-                let cond = if self.peek_p(P::Semi) { None } else { Some(self.parse_expr()?) };
+                let cond = if self.peek_p(P::Semi) {
+                    None
+                } else {
+                    Some(self.parse_expr()?)
+                };
                 self.expect_p(P::Semi)?;
-                let step = if self.peek_p(P::RParen) { None } else { Some(self.parse_expr()?) };
+                let step = if self.peek_p(P::RParen) {
+                    None
+                } else {
+                    Some(self.parse_expr()?)
+                };
                 self.expect_p(P::RParen)?;
                 let body = self.stmt_as_block()?;
-                Ok(Stmt::For { init, cond, step, body, pos })
+                Ok(Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                    pos,
+                })
             }
             TokKind::Kw(Kw::Return) => {
                 self.bump();
-                let value = if self.peek_p(P::Semi) { None } else { Some(self.parse_expr()?) };
+                let value = if self.peek_p(P::Semi) {
+                    None
+                } else {
+                    Some(self.parse_expr()?)
+                };
                 self.expect_p(P::Semi)?;
                 Ok(Stmt::Return { value, pos })
             }
@@ -292,7 +342,10 @@ impl<'a> Parser<'a> {
                 }
                 self.expect_p(P::RParen)?;
                 self.expect_p(P::Semi)?;
-                Ok(Stmt::LoopBound { bound: bound as u32, pos })
+                Ok(Stmt::LoopBound {
+                    bound: bound as u32,
+                    pos,
+                })
             }
             TokKind::Kw(Kw::LoopTotal) => {
                 self.bump();
@@ -303,7 +356,10 @@ impl<'a> Parser<'a> {
                 }
                 self.expect_p(P::RParen)?;
                 self.expect_p(P::Semi)?;
-                Ok(Stmt::LoopTotal { total: total as u32, pos })
+                Ok(Stmt::LoopTotal {
+                    total: total as u32,
+                    pos,
+                })
             }
             _ => {
                 let e = self.parse_expr()?;
@@ -337,7 +393,11 @@ impl<'a> Parser<'a> {
                 });
             }
             let rhs = self.parse_assign()?;
-            return Ok(Expr::Assign { lhs: Box::new(lhs), rhs: Box::new(rhs), pos });
+            return Ok(Expr::Assign {
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                pos,
+            });
         }
         Ok(lhs)
     }
@@ -345,21 +405,27 @@ impl<'a> Parser<'a> {
     /// Precedence-climbing over binary operators.
     fn parse_binary(&mut self, min_prec: u8) -> Result<Expr, CcError> {
         let mut lhs = self.parse_unary()?;
-        loop {
-            let Some((op, prec)) = self.peek_binop() else { break };
+        while let Some((op, prec)) = self.peek_binop() {
             if prec < min_prec {
                 break;
             }
             let pos = self.pos();
             self.bump();
             let rhs = self.parse_binary(prec + 1)?;
-            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs), pos };
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                pos,
+            };
         }
         Ok(lhs)
     }
 
     fn peek_binop(&self) -> Option<(BinOp, u8)> {
-        let TokKind::P(p) = self.tok().kind else { return None };
+        let TokKind::P(p) = self.tok().kind else {
+            return None;
+        };
         Some(match p {
             P::OrOr => (BinOp::LogOr, 1),
             P::AndAnd => (BinOp::LogAnd, 2),
@@ -391,10 +457,18 @@ impl<'a> Parser<'a> {
             if let Expr::Num { value, .. } = inner {
                 return Ok(Expr::Num { value: -value, pos });
             }
-            return Ok(Expr::Un { op: UnOp::Neg, operand: Box::new(inner), pos });
+            return Ok(Expr::Un {
+                op: UnOp::Neg,
+                operand: Box::new(inner),
+                pos,
+            });
         }
         if self.eat_p(P::Bang) {
-            return Ok(Expr::Un { op: UnOp::Not, operand: Box::new(self.parse_unary()?), pos });
+            return Ok(Expr::Un {
+                op: UnOp::Not,
+                operand: Box::new(self.parse_unary()?),
+                pos,
+            });
         }
         if self.eat_p(P::Tilde) {
             return Ok(Expr::Un {
@@ -429,7 +503,11 @@ impl<'a> Parser<'a> {
                 } else if self.eat_p(P::LBracket) {
                     let index = self.parse_expr()?;
                     self.expect_p(P::RBracket)?;
-                    Ok(Expr::Index { name, index: Box::new(index), pos })
+                    Ok(Expr::Index {
+                        name,
+                        index: Box::new(index),
+                        pos,
+                    })
                 } else {
                     Ok(Expr::Var { name, pos })
                 }
@@ -486,9 +564,16 @@ mod tests {
     #[test]
     fn precedence() {
         let p = parse_src("int f() { return 1 + 2 * 3 == 7 && 4 < 5; }").unwrap();
-        let Stmt::Return { value: Some(e), .. } = &p.funcs[0].body[0] else { panic!() };
+        let Stmt::Return { value: Some(e), .. } = &p.funcs[0].body[0] else {
+            panic!()
+        };
         // Top node must be &&.
-        let Expr::Bin { op: BinOp::LogAnd, .. } = e else { panic!("got {e:?}") };
+        let Expr::Bin {
+            op: BinOp::LogAnd, ..
+        } = e
+        else {
+            panic!("got {e:?}")
+        };
     }
 
     #[test]
@@ -509,7 +594,10 @@ mod tests {
     #[test]
     fn negative_literals_fold() {
         let p = parse_src("int f() { return -5; }").unwrap();
-        let Stmt::Return { value: Some(Expr::Num { value, .. }), .. } = &p.funcs[0].body[0]
+        let Stmt::Return {
+            value: Some(Expr::Num { value, .. }),
+            ..
+        } = &p.funcs[0].body[0]
         else {
             panic!()
         };

@@ -71,26 +71,45 @@ pub fn check(program: &Program) -> Result<TypedProgram, CcError> {
 
     for g in &program.globals {
         if global_info
-            .insert(g.name.clone(), GlobalInfo { ty: g.ty, array_len: g.array_len })
+            .insert(
+                g.name.clone(),
+                GlobalInfo {
+                    ty: g.ty,
+                    array_len: g.array_len,
+                },
+            )
             .is_some()
         {
             return err(g.pos, format!("duplicate global `{}`", g.name));
         }
         if g.array_len.is_none() && g.init.len() > 1 {
-            return err(g.pos, format!("scalar `{}` with multiple initialisers", g.name));
+            return err(
+                g.pos,
+                format!("scalar `{}` with multiple initialisers", g.name),
+            );
         }
     }
     for f in &program.funcs {
         if global_info.contains_key(&f.name) {
-            return err(f.pos, format!("`{}` is both a global and a function", f.name));
+            return err(
+                f.pos,
+                format!("`{}` is both a global and a function", f.name),
+            );
         }
         if f.params.len() > MAX_PARAMS {
             return err(
                 f.pos,
-                format!("`{}` has {} parameters; MiniC allows {MAX_PARAMS}", f.name, f.params.len()),
+                format!(
+                    "`{}` has {} parameters; MiniC allows {MAX_PARAMS}",
+                    f.name,
+                    f.params.len()
+                ),
             );
         }
-        let sig = Sig { ret: f.ret, params: f.params.iter().map(|(_, t)| *t).collect() };
+        let sig = Sig {
+            ret: f.ret,
+            params: f.params.iter().map(|(_, t)| *t).collect(),
+        };
         if sigs.insert(f.name.clone(), sig).is_some() {
             return err(f.pos, format!("duplicate function `{}`", f.name));
         }
@@ -101,7 +120,12 @@ pub fn check(program: &Program) -> Result<TypedProgram, CcError> {
         funcs.push(check_func(f, &global_info, &sigs)?);
     }
 
-    Ok(TypedProgram { globals: program.globals.clone(), global_info, sigs, funcs })
+    Ok(TypedProgram {
+        globals: program.globals.clone(),
+        global_info,
+        sigs,
+        funcs,
+    })
 }
 
 fn err<T>(pos: Pos, msg: String) -> Result<T, CcError> {
@@ -121,7 +145,13 @@ fn check_func(
     globals: &HashMap<String, GlobalInfo>,
     sigs: &HashMap<String, Sig>,
 ) -> Result<TypedFunc, CcError> {
-    let mut cx = FuncCx { globals, sigs, locals: Vec::new(), ret: f.ret, loop_depth: 0 };
+    let mut cx = FuncCx {
+        globals,
+        sigs,
+        locals: Vec::new(),
+        ret: f.ret,
+        loop_depth: 0,
+    };
     for (name, ty) in &f.params {
         if cx.locals.iter().any(|(n, _)| n == name) {
             return err(f.pos, format!("duplicate parameter `{name}`"));
@@ -129,7 +159,10 @@ fn check_func(
         cx.locals.push((name.clone(), *ty));
     }
     check_block(&f.body, &mut cx)?;
-    Ok(TypedFunc { func: f.clone(), locals: cx.locals })
+    Ok(TypedFunc {
+        func: f.clone(),
+        locals: cx.locals,
+    })
 }
 
 fn check_block(stmts: &[Stmt], cx: &mut FuncCx) -> Result<(), CcError> {
@@ -141,12 +174,20 @@ fn check_block(stmts: &[Stmt], cx: &mut FuncCx) -> Result<(), CcError> {
 
 fn check_stmt(s: &Stmt, cx: &mut FuncCx, _first: bool) -> Result<(), CcError> {
     match s {
-        Stmt::Decl { name, ty, init, pos } => {
+        Stmt::Decl {
+            name,
+            ty,
+            init,
+            pos,
+        } => {
             if *ty == Type::Void {
                 return err(*pos, format!("`void` local `{name}`"));
             }
             if cx.locals.iter().any(|(n, _)| n == name) {
-                return err(*pos, format!("duplicate local `{name}` (MiniC has one scope per function)"));
+                return err(
+                    *pos,
+                    format!("duplicate local `{name}` (MiniC has one scope per function)"),
+                );
             }
             if cx.globals.contains_key(name) {
                 // Shadowing globals is allowed in C but a footgun in MiniC;
@@ -160,7 +201,9 @@ fn check_stmt(s: &Stmt, cx: &mut FuncCx, _first: bool) -> Result<(), CcError> {
             Ok(())
         }
         Stmt::Expr(e) => check_expr(e, cx).map(|_| ()),
-        Stmt::If { cond, then, else_, .. } => {
+        Stmt::If {
+            cond, then, else_, ..
+        } => {
             check_expr(cond, cx)?;
             check_block(then, cx)?;
             check_block(else_, cx)
@@ -172,7 +215,13 @@ fn check_stmt(s: &Stmt, cx: &mut FuncCx, _first: bool) -> Result<(), CcError> {
             cx.loop_depth -= 1;
             r
         }
-        Stmt::For { init, cond, step, body, .. } => {
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            ..
+        } => {
             if let Some(i) = init {
                 check_stmt(i, cx, false)?;
             }
@@ -190,7 +239,10 @@ fn check_stmt(s: &Stmt, cx: &mut FuncCx, _first: bool) -> Result<(), CcError> {
         Stmt::Return { value, pos } => match (cx.ret, value) {
             (Type::Void, Some(_)) => err(*pos, "`return` with a value in a void function".into()),
             (Type::Void, None) => Ok(()),
-            (_, None) => err(*pos, "`return` without a value in a non-void function".into()),
+            (_, None) => err(
+                *pos,
+                "`return` without a value in a non-void function".into(),
+            ),
             (_, Some(e)) => check_expr(e, cx).map(|_| ()),
         },
         Stmt::Break { pos } => {
@@ -287,7 +339,11 @@ fn check_expr(e: &Expr, cx: &mut FuncCx) -> Result<(), CcError> {
             if sig.params.len() != args.len() {
                 return err(
                     *pos,
-                    format!("`{name}` takes {} arguments, got {}", sig.params.len(), args.len()),
+                    format!(
+                        "`{name}` takes {} arguments, got {}",
+                        sig.params.len(),
+                        args.len()
+                    ),
                 );
             }
             for a in args {
@@ -337,7 +393,10 @@ mod tests {
     fn rejects_array_misuse() {
         assert!(check_src("int t[2]; void main() { t = 1; }").is_err());
         assert!(check_src("int x; void main() { x[0] = 1; }").is_err());
-        assert!(check_src("int t[2]; void main() { t[5] = 1; }").is_err(), "const OOB index");
+        assert!(
+            check_src("int t[2]; void main() { t[5] = 1; }").is_err(),
+            "const OOB index"
+        );
     }
 
     #[test]

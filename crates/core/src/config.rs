@@ -1,8 +1,35 @@
 //! Experiment constants.
 
+use spmlab_isa::cachecfg::CacheConfig;
+use spmlab_isa::hierarchy::{MainMemoryTiming, MemHierarchyConfig};
+
 /// The paper's capacity sweep: "scratchpad sizes from 64 bytes to 8k" and
 /// "cache capacities from 64 bytes to 8k".
 pub const PAPER_SIZES: [u32; 8] = [64, 128, 256, 512, 1024, 2048, 4096, 8192];
 
 /// A shorter sweep for debug-mode tests.
 pub const QUICK_SIZES: [u32; 4] = [64, 256, 1024, 4096];
+
+/// DRAM-style burst setup latency used by the hierarchy sweep's slow-main
+/// points (cycles before the first beat).
+pub const DRAM_LATENCY: u64 = 10;
+
+/// The hierarchy axis of the experiment: single-level L1s (unified and
+/// split I/D), two-level configurations at two L2 capacities, and the same
+/// two-level machine over two main-memory timings (Table-1 SRAM-style and
+/// DRAM-style with burst setup latency). SPM points ride alongside via
+/// [`crate::pipeline::Pipeline::run_spm_with_main`].
+pub fn hierarchy_axis(l1_size: u32) -> Vec<MemHierarchyConfig> {
+    let split = || MemHierarchyConfig::split_l1(l1_size / 2, l1_size / 2);
+    vec![
+        MemHierarchyConfig::l1_only(CacheConfig::unified(l1_size)),
+        split(),
+        split().with_l2(CacheConfig::l2(4 * l1_size)),
+        split().with_l2(CacheConfig::l2(16 * l1_size)),
+        split()
+            .with_l2(CacheConfig::l2(4 * l1_size))
+            .with_main(MainMemoryTiming::dram(DRAM_LATENCY)),
+        MemHierarchyConfig::l1_only(CacheConfig::instr_only(l1_size))
+            .with_l2(CacheConfig::l2(16 * l1_size)),
+    ]
+}

@@ -1,11 +1,17 @@
 //! Data structures regenerating each table and figure of the paper's
 //! evaluation section (see DESIGN.md §4 for the experiment index).
 
-use crate::pipeline::Pipeline;
-use crate::sweep::{cache_sweep, ratios, spm_sweep, SweepPoint};
+use crate::config::DRAM_LATENCY;
+use crate::pipeline::{ConfigResult, Pipeline};
+use crate::sweep::{cache_sweep, hierarchy_sweep, ratios, spm_sweep, HierarchyPoint, SweepPoint};
 use crate::CoreError;
+use spmlab_isa::hierarchy::{MainMemoryTiming, MemHierarchyConfig};
 use spmlab_isa::mem::{access_cycles, AccessWidth, RegionKind};
 use spmlab_workloads::Benchmark;
+
+/// A `(capacity, WCET / simulated cycles)` series, one entry per sweep
+/// point.
+pub type RatioSeries = Vec<(u32, f64)>;
 
 /// Table 1: cycles per memory access (access + waitstates) by width and
 /// region — regenerated from the timing model the whole workspace shares.
@@ -13,7 +19,11 @@ pub fn table1() -> Vec<(AccessWidth, u64, u64)> {
     AccessWidth::ALL
         .iter()
         .map(|&w| {
-            (w, access_cycles(RegionKind::Main, w), access_cycles(RegionKind::Scratchpad, w))
+            (
+                w,
+                access_cycles(RegionKind::Main, w),
+                access_cycles(RegionKind::Scratchpad, w),
+            )
         })
         .collect()
 }
@@ -83,7 +93,7 @@ impl Figure3 {
     }
 
     /// Figure 4/5 companion: WCET/sim ratio series for both branches.
-    pub fn ratio_series(&self) -> (Vec<(u32, f64)>, Vec<(u32, f64)>) {
+    pub fn ratio_series(&self) -> (RatioSeries, RatioSeries) {
         (ratios(&self.spm), ratios(&self.cache))
     }
 }
@@ -108,7 +118,9 @@ impl Tightness {
     ///
     /// Pipeline failures, or a panic if the benchmark has no worst input.
     pub fn run(benchmark: &'static Benchmark, spm_size: u32) -> Result<Tightness, CoreError> {
-        let worst = (benchmark.worst_input.expect("benchmark has a worst-case input"))();
+        let worst = (benchmark
+            .worst_input
+            .expect("benchmark has a worst-case input"))();
         let pipeline = Pipeline::with_input(benchmark, worst)?;
         let r = pipeline.run_spm(spm_size)?;
         Ok(Tightness {
@@ -121,6 +133,88 @@ impl Tightness {
     /// Overestimation of the bound relative to the measurement, in percent.
     pub fn overestimate_pct(&self) -> f64 {
         (self.wcet_cycles as f64 / self.sim_cycles.max(1) as f64 - 1.0) * 100.0
+    }
+}
+
+/// The hierarchy figure this reproduction adds beyond the paper: simulated
+/// cycles and static WCET bound for one benchmark across memory
+/// hierarchies — scratchpad points (over both main-memory timings) next to
+/// L1-only, split-L1 and L1+L2 machines. The predictability story of the
+/// paper extends level by level: the SPM bound stays tight while every
+/// cache level added widens the gap.
+#[derive(Debug, Clone)]
+pub struct FigureHierarchy {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Scratchpad reference points.
+    pub spm: Vec<SpmHierarchyPoint>,
+    /// Cache-hierarchy points.
+    pub points: Vec<HierarchyPoint>,
+}
+
+/// One scratchpad reference point of the hierarchy figure: the same
+/// capacity measured over both main-memory timings.
+#[derive(Debug, Clone)]
+pub struct SpmHierarchyPoint {
+    /// Scratchpad capacity in bytes.
+    pub spm_size: u32,
+    /// Result over the paper's Table-1 main memory.
+    pub table1: ConfigResult,
+    /// Result over DRAM-style main memory ([`DRAM_LATENCY`] setup cycles).
+    pub dram: ConfigResult,
+}
+
+impl FigureHierarchy {
+    /// Runs the hierarchy comparison for `benchmark`: SPM at `spm_size`
+    /// under both main-memory timings, plus every hierarchy in `configs`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline failures.
+    pub fn run(
+        benchmark: &'static Benchmark,
+        spm_size: u32,
+        configs: &[MemHierarchyConfig],
+    ) -> Result<FigureHierarchy, CoreError> {
+        let pipeline = Pipeline::new(benchmark)?;
+        let spm_fast = pipeline.run_spm_with_main(spm_size, MainMemoryTiming::table1())?;
+        let spm_slow =
+            pipeline.run_spm_with_main(spm_size, MainMemoryTiming::dram(DRAM_LATENCY))?;
+        Ok(FigureHierarchy {
+            benchmark: benchmark.name.to_string(),
+            spm: vec![SpmHierarchyPoint {
+                spm_size,
+                table1: spm_fast,
+                dram: spm_slow,
+            }],
+            points: hierarchy_sweep(&pipeline, configs)?,
+        })
+    }
+
+    /// Every `(label, sim, wcet)` triple of the figure, SPM points first.
+    pub fn rows(&self) -> Vec<(String, u64, u64)> {
+        let mut rows = Vec::new();
+        for p in &self.spm {
+            rows.push((
+                p.table1.label.clone(),
+                p.table1.sim_cycles,
+                p.table1.wcet_cycles,
+            ));
+            rows.push((p.dram.label.clone(), p.dram.sim_cycles, p.dram.wcet_cycles));
+        }
+        for p in &self.points {
+            rows.push((
+                p.result.label.clone(),
+                p.result.sim_cycles,
+                p.result.wcet_cycles,
+            ));
+        }
+        rows
+    }
+
+    /// The soundness invariant over every point of the figure.
+    pub fn all_sound(&self) -> bool {
+        self.rows().iter().all(|(_, sim, wcet)| wcet >= sim)
     }
 }
 
@@ -146,6 +240,28 @@ mod tests {
         let g721 = rows.iter().find(|r| r.name == "g721").unwrap();
         assert!(g721.code_bytes > 1000, "G.721 is the biggest benchmark");
         assert!(g721.objects > 10);
+    }
+
+    #[test]
+    fn hierarchy_figure_is_sound_and_labelled() {
+        use spmlab_isa::cachecfg::CacheConfig;
+        let configs = vec![
+            MemHierarchyConfig::l1_only(CacheConfig::unified(512)),
+            MemHierarchyConfig::split_l1(256, 256).with_l2(CacheConfig::l2(2048)),
+        ];
+        let fig = FigureHierarchy::run(&INSERTSORT, 512, &configs).unwrap();
+        assert!(fig.all_sound());
+        let rows = fig.rows();
+        assert_eq!(rows.len(), 4, "2 spm points + 2 hierarchies");
+        assert!(rows[0].0.starts_with("spm"));
+        assert!(rows.iter().any(|(l, _, _)| l.contains("l2 2048")));
+        // The SPM bound is far tighter than any cached configuration's.
+        let spm_ratio = rows[0].2 as f64 / rows[0].1 as f64;
+        let l1_ratio = rows[2].2 as f64 / rows[2].1 as f64;
+        assert!(
+            spm_ratio < l1_ratio,
+            "spm {spm_ratio:.2} vs l1 {l1_ratio:.2}"
+        );
     }
 
     #[test]

@@ -44,8 +44,9 @@ pub mod pipeline;
 pub mod report;
 pub mod sweep;
 
-pub use config::PAPER_SIZES;
+pub use config::{hierarchy_axis, DRAM_LATENCY, PAPER_SIZES};
 pub use pipeline::{ConfigResult, Pipeline};
+pub use spmlab_isa::hierarchy::{MainMemoryTiming, MemHierarchyConfig};
 
 /// Errors from the experiment pipeline.
 #[derive(Debug)]
@@ -58,7 +59,11 @@ pub enum CoreError {
     Wcet(spmlab_wcet::WcetError),
     /// The benchmark produced a checksum that differs from its host twin —
     /// the toolchain miscompiled or missimulated it.
-    ChecksumMismatch { benchmark: String, expected: i32, got: i32 },
+    ChecksumMismatch {
+        benchmark: String,
+        expected: i32,
+        got: i32,
+    },
 }
 
 impl std::fmt::Display for CoreError {
@@ -67,8 +72,15 @@ impl std::fmt::Display for CoreError {
             CoreError::Cc(e) => write!(f, "compile/link: {e}"),
             CoreError::Sim(e) => write!(f, "simulate: {e}"),
             CoreError::Wcet(e) => write!(f, "wcet: {e}"),
-            CoreError::ChecksumMismatch { benchmark, expected, got } => {
-                write!(f, "{benchmark}: checksum mismatch (expected {expected}, got {got})")
+            CoreError::ChecksumMismatch {
+                benchmark,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "{benchmark}: checksum mismatch (expected {expected}, got {got})"
+                )
             }
         }
     }

@@ -5,6 +5,7 @@ use spmlab_alloc::energy::EnergyModel;
 use spmlab_alloc::knapsack;
 use spmlab_cc::{ObjModule, SpmAssignment};
 use spmlab_isa::cachecfg::CacheConfig;
+use spmlab_isa::hierarchy::{MainMemoryTiming, MemHierarchyConfig, L1};
 use spmlab_isa::mem::MemoryMap;
 use spmlab_sim::{simulate, MachineConfig, Profile, SimOptions, SimResult};
 use spmlab_wcet::cache::ClassifyStats;
@@ -163,17 +164,27 @@ impl Pipeline {
         assignment: &SpmAssignment,
     ) -> Result<ConfigResult, CoreError> {
         let map = MemoryMap::with_spm(spm_size);
-        let linked = self.benchmark.link_with_input(&self.module, &map, assignment, &self.input)?;
+        let linked = self
+            .benchmark
+            .link_with_input(&self.module, &map, assignment, &self.input)?;
         let sim = simulate(&linked.exe, &MachineConfig::uncached(), &self.sim_options)?;
         let checksum = self.check(&sim, &linked.exe)?;
-        let wcet = analyze(&linked.exe, &WcetConfig::region_timing(), &linked.annotations)?;
-        let spm_used = linked.exe.bytes_in_region(spmlab_isa::mem::RegionKind::Scratchpad) as u32;
+        let wcet = analyze(
+            &linked.exe,
+            &WcetConfig::region_timing(),
+            &linked.annotations,
+        )?;
+        let spm_used = linked
+            .exe
+            .bytes_in_region(spmlab_isa::mem::RegionKind::Scratchpad) as u32;
         Ok(ConfigResult {
             label: format!("spm {spm_size}"),
             sim_cycles: sim.cycles,
             wcet_cycles: wcet.wcet_cycles,
             checksum,
-            energy_nj: self.energy.run_energy_nj(&sim.mem_stats, sim.cycles, spm_size, None),
+            energy_nj: self
+                .energy
+                .run_energy_nj(&sim.mem_stats, sim.cycles, spm_size, None),
             spm_used,
             spm_objects: assignment.iter().map(str::to_string).collect(),
             classify: ClassifyStats::default(),
@@ -209,7 +220,7 @@ impl Pipeline {
         )?;
         let sim = simulate(
             &linked.exe,
-            &MachineConfig { cache: Some(cache.clone()) },
+            &MachineConfig::with_cache(cache.clone()),
             &self.sim_options,
         )?;
         let checksum = self.check(&sim, &linked.exe)?;
@@ -224,12 +235,9 @@ impl Pipeline {
             sim_cycles: sim.cycles,
             wcet_cycles: wcet.wcet_cycles,
             checksum,
-            energy_nj: self.energy.run_energy_nj(
-                &sim.mem_stats,
-                sim.cycles,
-                0,
-                Some(cache.size),
-            ),
+            energy_nj: self
+                .energy
+                .run_energy_nj(&sim.mem_stats, sim.cycles, 0, Some(cache.size)),
             spm_used: 0,
             spm_objects: Vec::new(),
             classify: wcet.total_classify(),
@@ -246,6 +254,105 @@ impl Pipeline {
         r.label = "baseline".into();
         Ok(r)
     }
+
+    /// The hierarchy axis: simulation plus multi-level (Hardy–Puaut) WCET
+    /// analysis under an arbitrary [`MemHierarchyConfig`] — split or
+    /// unified L1, optional unified L2, parametric main-memory timing.
+    ///
+    /// # Errors
+    ///
+    /// Link, simulation, WCET or checksum failures.
+    pub fn run_hierarchy(&self, hierarchy: MemHierarchyConfig) -> Result<ConfigResult, CoreError> {
+        let linked = self.benchmark.link_with_input(
+            &self.module,
+            &MemoryMap::no_spm(),
+            &SpmAssignment::none(),
+            &self.input,
+        )?;
+        let sim = simulate(
+            &linked.exe,
+            &MachineConfig::with_hierarchy(hierarchy.clone()),
+            &self.sim_options,
+        )?;
+        let checksum = self.check(&sim, &linked.exe)?;
+        let wcet = analyze(
+            &linked.exe,
+            &WcetConfig::with_hierarchy(hierarchy.clone()),
+            &linked.annotations,
+        )?;
+        let cache_bytes = hierarchy_cache_bytes(&hierarchy);
+        Ok(ConfigResult {
+            label: hierarchy.label(),
+            sim_cycles: sim.cycles,
+            wcet_cycles: wcet.wcet_cycles,
+            checksum,
+            energy_nj: self.energy.run_energy_nj(
+                &sim.mem_stats,
+                sim.cycles,
+                0,
+                (cache_bytes > 0).then_some(cache_bytes),
+            ),
+            spm_used: 0,
+            spm_objects: Vec::new(),
+            classify: wcet.total_classify(),
+        })
+    }
+
+    /// Scratchpad run over custom (e.g. DRAM) main-memory timing — the SPM
+    /// point of a hierarchy sweep.
+    ///
+    /// # Errors
+    ///
+    /// Link, simulation, WCET or checksum failures.
+    pub fn run_spm_with_main(
+        &self,
+        spm_size: u32,
+        main: MainMemoryTiming,
+    ) -> Result<ConfigResult, CoreError> {
+        let alloc =
+            knapsack::allocate(&self.module, &self.baseline_profile, spm_size, &self.energy);
+        let map = MemoryMap::with_spm(spm_size);
+        let linked =
+            self.benchmark
+                .link_with_input(&self.module, &map, &alloc.assignment, &self.input)?;
+        let machine = MachineConfig::with_hierarchy(MemHierarchyConfig::uncached_with(main));
+        let sim = simulate(&linked.exe, &machine, &self.sim_options)?;
+        let checksum = self.check(&sim, &linked.exe)?;
+        let wcet = analyze(
+            &linked.exe,
+            &WcetConfig::region_timing_with(main),
+            &linked.annotations,
+        )?;
+        let spm_used = linked
+            .exe
+            .bytes_in_region(spmlab_isa::mem::RegionKind::Scratchpad) as u32;
+        let mut label = format!("spm {spm_size}");
+        if main != MainMemoryTiming::table1() {
+            label.push_str(&format!(" (dram {})", main.latency));
+        }
+        Ok(ConfigResult {
+            label,
+            sim_cycles: sim.cycles,
+            wcet_cycles: wcet.wcet_cycles,
+            checksum,
+            energy_nj: self
+                .energy
+                .run_energy_nj(&sim.mem_stats, sim.cycles, spm_size, None),
+            spm_used,
+            spm_objects: alloc.assignment.iter().map(str::to_string).collect(),
+            classify: ClassifyStats::default(),
+        })
+    }
+}
+
+/// Total cache bytes across all levels (energy accounting input).
+fn hierarchy_cache_bytes(h: &MemHierarchyConfig) -> u32 {
+    let l1 = match &h.l1 {
+        L1::None => 0,
+        L1::Unified(c) => c.size,
+        L1::Split { i, d } => i.as_ref().map_or(0, |c| c.size) + d.as_ref().map_or(0, |c| c.size),
+    };
+    l1 + h.l2.as_ref().map_or(0, |c| c.size)
 }
 
 #[cfg(test)]
@@ -273,7 +380,11 @@ mod tests {
 
     #[test]
     fn wcet_ratio_sensible() {
-        let p = Pipeline::with_input(&MULTISORT, spmlab_workloads::inputs::random_ints(24, 9, -50, 50)).unwrap();
+        let p = Pipeline::with_input(
+            &MULTISORT,
+            spmlab_workloads::inputs::random_ints(24, 9, -50, 50),
+        )
+        .unwrap();
         let spm = p.run_spm(1024).unwrap();
         assert!(spm.ratio() >= 1.0);
     }

@@ -71,7 +71,10 @@ pub fn render_table2(rows: &[Table2Row]) -> String {
         .collect();
     format!(
         "Table 2: benchmarks\n{}",
-        render_table(&["name", "code B", "data B", "objects", "description"], &body)
+        render_table(
+            &["name", "code B", "data B", "objects", "description"],
+            &body
+        )
     )
 }
 
@@ -88,7 +91,10 @@ pub fn render_sweep(title: &str, points: &[SweepPoint]) -> String {
             ]
         })
         .collect();
-    format!("{title}\n{}", render_table(&["bytes", "sim cycles", "wcet cycles", "ratio"], &body))
+    format!(
+        "{title}\n{}",
+        render_table(&["bytes", "sim cycles", "wcet cycles", "ratio"], &body)
+    )
 }
 
 /// Renders a Figure 3/6-style two-panel result.
@@ -111,13 +117,51 @@ pub fn render_ratios(
     let body: Vec<Vec<String>> = spm
         .iter()
         .zip(cache)
-        .map(|((size, rs), (_, rc))| {
-            vec![size.to_string(), format!("{rs:.3}"), format!("{rc:.3}")]
-        })
+        .map(|((size, rs), (_, rc))| vec![size.to_string(), format!("{rs:.3}"), format!("{rc:.3}")])
         .collect();
     format!(
         "{figure_name} — {benchmark}: WCET / simulated cycles (sim ≡ 1)\n{}",
         render_table(&["bytes", "scratchpad", "cache"], &body)
+    )
+}
+
+/// Renders the hierarchy comparison: one row per memory configuration with
+/// the classification statistics that explain the bound (L1 always-hit
+/// proofs vs accesses only bounded by the L2 or main memory).
+pub fn render_hierarchy(fig: &crate::figures::FigureHierarchy) -> String {
+    let mut body: Vec<Vec<String>> = Vec::new();
+    for (label, sim, wcet) in fig.rows() {
+        body.push(vec![
+            label,
+            sim.to_string(),
+            wcet.to_string(),
+            format!("{:.3}", wcet as f64 / sim.max(1) as f64),
+            String::new(),
+            String::new(),
+        ]);
+    }
+    // Fill classification columns for the cache-hierarchy points (the SPM
+    // rows need no microarchitectural analysis — that is the point).
+    let spm_rows = body.len() - fig.points.len();
+    for (row, p) in body[spm_rows..].iter_mut().zip(&fig.points) {
+        let c = &p.result.classify;
+        row[4] = (c.fetch_hits + c.data_hits).to_string();
+        row[5] = c.l2_hits.to_string();
+    }
+    format!(
+        "Hierarchy comparison — {} benchmark\n{}",
+        fig.benchmark,
+        render_table(
+            &[
+                "configuration",
+                "sim cycles",
+                "wcet cycles",
+                "ratio",
+                "L1 AH",
+                "L2 AH"
+            ],
+            &body
+        )
     )
 }
 

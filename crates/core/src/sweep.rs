@@ -1,8 +1,10 @@
-//! Capacity sweeps over scratchpad and cache sizes.
+//! Capacity sweeps over scratchpad and cache sizes, and configuration
+//! sweeps over memory hierarchies.
 
 use crate::pipeline::{ConfigResult, Pipeline};
 use crate::CoreError;
 use spmlab_isa::cachecfg::CacheConfig;
+use spmlab_isa::hierarchy::MemHierarchyConfig;
 
 /// One capacity point of a sweep.
 #[derive(Debug, Clone)]
@@ -21,7 +23,12 @@ pub struct SweepPoint {
 pub fn spm_sweep(pipeline: &Pipeline, sizes: &[u32]) -> Result<Vec<SweepPoint>, CoreError> {
     sizes
         .iter()
-        .map(|&size| Ok(SweepPoint { size, result: pipeline.run_spm(size)? }))
+        .map(|&size| {
+            Ok(SweepPoint {
+                size,
+                result: pipeline.run_spm(size)?,
+            })
+        })
         .collect()
 }
 
@@ -33,7 +40,12 @@ pub fn spm_sweep(pipeline: &Pipeline, sizes: &[u32]) -> Result<Vec<SweepPoint>, 
 pub fn cache_sweep(pipeline: &Pipeline, sizes: &[u32]) -> Result<Vec<SweepPoint>, CoreError> {
     sizes
         .iter()
-        .map(|&size| Ok(SweepPoint { size, result: pipeline.run_cache_default(size)? }))
+        .map(|&size| {
+            Ok(SweepPoint {
+                size,
+                result: pipeline.run_cache_default(size)?,
+            })
+        })
         .collect()
 }
 
@@ -52,7 +64,10 @@ pub fn cache_sweep_with(
     sizes
         .iter()
         .map(|&size| {
-            Ok(SweepPoint { size, result: pipeline.run_cache(geometry(size), persistence)? })
+            Ok(SweepPoint {
+                size,
+                result: pipeline.run_cache(geometry(size), persistence)?,
+            })
         })
         .collect()
 }
@@ -61,6 +76,37 @@ pub fn cache_sweep_with(
 /// them (simulated cycles ≡ 1).
 pub fn ratios(points: &[SweepPoint]) -> Vec<(u32, f64)> {
     points.iter().map(|p| (p.size, p.result.ratio())).collect()
+}
+
+/// One memory-hierarchy point of a hierarchy sweep.
+#[derive(Debug, Clone)]
+pub struct HierarchyPoint {
+    /// The configuration measured.
+    pub config: MemHierarchyConfig,
+    /// The measurement.
+    pub result: ConfigResult,
+}
+
+/// Runs the hierarchy axis: one simulation + multi-level WCET analysis per
+/// configuration (SPM points are separate — see
+/// [`Pipeline::run_spm_with_main`]).
+///
+/// # Errors
+///
+/// Propagates the first pipeline failure.
+pub fn hierarchy_sweep(
+    pipeline: &Pipeline,
+    configs: &[MemHierarchyConfig],
+) -> Result<Vec<HierarchyPoint>, CoreError> {
+    configs
+        .iter()
+        .map(|h| {
+            Ok(HierarchyPoint {
+                config: h.clone(),
+                result: pipeline.run_hierarchy(h.clone())?,
+            })
+        })
+        .collect()
 }
 
 #[cfg(test)]

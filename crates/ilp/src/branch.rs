@@ -54,7 +54,7 @@ pub fn solve_with_limit(model: &Model, node_limit: usize) -> Result<Solution, Il
                 let cand = round_solution(relax, &int_vars);
                 let accept = incumbent
                     .as_ref()
-                    .map_or(true, |inc| better(cand.objective, inc.objective));
+                    .is_none_or(|inc| better(cand.objective, inc.objective));
                 if accept {
                     incumbent = Some(cand);
                 }
@@ -66,7 +66,11 @@ pub fn solve_with_limit(model: &Model, node_limit: usize) -> Result<Solution, Il
                 // bias small — helps IPET instances prove optimality fast.
                 for (op, rhs) in [(Op::Ge, floor + 1.0), (Op::Le, floor)] {
                     let mut b = bounds.clone();
-                    b.push(Constraint { terms: vec![(v, 1.0)], op, rhs });
+                    b.push(Constraint {
+                        terms: vec![(v, 1.0)],
+                        op,
+                        rhs,
+                    });
                     match solve_relaxation(model, &b) {
                         Ok(r) => stack.push((b, r)),
                         Err(IlpError::Infeasible) => {}
@@ -81,7 +85,9 @@ pub fn solve_with_limit(model: &Model, node_limit: usize) -> Result<Solution, Il
 }
 
 fn integral(sol: &Solution, int_vars: &[usize]) -> bool {
-    int_vars.iter().all(|&v| (sol.values[v] - sol.values[v].round()).abs() <= INT_EPS)
+    int_vars
+        .iter()
+        .all(|&v| (sol.values[v] - sol.values[v].round()).abs() <= INT_EPS)
 }
 
 fn pick_branch_var(sol: &Solution, int_vars: &[usize]) -> Option<usize> {
@@ -123,7 +129,11 @@ mod tests {
         m.add_le(&[(x, 1.0), (y, 2.0)], 5.0);
         m.set_objective(&[(x, 1.0), (y, 1.0)]);
         let s = solve(&m).unwrap();
-        assert!((s.objective - 3.0).abs() < 1e-6, "objective {}", s.objective);
+        assert!(
+            (s.objective - 3.0).abs() < 1e-6,
+            "objective {}",
+            s.objective
+        );
         let xv = s.int_value(x);
         let yv = s.int_value(y);
         assert!(2 * xv + yv <= 5 && xv + 2 * yv <= 5);
@@ -133,8 +143,9 @@ mod tests {
     fn knapsack_as_ilp() {
         // weights 3,4,5; values 4,5,6; capacity 7 → take {3,4} value 9.
         let mut m = Model::new(Sense::Maximize);
-        let xs: Vec<_> =
-            (0..3).map(|i| m.add_var(format!("x{i}"), VarKind::Integer, Some(1.0))).collect();
+        let xs: Vec<_> = (0..3)
+            .map(|i| m.add_var(format!("x{i}"), VarKind::Integer, Some(1.0)))
+            .collect();
         m.add_le(&[(xs[0], 3.0), (xs[1], 4.0), (xs[2], 5.0)], 7.0);
         m.set_objective(&[(xs[0], 4.0), (xs[1], 5.0), (xs[2], 6.0)]);
         let s = solve(&m).unwrap();
@@ -173,7 +184,11 @@ mod tests {
         m.add_ge(&[(x, 1.0), (y, 1.0)], 3.5);
         m.set_objective(&[(x, 3.0), (y, 2.0)]);
         let s = solve(&m).unwrap();
-        assert!((s.objective - 8.0).abs() < 1e-6, "objective {}", s.objective);
+        assert!(
+            (s.objective - 8.0).abs() < 1e-6,
+            "objective {}",
+            s.objective
+        );
     }
 
     #[test]
@@ -186,7 +201,11 @@ mod tests {
         m.add_le(&[(x, 1.0), (y, 1.0)], 3.7);
         m.set_objective(&[(x, 2.0), (y, 1.0)]);
         let s = solve(&m).unwrap();
-        assert!((s.objective - 5.7).abs() < 1e-6, "objective {}", s.objective);
+        assert!(
+            (s.objective - 5.7).abs() < 1e-6,
+            "objective {}",
+            s.objective
+        );
         assert_eq!(s.int_value(x), 2);
     }
 }

@@ -82,7 +82,11 @@ pub fn solve(items: &[Item], capacity: u32) -> Selection {
     chosen.reverse();
     let total_value = chosen.iter().map(|&i| items[i].value).sum();
     let total_weight = chosen.iter().map(|&i| items[i].weight).sum();
-    Selection { chosen, total_value, total_weight }
+    Selection {
+        chosen,
+        total_value,
+        total_weight,
+    }
 }
 
 /// Builds the equivalent ILP model (used by tests to cross-check the DP
@@ -95,10 +99,17 @@ pub fn as_ilp(items: &[Item], capacity: u32) -> crate::model::Model {
         .enumerate()
         .map(|(i, _)| m.add_var(format!("obj{i}"), VarKind::Integer, Some(1.0)))
         .collect();
-    let weight_terms: Vec<_> =
-        vars.iter().zip(items).map(|(v, it)| (*v, it.weight as f64)).collect();
+    let weight_terms: Vec<_> = vars
+        .iter()
+        .zip(items)
+        .map(|(v, it)| (*v, it.weight as f64))
+        .collect();
     m.add_le(&weight_terms, capacity as f64);
-    let value_terms: Vec<_> = vars.iter().zip(items).map(|(v, it)| (*v, it.value)).collect();
+    let value_terms: Vec<_> = vars
+        .iter()
+        .zip(items)
+        .map(|(v, it)| (*v, it.value))
+        .collect();
     m.set_objective(&value_terms);
     m
 }
@@ -110,13 +121,25 @@ mod tests {
     #[test]
     fn empty_and_zero_capacity() {
         assert_eq!(solve(&[], 10).chosen, Vec::<usize>::new());
-        let items = [Item { weight: 1, value: 1.0 }];
+        let items = [Item {
+            weight: 1,
+            value: 1.0,
+        }];
         assert_eq!(solve(&items, 0).chosen, Vec::<usize>::new());
     }
 
     #[test]
     fn takes_everything_when_it_fits() {
-        let items = [Item { weight: 2, value: 1.0 }, Item { weight: 3, value: 2.0 }];
+        let items = [
+            Item {
+                weight: 2,
+                value: 1.0,
+            },
+            Item {
+                weight: 3,
+                value: 2.0,
+            },
+        ];
         let sel = solve(&items, 10);
         assert_eq!(sel.chosen, vec![0, 1]);
         assert_eq!(sel.total_weight, 5);
@@ -125,11 +148,26 @@ mod tests {
     #[test]
     fn classic_instance() {
         let items = [
-            Item { weight: 12, value: 4.0 },
-            Item { weight: 2, value: 2.0 },
-            Item { weight: 1, value: 2.0 },
-            Item { weight: 1, value: 1.0 },
-            Item { weight: 4, value: 10.0 },
+            Item {
+                weight: 12,
+                value: 4.0,
+            },
+            Item {
+                weight: 2,
+                value: 2.0,
+            },
+            Item {
+                weight: 1,
+                value: 2.0,
+            },
+            Item {
+                weight: 1,
+                value: 1.0,
+            },
+            Item {
+                weight: 4,
+                value: 10.0,
+            },
         ];
         let sel = solve(&items, 15);
         // Known optimum: items 1,2,3,4 → value 15, weight 8.
@@ -139,7 +177,16 @@ mod tests {
 
     #[test]
     fn worthless_items_skipped() {
-        let items = [Item { weight: 1, value: 0.0 }, Item { weight: 1, value: 5.0 }];
+        let items = [
+            Item {
+                weight: 1,
+                value: 0.0,
+            },
+            Item {
+                weight: 1,
+                value: 5.0,
+            },
+        ];
         let sel = solve(&items, 1);
         assert_eq!(sel.chosen, vec![1]);
     }
@@ -147,10 +194,22 @@ mod tests {
     #[test]
     fn matches_ilp_on_small_instances() {
         let items = [
-            Item { weight: 3, value: 4.0 },
-            Item { weight: 4, value: 5.0 },
-            Item { weight: 5, value: 6.0 },
-            Item { weight: 2, value: 3.0 },
+            Item {
+                weight: 3,
+                value: 4.0,
+            },
+            Item {
+                weight: 4,
+                value: 5.0,
+            },
+            Item {
+                weight: 5,
+                value: 6.0,
+            },
+            Item {
+                weight: 2,
+                value: 3.0,
+            },
         ];
         for cap in 0..=14 {
             let dp = solve(&items, cap);

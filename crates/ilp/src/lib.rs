@@ -62,7 +62,10 @@ impl std::fmt::Display for IlpError {
             IlpError::Infeasible => write!(f, "model is infeasible"),
             IlpError::Unbounded => write!(f, "objective is unbounded"),
             IlpError::NodeLimit { explored } => {
-                write!(f, "branch & bound node limit reached after {explored} nodes")
+                write!(
+                    f,
+                    "branch & bound node limit reached after {explored} nodes"
+                )
             }
             IlpError::BadVariable(i) => write!(f, "unknown variable index {i}"),
             IlpError::IterationLimit => write!(f, "simplex iteration limit reached"),

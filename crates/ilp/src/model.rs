@@ -73,13 +73,22 @@ pub struct Model {
 impl Model {
     /// Creates an empty model with the given optimisation direction.
     pub fn new(sense: Sense) -> Model {
-        Model { sense, vars: Vec::new(), constraints: Vec::new(), objective: Vec::new() }
+        Model {
+            sense,
+            vars: Vec::new(),
+            constraints: Vec::new(),
+            objective: Vec::new(),
+        }
     }
 
     /// Adds a variable with lower bound 0 and optional upper bound.
     pub fn add_var(&mut self, name: impl Into<String>, kind: VarKind, upper: Option<f64>) -> Var {
         let idx = self.vars.len();
-        self.vars.push(VarDef { name: name.into(), kind, upper });
+        self.vars.push(VarDef {
+            name: name.into(),
+            kind,
+            upper,
+        });
         self.objective.push(0.0);
         Var(idx)
     }
@@ -116,7 +125,11 @@ impl Model {
                 None => merged.push((v.0, *c)),
             }
         }
-        self.constraints.push(Constraint { terms: merged, op, rhs });
+        self.constraints.push(Constraint {
+            terms: merged,
+            op,
+            rhs,
+        });
     }
 
     /// Number of variables.

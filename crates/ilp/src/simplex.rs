@@ -51,8 +51,14 @@ pub fn solve_relaxation(model: &Model, extra: &[Constraint]) -> Result<Solution,
 
     let m = rows.len();
     // Column layout: structural | slacks/surpluses | artificials | rhs.
-    let n_slack = rows.iter().filter(|(_, op, _)| !matches!(op, Op::Eq)).count();
-    let n_art = rows.iter().filter(|(_, op, _)| !matches!(op, Op::Le)).count();
+    let n_slack = rows
+        .iter()
+        .filter(|(_, op, _)| !matches!(op, Op::Eq))
+        .count();
+    let n_art = rows
+        .iter()
+        .filter(|(_, op, _)| !matches!(op, Op::Le))
+        .count();
     let ncols = n + n_slack + n_art;
 
     let mut t = vec![vec![0.0f64; ncols + 1]; m];
@@ -130,8 +136,8 @@ pub fn solve_relaxation(model: &Model, extra: &[Constraint]) -> Result<Solution,
         Sense::Maximize => -1.0,
         Sense::Minimize => 1.0,
     };
-    for j in 0..n {
-        obj[j] = flip * model.objective[j];
+    for (o, &c) in obj.iter_mut().take(n).zip(&model.objective) {
+        *o = flip * c;
     }
     for r in 0..m {
         let b = basis[r];
@@ -142,7 +148,13 @@ pub fn solve_relaxation(model: &Model, extra: &[Constraint]) -> Result<Solution,
             }
         }
     }
-    run_pivots(&mut t, &mut obj, &mut basis, Some(&is_artificial), iter_limit)?;
+    run_pivots(
+        &mut t,
+        &mut obj,
+        &mut basis,
+        Some(&is_artificial),
+        iter_limit,
+    )?;
 
     // Extract the solution.
     let mut values = vec![0.0f64; n];
@@ -151,8 +163,11 @@ pub fn solve_relaxation(model: &Model, extra: &[Constraint]) -> Result<Solution,
             values[basis[r]] = t[r][ncols];
         }
     }
-    let objective: f64 =
-        values.iter().zip(model.objective.iter()).map(|(x, c)| x * c).sum();
+    let objective: f64 = values
+        .iter()
+        .zip(model.objective.iter())
+        .map(|(x, c)| x * c)
+        .sum();
     Ok(Solution { values, objective })
 }
 
@@ -202,15 +217,16 @@ fn run_pivots(
             if t[r][j] > EPS {
                 let ratio = t[r][ncols] / t[r][j];
                 let better = ratio < best_ratio - EPS
-                    || (ratio < best_ratio + EPS
-                        && leave.is_some_and(|l| basis[r] < basis[l]));
+                    || (ratio < best_ratio + EPS && leave.is_some_and(|l| basis[r] < basis[l]));
                 if leave.is_none() || better {
                     best_ratio = ratio;
                     leave = Some(r);
                 }
             }
         }
-        let Some(r) = leave else { return Err(IlpError::Unbounded) };
+        let Some(r) = leave else {
+            return Err(IlpError::Unbounded);
+        };
         pivot(t, obj, basis, r, j);
     }
     Err(IlpError::IterationLimit)
@@ -224,18 +240,26 @@ fn pivot(t: &mut [Vec<f64>], obj: &mut [f64], basis: &mut [usize], r: usize, j: 
         *v /= p;
     }
     for i in 0..m {
-        if i != r && t[i][j].abs() > 0.0 {
-            let f = t[i][j];
-            for k in 0..=ncols {
-                t[i][k] -= f * t[r][k];
-            }
-            t[i][j] = 0.0;
+        if i == r || t[i][j].abs() == 0.0 {
+            continue;
         }
+        let f = t[i][j];
+        let (row_i, row_r) = if i < r {
+            let (lo, hi) = t.split_at_mut(r);
+            (&mut lo[i], &hi[0])
+        } else {
+            let (lo, hi) = t.split_at_mut(i);
+            (&mut hi[0], &lo[r])
+        };
+        for (x, &p) in row_i.iter_mut().zip(row_r.iter()).take(ncols + 1) {
+            *x -= f * p;
+        }
+        row_i[j] = 0.0;
     }
     if obj[j].abs() > 0.0 {
         let f = obj[j];
-        for k in 0..=ncols {
-            obj[k] -= f * t[r][k];
+        for (o, &p) in obj.iter_mut().zip(t[r].iter()).take(ncols + 1) {
+            *o -= f * p;
         }
         obj[j] = 0.0;
     }

@@ -19,12 +19,19 @@ fn brute_force(
     let mut x = vec![0i32; n];
     loop {
         let feasible = constraints.iter().all(|(coeffs, b)| {
-            coeffs.iter().zip(&x).map(|(a, v)| (*a as i64) * (*v as i64)).sum::<i64>()
+            coeffs
+                .iter()
+                .zip(&x)
+                .map(|(a, v)| (*a as i64) * (*v as i64))
+                .sum::<i64>()
                 <= *b as i64
         });
         if feasible {
-            let obj: i64 =
-                objective.iter().zip(&x).map(|(c, v)| (*c as i64) * (*v as i64)).sum();
+            let obj: i64 = objective
+                .iter()
+                .zip(&x)
+                .map(|(c, v)| (*c as i64) * (*v as i64))
+                .sum();
             best = Some(best.map_or(obj, |b: i64| b.max(obj)));
         }
         // Odometer increment.

@@ -98,7 +98,10 @@ impl AnnotationSet {
     pub fn loop_bounds(&self) -> impl Iterator<Item = LoopBound> + '_ {
         self.loop_bounds
             .iter()
-            .map(|(&header_addr, &max_iterations)| LoopBound { header_addr, max_iterations })
+            .map(|(&header_addr, &max_iterations)| LoopBound {
+                header_addr,
+                max_iterations,
+            })
     }
 
     /// Sets a flow fact: the loop's back edges execute at most
@@ -120,7 +123,14 @@ impl AnnotationSet {
     /// Annotates the data access performed by the instruction at
     /// `insn_addr`.
     pub fn set_access(&mut self, insn_addr: u32, width: AccessWidth, addr: AddrInfo) {
-        self.accesses.insert(insn_addr, AccessAnnot { insn_addr, width, addr });
+        self.accesses.insert(
+            insn_addr,
+            AccessAnnot {
+                insn_addr,
+                width,
+                addr,
+            },
+        );
     }
 
     /// The access annotation for an instruction, if present.

@@ -61,7 +61,10 @@ enum AsmInsnKind {
 #[derive(Debug, Clone, PartialEq)]
 enum Item {
     Label(String),
-    Insn { kind: AsmInsnKind, access: Option<AccessHint> },
+    Insn {
+        kind: AsmInsnKind,
+        access: Option<AccessHint>,
+    },
 }
 
 /// A `BL` call site needing link-time resolution.
@@ -154,32 +157,50 @@ impl FuncBuilder {
 
     /// Appends a fully-resolved instruction.
     pub fn push(&mut self, insn: Insn) {
-        self.items.push(Item::Insn { kind: AsmInsnKind::Plain(insn), access: None });
+        self.items.push(Item::Insn {
+            kind: AsmInsnKind::Plain(insn),
+            access: None,
+        });
     }
 
     /// Appends a memory instruction together with its access hint.
     pub fn push_access(&mut self, insn: Insn, hint: AccessHint) {
-        self.items.push(Item::Insn { kind: AsmInsnKind::Plain(insn), access: Some(hint) });
+        self.items.push(Item::Insn {
+            kind: AsmInsnKind::Plain(insn),
+            access: Some(hint),
+        });
     }
 
     /// Appends an unconditional branch to `label`.
     pub fn b(&mut self, label: impl Into<String>) {
-        self.items.push(Item::Insn { kind: AsmInsnKind::BTo(label.into()), access: None });
+        self.items.push(Item::Insn {
+            kind: AsmInsnKind::BTo(label.into()),
+            access: None,
+        });
     }
 
     /// Appends a conditional branch to `label`.
     pub fn bcond(&mut self, cond: Cond, label: impl Into<String>) {
-        self.items.push(Item::Insn { kind: AsmInsnKind::BCondTo(cond, label.into()), access: None });
+        self.items.push(Item::Insn {
+            kind: AsmInsnKind::BCondTo(cond, label.into()),
+            access: None,
+        });
     }
 
     /// Appends a call to the (possibly external) function `symbol`.
     pub fn bl(&mut self, symbol: impl Into<String>) {
-        self.items.push(Item::Insn { kind: AsmInsnKind::BlTo(symbol.into()), access: None });
+        self.items.push(Item::Insn {
+            kind: AsmInsnKind::BlTo(symbol.into()),
+            access: None,
+        });
     }
 
     /// Appends a literal-pool load into `rd`.
     pub fn ldr_lit(&mut self, rd: Reg, value: LitValue) {
-        self.items.push(Item::Insn { kind: AsmInsnKind::LdrLitTo(rd, value), access: None });
+        self.items.push(Item::Insn {
+            kind: AsmInsnKind::LdrLitTo(rd, value),
+            access: None,
+        });
     }
 
     /// Declares that the loop whose header is at `label` executes its back
@@ -222,8 +243,14 @@ impl FuncBuilder {
         // ------------------------------------------------------------------
         enum WItem {
             Label(String),
-            Insn { kind: AsmInsnKind, access: Option<AccessHint> },
-            Island { lits: Vec<LitValue>, with_branch: bool },
+            Insn {
+                kind: AsmInsnKind,
+                access: Option<AccessHint>,
+            },
+            Island {
+                lits: Vec<LitValue>,
+                with_branch: bool,
+            },
         }
 
         /// Worst-case code bytes per segment; with the island overhead and
@@ -284,12 +311,15 @@ impl FuncBuilder {
         if !pending.is_empty() {
             // The final island sits past the last instruction; it only
             // needs a skip branch when control could fall into it.
-            witems.push(WItem::Island { lits: pending, with_branch: !last_is_terminator });
+            witems.push(WItem::Island {
+                lits: pending,
+                with_branch: !last_is_terminator,
+            });
         }
 
         fn island_size(off: u32, n_lits: usize, with_branch: bool) -> u32 {
             let mut s = if with_branch { 2 } else { 0 };
-            if (off + s) % 4 != 0 {
+            if !(off + s).is_multiple_of(4) {
                 s += 2; // alignment pad before the literal words
             }
             s + 4 * n_lits as u32
@@ -472,17 +502,24 @@ impl FuncBuilder {
                             let target = labels[label.as_str()];
                             if sizes[&i] == 2 {
                                 let disp = target as i64 - (off as i64 + 4);
-                                halfwords
-                                    .extend(encode(&Insn::BCond { cond: *cond, off: disp as i32 }));
+                                halfwords.extend(encode(&Insn::BCond {
+                                    cond: *cond,
+                                    off: disp as i32,
+                                }));
                             } else {
-                                halfwords
-                                    .extend(encode(&Insn::BCond { cond: cond.invert(), off: 0 }));
+                                halfwords.extend(encode(&Insn::BCond {
+                                    cond: cond.invert(),
+                                    off: 0,
+                                }));
                                 let disp = target as i64 - (off as i64 + 2 + 4);
                                 halfwords.extend(encode(&Insn::B { off: disp as i32 }));
                             }
                         }
                         AsmInsnKind::BlTo(symbol) => {
-                            call_relocs.push(CallReloc { offset: off, target: symbol.clone() });
+                            call_relocs.push(CallReloc {
+                                offset: off,
+                                target: symbol.clone(),
+                            });
                             halfwords.extend(encode(&Insn::Bl { off: 0 }));
                         }
                         AsmInsnKind::LdrLitTo(rd, v) => {
@@ -515,7 +552,10 @@ impl FuncBuilder {
                         let word = match v {
                             LitValue::Const(c) => *c,
                             LitValue::SymbolAddr(sym) => {
-                                lit_relocs.push(LitReloc { offset: slot_off, symbol: sym.clone() });
+                                lit_relocs.push(LitReloc {
+                                    offset: slot_off,
+                                    symbol: sym.clone(),
+                                });
                                 0
                             }
                         };
@@ -530,15 +570,17 @@ impl FuncBuilder {
         // Resolve loop hints.
         let mut loop_hints = Vec::new();
         for (label, bound) in &self.loop_hints {
-            let target =
-                *labels.get(label).ok_or_else(|| IsaError::UndefinedLabel(label.clone()))?;
+            let target = *labels
+                .get(label)
+                .ok_or_else(|| IsaError::UndefinedLabel(label.clone()))?;
             loop_hints.push((target, *bound));
         }
         loop_hints.sort_unstable();
         let mut total_hints = Vec::new();
         for (label, total) in &self.total_hints {
-            let target =
-                *labels.get(label).ok_or_else(|| IsaError::UndefinedLabel(label.clone()))?;
+            let target = *labels
+                .get(label)
+                .ok_or_else(|| IsaError::UndefinedLabel(label.clone()))?;
             total_hints.push((target, *total));
         }
         total_hints.sort_unstable();
@@ -577,7 +619,13 @@ mod tests {
         let obj = f.assemble().unwrap();
         let insns = decode_all(&obj.halfwords[..(obj.code_size / 2) as usize]);
         // bcond at offset 2 targets 0: disp = 0 - (2+4) = -6.
-        assert_eq!(insns[1].1, Insn::BCond { cond: Cond::Ne, off: -6 });
+        assert_eq!(
+            insns[1].1,
+            Insn::BCond {
+                cond: Cond::Ne,
+                off: -6
+            }
+        );
         // b at offset 4 targets 8 (skipping the nop): disp = 8 - (4+4) = 0.
         assert_eq!(insns[2].1, Insn::B { off: 0 });
     }
@@ -610,7 +658,13 @@ mod tests {
         assert_eq!(obj.code_size, 8);
         // Pool at offset 8, two slots (constant deduplicated).
         assert_eq!(obj.total_size(), 8 + 8);
-        assert_eq!(obj.lit_relocs, vec![LitReloc { offset: 12, symbol: "table".into() }]);
+        assert_eq!(
+            obj.lit_relocs,
+            vec![LitReloc {
+                offset: 12,
+                symbol: "table".into()
+            }]
+        );
         let lo = obj.halfwords[4] as u32;
         let hi = obj.halfwords[5] as u32;
         assert_eq!(lo | (hi << 16), 0xDEAD_BEEF);
@@ -690,7 +744,13 @@ mod tests {
         let obj = f.assemble().unwrap();
         let insns = decode_all(&obj.halfwords[..(obj.code_size / 2) as usize]);
         // Relaxed: inverted bne skipping a long b.
-        assert_eq!(insns[0].1, Insn::BCond { cond: Cond::Ne, off: 0 });
+        assert_eq!(
+            insns[0].1,
+            Insn::BCond {
+                cond: Cond::Ne,
+                off: 0
+            }
+        );
         assert!(matches!(insns[1].1, Insn::B { .. }));
         // Execution still reaches `far` = 4 + 400 bytes.
         if let Insn::B { off } = insns[1].1 {
@@ -704,7 +764,13 @@ mod tests {
         f.bl("callee");
         f.push(Insn::Ret);
         let obj = f.assemble().unwrap();
-        assert_eq!(obj.call_relocs, vec![CallReloc { offset: 0, target: "callee".into() }]);
+        assert_eq!(
+            obj.call_relocs,
+            vec![CallReloc {
+                offset: 0,
+                target: "callee".into()
+            }]
+        );
         assert_eq!(obj.code_size, 6);
     }
 
@@ -714,8 +780,16 @@ mod tests {
         f.push(Insn::MovImm { rd: R0, imm: 0 });
         f.label("loop");
         f.push_access(
-            Insn::LdrImm { width: AccessWidth::Word, rd: R1, rn: R0, off: 0 },
-            AccessHint::Global { symbol: "arr".into(), exact_offset: None },
+            Insn::LdrImm {
+                width: AccessWidth::Word,
+                rd: R1,
+                rn: R0,
+                off: 0,
+            },
+            AccessHint::Global {
+                symbol: "arr".into(),
+                exact_offset: None,
+            },
         );
         f.bcond(Cond::Ne, "loop");
         f.push(Insn::Ret);
@@ -735,6 +809,9 @@ mod tests {
         }
         f.label("far");
         f.push(Insn::Ret);
-        assert!(matches!(f.assemble(), Err(IsaError::BranchOutOfRange { .. })));
+        assert!(matches!(
+            f.assemble(),
+            Err(IsaError::BranchOutOfRange { .. })
+        ));
     }
 }

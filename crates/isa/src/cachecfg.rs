@@ -26,6 +26,9 @@ pub enum CacheScope {
     Unified,
     /// Instructions only; data bypasses to main memory (paper future work).
     InstrOnly,
+    /// Data only; instruction fetches bypass (the L1D half of a split
+    /// hierarchy, or a standalone D-cache ablation).
+    DataOnly,
 }
 
 /// Cache geometry and behaviour.
@@ -39,8 +42,11 @@ pub struct CacheConfig {
     pub assoc: u32,
     /// Replacement policy.
     pub replacement: Replacement,
-    /// Unified or instruction-only.
+    /// Unified, instruction-only or data-only.
     pub scope: CacheScope,
+    /// Cycles to serve a hit from this level (1 for an L1 next to the core;
+    /// larger for an L2 further away).
+    pub hit_latency: u32,
 }
 
 impl CacheConfig {
@@ -52,17 +58,46 @@ impl CacheConfig {
             assoc: 1,
             replacement: Replacement::Lru,
             scope: CacheScope::Unified,
+            hit_latency: 1,
         }
     }
 
     /// Instruction-only variant of the same geometry.
     pub fn instr_only(size: u32) -> CacheConfig {
-        CacheConfig { scope: CacheScope::InstrOnly, ..CacheConfig::unified(size) }
+        CacheConfig {
+            scope: CacheScope::InstrOnly,
+            ..CacheConfig::unified(size)
+        }
+    }
+
+    /// Data-only variant of the same geometry.
+    pub fn data_only(size: u32) -> CacheConfig {
+        CacheConfig {
+            scope: CacheScope::DataOnly,
+            ..CacheConfig::unified(size)
+        }
     }
 
     /// Set-associative unified cache with a replacement policy.
     pub fn set_assoc(size: u32, assoc: u32, replacement: Replacement) -> CacheConfig {
-        CacheConfig { assoc, replacement, ..CacheConfig::unified(size) }
+        CacheConfig {
+            assoc,
+            replacement,
+            ..CacheConfig::unified(size)
+        }
+    }
+
+    /// A typical unified second-level cache: 4-way LRU, 32-byte lines,
+    /// 3-cycle hit latency (on-chip SRAM one level away from the core).
+    pub fn l2(size: u32) -> CacheConfig {
+        CacheConfig {
+            size,
+            line: 32,
+            assoc: 4,
+            replacement: Replacement::Lru,
+            scope: CacheScope::Unified,
+            hit_latency: 3,
+        }
     }
 
     /// Number of sets.
@@ -80,9 +115,9 @@ impl CacheConfig {
         (addr / self.line) / self.num_sets()
     }
 
-    /// Cycles for a read hit.
+    /// Cycles for a read hit served by this level.
     pub fn hit_cycles(&self) -> u64 {
-        1
+        self.hit_latency as u64
     }
 
     /// Cycles for a read miss: fill the whole line with 32-bit main-memory
@@ -98,10 +133,26 @@ impl CacheConfig {
     /// Panics on non-power-of-two sizes or impossible geometry; these are
     /// construction-time programming errors.
     pub fn validate(&self) {
-        assert!(self.size.is_power_of_two(), "cache size must be a power of two");
-        assert!(self.line.is_power_of_two() && self.line >= 4, "line size >= 4, power of two");
-        assert!(self.assoc >= 1 && self.assoc <= self.size / self.line, "bad associativity");
-        assert!((self.size / self.line) % self.assoc == 0, "sets must divide evenly");
+        assert!(
+            self.size.is_power_of_two(),
+            "cache size must be a power of two"
+        );
+        assert!(
+            self.line.is_power_of_two() && self.line >= 4,
+            "line size >= 4, power of two"
+        );
+        assert!(
+            self.assoc >= 1 && self.assoc <= self.size / self.line,
+            "bad associativity"
+        );
+        assert!(
+            (self.size / self.line).is_multiple_of(self.assoc),
+            "sets must divide evenly"
+        );
+        assert!(
+            self.hit_latency >= 1,
+            "hit latency must be at least one cycle"
+        );
     }
 }
 

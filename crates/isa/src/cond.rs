@@ -149,20 +149,40 @@ impl Flags {
     pub fn from_add(a: u32, b: u32) -> (u32, Flags) {
         let (res, carry) = a.overflowing_add(b);
         let v = ((a ^ res) & (b ^ res)) >> 31 != 0;
-        (res, Flags { n: res >> 31 != 0, z: res == 0, c: carry, v })
+        (
+            res,
+            Flags {
+                n: res >> 31 != 0,
+                z: res == 0,
+                c: carry,
+                v,
+            },
+        )
     }
 
     /// Flags after a `SUB`/`CMP` (`a - b`); C is the NOT-borrow convention.
     pub fn from_sub(a: u32, b: u32) -> (u32, Flags) {
         let (res, borrow) = a.overflowing_sub(b);
         let v = ((a ^ b) & (a ^ res)) >> 31 != 0;
-        (res, Flags { n: res >> 31 != 0, z: res == 0, c: !borrow, v })
+        (
+            res,
+            Flags {
+                n: res >> 31 != 0,
+                z: res == 0,
+                c: !borrow,
+                v,
+            },
+        )
     }
 
     /// Flags after a logical operation: N and Z from the result, C and V
     /// preserved from `self`.
     pub fn from_logical(self, res: u32) -> Flags {
-        Flags { n: res >> 31 != 0, z: res == 0, ..self }
+        Flags {
+            n: res >> 31 != 0,
+            z: res == 0,
+            ..self
+        }
     }
 }
 

@@ -54,10 +54,26 @@ fn decode_one(hw: u16, next: Option<u16>) -> Insn {
                 let rd = reg(hw, 0);
                 let rn = reg(hw, 3);
                 match (imm_form, sub) {
-                    (false, false) => Insn::AddReg { rd, rn, rm: reg(hw, 6) },
-                    (false, true) => Insn::SubReg { rd, rn, rm: reg(hw, 6) },
-                    (true, false) => Insn::AddImm3 { rd, rn, imm: ((hw >> 6) & 0b111) as u8 },
-                    (true, true) => Insn::SubImm3 { rd, rn, imm: ((hw >> 6) & 0b111) as u8 },
+                    (false, false) => Insn::AddReg {
+                        rd,
+                        rn,
+                        rm: reg(hw, 6),
+                    },
+                    (false, true) => Insn::SubReg {
+                        rd,
+                        rn,
+                        rm: reg(hw, 6),
+                    },
+                    (true, false) => Insn::AddImm3 {
+                        rd,
+                        rn,
+                        imm: ((hw >> 6) & 0b111) as u8,
+                    },
+                    (true, true) => Insn::SubImm3 {
+                        rd,
+                        rn,
+                        imm: ((hw >> 6) & 0b111) as u8,
+                    },
                 }
             }
         }
@@ -97,9 +113,19 @@ fn decode_one(hw: u16, next: Option<u16>) -> Insn {
                 let rn = reg(hw, 3);
                 let rd = reg(hw, 0);
                 if load {
-                    Insn::LdrImm { width: AccessWidth::Half, rd, rn, off }
+                    Insn::LdrImm {
+                        width: AccessWidth::Half,
+                        rd,
+                        rn,
+                        off,
+                    }
                 } else {
-                    Insn::StrImm { width: AccessWidth::Half, rd, rn, off }
+                    Insn::StrImm {
+                        width: AccessWidth::Half,
+                        rd,
+                        rn,
+                        off,
+                    }
                 }
             } else {
                 let load = hw & (1 << 11) != 0;
@@ -137,7 +163,10 @@ fn decode_one(hw: u16, next: Option<u16>) -> Insn {
                     14 => Insn::Undefined { raw: hw },
                     _ => {
                         let cond = Cond::from_bits(cond_bits).expect("checked above");
-                        Insn::BCond { cond, off: sext(imm as u32, 8) * 2 }
+                        Insn::BCond {
+                            cond,
+                            off: sext(imm as u32, 8) * 2,
+                        }
                     }
                 }
             }
@@ -145,7 +174,9 @@ fn decode_one(hw: u16, next: Option<u16>) -> Insn {
         _ => {
             if hw & (1 << 12) == 0 {
                 if hw & (1 << 11) == 0 {
-                    Insn::B { off: sext((hw & 0x7FF) as u32, 11) * 2 }
+                    Insn::B {
+                        off: sext((hw & 0x7FF) as u32, 11) * 2,
+                    }
                 } else {
                     // 11101: unassigned.
                     Insn::Undefined { raw: hw }
@@ -173,7 +204,11 @@ fn decode_group_010(hw: u16) -> Insn {
     match (hw >> 10) & 0b111 {
         0b000 => {
             let op = AluOp::from_bits(((hw >> 6) & 0xF) as u8).expect("4-bit field");
-            Insn::Alu { op, rd: reg(hw, 0), rm: reg(hw, 3) }
+            Insn::Alu {
+                op,
+                rd: reg(hw, 0),
+                rm: reg(hw, 3),
+            }
         }
         0b001 => {
             let sub = (hw >> 8) & 0b11;
@@ -188,7 +223,10 @@ fn decode_group_010(hw: u16) -> Insn {
                 _ => Insn::Undefined { raw: hw },
             }
         }
-        0b010 | 0b011 => Insn::LdrLit { rd: reg(hw, 8), imm: (hw & 0xFF) as u8 },
+        0b010 | 0b011 => Insn::LdrLit {
+            rd: reg(hw, 8),
+            imm: (hw & 0xFF) as u8,
+        },
         _ => {
             // 0101: register-offset loads/stores.
             let op = (hw >> 9) & 0b111;
@@ -196,14 +234,59 @@ fn decode_group_010(hw: u16) -> Insn {
             let rn = reg(hw, 3);
             let rd = reg(hw, 0);
             match op {
-                0b000 => Insn::StrReg { width: AccessWidth::Word, rd, rn, rm },
-                0b001 => Insn::StrReg { width: AccessWidth::Half, rd, rn, rm },
-                0b010 => Insn::StrReg { width: AccessWidth::Byte, rd, rn, rm },
-                0b011 => Insn::LdrReg { width: AccessWidth::Byte, signed: true, rd, rn, rm },
-                0b100 => Insn::LdrReg { width: AccessWidth::Word, signed: false, rd, rn, rm },
-                0b101 => Insn::LdrReg { width: AccessWidth::Half, signed: false, rd, rn, rm },
-                0b110 => Insn::LdrReg { width: AccessWidth::Byte, signed: false, rd, rn, rm },
-                _ => Insn::LdrReg { width: AccessWidth::Half, signed: true, rd, rn, rm },
+                0b000 => Insn::StrReg {
+                    width: AccessWidth::Word,
+                    rd,
+                    rn,
+                    rm,
+                },
+                0b001 => Insn::StrReg {
+                    width: AccessWidth::Half,
+                    rd,
+                    rn,
+                    rm,
+                },
+                0b010 => Insn::StrReg {
+                    width: AccessWidth::Byte,
+                    rd,
+                    rn,
+                    rm,
+                },
+                0b011 => Insn::LdrReg {
+                    width: AccessWidth::Byte,
+                    signed: true,
+                    rd,
+                    rn,
+                    rm,
+                },
+                0b100 => Insn::LdrReg {
+                    width: AccessWidth::Word,
+                    signed: false,
+                    rd,
+                    rn,
+                    rm,
+                },
+                0b101 => Insn::LdrReg {
+                    width: AccessWidth::Half,
+                    signed: false,
+                    rd,
+                    rn,
+                    rm,
+                },
+                0b110 => Insn::LdrReg {
+                    width: AccessWidth::Byte,
+                    signed: false,
+                    rd,
+                    rn,
+                    rm,
+                },
+                _ => Insn::LdrReg {
+                    width: AccessWidth::Half,
+                    signed: true,
+                    rd,
+                    rn,
+                    rm,
+                },
             }
         }
     }
@@ -217,13 +300,19 @@ fn decode_group_1011(hw: u16) -> Insn {
             if neg && mag == 0 {
                 Insn::Undefined { raw: hw }
             } else {
-                Insn::AdjSp { delta: if neg { -mag * 4 } else { mag * 4 } }
+                Insn::AdjSp {
+                    delta: if neg { -mag * 4 } else { mag * 4 },
+                }
             }
         }
-        0b0100 | 0b0101 => {
-            Insn::Push { regs: RegList((hw & 0xFF) as u8), lr: hw & (1 << 8) != 0 }
-        }
-        0b1100 | 0b1101 => Insn::Pop { regs: RegList((hw & 0xFF) as u8), pc: hw & (1 << 8) != 0 },
+        0b0100 | 0b0101 => Insn::Push {
+            regs: RegList((hw & 0xFF) as u8),
+            lr: hw & (1 << 8) != 0,
+        },
+        0b1100 | 0b1101 => Insn::Pop {
+            regs: RegList((hw & 0xFF) as u8),
+            pc: hw & (1 << 8) != 0,
+        },
         0b1111 => {
             if hw & 0xFF == 0 {
                 Insn::Nop
@@ -303,16 +392,38 @@ mod tests {
     fn negative_displacements() {
         let (insn, _) = decode(encode(&Insn::B { off: -100 })[0], None);
         assert_eq!(insn, Insn::B { off: -100 });
-        let (insn, _) = decode(encode(&Insn::BCond { cond: Cond::Lt, off: -256 })[0], None);
-        assert_eq!(insn, Insn::BCond { cond: Cond::Lt, off: -256 });
+        let (insn, _) = decode(
+            encode(&Insn::BCond {
+                cond: Cond::Lt,
+                off: -256,
+            })[0],
+            None,
+        );
+        assert_eq!(
+            insn,
+            Insn::BCond {
+                cond: Cond::Lt,
+                off: -256
+            }
+        );
     }
 
     #[test]
     fn halfword_imm_offset_scaling() {
-        let i = Insn::LdrImm { width: AccessWidth::Half, rd: R0, rn: R1, off: 62 };
+        let i = Insn::LdrImm {
+            width: AccessWidth::Half,
+            rd: R0,
+            rn: R1,
+            off: 62,
+        };
         let (d, _) = decode(encode(&i)[0], None);
         assert_eq!(d, i);
-        let i = Insn::StrImm { width: AccessWidth::Word, rd: R3, rn: R1, off: 124 };
+        let i = Insn::StrImm {
+            width: AccessWidth::Word,
+            rd: R3,
+            rn: R1,
+            off: 124,
+        };
         let (d, _) = decode(encode(&i)[0], None);
         assert_eq!(d, i);
     }

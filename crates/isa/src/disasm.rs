@@ -63,7 +63,13 @@ pub fn disassemble(insn: &Insn, addr: u32) -> String {
             let target = (pc & !3).wrapping_add(imm as u32 * 4);
             format!("ldr {rd}, [pc, #{}] ; ={target:#x}", imm as u32 * 4)
         }
-        Insn::LdrReg { width, signed, rd, rn, rm } => {
+        Insn::LdrReg {
+            width,
+            signed,
+            rd,
+            rn,
+            rm,
+        } => {
             format!("ldr{} {rd}, [{rn}, {rm}]", width_suffix(width, signed))
         }
         Insn::StrReg { width, rd, rn, rm } => {
@@ -130,7 +136,10 @@ mod tests {
 
     #[test]
     fn representative_mnemonics() {
-        assert_eq!(disassemble(&Insn::MovImm { rd: R0, imm: 5 }, 0), "movs r0, #5");
+        assert_eq!(
+            disassemble(&Insn::MovImm { rd: R0, imm: 5 }, 0),
+            "movs r0, #5"
+        );
         assert_eq!(disassemble(&Insn::Ret, 0), "bx lr");
         assert_eq!(
             disassemble(
@@ -147,7 +156,13 @@ mod tests {
         );
         assert_eq!(disassemble(&Insn::AdjSp { delta: -16 }, 0), "sub sp, #16");
         assert_eq!(
-            disassemble(&Insn::Push { regs: RegList::of(&[R0, R1]), lr: true }, 0),
+            disassemble(
+                &Insn::Push {
+                    regs: RegList::of(&[R0, R1]),
+                    lr: true
+                },
+                0
+            ),
             "push {r0,r1,lr}"
         );
     }
@@ -156,7 +171,16 @@ mod tests {
     fn branch_targets_are_absolute() {
         // At address 0x100, pc reads 0x104; off +8 → 0x10c.
         assert_eq!(disassemble(&Insn::B { off: 8 }, 0x100), "b 0x10c");
-        assert_eq!(disassemble(&Insn::BCond { cond: Cond::Eq, off: -4 }, 0x100), "beq 0x100");
+        assert_eq!(
+            disassemble(
+                &Insn::BCond {
+                    cond: Cond::Eq,
+                    off: -4
+                },
+                0x100
+            ),
+            "beq 0x100"
+        );
     }
 
     #[test]

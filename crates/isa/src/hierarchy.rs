@@ -1,0 +1,461 @@
+//! Multi-level memory-hierarchy configuration and its cost model.
+//!
+//! This module is the *single source of truth* for how a memory access is
+//! timed in a hierarchy: the simulator (`spmlab-sim`) and the static WCET
+//! analyzer (`spmlab-wcet`) both call the cost helpers here, so they can
+//! never disagree about the machine — a disagreement would break the
+//! workspace's headline invariant (WCET bound ≥ simulated cycles).
+//!
+//! The model follows the two extensions the paper leaves as future work:
+//!
+//! * **Multi-level caches** (Hardy & Puaut, RTSS'08): an optional L1 —
+//!   unified, or split into instruction and data halves — backed by an
+//!   optional unified L2. All levels are write-through / no-write-allocate,
+//!   like the original single-level model.
+//! * **Parametric main memory** (Hassan, RTAS'18-style): the flat Table-1
+//!   access constants generalise to [`MainMemoryTiming`] — a per-burst
+//!   `latency` plus `beat_cycles` per `bus_bytes` transferred. The default
+//!   parameters reproduce the paper's Table 1 exactly (2 cycles for 8/16-bit
+//!   accesses, 4 for 32-bit, 17-cycle line fills for 16-byte lines).
+//!
+//! Timing of one read that reaches the main-memory region:
+//!
+//! | outcome                | cycles                                         |
+//! |------------------------|------------------------------------------------|
+//! | no cache in the path   | `main.access(width)`                           |
+//! | L1 hit                 | `l1.hit_latency`                               |
+//! | L1 miss, no L2         | `main.burst(l1.line) + 1`                      |
+//! | L1 miss, L2 hit        | `l2.hit_latency + l1.line/4 + 1`               |
+//! | L1 miss, L2 miss       | `main.burst(l2.line) + l2.hit_latency + l1.line/4 + 1` |
+//!
+//! (`+ 1` is the delivery cycle the single-level model already charged;
+//! `l1.line/4` is the word-per-cycle refill of the L1 line out of on-chip
+//! L2 SRAM.) Writes are write-through straight to main memory and cost
+//! `main.access(width)` regardless of the cache levels, exactly like the
+//! single-level model.
+
+use crate::cachecfg::{CacheConfig, CacheScope};
+use crate::mem::AccessWidth;
+use serde::{Deserialize, Serialize};
+
+/// Parametric main-memory (DRAM) timing: each access or line fill is one
+/// burst costing `latency + beats * beat_cycles`, where a beat moves
+/// `bus_bytes` bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MainMemoryTiming {
+    /// Fixed cycles before the first beat of a burst (row activation, bus
+    /// arbitration). 0 for the paper's zero-setup SRAM-style main memory.
+    pub latency: u64,
+    /// Cycles per bus beat.
+    pub beat_cycles: u64,
+    /// Bytes moved per beat (the paper's board: a 16-bit = 2-byte bus).
+    pub bus_bytes: u32,
+}
+
+impl MainMemoryTiming {
+    /// The paper's Table-1 memory: 16-bit bus, 2 cycles per beat, no setup
+    /// latency. `access` then yields 2/2/4 cycles for byte/half/word and
+    /// `burst(16) + 1` the familiar 17-cycle line fill.
+    pub const fn table1() -> MainMemoryTiming {
+        MainMemoryTiming {
+            latency: 0,
+            beat_cycles: 2,
+            bus_bytes: 2,
+        }
+    }
+
+    /// DRAM-style timing: `latency` setup cycles per burst in front of the
+    /// paper's 16-bit bus.
+    pub const fn dram(latency: u64) -> MainMemoryTiming {
+        MainMemoryTiming {
+            latency,
+            beat_cycles: 2,
+            bus_bytes: 2,
+        }
+    }
+
+    /// Number of beats to move `bytes` bytes (at least one).
+    pub fn beats(&self, bytes: u32) -> u64 {
+        (bytes.max(1) as u64).div_ceil(self.bus_bytes.max(1) as u64)
+    }
+
+    /// Cycles for one core-visible access of `width`.
+    pub fn access(&self, width: AccessWidth) -> u64 {
+        self.latency + self.beats(width.bytes()) * self.beat_cycles
+    }
+
+    /// Cycles for one burst of `bytes` bytes (a cache line fill).
+    pub fn burst(&self, bytes: u32) -> u64 {
+        self.latency + self.beats(bytes) * self.beat_cycles
+    }
+
+    /// The worst-case access cost over all widths.
+    pub fn worst_access(&self) -> u64 {
+        self.access(AccessWidth::Word)
+    }
+}
+
+impl Default for MainMemoryTiming {
+    fn default() -> MainMemoryTiming {
+        MainMemoryTiming::table1()
+    }
+}
+
+/// First-level cache arrangement.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum L1 {
+    /// No first-level cache.
+    None,
+    /// One cache shared by fetches and data (the paper's configuration).
+    /// Its [`CacheScope`] still applies: an `InstrOnly` unified cache
+    /// serves fetches only, `DataOnly` serves data only.
+    Unified(CacheConfig),
+    /// Split Harvard-style L1: `i` serves instruction fetches, `d` serves
+    /// data accesses; either half may be absent.
+    Split {
+        /// Instruction half.
+        i: Option<CacheConfig>,
+        /// Data half.
+        d: Option<CacheConfig>,
+    },
+}
+
+/// A full memory-system configuration shared by the simulator and the WCET
+/// analyzer: optional L1 (unified or split I/D), optional unified L2, and
+/// parametric main-memory timing.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemHierarchyConfig {
+    /// First-level cache arrangement.
+    pub l1: L1,
+    /// Optional unified second-level cache. Only accesses that miss (or
+    /// bypass nothing — see `l1_for`) in L1 reach it.
+    pub l2: Option<CacheConfig>,
+    /// Main-memory timing behind the last cache level.
+    pub main: MainMemoryTiming,
+}
+
+impl MemHierarchyConfig {
+    /// No caches, Table-1 main memory — the scratchpad branch of the paper.
+    pub fn uncached() -> MemHierarchyConfig {
+        MemHierarchyConfig {
+            l1: L1::None,
+            l2: None,
+            main: MainMemoryTiming::table1(),
+        }
+    }
+
+    /// No caches over custom main-memory timing.
+    pub fn uncached_with(main: MainMemoryTiming) -> MemHierarchyConfig {
+        MemHierarchyConfig {
+            l1: L1::None,
+            l2: None,
+            main,
+        }
+    }
+
+    /// A single L1 (the original single-level machine), honouring the
+    /// cache's scope.
+    pub fn l1_only(l1: CacheConfig) -> MemHierarchyConfig {
+        MemHierarchyConfig {
+            l1: L1::Unified(l1),
+            l2: None,
+            main: MainMemoryTiming::table1(),
+        }
+    }
+
+    /// Split L1 I/D of the given sizes, no L2.
+    pub fn split_l1(i_size: u32, d_size: u32) -> MemHierarchyConfig {
+        MemHierarchyConfig {
+            l1: L1::Split {
+                i: Some(CacheConfig::instr_only(i_size)),
+                d: Some(CacheConfig::data_only(d_size)),
+            },
+            l2: None,
+            main: MainMemoryTiming::table1(),
+        }
+    }
+
+    /// Adds a unified L2 behind the existing levels.
+    pub fn with_l2(mut self, l2: CacheConfig) -> MemHierarchyConfig {
+        self.l2 = Some(l2);
+        self
+    }
+
+    /// Replaces the main-memory timing.
+    pub fn with_main(mut self, main: MainMemoryTiming) -> MemHierarchyConfig {
+        self.main = main;
+        self
+    }
+
+    /// The hierarchy equivalent of the legacy `Option<CacheConfig>` machine
+    /// configuration: `None` means uncached; a single cache is routed by
+    /// its scope. Timing is identical to the original single-level model.
+    pub fn from_single_cache(cache: Option<CacheConfig>) -> MemHierarchyConfig {
+        match cache {
+            None => MemHierarchyConfig::uncached(),
+            Some(c) => MemHierarchyConfig::l1_only(c),
+        }
+    }
+
+    /// The L1 cache that serves `fetch` (instruction) or data traffic, if
+    /// any, honouring unified-cache scopes.
+    pub fn l1_for(&self, fetch: bool) -> Option<&CacheConfig> {
+        match &self.l1 {
+            L1::None => None,
+            L1::Unified(c) => match (c.scope, fetch) {
+                (CacheScope::Unified, _) => Some(c),
+                (CacheScope::InstrOnly, true) => Some(c),
+                (CacheScope::DataOnly, false) => Some(c),
+                _ => None,
+            },
+            L1::Split { i, d } => {
+                if fetch {
+                    i.as_ref()
+                } else {
+                    d.as_ref()
+                }
+            }
+        }
+    }
+
+    /// Whether fetch and data traffic share one L1 tag store.
+    pub fn l1_unified(&self) -> bool {
+        matches!(&self.l1, L1::Unified(c) if c.scope == CacheScope::Unified)
+    }
+
+    /// Whether any cache sits in front of main memory for `fetch`/data.
+    pub fn cached(&self, fetch: bool) -> bool {
+        self.l1_for(fetch).is_some()
+    }
+
+    /// Cycles for an access of `width` that bypasses every cache level
+    /// (no L1 *and* no L2 in its path, scratchpad/MMIO excluded upstream).
+    pub fn bypass_cycles(&self, width: AccessWidth) -> u64 {
+        self.main.access(width)
+    }
+
+    /// Cycles for an L1-less access that hits directly in the L2 (the
+    /// routing for kinds without an L1: e.g. data traffic in an
+    /// I-cache + L2 system). Such accesses *always* reach the L2, which is
+    /// what lets the analysis update the L2 MUST state with certainty.
+    pub fn l2_direct_hit_cycles(&self) -> u64 {
+        self.l2
+            .as_ref()
+            .expect("direct-L2 cost needs an L2")
+            .hit_cycles()
+    }
+
+    /// Cycles for an L1-less access that misses the L2: fill the L2 line
+    /// from main memory, then serve from L2.
+    pub fn l2_direct_miss_cycles(&self) -> u64 {
+        let l2 = self.l2.as_ref().expect("direct-L2 cost needs an L2");
+        self.main.burst(l2.line) + l2.hit_cycles()
+    }
+
+    /// Cycles when the access hits in its L1.
+    pub fn l1_hit_cycles(&self, fetch: bool) -> u64 {
+        self.l1_for(fetch)
+            .map_or_else(|| self.main.access(AccessWidth::Word), |c| c.hit_cycles())
+    }
+
+    /// Total cycles when the access misses L1 and hits L2: L2 lookup plus a
+    /// word-per-cycle refill of the L1 line and one delivery cycle.
+    pub fn l1_miss_l2_hit_cycles(&self, fetch: bool) -> u64 {
+        let l1 = self
+            .l1_for(fetch)
+            .expect("l2-hit cost needs an L1 in the path");
+        let l2 = self.l2.as_ref().expect("l2-hit cost needs an L2");
+        l2.hit_cycles() + (l1.line as u64) / 4 + 1
+    }
+
+    /// Total cycles when the access misses both L1 and L2: fill the L2 line
+    /// from main memory, then refill L1 out of L2.
+    pub fn l1_miss_l2_miss_cycles(&self, fetch: bool) -> u64 {
+        let l2 = self.l2.as_ref().expect("l2-miss cost needs an L2");
+        self.main.burst(l2.line) + self.l1_miss_l2_hit_cycles(fetch)
+    }
+
+    /// Total cycles when the access misses a last-level L1 (no L2): the
+    /// original model's line fill plus delivery.
+    pub fn l1_miss_no_l2_cycles(&self, fetch: bool) -> u64 {
+        let l1 = self
+            .l1_for(fetch)
+            .expect("miss cost needs an L1 in the path");
+        self.main.burst(l1.line) + 1
+    }
+
+    /// Worst-case cycles for one access that reaches main-memory space —
+    /// what an analysis must charge when it can prove nothing. With an L1
+    /// in the path this covers the hit outcome too: `hit_latency` is
+    /// configurable and may exceed the fill cost.
+    pub fn worst_read_cycles(&self, fetch: bool, width: AccessWidth) -> u64 {
+        match (self.l1_for(fetch), &self.l2) {
+            (None, None) => self.bypass_cycles(width),
+            (None, Some(_)) => self.l2_direct_miss_cycles(),
+            (Some(l1), None) => self.l1_miss_no_l2_cycles(fetch).max(l1.hit_cycles()),
+            (Some(l1), Some(_)) => self.l1_miss_l2_miss_cycles(fetch).max(l1.hit_cycles()),
+        }
+    }
+
+    /// Validates every level's geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid cache geometry or zero-width buses, which are
+    /// construction-time programming errors.
+    pub fn validate(&self) {
+        match &self.l1 {
+            L1::None => {}
+            L1::Unified(c) => c.validate(),
+            L1::Split { i, d } => {
+                if let Some(c) = i {
+                    c.validate();
+                    assert!(
+                        c.scope != CacheScope::DataOnly,
+                        "split L1 instruction half cannot be data-only"
+                    );
+                }
+                if let Some(c) = d {
+                    c.validate();
+                    assert!(
+                        c.scope != CacheScope::InstrOnly,
+                        "split L1 data half cannot be instruction-only"
+                    );
+                }
+            }
+        }
+        if let Some(l2) = &self.l2 {
+            l2.validate();
+            assert!(
+                l2.scope == CacheScope::Unified,
+                "the second-level cache is always unified"
+            );
+        }
+        assert!(
+            self.main.bus_bytes >= 1,
+            "bus must move at least one byte per beat"
+        );
+        assert!(
+            self.main.beat_cycles >= 1,
+            "a beat takes at least one cycle"
+        );
+    }
+
+    /// Short human-readable label (`spm`, `l1 1024`, `l1i512+l1d512+l2 4096`…)
+    /// used by sweep reports.
+    pub fn label(&self) -> String {
+        let l1 = match &self.l1 {
+            L1::None => String::from("uncached"),
+            // Scope-restricted "unified" caches are different machines —
+            // keep them distinguishable in reports and artifacts.
+            L1::Unified(c) => match c.scope {
+                CacheScope::Unified => format!("l1 {}", c.size),
+                CacheScope::InstrOnly => format!("l1i {}", c.size),
+                CacheScope::DataOnly => format!("l1d {}", c.size),
+            },
+            L1::Split { i, d } => match (i, d) {
+                (Some(i), Some(d)) => format!("l1i{}+l1d{}", i.size, d.size),
+                (Some(i), None) => format!("l1i{}", i.size),
+                (None, Some(d)) => format!("l1d{}", d.size),
+                (None, None) => String::from("uncached"),
+            },
+        };
+        let l2 = match &self.l2 {
+            Some(l2) => format!("+l2 {}", l2.size),
+            None => String::new(),
+        };
+        let main = if self.main == MainMemoryTiming::table1() {
+            String::new()
+        } else {
+            format!(
+                " (dram {}+{}x{})",
+                self.main.latency, self.main.beat_cycles, self.main.bus_bytes
+            )
+        };
+        format!("{l1}{l2}{main}")
+    }
+}
+
+impl Default for MemHierarchyConfig {
+    fn default() -> MemHierarchyConfig {
+        MemHierarchyConfig::uncached()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_timing_reproduced() {
+        let t = MainMemoryTiming::table1();
+        assert_eq!(t.access(AccessWidth::Byte), 2);
+        assert_eq!(t.access(AccessWidth::Half), 2);
+        assert_eq!(t.access(AccessWidth::Word), 4);
+        assert_eq!(t.burst(16) + 1, 17, "the paper's line fill");
+    }
+
+    #[test]
+    fn dram_timing_adds_latency() {
+        let t = MainMemoryTiming::dram(10);
+        assert_eq!(t.access(AccessWidth::Word), 14);
+        assert_eq!(t.burst(32), 10 + 32);
+    }
+
+    #[test]
+    fn single_level_compat_costs() {
+        // The degenerate hierarchy must reproduce the original single-level
+        // numbers exactly: 1-cycle hits, 17-cycle misses.
+        let h = MemHierarchyConfig::from_single_cache(Some(CacheConfig::unified(1024)));
+        assert_eq!(h.l1_hit_cycles(true), 1);
+        assert_eq!(h.l1_miss_no_l2_cycles(true), 17);
+        assert_eq!(h.worst_read_cycles(true, AccessWidth::Half), 17);
+        let u = MemHierarchyConfig::uncached();
+        assert_eq!(u.bypass_cycles(AccessWidth::Word), 4);
+        assert_eq!(u.worst_read_cycles(false, AccessWidth::Word), 4);
+    }
+
+    #[test]
+    fn two_level_costs_are_ordered() {
+        let h = MemHierarchyConfig::split_l1(512, 512).with_l2(CacheConfig::l2(4096));
+        h.validate();
+        let hit = h.l1_hit_cycles(true);
+        let l2_hit = h.l1_miss_l2_hit_cycles(true);
+        let l2_miss = h.l1_miss_l2_miss_cycles(true);
+        assert!(hit < l2_hit && l2_hit < l2_miss);
+        // l2 hit: 3 (latency) + 4 (16B line, word/cycle) + 1 (deliver) = 8.
+        assert_eq!(l2_hit, 8);
+        // l2 miss adds the 32-byte main burst: 32 + 8 = 40.
+        assert_eq!(l2_miss, 40);
+    }
+
+    #[test]
+    fn scope_routing() {
+        let icache = MemHierarchyConfig::l1_only(CacheConfig::instr_only(512));
+        assert!(icache.cached(true) && !icache.cached(false));
+        let dcache = MemHierarchyConfig::l1_only(CacheConfig::data_only(512));
+        assert!(!dcache.cached(true) && dcache.cached(false));
+        let split = MemHierarchyConfig::split_l1(256, 512);
+        assert_eq!(split.l1_for(true).unwrap().size, 256);
+        assert_eq!(split.l1_for(false).unwrap().size, 512);
+        assert!(!split.l1_unified());
+        let uni = MemHierarchyConfig::l1_only(CacheConfig::unified(1024));
+        assert!(uni.l1_unified());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(MemHierarchyConfig::uncached().label(), "uncached");
+        assert_eq!(
+            MemHierarchyConfig::split_l1(512, 512)
+                .with_l2(CacheConfig::l2(4096))
+                .label(),
+            "l1i512+l1d512+l2 4096"
+        );
+        assert!(
+            MemHierarchyConfig::uncached_with(MainMemoryTiming::dram(10))
+                .label()
+                .contains("dram 10")
+        );
+    }
+}

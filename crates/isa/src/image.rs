@@ -86,7 +86,9 @@ impl Executable {
     pub fn symbol_at(&self, addr: u32) -> Option<&Symbol> {
         // Symbols are sorted by address and never overlap.
         let idx = self.symbols.partition_point(|s| s.addr <= addr);
-        idx.checked_sub(1).map(|i| &self.symbols[i]).filter(|s| s.contains(addr))
+        idx.checked_sub(1)
+            .map(|i| &self.symbols[i])
+            .filter(|s| s.contains(addr))
     }
 
     /// Looks up a symbol by name, or errors.
@@ -95,7 +97,8 @@ impl Executable {
     ///
     /// Returns [`IsaError::UndefinedSymbol`] when absent.
     pub fn require_symbol(&self, name: &str) -> Result<&Symbol, IsaError> {
-        self.symbol(name).ok_or_else(|| IsaError::UndefinedSymbol(name.to_string()))
+        self.symbol(name)
+            .ok_or_else(|| IsaError::UndefinedSymbol(name.to_string()))
     }
 
     /// Reads one byte from the image (pre-load contents).
@@ -110,7 +113,10 @@ impl Executable {
 
     /// Reads a little-endian halfword from the image.
     pub fn read_half(&self, addr: u32) -> Option<u16> {
-        Some(u16::from_le_bytes([self.read_byte(addr)?, self.read_byte(addr + 1)?]))
+        Some(u16::from_le_bytes([
+            self.read_byte(addr)?,
+            self.read_byte(addr + 1)?,
+        ]))
     }
 
     /// Reads a little-endian word from the image.
@@ -202,7 +208,10 @@ mod tests {
 
     fn sample() -> Executable {
         Executable {
-            regions: vec![LoadRegion { addr: 0x0010_0000, bytes: vec![0u8; 64] }],
+            regions: vec![LoadRegion {
+                addr: 0x0010_0000,
+                bytes: vec![0u8; 64],
+            }],
             symbols: vec![
                 Symbol {
                     name: "main".into(),
@@ -214,7 +223,9 @@ mod tests {
                     name: "table".into(),
                     addr: 0x0010_0020,
                     size: 16,
-                    kind: SymbolKind::Object { width: AccessWidth::Half },
+                    kind: SymbolKind::Object {
+                        width: AccessWidth::Half,
+                    },
                 },
             ],
             entry: 0x0010_0000,
@@ -248,13 +259,17 @@ mod tests {
         let mut e = sample();
         let too_many: Vec<i32> = (0..9).collect();
         assert!(e.patch_global("table", &too_many).is_err());
-        assert!(e.patch_global("main", &[1]).is_err(), "functions are not patchable");
+        assert!(
+            e.patch_global("main", &[1]).is_err(),
+            "functions are not patchable"
+        );
     }
 
     #[test]
     fn word_reads_little_endian() {
         let mut e = sample();
-        e.patch_bytes(0x0010_0000, &[0x78, 0x56, 0x34, 0x12]).unwrap();
+        e.patch_bytes(0x0010_0000, &[0x78, 0x56, 0x34, 0x12])
+            .unwrap();
         assert_eq!(e.read_word(0x0010_0000), Some(0x1234_5678));
         assert_eq!(e.read_byte(0x0020_0000), None);
     }

@@ -97,7 +97,12 @@ impl AluOp {
 pub enum Insn {
     /// `LSL/LSR/ASR rd, rm, #imm` — shift by immediate (0..=31). Sets NZ
     /// (C untouched in TH16, a documented simplification).
-    ShiftImm { op: ShiftOp, rd: Reg, rm: Reg, imm: u8 },
+    ShiftImm {
+        op: ShiftOp,
+        rd: Reg,
+        rm: Reg,
+        imm: u8,
+    },
     /// `ADDS rd, rn, rm` — sets NZCV.
     AddReg { rd: Reg, rn: Reg, rm: Reg },
     /// `SUBS rd, rn, rm` — sets NZCV.
@@ -129,14 +134,35 @@ pub enum Insn {
     /// the code region, the paper's "literal pool" annotation case).
     LdrLit { rd: Reg, imm: u8 },
     /// Register-offset load `LDR{B,H,(S)B,(S)H} rd, [rn, rm]`.
-    LdrReg { width: AccessWidth, signed: bool, rd: Reg, rn: Reg, rm: Reg },
+    LdrReg {
+        width: AccessWidth,
+        signed: bool,
+        rd: Reg,
+        rn: Reg,
+        rm: Reg,
+    },
     /// Register-offset store `STR{B,H} rd, [rn, rm]`.
-    StrReg { width: AccessWidth, rd: Reg, rn: Reg, rm: Reg },
+    StrReg {
+        width: AccessWidth,
+        rd: Reg,
+        rn: Reg,
+        rm: Reg,
+    },
     /// Immediate-offset load; `off` is a byte offset, a multiple of the
     /// access width, at most `31 * width` bytes.
-    LdrImm { width: AccessWidth, rd: Reg, rn: Reg, off: u8 },
+    LdrImm {
+        width: AccessWidth,
+        rd: Reg,
+        rn: Reg,
+        off: u8,
+    },
     /// Immediate-offset store (same offset rules as [`Insn::LdrImm`]).
-    StrImm { width: AccessWidth, rd: Reg, rn: Reg, off: u8 },
+    StrImm {
+        width: AccessWidth,
+        rd: Reg,
+        rn: Reg,
+        off: u8,
+    },
     /// `LDR rd, [sp, #imm8*4]`.
     LdrSp { rd: Reg, imm: u8 },
     /// `STR rd, [sp, #imm8*4]`.
@@ -184,20 +210,8 @@ impl Insn {
             Insn::Alu { op: AluOp::Mul, .. } => 3,
             Insn::Sdiv { .. } | Insn::Udiv { .. } => 11,
             Insn::B { .. } | Insn::Bl { .. } | Insn::Ret => 2,
-            Insn::BCond { .. } => {
-                if branch_taken {
-                    2
-                } else {
-                    0
-                }
-            }
-            Insn::Pop { pc, .. } => {
-                if *pc {
-                    2
-                } else {
-                    0
-                }
-            }
+            Insn::BCond { .. } if branch_taken => 2,
+            Insn::Pop { pc: true, .. } => 2,
             _ => 0,
         }
     }
@@ -238,10 +252,25 @@ mod tests {
 
     #[test]
     fn extra_cycle_model() {
-        assert_eq!(Insn::Alu { op: AluOp::Mul, rd: R0, rm: R1 }.extra_cycles(false), 3);
+        assert_eq!(
+            Insn::Alu {
+                op: AluOp::Mul,
+                rd: R0,
+                rm: R1
+            }
+            .extra_cycles(false),
+            3
+        );
         assert_eq!(Insn::Sdiv { rd: R0, rm: R1 }.extra_cycles(false), 11);
-        assert_eq!(Insn::B { off: 0 }.extra_cycles(false), 2, "B is always taken");
-        let bc = Insn::BCond { cond: Cond::Eq, off: 8 };
+        assert_eq!(
+            Insn::B { off: 0 }.extra_cycles(false),
+            2,
+            "B is always taken"
+        );
+        let bc = Insn::BCond {
+            cond: Cond::Eq,
+            off: 8,
+        };
         assert_eq!(bc.extra_cycles(true), 2);
         assert_eq!(bc.extra_cycles(false), 0);
         assert_eq!(bc.worst_extra_cycles(), 2);
@@ -252,8 +281,16 @@ mod tests {
     fn terminators() {
         assert!(Insn::Ret.is_terminator());
         assert!(Insn::B { off: 2 }.is_terminator());
-        assert!(Insn::Pop { regs: RegList::of(&[R0]), pc: true }.is_terminator());
-        assert!(!Insn::Pop { regs: RegList::of(&[R0]), pc: false }.is_terminator());
+        assert!(Insn::Pop {
+            regs: RegList::of(&[R0]),
+            pc: true
+        }
+        .is_terminator());
+        assert!(!Insn::Pop {
+            regs: RegList::of(&[R0]),
+            pc: false
+        }
+        .is_terminator());
         assert!(!Insn::Bl { off: 4 }.is_terminator());
         assert!(Insn::Swi { imm: 0 }.is_terminator());
     }

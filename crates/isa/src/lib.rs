@@ -37,6 +37,7 @@ pub mod cond;
 pub mod decode;
 pub mod disasm;
 pub mod encode;
+pub mod hierarchy;
 pub mod image;
 pub mod insn;
 pub mod mem;
@@ -45,6 +46,7 @@ pub mod reg;
 pub use annot::AnnotationSet;
 pub use cachecfg::{CacheConfig, CacheScope, Replacement};
 pub use cond::Cond;
+pub use hierarchy::{MainMemoryTiming, MemHierarchyConfig, L1};
 pub use image::{Executable, Symbol, SymbolKind};
 pub use insn::Insn;
 pub use mem::{AccessWidth, MemoryMap, RegionKind};
@@ -70,7 +72,11 @@ pub enum IsaError {
     /// Two symbols share a name.
     DuplicateSymbol(String),
     /// A memory region overflowed while laying out sections.
-    RegionOverflow { region: &'static str, need: u64, have: u64 },
+    RegionOverflow {
+        region: &'static str,
+        need: u64,
+        have: u64,
+    },
 }
 
 impl std::fmt::Display for IsaError {
@@ -82,7 +88,10 @@ impl std::fmt::Display for IsaError {
                 write!(f, "branch out of range at {from:#x} to {to:#x} ({insn})")
             }
             IsaError::LiteralOutOfRange { offset } => {
-                write!(f, "literal pool entry out of range for load at offset {offset:#x}")
+                write!(
+                    f,
+                    "literal pool entry out of range for load at offset {offset:#x}"
+                )
             }
             IsaError::ImmediateOutOfRange { what, value } => {
                 write!(f, "immediate {value} out of range for {what}")
@@ -90,7 +99,10 @@ impl std::fmt::Display for IsaError {
             IsaError::UndefinedSymbol(s) => write!(f, "undefined symbol `{s}`"),
             IsaError::DuplicateSymbol(s) => write!(f, "duplicate symbol `{s}`"),
             IsaError::RegionOverflow { region, need, have } => {
-                write!(f, "region `{region}` overflow: need {need} bytes, have {have}")
+                write!(
+                    f,
+                    "region `{region}` overflow: need {need} bytes, have {have}"
+                )
             }
         }
     }

@@ -82,13 +82,25 @@ impl std::fmt::Display for RegionKind {
 ///
 /// MMIO is modelled as single-cycle. Unmapped accesses are a simulator
 /// error; for worst-case purposes they are costed like main memory.
+///
+/// Main-memory cost comes from the parametric
+/// [`MainMemoryTiming`](crate::hierarchy::MainMemoryTiming) model with its
+/// Table-1 default parameters; use [`access_cycles_with`] for systems with
+/// different (e.g. DRAM) timing.
 pub fn access_cycles(kind: RegionKind, width: AccessWidth) -> u64 {
+    access_cycles_with(kind, width, &crate::hierarchy::MainMemoryTiming::table1())
+}
+
+/// [`access_cycles`] with explicit main-memory timing; scratchpad and MMIO
+/// stay single-cycle regardless.
+pub fn access_cycles_with(
+    kind: RegionKind,
+    width: AccessWidth,
+    main: &crate::hierarchy::MainMemoryTiming,
+) -> u64 {
     match kind {
         RegionKind::Scratchpad | RegionKind::Mmio => 1,
-        RegionKind::Main | RegionKind::Unmapped => match width {
-            AccessWidth::Byte | AccessWidth::Half => 2,
-            AccessWidth::Word => 4,
-        },
+        RegionKind::Main | RegionKind::Unmapped => main.access(width),
     }
 }
 

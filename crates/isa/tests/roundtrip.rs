@@ -15,7 +15,11 @@ fn reg_strategy() -> impl Strategy<Value = Reg> {
 }
 
 fn width_strategy() -> impl Strategy<Value = AccessWidth> {
-    prop_oneof![Just(AccessWidth::Byte), Just(AccessWidth::Half), Just(AccessWidth::Word)]
+    prop_oneof![
+        Just(AccessWidth::Byte),
+        Just(AccessWidth::Half),
+        Just(AccessWidth::Word)
+    ]
 }
 
 fn cond_strategy() -> impl Strategy<Value = Cond> {
@@ -36,35 +40,77 @@ prop_compose! {
 
 fn insn_strategy() -> impl Strategy<Value = Insn> {
     prop_oneof![
-        (reg_strategy(), reg_strategy(), 0u8..32, prop_oneof![Just(ShiftOp::Lsl), Just(ShiftOp::Lsr), Just(ShiftOp::Asr)])
+        (
+            reg_strategy(),
+            reg_strategy(),
+            0u8..32,
+            prop_oneof![Just(ShiftOp::Lsl), Just(ShiftOp::Lsr), Just(ShiftOp::Asr)]
+        )
             .prop_map(|(rd, rm, imm, op)| Insn::ShiftImm { op, rd, rm, imm }),
-        (reg_strategy(), reg_strategy(), reg_strategy())
-            .prop_map(|(rd, rn, rm)| Insn::AddReg { rd, rn, rm }),
-        (reg_strategy(), reg_strategy(), reg_strategy())
-            .prop_map(|(rd, rn, rm)| Insn::SubReg { rd, rn, rm }),
-        (reg_strategy(), reg_strategy(), 0u8..8).prop_map(|(rd, rn, imm)| Insn::AddImm3 { rd, rn, imm }),
-        (reg_strategy(), reg_strategy(), 0u8..8).prop_map(|(rd, rn, imm)| Insn::SubImm3 { rd, rn, imm }),
+        (reg_strategy(), reg_strategy(), reg_strategy()).prop_map(|(rd, rn, rm)| Insn::AddReg {
+            rd,
+            rn,
+            rm
+        }),
+        (reg_strategy(), reg_strategy(), reg_strategy()).prop_map(|(rd, rn, rm)| Insn::SubReg {
+            rd,
+            rn,
+            rm
+        }),
+        (reg_strategy(), reg_strategy(), 0u8..8).prop_map(|(rd, rn, imm)| Insn::AddImm3 {
+            rd,
+            rn,
+            imm
+        }),
+        (reg_strategy(), reg_strategy(), 0u8..8).prop_map(|(rd, rn, imm)| Insn::SubImm3 {
+            rd,
+            rn,
+            imm
+        }),
         (reg_strategy(), any::<u8>()).prop_map(|(rd, imm)| Insn::MovImm { rd, imm }),
         (reg_strategy(), any::<u8>()).prop_map(|(rd, imm)| Insn::CmpImm { rd, imm }),
         (reg_strategy(), any::<u8>()).prop_map(|(rd, imm)| Insn::AddImm { rd, imm }),
         (reg_strategy(), any::<u8>()).prop_map(|(rd, imm)| Insn::SubImm { rd, imm }),
-        (0u8..16, reg_strategy(), reg_strategy())
-            .prop_map(|(op, rd, rm)| Insn::Alu { op: AluOp::from_bits(op).unwrap(), rd, rm }),
+        (0u8..16, reg_strategy(), reg_strategy()).prop_map(|(op, rd, rm)| Insn::Alu {
+            op: AluOp::from_bits(op).unwrap(),
+            rd,
+            rm
+        }),
         (reg_strategy(), reg_strategy()).prop_map(|(rd, rm)| Insn::MovReg { rd, rm }),
         (reg_strategy(), reg_strategy()).prop_map(|(rd, rm)| Insn::Sdiv { rd, rm }),
         (reg_strategy(), reg_strategy()).prop_map(|(rd, rm)| Insn::Udiv { rd, rm }),
         Just(Insn::Ret),
         Just(Insn::Nop),
         (reg_strategy(), any::<u8>()).prop_map(|(rd, imm)| Insn::LdrLit { rd, imm }),
-        (width_strategy(), any::<bool>(), reg_strategy(), reg_strategy(), reg_strategy())
-            .prop_filter_map("signed word loads are not encodable", |(width, signed, rd, rn, rm)| {
-                if width == AccessWidth::Word && signed {
-                    None
-                } else {
-                    Some(Insn::LdrReg { width, signed, rd, rn, rm })
+        (
+            width_strategy(),
+            any::<bool>(),
+            reg_strategy(),
+            reg_strategy(),
+            reg_strategy()
+        )
+            .prop_filter_map(
+                "signed word loads are not encodable",
+                |(width, signed, rd, rn, rm)| {
+                    if width == AccessWidth::Word && signed {
+                        None
+                    } else {
+                        Some(Insn::LdrReg {
+                            width,
+                            signed,
+                            rd,
+                            rn,
+                            rm,
+                        })
+                    }
                 }
-            }),
-        (width_strategy(), reg_strategy(), reg_strategy(), reg_strategy())
+            ),
+        (
+            width_strategy(),
+            reg_strategy(),
+            reg_strategy(),
+            reg_strategy()
+        )
             .prop_map(|(width, rd, rn, rm)| Insn::StrReg { width, rd, rn, rm }),
         ldst_imm(),
         (reg_strategy(), any::<u8>()).prop_map(|(rd, imm)| Insn::LdrSp { rd, imm }),
@@ -74,8 +120,14 @@ fn insn_strategy() -> impl Strategy<Value = Insn> {
         (-127i16..=127).prop_filter_map("nonzero or positive", |q| {
             Some(Insn::AdjSp { delta: q * 4 })
         }),
-        (any::<u8>(), any::<bool>()).prop_map(|(bits, lr)| Insn::Push { regs: RegList(bits), lr }),
-        (any::<u8>(), any::<bool>()).prop_map(|(bits, pc)| Insn::Pop { regs: RegList(bits), pc }),
+        (any::<u8>(), any::<bool>()).prop_map(|(bits, lr)| Insn::Push {
+            regs: RegList(bits),
+            lr
+        }),
+        (any::<u8>(), any::<bool>()).prop_map(|(bits, pc)| Insn::Pop {
+            regs: RegList(bits),
+            pc
+        }),
         (cond_strategy(), -128i32..=127).prop_map(|(cond, h)| Insn::BCond { cond, off: h * 2 }),
         any::<u8>().prop_map(|imm| Insn::Swi { imm }),
         (-1024i32..=1023).prop_map(|h| Insn::B { off: h * 2 }),

@@ -107,7 +107,11 @@ impl Cache {
             }
         };
         let ways = &mut self.sets[set];
-        ways[victim] = Way { valid: true, tag, stamp: tick };
+        ways[victim] = Way {
+            valid: true,
+            tag,
+            stamp: tick,
+        };
         Lookup::Miss
     }
 
@@ -158,7 +162,11 @@ mod tests {
         // 0x040 is LRU... we touched 0x040 after 0x000, then 0x000, so LRU
         // is 0x040).
         c.read(0x080);
-        assert_eq!(c.read(0x000), Lookup::Miss, "0x000 was LRU after 0x040 hit? order check");
+        assert_eq!(
+            c.read(0x000),
+            Lookup::Miss,
+            "0x000 was LRU after 0x040 hit? order check"
+        );
     }
 
     #[test]

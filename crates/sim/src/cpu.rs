@@ -72,7 +72,15 @@ pub fn adc(a: u32, b: u32, carry_in: bool) -> (u32, Flags) {
     let res = wide as u32;
     let c = wide >> 32 != 0;
     let v = ((a ^ res) & (b ^ res)) >> 31 != 0;
-    (res, Flags { n: res >> 31 != 0, z: res == 0, c, v })
+    (
+        res,
+        Flags {
+            n: res >> 31 != 0,
+            z: res == 0,
+            c,
+            v,
+        },
+    )
 }
 
 /// Subtract with carry (`a - b - !carry_in`), returning `(result, flags)`.
@@ -83,7 +91,15 @@ pub fn sbc(a: u32, b: u32, carry_in: bool) -> (u32, Flags) {
     // C is NOT-borrow, as for SUB.
     let c = (a as u64) >= (b as u64 + borrow);
     let v = ((a ^ b) & (a ^ res)) >> 31 != 0;
-    (res, Flags { n: res >> 31 != 0, z: res == 0, c, v })
+    (
+        res,
+        Flags {
+            n: res >> 31 != 0,
+            z: res == 0,
+            c,
+            v,
+        },
+    )
 }
 
 /// Signed division with ARM-style edge cases (x/0 = 0; INT_MIN/-1 wraps).
@@ -97,11 +113,7 @@ pub fn sdiv(a: u32, b: u32) -> u32 {
 
 /// Unsigned division (x/0 = 0).
 pub fn udiv(a: u32, b: u32) -> u32 {
-    if b == 0 {
-        0
-    } else {
-        a / b
-    }
+    a.checked_div(b).unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -143,7 +155,11 @@ mod tests {
         assert_eq!(sdiv(10, 3), 3);
         assert_eq!(sdiv((-10i32) as u32, 3) as i32, -3, "truncates toward zero");
         assert_eq!(sdiv(7, 0), 0);
-        assert_eq!(sdiv(i32::MIN as u32, u32::MAX), i32::MIN as u32, "INT_MIN / -1 wraps");
+        assert_eq!(
+            sdiv(i32::MIN as u32, u32::MAX),
+            i32::MIN as u32,
+            "INT_MIN / -1 wraps"
+        );
         assert_eq!(udiv(10, 3), 3);
         assert_eq!(udiv(10, 0), 0);
     }

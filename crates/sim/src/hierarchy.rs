@@ -1,0 +1,260 @@
+//! Concrete multi-level cache state for the simulator.
+//!
+//! [`HierarchyCaches`] owns the tag stores of every configured level and
+//! routes each main-memory access: L1I or L1D (or a shared unified L1) →
+//! unified L2 → main memory. All timing constants come from
+//! [`MemHierarchyConfig`] in `spmlab-isa`, the same cost model the WCET
+//! analyzer charges — the two sides can therefore never disagree about the
+//! machine.
+//!
+//! Invariants mirrored from the single-level model: all levels are
+//! write-through with no write-allocate (so the data path needs no cache
+//! storage, only tags), and an access that has no cache configured for its
+//! kind bypasses the hierarchy entirely.
+
+use crate::cache::{Cache, Lookup};
+use crate::memsys::{AccessKind, MemStats};
+use spmlab_isa::hierarchy::{MemHierarchyConfig, L1};
+use spmlab_isa::mem::AccessWidth;
+
+/// Tag stores for every configured level plus the shared cost model.
+#[derive(Debug, Clone)]
+pub struct HierarchyCaches {
+    cfg: MemHierarchyConfig,
+    l1u: Option<Cache>,
+    l1i: Option<Cache>,
+    l1d: Option<Cache>,
+    l2: Option<Cache>,
+}
+
+impl HierarchyCaches {
+    /// Builds empty (all-invalid) tag stores for `cfg`.
+    pub fn new(cfg: MemHierarchyConfig) -> HierarchyCaches {
+        cfg.validate();
+        let (l1u, l1i, l1d) = match &cfg.l1 {
+            L1::None => (None, None, None),
+            L1::Unified(c) => (Some(Cache::new(c.clone())), None, None),
+            L1::Split { i, d } => (None, i.clone().map(Cache::new), d.clone().map(Cache::new)),
+        };
+        let l2 = cfg.l2.clone().map(Cache::new);
+        HierarchyCaches {
+            cfg,
+            l1u,
+            l1i,
+            l1d,
+            l2,
+        }
+    }
+
+    /// The shared hierarchy configuration.
+    pub fn config(&self) -> &MemHierarchyConfig {
+        &self.cfg
+    }
+
+    fn l1_mut(&mut self, fetch: bool) -> Option<&mut Cache> {
+        self.cfg.l1_for(fetch)?;
+        if self.l1u.is_some() {
+            self.l1u.as_mut()
+        } else if fetch {
+            self.l1i.as_mut()
+        } else {
+            self.l1d.as_mut()
+        }
+    }
+
+    /// A read or fetch of `width` at `addr` in main-memory space. Returns
+    /// `(cycles, l1_missed)`; `l1_missed` is `None` when the access
+    /// bypassed the caches.
+    pub fn read(
+        &mut self,
+        addr: u32,
+        kind: AccessKind,
+        width: AccessWidth,
+        stats: &mut MemStats,
+    ) -> (u64, Option<bool>) {
+        let fetch = kind == AccessKind::Fetch;
+        if self.cfg.l1_for(fetch).is_none() {
+            // No L1 for this kind: route directly through the L2 when one
+            // exists, otherwise bypass to main memory.
+            return match &mut self.l2 {
+                Some(l2) => match l2.read(addr) {
+                    Lookup::Hit => {
+                        stats.l2_hits += 1;
+                        (self.cfg.l2_direct_hit_cycles(), Some(false))
+                    }
+                    Lookup::Miss => {
+                        stats.l2_misses += 1;
+                        stats.fill_words += (l2.config().line / 4) as u64;
+                        (self.cfg.l2_direct_miss_cycles(), Some(true))
+                    }
+                },
+                None => (self.cfg.bypass_cycles(width), None),
+            };
+        }
+        let l1_hit = {
+            let l1 = self.l1_mut(fetch).expect("l1_for() checked above");
+            l1.read(addr) == Lookup::Hit
+        };
+        if fetch {
+            if l1_hit {
+                stats.l1i_hits += 1;
+            } else {
+                stats.l1i_misses += 1;
+            }
+        } else if l1_hit {
+            stats.l1d_hits += 1;
+        } else {
+            stats.l1d_misses += 1;
+        }
+        if l1_hit {
+            stats.cache_hits += 1;
+            return (self.cfg.l1_hit_cycles(fetch), Some(false));
+        }
+        stats.cache_misses += 1;
+        let cycles = match &mut self.l2 {
+            Some(l2) => match l2.read(addr) {
+                Lookup::Hit => {
+                    stats.l2_hits += 1;
+                    self.cfg.l1_miss_l2_hit_cycles(fetch)
+                }
+                Lookup::Miss => {
+                    stats.l2_misses += 1;
+                    stats.fill_words += (l2.config().line / 4) as u64;
+                    self.cfg.l1_miss_l2_miss_cycles(fetch)
+                }
+            },
+            None => {
+                let line = self.cfg.l1_for(fetch).expect("checked").line;
+                stats.fill_words += (line / 4) as u64;
+                self.cfg.l1_miss_no_l2_cycles(fetch)
+            }
+        };
+        (cycles, Some(true))
+    }
+
+    /// A data write: write-through with no allocation and no recency
+    /// update at every level, so the tag stores are untouched and timing
+    /// is unaffected (the write always pays the main-memory cost) — only
+    /// the statistics change. Counted as a write-through when any cache
+    /// level sits in the data path (an L1D, a unified L1, or a direct L2).
+    pub fn write(&mut self, _addr: u32, stats: &mut MemStats) {
+        if self.cfg.l1_for(false).is_some() || self.l2.is_some() {
+            stats.write_throughs += 1;
+        }
+    }
+
+    fn l1_ref(&self, fetch: bool) -> Option<&Cache> {
+        self.cfg.l1_for(fetch)?;
+        if self.l1u.is_some() {
+            self.l1u.as_ref()
+        } else if fetch {
+            self.l1i.as_ref()
+        } else {
+            self.l1d.as_ref()
+        }
+    }
+
+    /// Whether `addr`'s line currently sits in the L1 serving `fetch`
+    /// traffic (no state change; tests only).
+    pub fn probe_l1(&self, addr: u32, fetch: bool) -> Option<bool> {
+        self.l1_ref(fetch).map(|c| c.probe(addr))
+    }
+
+    /// Whether `addr`'s line currently sits in the L2 (tests only).
+    pub fn probe_l2(&self, addr: u32) -> Option<bool> {
+        self.l2.as_ref().map(|c| c.probe(addr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmlab_isa::cachecfg::CacheConfig;
+    use spmlab_isa::hierarchy::MainMemoryTiming;
+
+    const A: u32 = 0x0010_0000;
+
+    fn rd(h: &mut HierarchyCaches, addr: u32, kind: AccessKind) -> (u64, Option<bool>) {
+        let mut stats = MemStats::default();
+        h.read(addr, kind, AccessWidth::Half, &mut stats)
+    }
+
+    #[test]
+    fn l1_only_matches_single_level_timing() {
+        let mut h = HierarchyCaches::new(MemHierarchyConfig::l1_only(CacheConfig::unified(64)));
+        assert_eq!(rd(&mut h, A, AccessKind::Fetch), (17, Some(true)));
+        assert_eq!(rd(&mut h, A + 2, AccessKind::Fetch), (1, Some(false)));
+        assert_eq!(
+            rd(&mut h, A + 4, AccessKind::Read),
+            (1, Some(false)),
+            "unified shares lines"
+        );
+    }
+
+    #[test]
+    fn split_l1_isolates_instruction_and_data() {
+        let mut h = HierarchyCaches::new(MemHierarchyConfig::split_l1(64, 64));
+        assert_eq!(rd(&mut h, A, AccessKind::Fetch), (17, Some(true)));
+        // Same line, data side: its own tag store, so it misses separately.
+        assert_eq!(rd(&mut h, A, AccessKind::Read), (17, Some(true)));
+        assert_eq!(rd(&mut h, A, AccessKind::Fetch), (1, Some(false)));
+        assert_eq!(rd(&mut h, A, AccessKind::Read), (1, Some(false)));
+    }
+
+    #[test]
+    fn l2_serves_l1_conflict_evictions() {
+        let cfg =
+            MemHierarchyConfig::l1_only(CacheConfig::unified(64)).with_l2(CacheConfig::l2(4096));
+        let mut h = HierarchyCaches::new(cfg.clone());
+        let both_miss = cfg.l1_miss_l2_miss_cycles(true);
+        let l2_hit = cfg.l1_miss_l2_hit_cycles(true);
+        assert_eq!(rd(&mut h, A, AccessKind::Fetch), (both_miss, Some(true)));
+        // 64-byte L1 wraps every 64 bytes: A+64 evicts A from L1, misses L2.
+        assert_eq!(
+            rd(&mut h, A + 64, AccessKind::Fetch),
+            (both_miss, Some(true))
+        );
+        // A is gone from L1 but still in the 4 KiB L2.
+        assert_eq!(rd(&mut h, A, AccessKind::Fetch), (l2_hit, Some(true)));
+        assert_eq!(h.probe_l2(A), Some(true));
+    }
+
+    #[test]
+    fn bypass_uses_main_timing() {
+        let cfg = MemHierarchyConfig::uncached_with(MainMemoryTiming::dram(10));
+        let mut h = HierarchyCaches::new(cfg);
+        let mut stats = MemStats::default();
+        assert_eq!(
+            h.read(A, AccessKind::Read, AccessWidth::Word, &mut stats),
+            (14, None)
+        );
+        assert_eq!(stats.cache_hits + stats.cache_misses, 0);
+    }
+
+    #[test]
+    fn per_level_stats_accumulate() {
+        let cfg = MemHierarchyConfig::split_l1(64, 64).with_l2(CacheConfig::l2(4096));
+        let mut h = HierarchyCaches::new(cfg);
+        let mut stats = MemStats::default();
+        h.read(A, AccessKind::Fetch, AccessWidth::Half, &mut stats);
+        h.read(A, AccessKind::Fetch, AccessWidth::Half, &mut stats);
+        h.read(A, AccessKind::Read, AccessWidth::Word, &mut stats);
+        assert_eq!((stats.l1i_hits, stats.l1i_misses), (1, 1));
+        assert_eq!((stats.l1d_hits, stats.l1d_misses), (0, 1));
+        // First fetch missed L2; the data miss then hit the L2 line.
+        assert_eq!((stats.l2_hits, stats.l2_misses), (1, 1));
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 2);
+    }
+
+    #[test]
+    fn writes_do_not_allocate_anywhere() {
+        let cfg = MemHierarchyConfig::split_l1(64, 64).with_l2(CacheConfig::l2(4096));
+        let mut h = HierarchyCaches::new(cfg);
+        let mut stats = MemStats::default();
+        h.write(A, &mut stats);
+        assert_eq!(h.probe_l1(A, false), Some(false));
+        assert_eq!(h.probe_l2(A), Some(false));
+        assert_eq!(stats.write_throughs, 1);
+    }
+}

@@ -34,35 +34,71 @@
 
 pub mod cache;
 pub mod cpu;
+pub mod hierarchy;
 pub mod machine;
 pub mod memsys;
 pub mod profile;
 
 pub use cache::{CacheConfig, CacheScope, Replacement};
+pub use hierarchy::HierarchyCaches;
 pub use machine::{simulate, ExitReason, SimOptions, SimResult};
 pub use memsys::{AccessKind, MemStats};
 pub use profile::{InsnStat, Profile, SymbolProfile};
+pub use spmlab_isa::hierarchy::{MainMemoryTiming, MemHierarchyConfig};
 
 /// Machine configuration: the memory map comes from the executable; this
 /// selects what sits between the core and main memory.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct MachineConfig {
-    /// Cache between the core and main memory, if any. Scratchpad and MMIO
-    /// accesses always bypass it.
+    /// Single cache between the core and main memory, if any (the original
+    /// one-level configuration). Scratchpad and MMIO accesses always
+    /// bypass it. Ignored when `hierarchy` is set.
     pub cache: Option<CacheConfig>,
+    /// Full multi-level memory system (L1 I/D, unified L2, parametric main
+    /// memory). Takes precedence over `cache` when set.
+    pub hierarchy: Option<MemHierarchyConfig>,
 }
 
 impl MachineConfig {
     /// No cache: pure Table-1 region timing (the scratchpad branch of the
     /// paper, for any scratchpad size including zero).
     pub fn uncached() -> MachineConfig {
-        MachineConfig { cache: None }
+        MachineConfig::default()
     }
 
     /// With a unified direct-mapped cache of `size` bytes (the paper's
     /// cache branch).
     pub fn with_unified_cache(size: u32) -> MachineConfig {
-        MachineConfig { cache: Some(CacheConfig::unified(size)) }
+        MachineConfig {
+            cache: Some(CacheConfig::unified(size)),
+            hierarchy: None,
+        }
+    }
+
+    /// With a single cache of arbitrary geometry.
+    pub fn with_cache(cache: CacheConfig) -> MachineConfig {
+        MachineConfig {
+            cache: Some(cache),
+            hierarchy: None,
+        }
+    }
+
+    /// With a full multi-level hierarchy.
+    pub fn with_hierarchy(hierarchy: MemHierarchyConfig) -> MachineConfig {
+        MachineConfig {
+            cache: None,
+            hierarchy: Some(hierarchy),
+        }
+    }
+
+    /// The memory-system configuration the simulator actually runs:
+    /// `hierarchy` if set, otherwise the single `cache` (or nothing) as a
+    /// degenerate hierarchy with identical timing.
+    pub fn effective_hierarchy(&self) -> MemHierarchyConfig {
+        match &self.hierarchy {
+            Some(h) => h.clone(),
+            None => MemHierarchyConfig::from_single_cache(self.cache.clone()),
+        }
     }
 }
 
@@ -70,7 +106,11 @@ impl MachineConfig {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
     /// Access to an unmapped address, or a misaligned access.
-    Fault { pc: u32, addr: u32, what: &'static str },
+    Fault {
+        pc: u32,
+        addr: u32,
+        what: &'static str,
+    },
     /// An undefined instruction was executed.
     UndefinedInsn { pc: u32, raw: u16 },
     /// The watchdog cycle limit expired (runaway program).

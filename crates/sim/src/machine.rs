@@ -31,7 +31,11 @@ pub struct SimOptions {
 
 impl Default for SimOptions {
     fn default() -> SimOptions {
-        SimOptions { max_cycles: 2_000_000_000, insn_stats: true, profile: true }
+        SimOptions {
+            max_cycles: 2_000_000_000,
+            insn_stats: true,
+            profile: true,
+        }
     }
 }
 
@@ -115,11 +119,14 @@ enum Outcome {
 
 impl Machine {
     fn new(exe: &Executable, config: &MachineConfig, options: SimOptions) -> Machine {
-        let mem = MemSystem::new(exe, config.cache.clone());
-        let mut cpu = Cpu::default();
-        cpu.pc = exe.entry;
-        cpu.sp = exe.memory_map.stack_top;
-        cpu.lr = 0xFFFF_FFFE; // Returning here without SWI 0 is a fault.
+        let mem = MemSystem::new(exe, config.effective_hierarchy());
+        let cpu = Cpu {
+            pc: exe.entry,
+            sp: exe.memory_map.stack_top,
+            // Returning here without SWI 0 is a fault.
+            lr: 0xFFFF_FFFE,
+            ..Cpu::default()
+        };
         let profile = Profile::for_exe(exe);
         Machine {
             cpu,
@@ -133,14 +140,11 @@ impl Machine {
     }
 
     fn run(mut self) -> Result<SimResult, SimError> {
-        loop {
-            match self.step()? {
-                Outcome::Continue => {
-                    if self.cycles > self.options.max_cycles {
-                        return Err(SimError::Watchdog { cycles: self.cycles });
-                    }
-                }
-                Outcome::Halt => break,
+        while let Outcome::Continue = self.step()? {
+            if self.cycles > self.options.max_cycles {
+                return Err(SimError::Watchdog {
+                    cycles: self.cycles,
+                });
             }
         }
         Ok(SimResult {
@@ -157,7 +161,9 @@ impl Machine {
     }
 
     fn fetch(&mut self, pc: u32, insn_pc: u32) -> Result<u16, SimError> {
-        let (v, cyc, miss) = self.mem.read(pc, pc, AccessWidth::Half, AccessKind::Fetch)?;
+        let (v, cyc, miss) = self
+            .mem
+            .read(pc, pc, AccessWidth::Half, AccessKind::Fetch)?;
         self.cycles += cyc;
         if self.options.profile {
             self.profile.record_fetch(pc);
@@ -172,12 +178,7 @@ impl Machine {
         self.insn_stats.entry(pc).or_default()
     }
 
-    fn data_read(
-        &mut self,
-        insn_pc: u32,
-        addr: u32,
-        width: AccessWidth,
-    ) -> Result<u32, SimError> {
+    fn data_read(&mut self, insn_pc: u32, addr: u32, width: AccessWidth) -> Result<u32, SimError> {
         let (v, cyc, miss) = self.mem.read(insn_pc, addr, width, AccessKind::Read)?;
         self.cycles += cyc;
         if self.options.profile {
@@ -213,8 +214,12 @@ impl Machine {
 
     fn step(&mut self) -> Result<Outcome, SimError> {
         let pc = self.cpu.pc;
-        if pc % 2 != 0 {
-            return Err(SimError::Fault { pc, addr: pc, what: "misaligned fetch" });
+        if !pc.is_multiple_of(2) {
+            return Err(SimError::Fault {
+                pc,
+                addr: pc,
+                what: "misaligned fetch",
+            });
         }
         self.mem.now = self.cycles;
         let hw1 = self.fetch(pc, pc)?;
@@ -331,7 +336,13 @@ impl Machine {
                 let v = self.data_read(pc, addr, AccessWidth::Word)?;
                 self.cpu.set_r(*rd, v);
             }
-            LdrReg { width, signed, rd, rn, rm } => {
+            LdrReg {
+                width,
+                signed,
+                rd,
+                rn,
+                rm,
+            } => {
                 let addr = self.cpu.r(*rn).wrapping_add(self.cpu.r(*rm));
                 let raw = self.data_read(pc, addr, *width)?;
                 let v = if *signed {
@@ -368,10 +379,12 @@ impl Machine {
                 self.data_write(pc, addr, AccessWidth::Word, self.cpu.r(*rd))?;
             }
             Adr { rd, imm } => {
-                self.cpu.set_r(*rd, (pc_val & !3).wrapping_add(*imm as u32 * 4));
+                self.cpu
+                    .set_r(*rd, (pc_val & !3).wrapping_add(*imm as u32 * 4));
             }
             AddSp { rd, imm } => {
-                self.cpu.set_r(*rd, self.cpu.sp.wrapping_add(*imm as u32 * 4));
+                self.cpu
+                    .set_r(*rd, self.cpu.sp.wrapping_add(*imm as u32 * 4));
             }
             AdjSp { delta } => {
                 self.cpu.sp = self.cpu.sp.wrapping_add(*delta as i32 as u32);
@@ -414,7 +427,10 @@ impl Machine {
                     return Ok(Outcome::Halt);
                 }
                 1 => self.mem.console.push(self.cpu.r(spmlab_isa::reg::R0) as u8),
-                2 => self.mem.int_outputs.push(self.cpu.r(spmlab_isa::reg::R0) as i32),
+                2 => self
+                    .mem
+                    .int_outputs
+                    .push(self.cpu.r(spmlab_isa::reg::R0) as i32),
                 _ => {}
             },
             B { off } => branch_to = Some(pc_val.wrapping_add(*off as u32)),
@@ -428,7 +444,11 @@ impl Machine {
         self.cycles += insn.extra_cycles(taken);
         self.cpu.pc = branch_to.unwrap_or(next);
         if taken && self.cpu.pc == 0xFFFF_FFFE {
-            return Err(SimError::Fault { pc, addr: self.cpu.pc, what: "return past _start" });
+            return Err(SimError::Fault {
+                pc,
+                addr: self.cpu.pc,
+                what: "return past _start",
+            });
         }
         Ok(Outcome::Continue)
     }
@@ -524,8 +544,8 @@ mod tests {
     fn run(src: &str) -> (SimResult, Executable) {
         let m = compile(src).expect("compile");
         let l = link(&m, &MemoryMap::no_spm(), &SpmAssignment::none()).expect("link");
-        let r = simulate(&l.exe, &MachineConfig::uncached(), &SimOptions::default())
-            .expect("simulate");
+        let r =
+            simulate(&l.exe, &MachineConfig::uncached(), &SimOptions::default()).expect("simulate");
         (r, l.exe)
     }
 
@@ -538,53 +558,45 @@ mod tests {
 
     #[test]
     fn loops_and_arrays() {
-        let (r, exe) = run(
-            "int a[10]; int sum;
+        let (r, exe) = run("int a[10]; int sum;
              void main() {
                  int i;
                  for (i = 0; i < 10; i = i + 1) { __loopbound(10); a[i] = i * i; }
                  sum = 0;
                  for (i = 0; i < 10; i = i + 1) { __loopbound(10); sum = sum + a[i]; }
-             }",
-        );
+             }");
         assert_eq!(r.read_global(&exe, "sum"), Some(285));
         assert_eq!(r.read_global_at(&exe, "a", 3), Some(9));
     }
 
     #[test]
     fn short_and_char_sign_extension() {
-        let (r, exe) = run(
-            "short s[2]; char c[2]; int x; int y;
+        let (r, exe) = run("short s[2]; char c[2]; int x; int y;
              void main() {
                  s[0] = -2; c[0] = -3;
                  x = s[0]; y = c[0];
-             }",
-        );
+             }");
         assert_eq!(r.read_global(&exe, "x"), Some(-2));
         assert_eq!(r.read_global(&exe, "y"), Some(-3));
     }
 
     #[test]
     fn calls_and_recursion_free_fib() {
-        let (r, exe) = run(
-            "int fib;
+        let (r, exe) = run("int fib;
              int fib_iter(int n) {
                  int a; int b; int t; int i;
                  a = 0; b = 1;
                  for (i = 0; i < n; i = i + 1) { __loopbound(20); t = a + b; a = b; b = t; }
                  return a;
              }
-             void main() { fib = fib_iter(10); }",
-        );
+             void main() { fib = fib_iter(10); }");
         assert_eq!(r.read_global(&exe, "fib"), Some(55));
     }
 
     #[test]
     fn division_and_modulo() {
-        let (r, exe) = run(
-            "int q; int m; int nq; int nm;
-             void main() { q = 17 / 5; m = 17 % 5; nq = -17 / 5; nm = -17 % 5; }",
-        );
+        let (r, exe) = run("int q; int m; int nq; int nm;
+             void main() { q = 17 / 5; m = 17 % 5; nq = -17 / 5; nm = -17 % 5; }");
         assert_eq!(r.read_global(&exe, "q"), Some(3));
         assert_eq!(r.read_global(&exe, "m"), Some(2));
         assert_eq!(r.read_global(&exe, "nq"), Some(-3), "C truncation");
@@ -593,33 +605,33 @@ mod tests {
 
     #[test]
     fn logical_operators_short_circuit() {
-        let (r, exe) = run(
-            "int calls; int res;
+        let (r, exe) = run("int calls; int res;
              int bump() { calls = calls + 1; return 1; }
              void main() {
                  calls = 0;
                  res = (0 && bump()) + (1 || bump()) + (1 && bump());
-             }",
-        );
+             }");
         assert_eq!(r.read_global(&exe, "res"), Some(2));
-        assert_eq!(r.read_global(&exe, "calls"), Some(1), "short-circuit skips bump twice");
+        assert_eq!(
+            r.read_global(&exe, "calls"),
+            Some(1),
+            "short-circuit skips bump twice"
+        );
     }
 
     #[test]
     fn comparisons_and_bitwise() {
-        let (r, exe) = run(
-            "int a; int b; int c; int d;
+        let (r, exe) = run("int a; int b; int c; int d;
              void main() {
                  a = (3 < 5) + (5 <= 5) + (7 > 9) + (-1 < 0);
                  b = (6 & 3) + (6 | 3) + (6 ^ 3);
                  c = (1 << 10) + (-16 >> 2);
                  d = !5 + !0 + ~0;
-             }",
-        );
+             }");
         assert_eq!(r.read_global(&exe, "a"), Some(3));
         assert_eq!(r.read_global(&exe, "b"), Some(2 + 7 + 5));
         assert_eq!(r.read_global(&exe, "c"), Some(1024 - 4));
-        assert_eq!(r.read_global(&exe, "d"), Some(0 + 1 - 1));
+        assert_eq!(r.read_global(&exe, "d"), Some(0), "!5 + !0 + ~0");
     }
 
     #[test]
@@ -662,10 +674,24 @@ mod tests {
              void main() { s = work(); }";
         let m = compile(src).unwrap();
         let slow = link(&m, &MemoryMap::no_spm(), &SpmAssignment::none()).unwrap();
-        let fast =
-            link(&m, &MemoryMap::with_spm(1024), &SpmAssignment::of(["work", "t"])).unwrap();
-        let rs = simulate(&slow.exe, &MachineConfig::uncached(), &SimOptions::default()).unwrap();
-        let rf = simulate(&fast.exe, &MachineConfig::uncached(), &SimOptions::default()).unwrap();
+        let fast = link(
+            &m,
+            &MemoryMap::with_spm(1024),
+            &SpmAssignment::of(["work", "t"]),
+        )
+        .unwrap();
+        let rs = simulate(
+            &slow.exe,
+            &MachineConfig::uncached(),
+            &SimOptions::default(),
+        )
+        .unwrap();
+        let rf = simulate(
+            &fast.exe,
+            &MachineConfig::uncached(),
+            &SimOptions::default(),
+        )
+        .unwrap();
         assert_eq!(rs.read_global(&slow.exe, "s"), Some(496));
         assert_eq!(rf.read_global(&fast.exe, "s"), Some(496));
         assert!(
@@ -686,11 +712,13 @@ mod tests {
              }";
         let m = compile(src).unwrap();
         let l = link(&m, &MemoryMap::no_spm(), &SpmAssignment::none()).unwrap();
-        let plain =
-            simulate(&l.exe, &MachineConfig::uncached(), &SimOptions::default()).unwrap();
-        let cached =
-            simulate(&l.exe, &MachineConfig::with_unified_cache(1024), &SimOptions::default())
-                .unwrap();
+        let plain = simulate(&l.exe, &MachineConfig::uncached(), &SimOptions::default()).unwrap();
+        let cached = simulate(
+            &l.exe,
+            &MachineConfig::with_unified_cache(1024),
+            &SimOptions::default(),
+        )
+        .unwrap();
         assert_eq!(cached.read_global(&l.exe, "s"), Some(19900));
         assert!(
             cached.cycles < plain.cycles,
@@ -727,8 +755,10 @@ mod tests {
     fn watchdog_fires() {
         let m = compile("void main() { while (1) { __loopbound(1000000); } }").unwrap();
         let l = link(&m, &MemoryMap::no_spm(), &SpmAssignment::none()).unwrap();
-        let mut opt = SimOptions::default();
-        opt.max_cycles = 10_000;
+        let opt = SimOptions {
+            max_cycles: 10_000,
+            ..SimOptions::default()
+        };
         let err = simulate(&l.exe, &MachineConfig::uncached(), &opt).unwrap_err();
         assert!(matches!(err, SimError::Watchdog { .. }));
     }

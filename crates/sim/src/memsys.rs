@@ -1,9 +1,10 @@
-//! The memory system: region timing, cache, MMIO, statistics.
+//! The memory system: region timing, the cache hierarchy, MMIO, statistics.
 
-use crate::cache::{Cache, CacheConfig, CacheScope, Lookup};
+use crate::hierarchy::HierarchyCaches;
 use crate::SimError;
+use spmlab_isa::hierarchy::MemHierarchyConfig;
 use spmlab_isa::mem::{
-    access_cycles, AccessWidth, MemoryMap, RegionKind, MMIO_BASE, MMIO_CYCLES, MMIO_PUTC,
+    access_cycles_with, AccessWidth, MemoryMap, RegionKind, MMIO_BASE, MMIO_CYCLES, MMIO_PUTC,
     MMIO_PUTINT, MMIO_SIZE,
 };
 
@@ -18,7 +19,7 @@ pub enum AccessKind {
     Write,
 }
 
-/// Per-region, per-width access counters plus cache statistics.
+/// Per-region, per-width access counters plus per-level cache statistics.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MemStats {
     /// Scratchpad accesses by width (byte, half, word).
@@ -28,14 +29,27 @@ pub struct MemStats {
     pub main: [u64; 3],
     /// MMIO accesses.
     pub mmio: u64,
-    /// Cache read hits (fetch + data).
+    /// First-level read hits (fetch + data, every L1 arrangement).
     pub cache_hits: u64,
-    /// Cache read misses (each causing a line fill).
+    /// First-level read misses (each consulting the next level).
     pub cache_misses: u64,
-    /// 32-bit main-memory reads performed by line fills.
+    /// 32-bit main-memory reads performed by line fills (from the level
+    /// that actually talked to main memory).
     pub fill_words: u64,
     /// Writes that went through the cache path (write-through).
     pub write_throughs: u64,
+    /// Instruction-fetch hits in the L1 serving fetches.
+    pub l1i_hits: u64,
+    /// Instruction-fetch misses in the L1 serving fetches.
+    pub l1i_misses: u64,
+    /// Data-read hits in the L1 serving data.
+    pub l1d_hits: u64,
+    /// Data-read misses in the L1 serving data.
+    pub l1d_misses: u64,
+    /// Read hits in the unified L2.
+    pub l2_hits: u64,
+    /// Read misses in the unified L2.
+    pub l2_misses: u64,
 }
 
 impl MemStats {
@@ -64,7 +78,7 @@ pub struct MemSystem {
     map: MemoryMap,
     spm: Vec<u8>,
     main: Vec<u8>,
-    cache: Option<Cache>,
+    caches: HierarchyCaches,
     /// Console bytes written via MMIO/SWI.
     pub console: Vec<u8>,
     /// Integers written via MMIO/SWI.
@@ -78,12 +92,12 @@ pub struct MemSystem {
 impl MemSystem {
     /// Builds the memory system and pre-loads the executable's regions
     /// (including scratchpad contents — static allocation is load-time).
-    pub fn new(exe: &spmlab_isa::image::Executable, cache: Option<CacheConfig>) -> MemSystem {
+    pub fn new(exe: &spmlab_isa::image::Executable, levels: MemHierarchyConfig) -> MemSystem {
         let map = exe.memory_map.clone();
         let mut sys = MemSystem {
             spm: vec![0; map.spm_size as usize],
             main: vec![0; map.main_size as usize],
-            cache: cache.map(Cache::new),
+            caches: HierarchyCaches::new(levels),
             console: Vec::new(),
             int_outputs: Vec::new(),
             stats: MemStats::default(),
@@ -155,22 +169,15 @@ impl MemSystem {
         true
     }
 
-    /// Whether the cache would serve this access (fetch vs data scope).
-    fn cached(&self, kind: AccessKind, region: RegionKind) -> bool {
-        if region != RegionKind::Main {
-            return false;
-        }
-        match &self.cache {
-            None => false,
-            Some(c) => match c.config().scope {
-                CacheScope::Unified => true,
-                CacheScope::InstrOnly => kind == AccessKind::Fetch,
-            },
-        }
+    /// The cache hierarchy (tests and diagnostics).
+    pub fn caches(&self) -> &HierarchyCaches {
+        &self.caches
     }
 
     /// Performs a read or fetch. Returns `(value, cycles, was_miss)`.
-    /// `was_miss` is `None` when the access bypassed the cache.
+    /// `was_miss` reports the *first-level* outcome and is `None` when the
+    /// access bypassed the caches (scratchpad, MMIO, or no cache configured
+    /// for its kind).
     ///
     /// # Errors
     ///
@@ -182,8 +189,12 @@ impl MemSystem {
         width: AccessWidth,
         kind: AccessKind,
     ) -> Result<(u32, u64, Option<bool>), SimError> {
-        if addr % width.bytes() != 0 {
-            return Err(SimError::Fault { pc, addr, what: "misaligned" });
+        if !addr.is_multiple_of(width.bytes()) {
+            return Err(SimError::Fault {
+                pc,
+                addr,
+                what: "misaligned",
+            });
         }
         let region = self.map.region_of(addr);
         if region == RegionKind::Mmio {
@@ -194,26 +205,18 @@ impl MemSystem {
             };
             return Ok((v, 1, None));
         }
-        let value = self
-            .peek(addr, width)
-            .ok_or(SimError::Fault { pc, addr, what: "unmapped read" })?;
+        let value = self.peek(addr, width).ok_or(SimError::Fault {
+            pc,
+            addr,
+            what: "unmapped read",
+        })?;
         self.stats.bump(region, width);
-        if self.cached(kind, region) {
-            let cache = self.cache.as_mut().expect("cached() checked");
-            let (cycles, miss) = match cache.read(addr) {
-                Lookup::Hit => {
-                    self.stats.cache_hits += 1;
-                    (cache.config().hit_cycles(), false)
-                }
-                Lookup::Miss => {
-                    self.stats.cache_misses += 1;
-                    self.stats.fill_words += (cache.config().line / 4) as u64;
-                    (cache.config().miss_cycles(), true)
-                }
-            };
-            Ok((value, cycles, Some(miss)))
+        if region == RegionKind::Main {
+            let (cycles, miss) = self.caches.read(addr, kind, width, &mut self.stats);
+            Ok((value, cycles, miss))
         } else {
-            Ok((value, access_cycles(region, width), None))
+            // Scratchpad: single-cycle, never cached.
+            Ok((value, 1, None))
         }
     }
 
@@ -229,8 +232,12 @@ impl MemSystem {
         width: AccessWidth,
         value: u32,
     ) -> Result<u64, SimError> {
-        if addr % width.bytes() != 0 {
-            return Err(SimError::Fault { pc, addr, what: "misaligned" });
+        if !addr.is_multiple_of(width.bytes()) {
+            return Err(SimError::Fault {
+                pc,
+                addr,
+                what: "misaligned",
+            });
         }
         let region = self.map.region_of(addr);
         self.stats.bump(region, width);
@@ -244,26 +251,37 @@ impl MemSystem {
             return Ok(1);
         }
         if !self.poke(addr, width, value) {
-            return Err(SimError::Fault { pc, addr, what: "unmapped write" });
+            return Err(SimError::Fault {
+                pc,
+                addr,
+                what: "unmapped write",
+            });
         }
-        if self.cached(AccessKind::Write, region) {
-            let cache = self.cache.as_mut().expect("cached() checked");
-            cache.write(addr);
-            self.stats.write_throughs += 1;
+        if region == RegionKind::Main {
+            self.caches.write(addr, &mut self.stats);
         }
-        // Write-through: always pays the main-memory (or scratchpad) cost.
-        Ok(access_cycles(region, width))
+        // Write-through: always pays the main-memory (or scratchpad) cost,
+        // with the hierarchy's main-memory timing.
+        Ok(access_cycles_with(
+            region,
+            width,
+            &self.caches.config().main,
+        ))
     }
 
-    /// Probes whether `addr`'s line is in the cache (tests only).
+    /// Probes whether `addr`'s line is in the L1 serving data reads,
+    /// falling back to the fetch side (tests only).
     pub fn cache_probe(&self, addr: u32) -> Option<bool> {
-        self.cache.as_ref().map(|c| c.probe(addr))
+        self.caches
+            .probe_l1(addr, false)
+            .or_else(|| self.caches.probe_l1(addr, true))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::CacheConfig;
     use spmlab_isa::image::{Executable, LoadRegion};
     use spmlab_isa::mem::MAIN_BASE;
 
@@ -279,12 +297,16 @@ mod tests {
     #[test]
     fn uncached_timing_follows_table1() {
         let exe = exe_with(MemoryMap::with_spm(64), MAIN_BASE, vec![1, 2, 3, 4]);
-        let mut m = MemSystem::new(&exe, None);
-        let (v, cyc, miss) = m.read(0, MAIN_BASE, AccessWidth::Word, AccessKind::Read).unwrap();
+        let mut m = MemSystem::new(&exe, MemHierarchyConfig::uncached());
+        let (v, cyc, miss) = m
+            .read(0, MAIN_BASE, AccessWidth::Word, AccessKind::Read)
+            .unwrap();
         assert_eq!(v, 0x04030201);
         assert_eq!(cyc, 4);
         assert_eq!(miss, None);
-        let (_, cyc, _) = m.read(0, MAIN_BASE, AccessWidth::Half, AccessKind::Fetch).unwrap();
+        let (_, cyc, _) = m
+            .read(0, MAIN_BASE, AccessWidth::Half, AccessKind::Fetch)
+            .unwrap();
         assert_eq!(cyc, 2);
         let (_, cyc, _) = m.read(0, 0, AccessWidth::Word, AccessKind::Read).unwrap();
         assert_eq!(cyc, 1, "scratchpad word read is single cycle");
@@ -293,10 +315,14 @@ mod tests {
     #[test]
     fn cached_fetch_miss_then_hit() {
         let exe = exe_with(MemoryMap::no_spm(), MAIN_BASE, vec![0; 64]);
-        let mut m = MemSystem::new(&exe, Some(CacheConfig::unified(64)));
-        let (_, cyc, miss) = m.read(0, MAIN_BASE, AccessWidth::Half, AccessKind::Fetch).unwrap();
+        let mut m = MemSystem::new(&exe, MemHierarchyConfig::l1_only(CacheConfig::unified(64)));
+        let (_, cyc, miss) = m
+            .read(0, MAIN_BASE, AccessWidth::Half, AccessKind::Fetch)
+            .unwrap();
         assert_eq!((cyc, miss), (17, Some(true)));
-        let (_, cyc, miss) = m.read(0, MAIN_BASE + 2, AccessWidth::Half, AccessKind::Fetch).unwrap();
+        let (_, cyc, miss) = m
+            .read(0, MAIN_BASE + 2, AccessWidth::Half, AccessKind::Fetch)
+            .unwrap();
         assert_eq!((cyc, miss), (1, Some(false)), "same line hits");
         assert_eq!(m.stats.cache_hits, 1);
         assert_eq!(m.stats.cache_misses, 1);
@@ -306,31 +332,44 @@ mod tests {
     #[test]
     fn instr_only_cache_bypasses_data() {
         let exe = exe_with(MemoryMap::no_spm(), MAIN_BASE, vec![0; 64]);
-        let mut m = MemSystem::new(&exe, Some(CacheConfig::instr_only(64)));
-        let (_, cyc, miss) = m.read(0, MAIN_BASE, AccessWidth::Word, AccessKind::Read).unwrap();
+        let mut m = MemSystem::new(
+            &exe,
+            MemHierarchyConfig::l1_only(CacheConfig::instr_only(64)),
+        );
+        let (_, cyc, miss) = m
+            .read(0, MAIN_BASE, AccessWidth::Word, AccessKind::Read)
+            .unwrap();
         assert_eq!((cyc, miss), (4, None));
-        let (_, cyc, _) = m.read(0, MAIN_BASE, AccessWidth::Half, AccessKind::Fetch).unwrap();
+        let (_, cyc, _) = m
+            .read(0, MAIN_BASE, AccessWidth::Half, AccessKind::Fetch)
+            .unwrap();
         assert_eq!(cyc, 17, "fetches still cached");
     }
 
     #[test]
     fn writes_are_write_through() {
         let exe = exe_with(MemoryMap::no_spm(), MAIN_BASE, vec![0; 64]);
-        let mut m = MemSystem::new(&exe, Some(CacheConfig::unified(64)));
-        let cyc = m.write(0, MAIN_BASE + 8, AccessWidth::Word, 0xAABBCCDD).unwrap();
+        let mut m = MemSystem::new(&exe, MemHierarchyConfig::l1_only(CacheConfig::unified(64)));
+        let cyc = m
+            .write(0, MAIN_BASE + 8, AccessWidth::Word, 0xAABBCCDD)
+            .unwrap();
         assert_eq!(cyc, 4, "write pays main-memory cost");
         assert_eq!(m.peek(MAIN_BASE + 8, AccessWidth::Word), Some(0xAABBCCDD));
         // Read it back through the cache: first read misses (no allocate).
-        let (v, cyc, miss) = m.read(0, MAIN_BASE + 8, AccessWidth::Word, AccessKind::Read).unwrap();
+        let (v, cyc, miss) = m
+            .read(0, MAIN_BASE + 8, AccessWidth::Word, AccessKind::Read)
+            .unwrap();
         assert_eq!((v, cyc, miss), (0xAABBCCDD, 17, Some(true)));
     }
 
     #[test]
     fn mmio_console() {
         let exe = exe_with(MemoryMap::no_spm(), MAIN_BASE, vec![]);
-        let mut m = MemSystem::new(&exe, None);
-        m.write(0, MMIO_PUTC, AccessWidth::Word, b'h' as u32).unwrap();
-        m.write(0, MMIO_PUTC, AccessWidth::Word, b'i' as u32).unwrap();
+        let mut m = MemSystem::new(&exe, MemHierarchyConfig::uncached());
+        m.write(0, MMIO_PUTC, AccessWidth::Word, b'h' as u32)
+            .unwrap();
+        m.write(0, MMIO_PUTC, AccessWidth::Word, b'i' as u32)
+            .unwrap();
         m.write(0, MMIO_PUTINT, AccessWidth::Word, 42).unwrap();
         assert_eq!(m.console, b"hi");
         assert_eq!(m.int_outputs, vec![42]);
@@ -339,9 +378,17 @@ mod tests {
     #[test]
     fn faults() {
         let exe = exe_with(MemoryMap::no_spm(), MAIN_BASE, vec![0; 8]);
-        let mut m = MemSystem::new(&exe, None);
-        assert!(m.read(0, 0x50, AccessWidth::Word, AccessKind::Read).is_err(), "unmapped");
-        assert!(m.read(0, MAIN_BASE + 2, AccessWidth::Word, AccessKind::Read).is_err(), "align");
+        let mut m = MemSystem::new(&exe, MemHierarchyConfig::uncached());
+        assert!(
+            m.read(0, 0x50, AccessWidth::Word, AccessKind::Read)
+                .is_err(),
+            "unmapped"
+        );
+        assert!(
+            m.read(0, MAIN_BASE + 2, AccessWidth::Word, AccessKind::Read)
+                .is_err(),
+            "align"
+        );
         assert!(m.write(0, 0x50, AccessWidth::Word, 0).is_err());
     }
 
@@ -349,7 +396,7 @@ mod tests {
     fn spm_preloaded() {
         let map = MemoryMap::with_spm(64);
         let exe = exe_with(map, 0, vec![0xEF, 0xBE, 0xAD, 0xDE]);
-        let m = MemSystem::new(&exe, None);
+        let m = MemSystem::new(&exe, MemHierarchyConfig::uncached());
         assert_eq!(m.peek(0, AccessWidth::Word), Some(0xDEADBEEF));
     }
 }

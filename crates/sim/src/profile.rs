@@ -60,11 +60,19 @@ impl Profile {
         let mut symbols = Vec::with_capacity(exe.symbols.len());
         let mut ranges = Vec::with_capacity(exe.symbols.len());
         for (i, s) in exe.symbols.iter().enumerate() {
-            symbols.push(SymbolProfile { name: s.name.clone(), ..SymbolProfile::default() });
+            symbols.push(SymbolProfile {
+                name: s.name.clone(),
+                ..SymbolProfile::default()
+            });
             ranges.push((s.addr, s.addr + s.size, i));
         }
         ranges.sort_unstable();
-        Profile { symbols, unattributed_reads: 0, unattributed_writes: 0, ranges }
+        Profile {
+            symbols,
+            unattributed_reads: 0,
+            unattributed_writes: 0,
+            ranges,
+        }
     }
 
     fn index_of(&self, addr: u32) -> Option<usize> {
@@ -121,7 +129,10 @@ mod tests {
 
     fn exe() -> Executable {
         Executable {
-            regions: vec![LoadRegion { addr: 0x0010_0000, bytes: vec![0; 64] }],
+            regions: vec![LoadRegion {
+                addr: 0x0010_0000,
+                bytes: vec![0; 64],
+            }],
             symbols: vec![
                 Symbol {
                     name: "f".into(),
@@ -133,7 +144,9 @@ mod tests {
                     name: "g".into(),
                     addr: 0x0010_0010,
                     size: 8,
-                    kind: SymbolKind::Object { width: AccessWidth::Word },
+                    kind: SymbolKind::Object {
+                        width: AccessWidth::Word,
+                    },
                 },
             ],
             entry: 0x0010_0000,

@@ -24,7 +24,10 @@ fn run(insns: &[Insn]) -> SimResult {
     let size = bytes.len() as u32;
     bytes.resize(0x2000, 0);
     let exe = Executable {
-        regions: vec![LoadRegion { addr: MAIN_BASE, bytes }],
+        regions: vec![LoadRegion {
+            addr: MAIN_BASE,
+            bytes,
+        }],
         symbols: vec![
             Symbol {
                 name: "_start".into(),
@@ -36,7 +39,9 @@ fn run(insns: &[Insn]) -> SimResult {
                 name: "result".into(),
                 addr: MAIN_BASE + 0x1000,
                 size: 64,
-                kind: SymbolKind::Object { width: AccessWidth::Word },
+                kind: SymbolKind::Object {
+                    width: AccessWidth::Word,
+                },
             },
         ],
         entry: MAIN_BASE,
@@ -48,9 +53,17 @@ fn run(insns: &[Insn]) -> SimResult {
 /// Loads a 32-bit constant into a register via MOV/LSL/ADD chains
 /// (no literal pool in raw images).
 fn load32(rd: spmlab_isa::reg::Reg, v: u32) -> Vec<Insn> {
-    let mut out = vec![Insn::MovImm { rd, imm: (v >> 24) as u8 }];
+    let mut out = vec![Insn::MovImm {
+        rd,
+        imm: (v >> 24) as u8,
+    }];
     for shift in [16u32, 8, 0] {
-        out.push(Insn::ShiftImm { op: ShiftOp::Lsl, rd, rm: rd, imm: 8 });
+        out.push(Insn::ShiftImm {
+            op: ShiftOp::Lsl,
+            rd,
+            rm: rd,
+            imm: 8,
+        });
         let byte = ((v >> shift) & 0xFF) as u8;
         if byte != 0 {
             out.push(Insn::AddImm { rd, imm: byte });
@@ -62,12 +75,18 @@ fn load32(rd: spmlab_isa::reg::Reg, v: u32) -> Vec<Insn> {
 /// Stores `rd` to the results area slot `slot` (address staged in r4).
 fn store_result(rd: spmlab_isa::reg::Reg, slot: u8) -> Vec<Insn> {
     let mut out = load32(R4, MAIN_BASE + 0x1000);
-    out.push(Insn::StrImm { width: AccessWidth::Word, rd, rn: R4, off: slot * 4 });
+    out.push(Insn::StrImm {
+        width: AccessWidth::Word,
+        rd,
+        rn: R4,
+        off: slot * 4,
+    });
     out
 }
 
 fn result(sim: &SimResult, slot: u32) -> i32 {
-    sim.peek(MAIN_BASE + 0x1000 + slot * 4, AccessWidth::Word).unwrap() as i32
+    sim.peek(MAIN_BASE + 0x1000 + slot * 4, AccessWidth::Word)
+        .unwrap() as i32
 }
 
 #[test]
@@ -77,8 +96,16 @@ fn adc_sbc_carry_chain() {
     p.push(Insn::MovImm { rd: R1, imm: 1 });
     p.push(Insn::MovImm { rd: R2, imm: 0 });
     p.push(Insn::MovImm { rd: R3, imm: 0 });
-    p.push(Insn::AddReg { rd: R0, rn: R0, rm: R1 }); // sets carry
-    p.push(Insn::Alu { op: AluOp::Adc, rd: R2, rm: R3 }); // r2 = 0+0+C = 1
+    p.push(Insn::AddReg {
+        rd: R0,
+        rn: R0,
+        rm: R1,
+    }); // sets carry
+    p.push(Insn::Alu {
+        op: AluOp::Adc,
+        rd: R2,
+        rm: R3,
+    }); // r2 = 0+0+C = 1
     p.extend(store_result(R0, 0));
     p.extend(store_result(R2, 1));
     let s = run(&p);
@@ -89,8 +116,16 @@ fn adc_sbc_carry_chain() {
     let mut p = vec![
         Insn::MovImm { rd: R0, imm: 5 },
         Insn::MovImm { rd: R1, imm: 3 },
-        Insn::Alu { op: AluOp::Cmp, rd: R0, rm: R1 }, // C=1
-        Insn::Alu { op: AluOp::Sbc, rd: R0, rm: R1 }, // 5-3-0 = 2
+        Insn::Alu {
+            op: AluOp::Cmp,
+            rd: R0,
+            rm: R1,
+        }, // C=1
+        Insn::Alu {
+            op: AluOp::Sbc,
+            rd: R0,
+            rm: R1,
+        }, // 5-3-0 = 2
     ];
     p.extend(store_result(R0, 0));
     let s = run(&p);
@@ -102,18 +137,30 @@ fn rotate_and_bit_ops() {
     let mut p = vec![
         Insn::MovImm { rd: R0, imm: 0xF0 },
         Insn::MovImm { rd: R1, imm: 4 },
-        Insn::Alu { op: AluOp::Ror, rd: R0, rm: R1 }, // 0xF0 ror 4 = 0x0000000F
+        Insn::Alu {
+            op: AluOp::Ror,
+            rd: R0,
+            rm: R1,
+        }, // 0xF0 ror 4 = 0x0000000F
     ];
     p.extend(store_result(R0, 0));
     p.extend([
         Insn::MovImm { rd: R0, imm: 0xFF },
         Insn::MovImm { rd: R1, imm: 0x0F },
-        Insn::Alu { op: AluOp::Bic, rd: R0, rm: R1 }, // 0xFF & !0x0F = 0xF0
+        Insn::Alu {
+            op: AluOp::Bic,
+            rd: R0,
+            rm: R1,
+        }, // 0xFF & !0x0F = 0xF0
     ]);
     p.extend(store_result(R0, 1));
     p.extend([
         Insn::MovImm { rd: R0, imm: 0 },
-        Insn::Alu { op: AluOp::Mvn, rd: R0, rm: R0 }, // !0 = -1
+        Insn::Alu {
+            op: AluOp::Mvn,
+            rd: R0,
+            rm: R0,
+        }, // !0 = -1
     ]);
     p.extend(store_result(R0, 2));
     let s = run(&p);
@@ -130,8 +177,15 @@ fn tst_and_cmn_set_flags_without_writing() {
         Insn::MovImm { rd: R0, imm: 0x0F },
         Insn::MovImm { rd: R1, imm: 0xF0 },
         Insn::MovImm { rd: R2, imm: 7 },
-        Insn::Alu { op: AluOp::Tst, rd: R0, rm: R1 },
-        Insn::BCond { cond: Cond::Eq, off: 0 },
+        Insn::Alu {
+            op: AluOp::Tst,
+            rd: R0,
+            rm: R1,
+        },
+        Insn::BCond {
+            cond: Cond::Eq,
+            off: 0,
+        },
         Insn::MovImm { rd: R2, imm: 9 }, // skipped when Z holds
     ];
     p.extend(store_result(R0, 0)); // r0 unchanged by TST
@@ -144,10 +198,21 @@ fn tst_and_cmn_set_flags_without_writing() {
     let mut p = vec![
         Insn::MovImm { rd: R0, imm: 5 },
         Insn::MovImm { rd: R1, imm: 5 },
-        Insn::Alu { op: AluOp::Neg, rd: R1, rm: R1 },
-        Insn::Alu { op: AluOp::Cmn, rd: R0, rm: R1 },
+        Insn::Alu {
+            op: AluOp::Neg,
+            rd: R1,
+            rm: R1,
+        },
+        Insn::Alu {
+            op: AluOp::Cmn,
+            rd: R0,
+            rm: R1,
+        },
         Insn::MovImm { rd: R2, imm: 0 },
-        Insn::BCond { cond: Cond::Ne, off: 0 }, // would skip the witness
+        Insn::BCond {
+            cond: Cond::Ne,
+            off: 0,
+        }, // would skip the witness
         Insn::MovImm { rd: R2, imm: 1 },
     ];
     p.extend(store_result(R2, 0));
@@ -166,7 +231,11 @@ fn adr_and_addsp_form_addresses() {
     let s = run(&p);
     let adr = result(&s, 0) as u32;
     // ADR at MAIN_BASE: align4(pc = MAIN_BASE+4) + 2*4.
-    assert_eq!(adr, ((MAIN_BASE + 4) & !3u32) + 8, "pc-relative, aligned, +2 words");
+    assert_eq!(
+        adr,
+        ((MAIN_BASE + 4) & !3u32) + 8,
+        "pc-relative, aligned, +2 words"
+    );
     let stack_top = MemoryMap::no_spm().stack_top;
     assert_eq!(result(&s, 1) as u32, stack_top + 8);
 }
@@ -177,11 +246,17 @@ fn push_pop_roundtrip_and_sp_discipline() {
         Insn::MovImm { rd: R0, imm: 11 },
         Insn::MovImm { rd: R1, imm: 22 },
         Insn::MovImm { rd: R2, imm: 33 },
-        Insn::Push { regs: RegList::of(&[R0, R1, R2]), lr: false },
+        Insn::Push {
+            regs: RegList::of(&[R0, R1, R2]),
+            lr: false,
+        },
         Insn::MovImm { rd: R0, imm: 0 },
         Insn::MovImm { rd: R1, imm: 0 },
         Insn::MovImm { rd: R2, imm: 0 },
-        Insn::Pop { regs: RegList::of(&[R0, R1, R2]), pc: false },
+        Insn::Pop {
+            regs: RegList::of(&[R0, R1, R2]),
+            pc: false,
+        },
     ];
     p.extend(store_result(R0, 0));
     p.extend(store_result(R1, 1));
@@ -212,10 +287,20 @@ fn signed_and_unsigned_division_extension() {
 fn mmio_console_from_machine_code() {
     let mut p = load32(R4, MMIO_PUTC);
     p.push(Insn::MovImm { rd: R0, imm: b'k' });
-    p.push(Insn::StrImm { width: AccessWidth::Word, rd: R0, rn: R4, off: 0 });
+    p.push(Insn::StrImm {
+        width: AccessWidth::Word,
+        rd: R0,
+        rn: R4,
+        off: 0,
+    });
     p.extend(load32(R4, MMIO_PUTINT));
     p.push(Insn::MovImm { rd: R0, imm: 123 });
-    p.push(Insn::StrImm { width: AccessWidth::Word, rd: R0, rn: R4, off: 0 });
+    p.push(Insn::StrImm {
+        width: AccessWidth::Word,
+        rd: R0,
+        rn: R4,
+        off: 0,
+    });
     // SWI console too.
     p.push(Insn::MovImm { rd: R0, imm: b'!' });
     p.push(Insn::Swi { imm: 1 });
@@ -229,12 +314,28 @@ fn narrow_loads_zero_extend_and_signed_variants_sign_extend() {
     // Store 0xFFFE halfword; reload unsigned (imm) vs signed (reg).
     let mut p = load32(R4, MAIN_BASE + 0x1000 + 32);
     p.extend(load32(R0, 0xFFFE));
-    p.push(Insn::StrImm { width: AccessWidth::Half, rd: R0, rn: R4, off: 0 });
-    p.push(Insn::LdrImm { width: AccessWidth::Half, rd: R1, rn: R4, off: 0 });
+    p.push(Insn::StrImm {
+        width: AccessWidth::Half,
+        rd: R0,
+        rn: R4,
+        off: 0,
+    });
+    p.push(Insn::LdrImm {
+        width: AccessWidth::Half,
+        rd: R1,
+        rn: R4,
+        off: 0,
+    });
     p.extend(store_result(R1, 0)); // zero-extended: 0x0000FFFE
     p.push(Insn::MovImm { rd: R2, imm: 0 });
     p.extend(load32(R4, MAIN_BASE + 0x1000 + 32));
-    p.push(Insn::LdrReg { width: AccessWidth::Half, signed: true, rd: R1, rn: R4, rm: R2 });
+    p.push(Insn::LdrReg {
+        width: AccessWidth::Half,
+        signed: true,
+        rd: R1,
+        rn: R4,
+        rm: R2,
+    });
     p.extend(store_result(R1, 1)); // sign-extended: -2
     let s = run(&p);
     assert_eq!(result(&s, 0), 0xFFFE);

@@ -34,27 +34,60 @@ pub fn data_accesses(insn: &Insn, addr: u32, annot: &AnnotationSet) -> Vec<DataA
             .unwrap_or(AddrInfo::Stack)
     };
     let annotated = |is_write: bool, width: AccessWidth| {
-        let info = annot.access(addr).map(|a| a.addr).unwrap_or(AddrInfo::Unknown);
-        vec![DataAccess { width, info, is_write }]
+        let info = annot
+            .access(addr)
+            .map(|a| a.addr)
+            .unwrap_or(AddrInfo::Unknown);
+        vec![DataAccess {
+            width,
+            info,
+            is_write,
+        }]
     };
     match insn {
         Insn::LdrLit { imm, .. } => {
             let pool = (addr.wrapping_add(4) & !3).wrapping_add(*imm as u32 * 4);
-            vec![DataAccess { width: AccessWidth::Word, info: AddrInfo::Exact(pool), is_write: false }]
+            vec![DataAccess {
+                width: AccessWidth::Word,
+                info: AddrInfo::Exact(pool),
+                is_write: false,
+            }]
         }
         Insn::LdrSp { .. } => {
-            vec![DataAccess { width: AccessWidth::Word, info: stack(), is_write: false }]
+            vec![DataAccess {
+                width: AccessWidth::Word,
+                info: stack(),
+                is_write: false,
+            }]
         }
         Insn::StrSp { .. } => {
-            vec![DataAccess { width: AccessWidth::Word, info: stack(), is_write: true }]
+            vec![DataAccess {
+                width: AccessWidth::Word,
+                info: stack(),
+                is_write: true,
+            }]
         }
         Insn::Push { regs, lr } => {
             let n = regs.len() as usize + *lr as usize;
-            vec![DataAccess { width: AccessWidth::Word, info: stack(), is_write: true }; n]
+            vec![
+                DataAccess {
+                    width: AccessWidth::Word,
+                    info: stack(),
+                    is_write: true
+                };
+                n
+            ]
         }
         Insn::Pop { regs, pc } => {
             let n = regs.len() as usize + *pc as usize;
-            vec![DataAccess { width: AccessWidth::Word, info: stack(), is_write: false }; n]
+            vec![
+                DataAccess {
+                    width: AccessWidth::Word,
+                    info: stack(),
+                    is_write: false
+                };
+                n
+            ]
         }
         Insn::LdrImm { width, .. } | Insn::LdrReg { width, .. } => annotated(false, *width),
         Insn::StrImm { width, .. } | Insn::StrReg { width, .. } => annotated(true, *width),
@@ -72,16 +105,22 @@ mod tests {
         let insn = Insn::LdrLit { rd: R0, imm: 2 };
         // At address 0x100: pool addr = (0x104 & !3) + 8 = 0x10c.
         let a = data_accesses(&insn, 0x100, &AnnotationSet::new());
-        assert_eq!(a, vec![DataAccess {
-            width: AccessWidth::Word,
-            info: AddrInfo::Exact(0x10C),
-            is_write: false
-        }]);
+        assert_eq!(
+            a,
+            vec![DataAccess {
+                width: AccessWidth::Word,
+                info: AddrInfo::Exact(0x10C),
+                is_write: false
+            }]
+        );
     }
 
     #[test]
     fn push_pop_expand() {
-        let insn = Insn::Push { regs: RegList::of(&[R0, R1]), lr: true };
+        let insn = Insn::Push {
+            regs: RegList::of(&[R0, R1]),
+            lr: true,
+        };
         let a = data_accesses(&insn, 0, &AnnotationSet::new());
         assert_eq!(a.len(), 3);
         assert!(a.iter().all(|d| d.is_write && d.info == AddrInfo::Stack));
@@ -93,16 +132,41 @@ mod tests {
         ann.set_stack_window(0x1F_F000, 0x20_0000);
         let insn = Insn::LdrSp { rd: R0, imm: 1 };
         let a = data_accesses(&insn, 0, &ann);
-        assert_eq!(a[0].info, AddrInfo::Range { lo: 0x1F_F000, hi: 0x20_0000 });
+        assert_eq!(
+            a[0].info,
+            AddrInfo::Range {
+                lo: 0x1F_F000,
+                hi: 0x20_0000
+            }
+        );
     }
 
     #[test]
     fn annotated_loads() {
         let mut ann = AnnotationSet::new();
-        ann.set_access(0x40, AccessWidth::Half, AddrInfo::Range { lo: 0x500, hi: 0x600 });
-        let insn = Insn::LdrReg { width: AccessWidth::Half, signed: true, rd: R0, rn: R1, rm: R0 };
+        ann.set_access(
+            0x40,
+            AccessWidth::Half,
+            AddrInfo::Range {
+                lo: 0x500,
+                hi: 0x600,
+            },
+        );
+        let insn = Insn::LdrReg {
+            width: AccessWidth::Half,
+            signed: true,
+            rd: R0,
+            rn: R1,
+            rm: R0,
+        };
         let a = data_accesses(&insn, 0x40, &ann);
-        assert_eq!(a[0].info, AddrInfo::Range { lo: 0x500, hi: 0x600 });
+        assert_eq!(
+            a[0].info,
+            AddrInfo::Range {
+                lo: 0x500,
+                hi: 0x600
+            }
+        );
         // Unannotated instruction → unknown.
         let a = data_accesses(&insn, 0x42, &ann);
         assert_eq!(a[0].info, AddrInfo::Unknown);

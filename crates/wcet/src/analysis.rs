@@ -4,42 +4,93 @@ use crate::cache::{self, CacheCtx, ClassifyStats, Persistence};
 use crate::cfg::{build_all, FuncCfg};
 use crate::ipet;
 use crate::loops::natural_loops;
+use crate::multilevel::{self, MultiCtx, MultiState};
 use crate::report::{FuncWcet, WcetResult};
 use crate::stack::total_depths;
 use crate::{bounds, timing, WcetError};
 use spmlab_isa::annot::AnnotationSet;
 use spmlab_isa::cachecfg::CacheConfig;
+use spmlab_isa::hierarchy::{MainMemoryTiming, MemHierarchyConfig};
 use spmlab_isa::image::Executable;
 use std::collections::BTreeMap;
 
 /// Analyzer configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WcetConfig {
-    /// Cache model; `None` = pure Table-1 region timing (the scratchpad
-    /// branch of the paper).
+    /// Single-level cache model; `None` = pure Table-1 region timing (the
+    /// scratchpad branch of the paper). Ignored when `hierarchy` is set.
     pub cache: Option<CacheConfig>,
+    /// Multi-level hierarchy model (L1 I/D, unified L2, parametric main
+    /// memory); takes precedence over `cache`. Analyzed by
+    /// [`crate::multilevel`] with Hardy–Puaut cache-access classification.
+    pub hierarchy: Option<MemHierarchyConfig>,
     /// Enable the persistence (first-miss) extension — *off* matches the
     /// paper's "only a MUST analysis, no persistence" ARM7 configuration.
+    /// Single-level `cache` analyses only; the hierarchy path is MUST-only.
     pub persistence: bool,
     /// Enable the automatic counted-loop bound detector.
     pub auto_loop_bounds: bool,
+    /// Run the L2 MUST analysis (hierarchy path only). When false every
+    /// access that is not Always-Hit at L1 is charged the full L2-miss
+    /// penalty — the baseline the monotonicity sanity checks compare
+    /// against.
+    pub l2_must_analysis: bool,
 }
 
 impl WcetConfig {
     /// Region timing only (scratchpad / no-cache systems).
     pub fn region_timing() -> WcetConfig {
-        WcetConfig { cache: None, persistence: false, auto_loop_bounds: true }
+        WcetConfig {
+            cache: None,
+            hierarchy: None,
+            persistence: false,
+            auto_loop_bounds: true,
+            l2_must_analysis: true,
+        }
+    }
+
+    /// Region timing over custom (e.g. DRAM) main-memory parameters.
+    pub fn region_timing_with(main: MainMemoryTiming) -> WcetConfig {
+        WcetConfig {
+            hierarchy: Some(MemHierarchyConfig::uncached_with(main)),
+            ..WcetConfig::region_timing()
+        }
     }
 
     /// Cache analysis with the paper's MUST-only setup.
     pub fn with_cache(cache: CacheConfig) -> WcetConfig {
-        WcetConfig { cache: Some(cache), persistence: false, auto_loop_bounds: true }
+        WcetConfig {
+            cache: Some(cache),
+            ..WcetConfig::region_timing()
+        }
     }
 
     /// Cache analysis plus persistence (the paper's "full cache analysis
     /// would probably improve results" future-work configuration).
     pub fn with_cache_persistence(cache: CacheConfig) -> WcetConfig {
-        WcetConfig { cache: Some(cache), persistence: true, auto_loop_bounds: true }
+        WcetConfig {
+            cache: Some(cache),
+            persistence: true,
+            ..WcetConfig::region_timing()
+        }
+    }
+
+    /// Multi-level hierarchy analysis (L1 MUST + CAC-filtered L2 MUST).
+    pub fn with_hierarchy(hierarchy: MemHierarchyConfig) -> WcetConfig {
+        WcetConfig {
+            hierarchy: Some(hierarchy),
+            ..WcetConfig::region_timing()
+        }
+    }
+
+    /// Hierarchy analysis with the L2 MUST pass disabled: every non-AH
+    /// access pays the full L2-miss penalty. Upper-bounds
+    /// [`WcetConfig::with_hierarchy`] by construction.
+    pub fn with_hierarchy_l1_only(hierarchy: MemHierarchyConfig) -> WcetConfig {
+        WcetConfig {
+            l2_must_analysis: false,
+            ..WcetConfig::with_hierarchy(hierarchy)
+        }
     }
 }
 
@@ -70,7 +121,9 @@ pub fn topo_order(cfgs: &BTreeMap<u32, FuncCfg>) -> Result<Vec<u32>, WcetError> 
             Mark::Black => return Ok(()),
             Mark::Grey => {
                 trail.push(cfgs[&f].name.clone());
-                return Err(WcetError::Recursion { cycle: trail.clone() });
+                return Err(WcetError::Recursion {
+                    cycle: trail.clone(),
+                });
             }
             Mark::White => {}
         }
@@ -114,6 +167,19 @@ pub fn analyze(
     config: &WcetConfig,
     annotations: &AnnotationSet,
 ) -> Result<WcetResult, WcetError> {
+    // The single-level analyzer predates the `DataOnly` scope and would
+    // model fetches as cached where the simulator bypasses them; the
+    // multilevel path routes traffic exactly like the simulator, so
+    // data-only single caches are analyzed there.
+    let mut config = config.clone();
+    if config.hierarchy.is_none() {
+        if let Some(c) = &config.cache {
+            if c.scope == spmlab_isa::cachecfg::CacheScope::DataOnly {
+                config.hierarchy = Some(MemHierarchyConfig::from_single_cache(Some(c.clone())));
+            }
+        }
+    }
+    let config = &config;
     let cfgs = build_all(exe)?;
     let order = topo_order(&cfgs)?;
     let depths = total_depths(&cfgs, &order)?;
@@ -132,53 +198,89 @@ pub fn analyze(
     for &faddr in &order {
         let cfg = &cfgs[&faddr];
         let loops = natural_loops(cfg)?;
-        let loop_bounds =
-            bounds::loop_bounds(cfg, &loops, &annot, config.auto_loop_bounds)?;
+        let loop_bounds = bounds::loop_bounds(cfg, &loops, &annot, config.auto_loop_bounds)?;
 
         let mut classify = ClassifyStats::default();
-        let (block_costs, entry_penalties) = match &config.cache {
-            None => {
-                let costs: BTreeMap<u32, u64> = cfg
-                    .blocks
-                    .iter()
-                    .map(|(&b, block)| {
-                        (b, timing::block_cost(block, &exe.memory_map, &annot, &wcet_by_addr))
-                    })
-                    .collect();
-                (costs, BTreeMap::new())
-            }
-            Some(cache_cfg) => {
-                let ctx = CacheCtx { cache: cache_cfg, map: &exe.memory_map, annot: &annot };
-                let persistence_info = if config.persistence {
-                    cache::persistence(cfg, &loops, &ctx)
-                } else {
-                    Persistence::disabled()
-                };
-                let in_states = cache::must_fixpoint(cfg, &ctx);
-                let top = cache::AbstractCache::top(cache_cfg);
-                let costs: BTreeMap<u32, u64> = cfg
-                    .blocks
-                    .iter()
-                    .map(|(&b, block)| {
-                        let in_state = in_states.get(&b).unwrap_or(&top);
-                        let c = cache::block_cost(
-                            block,
-                            in_state,
-                            &ctx,
-                            &persistence_info,
-                            &wcet_by_addr,
-                            &mut classify,
-                            &mut classification,
-                        );
-                        (b, c)
-                    })
-                    .collect();
-                (costs, persistence_info.entry_penalties.clone())
+        let (block_costs, entry_penalties) = if let Some(hierarchy) = &config.hierarchy {
+            let ctx = MultiCtx {
+                hierarchy,
+                map: &exe.memory_map,
+                annot: &annot,
+                l2_analysis: config.l2_must_analysis,
+            };
+            let in_states = multilevel::must_fixpoint(cfg, &ctx);
+            let top = MultiState::top(&ctx);
+            let costs: BTreeMap<u32, u64> = cfg
+                .blocks
+                .iter()
+                .map(|(&b, block)| {
+                    let in_state = in_states.get(&b).unwrap_or(&top);
+                    let c = multilevel::block_cost(
+                        block,
+                        in_state,
+                        &ctx,
+                        &wcet_by_addr,
+                        &mut classify,
+                        &mut classification,
+                    );
+                    (b, c)
+                })
+                .collect();
+            (costs, BTreeMap::new())
+        } else {
+            match &config.cache {
+                None => {
+                    let costs: BTreeMap<u32, u64> = cfg
+                        .blocks
+                        .iter()
+                        .map(|(&b, block)| {
+                            (
+                                b,
+                                timing::block_cost(block, &exe.memory_map, &annot, &wcet_by_addr),
+                            )
+                        })
+                        .collect();
+                    (costs, BTreeMap::new())
+                }
+                Some(cache_cfg) => {
+                    let ctx = CacheCtx {
+                        cache: cache_cfg,
+                        map: &exe.memory_map,
+                        annot: &annot,
+                    };
+                    let persistence_info = if config.persistence {
+                        cache::persistence(cfg, &loops, &ctx)
+                    } else {
+                        Persistence::disabled()
+                    };
+                    let in_states = cache::must_fixpoint(cfg, &ctx);
+                    let top = cache::AbstractCache::top(cache_cfg);
+                    let costs: BTreeMap<u32, u64> = cfg
+                        .blocks
+                        .iter()
+                        .map(|(&b, block)| {
+                            let in_state = in_states.get(&b).unwrap_or(&top);
+                            let c = cache::block_cost(
+                                block,
+                                in_state,
+                                &ctx,
+                                &persistence_info,
+                                &wcet_by_addr,
+                                &mut classify,
+                                &mut classification,
+                            );
+                            (b, c)
+                        })
+                        .collect();
+                    (costs, persistence_info.entry_penalties.clone())
+                }
             }
         };
 
-        let totals: BTreeMap<u32, u32> =
-            loops.iter().filter_map(|l| Some((l.header, annot.loop_total(l.header)?))).collect();
+        let totals: BTreeMap<u32, u32> = loops
+            .iter()
+            .filter_map(|l| Some((l.header, annot.loop_total(l.header)?)))
+            .collect();
         let wcet = ipet::solve_with_totals(
             cfg,
             &block_costs,
@@ -230,6 +332,79 @@ mod tests {
     }
 
     #[test]
+    fn data_only_single_cache_is_sound() {
+        // A data-only single cache is routed through the multilevel path:
+        // the legacy single-level analyzer would model fetches as cached
+        // where the simulator bypasses them, undercutting the bound.
+        let src = "
+            int a[32]; int x;
+            void main() {
+                int i;
+                for (i = 0; i < 32; i = i + 1) { __loopbound(32); a[i] = i; }
+                for (i = 0; i < 32; i = i + 1) { __loopbound(32); x = x + a[i]; }
+            }
+        ";
+        let l = linked(src, MemoryMap::no_spm(), SpmAssignment::none());
+        let cache = spmlab_isa::cachecfg::CacheConfig::data_only(512);
+        let w = analyze(
+            &l.exe,
+            &WcetConfig::with_cache(cache.clone()),
+            &l.annotations,
+        )
+        .unwrap();
+        let s = simulate(
+            &l.exe,
+            &MachineConfig::with_cache(cache),
+            &SimOptions::default(),
+        )
+        .unwrap();
+        assert!(
+            w.wcet_cycles >= s.cycles,
+            "data-only WCET {} must bound sim {}",
+            w.wcet_cycles,
+            s.cycles
+        );
+    }
+
+    #[test]
+    fn oversized_hit_latency_stays_sound() {
+        // hit_latency may exceed the line-fill cost; every unclassified
+        // access must then be charged the (larger) hit outcome. Exercised
+        // on both the single-level and the hierarchy analysis paths.
+        let l = linked(LOOP_SRC, MemoryMap::no_spm(), SpmAssignment::none());
+        let cache = spmlab_isa::cachecfg::CacheConfig {
+            hit_latency: 25,
+            ..spmlab_isa::cachecfg::CacheConfig::unified(1024)
+        };
+        let s = simulate(
+            &l.exe,
+            &MachineConfig::with_cache(cache.clone()),
+            &SimOptions::default(),
+        )
+        .unwrap();
+        let single = analyze(
+            &l.exe,
+            &WcetConfig::with_cache(cache.clone()),
+            &l.annotations,
+        )
+        .unwrap();
+        assert!(
+            single.wcet_cycles >= s.cycles,
+            "single-level: wcet {} < sim {} with hit_latency 25",
+            single.wcet_cycles,
+            s.cycles
+        );
+        let h = spmlab_isa::hierarchy::MemHierarchyConfig::l1_only(cache);
+        let multi = analyze(&l.exe, &WcetConfig::with_hierarchy(h), &l.annotations).unwrap();
+        assert!(
+            multi.wcet_cycles >= s.cycles,
+            "hierarchy: wcet {} < sim {} with hit_latency 25",
+            multi.wcet_cycles,
+            s.cycles
+        );
+    }
+
+    #[test]
     fn region_wcet_bounds_simulation() {
         let l = linked(LOOP_SRC, MemoryMap::no_spm(), SpmAssignment::none());
         let w = analyze(&l.exe, &WcetConfig::region_timing(), &l.annotations).unwrap();
@@ -252,7 +427,11 @@ mod tests {
     #[test]
     fn spm_lowers_wcet() {
         let slow = linked(LOOP_SRC, MemoryMap::no_spm(), SpmAssignment::none());
-        let fast = linked(LOOP_SRC, MemoryMap::with_spm(2048), SpmAssignment::of(["main", "x"]));
+        let fast = linked(
+            LOOP_SRC,
+            MemoryMap::with_spm(2048),
+            SpmAssignment::of(["main", "x"]),
+        );
         let cfg = WcetConfig::region_timing();
         let ws = analyze(&slow.exe, &cfg, &slow.annotations).unwrap();
         let wf = analyze(&fast.exe, &cfg, &fast.annotations).unwrap();
@@ -268,10 +447,15 @@ mod tests {
     fn cache_wcet_bounds_cached_simulation() {
         let l = linked(LOOP_SRC, MemoryMap::no_spm(), SpmAssignment::none());
         let cache = spmlab_isa::cachecfg::CacheConfig::unified(1024);
-        let w = analyze(&l.exe, &WcetConfig::with_cache(cache.clone()), &l.annotations).unwrap();
+        let w = analyze(
+            &l.exe,
+            &WcetConfig::with_cache(cache.clone()),
+            &l.annotations,
+        )
+        .unwrap();
         let s = simulate(
             &l.exe,
-            &MachineConfig { cache: Some(cache) },
+            &MachineConfig::with_cache(cache),
             &SimOptions::default(),
         )
         .unwrap();
@@ -287,18 +471,29 @@ mod tests {
     fn persistence_tightens_cache_wcet() {
         let l = linked(LOOP_SRC, MemoryMap::no_spm(), SpmAssignment::none());
         let cache = spmlab_isa::cachecfg::CacheConfig::unified(1024);
-        let must_only =
-            analyze(&l.exe, &WcetConfig::with_cache(cache.clone()), &l.annotations).unwrap();
-        let with_pers =
-            analyze(&l.exe, &WcetConfig::with_cache_persistence(cache.clone()), &l.annotations)
-                .unwrap();
+        let must_only = analyze(
+            &l.exe,
+            &WcetConfig::with_cache(cache.clone()),
+            &l.annotations,
+        )
+        .unwrap();
+        let with_pers = analyze(
+            &l.exe,
+            &WcetConfig::with_cache_persistence(cache.clone()),
+            &l.annotations,
+        )
+        .unwrap();
         assert!(
             with_pers.wcet_cycles <= must_only.wcet_cycles,
             "persistence can only tighten"
         );
         // Still sound vs simulation.
-        let s = simulate(&l.exe, &MachineConfig { cache: Some(cache) }, &SimOptions::default())
-            .unwrap();
+        let s = simulate(
+            &l.exe,
+            &MachineConfig::with_cache(cache),
+            &SimOptions::default(),
+        )
+        .unwrap();
         assert!(with_pers.wcet_cycles >= s.cycles);
     }
 
@@ -323,7 +518,9 @@ mod tests {
         let w = analyze(&l.exe, &WcetConfig::region_timing(), &l.annotations).unwrap();
         assert!(w.function("g").is_some());
         assert!(w.function("main").unwrap().wcet_cycles > w.function("g").unwrap().wcet_cycles);
-        assert!(w.function("_start").unwrap().wcet_cycles >= w.function("main").unwrap().wcet_cycles);
+        assert!(
+            w.function("_start").unwrap().wcet_cycles >= w.function("main").unwrap().wcet_cycles
+        );
         assert_eq!(w.wcet_cycles, w.function("_start").unwrap().wcet_cycles);
         assert!(w.stack_bytes > 0);
         assert!(!format!("{w}").is_empty());

@@ -40,13 +40,18 @@ impl std::fmt::Display for AnnotError {
 impl std::error::Error for AnnotError {}
 
 fn err<T>(line: u32, msg: impl Into<String>) -> Result<T, AnnotError> {
-    Err(AnnotError { line, msg: msg.into() })
+    Err(AnnotError {
+        line,
+        msg: msg.into(),
+    })
 }
 
 fn parse_addr(tok: &str, exe: &Executable, line: u32) -> Result<u32, AnnotError> {
     if let Some(hex) = tok.strip_prefix("0x").or_else(|| tok.strip_prefix("0X")) {
-        return u32::from_str_radix(hex, 16)
-            .map_err(|e| AnnotError { line, msg: format!("bad address `{tok}`: {e}") });
+        return u32::from_str_radix(hex, 16).map_err(|e| AnnotError {
+            line,
+            msg: format!("bad address `{tok}`: {e}"),
+        });
     }
     let (sym, off) = match tok.split_once('+') {
         Some((s, o)) => {
@@ -54,7 +59,10 @@ fn parse_addr(tok: &str, exe: &Executable, line: u32) -> Result<u32, AnnotError>
                 .strip_prefix("0x")
                 .map(|h| u32::from_str_radix(h, 16))
                 .unwrap_or_else(|| o.parse::<u32>().map_err(|_| "".parse::<u32>().unwrap_err()))
-                .map_err(|_| AnnotError { line, msg: format!("bad offset in `{tok}`") })?;
+                .map_err(|_| AnnotError {
+                    line,
+                    msg: format!("bad offset in `{tok}`"),
+                })?;
             (s, off)
         }
         None => (tok, 0),
@@ -94,9 +102,10 @@ pub fn parse(text: &str, exe: &Executable) -> Result<AnnotationSet, AnnotError> 
                     return err(line, "expected `loop <addr> bound <n>`");
                 }
                 let addr = parse_addr(toks[1], exe, line)?;
-                let n: u32 = toks[3]
-                    .parse()
-                    .map_err(|e| AnnotError { line, msg: format!("bad bound: {e}") })?;
+                let n: u32 = toks[3].parse().map_err(|e| AnnotError {
+                    line,
+                    msg: format!("bad bound: {e}"),
+                })?;
                 out.set_loop_bound(addr, n);
             }
             "flow" => {
@@ -104,9 +113,10 @@ pub fn parse(text: &str, exe: &Executable) -> Result<AnnotationSet, AnnotError> 
                     return err(line, "expected `flow <addr> total <n>`");
                 }
                 let addr = parse_addr(toks[1], exe, line)?;
-                let n: u32 = toks[3]
-                    .parse()
-                    .map_err(|e| AnnotError { line, msg: format!("bad total: {e}") })?;
+                let n: u32 = toks[3].parse().map_err(|e| AnnotError {
+                    line,
+                    msg: format!("bad total: {e}"),
+                })?;
                 out.set_loop_total(addr, n);
             }
             "access" => {
@@ -159,7 +169,10 @@ pub fn render(annot: &AnnotationSet) -> String {
     let mut out = String::new();
     out.push_str("# spmlab annotation file\n");
     for lb in annot.loop_bounds() {
-        out.push_str(&format!("loop 0x{:08x} bound {}\n", lb.header_addr, lb.max_iterations));
+        out.push_str(&format!(
+            "loop 0x{:08x} bound {}\n",
+            lb.header_addr, lb.max_iterations
+        ));
     }
     for (addr, total) in annot.loop_totals() {
         out.push_str(&format!("flow 0x{addr:08x} total {total}\n"));
@@ -171,9 +184,10 @@ pub fn render(annot: &AnnotationSet) -> String {
             AccessWidth::Word => "word",
         };
         match a.addr {
-            AddrInfo::Exact(x) => {
-                out.push_str(&format!("access 0x{:08x} {width} exact 0x{x:08x}\n", a.insn_addr))
-            }
+            AddrInfo::Exact(x) => out.push_str(&format!(
+                "access 0x{:08x} {width} exact 0x{x:08x}\n",
+                a.insn_addr
+            )),
             AddrInfo::Range { lo, hi } => out.push_str(&format!(
                 "access 0x{:08x} {width} range 0x{lo:08x} 0x{hi:08x}\n",
                 a.insn_addr
@@ -227,9 +241,15 @@ mod tests {
         assert_eq!(a.loop_total(0x0010_0040), Some(496));
         assert_eq!(
             a.access(main + 4).unwrap().addr,
-            AddrInfo::Range { lo: tab, hi: tab + 0x20 }
+            AddrInfo::Range {
+                lo: tab,
+                hi: tab + 0x20
+            }
         );
-        assert_eq!(a.access(0x0010_0010).unwrap().addr, AddrInfo::Exact(tab + 4));
+        assert_eq!(
+            a.access(0x0010_0010).unwrap().addr,
+            AddrInfo::Exact(tab + 4)
+        );
         assert_eq!(a.access(0x0010_0014).unwrap().width, AccessWidth::Byte);
         assert_eq!(a.stack_window(), Some((0x001F_F000, 0x0020_0000)));
     }
@@ -242,7 +262,10 @@ mod tests {
         let e = parse("\n\nloop ghost bound 3\n", &exe).unwrap_err();
         assert_eq!(e.line, 3);
         assert!(e.msg.contains("ghost"));
-        assert!(parse("access main word range tab tab\n", &exe).is_err(), "empty range");
+        assert!(
+            parse("access main word range tab tab\n", &exe).is_err(),
+            "empty range"
+        );
         assert!(parse("bogus 1 2\n", &exe).is_err());
     }
 
@@ -256,7 +279,10 @@ mod tests {
         a.set_access(
             0x0010_0024,
             AccessWidth::Half,
-            AddrInfo::Range { lo: 0x0010_0100, hi: 0x0010_0140 },
+            AddrInfo::Range {
+                lo: 0x0010_0100,
+                hi: 0x0010_0140,
+            },
         );
         a.set_access(0x0010_0028, AccessWidth::Byte, AddrInfo::Unknown);
         a.set_stack_window(0x001F_0000, 0x0020_0000);

@@ -57,7 +57,10 @@ pub fn loop_bounds(
         let bound = annotations
             .loop_bound(l.header)
             .or_else(|| if auto { auto_bound(cfg, l) } else { None })
-            .ok_or(WcetError::UnboundedLoop { func: cfg.name.clone(), header: l.header })?;
+            .ok_or(WcetError::UnboundedLoop {
+                func: cfg.name.clone(),
+                header: l.header,
+            })?;
         out.insert(l.header, bound);
     }
     Ok(out)
@@ -117,7 +120,9 @@ pub fn auto_bound(cfg: &FuncCfg, l: &NaturalLoop) -> Option<u32> {
     for b in l.body.iter().map(|a| &cfg.blocks[a]) {
         let insns = &b.insns;
         for (i, (_, insn)) in insns.iter().enumerate() {
-            let Insn::StrSp { rd: rs, imm } = insn else { continue };
+            let Insn::StrSp { rd: rs, imm } = insn else {
+                continue;
+            };
             if *imm != slot {
                 continue;
             }
@@ -127,14 +132,16 @@ pub fn auto_bound(cfg: &FuncCfg, l: &NaturalLoop) -> Option<u32> {
             let (_, upd) = &insns[i - 1];
             let (_, ld) = &insns[i - 2];
             match (ld, upd) {
-                (
-                    Insn::LdrSp { rd: rl, imm: li },
-                    Insn::AddImm { rd: ru, imm: st },
-                ) if rl == rs && ru == rs && *li == slot => step = Some(*st as i64),
-                (
-                    Insn::LdrSp { rd: rl, imm: li },
-                    Insn::SubImm { rd: ru, imm: st },
-                ) if rl == rs && ru == rs && *li == slot => step = Some(-(*st as i64)),
+                (Insn::LdrSp { rd: rl, imm: li }, Insn::AddImm { rd: ru, imm: st })
+                    if rl == rs && ru == rs && *li == slot =>
+                {
+                    step = Some(*st as i64)
+                }
+                (Insn::LdrSp { rd: rl, imm: li }, Insn::SubImm { rd: ru, imm: st })
+                    if rl == rs && ru == rs && *li == slot =>
+                {
+                    step = Some(-(*st as i64))
+                }
                 _ => return None,
             }
         }
@@ -150,7 +157,9 @@ pub fn auto_bound(cfg: &FuncCfg, l: &NaturalLoop) -> Option<u32> {
     let pre_insns = &cfg.blocks[&pre].insns;
     let mut init: Option<i64> = None;
     for (i, (_, insn)) in pre_insns.iter().enumerate() {
-        let Insn::StrSp { rd: rs, imm } = insn else { continue };
+        let Insn::StrSp { rd: rs, imm } = insn else {
+            continue;
+        };
         if *imm != slot {
             continue;
         }
@@ -206,8 +215,12 @@ mod tests {
     use spmlab_isa::mem::MemoryMap;
 
     fn setup(src: &str, func: &str) -> (FuncCfg, Vec<NaturalLoop>, AnnotationSet) {
-        let l = link(&compile(src).unwrap(), &MemoryMap::no_spm(), &SpmAssignment::none())
-            .unwrap();
+        let l = link(
+            &compile(src).unwrap(),
+            &MemoryMap::no_spm(),
+            &SpmAssignment::none(),
+        )
+        .unwrap();
         let cfg = crate::cfg::build_cfg(&l.exe, l.exe.symbol(func).unwrap()).unwrap();
         let loops = crate::loops::natural_loops(&cfg).unwrap();
         (cfg, loops, l.annotations)

@@ -93,16 +93,18 @@ impl AbstractCache {
             }
             sets.push(merged);
         }
-        AbstractCache { assoc: self.assoc, num_sets: self.num_sets, line: self.line, sets }
+        AbstractCache {
+            assoc: self.assoc,
+            num_sets: self.num_sets,
+            line: self.line,
+            sets,
+        }
     }
 
-    /// An exact-address read: returns whether it is a guaranteed hit, then
-    /// updates the state (the line is definitely present afterwards).
-    pub fn access_read_exact(&mut self, addr: u32, lru: bool) -> bool {
-        let set = self.set_of(addr);
-        let tag = self.tag_of(addr);
-        let assoc = self.assoc;
-        let lines = &mut self.sets[set];
+    /// The MUST update of one set for a read of `tag`: promote the line to
+    /// age 0 and age the younger lines (LRU), or collapse the set to just
+    /// the accessed line on a possible miss (random/round-robin).
+    fn update_set(lines: &mut BTreeMap<u32, u8>, tag: u32, assoc: u8, lru: bool) {
         let hit = lines.contains_key(&tag);
         if lru {
             let old_age = lines.get(&tag).copied().unwrap_or(assoc);
@@ -120,7 +122,43 @@ impl AbstractCache {
             }
             lines.insert(tag, 0);
         }
+    }
+
+    /// An exact-address read: returns whether it is a guaranteed hit, then
+    /// updates the state (the line is definitely present afterwards).
+    pub fn access_read_exact(&mut self, addr: u32, lru: bool) -> bool {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        let assoc = self.assoc;
+        let lines = &mut self.sets[set];
+        let hit = lines.contains_key(&tag);
+        Self::update_set(lines, tag, assoc, lru);
         hit
+    }
+
+    /// The *uncertain* read update `join(s, update(s))` — for an access
+    /// that may or may not occur (e.g. an L2 access behind an L1 that
+    /// could not be classified). Sound in both worlds; equivalent to a
+    /// whole-state clone + update + join, but restricted to the one set
+    /// the address maps to. Returns whether the line was guaranteed
+    /// present *before* the access.
+    pub fn access_read_uncertain(&mut self, addr: u32, lru: bool) -> bool {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        let assoc = self.assoc;
+        let lines = &mut self.sets[set];
+        let before = lines.contains_key(&tag);
+        let mut updated = lines.clone();
+        Self::update_set(&mut updated, tag, assoc, lru);
+        // Join = intersection with maximum age.
+        let mut merged = BTreeMap::new();
+        for (t, &age) in lines.iter() {
+            if let Some(&age_u) = updated.get(t) {
+                merged.insert(*t, age.max(age_u));
+            }
+        }
+        *lines = merged;
+        before
     }
 
     /// One *possible* access to `set` (unknown address): ages the set (LRU)
@@ -225,54 +263,13 @@ fn apply_data_access(state: &mut AbstractCache, acc: &DataAccess, ctx: &CacheCtx
 
 /// MUST-analysis fixpoint: in-state per block.
 pub fn must_fixpoint(cfg: &FuncCfg, ctx: &CacheCtx) -> BTreeMap<u32, AbstractCache> {
-    let preds = cfg.predecessors();
-    let mut in_states: BTreeMap<u32, AbstractCache> = BTreeMap::new();
-    in_states.insert(cfg.entry, AbstractCache::top(ctx.cache));
-    let mut out_states: BTreeMap<u32, AbstractCache> = BTreeMap::new();
-    let mut work: Vec<u32> = cfg.blocks.keys().copied().collect();
-    let mut iterations = 0usize;
-    let budget = 64 * cfg.blocks.len().max(1) * ctx.cache.assoc as usize;
-    while let Some(b) = work.pop() {
-        iterations += 1;
-        if iterations > budget.max(4096) {
-            // Defensive cap: fall back to the safe top state everywhere.
-            for (_, s) in in_states.iter_mut() {
-                *s = AbstractCache::top(ctx.cache);
-            }
-            break;
-        }
-        // in = join of predecessors' outs (entry joins with TOP).
-        let mut input: Option<AbstractCache> = if b == cfg.entry {
-            Some(AbstractCache::top(ctx.cache))
-        } else {
-            None
-        };
-        for p in preds.get(&b).into_iter().flatten() {
-            if let Some(o) = out_states.get(p) {
-                input = Some(match input {
-                    None => o.clone(),
-                    Some(i) => i.join(o),
-                });
-            }
-        }
-        let Some(input) = input else { continue };
-        let changed_in = in_states.get(&b) != Some(&input);
-        if changed_in || !out_states.contains_key(&b) {
-            let mut s = input.clone();
-            transfer_block(&mut s, &cfg.blocks[&b], ctx);
-            in_states.insert(b, input);
-            let changed_out = out_states.get(&b) != Some(&s);
-            out_states.insert(b, s);
-            if changed_out {
-                for &succ in &cfg.blocks[&b].succs {
-                    if !work.contains(&succ) {
-                        work.push(succ);
-                    }
-                }
-            }
-        }
-    }
-    in_states
+    crate::fixpoint::must_fixpoint(
+        cfg,
+        || AbstractCache::top(ctx.cache),
+        AbstractCache::join,
+        |s, block| transfer_block(s, block, ctx),
+        64 * ctx.cache.assoc as usize,
+    )
 }
 
 /// Classification statistics for one function.
@@ -288,6 +285,9 @@ pub struct ClassifyStats {
     pub data_unclassified: u64,
     /// Accesses classified persistent (first-miss).
     pub persistent: u64,
+    /// Accesses not classifiable at L1 but guaranteed to hit the L2
+    /// (multi-level analyses only).
+    pub l2_hits: u64,
 }
 
 impl ClassifyStats {
@@ -298,6 +298,7 @@ impl ClassifyStats {
         self.data_hits += o.data_hits;
         self.data_unclassified += o.data_unclassified;
         self.persistent += o.persistent;
+        self.l2_hits += o.l2_hits;
     }
 }
 
@@ -337,7 +338,7 @@ impl Persistence {
 pub fn persistence(cfg: &FuncCfg, loops: &[NaturalLoop], ctx: &CacheCtx) -> Persistence {
     let mut p = Persistence::default();
     let line_size = ctx.cache.line;
-    let miss_penalty = ctx.cache.miss_cycles() - ctx.cache.hit_cycles();
+    let miss_penalty = ctx.cache.miss_cycles().max(ctx.cache.hit_cycles()) - ctx.cache.hit_cycles();
     // Loops sorted inner-first; process outermost last so the outermost
     // persistent loop wins.
     for l in loops {
@@ -368,8 +369,7 @@ pub fn persistence(cfg: &FuncCfg, loops: &[NaturalLoop], ctx: &CacheCtx) -> Pers
                         }
                         AddrInfo::Range { lo, hi } => {
                             if ctx.map.region_of(lo) == RegionKind::Scratchpad
-                                && ctx.map.region_of(hi.saturating_sub(1))
-                                    == RegionKind::Scratchpad
+                                && ctx.map.region_of(hi.saturating_sub(1)) == RegionKind::Scratchpad
                             {
                                 continue;
                             }
@@ -452,8 +452,10 @@ use std::collections::BTreeSet;
 impl Classification {
     /// Merges another function's classification.
     pub fn absorb(&mut self, o: &Classification) {
-        self.fetch_always_hit.extend(o.fetch_always_hit.iter().copied());
-        self.data_always_hit.extend(o.data_always_hit.iter().copied());
+        self.fetch_always_hit
+            .extend(o.fetch_always_hit.iter().copied());
+        self.data_always_hit
+            .extend(o.data_always_hit.iter().copied());
     }
 }
 
@@ -475,7 +477,10 @@ pub fn block_cost(
     let mut state = in_state.clone();
     let mut cost = 0u64;
     let hit = ctx.cache.hit_cycles();
-    let miss = ctx.cache.miss_cycles();
+    // An unclassified access may still hit in the concrete cache, so the
+    // worst-case charge must cover both outcomes (hit_latency is
+    // configurable and may exceed the fill cost).
+    let miss = ctx.cache.miss_cycles().max(hit);
     let mut calls = block.calls.iter();
     for (addr, insn) in &block.insns {
         cost += 1 + insn.worst_extra_cycles();
@@ -533,7 +538,10 @@ fn data_access_cost(
 ) -> u64 {
     let lru = ctx.lru();
     let hit = ctx.cache.hit_cycles();
-    let miss = ctx.cache.miss_cycles();
+    // An unclassified access may still hit in the concrete cache, so the
+    // worst-case charge must cover both outcomes (hit_latency is
+    // configurable and may exceed the fill cost).
+    let miss = ctx.cache.miss_cycles().max(hit);
     if acc.is_write {
         // Write-through: pay the backing-store cost; no state change.
         let region = match acc.info {
@@ -602,17 +610,49 @@ mod tests {
     use super::*;
 
     fn ctx_parts() -> (CacheConfig, MemoryMap, AnnotationSet) {
-        (CacheConfig::unified(64), MemoryMap::no_spm(), AnnotationSet::new())
+        (
+            CacheConfig::unified(64),
+            MemoryMap::no_spm(),
+            AnnotationSet::new(),
+        )
     }
 
     #[test]
     fn must_exact_access_then_guaranteed() {
         let (cache, map, annot) = ctx_parts();
-        let ctx = CacheCtx { cache: &cache, map: &map, annot: &annot };
+        let ctx = CacheCtx {
+            cache: &cache,
+            map: &map,
+            annot: &annot,
+        };
         let mut s = AbstractCache::top(ctx.cache);
         assert!(!s.access_read_exact(0x0010_0000, true), "cold");
         assert!(s.contains(0x0010_0000));
         assert!(s.access_read_exact(0x0010_0004, true), "same line");
+    }
+
+    #[test]
+    fn uncertain_access_equals_clone_update_join() {
+        // The per-set fast path must match the whole-state definition
+        // join(s, update(s)) exactly, for both LRU and collapsing policies.
+        for lru in [true, false] {
+            let cfg = CacheConfig::set_assoc(128, 2, Replacement::Lru);
+            let mut s = AbstractCache::top(&cfg);
+            for a in [0x000u32, 0x040, 0x010, 0x080] {
+                s.access_read_exact(a, lru);
+            }
+            for probe in [0x000u32, 0x040, 0x0C0, 0x020] {
+                let mut fast = s.clone();
+                let before_fast = fast.access_read_uncertain(probe, lru);
+                let mut updated = s.clone();
+                let before_slow = s.contains(probe);
+                updated.access_read_exact(probe, lru);
+                let slow = s.join(&updated);
+                assert_eq!(fast, slow, "lru={lru} probe={probe:#x}");
+                assert_eq!(before_fast, before_slow);
+                s = slow;
+            }
+        }
     }
 
     #[test]
@@ -655,7 +695,7 @@ mod tests {
         let mut s = AbstractCache::top(&cfg);
         s.access_read_exact(0x100, false);
         s.access_read_exact(0x140, false); // same set (2 sets × 2 ways... set stride 32)
-        // A miss on another line of the same set clears guarantees.
+                                           // A miss on another line of the same set clears guarantees.
         let before = s.guaranteed_lines();
         s.access_read_exact(0x180, false);
         assert!(s.guaranteed_lines() <= before, "miss collapsed the set");
@@ -665,12 +705,19 @@ mod tests {
     #[test]
     fn ranged_write_does_not_change_state() {
         let (cache, map, annot) = ctx_parts();
-        let ctx = CacheCtx { cache: &cache, map: &map, annot: &annot };
+        let ctx = CacheCtx {
+            cache: &cache,
+            map: &map,
+            annot: &annot,
+        };
         let mut s = AbstractCache::top(&cache);
         s.access_read_exact(0x0010_0000, true);
         let acc = DataAccess {
             width: AccessWidth::Word,
-            info: AddrInfo::Range { lo: 0x0010_0000, hi: 0x0010_1000 },
+            info: AddrInfo::Range {
+                lo: 0x0010_0000,
+                hi: 0x0010_1000,
+            },
             is_write: true,
         };
         apply_data_access(&mut s, &acc, &ctx);

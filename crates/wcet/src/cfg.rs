@@ -30,7 +30,10 @@ pub struct BasicBlock {
 impl BasicBlock {
     /// Address just past the last instruction.
     pub fn end(&self) -> u32 {
-        self.insns.last().map(|(a, i)| a + i.size()).unwrap_or(self.start)
+        self.insns
+            .last()
+            .map(|(a, i)| a + i.size())
+            .unwrap_or(self.start)
     }
 }
 
@@ -59,7 +62,11 @@ impl FuncCfg {
 
     /// All exit blocks.
     pub fn exits(&self) -> Vec<u32> {
-        self.blocks.values().filter(|b| b.is_exit).map(|b| b.start).collect()
+        self.blocks
+            .values()
+            .filter(|b| b.is_exit)
+            .map(|b| b.start)
+            .collect()
     }
 
     /// Total decoded instructions.
@@ -110,7 +117,11 @@ pub fn build_cfg(exe: &Executable, sym: &Symbol) -> Result<FuncCfg, WcetError> {
             let hw = exe
                 .read_half(pc)
                 .ok_or_else(|| err(pc, "unreadable code byte"))?;
-            let next_hw = if pc + 4 <= hi { exe.read_half(pc + 2) } else { None };
+            let next_hw = if pc + 4 <= hi {
+                exe.read_half(pc + 2)
+            } else {
+                None
+            };
             let (insn, size) = decode(hw, next_hw);
             if matches!(insn, Insn::Undefined { .. }) {
                 return Err(err(pc, "undefined instruction"));
@@ -207,7 +218,8 @@ pub fn build_cfg(exe: &Executable, sym: &Symbol) -> Result<FuncCfg, WcetError> {
             }
         };
         if let Insn::Bl { off } = insn {
-            cur.calls.push(addr.wrapping_add(4).wrapping_add(off as u32));
+            cur.calls
+                .push(addr.wrapping_add(4).wrapping_add(off as u32));
         }
         cur.insns.push((addr, insn.clone()));
         let terminates = insn.is_terminator();
@@ -249,7 +261,11 @@ pub fn build_cfg(exe: &Executable, sym: &Symbol) -> Result<FuncCfg, WcetError> {
         }
     }
 
-    Ok(FuncCfg { name: sym.name.clone(), entry: lo, blocks })
+    Ok(FuncCfg {
+        name: sym.name.clone(),
+        entry: lo,
+        blocks,
+    })
 }
 
 /// Builds CFGs for every function in the executable.
@@ -272,8 +288,12 @@ mod tests {
     use spmlab_isa::mem::MemoryMap;
 
     fn cfg_of(src: &str, func: &str) -> FuncCfg {
-        let l = link(&compile(src).unwrap(), &MemoryMap::no_spm(), &SpmAssignment::none())
-            .unwrap();
+        let l = link(
+            &compile(src).unwrap(),
+            &MemoryMap::no_spm(),
+            &SpmAssignment::none(),
+        )
+        .unwrap();
         build_cfg(&l.exe, l.exe.symbol(func).unwrap()).unwrap()
     }
 
@@ -285,7 +305,10 @@ mod tests {
         assert!(c.blocks.len() <= 3);
         assert_eq!(c.exits().len(), 1);
         let exit = &c.blocks[&c.exits()[0]];
-        assert!(matches!(exit.insns.last().unwrap().1, Insn::Pop { pc: true, .. }));
+        assert!(matches!(
+            exit.insns.last().unwrap().1,
+            Insn::Pop { pc: true, .. }
+        ));
     }
 
     #[test]
@@ -309,10 +332,7 @@ mod tests {
         );
         let preds = c.predecessors();
         // Some block is reached from a later block (back edge).
-        let back = c
-            .blocks
-            .keys()
-            .any(|&h| preds[&h].iter().any(|&p| p > h));
+        let back = c.blocks.keys().any(|&h| preds[&h].iter().any(|&p| p > h));
         assert!(back, "expected a back edge");
     }
 
@@ -340,8 +360,7 @@ mod tests {
     #[test]
     fn all_functions() {
         let l = link(
-            &compile("int f() { return 1; } int g() { return f(); } void main() { g(); }")
-                .unwrap(),
+            &compile("int f() { return 1; } int g() { return f(); } void main() { g(); }").unwrap(),
             &MemoryMap::no_spm(),
             &SpmAssignment::none(),
         )

@@ -1,0 +1,74 @@
+//! Generic MUST-style worklist fixpoint over a function CFG, shared by the
+//! single-level cache analysis and the multi-level hierarchy analysis so
+//! the two solvers can never drift apart.
+
+use crate::cfg::{BasicBlock, FuncCfg};
+use std::collections::BTreeMap;
+
+/// Computes the per-block *in*-states of a forward MUST analysis.
+///
+/// * `top` — the analysis start state (nothing guaranteed), used at the
+///   function entry and as the safe fallback;
+/// * `join` — the control-flow merge (in MUST domains: intersection);
+/// * `transfer` — applies one block's effect to a state;
+/// * `budget_factor` — iterations allowed per block before the solver
+///   gives up and returns `top` everywhere (a defensive cap; real inputs
+///   converge in a handful of passes per block).
+pub fn must_fixpoint<S, T, J, F>(
+    cfg: &FuncCfg,
+    top: T,
+    join: J,
+    mut transfer: F,
+    budget_factor: usize,
+) -> BTreeMap<u32, S>
+where
+    S: Clone + PartialEq,
+    T: Fn() -> S,
+    J: Fn(&S, &S) -> S,
+    F: FnMut(&mut S, &BasicBlock),
+{
+    let preds = cfg.predecessors();
+    let mut in_states: BTreeMap<u32, S> = BTreeMap::new();
+    in_states.insert(cfg.entry, top());
+    let mut out_states: BTreeMap<u32, S> = BTreeMap::new();
+    let mut work: Vec<u32> = cfg.blocks.keys().copied().collect();
+    let mut iterations = 0usize;
+    let budget = budget_factor * cfg.blocks.len().max(1);
+    while let Some(b) = work.pop() {
+        iterations += 1;
+        if iterations > budget.max(4096) {
+            // Defensive cap: fall back to the safe top state everywhere.
+            for (_, s) in in_states.iter_mut() {
+                *s = top();
+            }
+            break;
+        }
+        // in = join of predecessors' outs (entry joins with TOP).
+        let mut input: Option<S> = if b == cfg.entry { Some(top()) } else { None };
+        for p in preds.get(&b).into_iter().flatten() {
+            if let Some(o) = out_states.get(p) {
+                input = Some(match input {
+                    None => o.clone(),
+                    Some(i) => join(&i, o),
+                });
+            }
+        }
+        let Some(input) = input else { continue };
+        let changed_in = in_states.get(&b) != Some(&input);
+        if changed_in || !out_states.contains_key(&b) {
+            let mut s = input.clone();
+            transfer(&mut s, &cfg.blocks[&b]);
+            in_states.insert(b, input);
+            let changed_out = out_states.get(&b) != Some(&s);
+            out_states.insert(b, s);
+            if changed_out {
+                for &succ in &cfg.blocks[&b].succs {
+                    if !work.contains(&succ) {
+                        work.push(succ);
+                    }
+                }
+            }
+        }
+    }
+    in_states
+}

@@ -29,7 +29,14 @@ pub fn solve(
     bounds: &BTreeMap<u32, u32>,
     entry_penalties: &BTreeMap<u32, u64>,
 ) -> Result<u64, WcetError> {
-    solve_with_totals(cfg, block_costs, loops, bounds, entry_penalties, &BTreeMap::new())
+    solve_with_totals(
+        cfg,
+        block_costs,
+        loops,
+        bounds,
+        entry_penalties,
+        &BTreeMap::new(),
+    )
 }
 
 /// [`solve`] with additional flow facts: `totals` bounds a loop's
@@ -106,7 +113,9 @@ pub fn solve_with_totals(
     // loop's entries (omitting it would force the back edges to zero — an
     // unsound under-approximation caught by the hostile-binary tests).
     for l in loops {
-        let bound = *bounds.get(&l.header).expect("bounds computed for every loop");
+        let bound = *bounds
+            .get(&l.header)
+            .expect("bounds computed for every loop");
         let mut terms: Vec<(Var, f64)> = Vec::new();
         for &(s, d) in &l.back_edges {
             terms.push((de[&(s, d)], 1.0));
@@ -120,8 +129,11 @@ pub fn solve_with_totals(
         m.add_le(&terms, 0.0);
         // Flow fact: absolute back-edge total per function invocation.
         if let Some(&total) = totals.get(&l.header) {
-            let back_terms: Vec<(Var, f64)> =
-                l.back_edges.iter().map(|&(s, d)| (de[&(s, d)], 1.0)).collect();
+            let back_terms: Vec<(Var, f64)> = l
+                .back_edges
+                .iter()
+                .map(|&(s, d)| (de[&(s, d)], 1.0))
+                .collect();
             m.add_le(&back_terms, total as f64);
         }
     }
@@ -153,14 +165,16 @@ mod tests {
     use spmlab_isa::mem::MemoryMap;
 
     fn ipet_for(src: &str, func: &str, uniform_cost: u64) -> u64 {
-        let l = link(&compile(src).unwrap(), &MemoryMap::no_spm(), &SpmAssignment::none())
-            .unwrap();
+        let l = link(
+            &compile(src).unwrap(),
+            &MemoryMap::no_spm(),
+            &SpmAssignment::none(),
+        )
+        .unwrap();
         let cfg = build_cfg(&l.exe, l.exe.symbol(func).unwrap()).unwrap();
         let loops = natural_loops(&cfg).unwrap();
-        let bounds =
-            crate::bounds::loop_bounds(&cfg, &loops, &l.annotations, true).unwrap();
-        let costs: BTreeMap<u32, u64> =
-            cfg.blocks.keys().map(|&b| (b, uniform_cost)).collect();
+        let bounds = crate::bounds::loop_bounds(&cfg, &loops, &l.annotations, true).unwrap();
+        let costs: BTreeMap<u32, u64> = cfg.blocks.keys().map(|&b| (b, uniform_cost)).collect();
         solve(&cfg, &costs, &loops, &bounds, &BTreeMap::new()).unwrap()
     }
 
@@ -169,7 +183,7 @@ mod tests {
         let w = ipet_for("int x; void main() { x = 1; }", "main", 10);
         // main without a return statement is a single block (prologue,
         // body, epilogue fall through); allow up to 3 for layout changes.
-        assert!(w >= 10 && w <= 30, "wcet {w}");
+        assert!((10..=30).contains(&w), "wcet {w}");
     }
 
     #[test]
@@ -224,8 +238,12 @@ mod tests {
     #[test]
     fn persistence_penalty_charged_per_entry() {
         let src = "int x; void main() { int i; for (i = 0; i < 10; i = i + 1) { x = x + 1; } }";
-        let l = link(&compile(src).unwrap(), &MemoryMap::no_spm(), &SpmAssignment::none())
-            .unwrap();
+        let l = link(
+            &compile(src).unwrap(),
+            &MemoryMap::no_spm(),
+            &SpmAssignment::none(),
+        )
+        .unwrap();
         let cfg = build_cfg(&l.exe, l.exe.symbol("main").unwrap()).unwrap();
         let loops = natural_loops(&cfg).unwrap();
         let bounds = crate::bounds::loop_bounds(&cfg, &loops, &l.annotations, true).unwrap();

@@ -130,7 +130,10 @@ pub fn natural_loops(cfg: &FuncCfg) -> Result<Vec<NaturalLoop>, WcetError> {
             // Retreating edge in RPO?
             if order[&dst] <= order[&src] {
                 if !dominates(dst, src, &idom, cfg.entry) {
-                    return Err(WcetError::Irreducible { func: cfg.name.clone(), addr: src });
+                    return Err(WcetError::Irreducible {
+                        func: cfg.name.clone(),
+                        addr: src,
+                    });
                 }
                 let l = loops.entry(dst).or_insert_with(|| NaturalLoop {
                     header: dst,
@@ -175,8 +178,12 @@ mod tests {
     use spmlab_isa::mem::MemoryMap;
 
     fn cfg_of(src: &str, func: &str) -> FuncCfg {
-        let l = link(&compile(src).unwrap(), &MemoryMap::no_spm(), &SpmAssignment::none())
-            .unwrap();
+        let l = link(
+            &compile(src).unwrap(),
+            &MemoryMap::no_spm(),
+            &SpmAssignment::none(),
+        )
+        .unwrap();
         crate::cfg::build_cfg(&l.exe, l.exe.symbol(func).unwrap()).unwrap()
     }
 

@@ -54,8 +54,16 @@ impl WcetResult {
 
 impl std::fmt::Display for WcetResult {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "WCET bound: {} cycles (stack {} bytes)", self.wcet_cycles, self.stack_bytes)?;
-        writeln!(f, "{:<16} {:>12} {:>7} {:>6} {:>6}", "function", "wcet", "blocks", "insns", "loops")?;
+        writeln!(
+            f,
+            "WCET bound: {} cycles (stack {} bytes)",
+            self.wcet_cycles, self.stack_bytes
+        )?;
+        writeln!(
+            f,
+            "{:<16} {:>12} {:>7} {:>6} {:>6}",
+            "function", "wcet", "blocks", "insns", "loops"
+        )?;
         for func in &self.per_function {
             writeln!(
                 f,

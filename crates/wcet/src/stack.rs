@@ -56,7 +56,10 @@ pub fn local_depth(cfg: &FuncCfg) -> Result<(u32, BTreeMap<u32, i64>), WcetError
                     work.push(s);
                 }
                 Some(&prev) if prev != off => {
-                    return Err(WcetError::StackImbalance { func: cfg.name.clone(), addr: s })
+                    return Err(WcetError::StackImbalance {
+                        func: cfg.name.clone(),
+                        addr: s,
+                    })
                 }
                 Some(_) => {}
             }
@@ -94,16 +97,19 @@ pub fn total_depths(
                 if let Insn::Bl { .. } = insn {
                     let callee = block.calls[call_idx];
                     call_idx += 1;
-                    let callee_total = out
-                        .get(&callee)
-                        .map(|s| s.total_bytes as i64)
-                        .unwrap_or(0); // Unknown callee: treated as leaf.
+                    let callee_total = out.get(&callee).map(|s| s.total_bytes as i64).unwrap_or(0); // Unknown callee: treated as leaf.
                     total = total.max(-off + callee_total);
                 }
                 off += sp_delta(insn);
             }
         }
-        out.insert(f, FuncStack { local_bytes: local, total_bytes: total as u32 });
+        out.insert(
+            f,
+            FuncStack {
+                local_bytes: local,
+                total_bytes: total as u32,
+            },
+        );
     }
     Ok(out)
 }
@@ -115,19 +121,30 @@ mod tests {
     use spmlab_isa::mem::MemoryMap;
 
     fn depths(src: &str) -> (BTreeMap<u32, FuncStack>, BTreeMap<String, u32>) {
-        let l = link(&compile(src).unwrap(), &MemoryMap::no_spm(), &SpmAssignment::none())
-            .unwrap();
+        let l = link(
+            &compile(src).unwrap(),
+            &MemoryMap::no_spm(),
+            &SpmAssignment::none(),
+        )
+        .unwrap();
         let cfgs = crate::cfg::build_all(&l.exe).unwrap();
         let order = crate::analysis::topo_order(&cfgs).unwrap();
         let d = total_depths(&cfgs, &order).unwrap();
-        let names = cfgs.iter().map(|(&a, c)| (c.name.clone(), a)).collect::<BTreeMap<_, _>>();
-        let by_name = names.iter().map(|(n, a)| (n.clone(), d[a].total_bytes)).collect();
+        let names = cfgs
+            .iter()
+            .map(|(&a, c)| (c.name.clone(), a))
+            .collect::<BTreeMap<_, _>>();
+        let by_name = names
+            .iter()
+            .map(|(n, a)| (n.clone(), d[a].total_bytes))
+            .collect();
         (d, by_name)
     }
 
     #[test]
     fn leaf_function_depth() {
-        let (_, by_name) = depths("int f(int a) { int b; b = a + 1; return b; } void main() { f(1); }");
+        let (_, by_name) =
+            depths("int f(int a) { int b; b = a + 1; return b; } void main() { f(1); }");
         // f: push {r4-r7,lr} = 20 bytes + 2 local slots = 28.
         assert_eq!(by_name["f"], 28);
         // main: 20 bytes frame + 0 locals + f's 28.
@@ -149,9 +166,8 @@ mod tests {
 
     #[test]
     fn start_depth_covers_everything() {
-        let (_, by_name) = depths(
-            "int deep(int n) { int x; x = n * 2; return x; } void main() { deep(3); }",
-        );
+        let (_, by_name) =
+            depths("int deep(int n) { int x; x = n * 2; return x; } void main() { deep(3); }");
         let start = by_name["_start"];
         assert!(start >= by_name["main"]);
     }

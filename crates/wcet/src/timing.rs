@@ -53,7 +53,13 @@ mod tests {
     use spmlab_isa::reg::{R0, R1};
 
     fn block(start: u32, insns: Vec<(u32, Insn)>) -> BasicBlock {
-        BasicBlock { start, insns, succs: vec![], calls: vec![], is_exit: false }
+        BasicBlock {
+            start,
+            insns,
+            succs: vec![],
+            calls: vec![],
+            is_exit: false,
+        }
     }
 
     #[test]
@@ -82,7 +88,15 @@ mod tests {
         annot.set_access(0x0010_0000, AccessWidth::Word, AddrInfo::Exact(0x40));
         let b = block(
             0x0010_0000,
-            vec![(0x0010_0000, Insn::LdrImm { width: AccessWidth::Word, rd: R0, rn: R1, off: 0 })],
+            vec![(
+                0x0010_0000,
+                Insn::LdrImm {
+                    width: AccessWidth::Word,
+                    rd: R0,
+                    rn: R1,
+                    off: 0,
+                },
+            )],
         );
         // 1 base + 2 fetch + 1 spm data.
         assert_eq!(block_cost(&b, &map, &annot, &BTreeMap::new()), 4);
@@ -94,7 +108,15 @@ mod tests {
         let annot = AnnotationSet::new();
         let b = block(
             0x0010_0000,
-            vec![(0x0010_0000, Insn::LdrImm { width: AccessWidth::Word, rd: R0, rn: R1, off: 0 })],
+            vec![(
+                0x0010_0000,
+                Insn::LdrImm {
+                    width: AccessWidth::Word,
+                    rd: R0,
+                    rn: R1,
+                    off: 0,
+                },
+            )],
         );
         // 1 base + 2 fetch + 4 main word.
         assert_eq!(block_cost(&b, &map, &annot, &BTreeMap::new()), 7);
@@ -118,7 +140,13 @@ mod tests {
         let annot = AnnotationSet::new();
         let b = block(
             0x0010_0000,
-            vec![(0x0010_0000, Insn::BCond { cond: spmlab_isa::cond::Cond::Eq, off: 8 })],
+            vec![(
+                0x0010_0000,
+                Insn::BCond {
+                    cond: spmlab_isa::cond::Cond::Eq,
+                    off: 8,
+                },
+            )],
         );
         // 1 base + 2 taken-penalty + 2 fetch.
         assert_eq!(block_cost(&b, &map, &annot, &BTreeMap::new()), 5);

@@ -40,7 +40,11 @@ pub fn speech_like(n: usize, seed: u64) -> Vec<i32> {
     let tri = |k: usize, period: usize, amp: i32| {
         let phase = (k % period) as i32;
         let half = (period / 2) as i32;
-        let v = if phase < half { phase } else { period as i32 - phase };
+        let v = if phase < half {
+            phase
+        } else {
+            period as i32 - phase
+        };
         (v - half / 2) * amp / half.max(1)
     };
     (0..n)

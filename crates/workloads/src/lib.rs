@@ -103,7 +103,9 @@ impl Benchmark {
     ) -> Result<LinkedProgram, CcError> {
         let mut linked = link(module, map, assignment)?;
         linked.exe.patch_global(self.input_global, input)?;
-        linked.exe.patch_global(self.count_global, &[input.len() as i32])?;
+        linked
+            .exe
+            .patch_global(self.count_global, &[input.len() as i32])?;
         Ok(linked)
     }
 }
@@ -207,9 +209,14 @@ mod tests {
         let linked = b
             .build(&MemoryMap::no_spm(), &SpmAssignment::none(), input)
             .unwrap_or_else(|e| panic!("{}: {e}", b.name));
-        let res = simulate(&linked.exe, &MachineConfig::uncached(), &SimOptions::default())
-            .unwrap_or_else(|e| panic!("{}: {e}", b.name));
-        res.read_global(&linked.exe, "checksum").expect("checksum global")
+        let res = simulate(
+            &linked.exe,
+            &MachineConfig::uncached(),
+            &SimOptions::default(),
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        res.read_global(&linked.exe, "checksum")
+            .expect("checksum global")
     }
 
     #[test]
@@ -243,8 +250,14 @@ mod tests {
 
     #[test]
     fn insertsort_matches_reference() {
-        for input in [(INSERTSORT.typical_input)(), (INSERTSORT.worst_input.unwrap())()] {
-            assert_eq!(run_checksum(&INSERTSORT, &input), reference::insertsort(&input));
+        for input in [
+            (INSERTSORT.typical_input)(),
+            (INSERTSORT.worst_input.unwrap())(),
+        ] {
+            assert_eq!(
+                run_checksum(&INSERTSORT, &input),
+                reference::insertsort(&input)
+            );
         }
     }
 

@@ -7,6 +7,16 @@
 //! asserts the checksums agree — a differential test of the whole
 //! compiler + linker + simulator stack.
 
+// The twins below intentionally mirror their `.mc` sources statement by
+// statement — clippy's structural simplifications (merging identical
+// branches, `<` for `+ 1 <=`, iterator loops) would break the one-to-one
+// correspondence the differential tests rely on for auditability.
+#![allow(
+    clippy::if_same_then_else,
+    clippy::int_plus_one,
+    clippy::needless_range_loop
+)]
+
 fn wrap_mul_add(acc: i32, mul: i32, add: i32) -> i32 {
     acc.wrapping_mul(mul).wrapping_add(add)
 }
@@ -14,12 +24,12 @@ fn wrap_mul_add(acc: i32, mul: i32, add: i32) -> i32 {
 /// Twin of `adpcm.mc`.
 pub fn adpcm(input: &[i32]) -> i32 {
     const STEPSIZE: [i32; 89] = [
-        7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41, 45, 50, 55,
-        60, 66, 73, 80, 88, 97, 107, 118, 130, 143, 158, 173, 192, 211, 233, 257, 282, 311,
-        343, 378, 417, 460, 505, 555, 612, 670, 733, 805, 876, 963, 1060, 1166, 1282, 1411,
-        1552, 1707, 1878, 2066, 2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358,
-        5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899, 15289, 16818, 18500,
-        20350, 22385, 24623, 27086, 29794, 32767,
+        7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41, 45, 50, 55, 60,
+        66, 73, 80, 88, 97, 107, 118, 130, 143, 158, 173, 192, 211, 233, 257, 282, 311, 343, 378,
+        417, 460, 505, 555, 612, 670, 733, 805, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878,
+        2066, 2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132, 7845,
+        8630, 9493, 10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086,
+        29794, 32767,
     ];
     const INDEX: [i32; 16] = [-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8];
 
@@ -257,7 +267,9 @@ pub fn insertsort(input: &[i32]) -> i32 {
 
 /// Twin of `fir.mc`.
 pub fn fir(input: &[i32]) -> i32 {
-    const COEFF: [i32; 16] = [3, -5, 9, -16, 27, -44, 73, 123, 123, 73, -44, 27, -16, 9, -5, 3];
+    const COEFF: [i32; 16] = [
+        3, -5, 9, -16, 27, -44, 73, 123, 123, 73, -44, 27, -16, 9, -5, 3,
+    ];
     let n = input.len();
     let mut checksum = 0i32;
     let mut output = vec![0i32; n];
@@ -320,14 +332,18 @@ struct G721 {
 }
 
 const QTAB: [i32; 7] = [-124, 80, 178, 246, 300, 349, 400];
-const DQLNTAB: [i32; 16] =
-    [-2048, 4, 135, 213, 273, 323, 373, 425, 425, 373, 323, 273, 213, 135, 4, -2048];
-const WITAB: [i32; 16] =
-    [-12, 18, 41, 64, 112, 198, 355, 1122, 1122, 355, 198, 112, 64, 41, 18, -12];
-const FITAB: [i32; 16] =
-    [0, 0, 0, 512, 512, 512, 1536, 3584, 3584, 1536, 512, 512, 512, 0, 0, 0];
-const POWER2: [i32; 15] =
-    [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384];
+const DQLNTAB: [i32; 16] = [
+    -2048, 4, 135, 213, 273, 323, 373, 425, 425, 373, 323, 273, 213, 135, 4, -2048,
+];
+const WITAB: [i32; 16] = [
+    -12, 18, 41, 64, 112, 198, 355, 1122, 1122, 355, 198, 112, 64, 41, 18, -12,
+];
+const FITAB: [i32; 16] = [
+    0, 0, 0, 512, 512, 512, 1536, 3584, 3584, 1536, 512, 512, 512, 0, 0, 0,
+];
+const POWER2: [i32; 15] = [
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384,
+];
 
 fn quan_qtab(val: i32) -> i32 {
     for (i, &q) in QTAB.iter().enumerate() {
@@ -359,7 +375,11 @@ fn fmult(an: i32, srn: i32) -> i32 {
     };
     let wanexp = anexp + ((srn >> 6) & 15) - 13;
     let wanmant = (anmant.wrapping_mul(srn & 63) + 48) >> 4;
-    let retval = if wanexp >= 0 { (wanmant << wanexp) & 32767 } else { wanmant >> -wanexp };
+    let retval = if wanexp >= 0 {
+        (wanmant << wanexp) & 32767
+    } else {
+        wanmant >> -wanexp
+    };
     if (an ^ srn) < 0 {
         -retval
     } else {
@@ -484,7 +504,11 @@ impl G721 {
             let pks1 = pk0 ^ self.pk[ch * 2] as i32;
             a2p = self.a[ch * 2 + 1] as i32 - ((self.a[ch * 2 + 1] as i32) >> 7);
             if self.g_dqsez != 0 {
-                let fa1 = if pks1 != 0 { self.a[ch * 2] as i32 } else { -(self.a[ch * 2] as i32) };
+                let fa1 = if pks1 != 0 {
+                    self.a[ch * 2] as i32
+                } else {
+                    -(self.a[ch * 2] as i32)
+                };
                 if fa1 < -8191 {
                     a2p -= 256;
                 } else if fa1 > 8191 {

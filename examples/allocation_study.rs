@@ -18,7 +18,9 @@ use spmlab_isa::annot::AnnotationSet;
 use spmlab_workloads::benchmark;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "multisort".into());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "multisort".into());
     let bench = benchmark(&name).ok_or(format!("unknown benchmark `{name}`"))?;
     println!("allocation study for `{}`\n", bench.name);
 
@@ -42,7 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             wa_run.wcet_cycles.to_string(),
         ]);
         println!("capacity {capacity} B:");
-        println!("  energy knapsack picked: {}", ek.assignment.iter().collect::<Vec<_>>().join(", "));
+        println!(
+            "  energy knapsack picked: {}",
+            ek.assignment.iter().collect::<Vec<_>>().join(", ")
+        );
         println!(
             "  wcet-aware picked:      {}",
             wa.assignment.iter().collect::<Vec<_>>().join(", ")
@@ -52,7 +57,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "{}",
         render_table(
-            &["bytes", "energy: sim", "energy: wcet", "wcet-aware: sim", "wcet-aware: wcet"],
+            &[
+                "bytes",
+                "energy: sim",
+                "energy: wcet",
+                "wcet-aware: sim",
+                "wcet-aware: wcet"
+            ],
             &rows
         )
     );

@@ -9,15 +9,23 @@
 
 use spmlab::pipeline::Pipeline;
 use spmlab::report::render_table;
-use spmlab::sweep::{cache_sweep, spm_sweep};
-use spmlab::PAPER_SIZES;
+use spmlab::sweep::{cache_sweep, hierarchy_sweep, spm_sweep};
+use spmlab::{hierarchy_axis, PAPER_SIZES};
 use spmlab_workloads::benchmark;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let name = args.iter().find(|a| !a.starts_with("--")).map(String::as_str).unwrap_or("adpcm");
+    let name = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("adpcm");
     let quick = args.iter().any(|a| a == "--quick");
-    let sizes: &[u32] = if quick { &[64, 512, 4096] } else { &PAPER_SIZES };
+    let sizes: &[u32] = if quick {
+        &[64, 512, 4096]
+    } else {
+        &PAPER_SIZES
+    };
 
     let bench = benchmark(name).ok_or_else(|| {
         format!(
@@ -56,14 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{}",
         render_table(
             &[
-                "bytes",
-                "spm sim",
-                "spm wcet",
-                "ratio",
-                "spm µJ",
-                "$ sim",
-                "$ wcet",
-                "ratio",
+                "bytes", "spm sim", "spm wcet", "ratio", "spm µJ", "$ sim", "$ wcet", "ratio",
                 "$ µJ"
             ],
             &rows
@@ -75,5 +76,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for p in &spm {
         println!("  {:>5} B: {}", p.size, p.result.spm_objects.join(", "));
     }
+
+    // The multi-level axis: split L1 I/D caches backed by a unified L2,
+    // over SRAM-style and DRAM-style main memories.
+    let l1 = 512;
+    let hier = hierarchy_sweep(&pipeline, &hierarchy_axis(l1))?;
+    let hrows: Vec<Vec<String>> = hier
+        .iter()
+        .map(|p| {
+            vec![
+                p.result.label.clone(),
+                p.result.sim_cycles.to_string(),
+                p.result.wcet_cycles.to_string(),
+                format!("{:.2}", p.result.ratio()),
+                p.result.classify.l2_hits.to_string(),
+            ]
+        })
+        .collect();
+    println!("\nmulti-level hierarchies (l1 budget {l1} B):");
+    println!(
+        "{}",
+        render_table(&["configuration", "sim", "wcet", "ratio", "L2 AH"], &hrows)
+    );
     Ok(())
 }

@@ -15,7 +15,9 @@ use spmlab_isa::mem::MemoryMap;
 use spmlab_workloads::benchmark;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "insertsort".into());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "insertsort".into());
     let bench = benchmark(&name).ok_or(format!("unknown benchmark `{name}`"))?;
     let module = bench.compile()?;
     let linked = link(&module, &MemoryMap::no_spm(), &SpmAssignment::none())?;
@@ -32,13 +34,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     for sym in exe.functions() {
-        let SymbolKind::Func { code_size } = sym.kind else { continue };
+        let SymbolKind::Func { code_size } = sym.kind else {
+            continue;
+        };
         println!("\n<{}>:", sym.name);
         let mut addr = sym.addr;
         let end = sym.addr + code_size;
         while addr < end {
             let hw = exe.read_half(addr).ok_or("unreadable code")?;
-            let next = if addr + 4 <= end { exe.read_half(addr + 2) } else { None };
+            let next = if addr + 4 <= end {
+                exe.read_half(addr + 2)
+            } else {
+                None
+            };
             let (insn, size) = decode(hw, next);
             let mut line = format!("  {:#010x}:  {}", addr, disassemble(&insn, addr));
             if let Some(bound) = linked.annotations.loop_bound(addr) {

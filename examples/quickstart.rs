@@ -39,7 +39,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Configuration 1: everything in main memory (2-cycle fetches,
     // 4-cycle word data — the paper's Table 1).
     let slow = link(&module, &MemoryMap::no_spm(), &SpmAssignment::none())?;
-    let slow_sim = simulate(&slow.exe, &MachineConfig::uncached(), &SimOptions::default())?;
+    let slow_sim = simulate(
+        &slow.exe,
+        &MachineConfig::uncached(),
+        &SimOptions::default(),
+    )?;
     let slow_wcet = analyze(&slow.exe, &WcetConfig::region_timing(), &slow.annotations)?;
 
     // Configuration 2: hot function + data on a 1 KiB scratchpad
@@ -48,12 +52,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let map = MemoryMap::with_spm(1024);
     let assignment = SpmAssignment::of(["sum_of_squares", "samples"]);
     let fast = link(&module, &map, &assignment)?;
-    let fast_sim = simulate(&fast.exe, &MachineConfig::uncached(), &SimOptions::default())?;
+    let fast_sim = simulate(
+        &fast.exe,
+        &MachineConfig::uncached(),
+        &SimOptions::default(),
+    )?;
     let fast_wcet = analyze(&fast.exe, &WcetConfig::region_timing(), &fast.annotations)?;
 
-    println!("result (energy global): {:?}", slow_sim.read_global(&slow.exe, "energy"));
+    println!(
+        "result (energy global): {:?}",
+        slow_sim.read_global(&slow.exe, "energy")
+    );
     println!();
-    println!("{:<22} {:>12} {:>12} {:>7}", "configuration", "sim cycles", "wcet bound", "ratio");
+    println!(
+        "{:<22} {:>12} {:>12} {:>7}",
+        "configuration", "sim cycles", "wcet bound", "ratio"
+    );
     for (name, sim, wcet) in [
         ("main memory only", &slow_sim, &slow_wcet),
         ("scratchpad (1 KiB)", &fast_sim, &fast_wcet),

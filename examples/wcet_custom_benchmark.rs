@@ -61,10 +61,25 @@ const UNBOUNDED: &str = r#"
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. The happy path: auto-detected counted loops.
-    let linked = link(&compile(MATVEC)?, &MemoryMap::no_spm(), &SpmAssignment::none())?;
-    let sim = simulate(&linked.exe, &MachineConfig::uncached(), &SimOptions::default())?;
-    let wcet = analyze(&linked.exe, &WcetConfig::region_timing(), &linked.annotations)?;
-    println!("matvec: checksum = {:?}", sim.read_global(&linked.exe, "checksum"));
+    let linked = link(
+        &compile(MATVEC)?,
+        &MemoryMap::no_spm(),
+        &SpmAssignment::none(),
+    )?;
+    let sim = simulate(
+        &linked.exe,
+        &MachineConfig::uncached(),
+        &SimOptions::default(),
+    )?;
+    let wcet = analyze(
+        &linked.exe,
+        &WcetConfig::region_timing(),
+        &linked.annotations,
+    )?;
+    println!(
+        "matvec: checksum = {:?}",
+        sim.read_global(&linked.exe, "checksum")
+    );
     println!(
         "matvec: sim {} cycles, WCET bound {} cycles (all loop bounds auto-detected)",
         sim.cycles, wcet.wcet_cycles
@@ -73,8 +88,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. The unhappy path: the analyzer refuses unbounded loops, naming
     // the offending header — the user then adds a `__loopbound`.
-    let linked = link(&compile(UNBOUNDED)?, &MemoryMap::no_spm(), &SpmAssignment::none())?;
-    match analyze(&linked.exe, &WcetConfig::region_timing(), &linked.annotations) {
+    let linked = link(
+        &compile(UNBOUNDED)?,
+        &MemoryMap::no_spm(),
+        &SpmAssignment::none(),
+    )?;
+    match analyze(
+        &linked.exe,
+        &WcetConfig::region_timing(),
+        &linked.annotations,
+    ) {
         Err(WcetError::UnboundedLoop { func, header }) => {
             println!("as expected, analysis rejected the search loop:");
             println!("  unbounded loop at {header:#x} in `{func}` — annotate it");
@@ -89,7 +112,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if let WcetError::UnboundedLoop { header, .. } = err {
         annotations.set_loop_bound(header, 99);
         let wcet = analyze(&linked.exe, &WcetConfig::region_timing(), &annotations)?;
-        println!("  with a user bound of 99 iterations: WCET = {} cycles", wcet.wcet_cycles);
+        println!(
+            "  with a user bound of 99 iterations: WCET = {} cycles",
+            wcet.wcet_cycles
+        );
     }
     Ok(())
 }

@@ -17,11 +17,17 @@ fn pos() -> Pos {
 }
 
 fn num(v: i64) -> Expr {
-    Expr::Num { value: v, pos: pos() }
+    Expr::Num {
+        value: v,
+        pos: pos(),
+    }
 }
 
 fn var(name: &str) -> Expr {
-    Expr::Var { name: name.into(), pos: pos() }
+    Expr::Var {
+        name: name.into(),
+        pos: pos(),
+    }
 }
 
 /// Variables readable in generated expressions.
@@ -83,7 +89,11 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
                 prop_oneof![Just(UnOp::Neg), Just(UnOp::Not), Just(UnOp::BitNot)],
                 inner.clone()
             )
-                .prop_map(|(op, e)| Expr::Un { op, operand: Box::new(e), pos: pos() }),
+                .prop_map(|(op, e)| Expr::Un {
+                    op,
+                    operand: Box::new(e),
+                    pos: pos()
+                }),
             // Masked array read: always in bounds.
             (prop::sample::select(&ARRAYS[..]), inner.clone()).prop_map(|((name, len), e)| {
                 Expr::Index {
@@ -128,14 +138,16 @@ fn assign_target_strategy() -> impl Strategy<Value = Expr> {
 
 fn stmt_strategy(loop_depth: u32) -> BoxedStrategy<Stmt> {
     let assign = (assign_target_strategy(), expr_strategy()).prop_map(|(t, v)| {
-        Stmt::Expr(Expr::Assign { lhs: Box::new(t), rhs: Box::new(v), pos: pos() })
+        Stmt::Expr(Expr::Assign {
+            lhs: Box::new(t),
+            rhs: Box::new(v),
+            pos: pos(),
+        })
     });
     if loop_depth >= 2 {
         return assign.boxed();
     }
-    let nested = move || {
-        prop::collection::vec(stmt_strategy(loop_depth + 1), 1..4)
-    };
+    let nested = move || prop::collection::vec(stmt_strategy(loop_depth + 1), 1..4);
     prop_oneof![
         4 => assign,
         2 => (expr_strategy(), nested(), nested()).prop_map(|(c, t, e)| Stmt::If {
@@ -188,10 +200,34 @@ fn program_strategy() -> impl Strategy<Value = Program> {
     )
         .prop_map(|(ginit, helper_body, main_stmts)| {
             let globals = vec![
-                Global { name: "g0".into(), ty: Type::Int, array_len: None, init: vec![ginit[0]], pos: pos() },
-                Global { name: "g1".into(), ty: Type::Int, array_len: None, init: vec![ginit[1]], pos: pos() },
-                Global { name: "g2".into(), ty: Type::Short, array_len: None, init: vec![ginit[2]], pos: pos() },
-                Global { name: "g3".into(), ty: Type::Char, array_len: None, init: vec![ginit[3]], pos: pos() },
+                Global {
+                    name: "g0".into(),
+                    ty: Type::Int,
+                    array_len: None,
+                    init: vec![ginit[0]],
+                    pos: pos(),
+                },
+                Global {
+                    name: "g1".into(),
+                    ty: Type::Int,
+                    array_len: None,
+                    init: vec![ginit[1]],
+                    pos: pos(),
+                },
+                Global {
+                    name: "g2".into(),
+                    ty: Type::Short,
+                    array_len: None,
+                    init: vec![ginit[2]],
+                    pos: pos(),
+                },
+                Global {
+                    name: "g3".into(),
+                    ty: Type::Char,
+                    array_len: None,
+                    init: vec![ginit[3]],
+                    pos: pos(),
+                },
                 Global {
                     name: "arr".into(),
                     ty: Type::Int,
@@ -213,14 +249,37 @@ fn program_strategy() -> impl Strategy<Value = Program> {
                 name: "helper".into(),
                 ret: Type::Int,
                 params: vec![("x0".into(), Type::Int), ("x1".into(), Type::Int)],
-                body: vec![Stmt::Return { value: Some(helper_body), pos: pos() }],
+                body: vec![Stmt::Return {
+                    value: Some(helper_body),
+                    pos: pos(),
+                }],
                 pos: pos(),
             };
             let mut body = vec![
-                Stmt::Decl { name: "x0".into(), ty: Type::Int, init: Some(num(3)), pos: pos() },
-                Stmt::Decl { name: "x1".into(), ty: Type::Int, init: Some(num(-7)), pos: pos() },
-                Stmt::Decl { name: "i0".into(), ty: Type::Int, init: Some(num(0)), pos: pos() },
-                Stmt::Decl { name: "i1".into(), ty: Type::Int, init: Some(num(0)), pos: pos() },
+                Stmt::Decl {
+                    name: "x0".into(),
+                    ty: Type::Int,
+                    init: Some(num(3)),
+                    pos: pos(),
+                },
+                Stmt::Decl {
+                    name: "x1".into(),
+                    ty: Type::Int,
+                    init: Some(num(-7)),
+                    pos: pos(),
+                },
+                Stmt::Decl {
+                    name: "i0".into(),
+                    ty: Type::Int,
+                    init: Some(num(0)),
+                    pos: pos(),
+                },
+                Stmt::Decl {
+                    name: "i1".into(),
+                    ty: Type::Int,
+                    init: Some(num(0)),
+                    pos: pos(),
+                },
             ];
             body.extend(main_stmts);
             let main = Func {
@@ -230,7 +289,10 @@ fn program_strategy() -> impl Strategy<Value = Program> {
                 body,
                 pos: pos(),
             };
-            Program { globals, funcs: vec![helper, main] }
+            Program {
+                globals,
+                funcs: vec![helper, main],
+            }
         })
 }
 

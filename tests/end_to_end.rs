@@ -26,8 +26,8 @@ fn paper_shape_on_reduced_adpcm() {
         "spm wcet falls with capacity"
     );
     let spm_ratios: Vec<f64> = spm.iter().map(|x| x.result.ratio()).collect();
-    let spread =
-        spm_ratios.iter().cloned().fold(f64::MIN, f64::max) / spm_ratios.iter().cloned().fold(f64::MAX, f64::min);
+    let spread = spm_ratios.iter().cloned().fold(f64::MIN, f64::max)
+        / spm_ratios.iter().cloned().fold(f64::MAX, f64::min);
     assert!(spread < 1.25, "spm ratio near-constant, spread {spread}");
 
     let cache_ratios: Vec<f64> = cache.iter().map(|x| x.result.ratio()).collect();
@@ -37,7 +37,11 @@ fn paper_shape_on_reduced_adpcm() {
     );
     // Scratchpad dominates the cache on the WCET metric at equal capacity.
     for (s, c) in spm.iter().zip(&cache) {
-        assert!(s.result.wcet_cycles <= c.result.wcet_cycles, "at {} bytes", s.size);
+        assert!(
+            s.result.wcet_cycles <= c.result.wcet_cycles,
+            "at {} bytes",
+            s.size
+        );
     }
 }
 
@@ -57,7 +61,9 @@ fn knapsack_allocation_is_input_independent() {
                 &inputs::random_ints(64, 1, -100, 100),
             )
             .unwrap();
-        simulate(&l.exe, &MachineConfig::uncached(), &SimOptions::default()).unwrap().profile
+        simulate(&l.exe, &MachineConfig::uncached(), &SimOptions::default())
+            .unwrap()
+            .profile
     };
     let alloc = knapsack::allocate(&module, &profile_a, 1024, &energy);
     // Rerun with a different input through the chosen layout: same layout,
@@ -65,11 +71,20 @@ fn knapsack_allocation_is_input_independent() {
     for seed in [2u64, 3, 4] {
         let input = inputs::random_ints(64, seed, -100, 100);
         let l = MULTISORT
-            .link_with_input(&module, &MemoryMap::with_spm(1024), &alloc.assignment, &input)
+            .link_with_input(
+                &module,
+                &MemoryMap::with_spm(1024),
+                &alloc.assignment,
+                &input,
+            )
             .unwrap();
         let r = simulate(&l.exe, &MachineConfig::uncached(), &SimOptions::default()).unwrap();
         let expected = (MULTISORT.reference_checksum)(&input);
-        assert_eq!(r.read_global(&l.exe, "checksum"), Some(expected), "seed {seed}");
+        assert_eq!(
+            r.read_global(&l.exe, "checksum"),
+            Some(expected),
+            "seed {seed}"
+        );
     }
 }
 
@@ -83,7 +98,12 @@ fn spm_objects_actually_live_in_the_scratchpad() {
     let assignment = SpmAssignment::of(r.spm_objects.iter().map(String::as_str));
     let map = MemoryMap::with_spm(512);
     let l = INSERTSORT
-        .link_with_input(&module, &map, &assignment, &inputs::random_ints(16, 7, -50, 50))
+        .link_with_input(
+            &module,
+            &map,
+            &assignment,
+            &inputs::random_ints(16, 7, -50, 50),
+        )
         .unwrap();
     for name in &r.spm_objects {
         let sym = l.exe.symbol(name).unwrap();
@@ -131,11 +151,19 @@ fn annotation_file_roundtrip_through_analysis() {
     let input = inputs::random_ints(16, 3, -50, 50);
     let module = INSERTSORT.compile().unwrap();
     let l = INSERTSORT
-        .link_with_input(&module, &MemoryMap::no_spm(), &SpmAssignment::none(), &input)
+        .link_with_input(
+            &module,
+            &MemoryMap::no_spm(),
+            &SpmAssignment::none(),
+            &input,
+        )
         .unwrap();
-    let direct =
-        spmlab_wcet::analyze(&l.exe, &spmlab_wcet::WcetConfig::region_timing(), &l.annotations)
-            .unwrap();
+    let direct = spmlab_wcet::analyze(
+        &l.exe,
+        &spmlab_wcet::WcetConfig::region_timing(),
+        &l.annotations,
+    )
+    .unwrap();
     let text = spmlab_wcet::annotfile::render(&l.annotations);
     let parsed = spmlab_wcet::annotfile::parse(&text, &l.exe).unwrap();
     let via_file =
@@ -150,13 +178,21 @@ fn flow_facts_tighten_but_never_break_soundness() {
     let input = inputs::descending(32);
     let module = INSERTSORT.compile().unwrap();
     let l = INSERTSORT
-        .link_with_input(&module, &MemoryMap::no_spm(), &SpmAssignment::none(), &input)
+        .link_with_input(
+            &module,
+            &MemoryMap::no_spm(),
+            &SpmAssignment::none(),
+            &input,
+        )
         .unwrap();
     let sim = simulate(&l.exe, &MachineConfig::uncached(), &SimOptions::default()).unwrap();
 
-    let with_facts =
-        spmlab_wcet::analyze(&l.exe, &spmlab_wcet::WcetConfig::region_timing(), &l.annotations)
-            .unwrap();
+    let with_facts = spmlab_wcet::analyze(
+        &l.exe,
+        &spmlab_wcet::WcetConfig::region_timing(),
+        &l.annotations,
+    )
+    .unwrap();
     // Strip flow facts by re-rendering without `flow` lines.
     let text: String = spmlab_wcet::annotfile::render(&l.annotations)
         .lines()
@@ -165,8 +201,7 @@ fn flow_facts_tighten_but_never_break_soundness() {
         .join("\n");
     let stripped = spmlab_wcet::annotfile::parse(&text, &l.exe).unwrap();
     let without_facts =
-        spmlab_wcet::analyze(&l.exe, &spmlab_wcet::WcetConfig::region_timing(), &stripped)
-            .unwrap();
+        spmlab_wcet::analyze(&l.exe, &spmlab_wcet::WcetConfig::region_timing(), &stripped).unwrap();
 
     assert!(with_facts.wcet_cycles <= without_facts.wcet_cycles);
     assert!(with_facts.wcet_cycles >= sim.cycles);

@@ -23,7 +23,10 @@ fn raw_exe(insns: &[Insn]) -> Executable {
     }
     let size = bytes.len() as u32;
     Executable {
-        regions: vec![LoadRegion { addr: MAIN_BASE, bytes }],
+        regions: vec![LoadRegion {
+            addr: MAIN_BASE,
+            bytes,
+        }],
         symbols: vec![Symbol {
             name: "_start".into(),
             addr: MAIN_BASE,
@@ -75,7 +78,10 @@ fn unannotated_binary_loop_needs_bounds() {
     // must demand an annotation...
     let exe = raw_exe(&[
         Insn::SubImm { rd: R0, imm: 1 },
-        Insn::BCond { cond: Cond::Ne, off: -6 },
+        Insn::BCond {
+            cond: Cond::Ne,
+            off: -6,
+        },
         Insn::Swi { imm: 0 },
     ]);
     let err = analyze(&exe, &WcetConfig::region_timing(), &AnnotationSet::new()).unwrap_err();
@@ -92,7 +98,12 @@ fn misaligned_and_unmapped_accesses_fault() {
     // ldr r0, [r1, #0] with r1 = 0 (unmapped when no scratchpad).
     let exe = raw_exe(&[
         Insn::MovImm { rd: R1, imm: 0 },
-        Insn::LdrImm { width: AccessWidth::Word, rd: R0, rn: R1, off: 0 },
+        Insn::LdrImm {
+            width: AccessWidth::Word,
+            rd: R0,
+            rn: R1,
+            off: 0,
+        },
         Insn::Swi { imm: 0 },
     ]);
     let err = simulate(&exe, &MachineConfig::uncached(), &SimOptions::default()).unwrap_err();
@@ -112,7 +123,10 @@ fn analysis_survives_handwritten_call_graphs() {
     let callee = callee.assemble().unwrap();
 
     let mut start = FuncBuilder::new("_start");
-    start.push(Insn::Push { regs: RegList::empty(), lr: true });
+    start.push(Insn::Push {
+        regs: RegList::empty(),
+        lr: true,
+    });
     start.push(Insn::MovImm { rd: R0, imm: 1 });
     start.bl("callee");
     start.ldr_lit(R1, LitValue::Const(0xABCD));
@@ -136,19 +150,26 @@ fn analysis_survives_handwritten_call_graphs() {
         bytes.extend(hw.to_le_bytes());
     }
     let exe = Executable {
-        regions: vec![LoadRegion { addr: start_addr, bytes }],
+        regions: vec![LoadRegion {
+            addr: start_addr,
+            bytes,
+        }],
         symbols: vec![
             Symbol {
                 name: "_start".into(),
                 addr: start_addr,
                 size: start.total_size(),
-                kind: SymbolKind::Func { code_size: start.code_size },
+                kind: SymbolKind::Func {
+                    code_size: start.code_size,
+                },
             },
             Symbol {
                 name: "callee".into(),
                 addr: callee_addr,
                 size: callee.total_size(),
-                kind: SymbolKind::Func { code_size: callee.code_size },
+                kind: SymbolKind::Func {
+                    code_size: callee.code_size,
+                },
             },
         ],
         entry: start_addr,

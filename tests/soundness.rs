@@ -4,8 +4,10 @@
 //! simulated cycle count** — and every always-hit proof of the cache
 //! analysis holds in the simulator's trace.
 
+use proptest::prelude::*;
 use spmlab_cc::SpmAssignment;
-use spmlab_isa::cachecfg::{CacheConfig, Replacement};
+use spmlab_isa::cachecfg::{CacheConfig, CacheScope, Replacement};
+use spmlab_isa::hierarchy::{MainMemoryTiming, MemHierarchyConfig, L1};
 use spmlab_isa::mem::MemoryMap;
 use spmlab_sim::{simulate, MachineConfig, SimOptions};
 use spmlab_wcet::{analyze, WcetConfig};
@@ -43,11 +45,21 @@ fn region_timing_bounds_simulation_everywhere() {
             } else {
                 SpmAssignment::none()
             };
-            let linked = b.link_with_input(&module, &map, &assignment, &input).unwrap();
-            let sim = simulate(&linked.exe, &MachineConfig::uncached(), &SimOptions::default())
-                .unwrap_or_else(|e| panic!("{} spm={spm_size}: {e}", b.name));
-            let wcet = analyze(&linked.exe, &WcetConfig::region_timing(), &linked.annotations)
-                .unwrap_or_else(|e| panic!("{} spm={spm_size}: {e}", b.name));
+            let linked = b
+                .link_with_input(&module, &map, &assignment, &input)
+                .unwrap();
+            let sim = simulate(
+                &linked.exe,
+                &MachineConfig::uncached(),
+                &SimOptions::default(),
+            )
+            .unwrap_or_else(|e| panic!("{} spm={spm_size}: {e}", b.name));
+            let wcet = analyze(
+                &linked.exe,
+                &WcetConfig::region_timing(),
+                &linked.annotations,
+            )
+            .unwrap_or_else(|e| panic!("{} spm={spm_size}: {e}", b.name));
             assert!(
                 wcet.wcet_cycles >= sim.cycles,
                 "{} spm={spm_size}: wcet {} < sim {}",
@@ -65,7 +77,12 @@ fn cache_analysis_bounds_simulation_everywhere() {
         let input = small_input(b);
         let module = b.compile().unwrap();
         let linked = b
-            .link_with_input(&module, &MemoryMap::no_spm(), &SpmAssignment::none(), &input)
+            .link_with_input(
+                &module,
+                &MemoryMap::no_spm(),
+                &SpmAssignment::none(),
+                &input,
+            )
             .unwrap();
         for cache in [
             CacheConfig::unified(64),
@@ -78,7 +95,7 @@ fn cache_analysis_bounds_simulation_everywhere() {
         ] {
             let sim = simulate(
                 &linked.exe,
-                &MachineConfig { cache: Some(cache.clone()) },
+                &MachineConfig::with_cache(cache.clone()),
                 &SimOptions::default(),
             )
             .unwrap();
@@ -110,7 +127,12 @@ fn always_hit_proofs_hold_in_simulator_traces() {
         let input = small_input(b);
         let module = b.compile().unwrap();
         let linked = b
-            .link_with_input(&module, &MemoryMap::no_spm(), &SpmAssignment::none(), &input)
+            .link_with_input(
+                &module,
+                &MemoryMap::no_spm(),
+                &SpmAssignment::none(),
+                &input,
+            )
             .unwrap();
         for cache in [
             CacheConfig::unified(256),
@@ -120,13 +142,16 @@ fn always_hit_proofs_hold_in_simulator_traces() {
         ] {
             let sim = simulate(
                 &linked.exe,
-                &MachineConfig { cache: Some(cache.clone()) },
+                &MachineConfig::with_cache(cache.clone()),
                 &SimOptions::default(),
             )
             .unwrap();
-            let wcet =
-                analyze(&linked.exe, &WcetConfig::with_cache(cache.clone()), &linked.annotations)
-                    .unwrap();
+            let wcet = analyze(
+                &linked.exe,
+                &WcetConfig::with_cache(cache.clone()),
+                &linked.annotations,
+            )
+            .unwrap();
             for &addr in &wcet.classification.fetch_always_hit {
                 if let Some(stat) = sim.insn_stats.get(&addr) {
                     assert_eq!(
@@ -162,12 +187,25 @@ fn worst_case_inputs_stay_below_the_bound() {
     ] {
         let module = b.compile().unwrap();
         let linked = b
-            .link_with_input(&module, &MemoryMap::no_spm(), &SpmAssignment::none(), &worst)
+            .link_with_input(
+                &module,
+                &MemoryMap::no_spm(),
+                &SpmAssignment::none(),
+                &worst,
+            )
             .unwrap();
-        let sim =
-            simulate(&linked.exe, &MachineConfig::uncached(), &SimOptions::default()).unwrap();
-        let wcet =
-            analyze(&linked.exe, &WcetConfig::region_timing(), &linked.annotations).unwrap();
+        let sim = simulate(
+            &linked.exe,
+            &MachineConfig::uncached(),
+            &SimOptions::default(),
+        )
+        .unwrap();
+        let wcet = analyze(
+            &linked.exe,
+            &WcetConfig::region_timing(),
+            &linked.annotations,
+        )
+        .unwrap();
         assert!(
             wcet.wcet_cycles >= sim.cycles,
             "{}: wcet {} < sim {} on adversarial input",
@@ -178,31 +216,290 @@ fn worst_case_inputs_stay_below_the_bound() {
     }
 }
 
+/// The acceptance matrix of the hierarchy subsystem: for SPM (both main
+/// timings), L1-only, and L1+L2 at two L2 sizes and two main-memory
+/// timings, the static bound covers the simulation, and the L1+L2 bound
+/// never exceeds the L1-only-with-L2-latency baseline (monotonicity).
+#[test]
+fn hierarchy_matrix_is_sound_and_monotone() {
+    let hierarchies = [
+        MemHierarchyConfig::uncached(),
+        MemHierarchyConfig::uncached_with(MainMemoryTiming::dram(10)),
+        MemHierarchyConfig::l1_only(CacheConfig::unified(512)),
+        MemHierarchyConfig::split_l1(256, 256),
+        MemHierarchyConfig::split_l1(256, 256).with_l2(CacheConfig::l2(1024)),
+        MemHierarchyConfig::split_l1(256, 256).with_l2(CacheConfig::l2(4096)),
+        MemHierarchyConfig::split_l1(256, 256)
+            .with_l2(CacheConfig::l2(4096))
+            .with_main(MainMemoryTiming::dram(10)),
+        MemHierarchyConfig::l1_only(CacheConfig::instr_only(512)).with_l2(CacheConfig::l2(4096)),
+    ];
+    for b in all() {
+        let input = small_input(b);
+        let module = b.compile().unwrap();
+        let linked = b
+            .link_with_input(
+                &module,
+                &MemoryMap::no_spm(),
+                &SpmAssignment::none(),
+                &input,
+            )
+            .unwrap();
+        for h in &hierarchies {
+            let sim = simulate(
+                &linked.exe,
+                &MachineConfig::with_hierarchy(h.clone()),
+                &SimOptions::default(),
+            )
+            .unwrap_or_else(|e| panic!("{} {}: {e}", b.name, h.label()));
+            let wcet = analyze(
+                &linked.exe,
+                &WcetConfig::with_hierarchy(h.clone()),
+                &linked.annotations,
+            )
+            .unwrap_or_else(|e| panic!("{} {}: {e}", b.name, h.label()));
+            assert!(
+                wcet.wcet_cycles >= sim.cycles,
+                "{} {}: wcet {} < sim {}",
+                b.name,
+                h.label(),
+                wcet.wcet_cycles,
+                sim.cycles
+            );
+            let l1_only = analyze(
+                &linked.exe,
+                &WcetConfig::with_hierarchy_l1_only(h.clone()),
+                &linked.annotations,
+            )
+            .unwrap();
+            assert!(
+                wcet.wcet_cycles <= l1_only.wcet_cycles,
+                "{} {}: L2 analysis loosened the bound ({} > {})",
+                b.name,
+                h.label(),
+                wcet.wcet_cycles,
+                l1_only.wcet_cycles
+            );
+        }
+        // SPM point of the axis: tight and sound under both main timings.
+        for main in [MainMemoryTiming::table1(), MainMemoryTiming::dram(10)] {
+            let map = MemoryMap::with_spm(4096);
+            let spm_linked = b
+                .link_with_input(&module, &map, &SpmAssignment::of(["main"]), &input)
+                .unwrap();
+            let machine = MachineConfig::with_hierarchy(MemHierarchyConfig::uncached_with(main));
+            let sim = simulate(&spm_linked.exe, &machine, &SimOptions::default()).unwrap();
+            let wcet = analyze(
+                &spm_linked.exe,
+                &WcetConfig::region_timing_with(main),
+                &spm_linked.annotations,
+            )
+            .unwrap();
+            assert!(
+                wcet.wcet_cycles >= sim.cycles,
+                "{} spm/dram unsound",
+                b.name
+            );
+        }
+    }
+}
+
+/// Hierarchy always-hit proofs must hold in the simulator's trace: an
+/// instruction the multi-level analysis classifies always-hit can never
+/// miss its first level in any concrete run.
+#[test]
+fn hierarchy_always_hit_proofs_hold_in_simulator_traces() {
+    for b in all() {
+        let input = small_input(b);
+        let module = b.compile().unwrap();
+        let linked = b
+            .link_with_input(
+                &module,
+                &MemoryMap::no_spm(),
+                &SpmAssignment::none(),
+                &input,
+            )
+            .unwrap();
+        for h in [
+            MemHierarchyConfig::split_l1(256, 256).with_l2(CacheConfig::l2(2048)),
+            MemHierarchyConfig::l1_only(CacheConfig::instr_only(512))
+                .with_l2(CacheConfig::l2(4096)),
+        ] {
+            let sim = simulate(
+                &linked.exe,
+                &MachineConfig::with_hierarchy(h.clone()),
+                &SimOptions::default(),
+            )
+            .unwrap();
+            let wcet = analyze(
+                &linked.exe,
+                &WcetConfig::with_hierarchy(h.clone()),
+                &linked.annotations,
+            )
+            .unwrap();
+            for &addr in &wcet.classification.fetch_always_hit {
+                if let Some(stat) = sim.insn_stats.get(&addr) {
+                    assert_eq!(
+                        stat.fetch_misses,
+                        0,
+                        "{} {}: fetch at {addr:#x} classified always-hit but missed",
+                        b.name,
+                        h.label()
+                    );
+                }
+            }
+            for &addr in &wcet.classification.data_always_hit {
+                if let Some(stat) = sim.insn_stats.get(&addr) {
+                    assert_eq!(
+                        stat.data_misses,
+                        0,
+                        "{} {}: data at {addr:#x} classified always-hit but missed",
+                        b.name,
+                        h.label()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Decodes an arbitrary 32-bit seed into a valid hierarchy configuration —
+/// the deterministic bridge between proptest's random bits and the
+/// constrained configuration space (power-of-two sizes, per-level
+/// geometry invariants).
+fn decode_hierarchy(bits: u32) -> MemHierarchyConfig {
+    let l1_sizes = [64u32, 128, 256, 512, 1024];
+    let assocs = [1u32, 2, 4];
+    let replacements = [
+        Replacement::Lru,
+        Replacement::RoundRobin,
+        Replacement::Random { seed: 7 },
+    ];
+    let pick = |field: u32, n: usize| (field as usize) % n;
+
+    let l1_size = l1_sizes[pick(bits, l1_sizes.len())];
+    let assoc = assocs[pick(bits >> 3, assocs.len())];
+    let replacement = replacements[pick(bits >> 5, replacements.len())];
+    let mk_l1 = |scope: CacheScope| CacheConfig {
+        assoc: assoc.min(l1_size / 16),
+        replacement,
+        scope,
+        ..CacheConfig::unified(l1_size)
+    };
+    let l1 = match pick(bits >> 7, 4) {
+        0 => L1::None,
+        1 => L1::Unified(mk_l1(CacheScope::Unified)),
+        2 => L1::Unified(mk_l1(CacheScope::InstrOnly)),
+        _ => L1::Split {
+            i: Some(mk_l1(CacheScope::InstrOnly)),
+            d: Some(mk_l1(CacheScope::DataOnly)),
+        },
+    };
+    let l2 = match pick(bits >> 9, 3) {
+        0 => None,
+        1 => Some(CacheConfig::l2(1024)),
+        _ => Some(CacheConfig {
+            assoc: 2,
+            hit_latency: 2 + (bits >> 11) % 3,
+            ..CacheConfig::l2(4096)
+        }),
+    };
+    let main = MainMemoryTiming {
+        latency: ((bits >> 13) % 3) as u64 * 8,
+        beat_cycles: 1 + ((bits >> 15) % 2) as u64,
+        bus_bytes: if (bits >> 16).is_multiple_of(2) { 2 } else { 4 },
+    };
+    let h = MemHierarchyConfig { l1, l2, main };
+    h.validate();
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The headline invariant over *randomly drawn* hierarchies: simulated
+    /// cycles never exceed the multi-level WCET bound, and enabling the L2
+    /// MUST analysis never loosens it.
+    #[test]
+    fn random_hierarchies_stay_sound(
+        bench_idx in 0usize..3,
+        bits in any::<u32>(),
+        input_seed in 1u64..1000,
+    ) {
+        let (b, input): (&Benchmark, Vec<i32>) = match bench_idx {
+            0 => (&INSERTSORT, inputs::random_ints(12, input_seed, -99, 99)),
+            1 => (&CRC32, inputs::random_bytes(16, input_seed)),
+            _ => (&FIR, inputs::speech_like(24, input_seed)),
+        };
+        let h = decode_hierarchy(bits);
+        let module = b.compile().unwrap();
+        let linked = b
+            .link_with_input(&module, &MemoryMap::no_spm(), &SpmAssignment::none(), &input)
+            .unwrap();
+        let sim = simulate(
+            &linked.exe,
+            &MachineConfig::with_hierarchy(h.clone()),
+            &SimOptions::default(),
+        )
+        .unwrap();
+        let wcet = analyze(&linked.exe, &WcetConfig::with_hierarchy(h.clone()), &linked.annotations)
+            .unwrap();
+        prop_assert!(
+            wcet.wcet_cycles >= sim.cycles,
+            "{} {}: wcet {} < sim {}", b.name, h.label(), wcet.wcet_cycles, sim.cycles
+        );
+        let l1_only = analyze(
+            &linked.exe,
+            &WcetConfig::with_hierarchy_l1_only(h.clone()),
+            &linked.annotations,
+        )
+        .unwrap();
+        prop_assert!(
+            wcet.wcet_cycles <= l1_only.wcet_cycles,
+            "{} {}: L2 analysis loosened the bound", b.name, h.label()
+        );
+    }
+}
+
 #[test]
 fn persistence_is_sound_and_no_looser() {
     let input = small_input(&ADPCM);
     let module = ADPCM.compile().unwrap();
     let linked = ADPCM
-        .link_with_input(&module, &MemoryMap::no_spm(), &SpmAssignment::none(), &input)
+        .link_with_input(
+            &module,
+            &MemoryMap::no_spm(),
+            &SpmAssignment::none(),
+            &input,
+        )
         .unwrap();
     for size in [256u32, 1024, 8192] {
         let cache = CacheConfig::unified(size);
         let sim = simulate(
             &linked.exe,
-            &MachineConfig { cache: Some(cache.clone()) },
+            &MachineConfig::with_cache(cache.clone()),
             &SimOptions::default(),
         )
         .unwrap();
-        let must =
-            analyze(&linked.exe, &WcetConfig::with_cache(cache.clone()), &linked.annotations)
-                .unwrap();
+        let must = analyze(
+            &linked.exe,
+            &WcetConfig::with_cache(cache.clone()),
+            &linked.annotations,
+        )
+        .unwrap();
         let pers = analyze(
             &linked.exe,
             &WcetConfig::with_cache_persistence(cache.clone()),
             &linked.annotations,
         )
         .unwrap();
-        assert!(pers.wcet_cycles <= must.wcet_cycles, "persistence can only tighten");
-        assert!(pers.wcet_cycles >= sim.cycles, "persistence stays sound at {size}");
+        assert!(
+            pers.wcet_cycles <= must.wcet_cycles,
+            "persistence can only tighten"
+        );
+        assert!(
+            pers.wcet_cycles >= sim.cycles,
+            "persistence stays sound at {size}"
+        );
     }
 }

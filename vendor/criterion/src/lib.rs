@@ -1,0 +1,211 @@
+//! Vendored minimal stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to a crates registry, so the
+//! workspace ships this small replacement. It implements the subset of the
+//! criterion API the benches use — `Criterion`, `BenchmarkGroup`,
+//! `Bencher::iter`, `Throughput`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros — with a simple wall-clock measurement loop:
+//! warm-up, then `sample_size` timed samples, reporting the median
+//! per-iteration time on stdout. Good enough to track relative perf and to
+//! keep `cargo bench` runnable offline; swap in real criterion by changing
+//! the `[workspace.dependencies]` entry.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value sink preventing the optimizer from deleting benchmarked
+/// work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation (recorded, echoed in the report line).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Per-iteration timing driver handed to bench closures.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `f`, collecting the configured number of samples.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up: estimate the per-call cost, then size samples so each
+        // takes roughly 10 ms (capped to keep totals reasonable).
+        let warm_start = Instant::now();
+        let mut calls = 0u64;
+        while warm_start.elapsed() < Duration::from_millis(20) && calls < 1_000_000 {
+            black_box(f());
+            calls += 1;
+        }
+        let per_call = warm_start
+            .elapsed()
+            .checked_div(calls.max(1) as u32)
+            .unwrap_or_default();
+        self.iters_per_sample = if per_call.is_zero() {
+            1000
+        } else {
+            (Duration::from_millis(10).as_nanos() / per_call.as_nanos().max(1)).clamp(1, 100_000)
+                as u64
+        };
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(f());
+            }
+            self.samples
+                .push(start.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+}
+
+fn render(duration: Duration) -> String {
+    let nanos = duration.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+fn run_bench(
+    id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: impl FnOnce(&mut Bencher),
+) {
+    let mut b = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::new(),
+        sample_size,
+    };
+    f(&mut b);
+    b.samples.sort();
+    let median = b
+        .samples
+        .get(b.samples.len() / 2)
+        .copied()
+        .unwrap_or_default();
+    let lo = b.samples.first().copied().unwrap_or_default();
+    let hi = b.samples.last().copied().unwrap_or_default();
+    let tp = match throughput {
+        Some(Throughput::Bytes(n)) if !median.is_zero() => {
+            format!(
+                "  {:.1} MiB/s",
+                n as f64 / median.as_secs_f64() / (1 << 20) as f64
+            )
+        }
+        Some(Throughput::Elements(n)) if !median.is_zero() => {
+            format!("  {:.1} Kelem/s", n as f64 / median.as_secs_f64() / 1e3)
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{id:<48} [{} {} {}]{tp}",
+        render(lo),
+        render(median),
+        render(hi)
+    );
+}
+
+/// The benchmark manager (criterion's top-level type).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Accepted for CLI compatibility; arguments are ignored.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Criterion {
+        run_bench(id, self.sample_size, None, |b| f(b));
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_bench(
+            &format!("{}/{id}", self.name),
+            self.sample_size,
+            self.throughput,
+            |b| f(b),
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of bench functions (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

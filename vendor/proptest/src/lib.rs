@@ -1,0 +1,171 @@
+//! Vendored minimal stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to a crates registry, so the
+//! workspace ships this small replacement implementing exactly the API
+//! surface the workspace's property tests use: the [`strategy::Strategy`]
+//! trait with `prop_map` / `prop_filter` / `prop_filter_map` /
+//! `prop_recursive` / `boxed`, integer-range / tuple / `Just` / `any` /
+//! `select` / `collection::vec` strategies, weighted `prop_oneof!`,
+//! `prop_compose!`, and the `proptest!` test macro with
+//! `ProptestConfig`-style case counts.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports its seed; re-run with
+//!   `PROPTEST_SEED=<seed>` to reproduce deterministically.
+//! * **Deterministic by default.** The RNG seed is derived from the test
+//!   name (override with `PROPTEST_SEED`), so CI runs are reproducible.
+//! * `PROPTEST_CASES` overrides the configured case count globally.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Prelude mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest,
+    };
+
+    /// Mirror of the `prop` module re-exported by proptest's prelude.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// `proptest!` test harness macro: runs each `#[test]` body over `cases`
+/// randomly generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (config = ($cfg:expr);
+     $($(#[$meta:meta])* fn $name:ident($($var:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            // `$meta` passes the caller's attributes through verbatim —
+            // including the mandatory `#[test]` and any doc comments.
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let __strategies = ($($strat,)+);
+                let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                let __seed = __rng.seed();
+                let __cases = __config.effective_cases();
+                let mut __case = 0u32;
+                let mut __rejects = 0u32;
+                while __case < __cases {
+                    let ($($var,)+) =
+                        match $crate::strategy::Strategy::pick(&__strategies, &mut __rng) {
+                            ::core::option::Option::Some(v) => v,
+                            ::core::option::Option::None => {
+                                __rejects += 1;
+                                ::core::assert!(
+                                    __rejects < __cases.saturating_mul(64).max(65536),
+                                    "proptest `{}`: too many rejected inputs",
+                                    stringify!($name)
+                                );
+                                continue;
+                            }
+                        };
+                    __case += 1;
+                    let __result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                    if let ::core::result::Result::Err(e) = __result {
+                        ::core::panic!(
+                            "proptest `{}` failed at case {}/{} (PROPTEST_SEED={}): {}",
+                            stringify!($name), __case, __cases, __seed, e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Weighted or unweighted union of strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// `prop_compose!`: defines a function returning a strategy built from
+/// named sub-strategies.
+#[macro_export]
+macro_rules! prop_compose {
+    (fn $name:ident()($($var:ident in $strat:expr),+ $(,)?) -> $ret:ty $body:block) => {
+        fn $name() -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::Strategy::prop_map(($($strat,)+), move |($($var,)+)| $body)
+        }
+    };
+}
+
+/// Assertion returning `Err(TestCaseError)` instead of panicking, so the
+/// harness can report the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Equality assertion variant of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {:?} == {:?}: {}", l, r, ::std::format!($($fmt)*)
+        );
+    }};
+}
+
+/// Inequality assertion variant of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}

@@ -1,0 +1,26 @@
+//! Sampling strategies (`prop::sample::select`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy drawing uniformly from a fixed slice.
+#[derive(Debug, Clone)]
+pub struct Select<T: 'static> {
+    options: &'static [T],
+}
+
+impl<T: Clone + 'static> Strategy for Select<T> {
+    type Value = T;
+    fn pick(&self, rng: &mut TestRng) -> Option<T> {
+        if self.options.is_empty() {
+            return None;
+        }
+        Some(self.options[rng.below(self.options.len() as u64) as usize].clone())
+    }
+}
+
+/// Uniformly selects one of `options`.
+pub fn select<T: Clone + 'static>(options: &'static [T]) -> Select<T> {
+    assert!(!options.is_empty(), "select() needs at least one option");
+    Select { options }
+}

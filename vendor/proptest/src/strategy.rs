@@ -1,0 +1,247 @@
+//! The [`Strategy`] trait and its combinators.
+
+use crate::test_runner::TestRng;
+use std::rc::Rc;
+
+/// A generator of values for property tests.
+///
+/// `pick` returns `None` when the drawn value was rejected (by a filter);
+/// the harness then retries the whole case with fresh randomness.
+pub trait Strategy: Clone {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn pick(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U + Clone,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values satisfying `pred`.
+    fn prop_filter<F>(self, _reason: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool + Clone,
+    {
+        Filter { inner: self, pred }
+    }
+
+    /// Maps values through `f`, rejecting those mapped to `None`.
+    fn prop_filter_map<U, F>(self, _reason: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<U> + Clone,
+    {
+        FilterMap { inner: self, f }
+    }
+
+    /// Builds a recursive strategy: `self` generates leaves and `f` wraps an
+    /// inner strategy into one more level, up to `depth` levels.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let leaf = self.boxed();
+        let mut cur = leaf.clone();
+        for _ in 0..depth {
+            cur = Union::new(vec![(1, leaf.clone()), (2, f(cur).boxed())]).boxed();
+        }
+        cur
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn pick(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U + Clone,
+{
+    type Value = U;
+    fn pick(&self, rng: &mut TestRng) -> Option<U> {
+        self.inner.pick(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool + Clone,
+{
+    type Value = S::Value;
+    fn pick(&self, rng: &mut TestRng) -> Option<S::Value> {
+        self.inner.pick(rng).filter(|v| (self.pred)(v))
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+#[derive(Clone)]
+pub struct FilterMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for FilterMap<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Option<U> + Clone,
+{
+    type Value = U;
+    fn pick(&self, rng: &mut TestRng) -> Option<U> {
+        self.inner.pick(rng).and_then(&self.f)
+    }
+}
+
+trait ObjStrategy<T> {
+    fn pick_obj(&self, rng: &mut TestRng) -> Option<T>;
+}
+
+impl<S: Strategy> ObjStrategy<S::Value> for S {
+    fn pick_obj(&self, rng: &mut TestRng) -> Option<S::Value> {
+        self.pick(rng)
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn ObjStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> BoxedStrategy<T> {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn pick(&self, rng: &mut TestRng) -> Option<T> {
+        self.0.pick_obj(rng)
+    }
+}
+
+/// Weighted union over strategies of a common value type (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Union<T> {
+        Union {
+            arms: self.arms.clone(),
+            total: self.total,
+        }
+    }
+}
+
+impl<T> Union<T> {
+    /// Builds a union from `(weight, strategy)` arms.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+        let total = arms.iter().map(|(w, _)| *w as u64).sum::<u64>().max(1);
+        Union { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn pick(&self, rng: &mut TestRng) -> Option<T> {
+        let mut x = rng.below(self.total);
+        for (w, s) in &self.arms {
+            if x < *w as u64 {
+                return s.pick(rng);
+            }
+            x -= *w as u64;
+        }
+        self.arms.last()?.1.pick(rng)
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),+ $(,)?) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn pick(&self, rng: &mut TestRng) -> Option<$t> {
+                debug_assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                Some((self.start as i128 + rng.below_u128(span) as i128) as $t)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn pick(&self, rng: &mut TestRng) -> Option<$t> {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                debug_assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo + 1) as u128;
+                Some((lo + rng.below_u128(span) as i128) as $t)
+            }
+        }
+    )+};
+}
+
+int_range_strategies!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident . $idx:tt),+);)+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn pick(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                Some(($(self.$idx.pick(rng)?,)+))
+            }
+        }
+    )+};
+}
+
+tuple_strategies! {
+    (A.0);
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+    (A.0, B.1, C.2, D.3, E.4);
+    (A.0, B.1, C.2, D.3, E.4, F.5);
+}

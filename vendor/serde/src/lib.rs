@@ -1,0 +1,16 @@
+//! Vendored minimal stand-in for the `serde` crate.
+//!
+//! The build environment has no network access to a crates registry, so the
+//! workspace ships this tiny replacement. It provides exactly what the
+//! workspace uses: the `Serialize` / `Deserialize` marker traits and their
+//! derive macros (which expand to nothing — no code in this repository
+//! performs actual serialization yet). Swapping in the real `serde` later
+//! only requires changing the `[workspace.dependencies]` entry.
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,15 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` backing the
+//! vendored serde stand-in (see `vendor/serde`). The derives accept the
+//! usual `#[serde(...)]` helper attribute and expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
