@@ -6,7 +6,10 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use spmlab::pipeline::Pipeline;
 use spmlab::MemHierarchyConfig;
-use spmlab_bench::{hierarchy_figure, hierarchy_json, hierarchy_l1_size};
+use spmlab_bench::{
+    append_history, hierarchy_figure, hierarchy_json, hierarchy_l1_size, workspace_root,
+    BenchRecord,
+};
 use spmlab_isa::cachecfg::CacheConfig;
 use spmlab_workloads::ADPCM;
 
@@ -35,7 +38,9 @@ fn bench_hierarchy_points(c: &mut Criterion) {
 }
 
 fn bench_full_axis_and_emit_artifact(c: &mut Criterion) {
-    // Time one full quick axis, then write the artifact from a fresh run.
+    // Time one quick axis under criterion, then write the artifacts from a
+    // fresh *full* (slowest-benchmark) run so BENCH_hierarchy.json and the
+    // tracked bench history record the heavyweight sweep's wall seconds.
     let mut g = c.benchmark_group("hierarchy_axis");
     g.sample_size(2);
     g.bench_function("adpcm_full_axis", |b| {
@@ -44,14 +49,21 @@ fn bench_full_axis_and_emit_artifact(c: &mut Criterion) {
     g.finish();
 
     let start = std::time::Instant::now();
-    let fig = hierarchy_figure(true).unwrap();
-    let json = hierarchy_json(&fig, start.elapsed().as_secs_f64());
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hierarchy.json");
-    std::fs::write(path, json).expect("write BENCH_hierarchy.json");
+    let fig = hierarchy_figure(false).unwrap();
+    let wall = start.elapsed().as_secs_f64();
+    let json = hierarchy_json(&fig, wall);
+    let root = workspace_root();
+    let path = root.join("BENCH_hierarchy.json");
+    std::fs::write(&path, json).expect("write BENCH_hierarchy.json");
+    let record = BenchRecord::summarise(&fig, false, wall);
+    append_history(&root.join("bench_history.jsonl"), &record).expect("append bench history");
     println!(
-        "wrote {path} ({} points, l1 = {} B)",
+        "wrote {} ({} points, l1 = {} B, {:.3}s) and appended bench_history.jsonl @ {}",
+        path.display(),
         fig.rows().len(),
-        hierarchy_l1_size(true)
+        hierarchy_l1_size(false),
+        wall,
+        record.rev,
     );
 }
 

@@ -7,7 +7,9 @@
 //! experiments list                     # available ids
 //! ```
 
-use spmlab_bench::{run_experiment, verify_claims, EXPERIMENTS};
+use spmlab_bench::{
+    exp_hierarchy_with_artifacts, run_experiment, verify_claims, workspace_root, EXPERIMENTS,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -49,7 +51,14 @@ fn main() {
         ids
     };
     for id in selected {
-        match run_experiment(id, quick) {
+        // The hierarchy scenario additionally maintains the tracked bench
+        // artifacts (BENCH_hierarchy.json + bench_history.jsonl).
+        let result = if id == "hierarchy" {
+            exp_hierarchy_with_artifacts(quick, &workspace_root())
+        } else {
+            run_experiment(id, quick)
+        };
+        match result {
             Ok(text) => {
                 println!("==== {id} ====");
                 println!("{text}");

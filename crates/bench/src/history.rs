@@ -1,0 +1,228 @@
+//! Tracked bench history: every hierarchy-sweep run appends one JSON line
+//! to `bench_history.jsonl` (git revision, wall seconds, WCET-ratio
+//! summary), so the perf/predictability trajectory accumulates across
+//! revisions instead of being overwritten by each `BENCH_hierarchy.json`.
+//!
+//! The file is hand-rolled JSON-lines (the build environment has no
+//! serde_json); the reader below only understands the writer's own schema:
+//!
+//! ```text
+//! {"rev":"8a63b2c","benchmark":"g721","quick":false,"wall_seconds":1.370,
+//!  "points":8,"max_ratio":9.028,"sound":true}
+//! ```
+
+use spmlab::figures::FigureHierarchy;
+use spmlab::report::render_table;
+use std::path::Path;
+
+/// One recorded hierarchy-sweep run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Git revision the run was taken at (short hash, or `unknown`).
+    pub rev: String,
+    /// Benchmark swept.
+    pub benchmark: String,
+    /// Whether the quick (reduced) axis was used.
+    pub quick: bool,
+    /// Wall-clock seconds for the full sweep (pipeline setup included).
+    pub wall_seconds: f64,
+    /// Number of sweep points.
+    pub points: usize,
+    /// Worst WCET/sim ratio across the sweep.
+    pub max_ratio: f64,
+    /// Whether WCET ≥ simulation held at every point.
+    pub sound: bool,
+}
+
+impl BenchRecord {
+    /// Summarises one hierarchy figure as a record for the current git
+    /// revision.
+    pub fn summarise(fig: &FigureHierarchy, quick: bool, wall_seconds: f64) -> BenchRecord {
+        let max_ratio = fig
+            .rows()
+            .iter()
+            .map(|(_, sim, wcet)| *wcet as f64 / (*sim).max(1) as f64)
+            .fold(0.0, f64::max);
+        BenchRecord {
+            rev: git_revision(),
+            benchmark: fig.benchmark.clone(),
+            quick,
+            wall_seconds,
+            points: fig.rows().len(),
+            max_ratio,
+            sound: fig.all_sound(),
+        }
+    }
+
+    /// The JSON line for this record (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        format!(
+            "{{\"rev\":\"{}\",\"benchmark\":\"{}\",\"quick\":{},\"wall_seconds\":{:.3},\
+             \"points\":{},\"max_ratio\":{:.4},\"sound\":{}}}",
+            self.rev.replace('"', "'"),
+            self.benchmark.replace('"', "'"),
+            self.quick,
+            self.wall_seconds,
+            self.points,
+            self.max_ratio,
+            self.sound
+        )
+    }
+
+    /// Parses one line written by [`BenchRecord::to_json_line`]. Returns
+    /// `None` for malformed or foreign lines.
+    pub fn from_json_line(line: &str) -> Option<BenchRecord> {
+        Some(BenchRecord {
+            rev: json_str(line, "rev")?,
+            benchmark: json_str(line, "benchmark")?,
+            quick: json_raw(line, "quick")? == "true",
+            wall_seconds: json_raw(line, "wall_seconds")?.parse().ok()?,
+            points: json_raw(line, "points")?.parse().ok()?,
+            max_ratio: json_raw(line, "max_ratio")?.parse().ok()?,
+            sound: json_raw(line, "sound")? == "true",
+        })
+    }
+}
+
+/// Extracts the raw (unquoted) value of `"key":value` from a flat JSON line.
+fn json_raw(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find([',', '}'])
+        .filter(|_| !rest.starts_with('"'))
+        .or_else(|| {
+            // Quoted value: find the closing quote.
+            let inner = &rest[1..];
+            inner.find('"').map(|i| i + 2)
+        })?;
+    Some(rest[..end].to_string())
+}
+
+/// Extracts a quoted string value.
+fn json_str(line: &str, key: &str) -> Option<String> {
+    let raw = json_raw(line, key)?;
+    raw.strip_prefix('"')?.strip_suffix('"').map(str::to_string)
+}
+
+/// The current short git revision, or `unknown` outside a checkout.
+pub fn git_revision() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| String::from("unknown"))
+}
+
+/// Appends `record` to the JSON-lines history at `path`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn append_history(path: &Path, record: &BenchRecord) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(f, "{}", record.to_json_line())
+}
+
+/// Reads every parseable record from the history file (empty when absent).
+pub fn read_history(path: &Path) -> Vec<BenchRecord> {
+    std::fs::read_to_string(path)
+        .unwrap_or_default()
+        .lines()
+        .filter_map(BenchRecord::from_json_line)
+        .collect()
+}
+
+/// Renders the wall-seconds + WCET-ratio trajectory table across recorded
+/// revisions, oldest first.
+pub fn render_history(records: &[BenchRecord]) -> String {
+    if records.is_empty() {
+        return String::from("bench history: no recorded runs (bench_history.jsonl is empty)\n");
+    }
+    let rows: Vec<Vec<String>> = records
+        .iter()
+        .map(|r| {
+            vec![
+                r.rev.clone(),
+                r.benchmark.clone(),
+                if r.quick { "quick" } else { "full" }.to_string(),
+                format!("{:.3}", r.wall_seconds),
+                format!("{:.4}", r.max_ratio),
+                if r.sound { "yes" } else { "NO" }.to_string(),
+            ]
+        })
+        .collect();
+    format!(
+        "Bench history: hierarchy-sweep trajectory ({} runs)\n{}",
+        records.len(),
+        render_table(
+            &["rev", "benchmark", "axis", "wall s", "max ratio", "sound"],
+            &rows
+        )
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_roundtrips_through_json_line() {
+        let r = BenchRecord {
+            rev: "abc1234".into(),
+            benchmark: "g721".into(),
+            quick: false,
+            wall_seconds: 1.375,
+            points: 8,
+            max_ratio: 9.0281,
+            sound: true,
+        };
+        let line = r.to_json_line();
+        let back = BenchRecord::from_json_line(&line).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn malformed_lines_are_skipped() {
+        assert!(BenchRecord::from_json_line("").is_none());
+        assert!(BenchRecord::from_json_line("{\"rev\":\"x\"}").is_none());
+        assert!(BenchRecord::from_json_line("not json at all").is_none());
+    }
+
+    #[test]
+    fn history_appends_and_renders() {
+        let dir = std::env::temp_dir().join("spmlab_bench_history_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench_history.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let mut r = BenchRecord {
+            rev: "aaaaaaa".into(),
+            benchmark: "adpcm".into(),
+            quick: true,
+            wall_seconds: 0.043,
+            points: 8,
+            max_ratio: 7.9797,
+            sound: true,
+        };
+        append_history(&path, &r).unwrap();
+        r.rev = "bbbbbbb".into();
+        r.wall_seconds = 0.021;
+        append_history(&path, &r).unwrap();
+        let recs = read_history(&path);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].rev, "aaaaaaa");
+        assert_eq!(recs[1].wall_seconds, 0.021);
+        let table = render_history(&recs);
+        assert!(table.contains("bbbbbbb") && table.contains("max ratio"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

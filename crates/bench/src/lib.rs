@@ -13,6 +13,10 @@
 //! The Criterion benches in `benches/` time the same artefact generators
 //! on reduced inputs, one group per paper artefact.
 
+pub mod history;
+
+pub use history::{append_history, git_revision, read_history, render_history, BenchRecord};
+
 use spmlab::figures::{table1, table2, Figure3, FigureHierarchy, Tightness};
 use spmlab::pipeline::Pipeline;
 use spmlab::report;
@@ -138,6 +142,54 @@ pub fn exp_hierarchy(quick: bool) -> Result<String, CoreError> {
         "sound (wcet >= sim) at every point: {}\n",
         if fig.all_sound() { "yes" } else { "NO — BUG" }
     ));
+    Ok(out)
+}
+
+/// Runs the hierarchy scenario and emits its tracked artifacts into the
+/// workspace root: full runs rewrite `BENCH_hierarchy.json` with this
+/// run's sweep (quick smoke runs leave it untouched), and every run
+/// appends a one-line summary (with the git revision) to
+/// `bench_history.jsonl`, then renders the report plus the accumulated
+/// trajectory table.
+///
+/// # Errors
+///
+/// Pipeline failures; artifact IO errors are reported inline, not fatal.
+pub fn exp_hierarchy_with_artifacts(
+    quick: bool,
+    root: &std::path::Path,
+) -> Result<String, CoreError> {
+    let start = std::time::Instant::now();
+    let fig = hierarchy_figure(quick)?;
+    let wall = start.elapsed().as_secs_f64();
+    let mut out = report::render_hierarchy(&fig);
+    out.push_str(&format!(
+        "sound (wcet >= sim) at every point: {}\n",
+        if fig.all_sound() { "yes" } else { "NO — BUG" }
+    ));
+    // Only full runs refresh the tracked sweep artifact — a --quick smoke
+    // run must not clobber the committed full-axis numbers (the history
+    // line below still records it, flagged as quick).
+    if quick {
+        out.push_str("quick axis: BENCH_hierarchy.json left untouched\n");
+    } else {
+        let json_path = root.join("BENCH_hierarchy.json");
+        match std::fs::write(&json_path, hierarchy_json(&fig, wall)) {
+            Ok(()) => out.push_str(&format!("wrote {}\n", json_path.display())),
+            Err(e) => out.push_str(&format!("could not write {}: {e}\n", json_path.display())),
+        }
+    }
+    let record = BenchRecord::summarise(&fig, quick, wall);
+    let history_path = root.join("bench_history.jsonl");
+    match append_history(&history_path, &record) {
+        Ok(()) => out.push_str(&format!("appended {}\n", history_path.display())),
+        Err(e) => out.push_str(&format!(
+            "could not append {}: {e}\n",
+            history_path.display()
+        )),
+    }
+    out.push('\n');
+    out.push_str(&render_history(&read_history(&history_path)));
     Ok(out)
 }
 
@@ -336,6 +388,9 @@ pub fn run_experiment(id: &str, quick: bool) -> Result<String, CoreError> {
         "fig6" => exp_fig6(quick),
         "tightness" => exp_tightness(),
         "hierarchy" => exp_hierarchy(quick),
+        "bench-history" => Ok(render_history(&read_history(
+            &workspace_root().join("bench_history.jsonl"),
+        ))),
         "ablation-persistence" => exp_ablation_persistence(quick),
         "ablation-icache" => exp_ablation_icache(quick),
         "ablation-assoc" => exp_ablation_assoc(quick),
@@ -347,8 +402,13 @@ pub fn run_experiment(id: &str, quick: bool) -> Result<String, CoreError> {
     }
 }
 
+/// The workspace root (where the tracked bench artifacts live).
+pub fn workspace_root() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
 /// All experiment ids in report order.
-pub const EXPERIMENTS: [&str; 11] = [
+pub const EXPERIMENTS: [&str; 12] = [
     "table1",
     "table2",
     "fig3",
@@ -356,6 +416,7 @@ pub const EXPERIMENTS: [&str; 11] = [
     "fig6",
     "tightness",
     "hierarchy",
+    "bench-history",
     "ablation-persistence",
     "ablation-icache",
     "ablation-assoc",

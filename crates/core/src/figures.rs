@@ -177,9 +177,16 @@ impl FigureHierarchy {
         configs: &[MemHierarchyConfig],
     ) -> Result<FigureHierarchy, CoreError> {
         let pipeline = Pipeline::new(benchmark)?;
-        let spm_fast = pipeline.run_spm_with_main(spm_size, MainMemoryTiming::table1())?;
-        let spm_slow =
-            pipeline.run_spm_with_main(spm_size, MainMemoryTiming::dram(DRAM_LATENCY))?;
+        // One allocation/link/execution for both main-memory timings.
+        let mut spm_points = pipeline.run_spm_with_mains(
+            spm_size,
+            &[
+                MainMemoryTiming::table1(),
+                MainMemoryTiming::dram(DRAM_LATENCY),
+            ],
+        )?;
+        let spm_slow = spm_points.pop().expect("two timings requested");
+        let spm_fast = spm_points.pop().expect("two timings requested");
         Ok(FigureHierarchy {
             benchmark: benchmark.name.to_string(),
             spm: vec![SpmHierarchyPoint {

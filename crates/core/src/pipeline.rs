@@ -7,7 +7,9 @@ use spmlab_cc::{ObjModule, SpmAssignment};
 use spmlab_isa::cachecfg::CacheConfig;
 use spmlab_isa::hierarchy::{MainMemoryTiming, MemHierarchyConfig, L1};
 use spmlab_isa::mem::MemoryMap;
-use spmlab_sim::{simulate, MachineConfig, Profile, SimOptions, SimResult};
+use spmlab_sim::{
+    simulate, simulate_with_trace, MachineConfig, MemTrace, Profile, SimOptions, SimResult,
+};
 use spmlab_wcet::cache::ClassifyStats;
 use spmlab_wcet::{analyze, WcetConfig};
 use spmlab_workloads::Benchmark;
@@ -42,15 +44,23 @@ impl ConfigResult {
     }
 }
 
-/// A benchmark prepared for configuration sweeps: compiled once, profiled
-/// once on the baseline (exactly the paper's workflow — the knapsack uses
-/// the same access counts for every capacity).
+/// A benchmark prepared for configuration sweeps: compiled once, linked
+/// once for the cache/hierarchy branch, profiled once on the baseline
+/// (exactly the paper's workflow — the knapsack uses the same access
+/// counts for every capacity).
 pub struct Pipeline {
     benchmark: &'static Benchmark,
     module: ObjModule,
     input: Vec<i32>,
     expected_checksum: i32,
     baseline_profile: Profile,
+    /// The no-scratchpad link every cache/hierarchy point runs — shared so
+    /// an N-point sweep links once, not N times.
+    no_spm_link: spmlab_cc::LinkedProgram,
+    /// The baseline execution's memory trace. Hierarchy points replay it
+    /// instead of re-interpreting the program (`None` when the program is
+    /// timing-dependent and must be simulated per configuration).
+    trace: Option<MemTrace>,
     energy: EnergyModel,
     sim_options: SimOptions,
 }
@@ -82,7 +92,14 @@ impl Pipeline {
             &SpmAssignment::none(),
             &input,
         )?;
-        let res = simulate(&baseline.exe, &MachineConfig::uncached(), &sim_options)?;
+        // The baseline run feeds the allocator's profile and records the
+        // memory trace the hierarchy sweep replays; per-instruction
+        // statistics are only needed by the soundness tests, not here.
+        let baseline_options = SimOptions {
+            insn_stats: false,
+            ..sim_options.clone()
+        };
+        let (res, trace) = simulate_with_trace(&baseline.exe, &baseline_options)?;
         let expected_checksum = (benchmark.reference_checksum)(&input);
         let got = res
             .read_global(&baseline.exe, "checksum")
@@ -100,9 +117,23 @@ impl Pipeline {
             input,
             expected_checksum,
             baseline_profile: res.profile,
+            no_spm_link: baseline,
+            trace: trace.replayable().then_some(trace),
             energy: EnergyModel::default(),
             sim_options,
         })
+    }
+
+    /// Simulation options for sweep points: identical timing, but with the
+    /// per-symbol profile and per-instruction statistics collection turned
+    /// off — sweep results only consume cycles, memory statistics and the
+    /// final checksum, so the bookkeeping would be pure hot-loop overhead.
+    fn sweep_options(&self) -> SimOptions {
+        SimOptions {
+            insn_stats: false,
+            profile: false,
+            ..self.sim_options.clone()
+        }
     }
 
     /// The benchmark under test.
@@ -167,7 +198,11 @@ impl Pipeline {
         let linked = self
             .benchmark
             .link_with_input(&self.module, &map, assignment, &self.input)?;
-        let sim = simulate(&linked.exe, &MachineConfig::uncached(), &self.sim_options)?;
+        let sim = simulate(
+            &linked.exe,
+            &MachineConfig::uncached(),
+            &self.sweep_options(),
+        )?;
         let checksum = self.check(&sim, &linked.exe)?;
         let wcet = analyze(
             &linked.exe,
@@ -212,18 +247,25 @@ impl Pipeline {
         cache: CacheConfig,
         persistence: bool,
     ) -> Result<ConfigResult, CoreError> {
-        let linked = self.benchmark.link_with_input(
-            &self.module,
-            &MemoryMap::no_spm(),
-            &SpmAssignment::none(),
-            &self.input,
-        )?;
-        let sim = simulate(
-            &linked.exe,
-            &MachineConfig::with_cache(cache.clone()),
-            &self.sim_options,
-        )?;
-        let checksum = self.check(&sim, &linked.exe)?;
+        let linked = &self.no_spm_link;
+        // A single cache is a degenerate hierarchy with identical timing,
+        // so cache sweeps replay the recorded baseline trace too.
+        let single = MemHierarchyConfig::from_single_cache(Some(cache.clone()));
+        let (sim_cycles, mem_stats, checksum) = match &self.trace {
+            Some(trace) => {
+                let (cycles, stats) = trace.replay(&single)?;
+                (cycles, stats, self.expected_checksum)
+            }
+            None => {
+                let sim = simulate(
+                    &linked.exe,
+                    &MachineConfig::with_cache(cache.clone()),
+                    &self.sweep_options(),
+                )?;
+                let checksum = self.check(&sim, &linked.exe)?;
+                (sim.cycles, sim.mem_stats, checksum)
+            }
+        };
         let wcfg = if persistence {
             WcetConfig::with_cache_persistence(cache.clone())
         } else {
@@ -232,12 +274,12 @@ impl Pipeline {
         let wcet = analyze(&linked.exe, &wcfg, &linked.annotations)?;
         Ok(ConfigResult {
             label: format!("cache {}", cache.size),
-            sim_cycles: sim.cycles,
+            sim_cycles,
             wcet_cycles: wcet.wcet_cycles,
             checksum,
             energy_nj: self
                 .energy
-                .run_energy_nj(&sim.mem_stats, sim.cycles, 0, Some(cache.size)),
+                .run_energy_nj(&mem_stats, sim_cycles, 0, Some(cache.size)),
             spm_used: 0,
             spm_objects: Vec::new(),
             classify: wcet.total_classify(),
@@ -263,39 +305,83 @@ impl Pipeline {
     ///
     /// Link, simulation, WCET or checksum failures.
     pub fn run_hierarchy(&self, hierarchy: MemHierarchyConfig) -> Result<ConfigResult, CoreError> {
-        let linked = self.benchmark.link_with_input(
-            &self.module,
-            &MemoryMap::no_spm(),
-            &SpmAssignment::none(),
-            &self.input,
-        )?;
-        let sim = simulate(
-            &linked.exe,
-            &MachineConfig::with_hierarchy(hierarchy.clone()),
-            &self.sim_options,
-        )?;
-        let checksum = self.check(&sim, &linked.exe)?;
+        let measured = self.measure_hierarchy(&hierarchy)?;
+        Ok(self.package_hierarchy(&hierarchy, &measured))
+    }
+
+    /// The expensive half of [`Pipeline::run_hierarchy`]: simulate and
+    /// analyze one hierarchy. The result is config-label-free and
+    /// energy-free so sweep points whose *effective* hierarchy is
+    /// identical can share one measurement (see `sweep::hierarchy_sweep`).
+    pub(crate) fn measure_hierarchy(
+        &self,
+        hierarchy: &MemHierarchyConfig,
+    ) -> Result<HierarchyMeasurement, CoreError> {
+        let linked = &self.no_spm_link;
+        // Replay the baseline execution's memory trace under this
+        // hierarchy (bit-identical to a fresh simulation, minus the
+        // interpreter); fall back to full simulation for timing-dependent
+        // programs. The replayed memory image equals the baseline's, so
+        // its validated checksum carries over.
+        let (sim_cycles, mem_stats, checksum) = match &self.trace {
+            Some(trace) => {
+                let (cycles, stats) = trace.replay(hierarchy)?;
+                (cycles, stats, self.expected_checksum)
+            }
+            None => {
+                let sim = simulate(
+                    &linked.exe,
+                    &MachineConfig::with_hierarchy(hierarchy.clone()),
+                    &self.sweep_options(),
+                )?;
+                let checksum = self.check(&sim, &linked.exe)?;
+                (sim.cycles, sim.mem_stats, checksum)
+            }
+        };
         let wcet = analyze(
             &linked.exe,
             &WcetConfig::with_hierarchy(hierarchy.clone()),
             &linked.annotations,
         )?;
-        let cache_bytes = hierarchy_cache_bytes(&hierarchy);
-        Ok(ConfigResult {
-            label: hierarchy.label(),
-            sim_cycles: sim.cycles,
+        Ok(HierarchyMeasurement {
+            sim_cycles,
             wcet_cycles: wcet.wcet_cycles,
             checksum,
+            mem_stats,
+            classify: wcet.total_classify(),
+        })
+    }
+
+    /// The cheap half of [`Pipeline::run_hierarchy`]: labels a measurement
+    /// and prices its energy for the *actual* configuration (capacity
+    /// enters the energy model even when timing is shared).
+    pub(crate) fn package_hierarchy(
+        &self,
+        hierarchy: &MemHierarchyConfig,
+        m: &HierarchyMeasurement,
+    ) -> ConfigResult {
+        let cache_bytes = hierarchy_cache_bytes(hierarchy);
+        ConfigResult {
+            label: hierarchy.label(),
+            sim_cycles: m.sim_cycles,
+            wcet_cycles: m.wcet_cycles,
+            checksum: m.checksum,
             energy_nj: self.energy.run_energy_nj(
-                &sim.mem_stats,
-                sim.cycles,
+                &m.mem_stats,
+                m.sim_cycles,
                 0,
                 (cache_bytes > 0).then_some(cache_bytes),
             ),
             spm_used: 0,
             spm_objects: Vec::new(),
-            classify: wcet.total_classify(),
-        })
+            classify: m.classify,
+        }
+    }
+
+    /// The no-scratchpad executable the cache/hierarchy points run (memo
+    /// key derivation reads its image layout and annotations).
+    pub(crate) fn no_spm_link(&self) -> &spmlab_cc::LinkedProgram {
+        &self.no_spm_link
     }
 
     /// Scratchpad run over custom (e.g. DRAM) main-memory timing — the SPM
@@ -309,40 +395,88 @@ impl Pipeline {
         spm_size: u32,
         main: MainMemoryTiming,
     ) -> Result<ConfigResult, CoreError> {
+        let mut results = self.run_spm_with_mains(spm_size, &[main])?;
+        Ok(results.pop().expect("one timing in, one result out"))
+    }
+
+    /// Scratchpad run over several main-memory timings at once: the
+    /// allocation, link and execution happen a single time; each timing
+    /// re-prices the recorded trace (for an uncached machine that is pure
+    /// arithmetic over the access counters — no per-event work at all).
+    ///
+    /// # Errors
+    ///
+    /// Link, simulation, WCET or checksum failures.
+    pub fn run_spm_with_mains(
+        &self,
+        spm_size: u32,
+        mains: &[MainMemoryTiming],
+    ) -> Result<Vec<ConfigResult>, CoreError> {
         let alloc =
             knapsack::allocate(&self.module, &self.baseline_profile, spm_size, &self.energy);
         let map = MemoryMap::with_spm(spm_size);
         let linked =
             self.benchmark
                 .link_with_input(&self.module, &map, &alloc.assignment, &self.input)?;
-        let machine = MachineConfig::with_hierarchy(MemHierarchyConfig::uncached_with(main));
-        let sim = simulate(&linked.exe, &machine, &self.sim_options)?;
-        let checksum = self.check(&sim, &linked.exe)?;
-        let wcet = analyze(
-            &linked.exe,
-            &WcetConfig::region_timing_with(main),
-            &linked.annotations,
-        )?;
+        let (recorded, trace) = simulate_with_trace(&linked.exe, &self.sweep_options())?;
+        let checksum = self.check(&recorded, &linked.exe)?;
         let spm_used = linked
             .exe
             .bytes_in_region(spmlab_isa::mem::RegionKind::Scratchpad) as u32;
-        let mut label = format!("spm {spm_size}");
-        if main != MainMemoryTiming::table1() {
-            label.push_str(&format!(" (dram {})", main.latency));
-        }
-        Ok(ConfigResult {
-            label,
-            sim_cycles: sim.cycles,
-            wcet_cycles: wcet.wcet_cycles,
-            checksum,
-            energy_nj: self
-                .energy
-                .run_energy_nj(&sim.mem_stats, sim.cycles, spm_size, None),
-            spm_used,
-            spm_objects: alloc.assignment.iter().map(str::to_string).collect(),
-            classify: ClassifyStats::default(),
-        })
+        mains
+            .iter()
+            .map(|&main| {
+                let hierarchy = MemHierarchyConfig::uncached_with(main);
+                let (sim_cycles, mem_stats) = if main == MainMemoryTiming::table1() {
+                    // The recording machine *is* the Table-1 machine.
+                    (recorded.cycles, recorded.mem_stats.clone())
+                } else if trace.replayable() {
+                    trace.replay(&hierarchy)?
+                } else {
+                    let sim = simulate(
+                        &linked.exe,
+                        &MachineConfig::with_hierarchy(hierarchy),
+                        &self.sweep_options(),
+                    )?;
+                    self.check(&sim, &linked.exe)?;
+                    (sim.cycles, sim.mem_stats)
+                };
+                let wcet = analyze(
+                    &linked.exe,
+                    &WcetConfig::region_timing_with(main),
+                    &linked.annotations,
+                )?;
+                let mut label = format!("spm {spm_size}");
+                if main != MainMemoryTiming::table1() {
+                    label.push_str(&format!(" (dram {})", main.latency));
+                }
+                Ok(ConfigResult {
+                    label,
+                    sim_cycles,
+                    wcet_cycles: wcet.wcet_cycles,
+                    checksum,
+                    energy_nj: self
+                        .energy
+                        .run_energy_nj(&mem_stats, sim_cycles, spm_size, None),
+                    spm_used,
+                    spm_objects: alloc.assignment.iter().map(str::to_string).collect(),
+                    classify: ClassifyStats::default(),
+                })
+            })
+            .collect()
     }
+}
+
+/// One hierarchy point's raw measurement: everything [`ConfigResult`]
+/// needs except the label and the (capacity-dependent) energy figure.
+/// Shared between sweep points whose effective hierarchies are identical.
+#[derive(Debug, Clone)]
+pub(crate) struct HierarchyMeasurement {
+    pub sim_cycles: u64,
+    pub wcet_cycles: u64,
+    pub checksum: i32,
+    pub mem_stats: spmlab_sim::MemStats,
+    pub classify: ClassifyStats,
 }
 
 /// Total cache bytes across all levels (energy accounting input).

@@ -1,10 +1,21 @@
 //! Capacity sweeps over scratchpad and cache sizes, and configuration
 //! sweeps over memory hierarchies.
+//!
+//! Sweeps fan out across worker threads (`std::thread::scope` — every
+//! point only reads the shared [`Pipeline`]), and the hierarchy sweep
+//! additionally memoises points whose *effective* hierarchy is identical:
+//! a cache level large enough that every address the program can touch
+//! maps to its own set behaves identically at every larger capacity, so
+//! such points share one measurement instead of recomputing it.
 
 use crate::pipeline::{ConfigResult, Pipeline};
 use crate::CoreError;
-use spmlab_isa::cachecfg::CacheConfig;
-use spmlab_isa::hierarchy::MemHierarchyConfig;
+use spmlab_isa::cachecfg::{CacheConfig, Replacement};
+use spmlab_isa::hierarchy::{MemHierarchyConfig, L1};
+use spmlab_wcet::{analyze, WcetConfig};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// One capacity point of a sweep.
 #[derive(Debug, Clone)]
@@ -15,21 +26,60 @@ pub struct SweepPoint {
     pub result: ConfigResult,
 }
 
+/// Applies `f` to every item across scoped worker threads, preserving
+/// input order. On failure the error of the lowest-indexed failing item is
+/// returned (the same one a sequential loop would surface), keeping the
+/// function deterministic regardless of scheduling.
+fn par_try_map<T, R, F>(items: &[T], f: F) -> Result<Vec<R>, CoreError>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> Result<R, CoreError> + Sync,
+{
+    let n = items.len();
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, Result<R, CoreError>)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                done.lock().expect("worker poisoned results").push((i, r));
+            });
+        }
+    });
+    let mut slots: Vec<Option<Result<R, CoreError>>> = (0..n).map(|_| None).collect();
+    for (i, r) in done.into_inner().expect("results lock") {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index was claimed by a worker"))
+        .collect()
+}
+
 /// Runs the scratchpad branch over `sizes` (the paper's Figure 3a series).
 ///
 /// # Errors
 ///
 /// Propagates the first pipeline failure.
 pub fn spm_sweep(pipeline: &Pipeline, sizes: &[u32]) -> Result<Vec<SweepPoint>, CoreError> {
-    sizes
+    let results = par_try_map(sizes, |&size| pipeline.run_spm(size))?;
+    Ok(sizes
         .iter()
-        .map(|&size| {
-            Ok(SweepPoint {
-                size,
-                result: pipeline.run_spm(size)?,
-            })
-        })
-        .collect()
+        .zip(results)
+        .map(|(&size, result)| SweepPoint { size, result })
+        .collect())
 }
 
 /// Runs the cache branch over `sizes` (the paper's Figure 3b series).
@@ -38,15 +88,12 @@ pub fn spm_sweep(pipeline: &Pipeline, sizes: &[u32]) -> Result<Vec<SweepPoint>, 
 ///
 /// Propagates the first pipeline failure.
 pub fn cache_sweep(pipeline: &Pipeline, sizes: &[u32]) -> Result<Vec<SweepPoint>, CoreError> {
-    sizes
+    let results = par_try_map(sizes, |&size| pipeline.run_cache_default(size))?;
+    Ok(sizes
         .iter()
-        .map(|&size| {
-            Ok(SweepPoint {
-                size,
-                result: pipeline.run_cache_default(size)?,
-            })
-        })
-        .collect()
+        .zip(results)
+        .map(|(&size, result)| SweepPoint { size, result })
+        .collect())
 }
 
 /// Cache sweep with an arbitrary geometry builder (ablations: I-cache,
@@ -61,15 +108,15 @@ pub fn cache_sweep_with(
     persistence: bool,
     mut geometry: impl FnMut(u32) -> CacheConfig,
 ) -> Result<Vec<SweepPoint>, CoreError> {
-    sizes
-        .iter()
-        .map(|&size| {
-            Ok(SweepPoint {
-                size,
-                result: pipeline.run_cache(geometry(size), persistence)?,
-            })
-        })
-        .collect()
+    let configs: Vec<(u32, CacheConfig)> = sizes.iter().map(|&s| (s, geometry(s))).collect();
+    let results = par_try_map(&configs, |(_, cfg)| {
+        pipeline.run_cache(cfg.clone(), persistence)
+    })?;
+    Ok(configs
+        .into_iter()
+        .zip(results)
+        .map(|((size, _), result)| SweepPoint { size, result })
+        .collect())
 }
 
 /// WCET/simulation ratios of a sweep, normalised the way Figure 4 plots
@@ -87,26 +134,196 @@ pub struct HierarchyPoint {
     pub result: ConfigResult,
 }
 
+/// The address intervals one no-scratchpad execution (and its WCET
+/// analysis) can touch in main memory, plus the annotated array ranges
+/// the abstract domain weakens. Drives the effective-hierarchy memo.
+#[derive(Debug, Clone)]
+pub(crate) struct Footprint {
+    intervals: Vec<(u32, u32)>,
+    ranges: Vec<(u32, u32)>,
+}
+
+/// Computes the sweep footprint for `pipeline`'s no-scratchpad link:
+/// the loaded image, every annotated access range, and the analyzer's
+/// verified stack window. `None` (no memoisation) when the stack bound is
+/// unavailable or any read's address cannot be constrained at all — an
+/// `Unknown` access may concretely touch any main-memory line, escaping
+/// every interval the footprint could enumerate.
+pub(crate) fn sweep_footprint(pipeline: &Pipeline) -> Option<Footprint> {
+    let linked = pipeline.no_spm_link();
+    // Unannotated loads default to `AddrInfo::Unknown`; walking the real
+    // instruction stream (not just the annotation set, which omits them)
+    // is the only way to see these. Writes are exempt: they never touch a
+    // tag store and their cost depends only on the access width.
+    let cfgs = spmlab_wcet::cfg::build_all(&linked.exe).ok()?;
+    for cfg in cfgs.values() {
+        for block in cfg.blocks.values() {
+            for (addr, insn) in &block.insns {
+                for acc in spmlab_wcet::addrinfo::data_accesses(insn, *addr, &linked.annotations) {
+                    if !acc.is_write && matches!(acc.info, spmlab_isa::annot::AddrInfo::Unknown) {
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+    let map = &linked.exe.memory_map;
+    let main_lo = map.main_base;
+    let main_hi = map.main_base.saturating_add(map.main_size);
+    let clip = |lo: u32, hi: u32| -> Option<(u32, u32)> {
+        let lo = lo.max(main_lo);
+        let hi = hi.min(main_hi);
+        (hi > lo).then_some((lo, hi))
+    };
+    // The stack window needs a *verified* depth bound; without one the
+    // memo must stay off.
+    let stack_bytes = analyze(
+        &linked.exe,
+        &WcetConfig::region_timing(),
+        &linked.annotations,
+    )
+    .ok()?
+    .stack_bytes;
+    let mut intervals = Vec::new();
+    let mut ranges = Vec::new();
+    for r in &linked.exe.regions {
+        if let Some(iv) = clip(r.addr, r.addr.saturating_add(r.bytes.len() as u32)) {
+            intervals.push(iv);
+        }
+    }
+    for acc in linked.annotations.accesses() {
+        match acc.addr {
+            spmlab_isa::annot::AddrInfo::Exact(a) => {
+                if let Some(iv) = clip(a, a.saturating_add(4)) {
+                    intervals.push(iv);
+                }
+            }
+            spmlab_isa::annot::AddrInfo::Range { lo, hi } => {
+                if let Some(iv) = clip(lo, hi) {
+                    intervals.push(iv);
+                    ranges.push(iv);
+                }
+            }
+            // Stack accesses are covered by the verified stack window
+            // added below; Unknown reads disabled the memo above.
+            _ => {}
+        }
+    }
+    if let Some(iv) = clip(map.stack_top.saturating_sub(stack_bytes), map.stack_top) {
+        intervals.push(iv);
+    }
+    Some(Footprint { intervals, ranges })
+}
+
+/// Whether `cfg` is *conflict-free* over the footprint: every reachable
+/// line maps to its own set (so no eviction can ever occur, concretely or
+/// abstractly), and no annotated range reaches the analyzer's
+/// weaken-every-set threshold. Under these conditions the level's
+/// behaviour is fully determined by line size, associativity, latency and
+/// scope — capacity beyond the footprint and the replacement policy's
+/// victim choice are irrelevant.
+fn conflict_free(cfg: &CacheConfig, fp: &Footprint) -> bool {
+    let sets = cfg.num_sets() as u64;
+    let line = cfg.line.max(1);
+    for &(lo, hi) in &fp.ranges {
+        let k = ((hi - 1) / line) as u64 - (lo / line) as u64 + 1;
+        if k >= sets {
+            return false;
+        }
+    }
+    let mut lines: BTreeSet<u32> = BTreeSet::new();
+    for &(lo, hi) in &fp.intervals {
+        for l in (lo / line)..=((hi - 1) / line) {
+            lines.insert(l);
+            if lines.len() as u64 > sets {
+                return false; // More lines than sets: cannot be injective.
+            }
+        }
+    }
+    let set_indices: BTreeSet<u32> = lines.iter().map(|&l| l % sets as u32).collect();
+    set_indices.len() == lines.len()
+}
+
+/// The memo key of one cache level: conflict-free levels collapse to
+/// their behaviourally relevant parameters; everything else keys on the
+/// exact configuration.
+fn level_key(cfg: &CacheConfig, fp: Option<&Footprint>) -> String {
+    if let Some(fp) = fp {
+        if conflict_free(cfg, fp) {
+            return format!(
+                "free(line={},assoc={},lat={},scope={:?},lru={})",
+                cfg.line,
+                cfg.assoc,
+                cfg.hit_latency,
+                cfg.scope,
+                matches!(cfg.replacement, Replacement::Lru),
+            );
+        }
+    }
+    format!("{cfg:?}")
+}
+
+/// The effective-hierarchy memo key: two configurations with equal keys
+/// produce identical simulations *and* identical WCET analyses for this
+/// program, so one measurement serves both sweep points.
+pub(crate) fn effective_hierarchy_key(h: &MemHierarchyConfig, fp: Option<&Footprint>) -> String {
+    let l1 = match &h.l1 {
+        L1::None => String::from("none"),
+        L1::Unified(c) => format!("u[{}]", level_key(c, fp)),
+        L1::Split { i, d } => format!(
+            "s[{},{}]",
+            i.as_ref()
+                .map_or_else(|| String::from("-"), |c| level_key(c, fp)),
+            d.as_ref()
+                .map_or_else(|| String::from("-"), |c| level_key(c, fp)),
+        ),
+    };
+    let l2 =
+        h.l2.as_ref()
+            .map_or_else(|| String::from("-"), |c| level_key(c, fp));
+    format!("{l1}|{l2}|{:?}", h.main)
+}
+
 /// Runs the hierarchy axis: one simulation + multi-level WCET analysis per
-/// configuration (SPM points are separate — see
-/// [`Pipeline::run_spm_with_main`]).
+/// *distinct effective* configuration, fanned out across scoped threads;
+/// points whose effective hierarchy is identical share one measurement
+/// (each still gets its own label and capacity-dependent energy figure).
+/// SPM points are separate — see [`Pipeline::run_spm_with_main`].
 ///
 /// # Errors
 ///
-/// Propagates the first pipeline failure.
+/// Propagates the first pipeline failure (in input order).
 pub fn hierarchy_sweep(
     pipeline: &Pipeline,
     configs: &[MemHierarchyConfig],
 ) -> Result<Vec<HierarchyPoint>, CoreError> {
-    configs
+    let footprint = sweep_footprint(pipeline);
+    let keys: Vec<String> = configs
         .iter()
-        .map(|h| {
-            Ok(HierarchyPoint {
+        .map(|h| effective_hierarchy_key(h, footprint.as_ref()))
+        .collect();
+    // First config per distinct key measures; the rest share.
+    let mut rep_of_key: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut reps: Vec<usize> = Vec::new();
+    for (i, k) in keys.iter().enumerate() {
+        rep_of_key.entry(k.as_str()).or_insert_with(|| {
+            reps.push(i);
+            reps.len() - 1
+        });
+    }
+    let rep_configs: Vec<&MemHierarchyConfig> = reps.iter().map(|&i| &configs[i]).collect();
+    let measured = par_try_map(&rep_configs, |h| pipeline.measure_hierarchy(h))?;
+    Ok(configs
+        .iter()
+        .zip(&keys)
+        .map(|(h, k)| {
+            let m = &measured[rep_of_key[k.as_str()]];
+            HierarchyPoint {
                 config: h.clone(),
-                result: pipeline.run_hierarchy(h.clone())?,
-            })
+                result: pipeline.package_hierarchy(h, m),
+            }
         })
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -125,5 +342,82 @@ mod tests {
         assert_eq!(cache.len(), 2);
         let r = ratios(&spm);
         assert!(r.iter().all(|(_, x)| *x >= 1.0));
+    }
+
+    #[test]
+    fn hierarchy_sweep_matches_individual_runs() {
+        // Memoised + parallel sweep results must equal point-by-point
+        // sequential runs exactly.
+        let p = Pipeline::new(&INSERTSORT).unwrap();
+        let configs = vec![
+            MemHierarchyConfig::l1_only(CacheConfig::unified(256)),
+            MemHierarchyConfig::split_l1(256, 256).with_l2(CacheConfig::l2(2048)),
+            // A second L2 capacity that may or may not be effectively
+            // identical — either way the results must match a direct run.
+            MemHierarchyConfig::split_l1(256, 256).with_l2(CacheConfig::l2(8192)),
+        ];
+        let swept = hierarchy_sweep(&p, &configs).unwrap();
+        for (point, h) in swept.iter().zip(&configs) {
+            let direct = p.run_hierarchy(h.clone()).unwrap();
+            assert_eq!(
+                point.result.sim_cycles, direct.sim_cycles,
+                "{}",
+                direct.label
+            );
+            assert_eq!(
+                point.result.wcet_cycles, direct.wcet_cycles,
+                "{}",
+                direct.label
+            );
+            assert_eq!(point.result.label, direct.label);
+            assert!((point.result.energy_nj - direct.energy_nj).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn oversized_levels_share_an_effective_key() {
+        // Once a cache level's sets cover the whole footprint one line
+        // each, growing it further cannot change behaviour: the memo must
+        // key both capacities identically — and distinct small levels must
+        // never collapse.
+        let fp = Footprint {
+            intervals: vec![(0x0010_0000, 0x0010_0400)], // 1 KiB ⇒ 64 16-B lines
+            ranges: vec![],
+        };
+        let small_a = CacheConfig::unified(64);
+        let small_b = CacheConfig::unified(128);
+        assert_ne!(
+            level_key(&small_a, Some(&fp)),
+            level_key(&small_b, Some(&fp)),
+            "conflicting capacities stay distinct"
+        );
+        let big_a = CacheConfig::unified(2048); // 128 sets ≥ 64 lines
+        let big_b = CacheConfig::unified(8192);
+        assert_eq!(
+            level_key(&big_a, Some(&fp)),
+            level_key(&big_b, Some(&fp)),
+            "covering capacities collapse"
+        );
+        let h_a = MemHierarchyConfig::l1_only(big_a);
+        let h_b = MemHierarchyConfig::l1_only(big_b);
+        assert_eq!(
+            effective_hierarchy_key(&h_a, Some(&fp)),
+            effective_hierarchy_key(&h_b, Some(&fp))
+        );
+    }
+
+    #[test]
+    fn range_spanning_all_sets_blocks_the_memo() {
+        // An annotated array range that reaches the weaken-every-set
+        // threshold behaves differently at different set counts, so such
+        // levels must keep exact keys.
+        let fp = Footprint {
+            intervals: vec![(0x0010_0000, 0x0010_0100)],
+            ranges: vec![(0x0010_0000, 0x0010_0100)], // 16 lines
+        };
+        let cfg = CacheConfig::unified(256); // 16 sets ⇒ range covers all
+        assert!(!conflict_free(&cfg, &fp));
+        let big = CacheConfig::unified(1024); // 64 sets > 16 lines
+        assert!(conflict_free(&big, &fp));
     }
 }

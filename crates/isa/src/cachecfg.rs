@@ -105,14 +105,19 @@ impl CacheConfig {
         (self.size / self.line / self.assoc).max(1)
     }
 
+    /// The precomputed set/tag index math for this geometry.
+    pub fn indexer(&self) -> SetIndexer {
+        SetIndexer::new(self)
+    }
+
     /// The set index of an address.
     pub fn set_of(&self, addr: u32) -> u32 {
-        (addr / self.line) % self.num_sets()
+        self.indexer().set_of(addr)
     }
 
     /// The tag of an address.
     pub fn tag_of(&self, addr: u32) -> u32 {
-        (addr / self.line) / self.num_sets()
+        self.indexer().tag_of(addr)
     }
 
     /// Cycles for a read hit served by this level.
@@ -156,9 +161,123 @@ impl CacheConfig {
     }
 }
 
+/// Precomputed address → (set, tag) math for one cache geometry — the
+/// single definition shared by the simulator's tag stores and the WCET
+/// analyzer's abstract caches, hoisted here so the two sides can never
+/// disagree about line mapping.
+///
+/// Line sizes are validated powers of two, so the line number is a shift;
+/// the set index uses a mask when the set count is a power of two (the
+/// common case) and falls back to division otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SetIndexer {
+    line_shift: u32,
+    num_sets: u32,
+    /// `num_sets - 1` when `num_sets` is a power of two, else 0 (fallback).
+    set_mask: u32,
+    /// `log2(num_sets)` when a power of two (for the tag shift).
+    set_shift: u32,
+}
+
+impl SetIndexer {
+    /// Builds the indexer for `cfg`'s geometry.
+    pub fn new(cfg: &CacheConfig) -> SetIndexer {
+        let num_sets = cfg.num_sets();
+        let pow2 = num_sets.is_power_of_two();
+        SetIndexer {
+            line_shift: cfg.line.max(1).trailing_zeros(),
+            num_sets,
+            set_mask: if pow2 { num_sets - 1 } else { 0 },
+            set_shift: if pow2 { num_sets.trailing_zeros() } else { 0 },
+        }
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> u32 {
+        self.num_sets
+    }
+
+    /// The line number of an address.
+    pub fn line_of(&self, addr: u32) -> u32 {
+        addr >> self.line_shift
+    }
+
+    /// The set index of an address.
+    pub fn set_of(&self, addr: u32) -> u32 {
+        let line = addr >> self.line_shift;
+        if self.set_mask != 0 {
+            line & self.set_mask
+        } else {
+            line % self.num_sets
+        }
+    }
+
+    /// The tag of an address.
+    pub fn tag_of(&self, addr: u32) -> u32 {
+        let line = addr >> self.line_shift;
+        if self.set_mask != 0 {
+            line >> self.set_shift
+        } else {
+            line / self.num_sets
+        }
+    }
+
+    /// Both halves at once (the hot-path entry point).
+    pub fn set_and_tag(&self, addr: u32) -> (u32, u32) {
+        let line = addr >> self.line_shift;
+        if self.set_mask != 0 {
+            (line & self.set_mask, line >> self.set_shift)
+        } else {
+            (line % self.num_sets, line / self.num_sets)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn indexer_matches_division_math() {
+        for cfg in [
+            CacheConfig::unified(64),
+            CacheConfig::unified(8192),
+            CacheConfig::set_assoc(1024, 2, Replacement::Lru),
+            CacheConfig::l2(4096),
+        ] {
+            let ix = cfg.indexer();
+            for addr in (0u32..0x2000).step_by(7) {
+                let line = addr / cfg.line;
+                assert_eq!(ix.set_of(addr), line % cfg.num_sets(), "{addr:#x}");
+                assert_eq!(ix.tag_of(addr), line / cfg.num_sets(), "{addr:#x}");
+                assert_eq!(ix.set_and_tag(addr), (ix.set_of(addr), ix.tag_of(addr)));
+                assert_eq!(ix.line_of(addr), line);
+            }
+        }
+    }
+
+    #[test]
+    fn indexer_handles_non_power_of_two_sets() {
+        // 3-way 768-byte cache: 16 sets... 768/16/3 = 16 sets (pow2), so
+        // force a non-pow2 count directly: 48 lines / 3 ways = 16. Use a
+        // 6-way instead: 96 lines / 6 = 16. Construct an artificial config
+        // with 12 sets via assoc 4 over 48 lines.
+        let cfg = CacheConfig {
+            size: 768,
+            line: 16,
+            assoc: 4,
+            replacement: Replacement::Lru,
+            scope: CacheScope::Unified,
+            hit_latency: 1,
+        };
+        assert_eq!(cfg.num_sets(), 12);
+        let ix = cfg.indexer();
+        for addr in (0u32..0x1000).step_by(5) {
+            let line = addr / 16;
+            assert_eq!(ix.set_of(addr), line % 12);
+            assert_eq!(ix.tag_of(addr), line / 12);
+        }
+    }
 
     #[test]
     fn geometry() {

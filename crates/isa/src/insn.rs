@@ -93,7 +93,7 @@ impl AluOp {
 /// Branch displacements (`off` fields) are stored as *byte* displacements
 /// relative to the architectural PC, which reads as `address + 4` (the THUMB
 /// pipeline convention). All displacements are even.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Insn {
     /// `LSL/LSR/ASR rd, rm, #imm` — shift by immediate (0..=31). Sets NZ
     /// (C untouched in TH16, a documented simplification).

@@ -6,6 +6,7 @@
 //! simulated data path trivially correct. Geometry and timing come from
 //! [`spmlab_isa::cachecfg::CacheConfig`], shared with the WCET analyzer.
 
+use spmlab_isa::cachecfg::SetIndexer;
 pub use spmlab_isa::cachecfg::{CacheConfig, CacheScope, Replacement};
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -16,11 +17,18 @@ struct Way {
     stamp: u64,
 }
 
-/// The tag store.
+/// The tag store. Ways are stored in one flat `assoc`-strided vector (set
+/// `s` owns `ways[s*assoc .. (s+1)*assoc]`) so a lookup touches one
+/// contiguous cache-friendly slice instead of chasing a per-set heap
+/// allocation.
 #[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
-    sets: Vec<Vec<Way>>,
+    /// Precomputed set/tag math shared with the WCET analyzer's abstract
+    /// caches (one definition of line mapping for both sides).
+    idx: SetIndexer,
+    assoc: usize,
+    ways: Vec<Way>,
     tick: u64,
     rr_next: Vec<u32>,
     rng: u64,
@@ -45,8 +53,10 @@ impl Cache {
             _ => 1,
         };
         Cache {
-            sets: vec![vec![Way::default(); cfg.assoc as usize]; sets as usize],
+            ways: vec![Way::default(); (sets * cfg.assoc) as usize],
+            assoc: cfg.assoc as usize,
             rr_next: vec![0; sets as usize],
+            idx: cfg.indexer(),
             cfg,
             tick: 0,
             rng: rng_seed,
@@ -59,10 +69,8 @@ impl Cache {
     }
 
     fn set_and_tag(&self, addr: u32) -> (usize, u32) {
-        let line_addr = addr / self.cfg.line;
-        let set = (line_addr % self.cfg.num_sets()) as usize;
-        let tag = line_addr / self.cfg.num_sets();
-        (set, tag)
+        let (set, tag) = self.idx.set_and_tag(addr);
+        (set as usize, tag)
     }
 
     fn xorshift(&mut self) -> u64 {
@@ -75,11 +83,27 @@ impl Cache {
     }
 
     /// A read access: returns hit/miss and fills the line on a miss.
+    #[inline]
     pub fn read(&mut self, addr: u32) -> Lookup {
+        let (set, tag) = self.set_and_tag(addr);
+        if self.assoc == 1 {
+            // Direct-mapped fast path: no recency bookkeeping, no victim
+            // search — the way either holds the tag or is replaced.
+            let w = &mut self.ways[set];
+            if w.valid && w.tag == tag {
+                return Lookup::Hit;
+            }
+            *w = Way {
+                valid: true,
+                tag,
+                stamp: 0,
+            };
+            return Lookup::Miss;
+        }
         self.tick += 1;
         let tick = self.tick;
-        let (set, tag) = self.set_and_tag(addr);
-        let ways = &mut self.sets[set];
+        let base = set * self.assoc;
+        let ways = &mut self.ways[base..base + self.assoc];
         if let Some(w) = ways.iter_mut().find(|w| w.valid && w.tag == tag) {
             w.stamp = tick; // LRU touch (harmless for other policies).
             return Lookup::Hit;
@@ -106,8 +130,7 @@ impl Cache {
                 }
             }
         };
-        let ways = &mut self.sets[set];
-        ways[victim] = Way {
+        self.ways[base + victim] = Way {
             valid: true,
             tag,
             stamp: tick,
@@ -115,12 +138,16 @@ impl Cache {
         Lookup::Miss
     }
 
+    fn set_ways(&self, set: usize) -> &[Way] {
+        &self.ways[set * self.assoc..(set + 1) * self.assoc]
+    }
+
     /// A write access: write-through, no allocate, no recency update.
     /// Returns whether the line was present (timing is unaffected either
     /// way; the write always pays the main-memory cost).
     pub fn write(&mut self, addr: u32) -> Lookup {
         let (set, tag) = self.set_and_tag(addr);
-        if self.sets[set].iter().any(|w| w.valid && w.tag == tag) {
+        if self.set_ways(set).iter().any(|w| w.valid && w.tag == tag) {
             Lookup::Hit
         } else {
             Lookup::Miss
@@ -131,7 +158,7 @@ impl Cache {
     /// change) — used by analysis soundness tests.
     pub fn probe(&self, addr: u32) -> bool {
         let (set, tag) = self.set_and_tag(addr);
-        self.sets[set].iter().any(|w| w.valid && w.tag == tag)
+        self.set_ways(set).iter().any(|w| w.valid && w.tag == tag)
     }
 }
 

@@ -17,6 +17,43 @@ use crate::memsys::{AccessKind, MemStats};
 use spmlab_isa::hierarchy::{MemHierarchyConfig, L1};
 use spmlab_isa::mem::AccessWidth;
 
+/// Which tag store serves one access kind (resolved once at build time so
+/// the per-access path never re-matches the `L1` enum).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum L1Pick {
+    /// No L1 in this kind's path.
+    None,
+    /// The single (possibly scope-restricted) L1.
+    Unified,
+    /// The instruction half of a split L1.
+    Instr,
+    /// The data half of a split L1.
+    Data,
+}
+
+/// Precomputed routing and cycle constants for one access kind. All
+/// values come from the shared cost model in [`MemHierarchyConfig`]; they
+/// are just evaluated once instead of per access.
+#[derive(Debug, Clone, Copy)]
+struct Route {
+    pick: L1Pick,
+    /// Cycles when the access hits its L1.
+    l1_hit: u64,
+    /// Cycles when the access misses L1 and hits the L2.
+    l1_miss_l2_hit: u64,
+    /// Cycles when the access misses L1 and the L2 (or has no L2).
+    l1_miss_worst: u64,
+    /// 32-bit words filled into the missing level's line on the path that
+    /// talks to main memory.
+    fill_words: u64,
+    /// Cycles for an L1-less access hitting the L2 directly.
+    l2_direct_hit: u64,
+    /// Cycles for an L1-less access missing the L2.
+    l2_direct_miss: u64,
+    /// Cycles per width when no cache sits in the path at all.
+    bypass: [u64; 3],
+}
+
 /// Tag stores for every configured level plus the shared cost model.
 #[derive(Debug, Clone)]
 pub struct HierarchyCaches {
@@ -25,9 +62,66 @@ pub struct HierarchyCaches {
     l1i: Option<Cache>,
     l1d: Option<Cache>,
     l2: Option<Cache>,
+    fetch_route: Route,
+    data_route: Route,
+    /// Words per L2 line fill (0 when no L2).
+    l2_fill_words: u64,
 }
 
 impl HierarchyCaches {
+    fn route_for(cfg: &MemHierarchyConfig, fetch: bool) -> Route {
+        let pick = match (&cfg.l1, cfg.l1_for(fetch)) {
+            (_, None) => L1Pick::None,
+            (L1::Unified(_), Some(_)) => L1Pick::Unified,
+            (L1::Split { .. }, Some(_)) => {
+                if fetch {
+                    L1Pick::Instr
+                } else {
+                    L1Pick::Data
+                }
+            }
+            (L1::None, Some(_)) => unreachable!("l1_for() returned a cache for L1::None"),
+        };
+        let has_l1 = pick != L1Pick::None;
+        let has_l2 = cfg.l2.is_some();
+        Route {
+            pick,
+            l1_hit: if has_l1 { cfg.l1_hit_cycles(fetch) } else { 0 },
+            l1_miss_l2_hit: if has_l1 && has_l2 {
+                cfg.l1_miss_l2_hit_cycles(fetch)
+            } else {
+                0
+            },
+            l1_miss_worst: if has_l1 && has_l2 {
+                cfg.l1_miss_l2_miss_cycles(fetch)
+            } else if has_l1 {
+                cfg.l1_miss_no_l2_cycles(fetch)
+            } else {
+                0
+            },
+            fill_words: match (has_l1, has_l2) {
+                (true, false) => (cfg.l1_for(fetch).expect("has_l1").line / 4) as u64,
+                (_, true) => (cfg.l2.as_ref().expect("has_l2").line / 4) as u64,
+                (false, false) => 0,
+            },
+            l2_direct_hit: if has_l2 {
+                cfg.l2_direct_hit_cycles()
+            } else {
+                0
+            },
+            l2_direct_miss: if has_l2 {
+                cfg.l2_direct_miss_cycles()
+            } else {
+                0
+            },
+            bypass: [
+                cfg.bypass_cycles(AccessWidth::Byte),
+                cfg.bypass_cycles(AccessWidth::Half),
+                cfg.bypass_cycles(AccessWidth::Word),
+            ],
+        }
+    }
+
     /// Builds empty (all-invalid) tag stores for `cfg`.
     pub fn new(cfg: MemHierarchyConfig) -> HierarchyCaches {
         cfg.validate();
@@ -37,12 +131,18 @@ impl HierarchyCaches {
             L1::Split { i, d } => (None, i.clone().map(Cache::new), d.clone().map(Cache::new)),
         };
         let l2 = cfg.l2.clone().map(Cache::new);
+        let fetch_route = Self::route_for(&cfg, true);
+        let data_route = Self::route_for(&cfg, false);
+        let l2_fill_words = cfg.l2.as_ref().map_or(0, |c| (c.line / 4) as u64);
         HierarchyCaches {
             cfg,
             l1u,
             l1i,
             l1d,
             l2,
+            fetch_route,
+            data_route,
+            l2_fill_words,
         }
     }
 
@@ -51,20 +151,11 @@ impl HierarchyCaches {
         &self.cfg
     }
 
-    fn l1_mut(&mut self, fetch: bool) -> Option<&mut Cache> {
-        self.cfg.l1_for(fetch)?;
-        if self.l1u.is_some() {
-            self.l1u.as_mut()
-        } else if fetch {
-            self.l1i.as_mut()
-        } else {
-            self.l1d.as_mut()
-        }
-    }
-
     /// A read or fetch of `width` at `addr` in main-memory space. Returns
     /// `(cycles, l1_missed)`; `l1_missed` is `None` when the access
-    /// bypassed the caches.
+    /// bypassed the caches. All routing decisions and cycle constants were
+    /// resolved at construction time; the per-access work is one or two
+    /// tag-store lookups plus counter updates.
     pub fn read(
         &mut self,
         addr: u32,
@@ -73,27 +164,55 @@ impl HierarchyCaches {
         stats: &mut MemStats,
     ) -> (u64, Option<bool>) {
         let fetch = kind == AccessKind::Fetch;
-        if self.cfg.l1_for(fetch).is_none() {
-            // No L1 for this kind: route directly through the L2 when one
-            // exists, otherwise bypass to main memory.
-            return match &mut self.l2 {
-                Some(l2) => match l2.read(addr) {
-                    Lookup::Hit => {
-                        stats.l2_hits += 1;
-                        (self.cfg.l2_direct_hit_cycles(), Some(false))
+        // Only the scalar constants each branch needs are read out of the
+        // route (copying the whole struct per access showed up in
+        // profiles).
+        let pick = if fetch {
+            self.fetch_route.pick
+        } else {
+            self.data_route.pick
+        };
+        let l1 = match pick {
+            L1Pick::None => {
+                // No L1 for this kind: route directly through the L2 when
+                // one exists, otherwise bypass to main memory.
+                let route = if fetch {
+                    &self.fetch_route
+                } else {
+                    &self.data_route
+                };
+                let (l2_direct_hit, l2_direct_miss) = (route.l2_direct_hit, route.l2_direct_miss);
+                return match &mut self.l2 {
+                    Some(l2) => match l2.read(addr) {
+                        Lookup::Hit => {
+                            stats.l2_hits += 1;
+                            (l2_direct_hit, Some(false))
+                        }
+                        Lookup::Miss => {
+                            stats.l2_misses += 1;
+                            stats.fill_words += self.l2_fill_words;
+                            (l2_direct_miss, Some(true))
+                        }
+                    },
+                    None => {
+                        let w = match width {
+                            AccessWidth::Byte => 0,
+                            AccessWidth::Half => 1,
+                            AccessWidth::Word => 2,
+                        };
+                        (route.bypass[w], None)
                     }
-                    Lookup::Miss => {
-                        stats.l2_misses += 1;
-                        stats.fill_words += (l2.config().line / 4) as u64;
-                        (self.cfg.l2_direct_miss_cycles(), Some(true))
-                    }
-                },
-                None => (self.cfg.bypass_cycles(width), None),
-            };
-        }
-        let l1_hit = {
-            let l1 = self.l1_mut(fetch).expect("l1_for() checked above");
-            l1.read(addr) == Lookup::Hit
+                };
+            }
+            L1Pick::Unified => self.l1u.as_mut().expect("route picked unified L1"),
+            L1Pick::Instr => self.l1i.as_mut().expect("route picked split L1I"),
+            L1Pick::Data => self.l1d.as_mut().expect("route picked split L1D"),
+        };
+        let l1_hit = l1.read(addr) == Lookup::Hit;
+        let route = if fetch {
+            &self.fetch_route
+        } else {
+            &self.data_route
         };
         if fetch {
             if l1_hit {
@@ -108,25 +227,26 @@ impl HierarchyCaches {
         }
         if l1_hit {
             stats.cache_hits += 1;
-            return (self.cfg.l1_hit_cycles(fetch), Some(false));
+            return (route.l1_hit, Some(false));
         }
         stats.cache_misses += 1;
+        let (l1_miss_l2_hit, l1_miss_worst, fill_words) =
+            (route.l1_miss_l2_hit, route.l1_miss_worst, route.fill_words);
         let cycles = match &mut self.l2 {
             Some(l2) => match l2.read(addr) {
                 Lookup::Hit => {
                     stats.l2_hits += 1;
-                    self.cfg.l1_miss_l2_hit_cycles(fetch)
+                    l1_miss_l2_hit
                 }
                 Lookup::Miss => {
                     stats.l2_misses += 1;
-                    stats.fill_words += (l2.config().line / 4) as u64;
-                    self.cfg.l1_miss_l2_miss_cycles(fetch)
+                    stats.fill_words += fill_words;
+                    l1_miss_worst
                 }
             },
             None => {
-                let line = self.cfg.l1_for(fetch).expect("checked").line;
-                stats.fill_words += (line / 4) as u64;
-                self.cfg.l1_miss_no_l2_cycles(fetch)
+                stats.fill_words += fill_words;
+                l1_miss_worst
             }
         };
         (cycles, Some(true))

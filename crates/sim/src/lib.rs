@@ -38,6 +38,7 @@ pub mod hierarchy;
 pub mod machine;
 pub mod memsys;
 pub mod profile;
+pub mod trace;
 
 pub use cache::{CacheConfig, CacheScope, Replacement};
 pub use hierarchy::HierarchyCaches;
@@ -45,6 +46,7 @@ pub use machine::{simulate, ExitReason, SimOptions, SimResult};
 pub use memsys::{AccessKind, MemStats};
 pub use profile::{InsnStat, Profile, SymbolProfile};
 pub use spmlab_isa::hierarchy::{MainMemoryTiming, MemHierarchyConfig};
+pub use trace::{simulate_with_trace, MemTrace};
 
 /// Machine configuration: the memory map comes from the executable; this
 /// selects what sits between the core and main memory.

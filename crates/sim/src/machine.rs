@@ -102,12 +102,110 @@ pub fn simulate(
     Machine::new(exe, config, options.clone()).run()
 }
 
+/// Runs `exe` on the uncached recording machine with the memory-trace
+/// recorder armed; backs [`crate::trace::simulate_with_trace`].
+///
+/// # Errors
+///
+/// Any [`SimError`] of the underlying run.
+pub(crate) fn simulate_recorded(
+    exe: &Executable,
+    options: &SimOptions,
+) -> Result<(SimResult, crate::trace::TraceRecorder), SimError> {
+    let mut machine = Machine::new(exe, &MachineConfig::uncached(), options.clone());
+    machine.mem.recorder = Some(crate::trace::TraceRecorder::default());
+    let mut result = machine.run()?;
+    let recorder = result
+        .memory
+        .recorder
+        .take()
+        .expect("recorder armed above and never dropped");
+    Ok((result, recorder))
+}
+
+/// Lazily-filled predecoded instruction store, one bank per load region.
+///
+/// Decoding is pure, so each PC's instruction is decoded once and replayed
+/// from here on every later visit — the fetch *timing* (cache lookups,
+/// statistics) is still charged per halfword exactly as before. Writes
+/// into a bank's range invalidate the covering slots, so self-modifying
+/// stores can never replay stale instructions.
+struct DecodeCache {
+    banks: Vec<DecodeBank>,
+}
+
+struct DecodeBank {
+    base: u32,
+    /// One slot per halfword: `(instruction, size in bytes)`.
+    slots: Vec<Option<(Insn, u8)>>,
+}
+
+impl DecodeCache {
+    fn new(exe: &Executable) -> DecodeCache {
+        DecodeCache {
+            banks: exe
+                .regions
+                .iter()
+                .map(|r| DecodeBank {
+                    base: r.addr,
+                    slots: vec![None; r.bytes.len().div_ceil(2)],
+                })
+                .collect(),
+        }
+    }
+
+    fn slot_of(&self, pc: u32) -> Option<(usize, usize)> {
+        for (b, bank) in self.banks.iter().enumerate() {
+            if pc >= bank.base {
+                let idx = ((pc - bank.base) / 2) as usize;
+                if idx < bank.slots.len() {
+                    return Some((b, idx));
+                }
+            }
+        }
+        None
+    }
+
+    fn get(&self, pc: u32) -> Option<(Insn, u32)> {
+        let (b, i) = self.slot_of(pc)?;
+        self.banks[b].slots[i].map(|(insn, size)| (insn, size as u32))
+    }
+
+    fn put(&mut self, pc: u32, insn: &Insn, size: u32) {
+        if let Some((b, i)) = self.slot_of(pc) {
+            self.banks[b].slots[i] = Some((*insn, size as u8));
+        }
+    }
+
+    /// Drops every decoded slot whose instruction could overlap a write of
+    /// `len` bytes at `addr` (a 4-byte instruction may start one halfword
+    /// before the written range).
+    fn invalidate(&mut self, addr: u32, len: u32) {
+        let lo = addr.saturating_sub(2);
+        for bank in &mut self.banks {
+            let end = bank.base + bank.slots.len() as u32 * 2;
+            if addr.saturating_add(len) <= bank.base || lo >= end {
+                continue;
+            }
+            let first = (lo.max(bank.base) - bank.base) / 2;
+            let last = ((addr + len - 1).min(end - 1) - bank.base) / 2;
+            for i in first..=last {
+                bank.slots[i as usize] = None;
+            }
+        }
+    }
+}
+
 struct Machine {
     cpu: Cpu,
     mem: MemSystem,
+    decoded: DecodeCache,
     cycles: u64,
     instructions: u64,
     options: SimOptions,
+    /// Hoisted copies of the option flags the per-access path branches on.
+    profile_on: bool,
+    stats_on: bool,
     profile: Profile,
     insn_stats: InsnStats,
 }
@@ -131,8 +229,11 @@ impl Machine {
         Machine {
             cpu,
             mem,
+            decoded: DecodeCache::new(exe),
             cycles: 0,
             instructions: 0,
+            profile_on: options.profile,
+            stats_on: options.insn_stats,
             options,
             profile,
             insn_stats: InsnStats::new(),
@@ -165,13 +266,25 @@ impl Machine {
             .mem
             .read(pc, pc, AccessWidth::Half, AccessKind::Fetch)?;
         self.cycles += cyc;
-        if self.options.profile {
+        if self.profile_on {
             self.profile.record_fetch(pc);
         }
-        if self.options.insn_stats && miss == Some(true) {
+        if self.stats_on && miss == Some(true) {
             self.stat(insn_pc).fetch_misses += 1;
         }
         Ok(v as u16)
+    }
+
+    /// Fetch timing for a predecoded halfword (no value materialisation).
+    fn fetch_timed(&mut self, pc: u32, insn_pc: u32) {
+        let (cyc, miss) = self.mem.fetch_timing(pc);
+        self.cycles += cyc;
+        if self.profile_on {
+            self.profile.record_fetch(pc);
+        }
+        if self.stats_on && miss == Some(true) {
+            self.stat(insn_pc).fetch_misses += 1;
+        }
     }
 
     fn stat(&mut self, pc: u32) -> &mut InsnStat {
@@ -181,10 +294,10 @@ impl Machine {
     fn data_read(&mut self, insn_pc: u32, addr: u32, width: AccessWidth) -> Result<u32, SimError> {
         let (v, cyc, miss) = self.mem.read(insn_pc, addr, width, AccessKind::Read)?;
         self.cycles += cyc;
-        if self.options.profile {
+        if self.profile_on {
             self.profile.record_read(addr, width);
         }
-        if self.options.insn_stats {
+        if self.stats_on {
             let s = self.stat(insn_pc);
             s.data_accesses += 1;
             if miss == Some(true) {
@@ -202,11 +315,12 @@ impl Machine {
         value: u32,
     ) -> Result<(), SimError> {
         let cyc = self.mem.write(insn_pc, addr, width, value)?;
+        self.decoded.invalidate(addr, width.bytes());
         self.cycles += cyc;
-        if self.options.profile {
+        if self.profile_on {
             self.profile.record_write(addr, width);
         }
-        if self.options.insn_stats {
+        if self.stats_on {
             self.stat(insn_pc).data_accesses += 1;
         }
         Ok(())
@@ -222,15 +336,27 @@ impl Machine {
             });
         }
         self.mem.now = self.cycles;
-        let hw1 = self.fetch(pc, pc)?;
-        // A BL hi halfword needs its partner (a second real fetch).
-        let (insn, size) = if hw1 & 0xF800 == 0xF000 {
-            let hw2 = self.fetch(pc + 2, pc)?;
-            decode(hw1, Some(hw2))
+        let (insn, size) = if let Some((insn, size)) = self.decoded.get(pc) {
+            // Replay the predecoded instruction; the fetch timing and
+            // statistics are still charged per halfword as always.
+            self.fetch_timed(pc, pc);
+            if size == 4 {
+                self.fetch_timed(pc + 2, pc);
+            }
+            (insn, size)
         } else {
-            decode(hw1, None)
+            let hw1 = self.fetch(pc, pc)?;
+            // A BL hi halfword needs its partner (a second real fetch).
+            let (insn, size) = if hw1 & 0xF800 == 0xF000 {
+                let hw2 = self.fetch(pc + 2, pc)?;
+                decode(hw1, Some(hw2))
+            } else {
+                decode(hw1, None)
+            };
+            self.decoded.put(pc, &insn, size);
+            (insn, size)
         };
-        if self.options.insn_stats {
+        if self.stats_on {
             self.stat(pc).execs += 1;
         }
         self.instructions += 1;

@@ -87,6 +87,8 @@ pub struct MemSystem {
     pub stats: MemStats,
     /// Cycle counter mirror (for the MMIO cycle register).
     pub now: u64,
+    /// Trace recorder for [`crate::trace::simulate_with_trace`] runs.
+    pub(crate) recorder: Option<crate::trace::TraceRecorder>,
 }
 
 impl MemSystem {
@@ -102,6 +104,7 @@ impl MemSystem {
             int_outputs: Vec::new(),
             stats: MemStats::default(),
             now: 0,
+            recorder: None,
             map,
         };
         for r in &exe.regions {
@@ -144,6 +147,14 @@ impl MemSystem {
     /// results after a run).
     pub fn peek(&self, addr: u32, width: AccessWidth) -> Option<u32> {
         let (buf, off) = self.backing(addr, width.bytes())?;
+        Self::load(buf, off, width)
+    }
+
+    /// Little-endian load out of a backing buffer (bounds-checked).
+    fn load(buf: &[u8], off: usize, width: AccessWidth) -> Option<u32> {
+        if off + width.bytes() as usize > buf.len() {
+            return None;
+        }
         Some(match width {
             AccessWidth::Byte => buf[off] as u32,
             AccessWidth::Half => u16::from_le_bytes([buf[off], buf[off + 1]]) as u32,
@@ -196,27 +207,75 @@ impl MemSystem {
                 what: "misaligned",
             });
         }
+        // One region classification per access: the value load and the
+        // timing route both reuse it (the old path re-derived the region
+        // inside `peek`).
         let region = self.map.region_of(addr);
-        if region == RegionKind::Mmio {
-            self.stats.bump(region, width);
-            let v = match addr {
-                MMIO_CYCLES => self.now as u32,
-                _ => 0,
-            };
-            return Ok((v, 1, None));
-        }
-        let value = self.peek(addr, width).ok_or(SimError::Fault {
-            pc,
-            addr,
-            what: "unmapped read",
-        })?;
         self.stats.bump(region, width);
+        match region {
+            RegionKind::Mmio => {
+                let v = match addr {
+                    MMIO_CYCLES => {
+                        if let Some(r) = &mut self.recorder {
+                            // Timing-dependent value: the recorded trace
+                            // must not be replayed under other timings.
+                            r.cycle_register_read = true;
+                        }
+                        self.now as u32
+                    }
+                    _ => 0,
+                };
+                Ok((v, 1, None))
+            }
+            RegionKind::Main => {
+                let off = (addr - self.map.main_base) as usize;
+                let value = Self::load(&self.main, off, width).ok_or(SimError::Fault {
+                    pc,
+                    addr,
+                    what: "unmapped read",
+                })?;
+                if let Some(r) = &mut self.recorder {
+                    r.record_read(addr, kind, width);
+                }
+                let (cycles, miss) = self.caches.read(addr, kind, width, &mut self.stats);
+                Ok((value, cycles, miss))
+            }
+            RegionKind::Scratchpad => {
+                // Scratchpad: single-cycle, never cached.
+                let off = (addr - self.map.spm_base) as usize;
+                let value = Self::load(&self.spm, off, width).ok_or(SimError::Fault {
+                    pc,
+                    addr,
+                    what: "unmapped read",
+                })?;
+                Ok((value, 1, None))
+            }
+            RegionKind::Unmapped => Err(SimError::Fault {
+                pc,
+                addr,
+                what: "unmapped read",
+            }),
+        }
+    }
+
+    /// Timing/statistics-only instruction fetch of one halfword whose
+    /// value is already known (predecoded-instruction replay): identical
+    /// cycle charging and counters to [`MemSystem::read`], minus the value
+    /// load. Only called for addresses proven mapped when the instruction
+    /// was first decoded.
+    pub fn fetch_timing(&mut self, addr: u32) -> (u64, Option<bool>) {
+        let region = self.map.region_of(addr);
+        self.stats.bump(region, AccessWidth::Half);
         if region == RegionKind::Main {
-            let (cycles, miss) = self.caches.read(addr, kind, width, &mut self.stats);
-            Ok((value, cycles, miss))
+            if let Some(r) = &mut self.recorder {
+                r.record_read(addr, AccessKind::Fetch, AccessWidth::Half);
+            }
+            self.caches
+                .read(addr, AccessKind::Fetch, AccessWidth::Half, &mut self.stats)
         } else {
-            // Scratchpad: single-cycle, never cached.
-            Ok((value, 1, None))
+            // Scratchpad-resident code: single-cycle, never cached. (MMIO
+            // is never predecoded — load regions cover main/spm only.)
+            (1, None)
         }
     }
 
@@ -258,6 +317,14 @@ impl MemSystem {
             });
         }
         if region == RegionKind::Main {
+            if let Some(r) = &mut self.recorder {
+                let w = match width {
+                    AccessWidth::Byte => 0,
+                    AccessWidth::Half => 1,
+                    AccessWidth::Word => 2,
+                };
+                r.main_writes[w] += 1;
+            }
             self.caches.write(addr, &mut self.stats);
         }
         // Write-through: always pays the main-memory (or scratchpad) cost,

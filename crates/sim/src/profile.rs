@@ -42,6 +42,13 @@ pub struct InsnStat {
     pub data_misses: u64,
 }
 
+/// Sentinel for "no symbol" in the dense attribution table.
+const NO_SYMBOL: u16 = u16::MAX;
+
+/// Upper bound on the dense table's size (bytes of covered address span);
+/// larger symbol spans fall back to binary search.
+const DENSE_SPAN_CAP: u32 = 8 << 20;
+
 /// A full execution profile.
 #[derive(Debug, Clone, Default)]
 pub struct Profile {
@@ -52,6 +59,12 @@ pub struct Profile {
     /// Writes that hit no symbol.
     pub unattributed_writes: u64,
     ranges: Vec<(u32, u32, usize)>,
+    /// Dense address → symbol-index table covering every symbol
+    /// (`table_base..table_base + table.len()`), so the per-access
+    /// attribution in the simulator's hot loop is one load instead of a
+    /// binary search. Empty when the span exceeds [`DENSE_SPAN_CAP`].
+    table_base: u32,
+    table: Vec<u16>,
 }
 
 impl Profile {
@@ -67,15 +80,46 @@ impl Profile {
             ranges.push((s.addr, s.addr + s.size, i));
         }
         ranges.sort_unstable();
+        let (table_base, table) = Self::build_table(&ranges);
         Profile {
             symbols,
             unattributed_reads: 0,
             unattributed_writes: 0,
             ranges,
+            table_base,
+            table,
         }
     }
 
+    fn build_table(ranges: &[(u32, u32, usize)]) -> (u32, Vec<u16>) {
+        let (Some(&(lo, ..)), Some(&(_, hi, _))) = (
+            ranges.first(),
+            ranges.iter().max_by_key(|&&(_, end, _)| end),
+        ) else {
+            return (0, Vec::new());
+        };
+        let span = hi.saturating_sub(lo);
+        if span == 0 || span > DENSE_SPAN_CAP || ranges.len() >= NO_SYMBOL as usize {
+            return (0, Vec::new());
+        }
+        let mut table = vec![NO_SYMBOL; span as usize];
+        // Later (sorted-higher) ranges win on overlap, matching the binary
+        // search's "last range starting at or below addr" rule.
+        for &(start, end, idx) in ranges {
+            for a in start..end {
+                table[(a - lo) as usize] = idx as u16;
+            }
+        }
+        (lo, table)
+    }
+
     fn index_of(&self, addr: u32) -> Option<usize> {
+        if !self.table.is_empty() {
+            // The table covers every symbol: outside it, nothing matches.
+            let off = addr.wrapping_sub(self.table_base) as usize;
+            let idx = *self.table.get(off)?;
+            return (idx != NO_SYMBOL).then_some(idx as usize);
+        }
         let i = self.ranges.partition_point(|&(start, _, _)| start <= addr);
         let (start, end, idx) = *self.ranges.get(i.checked_sub(1)?)?;
         (addr >= start && addr < end).then_some(idx)

@@ -1,0 +1,280 @@
+//! Trace-driven memory-hierarchy replay.
+//!
+//! A hierarchy sweep simulates the *same program on the same input* once
+//! per memory configuration — but the executed instruction stream and
+//! every data value are identical across configurations, because caches
+//! only change *timing*. The one architectural exception is the MMIO
+//! cycle register, whose value depends on timing; reading it makes a run
+//! timing-dependent and is detected during recording.
+//!
+//! [`simulate_with_trace`] therefore runs the full interpreter once (on
+//! the uncached machine) and records the sequence of main-memory reads
+//! and fetches — the only accesses whose cost depends on the cache
+//! hierarchy. [`MemTrace::replay`] then prices the recorded sequence
+//! under any [`MemHierarchyConfig`] by driving the *same* concrete tag
+//! stores ([`HierarchyCaches`]) the interpreter would have used, making
+//! the replayed cycle count bit-identical to a fresh simulation while
+//! skipping instruction decode and execution entirely. An eight-point
+//! sweep costs one interpretation plus eight cheap replays instead of
+//! eight interpretations.
+
+use crate::hierarchy::HierarchyCaches;
+use crate::machine::{SimOptions, SimResult};
+use crate::memsys::{AccessKind, MemStats};
+use crate::{MachineConfig, SimError};
+use spmlab_isa::hierarchy::{MainMemoryTiming, MemHierarchyConfig};
+use spmlab_isa::image::Executable;
+use spmlab_isa::mem::AccessWidth;
+
+/// Event kinds, packed into one byte per event alongside the width.
+pub(crate) const EV_FETCH: u8 = 0;
+pub(crate) const EV_READ_BYTE: u8 = 1;
+pub(crate) const EV_READ_HALF: u8 = 2;
+pub(crate) const EV_READ_WORD: u8 = 3;
+
+/// One main-memory read or fetch (the only accesses whose cost depends on
+/// the cache hierarchy).
+#[derive(Debug, Clone, Copy)]
+pub struct AccessEvent {
+    /// Accessed address.
+    pub addr: u32,
+    /// [`EV_FETCH`] / [`EV_READ_BYTE`] / [`EV_READ_HALF`] / [`EV_READ_WORD`].
+    pub kind: u8,
+}
+
+/// Trace recorder state, embedded in the memory system during a recording
+/// run.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct TraceRecorder {
+    pub events: Vec<AccessEvent>,
+    /// Main-memory *read/fetch* counts by width (byte, half, word).
+    pub main_reads: [u64; 3],
+    /// Main-memory write counts by width.
+    pub main_writes: [u64; 3],
+    /// The program read the MMIO cycle register: its execution is
+    /// timing-dependent and the trace must not be replayed.
+    pub cycle_register_read: bool,
+}
+
+impl TraceRecorder {
+    #[inline]
+    pub(crate) fn record_read(&mut self, addr: u32, kind: AccessKind, width: AccessWidth) {
+        let (ev, w) = match (kind, width) {
+            (AccessKind::Fetch, _) => (EV_FETCH, 1),
+            (_, AccessWidth::Byte) => (EV_READ_BYTE, 0),
+            (_, AccessWidth::Half) => (EV_READ_HALF, 1),
+            (_, AccessWidth::Word) => (EV_READ_WORD, 2),
+        };
+        self.main_reads[w] += 1;
+        self.events.push(AccessEvent { addr, kind: ev });
+    }
+}
+
+/// A recorded execution's hierarchy-independent skeleton.
+#[derive(Debug, Clone)]
+pub struct MemTrace {
+    events: Vec<AccessEvent>,
+    /// Cycles of the recorded run not attributable to main-memory traffic
+    /// (instruction base/extra cycles plus scratchpad/MMIO accesses).
+    base_cycles: u64,
+    /// Main read/fetch counts by width (fetches are halfword reads).
+    read_counts: [u64; 3],
+    main_writes: [u64; 3],
+    /// Region/width access counters with every cache counter zeroed — the
+    /// hierarchy-independent part of [`MemStats`].
+    stats_template: MemStats,
+    /// Watchdog limit the recording ran under.
+    max_cycles: u64,
+    replayable: bool,
+}
+
+impl MemTrace {
+    /// Whether the recorded execution may be replayed under other
+    /// hierarchies (false when the program read the MMIO cycle register).
+    pub fn replayable(&self) -> bool {
+        self.replayable
+    }
+
+    /// Number of recorded hierarchy-sensitive access events.
+    pub fn events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Prices the recorded execution under `hierarchy`, returning the
+    /// total cycles and the memory statistics — bit-identical to running
+    /// [`simulate`] under the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Watchdog`] when the replayed cycle count exceeds the
+    /// recording's limit; [`SimError::Fault`] when the trace is not
+    /// replayable.
+    pub fn replay(&self, hierarchy: &MemHierarchyConfig) -> Result<(u64, MemStats), SimError> {
+        if !self.replayable {
+            return Err(SimError::Fault {
+                pc: 0,
+                addr: spmlab_isa::mem::MMIO_CYCLES,
+                what: "timing-dependent program cannot be replayed from a trace",
+            });
+        }
+        let mut stats = self.stats_template.clone();
+        let mut cycles = self.base_cycles + self.write_cycles(&hierarchy.main);
+        if hierarchy.l1_for(true).is_some()
+            || hierarchy.l1_for(false).is_some()
+            || hierarchy.l2.is_some()
+        {
+            let mut caches = HierarchyCaches::new(hierarchy.clone());
+            for ev in &self.events {
+                let (kind, width) = match ev.kind {
+                    EV_FETCH => (AccessKind::Fetch, AccessWidth::Half),
+                    EV_READ_BYTE => (AccessKind::Read, AccessWidth::Byte),
+                    EV_READ_HALF => (AccessKind::Read, AccessWidth::Half),
+                    _ => (AccessKind::Read, AccessWidth::Word),
+                };
+                cycles += caches.read(ev.addr, kind, width, &mut stats).0;
+            }
+            if hierarchy.l1_for(false).is_some() || hierarchy.l2.is_some() {
+                stats.write_throughs = self.main_writes.iter().sum();
+            }
+        } else {
+            // Uncached: every read costs its width's main access time —
+            // priced from the counters without touching the event stream.
+            let m = &hierarchy.main;
+            let widths = [AccessWidth::Byte, AccessWidth::Half, AccessWidth::Word];
+            for (w, &width) in widths.iter().enumerate() {
+                cycles += self.read_counts()[w] * m.access(width);
+            }
+        }
+        if cycles > self.max_cycles {
+            return Err(SimError::Watchdog { cycles });
+        }
+        Ok((cycles, stats))
+    }
+
+    fn write_cycles(&self, main: &MainMemoryTiming) -> u64 {
+        self.main_writes[0] * main.access(AccessWidth::Byte)
+            + self.main_writes[1] * main.access(AccessWidth::Half)
+            + self.main_writes[2] * main.access(AccessWidth::Word)
+    }
+
+    fn read_counts(&self) -> [u64; 3] {
+        self.read_counts
+    }
+}
+
+/// Runs `exe` on the **uncached** machine (the recording reference),
+/// returning the full simulation result plus the recorded trace.
+///
+/// # Errors
+///
+/// Any [`SimError`] of the underlying run.
+pub fn simulate_with_trace(
+    exe: &Executable,
+    options: &SimOptions,
+) -> Result<(SimResult, MemTrace), SimError> {
+    let (result, recorder) = crate::machine::simulate_recorded(exe, options)?;
+    let table1 = MainMemoryTiming::table1();
+    let widths = [AccessWidth::Byte, AccessWidth::Half, AccessWidth::Word];
+    let mut main_cost = 0u64;
+    for (w, &width) in widths.iter().enumerate() {
+        main_cost += (recorder.main_reads[w] + recorder.main_writes[w]) * table1.access(width);
+    }
+    let trace = MemTrace {
+        base_cycles: result.cycles - main_cost,
+        read_counts: recorder.main_reads,
+        main_writes: recorder.main_writes,
+        // The recording machine is uncached, so its statistics hold no
+        // cache counters — they are exactly the invariant template.
+        stats_template: result.mem_stats.clone(),
+        max_cycles: options.max_cycles,
+        replayable: !recorder.cycle_register_read,
+        events: recorder.events,
+    };
+    Ok((result, trace))
+}
+
+/// The uncached recording reference as a [`MachineConfig`].
+pub fn recording_config() -> MachineConfig {
+    MachineConfig::uncached()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{simulate, SimOptions};
+    use spmlab_cc::{compile, link, SpmAssignment};
+    use spmlab_isa::cachecfg::CacheConfig;
+    use spmlab_isa::mem::MemoryMap;
+
+    const SRC: &str = "
+        int a[40]; int checksum;
+        void main() {
+            int i;
+            for (i = 0; i < 40; i = i + 1) { __loopbound(40); a[i] = i * 3; }
+            for (i = 0; i < 40; i = i + 1) { __loopbound(40); checksum = checksum + a[i]; }
+        }
+    ";
+
+    fn hierarchies() -> Vec<MemHierarchyConfig> {
+        vec![
+            MemHierarchyConfig::uncached(),
+            MemHierarchyConfig::uncached_with(MainMemoryTiming::dram(10)),
+            MemHierarchyConfig::l1_only(CacheConfig::unified(256)),
+            MemHierarchyConfig::l1_only(CacheConfig::instr_only(512)),
+            MemHierarchyConfig::split_l1(256, 256),
+            MemHierarchyConfig::split_l1(256, 256).with_l2(CacheConfig::l2(2048)),
+            MemHierarchyConfig::l1_only(CacheConfig::instr_only(256))
+                .with_l2(CacheConfig::l2(1024)),
+            MemHierarchyConfig::split_l1(256, 256)
+                .with_l2(CacheConfig::l2(2048))
+                .with_main(MainMemoryTiming::dram(8)),
+        ]
+    }
+
+    /// The headline invariant of the replay: bit-identical cycles and
+    /// memory statistics versus a fresh simulation, for every hierarchy
+    /// shape.
+    #[test]
+    fn replay_matches_full_simulation_exactly() {
+        let l = link(
+            &compile(SRC).unwrap(),
+            &MemoryMap::no_spm(),
+            &SpmAssignment::none(),
+        )
+        .unwrap();
+        let options = SimOptions {
+            insn_stats: false,
+            profile: false,
+            ..SimOptions::default()
+        };
+        let (recorded, trace) = simulate_with_trace(&l.exe, &options).unwrap();
+        assert!(trace.replayable());
+        assert!(trace.events() > 0);
+        for h in hierarchies() {
+            let (cycles, stats) = trace.replay(&h).unwrap();
+            let fresh =
+                simulate(&l.exe, &MachineConfig::with_hierarchy(h.clone()), &options).unwrap();
+            assert_eq!(cycles, fresh.cycles, "{}: cycles diverged", h.label());
+            assert_eq!(stats, fresh.mem_stats, "{}: stats diverged", h.label());
+        }
+        // The recording itself is the uncached result.
+        let uncached = simulate(&l.exe, &MachineConfig::uncached(), &options).unwrap();
+        assert_eq!(recorded.cycles, uncached.cycles);
+    }
+
+    /// Reading the MMIO cycle register poisons the trace.
+    #[test]
+    fn cycle_register_read_blocks_replay() {
+        let src = "
+            int t;
+            void main() { t = __cycles(); }
+        ";
+        let Ok(module) = compile(src) else {
+            return; // No __cycles intrinsic in this toolchain: nothing to test.
+        };
+        let l = link(&module, &MemoryMap::no_spm(), &SpmAssignment::none()).unwrap();
+        let (_, trace) = simulate_with_trace(&l.exe, &SimOptions::default()).unwrap();
+        assert!(!trace.replayable());
+        assert!(trace.replay(&MemHierarchyConfig::uncached()).is_err());
+    }
+}

@@ -47,133 +47,237 @@ impl CacheCtx<'_> {
     }
 }
 
-/// The abstract MUST cache.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// The abstract MUST cache, packed for the analyzer's hot path.
+///
+/// Instead of one heap `BTreeMap<tag, age>` per set, the state is a flat
+/// `assoc`-strided slot store: set `s` owns slots
+/// `[s * assoc, s * assoc + occ[s])` of the parallel `tags`/`ages` vectors,
+/// packed to the front of the stride. Every transfer-function step
+/// (`update`, the uncertain update, weakening, `join_into`) is in-place and
+/// `O(assoc)` per touched set — no allocation, no tree rebalancing — which
+/// is what makes whole-program fixpoints cheap enough for large hierarchy
+/// sweeps. The original `BTreeMap` domain is retained under
+/// [`reference`] (`#[cfg(test)]`) as the executable specification the
+/// proptest differential suite checks this representation against.
+#[derive(Debug, Clone)]
 pub struct AbstractCache {
-    assoc: u8,
-    num_sets: u32,
-    line: u32,
-    /// Per set: tag → maximal age (0 = most recently used).
-    sets: Vec<BTreeMap<u32, u8>>,
+    assoc: u16,
+    idx: spmlab_isa::cachecfg::SetIndexer,
+    /// Slot tags, `assoc`-strided per set; only `occ[s]` leading slots of a
+    /// stride are meaningful.
+    tags: Vec<u32>,
+    /// Upper age bound per slot (0 = most recently used), parallel to
+    /// `tags`.
+    ages: Vec<u16>,
+    /// Occupied slot count per set.
+    occ: Vec<u16>,
 }
+
+/// Equality is per-set *set* equality (slot order within a stride is an
+/// implementation artifact of in-place compaction).
+impl PartialEq for AbstractCache {
+    fn eq(&self, other: &AbstractCache) -> bool {
+        if self.assoc != other.assoc || self.occ != other.occ {
+            return false;
+        }
+        let a = self.assoc as usize;
+        self.occ.iter().enumerate().all(|(set, &n)| {
+            let base = set * a;
+            let ob = &other.tags[base..base + n as usize];
+            let oa = &other.ages[base..base + n as usize];
+            (0..n as usize).all(|r| {
+                ob.iter()
+                    .position(|&t| t == self.tags[base + r])
+                    .is_some_and(|p| oa[p] == self.ages[base + r])
+            })
+        })
+    }
+}
+
+impl Eq for AbstractCache {}
 
 impl AbstractCache {
     /// The empty MUST cache: nothing is guaranteed (analysis start state).
     pub fn top(cfg: &CacheConfig) -> AbstractCache {
+        let idx = cfg.indexer();
+        let assoc = cfg.assoc.min(u16::MAX as u32) as u16;
+        let slots = idx.num_sets() as usize * assoc as usize;
         AbstractCache {
-            assoc: cfg.assoc as u8,
-            num_sets: cfg.num_sets(),
-            line: cfg.line,
-            sets: vec![BTreeMap::new(); cfg.num_sets() as usize],
+            assoc,
+            idx,
+            tags: vec![0; slots],
+            ages: vec![0; slots],
+            occ: vec![0; idx.num_sets() as usize],
         }
-    }
-
-    fn set_of(&self, addr: u32) -> usize {
-        ((addr / self.line) % self.num_sets) as usize
-    }
-
-    fn tag_of(&self, addr: u32) -> u32 {
-        (addr / self.line) / self.num_sets
     }
 
     /// Whether the line holding `addr` is guaranteed present.
     pub fn contains(&self, addr: u32) -> bool {
-        self.sets[self.set_of(addr)].contains_key(&self.tag_of(addr))
+        let (set, tag) = self.idx.set_and_tag(addr);
+        let base = set as usize * self.assoc as usize;
+        self.tags[base..base + self.occ[set as usize] as usize].contains(&tag)
     }
 
-    /// Join (control-flow merge): intersection with maximum age.
+    /// Join (control-flow merge): intersection with maximum age. The
+    /// by-value form used by tests; the fixpoint uses [`Self::join_into`].
     pub fn join(&self, other: &AbstractCache) -> AbstractCache {
-        let mut sets = Vec::with_capacity(self.sets.len());
-        for (a, b) in self.sets.iter().zip(&other.sets) {
-            let mut merged = BTreeMap::new();
-            for (tag, &age_a) in a {
-                if let Some(&age_b) = b.get(tag) {
-                    merged.insert(*tag, age_a.max(age_b));
-                }
-            }
-            sets.push(merged);
-        }
-        AbstractCache {
-            assoc: self.assoc,
-            num_sets: self.num_sets,
-            line: self.line,
-            sets,
-        }
+        let mut out = self.clone();
+        out.join_into(other);
+        out
     }
 
-    /// The MUST update of one set for a read of `tag`: promote the line to
-    /// age 0 and age the younger lines (LRU), or collapse the set to just
-    /// the accessed line on a possible miss (random/round-robin).
-    fn update_set(lines: &mut BTreeMap<u32, u8>, tag: u32, assoc: u8, lru: bool) {
-        let hit = lines.contains_key(&tag);
-        if lru {
-            let old_age = lines.get(&tag).copied().unwrap_or(assoc);
-            for (t, age) in lines.iter_mut() {
-                if *t != tag && *age < old_age {
-                    *age += 1;
+    /// In-place join `self ← self ⊓ other`: per-set intersection with
+    /// maximum age. Returns whether `self` changed — the fixpoint's change
+    /// detection, replacing whole-state comparisons. Sets with nothing
+    /// guaranteed in `self` are skipped outright (they cannot shrink), so
+    /// a join after a call-clobber touches no slots at all.
+    pub fn join_into(&mut self, other: &AbstractCache) -> bool {
+        debug_assert_eq!(self.assoc, other.assoc, "geometry mismatch in join");
+        debug_assert_eq!(self.occ.len(), other.occ.len(), "geometry mismatch");
+        let a = self.assoc as usize;
+        let mut changed = false;
+        for set in 0..self.occ.len() {
+            let n = self.occ[set] as usize;
+            if n == 0 {
+                continue; // Already bottom-of-set: intersection is a no-op.
+            }
+            let base = set * a;
+            let on = other.occ[set] as usize;
+            let otags = &other.tags[base..base + on];
+            let oages = &other.ages[base..base + on];
+            let mut w = 0usize;
+            for r in 0..n {
+                let t = self.tags[base + r];
+                let g = self.ages[base + r];
+                match otags.iter().position(|&x| x == t) {
+                    Some(p) => {
+                        let m = g.max(oages[p]);
+                        changed |= m != g;
+                        self.tags[base + w] = t;
+                        self.ages[base + w] = m;
+                        w += 1;
+                    }
+                    None => changed = true,
                 }
             }
-            lines.retain(|_, age| *age < assoc);
-            lines.insert(tag, 0);
-        } else {
-            // Random/round-robin: a miss may evict anything else.
-            if !hit {
-                lines.clear();
-            }
-            lines.insert(tag, 0);
+            self.occ[set] = w as u16;
         }
+        changed
     }
 
     /// An exact-address read: returns whether it is a guaranteed hit, then
-    /// updates the state (the line is definitely present afterwards).
+    /// updates the state in place — promote the line to age 0 and age the
+    /// younger lines (LRU), or collapse the set to just the accessed line
+    /// on a possible miss (random/round-robin, where a miss may evict any
+    /// line of the set).
     pub fn access_read_exact(&mut self, addr: u32, lru: bool) -> bool {
-        let set = self.set_of(addr);
-        let tag = self.tag_of(addr);
+        let (set, tag) = self.idx.set_and_tag(addr);
         let assoc = self.assoc;
-        let lines = &mut self.sets[set];
-        let hit = lines.contains_key(&tag);
-        Self::update_set(lines, tag, assoc, lru);
-        hit
+        let base = set as usize * assoc as usize;
+        let n = self.occ[set as usize] as usize;
+        let hit_age = self.tags[base..base + n]
+            .iter()
+            .position(|&t| t == tag)
+            .map(|p| self.ages[base + p]);
+        if lru {
+            let old_age = hit_age.unwrap_or(assoc);
+            let mut w = 0usize;
+            for r in 0..n {
+                let t = self.tags[base + r];
+                if t == tag {
+                    continue; // Reinserted at age 0 below.
+                }
+                let mut g = self.ages[base + r];
+                if g < old_age {
+                    g += 1;
+                }
+                if g < assoc {
+                    self.tags[base + w] = t;
+                    self.ages[base + w] = g;
+                    w += 1;
+                }
+            }
+            self.tags[base + w] = tag;
+            self.ages[base + w] = 0;
+            self.occ[set as usize] = (w + 1) as u16;
+        } else if let Some(p) = self.tags[base..base + n].iter().position(|&t| t == tag) {
+            self.ages[base + p] = 0;
+        } else {
+            self.tags[base] = tag;
+            self.ages[base] = 0;
+            self.occ[set as usize] = 1;
+        }
+        hit_age.is_some()
     }
 
     /// The *uncertain* read update `join(s, update(s))` — for an access
     /// that may or may not occur (e.g. an L2 access behind an L1 that
     /// could not be classified). Sound in both worlds; equivalent to a
-    /// whole-state clone + update + join, but restricted to the one set
-    /// the address maps to. Returns whether the line was guaranteed
+    /// whole-state clone + update + join, but computed in place on the one
+    /// set the address maps to. Returns whether the line was guaranteed
     /// present *before* the access.
     pub fn access_read_uncertain(&mut self, addr: u32, lru: bool) -> bool {
-        let set = self.set_of(addr);
-        let tag = self.tag_of(addr);
+        let (set, tag) = self.idx.set_and_tag(addr);
         let assoc = self.assoc;
-        let lines = &mut self.sets[set];
-        let before = lines.contains_key(&tag);
-        let mut updated = lines.clone();
-        Self::update_set(&mut updated, tag, assoc, lru);
-        // Join = intersection with maximum age.
-        let mut merged = BTreeMap::new();
-        for (t, &age) in lines.iter() {
-            if let Some(&age_u) = updated.get(t) {
-                merged.insert(*t, age.max(age_u));
+        let base = set as usize * assoc as usize;
+        let n = self.occ[set as usize] as usize;
+        let hit_age = self.tags[base..base + n]
+            .iter()
+            .position(|&t| t == tag)
+            .map(|p| self.ages[base + p]);
+        if lru {
+            // Joining s with update(s): the accessed tag keeps its old age
+            // (max with 0); every other line takes its aged value (max of
+            // old and old+1) and drops out when aging would evict it.
+            let old_age = hit_age.unwrap_or(assoc);
+            let mut w = 0usize;
+            for r in 0..n {
+                let t = self.tags[base + r];
+                let g = self.ages[base + r];
+                let g2 = if t == tag {
+                    g
+                } else if g < old_age {
+                    g + 1
+                } else {
+                    g
+                };
+                if g2 < assoc {
+                    self.tags[base + w] = t;
+                    self.ages[base + w] = g2;
+                    w += 1;
+                }
             }
+            self.occ[set as usize] = w as u16;
+        } else if hit_age.is_none() {
+            // update(s) collapses the set to the accessed line, which is
+            // not in s: the intersection is empty.
+            self.occ[set as usize] = 0;
         }
-        *lines = merged;
-        before
+        // On a non-LRU hit, update(s) only re-inserts the tag at age 0 and
+        // the join takes the (older) existing age: s is unchanged.
+        hit_age.is_some()
     }
 
     /// One *possible* access to `set` (unknown address): ages the set (LRU)
     /// or clears it (random/round-robin).
     pub fn weaken_set(&mut self, set: usize, lru: bool) {
         let assoc = self.assoc;
-        let lines = &mut self.sets[set];
-        if lru {
-            for age in lines.values_mut() {
-                *age += 1;
-            }
-            lines.retain(|_, age| *age < assoc);
-        } else {
-            lines.clear();
+        let base = set * assoc as usize;
+        let n = self.occ[set] as usize;
+        if !lru {
+            self.occ[set] = 0;
+            return;
         }
+        let mut w = 0usize;
+        for r in 0..n {
+            let g = self.ages[base + r] + 1;
+            if g < assoc {
+                self.tags[base + w] = self.tags[base + r];
+                self.ages[base + w] = g;
+                w += 1;
+            }
+        }
+        self.occ[set] = w as u16;
     }
 
     /// An access somewhere in `[lo, hi)`: weakens every candidate set.
@@ -181,17 +285,18 @@ impl AbstractCache {
         if hi <= lo {
             return;
         }
-        let first_line = lo / self.line;
-        let last_line = (hi - 1) / self.line;
-        if (last_line - first_line) as u64 + 1 >= self.num_sets as u64 {
-            for s in 0..self.sets.len() {
+        let num_sets = self.idx.num_sets();
+        let first_line = self.idx.line_of(lo);
+        let last_line = self.idx.line_of(hi - 1);
+        if (last_line - first_line) as u64 + 1 >= num_sets as u64 {
+            for s in 0..num_sets as usize {
                 self.weaken_set(s, lru);
             }
             return;
         }
         let mut line = first_line;
         loop {
-            self.weaken_set((line % self.num_sets) as usize, lru);
+            self.weaken_set((line % num_sets) as usize, lru);
             if line == last_line {
                 break;
             }
@@ -201,14 +306,31 @@ impl AbstractCache {
 
     /// Forgets everything (function-call clobber).
     pub fn clear(&mut self) {
-        for s in &mut self.sets {
-            s.clear();
-        }
+        self.occ.fill(0);
     }
 
     /// Total guaranteed lines (diagnostics).
     pub fn guaranteed_lines(&self) -> usize {
-        self.sets.iter().map(|s| s.len()).sum()
+        self.occ.iter().map(|&n| n as usize).sum()
+    }
+
+    /// Canonical per-set `(tag, age)` listing, sorted by tag — the shape
+    /// the differential tests compare against the reference model.
+    #[cfg(test)]
+    pub(crate) fn dump(&self) -> Vec<Vec<(u32, u16)>> {
+        let a = self.assoc as usize;
+        self.occ
+            .iter()
+            .enumerate()
+            .map(|(set, &n)| {
+                let base = set * a;
+                let mut v: Vec<(u32, u16)> = (0..n as usize)
+                    .map(|r| (self.tags[base + r], self.ages[base + r]))
+                    .collect();
+                v.sort_unstable();
+                v
+            })
+            .collect()
     }
 }
 
@@ -266,7 +388,7 @@ pub fn must_fixpoint(cfg: &FuncCfg, ctx: &CacheCtx) -> BTreeMap<u32, AbstractCac
     crate::fixpoint::must_fixpoint(
         cfg,
         || AbstractCache::top(ctx.cache),
-        AbstractCache::join,
+        AbstractCache::join_into,
         |s, block| transfer_block(s, block, ctx),
         64 * ctx.cache.assoc as usize,
     )
@@ -605,6 +727,162 @@ pub fn span_region(map: &MemoryMap, lo: u32, hi: u32) -> RegionKind {
     }
 }
 
+/// The original `BTreeMap`-backed MUST domain, retained verbatim as the
+/// executable specification of the abstract semantics. The packed
+/// [`AbstractCache`] must agree with it *exactly* on every operation; the
+/// proptest differential suite below drives both through random access
+/// sequences over random geometries and compares full states after every
+/// step.
+#[cfg(test)]
+pub(crate) mod reference {
+    use spmlab_isa::cachecfg::CacheConfig;
+    use std::collections::BTreeMap;
+
+    /// The reference MUST cache: per set, tag → maximal age.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct RefCache {
+        assoc: u16,
+        num_sets: u32,
+        line: u32,
+        sets: Vec<BTreeMap<u32, u16>>,
+    }
+
+    impl RefCache {
+        pub fn top(cfg: &CacheConfig) -> RefCache {
+            RefCache {
+                assoc: cfg.assoc.min(u16::MAX as u32) as u16,
+                num_sets: cfg.num_sets(),
+                line: cfg.line,
+                sets: vec![BTreeMap::new(); cfg.num_sets() as usize],
+            }
+        }
+
+        fn set_of(&self, addr: u32) -> usize {
+            ((addr / self.line) % self.num_sets) as usize
+        }
+
+        fn tag_of(&self, addr: u32) -> u32 {
+            (addr / self.line) / self.num_sets
+        }
+
+        pub fn contains(&self, addr: u32) -> bool {
+            self.sets[self.set_of(addr)].contains_key(&self.tag_of(addr))
+        }
+
+        pub fn join(&self, other: &RefCache) -> RefCache {
+            let mut sets = Vec::with_capacity(self.sets.len());
+            for (a, b) in self.sets.iter().zip(&other.sets) {
+                let mut merged = BTreeMap::new();
+                for (tag, &age_a) in a {
+                    if let Some(&age_b) = b.get(tag) {
+                        merged.insert(*tag, age_a.max(age_b));
+                    }
+                }
+                sets.push(merged);
+            }
+            RefCache {
+                assoc: self.assoc,
+                num_sets: self.num_sets,
+                line: self.line,
+                sets,
+            }
+        }
+
+        fn update_set(lines: &mut BTreeMap<u32, u16>, tag: u32, assoc: u16, lru: bool) {
+            let hit = lines.contains_key(&tag);
+            if lru {
+                let old_age = lines.get(&tag).copied().unwrap_or(assoc);
+                for (t, age) in lines.iter_mut() {
+                    if *t != tag && *age < old_age {
+                        *age += 1;
+                    }
+                }
+                lines.retain(|_, age| *age < assoc);
+                lines.insert(tag, 0);
+            } else {
+                if !hit {
+                    lines.clear();
+                }
+                lines.insert(tag, 0);
+            }
+        }
+
+        pub fn access_read_exact(&mut self, addr: u32, lru: bool) -> bool {
+            let set = self.set_of(addr);
+            let tag = self.tag_of(addr);
+            let assoc = self.assoc;
+            let lines = &mut self.sets[set];
+            let hit = lines.contains_key(&tag);
+            Self::update_set(lines, tag, assoc, lru);
+            hit
+        }
+
+        /// The uncertain update by its *definition*: whole-state clone,
+        /// update, join.
+        pub fn access_read_uncertain(&mut self, addr: u32, lru: bool) -> bool {
+            let before = self.contains(addr);
+            let mut updated = self.clone();
+            updated.access_read_exact(addr, lru);
+            *self = self.join(&updated);
+            before
+        }
+
+        pub fn weaken_set(&mut self, set: usize, lru: bool) {
+            let assoc = self.assoc;
+            let lines = &mut self.sets[set];
+            if lru {
+                for age in lines.values_mut() {
+                    *age += 1;
+                }
+                lines.retain(|_, age| *age < assoc);
+            } else {
+                lines.clear();
+            }
+        }
+
+        pub fn weaken_range(&mut self, lo: u32, hi: u32, lru: bool) {
+            if hi <= lo {
+                return;
+            }
+            let first_line = lo / self.line;
+            let last_line = (hi - 1) / self.line;
+            if (last_line - first_line) as u64 + 1 >= self.num_sets as u64 {
+                for s in 0..self.sets.len() {
+                    self.weaken_set(s, lru);
+                }
+                return;
+            }
+            let mut line = first_line;
+            loop {
+                self.weaken_set((line % self.num_sets) as usize, lru);
+                if line == last_line {
+                    break;
+                }
+                line += 1;
+            }
+        }
+
+        pub fn clear(&mut self) {
+            for s in &mut self.sets {
+                s.clear();
+            }
+        }
+
+        pub fn guaranteed_lines(&self) -> usize {
+            self.sets.iter().map(|s| s.len()).sum()
+        }
+
+        /// Canonical per-set `(tag, age)` listing matching
+        /// [`super::AbstractCache::dump`].
+        pub fn dump(&self) -> Vec<Vec<(u32, u16)>> {
+            self.sets
+                .iter()
+                .map(|s| s.iter().map(|(&t, &g)| (t, g)).collect())
+                .collect()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -722,5 +1000,169 @@ mod tests {
         };
         apply_data_access(&mut s, &acc, &ctx);
         assert!(s.contains(0x0010_0000), "writes don't evict (no-allocate)");
+    }
+}
+
+/// Differential suite: the packed [`AbstractCache`] must agree *exactly*
+/// with the retained [`reference::RefCache`] BTreeMap model — same hit
+/// classifications, same guaranteed-line sets, same ages — over random
+/// access sequences and random geometries drawn from the same families the
+/// hierarchy sweeps use (L1-like 16-byte-line configs and L2-like
+/// 32-byte-line configs, associativities 1–4, all replacement policies).
+#[cfg(test)]
+mod differential {
+    use super::reference::RefCache;
+    use super::*;
+    use proptest::prelude::*;
+
+    /// One abstract-domain operation, decoded from random bits.
+    #[derive(Debug, Clone, Copy)]
+    enum Op {
+        Exact(u32),
+        Uncertain(u32),
+        WeakenRange(u32, u32),
+        WeakenAll,
+        Clear,
+    }
+
+    fn decode_op(kind: u8, a: u32, b: u32) -> Op {
+        // Concentrate addresses in a small window so sets collide often.
+        let addr = 0x0010_0000 + (a % 0x1800);
+        match kind % 8 {
+            0..=2 => Op::Exact(addr),
+            3 | 4 => Op::Uncertain(addr),
+            5 => {
+                let lo = 0x0010_0000 + (a % 0x1800);
+                Op::WeakenRange(lo, lo + (b % 0x400))
+            }
+            6 => Op::WeakenAll,
+            _ => Op::Clear,
+        }
+    }
+
+    /// Decodes an arbitrary seed into a cache geometry from the families
+    /// the sweeps exercise (sizes 64 B – 16 KiB, lines 16/32, assoc 1–4,
+    /// every replacement policy).
+    fn decode_config(bits: u32) -> CacheConfig {
+        let sizes = [64u32, 128, 256, 512, 1024, 4096, 16384];
+        let size = sizes[bits as usize % sizes.len()];
+        let line = if bits & 8 == 0 { 16 } else { 32 };
+        let line = line.min(size);
+        let assocs = [1u32, 2, 4];
+        let assoc = assocs[(bits >> 4) as usize % assocs.len()].min(size / line);
+        let replacement = match (bits >> 6) % 3 {
+            0 => Replacement::Lru,
+            1 => Replacement::RoundRobin,
+            _ => Replacement::Random { seed: 11 },
+        };
+        let cfg = CacheConfig {
+            size,
+            line,
+            assoc,
+            replacement,
+            scope: CacheScope::Unified,
+            hit_latency: 1,
+        };
+        cfg.validate();
+        cfg
+    }
+
+    use spmlab_isa::cachecfg::CacheScope;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// Every operation agrees: classification result and full state.
+        #[test]
+        fn packed_domain_matches_reference(
+            cfg_bits in any::<u32>(),
+            ops in prop::collection::vec((any::<u8>(), any::<u32>(), any::<u32>()), 1..60),
+        ) {
+            let cfg = decode_config(cfg_bits);
+            let lru = matches!(cfg.replacement, Replacement::Lru);
+            let mut packed = AbstractCache::top(&cfg);
+            let mut reference = RefCache::top(&cfg);
+            for (i, &(kind, a, b)) in ops.iter().enumerate() {
+                let op = decode_op(kind, a, b);
+                match op {
+                    Op::Exact(addr) => {
+                        let hp = packed.access_read_exact(addr, lru);
+                        let hr = reference.access_read_exact(addr, lru);
+                        prop_assert_eq!(hp, hr, "exact hit mismatch at op {} {:?}", i, op);
+                    }
+                    Op::Uncertain(addr) => {
+                        let hp = packed.access_read_uncertain(addr, lru);
+                        let hr = reference.access_read_uncertain(addr, lru);
+                        prop_assert_eq!(hp, hr, "uncertain hit mismatch at op {} {:?}", i, op);
+                    }
+                    Op::WeakenRange(lo, hi) => {
+                        packed.weaken_range(lo, hi, lru);
+                        reference.weaken_range(lo, hi, lru);
+                    }
+                    Op::WeakenAll => {
+                        packed.weaken_range(0, u32::MAX, lru);
+                        reference.weaken_range(0, u32::MAX, lru);
+                    }
+                    Op::Clear => {
+                        packed.clear();
+                        reference.clear();
+                    }
+                }
+                prop_assert_eq!(
+                    packed.dump(),
+                    reference.dump(),
+                    "state diverged after op {} {:?} (cfg {:?})",
+                    i,
+                    op,
+                    &cfg
+                );
+                prop_assert_eq!(packed.guaranteed_lines(), reference.guaranteed_lines());
+                // Spot-check classification agreement at a few addresses.
+                for probe in [0x0010_0000u32, 0x0010_0040, 0x0010_0800, 0x0010_17F0] {
+                    prop_assert_eq!(packed.contains(probe), reference.contains(probe));
+                }
+            }
+        }
+
+        /// The packed in-place join agrees with the reference join on
+        /// states reached through independent random access sequences —
+        /// and `join_into` reports change exactly when the state changed.
+        #[test]
+        fn packed_join_matches_reference(
+            cfg_bits in any::<u32>(),
+            ops_a in prop::collection::vec((any::<u8>(), any::<u32>(), any::<u32>()), 0..30),
+            ops_b in prop::collection::vec((any::<u8>(), any::<u32>(), any::<u32>()), 0..30),
+        ) {
+            let cfg = decode_config(cfg_bits);
+            let lru = matches!(cfg.replacement, Replacement::Lru);
+            let mut pa = AbstractCache::top(&cfg);
+            let mut ra = RefCache::top(&cfg);
+            let mut pb = AbstractCache::top(&cfg);
+            let mut rb = RefCache::top(&cfg);
+            for &(kind, a, b) in &ops_a {
+                if let Op::Exact(addr) = decode_op(kind, a, b) {
+                    pa.access_read_exact(addr, lru);
+                    ra.access_read_exact(addr, lru);
+                } else if let Op::Uncertain(addr) = decode_op(kind, a, b) {
+                    pa.access_read_uncertain(addr, lru);
+                    ra.access_read_uncertain(addr, lru);
+                }
+            }
+            for &(kind, a, b) in &ops_b {
+                if let Op::Exact(addr) = decode_op(kind, a, b) {
+                    pb.access_read_exact(addr, lru);
+                    rb.access_read_exact(addr, lru);
+                }
+            }
+            let before = pa.dump();
+            let changed = pa.join_into(&pb);
+            let joined_ref = ra.join(&rb);
+            prop_assert_eq!(pa.dump(), joined_ref.dump(), "join diverged");
+            prop_assert_eq!(
+                changed,
+                before != pa.dump(),
+                "join_into change report must match actual change"
+            );
+        }
     }
 }

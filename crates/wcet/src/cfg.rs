@@ -127,7 +127,7 @@ pub fn build_cfg(exe: &Executable, sym: &Symbol) -> Result<FuncCfg, WcetError> {
                 return Err(err(pc, "undefined instruction"));
             }
             let next = pc + size;
-            insn_at.insert(pc, insn.clone());
+            insn_at.insert(pc, insn);
             match &insn {
                 Insn::B { off } => {
                     let t = pc.wrapping_add(4).wrapping_add(*off as u32);
@@ -185,7 +185,7 @@ pub fn build_cfg(exe: &Executable, sym: &Symbol) -> Result<FuncCfg, WcetError> {
     let addrs: Vec<u32> = insn_at.keys().copied().collect();
     let mut current: Option<BasicBlock> = None;
     for &addr in &addrs {
-        let insn = insn_at[&addr].clone();
+        let insn = insn_at[&addr];
         let size = insn.size();
         if leaders.contains(&addr) {
             if let Some(b) = current.take() {
@@ -221,7 +221,7 @@ pub fn build_cfg(exe: &Executable, sym: &Symbol) -> Result<FuncCfg, WcetError> {
             cur.calls
                 .push(addr.wrapping_add(4).wrapping_add(off as u32));
         }
-        cur.insns.push((addr, insn.clone()));
+        cur.insns.push((addr, insn));
         let terminates = insn.is_terminator();
         let next_is_leader = leaders.contains(&(addr + size));
         let next_exists = insn_at.contains_key(&(addr + size));

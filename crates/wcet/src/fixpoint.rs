@@ -1,40 +1,63 @@
 //! Generic MUST-style worklist fixpoint over a function CFG, shared by the
 //! single-level cache analysis and the multi-level hierarchy analysis so
 //! the two solvers can never drift apart.
+//!
+//! The solver visits blocks in **reverse postorder** through a priority
+//! worklist (a min-heap over RPO indices with a bitset membership guard),
+//! so forward dataflow reaches a block only after its forward predecessors
+//! in the common case — acyclic regions converge in one transfer per
+//! block, and loops need one extra pass per nesting level. This replaces
+//! the original LIFO vector whose `contains(&succ)` membership scan was
+//! `O(n)` per push and whose `keys().collect()` seeding visited blocks in
+//! arbitrary address order.
+//!
+//! Change detection is delegated to the domain: `join_into` merges a
+//! predecessor's out-state into a successor's in-state *in place* and
+//! reports whether anything changed, so the solver never compares or
+//! clones whole states to decide convergence.
 
 use crate::cfg::{BasicBlock, FuncCfg};
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
 
 /// Computes the per-block *in*-states of a forward MUST analysis.
 ///
 /// * `top` — the analysis start state (nothing guaranteed), used at the
-///   function entry and as the safe fallback;
-/// * `join` — the control-flow merge (in MUST domains: intersection);
+///   function entry;
+/// * `join_into` — the in-place control-flow merge (in MUST domains:
+///   intersection), returning whether the left state changed;
 /// * `transfer` — applies one block's effect to a state;
 /// * `budget_factor` — iterations allowed per block before the solver
 ///   gives up and returns `top` everywhere (a defensive cap; real inputs
 ///   converge in a handful of passes per block).
+///
+/// Blocks unreachable from the entry receive no in-state (callers fall
+/// back to `top` for them), exactly like the previous solver.
 pub fn must_fixpoint<S, T, J, F>(
     cfg: &FuncCfg,
     top: T,
-    join: J,
+    join_into: J,
     mut transfer: F,
     budget_factor: usize,
 ) -> BTreeMap<u32, S>
 where
-    S: Clone + PartialEq,
+    S: Clone,
     T: Fn() -> S,
-    J: Fn(&S, &S) -> S,
+    J: Fn(&mut S, &S) -> bool,
     F: FnMut(&mut S, &BasicBlock),
 {
-    let preds = cfg.predecessors();
+    let rpo = crate::loops::reverse_postorder(cfg);
+    let index: BTreeMap<u32, usize> = rpo.iter().enumerate().map(|(i, &b)| (b, i)).collect();
     let mut in_states: BTreeMap<u32, S> = BTreeMap::new();
     in_states.insert(cfg.entry, top());
-    let mut out_states: BTreeMap<u32, S> = BTreeMap::new();
-    let mut work: Vec<u32> = cfg.blocks.keys().copied().collect();
+    let mut heap: BinaryHeap<Reverse<usize>> = BinaryHeap::with_capacity(rpo.len());
+    let mut queued = vec![false; rpo.len()];
+    heap.push(Reverse(0));
+    queued[0] = true;
     let mut iterations = 0usize;
     let budget = budget_factor * cfg.blocks.len().max(1);
-    while let Some(b) = work.pop() {
+    while let Some(Reverse(i)) = heap.pop() {
+        queued[i] = false;
         iterations += 1;
         if iterations > budget.max(4096) {
             // Defensive cap: fall back to the safe top state everywhere.
@@ -43,32 +66,162 @@ where
             }
             break;
         }
-        // in = join of predecessors' outs (entry joins with TOP).
-        let mut input: Option<S> = if b == cfg.entry { Some(top()) } else { None };
-        for p in preds.get(&b).into_iter().flatten() {
-            if let Some(o) = out_states.get(p) {
-                input = Some(match input {
-                    None => o.clone(),
-                    Some(i) => join(&i, o),
-                });
-            }
-        }
-        let Some(input) = input else { continue };
-        let changed_in = in_states.get(&b) != Some(&input);
-        if changed_in || !out_states.contains_key(&b) {
-            let mut s = input.clone();
-            transfer(&mut s, &cfg.blocks[&b]);
-            in_states.insert(b, input);
-            let changed_out = out_states.get(&b) != Some(&s);
-            out_states.insert(b, s);
-            if changed_out {
-                for &succ in &cfg.blocks[&b].succs {
-                    if !work.contains(&succ) {
-                        work.push(succ);
-                    }
+        let b = rpo[i];
+        let block = &cfg.blocks[&b];
+        let mut out = in_states[&b].clone();
+        transfer(&mut out, block);
+        for &succ in &block.succs {
+            let changed = match in_states.get_mut(&succ) {
+                Some(s) => join_into(s, &out),
+                None => {
+                    in_states.insert(succ, out.clone());
+                    true
+                }
+            };
+            if changed {
+                let si = index[&succ];
+                if !queued[si] {
+                    queued[si] = true;
+                    heap.push(Reverse(si));
                 }
             }
         }
     }
     in_states
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+    use std::collections::BTreeSet;
+
+    fn block(start: u32, succs: Vec<u32>, is_exit: bool) -> BasicBlock {
+        BasicBlock {
+            start,
+            insns: vec![],
+            succs,
+            calls: vec![],
+            is_exit,
+        }
+    }
+
+    /// A hand-built CFG from `(start, succs)` pairs; entry is the first.
+    fn cfg_of(edges: &[(u32, &[u32])]) -> FuncCfg {
+        let blocks = edges
+            .iter()
+            .map(|&(s, succs)| (s, block(s, succs.to_vec(), succs.is_empty())))
+            .collect();
+        FuncCfg {
+            name: "synthetic".into(),
+            entry: edges[0].0,
+            blocks,
+        }
+    }
+
+    /// The satellite regression test for the RPO worklist: on a diamond
+    /// (entry → then/else → join → exit) the solver must run each block's
+    /// transfer exactly once — the old LIFO order re-transferred the join
+    /// block after the second arm arrived.
+    #[test]
+    fn diamond_converges_in_one_pass_per_block() {
+        let cfg = cfg_of(&[
+            (0, &[2, 4][..]),
+            (2, &[6][..]),
+            (4, &[6][..]),
+            (6, &[8][..]),
+            (8, &[][..]),
+        ]);
+        let transfers = Cell::new(0usize);
+        // Set-union-free MUST-ish domain: a set of "guaranteed" markers,
+        // join = intersection, transfer inserts the block id.
+        let states = must_fixpoint(
+            &cfg,
+            BTreeSet::<u32>::new,
+            |a: &mut BTreeSet<u32>, b: &BTreeSet<u32>| {
+                let before = a.len();
+                a.retain(|x| b.contains(x));
+                a.len() != before
+            },
+            |s, block| {
+                transfers.set(transfers.get() + 1);
+                s.insert(block.start);
+            },
+            64,
+        );
+        assert_eq!(
+            transfers.get(),
+            cfg.blocks.len(),
+            "diamond must converge in exactly one transfer per block"
+        );
+        // The join block's in-state is the intersection of both arms: only
+        // the entry marker survives.
+        assert_eq!(states[&6], BTreeSet::from([0]));
+    }
+
+    /// A loop converges and the back-edge join weakens the header in-state.
+    #[test]
+    fn loop_reaches_fixpoint() {
+        // entry → header → body → header; header → exit.
+        let cfg = cfg_of(&[(0, &[2][..]), (2, &[4, 6][..]), (4, &[2][..]), (6, &[][..])]);
+        let states = must_fixpoint(
+            &cfg,
+            BTreeSet::<u32>::new,
+            |a: &mut BTreeSet<u32>, b: &BTreeSet<u32>| {
+                let before = a.len();
+                a.retain(|x| b.contains(x));
+                a.len() != before
+            },
+            |s, block| {
+                s.insert(block.start);
+            },
+            64,
+        );
+        // The header is entered from 0 (giving {0}) and from 4 (giving
+        // {0, 2, 4}); the intersection keeps only {0}.
+        assert_eq!(states[&2], BTreeSet::from([0]));
+        assert_eq!(states[&6], BTreeSet::from([0, 2]));
+    }
+
+    /// Unreachable blocks get no in-state (callers substitute top).
+    #[test]
+    fn unreachable_blocks_left_out() {
+        let mut cfg = cfg_of(&[(0, &[2][..]), (2, &[][..])]);
+        cfg.blocks.insert(100, block(100, vec![2], false));
+        let states = must_fixpoint(
+            &cfg,
+            BTreeSet::<u32>::new,
+            |a: &mut BTreeSet<u32>, b: &BTreeSet<u32>| {
+                let before = a.len();
+                a.retain(|x| b.contains(x));
+                a.len() != before
+            },
+            |s, block| {
+                s.insert(block.start);
+            },
+            64,
+        );
+        assert!(states.contains_key(&0) && states.contains_key(&2));
+        assert!(!states.contains_key(&100));
+    }
+
+    /// The defensive cap falls back to top everywhere (a domain whose join
+    /// always reports change never converges).
+    #[test]
+    fn budget_cap_falls_back_to_top() {
+        let cfg = cfg_of(&[(0, &[2][..]), (2, &[0][..])]);
+        let states = must_fixpoint(
+            &cfg,
+            || 0u64,
+            |a: &mut u64, b: &u64| {
+                *a = a.wrapping_add(*b).wrapping_add(1);
+                true // Claims to change forever.
+            },
+            |s, _| *s += 1,
+            1,
+        );
+        for (_, v) in states {
+            assert_eq!(v, 0, "cap must reset every state to top");
+        }
+    }
 }

@@ -112,18 +112,26 @@ impl MultiState {
 
     /// Join (control-flow merge): per-level intersection with maximum age.
     pub fn join(&self, other: &MultiState) -> MultiState {
-        fn j(a: &Option<AbstractCache>, b: &Option<AbstractCache>) -> Option<AbstractCache> {
+        let mut out = self.clone();
+        out.join_into(other);
+        out
+    }
+
+    /// In-place join `self ← self ⊓ other`, level by level; returns whether
+    /// `self` changed. Each level's [`AbstractCache::join_into`] only
+    /// touches sets that still guarantee something, so merges after a
+    /// clobber are near-free.
+    pub fn join_into(&mut self, other: &MultiState) -> bool {
+        fn j(a: &mut Option<AbstractCache>, b: &Option<AbstractCache>) -> bool {
             match (a, b) {
-                (Some(a), Some(b)) => Some(a.join(b)),
-                _ => None,
+                (Some(a), Some(b)) => a.join_into(b),
+                _ => false,
             }
         }
-        MultiState {
-            unified_l1: self.unified_l1,
-            l1i: j(&self.l1i, &other.l1i),
-            l1d: j(&self.l1d, &other.l1d),
-            l2: j(&self.l2, &other.l2),
-        }
+        let mut changed = j(&mut self.l1i, &other.l1i);
+        changed |= j(&mut self.l1d, &other.l1d);
+        changed |= j(&mut self.l2, &other.l2);
+        changed
     }
 
     /// Forgets everything at every level (function-call clobber).
@@ -425,7 +433,7 @@ pub fn must_fixpoint(cfg: &FuncCfg, ctx: &MultiCtx) -> BTreeMap<u32, MultiState>
     crate::fixpoint::must_fixpoint(
         cfg,
         || MultiState::top(ctx),
-        MultiState::join,
+        MultiState::join_into,
         |s, block| walk_block(s, block, ctx, None),
         64 * max_assoc,
     )
