@@ -8,6 +8,18 @@
 //! WCET analysis, and commits the object with the best WCET reduction per
 //! scratchpad byte. This needs no profile at all — everything comes from
 //! the analyzer, keeping the method fully static like the paper's vision.
+//!
+//! The objective is pluggable: [`allocate`] optimises the flat Table-1
+//! region-timing bound (the seed behaviour), while [`allocate_with`] takes
+//! an arbitrary [`WcetConfig`] — in particular
+//! `WcetConfig::with_hierarchy`, so placement optimises the *multi-level
+//! critical path*: an object whose accesses would mostly hit in the L1
+//! anyway is no longer worth scratchpad bytes, while one whose accesses
+//! the analysis cannot classify (and must charge the full L2-miss penalty
+//! for) is. [`allocate_hierarchy_aware`] additionally evaluates the
+//! region-timing greedy result under the real objective and keeps
+//! whichever assignment bounds lower, so it can never lose to the seed
+//! allocator on the metric that matters.
 
 use spmlab_cc::{link, CcError, ObjModule, SpmAssignment};
 use spmlab_isa::annot::AnnotationSet;
@@ -52,16 +64,17 @@ fn wcet_of(
     map: &MemoryMap,
     assignment: &SpmAssignment,
     extra_annotations: &AnnotationSet,
+    config: &WcetConfig,
 ) -> Result<u64, WcetAllocError> {
     let linked = link(module, map, assignment).map_err(WcetAllocError::Link)?;
     let mut ann = linked.annotations.clone();
     ann.merge_from(extra_annotations);
-    let res =
-        analyze(&linked.exe, &WcetConfig::region_timing(), &ann).map_err(WcetAllocError::Wcet)?;
+    let res = analyze(&linked.exe, config, &ann).map_err(WcetAllocError::Wcet)?;
     Ok(res.wcet_cycles)
 }
 
-/// Greedily allocates objects to minimise the *WCET bound*.
+/// Greedily allocates objects to minimise the flat region-timing WCET
+/// bound (the seed objective).
 ///
 /// `extra_annotations` carries user loop bounds that the linker-generated
 /// set does not already contain.
@@ -75,6 +88,28 @@ pub fn allocate(
     capacity: u32,
     extra_annotations: &AnnotationSet,
 ) -> Result<WcetAllocation, WcetAllocError> {
+    allocate_with(
+        module,
+        capacity,
+        extra_annotations,
+        &WcetConfig::region_timing(),
+    )
+}
+
+/// Greedily allocates objects to minimise the WCET bound under an
+/// arbitrary analyzer configuration — pass `WcetConfig::with_hierarchy`
+/// to optimise placement against the multi-level critical path.
+///
+/// # Errors
+///
+/// Fails when the baseline program cannot be linked or analysed (a
+/// candidate that overflows the scratchpad is simply skipped).
+pub fn allocate_with(
+    module: &ObjModule,
+    capacity: u32,
+    extra_annotations: &AnnotationSet,
+    config: &WcetConfig,
+) -> Result<WcetAllocation, WcetAllocError> {
     let map = MemoryMap::with_spm(capacity);
     let baseline_map = MemoryMap::no_spm();
     let baseline_wcet = wcet_of(
@@ -82,10 +117,11 @@ pub fn allocate(
         &baseline_map,
         &SpmAssignment::none(),
         extra_annotations,
+        config,
     )?;
 
     let mut assignment = SpmAssignment::none();
-    let mut current = wcet_of(module, &map, &assignment, extra_annotations)?;
+    let mut current = wcet_of(module, &map, &assignment, extra_annotations, config)?;
     let mut remaining: Vec<(String, u32)> = module.memory_objects();
     let mut used = 0u32;
     let mut steps = Vec::new();
@@ -99,7 +135,7 @@ pub fn allocate(
             }
             let mut trial = assignment.clone();
             trial.insert(name.clone());
-            let w = match wcet_of(module, &map, &trial, extra_annotations) {
+            let w = match wcet_of(module, &map, &trial, extra_annotations, config) {
                 Ok(w) => w,
                 Err(WcetAllocError::Link(_)) => continue, // Doesn't fit with padding.
                 Err(e) => return Err(e),
@@ -125,6 +161,50 @@ pub fn allocate(
         final_wcet: current,
         steps,
     })
+}
+
+/// Hierarchy-aware allocation that can never lose to the seed allocator:
+/// runs the greedy loop under `config` (normally a multi-level hierarchy
+/// objective) *and* re-scores the region-timing greedy assignment under
+/// the same objective, returning whichever assignment yields the lower
+/// bound. Greedy search under a different objective is not monotone in
+/// general; the portfolio step turns "usually better" into "never worse".
+///
+/// `region_assignment` is the region-timing greedy result when the caller
+/// already has it (the pipeline memoises it per capacity — the greedy loop
+/// is O(n²) link+analyze steps, so recomputing it here would dominate);
+/// pass `None` to let this function derive it.
+///
+/// # Errors
+///
+/// Fails when the baseline program cannot be linked or analysed.
+pub fn allocate_hierarchy_aware(
+    module: &ObjModule,
+    capacity: u32,
+    extra_annotations: &AnnotationSet,
+    config: &WcetConfig,
+    region_assignment: Option<&SpmAssignment>,
+) -> Result<WcetAllocation, WcetAllocError> {
+    let aware = allocate_with(module, capacity, extra_annotations, config)?;
+    let region = match region_assignment {
+        Some(a) => a.clone(),
+        None => allocate(module, capacity, extra_annotations)?.assignment,
+    };
+    if region == aware.assignment {
+        return Ok(aware);
+    }
+    let map = MemoryMap::with_spm(capacity);
+    let region_under_config = wcet_of(module, &map, &region, extra_annotations, config)?;
+    if region_under_config < aware.final_wcet {
+        Ok(WcetAllocation {
+            assignment: region,
+            baseline_wcet: aware.baseline_wcet,
+            final_wcet: region_under_config,
+            steps: Vec::new(), // Not produced by the greedy path under `config`.
+        })
+    } else {
+        Ok(aware)
+    }
 }
 
 #[cfg(test)]
@@ -169,5 +249,49 @@ mod tests {
         let res = allocate(&module, 0, &AnnotationSet::new()).unwrap();
         assert!(res.assignment.is_empty());
         assert_eq!(res.final_wcet, res.baseline_wcet);
+    }
+
+    #[test]
+    fn hierarchy_aware_allocation_never_loses_to_region_greedy() {
+        use spmlab_isa::cachecfg::CacheConfig;
+        use spmlab_isa::hierarchy::MemHierarchyConfig;
+        let module = compile(SRC).unwrap();
+        let annot = AnnotationSet::new();
+        for hierarchy in [
+            MemHierarchyConfig::l1_only(CacheConfig::instr_only(64)),
+            MemHierarchyConfig::split_l1(64, 64).with_l2(CacheConfig::l2(256)),
+        ] {
+            let cfg = WcetConfig::with_hierarchy(hierarchy);
+            for capacity in [64u32, 128, 512] {
+                let aware =
+                    allocate_hierarchy_aware(&module, capacity, &annot, &cfg, None).unwrap();
+                let region = allocate(&module, capacity, &annot).unwrap();
+                let region_scored = wcet_of(
+                    &module,
+                    &MemoryMap::with_spm(capacity),
+                    &region.assignment,
+                    &annot,
+                    &cfg,
+                )
+                .unwrap();
+                assert!(
+                    aware.final_wcet <= region_scored,
+                    "capacity {capacity}: hierarchy-aware {} must not exceed \
+                     region-greedy-under-hierarchy {region_scored}",
+                    aware.final_wcet
+                );
+                // The reported bound matches a fresh scoring of the chosen
+                // assignment (no stale objective mixing).
+                let rescore = wcet_of(
+                    &module,
+                    &MemoryMap::with_spm(capacity),
+                    &aware.assignment,
+                    &annot,
+                    &cfg,
+                )
+                .unwrap();
+                assert_eq!(aware.final_wcet, rescore);
+            }
+        }
     }
 }

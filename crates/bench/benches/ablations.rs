@@ -4,6 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use spmlab::pipeline::Pipeline;
+use spmlab::MemArchSpec;
 use spmlab_alloc::wcet_aware;
 use spmlab_isa::annot::AnnotationSet;
 use spmlab_isa::cachecfg::{CacheConfig, Replacement};
@@ -16,14 +17,17 @@ fn bench_persistence(c: &mut Criterion) {
     g.bench_function("must_only_1024", |b| {
         b.iter(|| {
             pipeline
-                .run_cache(CacheConfig::unified(1024), false)
+                .run(&MemArchSpec::single_cache(CacheConfig::unified(1024)))
                 .unwrap()
         })
     });
     g.bench_function("with_persistence_1024", |b| {
         b.iter(|| {
             pipeline
-                .run_cache(CacheConfig::unified(1024), true)
+                .run(&MemArchSpec {
+                    persistence: true,
+                    ..MemArchSpec::single_cache(CacheConfig::unified(1024))
+                })
                 .unwrap()
         })
     });
@@ -37,14 +41,14 @@ fn bench_icache(c: &mut Criterion) {
     g.bench_function("unified_1024", |b| {
         b.iter(|| {
             pipeline
-                .run_cache(CacheConfig::unified(1024), false)
+                .run(&MemArchSpec::single_cache(CacheConfig::unified(1024)))
                 .unwrap()
         })
     });
     g.bench_function("instr_only_1024", |b| {
         b.iter(|| {
             pipeline
-                .run_cache(CacheConfig::instr_only(1024), false)
+                .run(&MemArchSpec::single_cache(CacheConfig::instr_only(1024)))
                 .unwrap()
         })
     });
@@ -67,7 +71,11 @@ fn bench_assoc(c: &mut Criterion) {
         ),
     ] {
         g.bench_function(name, |b| {
-            b.iter(|| pipeline.run_cache(cfg.clone(), false).unwrap())
+            b.iter(|| {
+                pipeline
+                    .run(&MemArchSpec::single_cache(cfg.clone()))
+                    .unwrap()
+            })
         });
     }
     g.finish();

@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use spmlab::pipeline::Pipeline;
-use spmlab::MemHierarchyConfig;
+use spmlab::{MemArchSpec, MemHierarchyConfig};
 use spmlab_bench::{
     append_history, hierarchy_figure, hierarchy_json, hierarchy_l1_size, workspace_root,
     BenchRecord,
@@ -31,7 +31,7 @@ fn bench_hierarchy_points(c: &mut Criterion) {
     ];
     for (name, cfg) in configs {
         g.bench_function(name, |b| {
-            b.iter(|| pipeline.run_hierarchy(cfg.clone()).unwrap())
+            b.iter(|| pipeline.run(&MemArchSpec::from_hierarchy(&cfg)).unwrap())
         });
     }
     g.finish();

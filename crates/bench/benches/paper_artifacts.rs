@@ -7,6 +7,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use spmlab::figures::{table1, table2, Tightness};
 use spmlab::pipeline::Pipeline;
+use spmlab::MemArchSpec;
+use spmlab_isa::cachecfg::CacheConfig;
 use spmlab_workloads::{paper_benchmarks, ADPCM, G721, INSERTSORT, MULTISORT};
 
 fn bench_table1(c: &mut Criterion) {
@@ -27,10 +29,14 @@ fn bench_fig3(c: &mut Criterion) {
     g.sample_size(10);
     let pipeline = Pipeline::new(&G721).unwrap();
     g.bench_function("spm_point_1024", |b| {
-        b.iter(|| pipeline.run_spm(1024).unwrap())
+        b.iter(|| pipeline.run(&MemArchSpec::spm(1024)).unwrap())
     });
     g.bench_function("cache_point_1024", |b| {
-        b.iter(|| pipeline.run_cache_default(1024).unwrap())
+        b.iter(|| {
+            pipeline
+                .run(&MemArchSpec::single_cache(CacheConfig::unified(1024)))
+                .unwrap()
+        })
     });
     g.finish();
 }
@@ -39,7 +45,7 @@ fn bench_fig4(c: &mut Criterion) {
     // Figure 4 is the ratio of the Figure 3 series; the incremental cost
     // is the ratio computation itself, which we time over a cached run.
     let pipeline = Pipeline::new(&G721).unwrap();
-    let point = pipeline.run_spm(1024).unwrap();
+    let point = pipeline.run(&MemArchSpec::spm(1024)).unwrap();
     c.bench_function("fig4_ratio", |b| b.iter(|| point.ratio()));
 }
 
@@ -48,10 +54,14 @@ fn bench_fig5(c: &mut Criterion) {
     g.sample_size(10);
     let pipeline = Pipeline::new(&MULTISORT).unwrap();
     g.bench_function("spm_point_1024", |b| {
-        b.iter(|| pipeline.run_spm(1024).unwrap())
+        b.iter(|| pipeline.run(&MemArchSpec::spm(1024)).unwrap())
     });
     g.bench_function("cache_point_1024", |b| {
-        b.iter(|| pipeline.run_cache_default(1024).unwrap())
+        b.iter(|| {
+            pipeline
+                .run(&MemArchSpec::single_cache(CacheConfig::unified(1024)))
+                .unwrap()
+        })
     });
     g.finish();
 }
@@ -61,10 +71,14 @@ fn bench_fig6(c: &mut Criterion) {
     g.sample_size(10);
     let pipeline = Pipeline::new(&ADPCM).unwrap();
     g.bench_function("spm_point_512", |b| {
-        b.iter(|| pipeline.run_spm(512).unwrap())
+        b.iter(|| pipeline.run(&MemArchSpec::spm(512)).unwrap())
     });
     g.bench_function("cache_point_512", |b| {
-        b.iter(|| pipeline.run_cache_default(512).unwrap())
+        b.iter(|| {
+            pipeline
+                .run(&MemArchSpec::single_cache(CacheConfig::unified(512)))
+                .unwrap()
+        })
     });
     g.finish();
 }

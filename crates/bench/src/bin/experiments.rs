@@ -1,30 +1,99 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! experiments [--quick] all            # everything, report order
-//! experiments [--quick] <id> [<id>..]  # selected experiments
-//! experiments verify                   # check the paper's claims hold
-//! experiments list                     # available ids
+//! experiments [--quick] all              # everything, report order
+//! experiments [--quick] <id> [<id>..]    # selected experiments
+//! experiments verify                     # check the paper's claims hold
+//! experiments list                       # available ids
+//! experiments bench-history --figure     # + plottable CSV/gnuplot artifacts
+//! experiments --dump-spec [--quick]      # every axis point as reusable JSON
+//! experiments --spec <file.json> [--bench <name>]
+//!                                        # reproduce one sweep point
 //! ```
+//!
+//! `--dump-spec` prints each standard sweep point as one `MemArchSpec`
+//! JSON document; saving one to a file and feeding it back with `--spec`
+//! reproduces that exact point (machine *and* analysis method) from the
+//! command line.
 
 use spmlab_bench::{
-    exp_hierarchy_with_artifacts, run_experiment, verify_claims, workspace_root, EXPERIMENTS,
+    dump_specs, exp_bench_history, exp_hierarchy_with_artifacts, run_experiment, run_spec_on,
+    verify_claims, workspace_root, EXPERIMENTS,
 };
+
+fn usage() -> String {
+    format!(
+        "usage: experiments [--quick] <all|verify|{}>\n\
+         \x20      experiments bench-history --figure\n\
+         \x20      experiments --dump-spec [--quick]\n\
+         \x20      experiments --spec <file.json> [--bench <name>]",
+        EXPERIMENTS.join("|")
+    )
+}
+
+/// The value following `--flag`, if present.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let ids: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+    let figure = args.iter().any(|a| a == "--figure");
+
+    // Single-spec reproduction mode.
+    if let Some(spec_path) = flag_value(&args, "--spec") {
+        let bench = flag_value(&args, "--bench").unwrap_or_else(|| "g721".into());
+        let json = match std::fs::read_to_string(&spec_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot read `{spec_path}`: {e}");
+                std::process::exit(1);
+            }
+        };
+        match run_spec_on(&bench, &json) {
+            Ok(text) => {
+                println!("{text}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    // Spec-inventory mode: every standard axis point as reusable JSON.
+    if args.iter().any(|a| a == "--dump-spec") {
+        for (label, spec) in dump_specs(quick) {
+            println!("// {label}");
+            println!("{}", spec.to_json());
+        }
+        return;
+    }
+
+    // Skip the values of value-taking flags when collecting experiment ids.
+    let mut ids: Vec<&str> = Vec::new();
+    let mut skip_next = false;
+    for a in &args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a == "--spec" || a == "--bench" {
+            skip_next = true;
+            continue;
+        }
+        if !a.starts_with("--") {
+            ids.push(a.as_str());
+        }
+    }
 
     if ids.is_empty() || ids.contains(&"list") {
-        eprintln!(
-            "usage: experiments [--quick] <all|verify|{}>",
-            EXPERIMENTS.join("|")
-        );
+        eprintln!("{}", usage());
         std::process::exit(if ids.contains(&"list") { 0 } else { 2 });
     }
 
@@ -52,9 +121,12 @@ fn main() {
     };
     for id in selected {
         // The hierarchy scenario additionally maintains the tracked bench
-        // artifacts (BENCH_hierarchy.json + bench_history.jsonl).
+        // artifacts (BENCH_hierarchy.json + bench_history.jsonl), and
+        // bench-history honours --figure.
         let result = if id == "hierarchy" {
             exp_hierarchy_with_artifacts(quick, &workspace_root())
+        } else if id == "bench-history" {
+            Ok(exp_bench_history(figure))
         } else {
             run_experiment(id, quick)
         };

@@ -171,6 +171,64 @@ pub fn render_history(records: &[BenchRecord]) -> String {
     )
 }
 
+/// Renders the recorded trajectory as a plottable CSV (one row per run,
+/// in recorded order): `index,rev,benchmark,axis,wall_seconds,max_ratio,
+/// sound`.
+pub fn render_history_csv(records: &[BenchRecord]) -> String {
+    let mut out = String::from("index,rev,benchmark,axis,wall_seconds,max_ratio,sound\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "{i},{},{},{},{:.3},{:.4},{}\n",
+            r.rev.replace(',', "_"),
+            r.benchmark.replace(',', "_"),
+            if r.quick { "quick" } else { "full" },
+            r.wall_seconds,
+            r.max_ratio,
+            r.sound
+        ));
+    }
+    out
+}
+
+/// The gnuplot script plotting `csv_name`: wall-seconds per revision on
+/// the left axis, worst WCET/sim ratio on the right, revisions along x.
+pub fn render_history_gnuplot(csv_name: &str) -> String {
+    format!(
+        "# Perf/predictability trajectory across revisions.\n\
+         # Usage: gnuplot bench_history.gnuplot  (emits bench_history.svg)\n\
+         set datafile separator ','\n\
+         set terminal svg size 900,420 background 'white'\n\
+         set output 'bench_history.svg'\n\
+         set title 'hierarchy sweep: wall seconds and worst WCET/sim ratio per revision'\n\
+         set xlabel 'revision'\n\
+         set ylabel 'wall seconds'\n\
+         set y2label 'max WCET/sim ratio'\n\
+         set y2tics\n\
+         set ytics nomirror\n\
+         set key top left\n\
+         set grid\n\
+         plot '{csv_name}' skip 1 using 1:5:xtic(2) with linespoints title 'wall s (axis 1)', \\\n\
+         \x20    '{csv_name}' skip 1 using 1:6 axes x1y2 with linespoints title 'max ratio (axis 2)'\n"
+    )
+}
+
+/// Writes the plottable figure next to the history file: a CSV of the
+/// trajectory and a gnuplot script rendering it. Returns both paths.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_history_figure(
+    root: &Path,
+    records: &[BenchRecord],
+) -> std::io::Result<(std::path::PathBuf, std::path::PathBuf)> {
+    let csv = root.join("bench_history.csv");
+    let plot = root.join("bench_history.gnuplot");
+    std::fs::write(&csv, render_history_csv(records))?;
+    std::fs::write(&plot, render_history_gnuplot("bench_history.csv"))?;
+    Ok((csv, plot))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -224,5 +282,55 @@ mod tests {
         let table = render_history(&recs);
         assert!(table.contains("bbbbbbb") && table.contains("max ratio"));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn csv_and_gnuplot_figure_emitted() {
+        let recs = vec![
+            BenchRecord {
+                rev: "aaaaaaa".into(),
+                benchmark: "g721".into(),
+                quick: false,
+                wall_seconds: 1.234,
+                points: 8,
+                max_ratio: 9.0281,
+                sound: true,
+            },
+            BenchRecord {
+                rev: "bbbbbbb".into(),
+                benchmark: "g721".into(),
+                quick: true,
+                wall_seconds: 0.111,
+                points: 8,
+                max_ratio: 8.5,
+                sound: true,
+            },
+        ];
+        let csv = render_history_csv(&recs);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3, "header + 2 rows");
+        assert!(lines[0].starts_with("index,rev,"));
+        assert!(lines[1].contains("aaaaaaa") && lines[1].contains("1.234"));
+        assert!(lines[2].contains("quick") && lines[2].contains("8.5000"));
+        let plot = render_history_gnuplot("bench_history.csv");
+        assert!(plot.contains("bench_history.csv"));
+        assert!(plot.contains("y2label"), "ratio on the second axis");
+        // gnuplot requires datafile modifiers before `using`:
+        // index / every / skip, then using.
+        assert!(
+            plot.contains("skip 1 using"),
+            "`skip` must precede `using`: {plot}"
+        );
+        assert!(!plot.contains(") skip"), "no trailing skip modifiers");
+
+        let dir = std::env::temp_dir().join("spmlab_bench_history_figure_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (csv_path, plot_path) = write_history_figure(&dir, &recs).unwrap();
+        assert_eq!(std::fs::read_to_string(&csv_path).unwrap(), csv);
+        assert!(std::fs::read_to_string(&plot_path)
+            .unwrap()
+            .contains("linespoints"));
+        let _ = std::fs::remove_file(csv_path);
+        let _ = std::fs::remove_file(plot_path);
     }
 }

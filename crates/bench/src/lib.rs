@@ -15,17 +15,21 @@
 
 pub mod history;
 
-pub use history::{append_history, git_revision, read_history, render_history, BenchRecord};
+pub use history::{
+    append_history, git_revision, read_history, render_history, render_history_csv,
+    render_history_gnuplot, write_history_figure, BenchRecord,
+};
 
-use spmlab::figures::{table1, table2, Figure3, FigureHierarchy, Tightness};
+use spmlab::figures::{table1, table2, Figure3, FigureHierarchy, FigureSpmHierarchy, Tightness};
 use spmlab::pipeline::Pipeline;
 use spmlab::report;
-use spmlab::sweep::cache_sweep_with;
-use spmlab::{hierarchy_axis, CoreError, PAPER_SIZES};
-use spmlab_alloc::wcet_aware;
-use spmlab_isa::annot::AnnotationSet;
+use spmlab::sweep::{cache_sweep_with, spec_sweep};
+use spmlab::{
+    cache_axis, hierarchy_axis, hierarchy_spec_axis, hierarchy_spm_axis, hierarchy_spm_machines,
+    spm_axis, CoreError, MemArchSpec, SpmAllocation, PAPER_SIZES,
+};
 use spmlab_isa::cachecfg::{CacheConfig, Replacement};
-use spmlab_workloads::{paper_benchmarks, ADPCM, G721, INSERTSORT, MULTISORT};
+use spmlab_workloads::{paper_benchmarks, Benchmark, ADPCM, G721, INSERTSORT, MULTISORT};
 
 /// Experiment sizes: the paper's 64 B … 8 KiB, or a reduced set for quick
 /// runs and benches.
@@ -311,16 +315,23 @@ pub fn exp_ablation_assoc(quick: bool) -> Result<String, CoreError> {
             CacheConfig::set_assoc(size, 4, Replacement::RoundRobin),
         ),
     ];
-    let mut rows = Vec::new();
-    for (name, cfg) in configs {
-        let r = pipeline.run_cache(cfg, false)?;
-        rows.push(vec![
-            name.to_string(),
-            r.sim_cycles.to_string(),
-            r.wcet_cycles.to_string(),
-            format!("{:.3}", r.ratio()),
-        ]);
-    }
+    let specs: Vec<MemArchSpec> = configs
+        .iter()
+        .map(|(_, cfg)| MemArchSpec::single_cache(cfg.clone()))
+        .collect();
+    let points = spec_sweep(&pipeline, &specs)?;
+    let rows: Vec<Vec<String>> = configs
+        .iter()
+        .zip(&points)
+        .map(|((name, _), p)| {
+            vec![
+                (*name).to_string(),
+                p.result.sim_cycles.to_string(),
+                p.result.wcet_cycles.to_string(),
+                format!("{:.3}", p.result.ratio()),
+            ]
+        })
+        .collect();
     Ok(format!(
         "Ablation: associativity/replacement at {size} B (G.721)\n{}",
         report::render_table(&["configuration", "sim", "wcet", "ratio"], &rows)
@@ -342,21 +353,22 @@ pub fn exp_ablation_wcet_alloc(quick: bool) -> Result<String, CoreError> {
     let mut rows = Vec::new();
     for bench in [&INSERTSORT, &MULTISORT] {
         let pipeline = Pipeline::new(bench)?;
-        for &size in szs {
-            let energy_opt = pipeline.run_spm(size)?;
-            let module = bench.compile()?;
-            let wa = wcet_aware::allocate(&module, size, &AnnotationSet::new()).map_err(|e| {
-                CoreError::Cc(spmlab_cc::CcError::Sema {
-                    pos: spmlab_cc::Pos::default(),
-                    msg: e.to_string(),
-                })
-            })?;
-            let wcet_opt = pipeline.run_spm_with_assignment(size, &wa.assignment)?;
+        let specs: Vec<MemArchSpec> = szs
+            .iter()
+            .flat_map(|&size| {
+                [
+                    MemArchSpec::spm(size),
+                    MemArchSpec::spm_with(size, SpmAllocation::WcetRegion),
+                ]
+            })
+            .collect();
+        let points = spec_sweep(&pipeline, &specs)?;
+        for (i, &size) in szs.iter().enumerate() {
             rows.push(vec![
                 bench.name.to_string(),
                 size.to_string(),
-                energy_opt.wcet_cycles.to_string(),
-                wcet_opt.wcet_cycles.to_string(),
+                points[2 * i].result.wcet_cycles.to_string(),
+                points[2 * i + 1].result.wcet_cycles.to_string(),
             ]);
         }
     }
@@ -374,6 +386,136 @@ pub fn exp_ablation_wcet_alloc(quick: bool) -> Result<String, CoreError> {
     ))
 }
 
+/// The SPM×hierarchy scenario parameters: scratchpad capacities and the
+/// multi-level machines of [`hierarchy_spm_machines`].
+pub fn hierarchy_spm_params(quick: bool) -> (&'static Benchmark, Vec<u32>, u32) {
+    if quick {
+        (&ADPCM, vec![512], 512)
+    } else {
+        (&G721, vec![1024, 4096], 1024)
+    }
+}
+
+/// The SPM×hierarchy comparison data (shared by the report experiment and
+/// the claims).
+///
+/// # Errors
+///
+/// Pipeline failures.
+pub fn hierarchy_spm_figure(quick: bool) -> Result<FigureSpmHierarchy, CoreError> {
+    let (bench, spm_sizes, l1) = hierarchy_spm_params(quick);
+    FigureSpmHierarchy::run(bench, &spm_sizes, &hierarchy_spm_machines(l1))
+}
+
+/// SPM×hierarchy scenario: the first result the composable spec unlocks —
+/// scratchpad and multi-level hierarchy in one machine, with the
+/// WCET-aware allocator optimising against the multi-level critical path
+/// instead of flat region timing.
+///
+/// # Errors
+///
+/// Pipeline failures.
+pub fn exp_hierarchy_spm(quick: bool) -> Result<String, CoreError> {
+    let fig = hierarchy_spm_figure(quick)?;
+    let mut out = report::render_spm_hierarchy(&fig);
+    out.push_str(&format!(
+        "hierarchy-aware wcet <= region-objective wcet at every point: {}\n",
+        if fig.aware_never_worse() {
+            "yes"
+        } else {
+            "NO — BUG"
+        }
+    ));
+    out.push_str(&format!(
+        "sound (wcet >= sim) at every point: {}\n",
+        if fig.all_sound() { "yes" } else { "NO — BUG" }
+    ));
+    Ok(out)
+}
+
+/// Renders the tracked bench history; with `figure` additionally emits
+/// the plottable CSV + gnuplot artifact pair next to the JSONL file and
+/// inlines the CSV.
+pub fn exp_bench_history(figure: bool) -> String {
+    let root = workspace_root();
+    let records = read_history(&root.join("bench_history.jsonl"));
+    let mut out = render_history(&records);
+    if figure {
+        out.push('\n');
+        out.push_str(&render_history_csv(&records));
+        match write_history_figure(&root, &records) {
+            Ok((csv, plot)) => {
+                out.push_str(&format!(
+                    "wrote {}\nwrote {}\n",
+                    csv.display(),
+                    plot.display()
+                ));
+            }
+            Err(e) => out.push_str(&format!("could not write figure artifacts: {e}\n")),
+        }
+    }
+    out
+}
+
+/// Every spec of the standard experiment axes, labelled — the
+/// `--dump-spec` inventory. Any line's JSON can be fed back through
+/// `--spec` to reproduce that sweep point.
+pub fn dump_specs(quick: bool) -> Vec<(String, MemArchSpec)> {
+    let szs = sizes(quick);
+    let l1 = hierarchy_l1_size(quick);
+    let (_, spm_sizes, spm_l1) = hierarchy_spm_params(quick);
+    spm_axis(szs)
+        .into_iter()
+        .chain(cache_axis(szs))
+        .chain(hierarchy_spec_axis(l1))
+        .chain(hierarchy_spm_axis(
+            &spm_sizes,
+            &hierarchy_spm_machines(spm_l1),
+        ))
+        .map(|s| (s.label(), s))
+        .collect()
+}
+
+/// Runs one spec on one benchmark and renders the result row plus the
+/// spec's canonical JSON (so the output is itself reproducible).
+///
+/// # Errors
+///
+/// Unknown benchmark, JSON/validation failures, pipeline failures — all
+/// rendered as strings for the CLI.
+pub fn run_spec_on(bench_name: &str, spec_json: &str) -> Result<String, String> {
+    let bench = spmlab_workloads::benchmark(bench_name).ok_or_else(|| {
+        format!(
+            "unknown benchmark `{bench_name}`; try one of: {}",
+            spmlab_workloads::all_benchmarks()
+                .iter()
+                .map(|b| b.name)
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    })?;
+    let spec = MemArchSpec::from_json(spec_json).map_err(|e| e.to_string())?;
+    let pipeline = Pipeline::new(bench).map_err(|e| e.to_string())?;
+    let r = pipeline.run(&spec).map_err(|e| e.to_string())?;
+    let row = vec![vec![
+        r.label.clone(),
+        r.sim_cycles.to_string(),
+        r.wcet_cycles.to_string(),
+        format!("{:.3}", r.ratio()),
+        format!("{:.0}", r.energy_nj / 1000.0),
+        r.spm_used.to_string(),
+    ]];
+    Ok(format!(
+        "spec point on `{}`\n{}\nspec (canonical):\n{}\n",
+        bench.name,
+        report::render_table(
+            &["configuration", "sim", "wcet", "ratio", "µJ", "spm used B"],
+            &row
+        ),
+        spec.canonical().to_json()
+    ))
+}
+
 /// Runs one experiment by id; `all` runs everything in order.
 ///
 /// # Errors
@@ -388,9 +530,8 @@ pub fn run_experiment(id: &str, quick: bool) -> Result<String, CoreError> {
         "fig6" => exp_fig6(quick),
         "tightness" => exp_tightness(),
         "hierarchy" => exp_hierarchy(quick),
-        "bench-history" => Ok(render_history(&read_history(
-            &workspace_root().join("bench_history.jsonl"),
-        ))),
+        "hierarchy-spm" => exp_hierarchy_spm(quick),
+        "bench-history" => Ok(exp_bench_history(false)),
         "ablation-persistence" => exp_ablation_persistence(quick),
         "ablation-icache" => exp_ablation_icache(quick),
         "ablation-assoc" => exp_ablation_assoc(quick),
@@ -408,7 +549,7 @@ pub fn workspace_root() -> std::path::PathBuf {
 }
 
 /// All experiment ids in report order.
-pub const EXPERIMENTS: [&str; 12] = [
+pub const EXPERIMENTS: [&str; 13] = [
     "table1",
     "table2",
     "fig3",
@@ -416,6 +557,7 @@ pub const EXPERIMENTS: [&str; 12] = [
     "fig6",
     "tightness",
     "hierarchy",
+    "hierarchy-spm",
     "bench-history",
     "ablation-persistence",
     "ablation-icache",
@@ -507,6 +649,20 @@ pub fn verify_claims(quick: bool) -> Result<Vec<(String, bool)>, CoreError> {
     claims.push((
         "hierarchy: scratchpad WCET/sim ratio beats every cache hierarchy".into(),
         spm_ratio < cached_best,
+    ));
+
+    // Claim 9 (the composable-spec result): under SPM×hierarchy machines,
+    // allocating against the multi-level critical path never yields a
+    // worse bound than the seed's region-timing allocation, and every
+    // point stays sound.
+    let spm_hier = hierarchy_spm_figure(quick)?;
+    claims.push((
+        format!(
+            "{}: hierarchy-aware allocation WCET ≤ region-timing allocation at every \
+             SPM×hierarchy point",
+            spm_hier.benchmark
+        ),
+        spm_hier.aware_never_worse() && spm_hier.all_sound(),
     ));
 
     Ok(claims)

@@ -1,5 +1,10 @@
-//! Experiment constants.
+//! Experiment constants and the spec axes of the standard experiments.
+//!
+//! Every sweep in the workspace is an enumeration of [`MemArchSpec`]
+//! values — the axis builders here are the single place the standard
+//! experiment points are defined.
 
+use spmlab_isa::archspec::{MemArchSpec, SpmAllocation};
 use spmlab_isa::cachecfg::CacheConfig;
 use spmlab_isa::hierarchy::{MainMemoryTiming, MemHierarchyConfig};
 
@@ -14,11 +19,25 @@ pub const QUICK_SIZES: [u32; 4] = [64, 256, 1024, 4096];
 /// points (cycles before the first beat).
 pub const DRAM_LATENCY: u64 = 10;
 
+/// The scratchpad axis (Figure 3a): knapsack-filled scratchpads over
+/// Table-1 main memory.
+pub fn spm_axis(sizes: &[u32]) -> Vec<MemArchSpec> {
+    sizes.iter().map(|&s| MemArchSpec::spm(s)).collect()
+}
+
+/// The cache axis (Figure 3b): unified direct-mapped caches.
+pub fn cache_axis(sizes: &[u32]) -> Vec<MemArchSpec> {
+    sizes
+        .iter()
+        .map(|&s| MemArchSpec::single_cache(CacheConfig::unified(s)))
+        .collect()
+}
+
 /// The hierarchy axis of the experiment: single-level L1s (unified and
 /// split I/D), two-level configurations at two L2 capacities, and the same
 /// two-level machine over two main-memory timings (Table-1 SRAM-style and
-/// DRAM-style with burst setup latency). SPM points ride alongside via
-/// [`crate::pipeline::Pipeline::run_spm_with_main`].
+/// DRAM-style with burst setup latency). SPM points ride alongside as
+/// specs of their own — see [`crate::figures::FigureHierarchy`].
 pub fn hierarchy_axis(l1_size: u32) -> Vec<MemHierarchyConfig> {
     let split = || MemHierarchyConfig::split_l1(l1_size / 2, l1_size / 2);
     vec![
@@ -32,4 +51,80 @@ pub fn hierarchy_axis(l1_size: u32) -> Vec<MemHierarchyConfig> {
         MemHierarchyConfig::l1_only(CacheConfig::instr_only(l1_size))
             .with_l2(CacheConfig::l2(16 * l1_size)),
     ]
+}
+
+/// [`hierarchy_axis`] as a spec axis.
+pub fn hierarchy_spec_axis(l1_size: u32) -> Vec<MemArchSpec> {
+    hierarchy_axis(l1_size)
+        .iter()
+        .map(MemArchSpec::from_hierarchy)
+        .collect()
+}
+
+/// The multi-level machines of the SPM×hierarchy axis: a split L1 backed
+/// by a unified L2, over both main-memory timings.
+pub fn hierarchy_spm_machines(l1_size: u32) -> Vec<MemHierarchyConfig> {
+    let split = || MemHierarchyConfig::split_l1(l1_size / 2, l1_size / 2);
+    vec![
+        split().with_l2(CacheConfig::l2(4 * l1_size)),
+        split()
+            .with_l2(CacheConfig::l2(4 * l1_size))
+            .with_main(MainMemoryTiming::dram(DRAM_LATENCY)),
+    ]
+}
+
+/// The SPM×hierarchy axis unlocked by the composable spec: for every
+/// scratchpad capacity and multi-level machine, a pair of specs filling
+/// the scratchpad with (a) the seed allocator's flat region-timing
+/// objective and (b) the hierarchy-aware objective that optimises the
+/// multi-level critical path. Pairs are adjacent: `[region, aware,
+/// region, aware, …]`.
+pub fn hierarchy_spm_axis(spm_sizes: &[u32], machines: &[MemHierarchyConfig]) -> Vec<MemArchSpec> {
+    let mut specs = Vec::with_capacity(spm_sizes.len() * machines.len() * 2);
+    for &size in spm_sizes {
+        for machine in machines {
+            for alloc in [SpmAllocation::WcetRegion, SpmAllocation::WcetAware] {
+                specs.push(MemArchSpec {
+                    spm: Some(spmlab_isa::archspec::SpmSpec { size, alloc }),
+                    ..MemArchSpec::from_hierarchy(machine)
+                });
+            }
+        }
+    }
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axes_are_valid_specs() {
+        for spec in spm_axis(&PAPER_SIZES)
+            .into_iter()
+            .chain(cache_axis(&PAPER_SIZES))
+            .chain(hierarchy_spec_axis(1024))
+            .chain(hierarchy_spm_axis(
+                &[512, 1024],
+                &hierarchy_spm_machines(1024),
+            ))
+        {
+            spec.validate().unwrap_or_else(|e| panic!("{e}: {spec:?}"));
+        }
+    }
+
+    #[test]
+    fn hierarchy_spm_axis_pairs_objectives() {
+        use spmlab_isa::archspec::SpmAllocation;
+        let specs = hierarchy_spm_axis(&[1024], &hierarchy_spm_machines(1024));
+        assert_eq!(specs.len(), 4, "1 size × 2 machines × 2 objectives");
+        for pair in specs.chunks(2) {
+            let a = pair[0].spm.as_ref().unwrap();
+            let b = pair[1].spm.as_ref().unwrap();
+            assert_eq!(a.alloc, SpmAllocation::WcetRegion);
+            assert_eq!(b.alloc, SpmAllocation::WcetAware);
+            assert_eq!(a.size, b.size);
+            assert_eq!(pair[0].hierarchy(), pair[1].hierarchy());
+        }
+    }
 }

@@ -3,8 +3,11 @@
 
 use crate::config::DRAM_LATENCY;
 use crate::pipeline::{ConfigResult, Pipeline};
-use crate::sweep::{cache_sweep, hierarchy_sweep, ratios, spm_sweep, HierarchyPoint, SweepPoint};
+use crate::sweep::{
+    cache_sweep, hierarchy_sweep, ratios, spec_sweep, spm_sweep, HierarchyPoint, SweepPoint,
+};
 use crate::CoreError;
+use spmlab_isa::archspec::MemArchSpec;
 use spmlab_isa::hierarchy::{MainMemoryTiming, MemHierarchyConfig};
 use spmlab_isa::mem::{access_cycles, AccessWidth, RegionKind};
 use spmlab_workloads::Benchmark;
@@ -122,7 +125,7 @@ impl Tightness {
             .worst_input
             .expect("benchmark has a worst-case input"))();
         let pipeline = Pipeline::with_input(benchmark, worst)?;
-        let r = pipeline.run_spm(spm_size)?;
+        let r = pipeline.run(&MemArchSpec::spm(spm_size))?;
         Ok(Tightness {
             benchmark: benchmark.name.to_string(),
             sim_cycles: r.sim_cycles,
@@ -177,16 +180,13 @@ impl FigureHierarchy {
         configs: &[MemHierarchyConfig],
     ) -> Result<FigureHierarchy, CoreError> {
         let pipeline = Pipeline::new(benchmark)?;
-        // One allocation/link/execution for both main-memory timings.
-        let mut spm_points = pipeline.run_spm_with_mains(
-            spm_size,
-            &[
-                MainMemoryTiming::table1(),
-                MainMemoryTiming::dram(DRAM_LATENCY),
-            ],
-        )?;
-        let spm_slow = spm_points.pop().expect("two timings requested");
-        let spm_fast = spm_points.pop().expect("two timings requested");
+        // Both main-memory timings share one allocation/link/execution —
+        // the pipeline memoises the scratchpad artifacts per assignment.
+        let spm_fast = pipeline.run(&MemArchSpec::spm(spm_size))?;
+        let spm_slow = pipeline.run(&MemArchSpec {
+            main: MainMemoryTiming::dram(DRAM_LATENCY),
+            ..MemArchSpec::spm(spm_size)
+        })?;
         Ok(FigureHierarchy {
             benchmark: benchmark.name.to_string(),
             spm: vec![SpmHierarchyPoint {
@@ -222,6 +222,82 @@ impl FigureHierarchy {
     /// The soundness invariant over every point of the figure.
     pub fn all_sound(&self) -> bool {
         self.rows().iter().all(|(_, sim, wcet)| wcet >= sim)
+    }
+}
+
+/// One point of the SPM×hierarchy figure: the same scratchpad capacity
+/// under the same multi-level machine, filled by the two WCET-driven
+/// allocation objectives.
+#[derive(Debug, Clone)]
+pub struct AllocComparePoint {
+    /// Scratchpad capacity in bytes.
+    pub spm_size: u32,
+    /// The multi-level machine both allocations run under.
+    pub machine: MemHierarchyConfig,
+    /// Allocation optimised against flat region timing (the seed
+    /// allocator's objective), measured under the machine.
+    pub region: ConfigResult,
+    /// Allocation optimised against the machine's multi-level critical
+    /// path ([`spmlab_isa::archspec::SpmAllocation::WcetAware`]).
+    pub aware: ConfigResult,
+}
+
+/// The figure the composable spec unlocks: scratchpad and multi-level
+/// hierarchy in *one* machine, with object placement optimised against
+/// the multi-level critical path. For every `(capacity, machine)` point
+/// it compares the hierarchy-aware allocation with the seed allocator's
+/// region-timing allocation — the first result this repository can
+/// produce that the seed could not.
+#[derive(Debug, Clone)]
+pub struct FigureSpmHierarchy {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// One comparison per `(capacity, machine)` pair.
+    pub points: Vec<AllocComparePoint>,
+}
+
+impl FigureSpmHierarchy {
+    /// Runs the [`crate::config::hierarchy_spm_axis`] for `benchmark`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline failures.
+    pub fn run(
+        benchmark: &'static Benchmark,
+        spm_sizes: &[u32],
+        machines: &[MemHierarchyConfig],
+    ) -> Result<FigureSpmHierarchy, CoreError> {
+        let pipeline = Pipeline::new(benchmark)?;
+        let specs = crate::config::hierarchy_spm_axis(spm_sizes, machines);
+        let results = spec_sweep(&pipeline, &specs)?;
+        let points = results
+            .chunks(2)
+            .map(|pair| AllocComparePoint {
+                spm_size: pair[0].spec.spm_size(),
+                machine: pair[0].spec.hierarchy(),
+                region: pair[0].result.clone(),
+                aware: pair[1].result.clone(),
+            })
+            .collect();
+        Ok(FigureSpmHierarchy {
+            benchmark: benchmark.name.to_string(),
+            points,
+        })
+    }
+
+    /// The headline claim: the hierarchy-aware allocation's WCET bound is
+    /// never above the region-timing allocation's at any point.
+    pub fn aware_never_worse(&self) -> bool {
+        self.points
+            .iter()
+            .all(|p| p.aware.wcet_cycles <= p.region.wcet_cycles)
+    }
+
+    /// WCET ≥ simulation at every point, for both allocations.
+    pub fn all_sound(&self) -> bool {
+        self.points.iter().all(|p| {
+            p.aware.wcet_cycles >= p.aware.sim_cycles && p.region.wcet_cycles >= p.region.sim_cycles
+        })
     }
 }
 
@@ -269,6 +345,22 @@ mod tests {
             spm_ratio < l1_ratio,
             "spm {spm_ratio:.2} vs l1 {l1_ratio:.2}"
         );
+    }
+
+    #[test]
+    fn spm_hierarchy_figure_compares_allocators() {
+        use spmlab_isa::cachecfg::CacheConfig;
+        let machines = vec![MemHierarchyConfig::split_l1(128, 128).with_l2(CacheConfig::l2(1024))];
+        let fig = FigureSpmHierarchy::run(&INSERTSORT, &[256], &machines).unwrap();
+        assert_eq!(fig.points.len(), 1);
+        assert!(fig.all_sound());
+        assert!(
+            fig.aware_never_worse(),
+            "aware {} vs region {}",
+            fig.points[0].aware.wcet_cycles,
+            fig.points[0].region.wcet_cycles
+        );
+        assert_eq!(fig.points[0].spm_size, 256);
     }
 
     #[test]

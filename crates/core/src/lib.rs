@@ -21,18 +21,24 @@
 //!             compare: cycles, WCET, ratio
 //! ```
 //!
-//! [`Pipeline`] caches the compiled module and baseline profile;
-//! [`sweep`] runs the paper's 64 B … 8 KiB capacity sweeps; [`figures`]
+//! [`Pipeline`] caches the compiled module and baseline profile; its one
+//! entry point [`Pipeline::run`] takes a declarative
+//! [`MemArchSpec`] describing the full memory architecture (scratchpad +
+//! cache levels + main-memory timing); [`sweep`] enumerates
+//! `Vec<MemArchSpec>` axes (the paper's 64 B … 8 KiB capacity sweeps, the
+//! hierarchy axis, the SPM×hierarchy allocator axis); [`figures`]
 //! packages each table/figure of the evaluation section; [`report`]
 //! renders them as text tables.
 //!
 //! ```no_run
 //! use spmlab::pipeline::Pipeline;
+//! use spmlab::MemArchSpec;
+//! use spmlab_isa::cachecfg::CacheConfig;
 //! use spmlab_workloads::G721;
 //!
 //! let p = Pipeline::new(&G721)?;
-//! let spm = p.run_spm(1024)?;
-//! let cache = p.run_cache_default(1024)?;
+//! let spm = p.run(&MemArchSpec::spm(1024))?;
+//! let cache = p.run(&MemArchSpec::single_cache(CacheConfig::unified(1024)))?;
 //! println!("spm  : sim {} wcet {}", spm.sim_cycles, spm.wcet_cycles);
 //! println!("cache: sim {} wcet {}", cache.sim_cycles, cache.wcet_cycles);
 //! # Ok::<(), spmlab::CoreError>(())
@@ -44,8 +50,12 @@ pub mod pipeline;
 pub mod report;
 pub mod sweep;
 
-pub use config::{hierarchy_axis, DRAM_LATENCY, PAPER_SIZES};
+pub use config::{
+    cache_axis, hierarchy_axis, hierarchy_spec_axis, hierarchy_spm_axis, hierarchy_spm_machines,
+    spm_axis, DRAM_LATENCY, PAPER_SIZES,
+};
 pub use pipeline::{ConfigResult, Pipeline};
+pub use spmlab_isa::archspec::{MemArchSpec, SpecError, SpmAllocation, SpmSpec};
 pub use spmlab_isa::hierarchy::{MainMemoryTiming, MemHierarchyConfig};
 
 /// Errors from the experiment pipeline.
@@ -57,6 +67,10 @@ pub enum CoreError {
     Sim(spmlab_sim::SimError),
     /// WCET analyzer failure.
     Wcet(spmlab_wcet::WcetError),
+    /// An invalid [`MemArchSpec`] was passed to [`Pipeline::run`].
+    Spec(SpecError),
+    /// The WCET-driven scratchpad allocator failed.
+    Alloc(spmlab_alloc::wcet_aware::WcetAllocError),
     /// The benchmark produced a checksum that differs from its host twin —
     /// the toolchain miscompiled or missimulated it.
     ChecksumMismatch {
@@ -72,6 +86,8 @@ impl std::fmt::Display for CoreError {
             CoreError::Cc(e) => write!(f, "compile/link: {e}"),
             CoreError::Sim(e) => write!(f, "simulate: {e}"),
             CoreError::Wcet(e) => write!(f, "wcet: {e}"),
+            CoreError::Spec(e) => write!(f, "invalid spec: {e}"),
+            CoreError::Alloc(e) => write!(f, "allocate: {e}"),
             CoreError::ChecksumMismatch {
                 benchmark,
                 expected,
@@ -92,8 +108,16 @@ impl std::error::Error for CoreError {
             CoreError::Cc(e) => Some(e),
             CoreError::Sim(e) => Some(e),
             CoreError::Wcet(e) => Some(e),
+            CoreError::Spec(e) => Some(e),
+            CoreError::Alloc(e) => Some(e),
             CoreError::ChecksumMismatch { .. } => None,
         }
+    }
+}
+
+impl From<spmlab_alloc::wcet_aware::WcetAllocError> for CoreError {
+    fn from(e: spmlab_alloc::wcet_aware::WcetAllocError) -> CoreError {
+        CoreError::Alloc(e)
     }
 }
 

@@ -1,18 +1,29 @@
 //! The per-benchmark experiment pipeline.
+//!
+//! [`Pipeline::run`] is the single entry point: it takes a declarative
+//! [`MemArchSpec`] (scratchpad + cache levels + main-memory timing) and
+//! routes to link → simulate (trace-replay when eligible) → analyze. The
+//! legacy `run_*` methods survive as thin deprecated shims delegating to
+//! `run`, producing byte-identical results for every shape they could
+//! express.
 
 use crate::CoreError;
 use spmlab_alloc::energy::EnergyModel;
-use spmlab_alloc::knapsack;
+use spmlab_alloc::{knapsack, wcet_aware};
 use spmlab_cc::{ObjModule, SpmAssignment};
+use spmlab_isa::archspec::{MemArchSpec, SpmAllocation, SpmSpec};
 use spmlab_isa::cachecfg::CacheConfig;
 use spmlab_isa::hierarchy::{MainMemoryTiming, MemHierarchyConfig, L1};
 use spmlab_isa::mem::MemoryMap;
 use spmlab_sim::{
-    simulate, simulate_with_trace, MachineConfig, MemTrace, Profile, SimOptions, SimResult,
+    simulate, simulate_with_trace, MachineConfig, MemStats, MemTrace, Profile, SimOptions,
+    SimResult,
 };
 use spmlab_wcet::cache::ClassifyStats;
 use spmlab_wcet::{analyze, WcetConfig};
 use spmlab_workloads::Benchmark;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
 
 /// Outcome of running one benchmark under one memory configuration:
 /// average-case simulation plus static WCET bound — one data point of the
@@ -44,6 +55,35 @@ impl ConfigResult {
     }
 }
 
+/// One spec's raw measurement: everything [`ConfigResult`] needs except
+/// the label and the (capacity-dependent) energy figure. Sweep points
+/// whose canonical specs are effectively identical share one measurement
+/// (see `sweep::spec_sweep`).
+#[derive(Debug, Clone)]
+pub(crate) struct ArchMeasurement {
+    pub sim_cycles: u64,
+    pub wcet_cycles: u64,
+    pub checksum: i32,
+    pub mem_stats: MemStats,
+    pub classify: ClassifyStats,
+    pub spm_used: u32,
+    pub spm_objects: Vec<String>,
+}
+
+/// Link + recording of one scratchpad configuration, shared by every spec
+/// that resolves to the same `(capacity, assignment)` — an N-timing sweep
+/// links and interprets once, then replays.
+struct SpmArtifacts {
+    linked: spmlab_cc::LinkedProgram,
+    recorded_cycles: u64,
+    recorded_stats: MemStats,
+    checksum: i32,
+    spm_used: u32,
+    /// `None` when the program is timing-dependent (MMIO cycle-register
+    /// reads) and must be simulated per configuration.
+    trace: Option<MemTrace>,
+}
+
 /// A benchmark prepared for configuration sweeps: compiled once, linked
 /// once for the cache/hierarchy branch, profiled once on the baseline
 /// (exactly the paper's workflow — the knapsack uses the same access
@@ -63,6 +103,10 @@ pub struct Pipeline {
     trace: Option<MemTrace>,
     energy: EnergyModel,
     sim_options: SimOptions,
+    /// Memoised WCET-driven allocations, keyed by capacity + objective.
+    wcet_allocs: Mutex<BTreeMap<String, SpmAssignment>>,
+    /// Memoised scratchpad links/recordings, keyed by capacity + assignment.
+    spm_links: Mutex<BTreeMap<String, Arc<SpmArtifacts>>>,
 }
 
 impl Pipeline {
@@ -121,6 +165,8 @@ impl Pipeline {
             trace: trace.replayable().then_some(trace),
             energy: EnergyModel::default(),
             sim_options,
+            wcet_allocs: Mutex::new(BTreeMap::new()),
+            spm_links: Mutex::new(BTreeMap::new()),
         })
     }
 
@@ -170,162 +216,106 @@ impl Pipeline {
         Ok(got)
     }
 
-    /// The left branch of Figure 1: energy-optimal knapsack allocation for
-    /// a scratchpad of `spm_size` bytes, simulation, and region-timing WCET
-    /// analysis ("no additional analysis module required").
+    // -----------------------------------------------------------------
+    // The unified entry point.
+    // -----------------------------------------------------------------
+
+    /// Runs one memory-architecture spec end to end: allocate (per the
+    /// spec's scratchpad strategy), link, simulate — replaying the
+    /// recorded memory trace instead of re-interpreting whenever the
+    /// program is timing-independent — and statically analyze with the
+    /// analyzer configuration the spec implies:
+    ///
+    /// | shape                                  | analysis                      |
+    /// |----------------------------------------|-------------------------------|
+    /// | no cache levels, Table-1 main          | pure region timing            |
+    /// | no cache levels, other main            | region timing over that main  |
+    /// | single unified-descriptor L1, Table-1  | single-level MUST (+persistence on request) |
+    /// | anything else with cache levels        | multi-level (Hardy–Puaut) MUST |
+    ///
+    /// (The single-level and multi-level MUST analyses are differentially
+    /// tested to agree on the overlap, so the routing is an implementation
+    /// detail, not a semantic one.)
     ///
     /// # Errors
     ///
-    /// Link, simulation, WCET or checksum failures.
-    pub fn run_spm(&self, spm_size: u32) -> Result<ConfigResult, CoreError> {
-        let alloc =
-            knapsack::allocate(&self.module, &self.baseline_profile, spm_size, &self.energy);
-        self.run_spm_with_assignment(spm_size, &alloc.assignment)
+    /// [`CoreError::Spec`] for invalid specs; link, allocation,
+    /// simulation, WCET or checksum failures.
+    pub fn run(&self, spec: &MemArchSpec) -> Result<ConfigResult, CoreError> {
+        spec.validate().map_err(CoreError::Spec)?;
+        let canon = spec.canonical();
+        let m = self.measure_spec(&canon)?;
+        Ok(self.package_spec(spec, &m))
     }
 
-    /// Scratchpad run with an explicit assignment (used by the WCET-aware
-    /// allocation ablation).
-    ///
-    /// # Errors
-    ///
-    /// Link, simulation, WCET or checksum failures.
-    pub fn run_spm_with_assignment(
-        &self,
-        spm_size: u32,
-        assignment: &SpmAssignment,
-    ) -> Result<ConfigResult, CoreError> {
-        let map = MemoryMap::with_spm(spm_size);
-        let linked = self
-            .benchmark
-            .link_with_input(&self.module, &map, assignment, &self.input)?;
-        let sim = simulate(
-            &linked.exe,
-            &MachineConfig::uncached(),
-            &self.sweep_options(),
-        )?;
-        let checksum = self.check(&sim, &linked.exe)?;
-        let wcet = analyze(
-            &linked.exe,
-            &WcetConfig::region_timing(),
-            &linked.annotations,
-        )?;
-        let spm_used = linked
-            .exe
-            .bytes_in_region(spmlab_isa::mem::RegionKind::Scratchpad) as u32;
-        Ok(ConfigResult {
-            label: format!("spm {spm_size}"),
-            sim_cycles: sim.cycles,
-            wcet_cycles: wcet.wcet_cycles,
-            checksum,
-            energy_nj: self
-                .energy
-                .run_energy_nj(&sim.mem_stats, sim.cycles, spm_size, None),
-            spm_used,
-            spm_objects: assignment.iter().map(str::to_string).collect(),
-            classify: ClassifyStats::default(),
-        })
+    /// The analyzer configuration for a canonical spec (see
+    /// [`Pipeline::run`]'s routing table).
+    pub(crate) fn wcet_config_for(canon: &MemArchSpec) -> WcetConfig {
+        if canon.persistence {
+            if let L1::Unified(c) = &canon.l1 {
+                return WcetConfig::with_cache_persistence(c.clone());
+            }
+        }
+        if !canon.has_cache_levels() {
+            return if canon.main == MainMemoryTiming::table1() {
+                WcetConfig::region_timing()
+            } else {
+                WcetConfig::region_timing_with(canon.main)
+            };
+        }
+        if canon.spm.is_none() && canon.l2.is_none() && canon.main == MainMemoryTiming::table1() {
+            if let L1::Unified(c) = &canon.l1 {
+                return WcetConfig::with_cache(c.clone());
+            }
+        }
+        WcetConfig::with_hierarchy(canon.hierarchy())
     }
 
-    /// The right branch of Figure 1: unified direct-mapped cache of
-    /// `size` bytes, MUST-only cache analysis (the paper's ARM7 setup).
-    ///
-    /// # Errors
-    ///
-    /// Link, simulation, WCET or checksum failures.
-    pub fn run_cache_default(&self, size: u32) -> Result<ConfigResult, CoreError> {
-        self.run_cache(CacheConfig::unified(size), false)
+    /// The expensive half of [`Pipeline::run`]: measures one *canonical*
+    /// spec. Label-free and energy-free so sweep points whose canonical
+    /// specs are effectively identical can share one measurement.
+    pub(crate) fn measure_spec(&self, canon: &MemArchSpec) -> Result<ArchMeasurement, CoreError> {
+        match &canon.spm {
+            Some(spm) => self.measure_spm(canon, spm),
+            None => self.measure_no_spm(canon),
+        }
     }
 
-    /// Cache run with an explicit geometry and optional persistence
-    /// analysis (the ablations).
-    ///
-    /// # Errors
-    ///
-    /// Link, simulation, WCET or checksum failures.
-    pub fn run_cache(
-        &self,
-        cache: CacheConfig,
-        persistence: bool,
-    ) -> Result<ConfigResult, CoreError> {
+    /// The cheap half of [`Pipeline::run`]: labels a measurement and
+    /// prices its energy for the *actual* configuration (capacity enters
+    /// the energy model even when timing is shared).
+    pub(crate) fn package_spec(&self, spec: &MemArchSpec, m: &ArchMeasurement) -> ConfigResult {
+        let canon = spec.canonical();
+        let cache_bytes = canon.cache_bytes();
+        ConfigResult {
+            label: spec.label(),
+            sim_cycles: m.sim_cycles,
+            wcet_cycles: m.wcet_cycles,
+            checksum: m.checksum,
+            energy_nj: self.energy.run_energy_nj(
+                &m.mem_stats,
+                m.sim_cycles,
+                canon.spm_size(),
+                (cache_bytes > 0).then_some(cache_bytes),
+            ),
+            spm_used: m.spm_used,
+            spm_objects: m.spm_objects.clone(),
+            classify: m.classify,
+        }
+    }
+
+    /// Cache/hierarchy branch: runs on the shared no-scratchpad link,
+    /// replaying the baseline execution's memory trace under the spec's
+    /// hierarchy (bit-identical to a fresh simulation, minus the
+    /// interpreter); falls back to full simulation for timing-dependent
+    /// programs. The replayed memory image equals the baseline's, so its
+    /// validated checksum carries over.
+    fn measure_no_spm(&self, canon: &MemArchSpec) -> Result<ArchMeasurement, CoreError> {
         let linked = &self.no_spm_link;
-        // A single cache is a degenerate hierarchy with identical timing,
-        // so cache sweeps replay the recorded baseline trace too.
-        let single = MemHierarchyConfig::from_single_cache(Some(cache.clone()));
+        let hierarchy = canon.hierarchy();
         let (sim_cycles, mem_stats, checksum) = match &self.trace {
             Some(trace) => {
-                let (cycles, stats) = trace.replay(&single)?;
-                (cycles, stats, self.expected_checksum)
-            }
-            None => {
-                let sim = simulate(
-                    &linked.exe,
-                    &MachineConfig::with_cache(cache.clone()),
-                    &self.sweep_options(),
-                )?;
-                let checksum = self.check(&sim, &linked.exe)?;
-                (sim.cycles, sim.mem_stats, checksum)
-            }
-        };
-        let wcfg = if persistence {
-            WcetConfig::with_cache_persistence(cache.clone())
-        } else {
-            WcetConfig::with_cache(cache.clone())
-        };
-        let wcet = analyze(&linked.exe, &wcfg, &linked.annotations)?;
-        Ok(ConfigResult {
-            label: format!("cache {}", cache.size),
-            sim_cycles,
-            wcet_cycles: wcet.wcet_cycles,
-            checksum,
-            energy_nj: self
-                .energy
-                .run_energy_nj(&mem_stats, sim_cycles, 0, Some(cache.size)),
-            spm_used: 0,
-            spm_objects: Vec::new(),
-            classify: wcet.total_classify(),
-        })
-    }
-
-    /// The no-scratchpad, no-cache baseline.
-    ///
-    /// # Errors
-    ///
-    /// Link, simulation, WCET or checksum failures.
-    pub fn run_baseline(&self) -> Result<ConfigResult, CoreError> {
-        let mut r = self.run_spm(0)?;
-        r.label = "baseline".into();
-        Ok(r)
-    }
-
-    /// The hierarchy axis: simulation plus multi-level (Hardy–Puaut) WCET
-    /// analysis under an arbitrary [`MemHierarchyConfig`] — split or
-    /// unified L1, optional unified L2, parametric main-memory timing.
-    ///
-    /// # Errors
-    ///
-    /// Link, simulation, WCET or checksum failures.
-    pub fn run_hierarchy(&self, hierarchy: MemHierarchyConfig) -> Result<ConfigResult, CoreError> {
-        let measured = self.measure_hierarchy(&hierarchy)?;
-        Ok(self.package_hierarchy(&hierarchy, &measured))
-    }
-
-    /// The expensive half of [`Pipeline::run_hierarchy`]: simulate and
-    /// analyze one hierarchy. The result is config-label-free and
-    /// energy-free so sweep points whose *effective* hierarchy is
-    /// identical can share one measurement (see `sweep::hierarchy_sweep`).
-    pub(crate) fn measure_hierarchy(
-        &self,
-        hierarchy: &MemHierarchyConfig,
-    ) -> Result<HierarchyMeasurement, CoreError> {
-        let linked = &self.no_spm_link;
-        // Replay the baseline execution's memory trace under this
-        // hierarchy (bit-identical to a fresh simulation, minus the
-        // interpreter); fall back to full simulation for timing-dependent
-        // programs. The replayed memory image equals the baseline's, so
-        // its validated checksum carries over.
-        let (sim_cycles, mem_stats, checksum) = match &self.trace {
-            Some(trace) => {
-                let (cycles, stats) = trace.replay(hierarchy)?;
+                let (cycles, stats) = trace.replay(&hierarchy)?;
                 (cycles, stats, self.expected_checksum)
             }
             None => {
@@ -340,42 +330,164 @@ impl Pipeline {
         };
         let wcet = analyze(
             &linked.exe,
-            &WcetConfig::with_hierarchy(hierarchy.clone()),
+            &Pipeline::wcet_config_for(canon),
             &linked.annotations,
         )?;
-        Ok(HierarchyMeasurement {
+        Ok(ArchMeasurement {
             sim_cycles,
             wcet_cycles: wcet.wcet_cycles,
             checksum,
             mem_stats,
             classify: wcet.total_classify(),
+            spm_used: 0,
+            spm_objects: Vec::new(),
         })
     }
 
-    /// The cheap half of [`Pipeline::run_hierarchy`]: labels a measurement
-    /// and prices its energy for the *actual* configuration (capacity
-    /// enters the energy model even when timing is shared).
-    pub(crate) fn package_hierarchy(
+    /// Scratchpad branch: resolves the allocation strategy, links and
+    /// interprets once per `(capacity, assignment)` (memoised), then
+    /// prices the recorded trace under the spec's hierarchy and timing.
+    fn measure_spm(
         &self,
-        hierarchy: &MemHierarchyConfig,
-        m: &HierarchyMeasurement,
-    ) -> ConfigResult {
-        let cache_bytes = hierarchy_cache_bytes(hierarchy);
-        ConfigResult {
-            label: hierarchy.label(),
-            sim_cycles: m.sim_cycles,
-            wcet_cycles: m.wcet_cycles,
-            checksum: m.checksum,
-            energy_nj: self.energy.run_energy_nj(
-                &m.mem_stats,
-                m.sim_cycles,
-                0,
-                (cache_bytes > 0).then_some(cache_bytes),
-            ),
-            spm_used: 0,
-            spm_objects: Vec::new(),
-            classify: m.classify,
+        canon: &MemArchSpec,
+        spm: &SpmSpec,
+    ) -> Result<ArchMeasurement, CoreError> {
+        let wcfg = Pipeline::wcet_config_for(canon);
+        let assignment = self.resolve_assignment(spm, &wcfg)?;
+        let arts = self.spm_artifacts(spm.size, &assignment)?;
+        let hierarchy = canon.hierarchy();
+        let recording_is_target =
+            !canon.has_cache_levels() && canon.main == MainMemoryTiming::table1();
+        let (sim_cycles, mem_stats) = if recording_is_target {
+            // The recording machine *is* the uncached Table-1 machine.
+            (arts.recorded_cycles, arts.recorded_stats.clone())
+        } else if let Some(trace) = &arts.trace {
+            trace.replay(&hierarchy)?
+        } else {
+            let sim = simulate(
+                &arts.linked.exe,
+                &MachineConfig::with_hierarchy(hierarchy.clone()),
+                &self.sweep_options(),
+            )?;
+            self.check(&sim, &arts.linked.exe)?;
+            (sim.cycles, sim.mem_stats)
+        };
+        let wcet = analyze(&arts.linked.exe, &wcfg, &arts.linked.annotations)?;
+        Ok(ArchMeasurement {
+            sim_cycles,
+            wcet_cycles: wcet.wcet_cycles,
+            checksum: arts.checksum,
+            mem_stats,
+            classify: wcet.total_classify(),
+            spm_used: arts.spm_used,
+            spm_objects: assignment.iter().map(str::to_string).collect(),
+        })
+    }
+
+    /// Maps a scratchpad strategy to a concrete assignment. WCET-driven
+    /// allocations are memoised per capacity + objective (the greedy loop
+    /// re-analyzes many candidate links).
+    fn resolve_assignment(
+        &self,
+        spm: &SpmSpec,
+        wcfg: &WcetConfig,
+    ) -> Result<SpmAssignment, CoreError> {
+        match &spm.alloc {
+            SpmAllocation::Empty => Ok(SpmAssignment::none()),
+            SpmAllocation::Fixed(names) => Ok(SpmAssignment::of(names.iter().map(String::as_str))),
+            SpmAllocation::ProfileKnapsack => Ok(knapsack::allocate(
+                &self.module,
+                &self.baseline_profile,
+                spm.size,
+                &self.energy,
+            )
+            .assignment),
+            SpmAllocation::WcetRegion => self.region_alloc(spm.size),
+            SpmAllocation::WcetAware => {
+                // The portfolio fallback re-scores the region-timing greedy
+                // result, which is memoised per capacity — one region
+                // greedy serves the WcetRegion specs and every WcetAware
+                // objective at that capacity.
+                let region = self.region_alloc(spm.size)?;
+                self.wcet_alloc_memo(format!("aware|{}|{wcfg:?}", spm.size), || {
+                    Ok(wcet_aware::allocate_hierarchy_aware(
+                        &self.module,
+                        spm.size,
+                        &spmlab_isa::annot::AnnotationSet::new(),
+                        wcfg,
+                        Some(&region),
+                    )?
+                    .assignment)
+                })
+            }
         }
+    }
+
+    /// The memoised region-timing greedy allocation for one capacity.
+    fn region_alloc(&self, size: u32) -> Result<SpmAssignment, CoreError> {
+        self.wcet_alloc_memo(format!("region|{size}"), || {
+            Ok(
+                wcet_aware::allocate(&self.module, size, &spmlab_isa::annot::AnnotationSet::new())?
+                    .assignment,
+            )
+        })
+    }
+
+    fn wcet_alloc_memo(
+        &self,
+        key: String,
+        compute: impl FnOnce() -> Result<SpmAssignment, CoreError>,
+    ) -> Result<SpmAssignment, CoreError> {
+        if let Some(a) = self.wcet_allocs.lock().expect("alloc memo").get(&key) {
+            return Ok(a.clone());
+        }
+        let a = compute()?;
+        Ok(self
+            .wcet_allocs
+            .lock()
+            .expect("alloc memo")
+            .entry(key)
+            .or_insert(a)
+            .clone())
+    }
+
+    /// Links and interprets one scratchpad configuration (memoised): the
+    /// allocation, link and execution happen a single time per
+    /// `(capacity, assignment)`; each timing/hierarchy re-prices the
+    /// recorded trace.
+    fn spm_artifacts(
+        &self,
+        size: u32,
+        assignment: &SpmAssignment,
+    ) -> Result<Arc<SpmArtifacts>, CoreError> {
+        let key = format!("{size}|{assignment:?}");
+        if let Some(a) = self.spm_links.lock().expect("spm memo").get(&key) {
+            return Ok(a.clone());
+        }
+        let map = MemoryMap::with_spm(size);
+        let linked = self
+            .benchmark
+            .link_with_input(&self.module, &map, assignment, &self.input)?;
+        let (recorded, trace) = simulate_with_trace(&linked.exe, &self.sweep_options())?;
+        let checksum = self.check(&recorded, &linked.exe)?;
+        let spm_used = linked
+            .exe
+            .bytes_in_region(spmlab_isa::mem::RegionKind::Scratchpad) as u32;
+        let arts = Arc::new(SpmArtifacts {
+            recorded_cycles: recorded.cycles,
+            recorded_stats: recorded.mem_stats.clone(),
+            checksum,
+            spm_used,
+            trace: trace.replayable().then_some(trace),
+            linked,
+        });
+        Ok(self
+            .spm_links
+            .lock()
+            .expect("spm memo")
+            .entry(key)
+            .or_insert(arts)
+            .clone())
     }
 
     /// The no-scratchpad executable the cache/hierarchy points run (memo
@@ -384,19 +496,139 @@ impl Pipeline {
         &self.no_spm_link
     }
 
+    // -----------------------------------------------------------------
+    // Legacy shims. Every method below is a thin delegation to
+    // [`Pipeline::run`] kept for downstream code; see the README's
+    // "Architecture specs" migration table. They will be removed two
+    // releases after 0.2.
+    // -----------------------------------------------------------------
+
+    /// The left branch of Figure 1: energy-optimal knapsack allocation for
+    /// a scratchpad of `spm_size` bytes, simulation, and region-timing WCET
+    /// analysis ("no additional analysis module required").
+    ///
+    /// # Errors
+    ///
+    /// Link, simulation, WCET or checksum failures.
+    #[deprecated(since = "0.2.0", note = "use `Pipeline::run(&MemArchSpec::spm(size))`")]
+    pub fn run_spm(&self, spm_size: u32) -> Result<ConfigResult, CoreError> {
+        self.run(&MemArchSpec::spm(spm_size))
+    }
+
+    /// Scratchpad run with an explicit assignment (used by the WCET-aware
+    /// allocation ablation).
+    ///
+    /// # Errors
+    ///
+    /// Link, simulation, WCET or checksum failures.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Pipeline::run` with `SpmAllocation::Fixed`"
+    )]
+    pub fn run_spm_with_assignment(
+        &self,
+        spm_size: u32,
+        assignment: &SpmAssignment,
+    ) -> Result<ConfigResult, CoreError> {
+        let spec = MemArchSpec::spm_with(
+            spm_size,
+            SpmAllocation::Fixed(assignment.iter().map(str::to_string).collect()),
+        );
+        let mut r = self.run(&spec)?;
+        r.label = format!("spm {spm_size}");
+        Ok(r)
+    }
+
+    /// The right branch of Figure 1: unified direct-mapped cache of
+    /// `size` bytes, MUST-only cache analysis (the paper's ARM7 setup).
+    ///
+    /// # Errors
+    ///
+    /// Link, simulation, WCET or checksum failures.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Pipeline::run(&MemArchSpec::single_cache(CacheConfig::unified(size)))`"
+    )]
+    pub fn run_cache_default(&self, size: u32) -> Result<ConfigResult, CoreError> {
+        #[allow(deprecated)]
+        self.run_cache(CacheConfig::unified(size), false)
+    }
+
+    /// Cache run with an explicit geometry and optional persistence
+    /// analysis (the ablations).
+    ///
+    /// # Errors
+    ///
+    /// Link, simulation, WCET or checksum failures.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Pipeline::run` with `MemArchSpec::single_cache` (+ `persistence`)"
+    )]
+    pub fn run_cache(
+        &self,
+        cache: CacheConfig,
+        persistence: bool,
+    ) -> Result<ConfigResult, CoreError> {
+        let size = cache.size;
+        let spec = MemArchSpec {
+            persistence,
+            ..MemArchSpec::single_cache(cache)
+        };
+        let mut r = self.run(&spec)?;
+        r.label = format!("cache {size}");
+        Ok(r)
+    }
+
+    /// The no-scratchpad, no-cache baseline.
+    ///
+    /// # Errors
+    ///
+    /// Link, simulation, WCET or checksum failures.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Pipeline::run(&MemArchSpec::uncached())`"
+    )]
+    pub fn run_baseline(&self) -> Result<ConfigResult, CoreError> {
+        let mut r = self.run(&MemArchSpec::spm(0))?;
+        r.label = "baseline".into();
+        Ok(r)
+    }
+
+    /// The hierarchy axis: simulation plus multi-level (Hardy–Puaut) WCET
+    /// analysis under an arbitrary [`MemHierarchyConfig`] — split or
+    /// unified L1, optional unified L2, parametric main-memory timing.
+    ///
+    /// # Errors
+    ///
+    /// Link, simulation, WCET or checksum failures.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Pipeline::run(&MemArchSpec::from_hierarchy(&h))`"
+    )]
+    pub fn run_hierarchy(&self, hierarchy: MemHierarchyConfig) -> Result<ConfigResult, CoreError> {
+        self.run(&MemArchSpec::from_hierarchy(&hierarchy))
+    }
+
     /// Scratchpad run over custom (e.g. DRAM) main-memory timing — the SPM
     /// point of a hierarchy sweep.
     ///
     /// # Errors
     ///
     /// Link, simulation, WCET or checksum failures.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Pipeline::run` with `MemArchSpec::builder().spm(size).main(main)`"
+    )]
     pub fn run_spm_with_main(
         &self,
         spm_size: u32,
         main: MainMemoryTiming,
     ) -> Result<ConfigResult, CoreError> {
-        let mut results = self.run_spm_with_mains(spm_size, &[main])?;
-        Ok(results.pop().expect("one timing in, one result out"))
+        let spec = MemArchSpec {
+            main,
+            ..MemArchSpec::spm(spm_size)
+        };
+        self.run(&spec)
     }
 
     /// Scratchpad run over several main-memory timings at once: the
@@ -407,86 +639,26 @@ impl Pipeline {
     /// # Errors
     ///
     /// Link, simulation, WCET or checksum failures.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Pipeline::run` once per timing (the link/execution is memoised)"
+    )]
     pub fn run_spm_with_mains(
         &self,
         spm_size: u32,
         mains: &[MainMemoryTiming],
     ) -> Result<Vec<ConfigResult>, CoreError> {
-        let alloc =
-            knapsack::allocate(&self.module, &self.baseline_profile, spm_size, &self.energy);
-        let map = MemoryMap::with_spm(spm_size);
-        let linked =
-            self.benchmark
-                .link_with_input(&self.module, &map, &alloc.assignment, &self.input)?;
-        let (recorded, trace) = simulate_with_trace(&linked.exe, &self.sweep_options())?;
-        let checksum = self.check(&recorded, &linked.exe)?;
-        let spm_used = linked
-            .exe
-            .bytes_in_region(spmlab_isa::mem::RegionKind::Scratchpad) as u32;
         mains
             .iter()
             .map(|&main| {
-                let hierarchy = MemHierarchyConfig::uncached_with(main);
-                let (sim_cycles, mem_stats) = if main == MainMemoryTiming::table1() {
-                    // The recording machine *is* the Table-1 machine.
-                    (recorded.cycles, recorded.mem_stats.clone())
-                } else if trace.replayable() {
-                    trace.replay(&hierarchy)?
-                } else {
-                    let sim = simulate(
-                        &linked.exe,
-                        &MachineConfig::with_hierarchy(hierarchy),
-                        &self.sweep_options(),
-                    )?;
-                    self.check(&sim, &linked.exe)?;
-                    (sim.cycles, sim.mem_stats)
+                let spec = MemArchSpec {
+                    main,
+                    ..MemArchSpec::spm(spm_size)
                 };
-                let wcet = analyze(
-                    &linked.exe,
-                    &WcetConfig::region_timing_with(main),
-                    &linked.annotations,
-                )?;
-                let mut label = format!("spm {spm_size}");
-                if main != MainMemoryTiming::table1() {
-                    label.push_str(&format!(" (dram {})", main.latency));
-                }
-                Ok(ConfigResult {
-                    label,
-                    sim_cycles,
-                    wcet_cycles: wcet.wcet_cycles,
-                    checksum,
-                    energy_nj: self
-                        .energy
-                        .run_energy_nj(&mem_stats, sim_cycles, spm_size, None),
-                    spm_used,
-                    spm_objects: alloc.assignment.iter().map(str::to_string).collect(),
-                    classify: ClassifyStats::default(),
-                })
+                self.run(&spec)
             })
             .collect()
     }
-}
-
-/// One hierarchy point's raw measurement: everything [`ConfigResult`]
-/// needs except the label and the (capacity-dependent) energy figure.
-/// Shared between sweep points whose effective hierarchies are identical.
-#[derive(Debug, Clone)]
-pub(crate) struct HierarchyMeasurement {
-    pub sim_cycles: u64,
-    pub wcet_cycles: u64,
-    pub checksum: i32,
-    pub mem_stats: spmlab_sim::MemStats,
-    pub classify: ClassifyStats,
-}
-
-/// Total cache bytes across all levels (energy accounting input).
-fn hierarchy_cache_bytes(h: &MemHierarchyConfig) -> u32 {
-    let l1 = match &h.l1 {
-        L1::None => 0,
-        L1::Unified(c) => c.size,
-        L1::Split { i, d } => i.as_ref().map_or(0, |c| c.size) + d.as_ref().map_or(0, |c| c.size),
-    };
-    l1 + h.l2.as_ref().map_or(0, |c| c.size)
 }
 
 #[cfg(test)]
@@ -497,9 +669,11 @@ mod tests {
     #[test]
     fn spm_and_cache_branches_work() {
         let p = Pipeline::new(&INSERTSORT).unwrap();
-        let base = p.run_baseline().unwrap();
-        let spm = p.run_spm(512).unwrap();
-        let cache = p.run_cache_default(512).unwrap();
+        let base = p.run(&MemArchSpec::uncached()).unwrap();
+        let spm = p.run(&MemArchSpec::spm(512)).unwrap();
+        let cache = p
+            .run(&MemArchSpec::single_cache(CacheConfig::unified(512)))
+            .unwrap();
         // All three agree on the checksum (validated internally) and WCET
         // bounds the simulation everywhere.
         assert!(base.wcet_cycles >= base.sim_cycles);
@@ -519,7 +693,78 @@ mod tests {
             spmlab_workloads::inputs::random_ints(24, 9, -50, 50),
         )
         .unwrap();
-        let spm = p.run_spm(1024).unwrap();
+        let spm = p.run(&MemArchSpec::spm(1024)).unwrap();
         assert!(spm.ratio() >= 1.0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_shims_delegate_to_run() {
+        let p = Pipeline::new(&INSERTSORT).unwrap();
+        let via_shim = p.run_spm(512).unwrap();
+        let via_spec = p.run(&MemArchSpec::spm(512)).unwrap();
+        assert_eq!(via_shim.sim_cycles, via_spec.sim_cycles);
+        assert_eq!(via_shim.wcet_cycles, via_spec.wcet_cycles);
+        assert_eq!(via_shim.label, via_spec.label);
+        let base = p.run_baseline().unwrap();
+        assert_eq!(base.label, "baseline");
+        let cache = p.run_cache_default(512).unwrap();
+        assert_eq!(cache.label, "cache 512");
+    }
+
+    #[test]
+    fn spm_composes_with_hierarchy() {
+        // The spec the legacy API could not express: scratchpad + caches
+        // in one machine. Soundness and the obvious orderings must hold.
+        let p = Pipeline::new(&INSERTSORT).unwrap();
+        let spec = MemArchSpec::builder()
+            .spm(256)
+            .split_l1(
+                Some(CacheConfig::instr_only(256)),
+                Some(CacheConfig::data_only(256)),
+            )
+            .l2(CacheConfig::l2(2048))
+            .build()
+            .unwrap();
+        let combo = p.run(&spec).unwrap();
+        assert!(combo.wcet_cycles >= combo.sim_cycles, "sound");
+        assert!(combo.spm_used > 0, "scratchpad actually used");
+        // Caching the main-memory traffic cannot slow the simulation
+        // versus the same scratchpad over uncached main memory.
+        let spm_only = p.run(&MemArchSpec::spm(256)).unwrap();
+        assert!(combo.sim_cycles <= spm_only.sim_cycles);
+        assert_eq!(combo.checksum, spm_only.checksum);
+    }
+
+    #[test]
+    fn hierarchy_aware_allocation_beats_region_objective() {
+        let p = Pipeline::new(&INSERTSORT).unwrap();
+        let hierarchy = MemHierarchyConfig::split_l1(128, 128);
+        let aware = p
+            .run(&MemArchSpec {
+                spm: Some(SpmSpec {
+                    size: 512,
+                    alloc: SpmAllocation::WcetAware,
+                }),
+                ..MemArchSpec::from_hierarchy(&hierarchy)
+            })
+            .unwrap();
+        let region = p
+            .run(&MemArchSpec {
+                spm: Some(SpmSpec {
+                    size: 512,
+                    alloc: SpmAllocation::WcetRegion,
+                }),
+                ..MemArchSpec::from_hierarchy(&hierarchy)
+            })
+            .unwrap();
+        assert!(
+            aware.wcet_cycles <= region.wcet_cycles,
+            "hierarchy-aware {} vs region-objective {}",
+            aware.wcet_cycles,
+            region.wcet_cycles
+        );
+        assert!(aware.wcet_cycles >= aware.sim_cycles);
+        assert!(region.wcet_cycles >= region.sim_cycles);
     }
 }

@@ -165,6 +165,46 @@ pub fn render_hierarchy(fig: &crate::figures::FigureHierarchy) -> String {
     )
 }
 
+/// Renders the SPM×hierarchy allocator comparison: one row per
+/// `(capacity, machine)` point with the WCET bound under both allocation
+/// objectives and the hierarchy-aware gain.
+pub fn render_spm_hierarchy(fig: &crate::figures::FigureSpmHierarchy) -> String {
+    let body: Vec<Vec<String>> = fig
+        .points
+        .iter()
+        .map(|p| {
+            let gain =
+                (1.0 - p.aware.wcet_cycles as f64 / p.region.wcet_cycles.max(1) as f64) * 100.0;
+            vec![
+                p.machine.label(),
+                p.spm_size.to_string(),
+                p.region.wcet_cycles.to_string(),
+                p.aware.wcet_cycles.to_string(),
+                format!("{gain:.1}%"),
+                p.aware.sim_cycles.to_string(),
+                p.aware.spm_objects.join(","),
+            ]
+        })
+        .collect();
+    format!(
+        "SPM×hierarchy: WCET-aware allocation against the multi-level critical path — {} \
+         benchmark\n{}",
+        fig.benchmark,
+        render_table(
+            &[
+                "machine",
+                "spm B",
+                "region-obj wcet",
+                "hier-obj wcet",
+                "gain",
+                "hier-obj sim",
+                "hier-obj placement"
+            ],
+            &body
+        )
+    )
+}
+
 /// Renders the tightness experiment.
 pub fn render_tightness(t: &Tightness) -> String {
     format!(

@@ -1,15 +1,22 @@
-//! Capacity sweeps over scratchpad and cache sizes, and configuration
-//! sweeps over memory hierarchies.
+//! Configuration sweeps over memory-architecture specs.
 //!
-//! Sweeps fan out across worker threads (`std::thread::scope` — every
-//! point only reads the shared [`Pipeline`]), and the hierarchy sweep
-//! additionally memoises points whose *effective* hierarchy is identical:
-//! a cache level large enough that every address the program can touch
-//! maps to its own set behaves identically at every larger capacity, so
-//! such points share one measurement instead of recomputing it.
+//! [`spec_sweep`] is the engine: it takes any `Vec<MemArchSpec>` axis,
+//! fans the points out across worker threads (`std::thread::scope` —
+//! every point only reads the shared [`Pipeline`]), and memoises points
+//! whose *effective* configuration is identical. The memo keys on the
+//! spec's **canonical form** (so equal-after-validation specs — e.g.
+//! zero-size disabled levels — share one measurement) further collapsed by
+//! the footprint argument: a cache level large enough that every address
+//! the program can touch maps to its own set behaves identically at every
+//! larger capacity.
+//!
+//! The capacity sweeps of the paper ([`spm_sweep`], [`cache_sweep`]) and
+//! the hierarchy axis ([`hierarchy_sweep`]) are thin wrappers enumerating
+//! spec axes.
 
 use crate::pipeline::{ConfigResult, Pipeline};
 use crate::CoreError;
+use spmlab_isa::archspec::MemArchSpec;
 use spmlab_isa::cachecfg::{CacheConfig, Replacement};
 use spmlab_isa::hierarchy::{MemHierarchyConfig, L1};
 use spmlab_wcet::{analyze, WcetConfig};
@@ -23,6 +30,15 @@ pub struct SweepPoint {
     /// Capacity in bytes.
     pub size: u32,
     /// The measurement at this capacity.
+    pub result: ConfigResult,
+}
+
+/// One spec point of a sweep.
+#[derive(Debug, Clone)]
+pub struct SpecPoint {
+    /// The spec measured.
+    pub spec: MemArchSpec,
+    /// The measurement.
     pub result: ConfigResult,
 }
 
@@ -68,17 +84,64 @@ where
         .collect()
 }
 
+/// Runs one spec per point of `specs`: validation up front, one
+/// measurement per *distinct effective* configuration fanned out across
+/// scoped threads, each point still getting its own label and
+/// capacity-dependent energy figure.
+///
+/// # Errors
+///
+/// [`CoreError::Spec`] for invalid specs, else the first pipeline failure
+/// (in input order).
+pub fn spec_sweep(pipeline: &Pipeline, specs: &[MemArchSpec]) -> Result<Vec<SpecPoint>, CoreError> {
+    for spec in specs {
+        spec.validate().map_err(CoreError::Spec)?;
+    }
+    let canons: Vec<MemArchSpec> = specs.iter().map(MemArchSpec::canonical).collect();
+    let footprint = sweep_footprint(pipeline);
+    let keys: Vec<String> = canons
+        .iter()
+        .map(|c| effective_spec_key(c, footprint.as_ref()))
+        .collect();
+    // First spec per distinct key measures; the rest share.
+    let mut rep_of_key: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut reps: Vec<usize> = Vec::new();
+    for (i, k) in keys.iter().enumerate() {
+        rep_of_key.entry(k.as_str()).or_insert_with(|| {
+            reps.push(i);
+            reps.len() - 1
+        });
+    }
+    let rep_canons: Vec<&MemArchSpec> = reps.iter().map(|&i| &canons[i]).collect();
+    let measured = par_try_map(&rep_canons, |c| pipeline.measure_spec(c))?;
+    Ok(specs
+        .iter()
+        .zip(&keys)
+        .map(|(spec, k)| {
+            let m = &measured[rep_of_key[k.as_str()]];
+            SpecPoint {
+                spec: spec.clone(),
+                result: pipeline.package_spec(spec, m),
+            }
+        })
+        .collect())
+}
+
 /// Runs the scratchpad branch over `sizes` (the paper's Figure 3a series).
 ///
 /// # Errors
 ///
 /// Propagates the first pipeline failure.
 pub fn spm_sweep(pipeline: &Pipeline, sizes: &[u32]) -> Result<Vec<SweepPoint>, CoreError> {
-    let results = par_try_map(sizes, |&size| pipeline.run_spm(size))?;
+    let specs: Vec<MemArchSpec> = sizes.iter().map(|&s| MemArchSpec::spm(s)).collect();
+    let points = spec_sweep(pipeline, &specs)?;
     Ok(sizes
         .iter()
-        .zip(results)
-        .map(|(&size, result)| SweepPoint { size, result })
+        .zip(points)
+        .map(|(&size, p)| SweepPoint {
+            size,
+            result: p.result,
+        })
         .collect())
 }
 
@@ -88,12 +151,7 @@ pub fn spm_sweep(pipeline: &Pipeline, sizes: &[u32]) -> Result<Vec<SweepPoint>, 
 ///
 /// Propagates the first pipeline failure.
 pub fn cache_sweep(pipeline: &Pipeline, sizes: &[u32]) -> Result<Vec<SweepPoint>, CoreError> {
-    let results = par_try_map(sizes, |&size| pipeline.run_cache_default(size))?;
-    Ok(sizes
-        .iter()
-        .zip(results)
-        .map(|(&size, result)| SweepPoint { size, result })
-        .collect())
+    cache_sweep_with(pipeline, sizes, false, CacheConfig::unified)
 }
 
 /// Cache sweep with an arbitrary geometry builder (ablations: I-cache,
@@ -108,14 +166,21 @@ pub fn cache_sweep_with(
     persistence: bool,
     mut geometry: impl FnMut(u32) -> CacheConfig,
 ) -> Result<Vec<SweepPoint>, CoreError> {
-    let configs: Vec<(u32, CacheConfig)> = sizes.iter().map(|&s| (s, geometry(s))).collect();
-    let results = par_try_map(&configs, |(_, cfg)| {
-        pipeline.run_cache(cfg.clone(), persistence)
-    })?;
-    Ok(configs
-        .into_iter()
-        .zip(results)
-        .map(|((size, _), result)| SweepPoint { size, result })
+    let specs: Vec<MemArchSpec> = sizes
+        .iter()
+        .map(|&s| MemArchSpec {
+            persistence,
+            ..MemArchSpec::single_cache(geometry(s))
+        })
+        .collect();
+    let points = spec_sweep(pipeline, &specs)?;
+    Ok(sizes
+        .iter()
+        .zip(points)
+        .map(|(&size, p)| SweepPoint {
+            size,
+            result: p.result,
+        })
         .collect())
 }
 
@@ -136,7 +201,7 @@ pub struct HierarchyPoint {
 
 /// The address intervals one no-scratchpad execution (and its WCET
 /// analysis) can touch in main memory, plus the annotated array ranges
-/// the abstract domain weakens. Drives the effective-hierarchy memo.
+/// the abstract domain weakens. Drives the effective-configuration memo.
 #[derive(Debug, Clone)]
 pub(crate) struct Footprint {
     intervals: Vec<(u32, u32)>,
@@ -263,11 +328,15 @@ fn level_key(cfg: &CacheConfig, fp: Option<&Footprint>) -> String {
     format!("{cfg:?}")
 }
 
-/// The effective-hierarchy memo key: two configurations with equal keys
-/// produce identical simulations *and* identical WCET analyses for this
-/// program, so one measurement serves both sweep points.
-pub(crate) fn effective_hierarchy_key(h: &MemHierarchyConfig, fp: Option<&Footprint>) -> String {
-    let l1 = match &h.l1 {
+/// The effective-configuration memo key of one **canonical** spec: two
+/// specs with equal keys produce identical simulations *and* identical
+/// WCET analyses for this program, so one measurement serves both sweep
+/// points. The footprint collapse only applies to no-scratchpad specs —
+/// the footprint describes the shared no-scratchpad link, and scratchpad
+/// specs run their own image.
+pub(crate) fn effective_spec_key(canon: &MemArchSpec, fp: Option<&Footprint>) -> String {
+    let fp = if canon.spm.is_some() { None } else { fp };
+    let l1 = match &canon.l1 {
         L1::None => String::from("none"),
         L1::Unified(c) => format!("u[{}]", level_key(c, fp)),
         L1::Split { i, d } => format!(
@@ -278,17 +347,19 @@ pub(crate) fn effective_hierarchy_key(h: &MemHierarchyConfig, fp: Option<&Footpr
                 .map_or_else(|| String::from("-"), |c| level_key(c, fp)),
         ),
     };
-    let l2 =
-        h.l2.as_ref()
-            .map_or_else(|| String::from("-"), |c| level_key(c, fp));
-    format!("{l1}|{l2}|{:?}", h.main)
+    let l2 = canon
+        .l2
+        .as_ref()
+        .map_or_else(|| String::from("-"), |c| level_key(c, fp));
+    format!(
+        "{:?}|{l1}|{l2}|{:?}|{}",
+        canon.spm, canon.main, canon.persistence
+    )
 }
 
 /// Runs the hierarchy axis: one simulation + multi-level WCET analysis per
-/// *distinct effective* configuration, fanned out across scoped threads;
-/// points whose effective hierarchy is identical share one measurement
-/// (each still gets its own label and capacity-dependent energy figure).
-/// SPM points are separate — see [`Pipeline::run_spm_with_main`].
+/// *distinct effective* configuration (see [`spec_sweep`]). SPM points are
+/// specs of their own — combine freely in one [`spec_sweep`] axis.
 ///
 /// # Errors
 ///
@@ -297,31 +368,14 @@ pub fn hierarchy_sweep(
     pipeline: &Pipeline,
     configs: &[MemHierarchyConfig],
 ) -> Result<Vec<HierarchyPoint>, CoreError> {
-    let footprint = sweep_footprint(pipeline);
-    let keys: Vec<String> = configs
-        .iter()
-        .map(|h| effective_hierarchy_key(h, footprint.as_ref()))
-        .collect();
-    // First config per distinct key measures; the rest share.
-    let mut rep_of_key: BTreeMap<&str, usize> = BTreeMap::new();
-    let mut reps: Vec<usize> = Vec::new();
-    for (i, k) in keys.iter().enumerate() {
-        rep_of_key.entry(k.as_str()).or_insert_with(|| {
-            reps.push(i);
-            reps.len() - 1
-        });
-    }
-    let rep_configs: Vec<&MemHierarchyConfig> = reps.iter().map(|&i| &configs[i]).collect();
-    let measured = par_try_map(&rep_configs, |h| pipeline.measure_hierarchy(h))?;
+    let specs: Vec<MemArchSpec> = configs.iter().map(MemArchSpec::from_hierarchy).collect();
+    let points = spec_sweep(pipeline, &specs)?;
     Ok(configs
         .iter()
-        .zip(&keys)
-        .map(|(h, k)| {
-            let m = &measured[rep_of_key[k.as_str()]];
-            HierarchyPoint {
-                config: h.clone(),
-                result: pipeline.package_hierarchy(h, m),
-            }
+        .zip(points)
+        .map(|(h, p)| HierarchyPoint {
+            config: h.clone(),
+            result: p.result,
         })
         .collect())
 }
@@ -358,7 +412,7 @@ mod tests {
         ];
         let swept = hierarchy_sweep(&p, &configs).unwrap();
         for (point, h) in swept.iter().zip(&configs) {
-            let direct = p.run_hierarchy(h.clone()).unwrap();
+            let direct = p.run(&MemArchSpec::from_hierarchy(h)).unwrap();
             assert_eq!(
                 point.result.sim_cycles, direct.sim_cycles,
                 "{}",
@@ -371,6 +425,33 @@ mod tests {
             );
             assert_eq!(point.result.label, direct.label);
             assert!((point.result.energy_nj - direct.energy_nj).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mixed_spec_axis_sweeps_in_one_call() {
+        // The point of the redesign: scratchpad, cache and hierarchy
+        // points enumerate as one Vec<MemArchSpec> axis.
+        let p = Pipeline::new(&INSERTSORT).unwrap();
+        let specs = vec![
+            MemArchSpec::uncached(),
+            MemArchSpec::spm(256),
+            MemArchSpec::single_cache(CacheConfig::unified(256)),
+            MemArchSpec::from_hierarchy(
+                &MemHierarchyConfig::split_l1(128, 128).with_l2(CacheConfig::l2(1024)),
+            ),
+        ];
+        let points = spec_sweep(&p, &specs).unwrap();
+        assert_eq!(points.len(), 4);
+        for pt in &points {
+            assert!(
+                pt.result.wcet_cycles >= pt.result.sim_cycles,
+                "{}",
+                pt.result.label
+            );
+            let direct = p.run(&pt.spec).unwrap();
+            assert_eq!(pt.result.sim_cycles, direct.sim_cycles);
+            assert_eq!(pt.result.wcet_cycles, direct.wcet_cycles);
         }
     }
 
@@ -398,11 +479,60 @@ mod tests {
             level_key(&big_b, Some(&fp)),
             "covering capacities collapse"
         );
-        let h_a = MemHierarchyConfig::l1_only(big_a);
-        let h_b = MemHierarchyConfig::l1_only(big_b);
+        let s_a = MemArchSpec::single_cache(big_a);
+        let s_b = MemArchSpec::single_cache(big_b);
         assert_eq!(
-            effective_hierarchy_key(&h_a, Some(&fp)),
-            effective_hierarchy_key(&h_b, Some(&fp))
+            effective_spec_key(&s_a.canonical(), Some(&fp)),
+            effective_spec_key(&s_b.canonical(), Some(&fp))
+        );
+    }
+
+    #[test]
+    fn equal_after_validation_specs_share_a_key() {
+        // The canonical form is the memo key: a spec with zero-size
+        // (disabled) levels keys identically to the plainly-written
+        // machine, with or without a footprint.
+        use spmlab_isa::archspec::{SpmAllocation, SpmSpec};
+        let zero = CacheConfig {
+            size: 0,
+            ..CacheConfig::unified(64)
+        };
+        let noisy = MemArchSpec {
+            spm: Some(SpmSpec {
+                size: 0,
+                alloc: SpmAllocation::ProfileKnapsack,
+            }),
+            l1: L1::Split {
+                i: Some(zero.clone()),
+                d: None,
+            },
+            l2: Some(zero),
+            main: spmlab_isa::hierarchy::MainMemoryTiming::table1(),
+            persistence: false,
+        };
+        let plain = MemArchSpec::uncached();
+        assert_eq!(
+            effective_spec_key(&noisy.canonical(), None),
+            effective_spec_key(&plain.canonical(), None)
+        );
+        // Scratchpad specs must never collapse via the (no-spm) footprint.
+        let spm_a = MemArchSpec::builder()
+            .spm(256)
+            .l1(CacheConfig::unified(2048))
+            .build()
+            .unwrap();
+        let spm_b = MemArchSpec::builder()
+            .spm(256)
+            .l1(CacheConfig::unified(8192))
+            .build()
+            .unwrap();
+        let fp = Footprint {
+            intervals: vec![(0x0010_0000, 0x0010_0400)],
+            ranges: vec![],
+        };
+        assert_ne!(
+            effective_spec_key(&spm_a.canonical(), Some(&fp)),
+            effective_spec_key(&spm_b.canonical(), Some(&fp))
         );
     }
 

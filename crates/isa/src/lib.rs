@@ -31,6 +31,7 @@
 //! ```
 
 pub mod annot;
+pub mod archspec;
 pub mod asm;
 pub mod cachecfg;
 pub mod cond;
@@ -44,6 +45,7 @@ pub mod mem;
 pub mod reg;
 
 pub use annot::AnnotationSet;
+pub use archspec::{MemArchSpec, SpecError, SpmAllocation, SpmSpec};
 pub use cachecfg::{CacheConfig, CacheScope, Replacement};
 pub use cond::Cond;
 pub use hierarchy::{MainMemoryTiming, MemHierarchyConfig, L1};

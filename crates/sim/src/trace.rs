@@ -38,7 +38,7 @@ pub(crate) const EV_READ_WORD: u8 = 3;
 pub struct AccessEvent {
     /// Accessed address.
     pub addr: u32,
-    /// [`EV_FETCH`] / [`EV_READ_BYTE`] / [`EV_READ_HALF`] / [`EV_READ_WORD`].
+    /// `EV_FETCH` / `EV_READ_BYTE` / `EV_READ_HALF` / `EV_READ_WORD`.
     pub kind: u8,
 }
 
@@ -102,7 +102,8 @@ impl MemTrace {
 
     /// Prices the recorded execution under `hierarchy`, returning the
     /// total cycles and the memory statistics — bit-identical to running
-    /// [`simulate`] under the same configuration.
+    /// [`simulate`](crate::machine::simulate) under the same
+    /// configuration.
     ///
     /// # Errors
     ///

@@ -12,8 +12,10 @@
 
 use spmlab::pipeline::Pipeline;
 use spmlab::report::render_table;
+use spmlab::{MemArchSpec, SpmAllocation};
 use spmlab_alloc::energy::EnergyModel;
 use spmlab_alloc::{knapsack, wcet_aware};
+use spmlab_cc::SpmAssignment;
 use spmlab_isa::annot::AnnotationSet;
 use spmlab_workloads::benchmark;
 
@@ -28,14 +30,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let module = bench.compile()?;
     let energy = EnergyModel::default();
 
+    let fixed = |a: &SpmAssignment| SpmAllocation::Fixed(a.iter().map(str::to_string).collect());
     let mut rows = Vec::new();
     for capacity in [128u32, 256, 512, 1024, 2048] {
         // Paper: energy-optimal knapsack over the baseline profile.
         let ek = knapsack::allocate(&module, pipeline.baseline_profile(), capacity, &energy);
-        let ek_run = pipeline.run_spm_with_assignment(capacity, &ek.assignment)?;
+        let ek_run = pipeline.run(&MemArchSpec::spm_with(capacity, fixed(&ek.assignment)))?;
         // Future work: greedy WCET-driven allocation.
         let wa = wcet_aware::allocate(&module, capacity, &AnnotationSet::new())?;
-        let wa_run = pipeline.run_spm_with_assignment(capacity, &wa.assignment)?;
+        let wa_run = pipeline.run(&MemArchSpec::spm_with(capacity, fixed(&wa.assignment)))?;
         rows.push(vec![
             capacity.to_string(),
             ek_run.sim_cycles.to_string(),

@@ -4,9 +4,11 @@
 
 use spmlab::pipeline::Pipeline;
 use spmlab::sweep::{cache_sweep, spm_sweep};
+use spmlab::MemArchSpec;
 use spmlab_alloc::energy::EnergyModel;
 use spmlab_alloc::knapsack;
 use spmlab_cc::SpmAssignment;
+use spmlab_isa::cachecfg::CacheConfig;
 use spmlab_isa::mem::{MemoryMap, RegionKind};
 use spmlab_sim::{simulate, MachineConfig, SimOptions};
 use spmlab_workloads::{inputs, ADPCM, INSERTSORT, MULTISORT};
@@ -91,7 +93,7 @@ fn knapsack_allocation_is_input_independent() {
 #[test]
 fn spm_objects_actually_live_in_the_scratchpad() {
     let p = Pipeline::with_input(&INSERTSORT, inputs::random_ints(16, 7, -50, 50)).unwrap();
-    let r = p.run_spm(512).unwrap();
+    let r = p.run(&MemArchSpec::spm(512)).unwrap();
     assert!(!r.spm_objects.is_empty());
     // Relink with the same assignment and check the symbol addresses.
     let module = INSERTSORT.compile().unwrap();
@@ -118,8 +120,8 @@ fn spm_objects_actually_live_in_the_scratchpad() {
 #[test]
 fn energy_decreases_with_scratchpad() {
     let p = Pipeline::with_input(&ADPCM, inputs::speech_like(64, 9)).unwrap();
-    let base = p.run_baseline().unwrap();
-    let spm = p.run_spm(2048).unwrap();
+    let base = p.run(&MemArchSpec::uncached()).unwrap();
+    let spm = p.run(&MemArchSpec::spm(2048)).unwrap();
     assert!(
         spm.energy_nj < base.energy_nj,
         "scratchpad saves energy: {} vs {}",
@@ -137,9 +139,11 @@ fn checksum_validation_catches_wrong_reference() {
     // and produces consistent results for in-range inputs.
     let input = inputs::speech_like(32, 77);
     let p = Pipeline::with_input(&ADPCM, input).unwrap();
-    let a = p.run_baseline().unwrap();
-    let b = p.run_spm(256).unwrap();
-    let c = p.run_cache_default(256).unwrap();
+    let a = p.run(&MemArchSpec::uncached()).unwrap();
+    let b = p.run(&MemArchSpec::spm(256)).unwrap();
+    let c = p
+        .run(&MemArchSpec::single_cache(CacheConfig::unified(256)))
+        .unwrap();
     assert_eq!(a.checksum, b.checksum);
     assert_eq!(a.checksum, c.checksum);
 }

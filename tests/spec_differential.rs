@@ -1,0 +1,199 @@
+//! Differential suite for the `MemArchSpec` redesign: `Pipeline::run`
+//! must return **byte-identical** `sim_cycles`/`wcet_cycles` to the
+//! legacy `run_*` entry points for every point of the existing
+//! eight-config G.721 hierarchy sweep, the SPM axis, the cache axis, and
+//! the SPM-over-DRAM points.
+//!
+//! Two layers of protection:
+//!
+//! 1. **Golden numbers** captured from the pre-redesign implementation
+//!    (commit `7443bc9`, the seed `run_*` bodies) — the spec router must
+//!    reproduce them exactly, so the redesign provably did not change a
+//!    single output.
+//! 2. **Shim equivalence** — the deprecated `run_*` shims must agree with
+//!    `run(&spec)` point by point, so they cannot drift while they live.
+//!
+//! (The validation layer's proptest suite lives with the spec type in
+//! `spmlab-isa::archspec`; this file exercises the pipeline.)
+
+#![allow(deprecated)] // The whole point is to compare against the shims.
+
+use spmlab::pipeline::Pipeline;
+use spmlab::{hierarchy_axis, MainMemoryTiming, MemArchSpec, PAPER_SIZES};
+use spmlab_isa::cachecfg::CacheConfig;
+use spmlab_workloads::G721;
+use std::sync::OnceLock;
+
+/// One shared G.721 pipeline — the prepare step (compile, link, baseline
+/// interpretation) is the expensive part and identical for every test.
+fn pipeline() -> &'static Pipeline {
+    static PIPELINE: OnceLock<Pipeline> = OnceLock::new();
+    PIPELINE.get_or_init(|| Pipeline::new(&G721).unwrap())
+}
+
+/// `(label, sim_cycles, wcet_cycles)` of the eight-config G.721 hierarchy
+/// axis (`hierarchy_axis(1024)`), captured from the legacy
+/// `run_hierarchy` implementation.
+const GOLDEN_HIERARCHY: [(&str, u64, u64); 6] = [
+    ("l1 1024", 7_786_981, 27_571_788),
+    ("l1i512+l1d512", 7_421_781, 27_763_788),
+    ("l1i512+l1d512+l2 4096", 6_388_137, 57_215_932),
+    ("l1i512+l1d512+l2 16384", 6_337_449, 57_215_932),
+    ("l1i512+l1d512+l2 4096 (dram 10+2x2)", 8_639_877, 72_655_522),
+    ("l1i 1024+l2 16384", 7_411_155, 48_559_695),
+];
+
+/// `(size, sim_cycles, wcet_cycles)` of the G.721 scratchpad axis,
+/// captured from the legacy `run_spm` implementation.
+const GOLDEN_SPM: [(u32, u64, u64); 8] = [
+    (64, 8_378_278, 10_820_728),
+    (128, 8_211_097, 10_556_536),
+    (256, 8_097_278, 10_507_896),
+    (512, 7_763_850, 10_076_277),
+    (1024, 7_665_254, 9_945_438),
+    (2048, 7_178_505, 9_454_200),
+    (4096, 6_955_474, 9_192_286),
+    (8192, 6_955_474, 9_192_286),
+];
+
+/// `(size, sim_cycles, wcet_cycles)` of the G.721 unified-cache axis,
+/// captured from the legacy `run_cache_default` implementation.
+const GOLDEN_CACHE: [(u32, u64, u64); 8] = [
+    (64, 18_429_877, 40_495_708),
+    (128, 14_606_117, 40_143_436),
+    (256, 12_091_573, 38_109_772),
+    (512, 9_100_533, 28_806_732),
+    (1024, 7_786_981, 27_571_788),
+    (2048, 6_610_437, 27_395_628),
+    (4096, 5_507_909, 27_305_516),
+    (8192, 5_490_853, 27_301_420),
+];
+
+/// `(label, sim_cycles, wcet_cycles)` of the SPM-1024 points over both
+/// main-memory timings, captured from the legacy `run_spm_with_mains`.
+const GOLDEN_SPM_MAINS: [(&str, u64, u64); 2] = [
+    ("spm 1024", 7_665_254, 9_945_438),
+    ("spm 1024 (dram 10)", 20_504_514, 24_924_148),
+];
+
+#[test]
+fn g721_hierarchy_axis_matches_golden_and_shims() {
+    let p = pipeline();
+    for (h, &(label, sim, wcet)) in hierarchy_axis(1024).iter().zip(&GOLDEN_HIERARCHY) {
+        let spec = MemArchSpec::from_hierarchy(h);
+        let via_run = p.run(&spec).unwrap();
+        assert_eq!(via_run.label, label);
+        assert_eq!(via_run.sim_cycles, sim, "{label}: sim drifted from seed");
+        assert_eq!(via_run.wcet_cycles, wcet, "{label}: wcet drifted from seed");
+        let via_shim = p.run_hierarchy(h.clone()).unwrap();
+        assert_eq!(via_shim.sim_cycles, via_run.sim_cycles, "{label}");
+        assert_eq!(via_shim.wcet_cycles, via_run.wcet_cycles, "{label}");
+        assert_eq!(via_shim.label, via_run.label, "{label}");
+    }
+}
+
+#[test]
+fn g721_spm_axis_matches_golden_and_shims() {
+    let p = pipeline();
+    assert_eq!(PAPER_SIZES.len(), GOLDEN_SPM.len());
+    for &(size, sim, wcet) in &GOLDEN_SPM {
+        let via_run = p.run(&MemArchSpec::spm(size)).unwrap();
+        assert_eq!(via_run.sim_cycles, sim, "spm {size}: sim drifted from seed");
+        assert_eq!(
+            via_run.wcet_cycles, wcet,
+            "spm {size}: wcet drifted from seed"
+        );
+        assert_eq!(via_run.label, format!("spm {size}"));
+        let via_shim = p.run_spm(size).unwrap();
+        assert_eq!(via_shim.sim_cycles, via_run.sim_cycles, "spm {size}");
+        assert_eq!(via_shim.wcet_cycles, via_run.wcet_cycles, "spm {size}");
+    }
+}
+
+#[test]
+fn g721_cache_axis_matches_golden_and_shims() {
+    let p = pipeline();
+    for &(size, sim, wcet) in &GOLDEN_CACHE {
+        let spec = MemArchSpec::single_cache(CacheConfig::unified(size));
+        let via_run = p.run(&spec).unwrap();
+        assert_eq!(
+            via_run.sim_cycles, sim,
+            "cache {size}: sim drifted from seed"
+        );
+        assert_eq!(
+            via_run.wcet_cycles, wcet,
+            "cache {size}: wcet drifted from seed"
+        );
+        let via_shim = p.run_cache_default(size).unwrap();
+        assert_eq!(via_shim.sim_cycles, via_run.sim_cycles, "cache {size}");
+        assert_eq!(via_shim.wcet_cycles, via_run.wcet_cycles, "cache {size}");
+        assert_eq!(via_shim.label, format!("cache {size}"), "legacy label kept");
+    }
+}
+
+#[test]
+fn g721_spm_over_mains_matches_golden_and_shims() {
+    let p = pipeline();
+    let mains = [MainMemoryTiming::table1(), MainMemoryTiming::dram(10)];
+    let via_shim = p.run_spm_with_mains(1024, &mains).unwrap();
+    for ((r, &main), &(label, sim, wcet)) in via_shim.iter().zip(&mains).zip(&GOLDEN_SPM_MAINS) {
+        assert_eq!(r.label, label);
+        assert_eq!(r.sim_cycles, sim, "{label}: sim drifted from seed");
+        assert_eq!(r.wcet_cycles, wcet, "{label}: wcet drifted from seed");
+        let via_run = p
+            .run(&MemArchSpec {
+                main,
+                ..MemArchSpec::spm(1024)
+            })
+            .unwrap();
+        assert_eq!(via_run.sim_cycles, r.sim_cycles, "{label}");
+        assert_eq!(via_run.wcet_cycles, r.wcet_cycles, "{label}");
+        assert_eq!(via_run.label, r.label, "{label}");
+    }
+}
+
+#[test]
+fn baseline_and_assignment_shims_agree_with_specs() {
+    use spmlab_cc::SpmAssignment;
+    use spmlab_isa::archspec::SpmAllocation;
+    let p = pipeline();
+    let base_shim = p.run_baseline().unwrap();
+    let base_spec = p.run(&MemArchSpec::uncached()).unwrap();
+    assert_eq!(base_shim.sim_cycles, base_spec.sim_cycles);
+    assert_eq!(base_shim.wcet_cycles, base_spec.wcet_cycles);
+    assert_eq!(base_shim.label, "baseline");
+
+    // Use object names that really exist in the image (the two first
+    // knapsack picks at 1 KiB).
+    let picks = p.run(&MemArchSpec::spm(1024)).unwrap().spm_objects;
+    assert!(picks.len() >= 2, "knapsack picked {picks:?}");
+    let assignment = SpmAssignment::of(picks[..2].iter().map(String::as_str));
+    let via_shim = p.run_spm_with_assignment(1024, &assignment).unwrap();
+    let via_spec = p
+        .run(&MemArchSpec::spm_with(
+            1024,
+            SpmAllocation::Fixed(assignment.iter().map(str::to_string).collect()),
+        ))
+        .unwrap();
+    assert_eq!(via_shim.sim_cycles, via_spec.sim_cycles);
+    assert_eq!(via_shim.wcet_cycles, via_spec.wcet_cycles);
+    assert_eq!(via_shim.spm_objects, via_spec.spm_objects);
+}
+
+#[test]
+fn persistence_shim_agrees_with_spec() {
+    let p = pipeline();
+    let cache = CacheConfig::unified(1024);
+    let via_shim = p.run_cache(cache.clone(), true).unwrap();
+    let via_spec = p
+        .run(&MemArchSpec {
+            persistence: true,
+            ..MemArchSpec::single_cache(cache)
+        })
+        .unwrap();
+    assert_eq!(via_shim.sim_cycles, via_spec.sim_cycles);
+    assert_eq!(via_shim.wcet_cycles, via_spec.wcet_cycles);
+    // Persistence tightens (or keeps) the MUST-only bound.
+    let must_only = p.run_cache_default(1024).unwrap();
+    assert!(via_spec.wcet_cycles <= must_only.wcet_cycles);
+}
