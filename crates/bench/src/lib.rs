@@ -220,6 +220,157 @@ pub fn hierarchy_json(fig: &FigureHierarchy, wall_seconds: f64) -> String {
     )
 }
 
+/// One point of the `multilevel-precision` experiment: the same machine
+/// analyzed by the pre-MAY baseline (per-function TOP entries, no
+/// Always-Miss filter) and by the interprocedural MAY/CAC analysis.
+#[derive(Debug, Clone)]
+pub struct PrecisionPoint {
+    /// Machine label.
+    pub label: String,
+    /// Simulated cycles (soundness reference).
+    pub sim_cycles: u64,
+    /// WCET bound of the pre-MAY baseline analysis.
+    pub baseline_wcet: u64,
+    /// WCET bound of the interprocedural MAY/CAC analysis.
+    pub wcet: u64,
+    /// Accesses proven Always-Miss at their L1 (the `A` filter).
+    pub l1_always_miss: u64,
+    /// Accesses guaranteed to hit the L2.
+    pub l2_hits: u64,
+    /// Whether every cached access sits behind an L1 (split or fully
+    /// unified L1) *and* an L2 exists — the configurations whose L2 hits
+    /// the baseline could never classify.
+    pub behind_l1: bool,
+}
+
+impl PrecisionPoint {
+    /// Relative WCET tightening over the baseline (positive = tighter).
+    pub fn tightening_pct(&self) -> f64 {
+        (1.0 - self.wcet as f64 / self.baseline_wcet.max(1) as f64) * 100.0
+    }
+}
+
+/// Measures the `multilevel-precision` points over the standard hierarchy
+/// axis: one link + one simulation per machine, two analyses.
+///
+/// # Errors
+///
+/// Compile, link, simulation or analysis failures.
+pub fn multilevel_precision_points(quick: bool) -> Result<Vec<PrecisionPoint>, CoreError> {
+    use spmlab_cc::SpmAssignment;
+    use spmlab_isa::mem::MemoryMap;
+    use spmlab_sim::{simulate, MachineConfig, SimOptions};
+    use spmlab_wcet::{analyze, WcetConfig};
+
+    let l1 = hierarchy_l1_size(quick);
+    let bench = if quick { &ADPCM } else { &G721 };
+    let module = bench.compile().map_err(CoreError::Cc)?;
+    let input = (bench.typical_input)();
+    let linked = bench
+        .link_with_input(
+            &module,
+            &MemoryMap::no_spm(),
+            &SpmAssignment::none(),
+            &input,
+        )
+        .map_err(CoreError::Cc)?;
+    let sim_options = SimOptions {
+        insn_stats: false,
+        profile: false,
+        ..SimOptions::default()
+    };
+    hierarchy_axis(l1)
+        .into_iter()
+        .map(|h| {
+            let sim = simulate(
+                &linked.exe,
+                &MachineConfig::with_hierarchy(h.clone()),
+                &sim_options,
+            )
+            .map_err(CoreError::Sim)?;
+            let new = analyze(
+                &linked.exe,
+                &WcetConfig::with_hierarchy(h.clone()),
+                &linked.annotations,
+            )
+            .map_err(CoreError::Wcet)?;
+            let base = analyze(
+                &linked.exe,
+                &WcetConfig::with_hierarchy_baseline(h.clone()),
+                &linked.annotations,
+            )
+            .map_err(CoreError::Wcet)?;
+            let c = new.total_classify();
+            Ok(PrecisionPoint {
+                label: h.label(),
+                sim_cycles: sim.cycles,
+                baseline_wcet: base.wcet_cycles,
+                wcet: new.wcet_cycles,
+                l1_always_miss: c.fetch_always_miss + c.data_always_miss,
+                l2_hits: c.l2_hits,
+                behind_l1: h.l2.is_some() && h.cached(true) && h.cached(false),
+            })
+        })
+        .collect()
+}
+
+/// The `multilevel-precision` experiment: quantifies what the
+/// interprocedural MAY analysis and the full Hardy–Puaut CAC buy over the
+/// pre-MAY baseline, per machine of the hierarchy axis.
+///
+/// # Errors
+///
+/// Pipeline failures.
+pub fn exp_multilevel_precision(quick: bool) -> Result<String, CoreError> {
+    let points = multilevel_precision_points(quick)?;
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.label.clone(),
+                p.sim_cycles.to_string(),
+                p.baseline_wcet.to_string(),
+                p.wcet.to_string(),
+                format!("{:.2}%", p.tightening_pct()),
+                p.l1_always_miss.to_string(),
+                p.l2_hits.to_string(),
+            ]
+        })
+        .collect();
+    let mut out = format!(
+        "Multi-level precision: pre-MAY baseline vs interprocedural MAY/CAC analysis\n{}",
+        report::render_table(
+            &[
+                "machine",
+                "sim",
+                "baseline wcet",
+                "may/cac wcet",
+                "gain",
+                "L1 AM",
+                "L2 AH"
+            ],
+            &rows
+        )
+    );
+    out.push_str(&format!(
+        "never looser than the baseline: {}\n",
+        if points.iter().all(|p| p.wcet <= p.baseline_wcet) {
+            "yes"
+        } else {
+            "NO — BUG"
+        }
+    ));
+    out.push_str(&format!(
+        "L2 hits classified behind an L1: {}\n",
+        if points.iter().any(|p| p.behind_l1 && p.l2_hits > 0) {
+            "yes"
+        } else {
+            "NO — BUG"
+        }
+    ));
+    Ok(out)
+}
+
 /// Ablation: MUST-only vs MUST+persistence cache analysis (paper §5:
 /// "the full scale of cache analysis techniques … would probably lead to
 /// improved cache results").
@@ -531,6 +682,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Result<String, CoreError> {
         "tightness" => exp_tightness(),
         "hierarchy" => exp_hierarchy(quick),
         "hierarchy-spm" => exp_hierarchy_spm(quick),
+        "multilevel-precision" => exp_multilevel_precision(quick),
         "bench-history" => Ok(exp_bench_history(false)),
         "ablation-persistence" => exp_ablation_persistence(quick),
         "ablation-icache" => exp_ablation_icache(quick),
@@ -549,7 +701,7 @@ pub fn workspace_root() -> std::path::PathBuf {
 }
 
 /// All experiment ids in report order.
-pub const EXPERIMENTS: [&str; 13] = [
+pub const EXPERIMENTS: [&str; 14] = [
     "table1",
     "table2",
     "fig3",
@@ -558,6 +710,7 @@ pub const EXPERIMENTS: [&str; 13] = [
     "tightness",
     "hierarchy",
     "hierarchy-spm",
+    "multilevel-precision",
     "bench-history",
     "ablation-persistence",
     "ablation-icache",
@@ -649,6 +802,21 @@ pub fn verify_claims(quick: bool) -> Result<Vec<(String, bool)>, CoreError> {
     claims.push((
         "hierarchy: scratchpad WCET/sim ratio beats every cache hierarchy".into(),
         spm_ratio < cached_best,
+    ));
+
+    // Claim 10 (the interprocedural MAY/CAC result): the upgraded
+    // multi-level analysis is never looser than the pre-MAY baseline on
+    // the hierarchy axis, stays sound, and — what the baseline could
+    // never do — classifies L2 hits *behind* an L1 on at least one
+    // split-L1+L2 machine.
+    let precision = multilevel_precision_points(quick)?;
+    claims.push((
+        "multilevel-precision: MAY/CAC analysis never looser, sound, classifies L2 hits behind an L1"
+            .into(),
+        precision
+            .iter()
+            .all(|p| p.wcet <= p.baseline_wcet && p.wcet >= p.sim_cycles)
+            && precision.iter().any(|p| p.behind_l1 && p.l2_hits > 0),
     ));
 
     // Claim 9 (the composable-spec result): under SPM×hierarchy machines,

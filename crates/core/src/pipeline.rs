@@ -3,17 +3,16 @@
 //! [`Pipeline::run`] is the single entry point: it takes a declarative
 //! [`MemArchSpec`] (scratchpad + cache levels + main-memory timing) and
 //! routes to link → simulate (trace-replay when eligible) → analyze. The
-//! legacy `run_*` methods survive as thin deprecated shims delegating to
-//! `run`, producing byte-identical results for every shape they could
-//! express.
+//! legacy `run_*` shims were removed in this release after two deprecated
+//! releases; `tests/spec_differential.rs` keeps the golden pins on
+//! `run(&spec)`.
 
 use crate::CoreError;
 use spmlab_alloc::energy::EnergyModel;
 use spmlab_alloc::{knapsack, wcet_aware};
 use spmlab_cc::{ObjModule, SpmAssignment};
 use spmlab_isa::archspec::{MemArchSpec, SpmAllocation, SpmSpec};
-use spmlab_isa::cachecfg::CacheConfig;
-use spmlab_isa::hierarchy::{MainMemoryTiming, MemHierarchyConfig, L1};
+use spmlab_isa::hierarchy::{MainMemoryTiming, L1};
 use spmlab_isa::mem::MemoryMap;
 use spmlab_sim::{
     simulate, simulate_with_trace, MachineConfig, MemStats, MemTrace, Profile, SimOptions,
@@ -233,9 +232,12 @@ impl Pipeline {
     /// | single unified-descriptor L1, Table-1  | single-level MUST (+persistence on request) |
     /// | anything else with cache levels        | multi-level (Hardy–Puaut) MUST |
     ///
-    /// (The single-level and multi-level MUST analyses are differentially
-    /// tested to agree on the overlap, so the routing is an implementation
-    /// detail, not a semantic one.)
+    /// (The single-level analyzer is kept for the paper's exact ARM7
+    /// setup — its numbers are pinned by `tests/spec_differential.rs`.
+    /// Since the interprocedural MAY/CAC upgrade the multi-level analyzer
+    /// can be *tighter* than the single-level one on the overlap, so the
+    /// routing is part of the observable contract: a bare unified L1 over
+    /// Table-1 main memory reports the paper's single-level bound.)
     ///
     /// # Errors
     ///
@@ -495,175 +497,13 @@ impl Pipeline {
     pub(crate) fn no_spm_link(&self) -> &spmlab_cc::LinkedProgram {
         &self.no_spm_link
     }
-
-    // -----------------------------------------------------------------
-    // Legacy shims. Every method below is a thin delegation to
-    // [`Pipeline::run`] kept for downstream code; see the README's
-    // "Architecture specs" migration table. They will be removed two
-    // releases after 0.2.
-    // -----------------------------------------------------------------
-
-    /// The left branch of Figure 1: energy-optimal knapsack allocation for
-    /// a scratchpad of `spm_size` bytes, simulation, and region-timing WCET
-    /// analysis ("no additional analysis module required").
-    ///
-    /// # Errors
-    ///
-    /// Link, simulation, WCET or checksum failures.
-    #[deprecated(since = "0.2.0", note = "use `Pipeline::run(&MemArchSpec::spm(size))`")]
-    pub fn run_spm(&self, spm_size: u32) -> Result<ConfigResult, CoreError> {
-        self.run(&MemArchSpec::spm(spm_size))
-    }
-
-    /// Scratchpad run with an explicit assignment (used by the WCET-aware
-    /// allocation ablation).
-    ///
-    /// # Errors
-    ///
-    /// Link, simulation, WCET or checksum failures.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Pipeline::run` with `SpmAllocation::Fixed`"
-    )]
-    pub fn run_spm_with_assignment(
-        &self,
-        spm_size: u32,
-        assignment: &SpmAssignment,
-    ) -> Result<ConfigResult, CoreError> {
-        let spec = MemArchSpec::spm_with(
-            spm_size,
-            SpmAllocation::Fixed(assignment.iter().map(str::to_string).collect()),
-        );
-        let mut r = self.run(&spec)?;
-        r.label = format!("spm {spm_size}");
-        Ok(r)
-    }
-
-    /// The right branch of Figure 1: unified direct-mapped cache of
-    /// `size` bytes, MUST-only cache analysis (the paper's ARM7 setup).
-    ///
-    /// # Errors
-    ///
-    /// Link, simulation, WCET or checksum failures.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Pipeline::run(&MemArchSpec::single_cache(CacheConfig::unified(size)))`"
-    )]
-    pub fn run_cache_default(&self, size: u32) -> Result<ConfigResult, CoreError> {
-        #[allow(deprecated)]
-        self.run_cache(CacheConfig::unified(size), false)
-    }
-
-    /// Cache run with an explicit geometry and optional persistence
-    /// analysis (the ablations).
-    ///
-    /// # Errors
-    ///
-    /// Link, simulation, WCET or checksum failures.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Pipeline::run` with `MemArchSpec::single_cache` (+ `persistence`)"
-    )]
-    pub fn run_cache(
-        &self,
-        cache: CacheConfig,
-        persistence: bool,
-    ) -> Result<ConfigResult, CoreError> {
-        let size = cache.size;
-        let spec = MemArchSpec {
-            persistence,
-            ..MemArchSpec::single_cache(cache)
-        };
-        let mut r = self.run(&spec)?;
-        r.label = format!("cache {size}");
-        Ok(r)
-    }
-
-    /// The no-scratchpad, no-cache baseline.
-    ///
-    /// # Errors
-    ///
-    /// Link, simulation, WCET or checksum failures.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Pipeline::run(&MemArchSpec::uncached())`"
-    )]
-    pub fn run_baseline(&self) -> Result<ConfigResult, CoreError> {
-        let mut r = self.run(&MemArchSpec::spm(0))?;
-        r.label = "baseline".into();
-        Ok(r)
-    }
-
-    /// The hierarchy axis: simulation plus multi-level (Hardy–Puaut) WCET
-    /// analysis under an arbitrary [`MemHierarchyConfig`] — split or
-    /// unified L1, optional unified L2, parametric main-memory timing.
-    ///
-    /// # Errors
-    ///
-    /// Link, simulation, WCET or checksum failures.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Pipeline::run(&MemArchSpec::from_hierarchy(&h))`"
-    )]
-    pub fn run_hierarchy(&self, hierarchy: MemHierarchyConfig) -> Result<ConfigResult, CoreError> {
-        self.run(&MemArchSpec::from_hierarchy(&hierarchy))
-    }
-
-    /// Scratchpad run over custom (e.g. DRAM) main-memory timing — the SPM
-    /// point of a hierarchy sweep.
-    ///
-    /// # Errors
-    ///
-    /// Link, simulation, WCET or checksum failures.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Pipeline::run` with `MemArchSpec::builder().spm(size).main(main)`"
-    )]
-    pub fn run_spm_with_main(
-        &self,
-        spm_size: u32,
-        main: MainMemoryTiming,
-    ) -> Result<ConfigResult, CoreError> {
-        let spec = MemArchSpec {
-            main,
-            ..MemArchSpec::spm(spm_size)
-        };
-        self.run(&spec)
-    }
-
-    /// Scratchpad run over several main-memory timings at once: the
-    /// allocation, link and execution happen a single time; each timing
-    /// re-prices the recorded trace (for an uncached machine that is pure
-    /// arithmetic over the access counters — no per-event work at all).
-    ///
-    /// # Errors
-    ///
-    /// Link, simulation, WCET or checksum failures.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Pipeline::run` once per timing (the link/execution is memoised)"
-    )]
-    pub fn run_spm_with_mains(
-        &self,
-        spm_size: u32,
-        mains: &[MainMemoryTiming],
-    ) -> Result<Vec<ConfigResult>, CoreError> {
-        mains
-            .iter()
-            .map(|&main| {
-                let spec = MemArchSpec {
-                    main,
-                    ..MemArchSpec::spm(spm_size)
-                };
-                self.run(&spec)
-            })
-            .collect()
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use spmlab_isa::cachecfg::CacheConfig;
+    use spmlab_isa::hierarchy::MemHierarchyConfig;
     use spmlab_workloads::{INSERTSORT, MULTISORT};
 
     #[test]
@@ -695,21 +535,6 @@ mod tests {
         .unwrap();
         let spm = p.run(&MemArchSpec::spm(1024)).unwrap();
         assert!(spm.ratio() >= 1.0);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn legacy_shims_delegate_to_run() {
-        let p = Pipeline::new(&INSERTSORT).unwrap();
-        let via_shim = p.run_spm(512).unwrap();
-        let via_spec = p.run(&MemArchSpec::spm(512)).unwrap();
-        assert_eq!(via_shim.sim_cycles, via_spec.sim_cycles);
-        assert_eq!(via_shim.wcet_cycles, via_spec.wcet_cycles);
-        assert_eq!(via_shim.label, via_spec.label);
-        let base = p.run_baseline().unwrap();
-        assert_eq!(base.label, "baseline");
-        let cache = p.run_cache_default(512).unwrap();
-        assert_eq!(cache.label, "cache 512");
     }
 
     #[test]

@@ -125,9 +125,11 @@ pub fn render_ratios(
     )
 }
 
-/// Renders the hierarchy comparison: one row per memory configuration with
-/// the classification statistics that explain the bound (L1 always-hit
-/// proofs vs accesses only bounded by the L2 or main memory).
+/// Renders the hierarchy comparison: one row per memory configuration
+/// with the per-level classification statistics that explain the bound —
+/// L1 always-hit proofs (MUST), L1 always-miss proofs (MAY, the
+/// Hardy–Puaut `A` filter), guaranteed L2 hits, and the remaining
+/// not-classified accesses that must be charged the worst path.
 pub fn render_hierarchy(fig: &crate::figures::FigureHierarchy) -> String {
     let mut body: Vec<Vec<String>> = Vec::new();
     for (label, sim, wcet) in fig.rows() {
@@ -138,6 +140,8 @@ pub fn render_hierarchy(fig: &crate::figures::FigureHierarchy) -> String {
             format!("{:.3}", wcet as f64 / sim.max(1) as f64),
             String::new(),
             String::new(),
+            String::new(),
+            String::new(),
         ]);
     }
     // Fill classification columns for the cache-hierarchy points (the SPM
@@ -146,7 +150,9 @@ pub fn render_hierarchy(fig: &crate::figures::FigureHierarchy) -> String {
     for (row, p) in body[spm_rows..].iter_mut().zip(&fig.points) {
         let c = &p.result.classify;
         row[4] = (c.fetch_hits + c.data_hits).to_string();
-        row[5] = c.l2_hits.to_string();
+        row[5] = (c.fetch_always_miss + c.data_always_miss).to_string();
+        row[6] = c.l2_hits.to_string();
+        row[7] = (c.fetch_unclassified + c.data_unclassified).to_string();
     }
     format!(
         "Hierarchy comparison — {} benchmark\n{}",
@@ -158,7 +164,9 @@ pub fn render_hierarchy(fig: &crate::figures::FigureHierarchy) -> String {
                 "wcet cycles",
                 "ratio",
                 "L1 AH",
-                "L2 AH"
+                "L1 AM",
+                "L2 AH",
+                "NC"
             ],
             &body
         )

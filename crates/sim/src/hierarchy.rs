@@ -54,6 +54,31 @@ struct Route {
     bypass: [u64; 3],
 }
 
+/// Per-level outcome of one read, alongside its cycle charge.
+///
+/// `first_miss` reports the outcome at the first cache level in the
+/// access's path (`None` when the access bypassed the caches) — the
+/// signal the always-hit/always-miss classification checks compare
+/// against. `l2_hit` is `Some` exactly when the access consulted the
+/// unified L2 (an L1 miss, or L1-less traffic with an L2 configured) —
+/// the signal for the guaranteed-L2-hit classification checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReadOutcome {
+    /// First-level result: `Some(true)` = miss, `Some(false)` = hit,
+    /// `None` = no cache in the path.
+    pub first_miss: Option<bool>,
+    /// L2 result when the access reached the L2.
+    pub l2_hit: Option<bool>,
+}
+
+impl ReadOutcome {
+    /// An access that bypassed every cache.
+    pub const BYPASS: ReadOutcome = ReadOutcome {
+        first_miss: None,
+        l2_hit: None,
+    };
+}
+
 /// Tag stores for every configured level plus the shared cost model.
 #[derive(Debug, Clone)]
 pub struct HierarchyCaches {
@@ -152,17 +177,17 @@ impl HierarchyCaches {
     }
 
     /// A read or fetch of `width` at `addr` in main-memory space. Returns
-    /// `(cycles, l1_missed)`; `l1_missed` is `None` when the access
-    /// bypassed the caches. All routing decisions and cycle constants were
-    /// resolved at construction time; the per-access work is one or two
-    /// tag-store lookups plus counter updates.
+    /// `(cycles, outcome)`; see [`ReadOutcome`] for the per-level report.
+    /// All routing decisions and cycle constants were resolved at
+    /// construction time; the per-access work is one or two tag-store
+    /// lookups plus counter updates.
     pub fn read(
         &mut self,
         addr: u32,
         kind: AccessKind,
         width: AccessWidth,
         stats: &mut MemStats,
-    ) -> (u64, Option<bool>) {
+    ) -> (u64, ReadOutcome) {
         let fetch = kind == AccessKind::Fetch;
         // Only the scalar constants each branch needs are read out of the
         // route (copying the whole struct per access showed up in
@@ -186,12 +211,24 @@ impl HierarchyCaches {
                     Some(l2) => match l2.read(addr) {
                         Lookup::Hit => {
                             stats.l2_hits += 1;
-                            (l2_direct_hit, Some(false))
+                            (
+                                l2_direct_hit,
+                                ReadOutcome {
+                                    first_miss: Some(false),
+                                    l2_hit: Some(true),
+                                },
+                            )
                         }
                         Lookup::Miss => {
                             stats.l2_misses += 1;
                             stats.fill_words += self.l2_fill_words;
-                            (l2_direct_miss, Some(true))
+                            (
+                                l2_direct_miss,
+                                ReadOutcome {
+                                    first_miss: Some(true),
+                                    l2_hit: Some(false),
+                                },
+                            )
                         }
                     },
                     None => {
@@ -200,7 +237,7 @@ impl HierarchyCaches {
                             AccessWidth::Half => 1,
                             AccessWidth::Word => 2,
                         };
-                        (route.bypass[w], None)
+                        (route.bypass[w], ReadOutcome::BYPASS)
                     }
                 };
             }
@@ -227,29 +264,41 @@ impl HierarchyCaches {
         }
         if l1_hit {
             stats.cache_hits += 1;
-            return (route.l1_hit, Some(false));
+            return (
+                route.l1_hit,
+                ReadOutcome {
+                    first_miss: Some(false),
+                    l2_hit: None,
+                },
+            );
         }
         stats.cache_misses += 1;
         let (l1_miss_l2_hit, l1_miss_worst, fill_words) =
             (route.l1_miss_l2_hit, route.l1_miss_worst, route.fill_words);
-        let cycles = match &mut self.l2 {
+        let (cycles, l2_hit) = match &mut self.l2 {
             Some(l2) => match l2.read(addr) {
                 Lookup::Hit => {
                     stats.l2_hits += 1;
-                    l1_miss_l2_hit
+                    (l1_miss_l2_hit, Some(true))
                 }
                 Lookup::Miss => {
                     stats.l2_misses += 1;
                     stats.fill_words += fill_words;
-                    l1_miss_worst
+                    (l1_miss_worst, Some(false))
                 }
             },
             None => {
                 stats.fill_words += fill_words;
-                l1_miss_worst
+                (l1_miss_worst, None)
             }
         };
-        (cycles, Some(true))
+        (
+            cycles,
+            ReadOutcome {
+                first_miss: Some(true),
+                l2_hit,
+            },
+        )
     }
 
     /// A data write: write-through with no allocation and no recency
@@ -296,7 +345,8 @@ mod tests {
 
     fn rd(h: &mut HierarchyCaches, addr: u32, kind: AccessKind) -> (u64, Option<bool>) {
         let mut stats = MemStats::default();
-        h.read(addr, kind, AccessWidth::Half, &mut stats)
+        let (cyc, out) = h.read(addr, kind, AccessWidth::Half, &mut stats);
+        (cyc, out.first_miss)
     }
 
     #[test]
@@ -346,7 +396,7 @@ mod tests {
         let mut stats = MemStats::default();
         assert_eq!(
             h.read(A, AccessKind::Read, AccessWidth::Word, &mut stats),
-            (14, None)
+            (14, ReadOutcome::BYPASS)
         );
         assert_eq!(stats.cache_hits + stats.cache_misses, 0);
     }

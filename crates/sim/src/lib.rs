@@ -41,7 +41,7 @@ pub mod profile;
 pub mod trace;
 
 pub use cache::{CacheConfig, CacheScope, Replacement};
-pub use hierarchy::HierarchyCaches;
+pub use hierarchy::{HierarchyCaches, ReadOutcome};
 pub use machine::{simulate, ExitReason, SimOptions, SimResult};
 pub use memsys::{AccessKind, MemStats};
 pub use profile::{InsnStat, Profile, SymbolProfile};

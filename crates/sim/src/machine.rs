@@ -262,28 +262,43 @@ impl Machine {
     }
 
     fn fetch(&mut self, pc: u32, insn_pc: u32) -> Result<u16, SimError> {
-        let (v, cyc, miss) = self
+        let (v, cyc, outcome) = self
             .mem
             .read(pc, pc, AccessWidth::Half, AccessKind::Fetch)?;
         self.cycles += cyc;
         if self.profile_on {
             self.profile.record_fetch(pc);
         }
-        if self.stats_on && miss == Some(true) {
-            self.stat(insn_pc).fetch_misses += 1;
+        if self.stats_on {
+            self.record_fetch_outcome(insn_pc, outcome);
         }
         Ok(v as u16)
     }
 
     /// Fetch timing for a predecoded halfword (no value materialisation).
     fn fetch_timed(&mut self, pc: u32, insn_pc: u32) {
-        let (cyc, miss) = self.mem.fetch_timing(pc);
+        let (cyc, outcome) = self.mem.fetch_timing(pc);
         self.cycles += cyc;
         if self.profile_on {
             self.profile.record_fetch(pc);
         }
-        if self.stats_on && miss == Some(true) {
-            self.stat(insn_pc).fetch_misses += 1;
+        if self.stats_on {
+            self.record_fetch_outcome(insn_pc, outcome);
+        }
+    }
+
+    fn record_fetch_outcome(&mut self, insn_pc: u32, outcome: crate::hierarchy::ReadOutcome) {
+        if outcome.first_miss.is_none() && outcome.l2_hit.is_none() {
+            return; // Bypassed the caches: nothing to attribute.
+        }
+        let s = self.stat(insn_pc);
+        match outcome.first_miss {
+            Some(true) => s.fetch_misses += 1,
+            Some(false) => s.fetch_hits += 1,
+            None => {}
+        }
+        if outcome.l2_hit == Some(false) {
+            s.fetch_l2_misses += 1;
         }
     }
 
@@ -292,7 +307,7 @@ impl Machine {
     }
 
     fn data_read(&mut self, insn_pc: u32, addr: u32, width: AccessWidth) -> Result<u32, SimError> {
-        let (v, cyc, miss) = self.mem.read(insn_pc, addr, width, AccessKind::Read)?;
+        let (v, cyc, outcome) = self.mem.read(insn_pc, addr, width, AccessKind::Read)?;
         self.cycles += cyc;
         if self.profile_on {
             self.profile.record_read(addr, width);
@@ -300,8 +315,13 @@ impl Machine {
         if self.stats_on {
             let s = self.stat(insn_pc);
             s.data_accesses += 1;
-            if miss == Some(true) {
-                s.data_misses += 1;
+            match outcome.first_miss {
+                Some(true) => s.data_misses += 1,
+                Some(false) => s.data_hits += 1,
+                None => {}
+            }
+            if outcome.l2_hit == Some(false) {
+                s.data_l2_misses += 1;
             }
         }
         Ok(v)

@@ -1,6 +1,6 @@
 //! The memory system: region timing, the cache hierarchy, MMIO, statistics.
 
-use crate::hierarchy::HierarchyCaches;
+use crate::hierarchy::{HierarchyCaches, ReadOutcome};
 use crate::SimError;
 use spmlab_isa::hierarchy::MemHierarchyConfig;
 use spmlab_isa::mem::{
@@ -185,10 +185,10 @@ impl MemSystem {
         &self.caches
     }
 
-    /// Performs a read or fetch. Returns `(value, cycles, was_miss)`.
-    /// `was_miss` reports the *first-level* outcome and is `None` when the
-    /// access bypassed the caches (scratchpad, MMIO, or no cache configured
-    /// for its kind).
+    /// Performs a read or fetch. Returns `(value, cycles, outcome)`;
+    /// [`ReadOutcome`] reports the per-level result (`BYPASS` when the
+    /// access bypassed the caches entirely — scratchpad, MMIO, or no cache
+    /// configured for its kind).
     ///
     /// # Errors
     ///
@@ -199,7 +199,7 @@ impl MemSystem {
         addr: u32,
         width: AccessWidth,
         kind: AccessKind,
-    ) -> Result<(u32, u64, Option<bool>), SimError> {
+    ) -> Result<(u32, u64, ReadOutcome), SimError> {
         if !addr.is_multiple_of(width.bytes()) {
             return Err(SimError::Fault {
                 pc,
@@ -225,7 +225,7 @@ impl MemSystem {
                     }
                     _ => 0,
                 };
-                Ok((v, 1, None))
+                Ok((v, 1, ReadOutcome::BYPASS))
             }
             RegionKind::Main => {
                 let off = (addr - self.map.main_base) as usize;
@@ -237,8 +237,8 @@ impl MemSystem {
                 if let Some(r) = &mut self.recorder {
                     r.record_read(addr, kind, width);
                 }
-                let (cycles, miss) = self.caches.read(addr, kind, width, &mut self.stats);
-                Ok((value, cycles, miss))
+                let (cycles, outcome) = self.caches.read(addr, kind, width, &mut self.stats);
+                Ok((value, cycles, outcome))
             }
             RegionKind::Scratchpad => {
                 // Scratchpad: single-cycle, never cached.
@@ -248,7 +248,7 @@ impl MemSystem {
                     addr,
                     what: "unmapped read",
                 })?;
-                Ok((value, 1, None))
+                Ok((value, 1, ReadOutcome::BYPASS))
             }
             RegionKind::Unmapped => Err(SimError::Fault {
                 pc,
@@ -263,7 +263,7 @@ impl MemSystem {
     /// cycle charging and counters to [`MemSystem::read`], minus the value
     /// load. Only called for addresses proven mapped when the instruction
     /// was first decoded.
-    pub fn fetch_timing(&mut self, addr: u32) -> (u64, Option<bool>) {
+    pub fn fetch_timing(&mut self, addr: u32) -> (u64, ReadOutcome) {
         let region = self.map.region_of(addr);
         self.stats.bump(region, AccessWidth::Half);
         if region == RegionKind::Main {
@@ -275,7 +275,7 @@ impl MemSystem {
         } else {
             // Scratchpad-resident code: single-cycle, never cached. (MMIO
             // is never predecoded — load regions cover main/spm only.)
-            (1, None)
+            (1, ReadOutcome::BYPASS)
         }
     }
 
@@ -370,7 +370,7 @@ mod tests {
             .unwrap();
         assert_eq!(v, 0x04030201);
         assert_eq!(cyc, 4);
-        assert_eq!(miss, None);
+        assert_eq!(miss, ReadOutcome::BYPASS);
         let (_, cyc, _) = m
             .read(0, MAIN_BASE, AccessWidth::Half, AccessKind::Fetch)
             .unwrap();
@@ -386,11 +386,11 @@ mod tests {
         let (_, cyc, miss) = m
             .read(0, MAIN_BASE, AccessWidth::Half, AccessKind::Fetch)
             .unwrap();
-        assert_eq!((cyc, miss), (17, Some(true)));
+        assert_eq!((cyc, miss.first_miss), (17, Some(true)));
         let (_, cyc, miss) = m
             .read(0, MAIN_BASE + 2, AccessWidth::Half, AccessKind::Fetch)
             .unwrap();
-        assert_eq!((cyc, miss), (1, Some(false)), "same line hits");
+        assert_eq!((cyc, miss.first_miss), (1, Some(false)), "same line hits");
         assert_eq!(m.stats.cache_hits, 1);
         assert_eq!(m.stats.cache_misses, 1);
         assert_eq!(m.stats.fill_words, 4);
@@ -406,7 +406,7 @@ mod tests {
         let (_, cyc, miss) = m
             .read(0, MAIN_BASE, AccessWidth::Word, AccessKind::Read)
             .unwrap();
-        assert_eq!((cyc, miss), (4, None));
+        assert_eq!((cyc, miss), (4, ReadOutcome::BYPASS));
         let (_, cyc, _) = m
             .read(0, MAIN_BASE, AccessWidth::Half, AccessKind::Fetch)
             .unwrap();
@@ -426,7 +426,7 @@ mod tests {
         let (v, cyc, miss) = m
             .read(0, MAIN_BASE + 8, AccessWidth::Word, AccessKind::Read)
             .unwrap();
-        assert_eq!((v, cyc, miss), (0xAABBCCDD, 17, Some(true)));
+        assert_eq!((v, cyc, miss.first_miss), (0xAABBCCDD, 17, Some(true)));
     }
 
     #[test]

@@ -30,16 +30,31 @@ impl SymbolProfile {
 }
 
 /// Per-instruction dynamic statistics.
+///
+/// The hit/miss counters report the outcome at the *first* cache level in
+/// each access's path; the `*_l2_misses` counters report the outcome of
+/// L2 consultations (accesses that continued past their L1, or L1-less
+/// traffic with an L2 configured). Together they let the soundness suite
+/// check every static classification kind: always-hit ⇒ zero misses,
+/// L1-always-miss ⇒ zero hits, guaranteed-L2-hit ⇒ zero L2 misses.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct InsnStat {
     /// Times the instruction executed.
     pub execs: u64,
+    /// Instruction-fetch first-level hits (cache configs only).
+    pub fetch_hits: u64,
     /// Instruction-fetch misses attributed to it (cache configs only).
     pub fetch_misses: u64,
+    /// Fetches that consulted the L2 and missed it.
+    pub fetch_l2_misses: u64,
     /// Data accesses it performed.
     pub data_accesses: u64,
+    /// Data-read first-level hits (cached reads only).
+    pub data_hits: u64,
     /// Data-access misses (cached reads only).
     pub data_misses: u64,
+    /// Data reads that consulted the L2 and missed it.
+    pub data_l2_misses: u64,
 }
 
 /// Sentinel for "no symbol" in the dense attribution table.

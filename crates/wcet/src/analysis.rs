@@ -35,6 +35,19 @@ pub struct WcetConfig {
     /// penalty — the baseline the monotonicity sanity checks compare
     /// against.
     pub l2_must_analysis: bool,
+    /// Run the cold-start MAY analysis (hierarchy path only): accesses
+    /// absent from their L1 MAY state are classified Always-Miss, the
+    /// Hardy–Puaut `A` filter that lets the L2 MUST analysis classify hits
+    /// behind an L1. When false every non-AH access is Not-Classified.
+    pub may_analysis: bool,
+    /// Thread abstract states across the call graph (hierarchy path
+    /// only): functions are analyzed in call-graph reverse-postorder and
+    /// each function's fixpoint starts from the join of its callers'
+    /// states at the call sites instead of the conservative TOP. The
+    /// program entry starts from the cold-boot state; functions with no
+    /// recorded caller (and everything when this is false) fall back to
+    /// TOP.
+    pub interprocedural: bool,
 }
 
 impl WcetConfig {
@@ -46,6 +59,8 @@ impl WcetConfig {
             persistence: false,
             auto_loop_bounds: true,
             l2_must_analysis: true,
+            may_analysis: true,
+            interprocedural: true,
         }
     }
 
@@ -89,6 +104,19 @@ impl WcetConfig {
     pub fn with_hierarchy_l1_only(hierarchy: MemHierarchyConfig) -> WcetConfig {
         WcetConfig {
             l2_must_analysis: false,
+            ..WcetConfig::with_hierarchy(hierarchy)
+        }
+    }
+
+    /// The pre-MAY baseline: per-function TOP entry states and no MAY
+    /// analysis — exactly the analysis this toolchain ran before the
+    /// interprocedural Hardy–Puaut upgrade. Upper-bounds
+    /// [`WcetConfig::with_hierarchy`] at every program point (the
+    /// `multilevel-precision` experiment quantifies by how much).
+    pub fn with_hierarchy_baseline(hierarchy: MemHierarchyConfig) -> WcetConfig {
+        WcetConfig {
+            may_analysis: false,
+            interprocedural: false,
             ..WcetConfig::with_hierarchy(hierarchy)
         }
     }
@@ -195,6 +223,77 @@ pub fn analyze(
     let mut per_function = Vec::with_capacity(order.len());
     let mut classification = cache::Classification::default();
 
+    // Hierarchy path, pass 0 — interprocedural call summaries in
+    // call-graph topological order (callees first): each function's
+    // footprint / definite-access interference record and TOP-entry exit
+    // MUST states, folding in the summaries of everything it calls.
+    let summaries: BTreeMap<u32, multilevel::CallSummary> = match &config.hierarchy {
+        Some(hierarchy) if config.interprocedural => {
+            let mut summaries = BTreeMap::new();
+            for &faddr in &order {
+                let ctx = MultiCtx {
+                    hierarchy,
+                    map: &exe.memory_map,
+                    annot: &annot,
+                    l2_analysis: config.l2_must_analysis,
+                    may_analysis: config.may_analysis,
+                    summaries: Some(&summaries),
+                };
+                let s = multilevel::summarize_function(&cfgs[&faddr], &ctx);
+                summaries.insert(faddr, s);
+            }
+            summaries
+        }
+        _ => BTreeMap::new(),
+    };
+
+    // Hierarchy path, pass A — abstract-state fixpoints in call-graph
+    // reverse-postorder (callers first): each function's entry state is
+    // the join of its callers' states at the call sites, the program
+    // entry starts cold (empty caches at boot), and functions with no
+    // recorded caller fall back to the conservative TOP. The costing pass
+    // below (callees first, because it needs callee WCET bounds) then
+    // reuses the converged in-states.
+    let hierarchy_states: BTreeMap<u32, BTreeMap<u32, MultiState>> =
+        if let Some(hierarchy) = &config.hierarchy {
+            let ctx = MultiCtx {
+                hierarchy,
+                map: &exe.memory_map,
+                annot: &annot,
+                l2_analysis: config.l2_must_analysis,
+                may_analysis: config.may_analysis,
+                summaries: config.interprocedural.then_some(&summaries),
+            };
+            let mut entries: BTreeMap<u32, MultiState> = BTreeMap::new();
+            let mut states = BTreeMap::new();
+            for &faddr in order.iter().rev() {
+                let cfg = &cfgs[&faddr];
+                let entry = if !config.interprocedural {
+                    MultiState::top(&ctx)
+                } else if faddr == entry_addr {
+                    // Cold boot: MUST empty *and* MAY empty — every first
+                    // touch is a provable Always-Miss.
+                    let mut e = MultiState::cold(&ctx);
+                    if let Some(recorded) = entries.remove(&faddr) {
+                        e.join_into(&recorded);
+                    }
+                    e
+                } else {
+                    entries
+                        .remove(&faddr)
+                        .unwrap_or_else(|| MultiState::top(&ctx))
+                };
+                let in_states = multilevel::must_fixpoint(cfg, &ctx, entry);
+                if config.interprocedural {
+                    multilevel::propagate_entry_states(cfg, &in_states, &ctx, &mut entries);
+                }
+                states.insert(faddr, in_states);
+            }
+            states
+        } else {
+            BTreeMap::new()
+        };
+
     for &faddr in &order {
         let cfg = &cfgs[&faddr];
         let loops = natural_loops(cfg)?;
@@ -207,8 +306,10 @@ pub fn analyze(
                 map: &exe.memory_map,
                 annot: &annot,
                 l2_analysis: config.l2_must_analysis,
+                may_analysis: config.may_analysis,
+                summaries: config.interprocedural.then_some(&summaries),
             };
-            let in_states = multilevel::must_fixpoint(cfg, &ctx);
+            let in_states = &hierarchy_states[&faddr];
             let top = MultiState::top(&ctx);
             let costs: BTreeMap<u32, u64> = cfg
                 .blocks

@@ -314,6 +314,72 @@ impl AbstractCache {
         self.occ.iter().map(|&n| n as usize).sum()
     }
 
+    /// Applies the worst-case interference of a called function to this
+    /// MUST state: every guaranteed line ages by the number of *distinct*
+    /// conflicting lines the callee may load into its set (`footprint`),
+    /// dropping out at `assoc`; a set with an unbounded footprint loses
+    /// everything; under non-LRU replacement any possible conflicting
+    /// access may evict, so a single conflict clears the line. The
+    /// callee's own exit guarantees (`exit_must`, computed from a TOP
+    /// entry so they hold in any context) are then unioned in with
+    /// minimum age — both bounds are valid upper bounds on the true age.
+    pub fn apply_call(
+        &mut self,
+        footprint: &MayCache,
+        exit_must: Option<&AbstractCache>,
+        lru: bool,
+    ) {
+        debug_assert_eq!(self.occ.len(), footprint.occ.len(), "geometry mismatch");
+        let a = self.assoc as usize;
+        for set in 0..self.occ.len() {
+            let base = set * a;
+            let n = self.occ[set] as usize;
+            if n > 0 {
+                if footprint.top[set] {
+                    self.occ[set] = 0;
+                } else {
+                    let fbase = set * footprint.cap as usize;
+                    let ftags = &footprint.tags[fbase..fbase + footprint.occ[set] as usize];
+                    let mut w = 0usize;
+                    for r in 0..n {
+                        let t = self.tags[base + r];
+                        let conflicts = ftags.iter().filter(|&&x| x != t).count();
+                        if lru {
+                            let g2 = self.ages[base + r] as usize + conflicts;
+                            if g2 < a {
+                                self.tags[base + w] = t;
+                                self.ages[base + w] = g2 as u16;
+                                w += 1;
+                            }
+                        } else if conflicts == 0 {
+                            self.tags[base + w] = t;
+                            self.ages[base + w] = self.ages[base + r];
+                            w += 1;
+                        }
+                    }
+                    self.occ[set] = w as u16;
+                }
+            }
+            if let Some(em) = exit_must {
+                let en = em.occ[set] as usize;
+                for r in 0..en {
+                    let t = em.tags[base + r];
+                    let g = em.ages[base + r];
+                    let n = self.occ[set] as usize;
+                    match self.tags[base..base + n].iter().position(|&x| x == t) {
+                        Some(p) => self.ages[base + p] = self.ages[base + p].min(g),
+                        None if n < a => {
+                            self.tags[base + n] = t;
+                            self.ages[base + n] = g;
+                            self.occ[set] = (n + 1) as u16;
+                        }
+                        None => {}
+                    }
+                }
+            }
+        }
+    }
+
     /// Canonical per-set `(tag, age)` listing, sorted by tag — the shape
     /// the differential tests compare against the reference model.
     #[cfg(test)]
@@ -329,6 +395,374 @@ impl AbstractCache {
                     .collect();
                 v.sort_unstable();
                 v
+            })
+            .collect()
+    }
+}
+
+/// The abstract MAY cache — the dual of [`AbstractCache`], packed the same
+/// way for the analyzer's hot path.
+///
+/// Where the MUST cache under-approximates (a line in the state is
+/// *guaranteed* present, ages are upper bounds), the MAY cache
+/// over-approximates: a line **absent** from a set is *guaranteed not* in
+/// the concrete cache on any path reaching the program point, and ages are
+/// **lower** bounds. That absence is exactly the Hardy–Puaut **Always-Miss**
+/// classification: an access whose line is MAY-absent from its L1 can never
+/// hit there, so it *always* continues to the next level (cache access
+/// classification `A`), which in turn lets the L2 MUST analysis take the
+/// *certain* update and prove L2 hits behind an L1.
+///
+/// Lattice: bigger = more lines possible, with smaller ages. The join is
+/// **union with minimum age** (any merged path's contents remain possible);
+/// the analysis start state at program boot is [`MayCache::cold`] — the
+/// empty state, because the hardware powers up with every line invalid —
+/// and the conservative element is [`MayCache::top`], "anything may be
+/// cached", used after calls into unanalyzed context and as the safe
+/// fallback.
+///
+/// Representation: the same flat strided slot store as the MUST domain,
+/// except that a MAY set can hold *more* than `assoc` candidate lines (the
+/// union join accumulates lines from different paths), so each set owns
+/// `cap ≥ assoc` slots plus a `top` flag; any operation that would overflow
+/// the stride widens the set to `top`, which is always sound and only
+/// costs precision. The `BTreeMap` reference model lives in
+/// [`reference`] (`#[cfg(test)]`) and the proptest differential suite
+/// drives both through random operation sequences.
+///
+/// ```
+/// use spmlab_isa::cachecfg::CacheConfig;
+/// use spmlab_wcet::cache::MayCache;
+///
+/// let cfg = CacheConfig::unified(64); // direct-mapped, 16-byte lines
+/// let mut may = MayCache::cold(&cfg);
+/// assert!(!may.contains(0x0010_0000), "cold caches hold nothing");
+/// may.access_read_exact(0x0010_0000, true);
+/// assert!(may.contains(0x0010_0000));
+/// // A definite access to a conflicting line evicts it from the
+/// // direct-mapped MAY state: the next access is a provable Always-Miss.
+/// may.access_read_exact(0x0010_0040, true);
+/// assert!(!may.contains(0x0010_0000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MayCache {
+    assoc: u16,
+    /// Slots per set (`>= assoc`); overflowing a stride widens to `top`.
+    cap: u16,
+    idx: spmlab_isa::cachecfg::SetIndexer,
+    /// Slot tags, `cap`-strided per set.
+    tags: Vec<u32>,
+    /// Lower age bound per slot (0 = may be most recently used).
+    ages: Vec<u16>,
+    /// Occupied slot count per set (meaningless while `top`).
+    occ: Vec<u16>,
+    /// Per-set "anything may be cached" flag.
+    top: Vec<bool>,
+}
+
+/// Extra slots beyond `assoc` a MAY set keeps before widening to `top`;
+/// sized so whole-function footprints (the interprocedural call
+/// summaries) and ordinary join fan-in stay representable for the
+/// benchmark suite's code sizes.
+const MAY_EXTRA_SLOTS: u16 = 24;
+
+/// Equality is per-set *set* equality plus the `top` flags (slot order is
+/// an implementation artifact, and ages are ignored for `top` sets).
+impl PartialEq for MayCache {
+    fn eq(&self, other: &MayCache) -> bool {
+        self.assoc == other.assoc && self.dump() == other.dump()
+    }
+}
+
+impl Eq for MayCache {}
+
+impl MayCache {
+    fn with_tops(cfg: &CacheConfig, top: bool) -> MayCache {
+        let idx = cfg.indexer();
+        let assoc = cfg.assoc.min(u16::MAX as u32) as u16;
+        let cap = assoc.saturating_add(MAY_EXTRA_SLOTS);
+        let sets = idx.num_sets() as usize;
+        MayCache {
+            assoc,
+            cap,
+            idx,
+            tags: vec![0; sets * cap as usize],
+            ages: vec![0; sets * cap as usize],
+            occ: vec![0; sets],
+            top: vec![top; sets],
+        }
+    }
+
+    /// The boot state: every line invalid, so *nothing* may be cached.
+    pub fn cold(cfg: &CacheConfig) -> MayCache {
+        MayCache::with_tops(cfg, false)
+    }
+
+    /// The conservative state: anything may be cached (no Always-Miss can
+    /// be proven anywhere).
+    pub fn top(cfg: &CacheConfig) -> MayCache {
+        MayCache::with_tops(cfg, true)
+    }
+
+    /// Whether the line holding `addr` *may* be present. `false` is the
+    /// proof: the line is definitely not cached (Always-Miss).
+    pub fn contains(&self, addr: u32) -> bool {
+        let (set, tag) = self.idx.set_and_tag(addr);
+        if self.top[set as usize] {
+            return true;
+        }
+        let base = set as usize * self.cap as usize;
+        self.tags[base..base + self.occ[set as usize] as usize].contains(&tag)
+    }
+
+    fn widen_set(&mut self, set: usize) {
+        self.top[set] = true;
+        self.occ[set] = 0;
+    }
+
+    /// An exact-address read that definitely occurs: returns whether the
+    /// line *may* have been present before, then applies the concrete
+    /// update's best case. Under LRU the accessed line moves to age 0 and
+    /// every line whose lower bound is ≤ the accessed line's old bound
+    /// ages by one (it *may* stay put only if it was already older), so
+    /// lines reaching `assoc` are definitely evicted. Under random /
+    /// round-robin no line can ever be proven evicted, so lines only
+    /// accumulate (until the stride widens to `top`).
+    pub fn access_read_exact(&mut self, addr: u32, lru: bool) -> bool {
+        let (set, tag) = self.idx.set_and_tag(addr);
+        let set = set as usize;
+        if self.top[set] {
+            return true;
+        }
+        let assoc = self.assoc;
+        let base = set * self.cap as usize;
+        let n = self.occ[set] as usize;
+        let hit_age = self.tags[base..base + n]
+            .iter()
+            .position(|&t| t == tag)
+            .map(|p| self.ages[base + p]);
+        let mut w = 0usize;
+        for r in 0..n {
+            let t = self.tags[base + r];
+            if t == tag {
+                continue; // Reinserted at age 0 below.
+            }
+            let mut g = self.ages[base + r];
+            if lru {
+                // Shift iff the line may be younger-or-equal to the
+                // accessed one (g ≤ its old lower bound); a definite miss
+                // (hit_age None) shifts everyone.
+                if hit_age.is_none_or(|ha| g <= ha) {
+                    g += 1;
+                }
+                if g >= assoc {
+                    continue; // Definitely evicted even in the best case.
+                }
+            }
+            self.tags[base + w] = t;
+            self.ages[base + w] = g;
+            w += 1;
+        }
+        if w >= self.cap as usize {
+            self.widen_set(set);
+            return hit_age.is_some();
+        }
+        self.tags[base + w] = tag;
+        self.ages[base + w] = 0;
+        self.occ[set] = (w + 1) as u16;
+        hit_age.is_some()
+    }
+
+    /// The *uncertain* read update `join(s, update(s))` — for an access
+    /// that may or may not occur. In the MAY domain the join takes minimum
+    /// ages, so every existing line keeps its (smaller) pre-access bound
+    /// and the accessed line is simply inserted/promoted to age 0. Returns
+    /// whether the line may have been present before.
+    pub fn access_read_uncertain(&mut self, addr: u32) -> bool {
+        let (set, tag) = self.idx.set_and_tag(addr);
+        let set = set as usize;
+        if self.top[set] {
+            return true;
+        }
+        let base = set * self.cap as usize;
+        let n = self.occ[set] as usize;
+        match self.tags[base..base + n].iter().position(|&t| t == tag) {
+            Some(p) => {
+                self.ages[base + p] = 0;
+                true
+            }
+            None => {
+                if n >= self.cap as usize {
+                    self.widen_set(set);
+                } else {
+                    self.tags[base + n] = tag;
+                    self.ages[base + n] = 0;
+                    self.occ[set] = (n + 1) as u16;
+                }
+                false
+            }
+        }
+    }
+
+    /// A possible read somewhere in `[lo, hi)`: any line of the range may
+    /// now be cached, so every candidate set widens to `top`.
+    pub fn weaken_range(&mut self, lo: u32, hi: u32) {
+        if hi <= lo {
+            return;
+        }
+        let num_sets = self.idx.num_sets();
+        let first_line = self.idx.line_of(lo);
+        let last_line = self.idx.line_of(hi - 1);
+        if (last_line - first_line) as u64 + 1 >= num_sets as u64 {
+            self.make_top();
+            return;
+        }
+        let mut line = first_line;
+        loop {
+            self.widen_set((line % num_sets) as usize);
+            if line == last_line {
+                break;
+            }
+            line += 1;
+        }
+    }
+
+    /// Forgets every impossibility: anything may be cached (function-call
+    /// clobber — the dual of the MUST domain's `clear`).
+    pub fn make_top(&mut self) {
+        self.top.iter_mut().for_each(|t| *t = true);
+        self.occ.fill(0);
+    }
+
+    /// Records that the line holding `addr` may be (or definitely is)
+    /// loaded at some point — used to build the call summaries' footprint
+    /// and definite-access sets. Equivalent to an uncertain access.
+    pub fn add_line(&mut self, addr: u32) {
+        self.access_read_uncertain(addr);
+    }
+
+    /// In-place join `self ← self ⊔ other`: per-set union with minimum
+    /// age; `top` absorbs. Returns whether `self` changed.
+    pub fn join_into(&mut self, other: &MayCache) -> bool {
+        debug_assert_eq!(self.assoc, other.assoc, "geometry mismatch in join");
+        debug_assert_eq!(self.occ.len(), other.occ.len(), "geometry mismatch");
+        let cap = self.cap as usize;
+        let mut changed = false;
+        for set in 0..self.occ.len() {
+            if self.top[set] {
+                continue; // Already everything.
+            }
+            if other.top[set] {
+                self.widen_set(set);
+                changed = true;
+                continue;
+            }
+            let base = set * cap;
+            let on = other.occ[set] as usize;
+            for r in 0..on {
+                if self.top[set] {
+                    break;
+                }
+                let t = other.tags[base + r];
+                let g = other.ages[base + r];
+                let n = self.occ[set] as usize;
+                match self.tags[base..base + n].iter().position(|&x| x == t) {
+                    Some(p) => {
+                        if g < self.ages[base + p] {
+                            self.ages[base + p] = g;
+                            changed = true;
+                        }
+                    }
+                    None => {
+                        if n >= cap {
+                            self.widen_set(set);
+                        } else {
+                            self.tags[base + n] = t;
+                            self.ages[base + n] = g;
+                            self.occ[set] = (n + 1) as u16;
+                        }
+                        changed = true;
+                    }
+                }
+            }
+        }
+        changed
+    }
+
+    /// Applies the worst-case interference of a called function to this
+    /// MAY state: every surviving candidate line's lower age bound is
+    /// raised to the number of *distinct* lines the callee **definitely**
+    /// accesses in its set (each of which is younger than the candidate
+    /// at exit, or evicted it along the way), dropping candidates that
+    /// reach `assoc`; then everything the callee *may* load (`footprint`)
+    /// becomes possible via the union join. Under non-LRU replacement
+    /// definite accesses never prove eviction, so ages are left alone.
+    ///
+    /// The raise is `max(age, definite)` rather than `age + definite`: a
+    /// definitely-accessed line may already have been among the ones
+    /// younger than the candidate, so the two counts cannot be summed.
+    pub fn apply_call(&mut self, definite: &MayCache, footprint: &MayCache, lru: bool) {
+        debug_assert_eq!(self.occ.len(), definite.occ.len(), "geometry mismatch");
+        let assoc = self.assoc as usize;
+        let cap = self.cap as usize;
+        if lru {
+            for set in 0..self.occ.len() {
+                if self.top[set] {
+                    continue;
+                }
+                let n = self.occ[set] as usize;
+                if n == 0 {
+                    continue;
+                }
+                let base = set * cap;
+                let dtop = definite.top[set];
+                let dbase = set * definite.cap as usize;
+                let dtags = if dtop {
+                    &[][..]
+                } else {
+                    &definite.tags[dbase..dbase + definite.occ[set] as usize]
+                };
+                let mut w = 0usize;
+                for r in 0..n {
+                    let t = self.tags[base + r];
+                    // A widened definite set recorded more distinct lines
+                    // than the stride holds — certainly enough to evict.
+                    let d = if dtop {
+                        assoc
+                    } else {
+                        dtags.iter().filter(|&&x| x != t).count()
+                    };
+                    let g2 = (self.ages[base + r] as usize).max(d);
+                    if g2 < assoc {
+                        self.tags[base + w] = t;
+                        self.ages[base + w] = g2 as u16;
+                        w += 1;
+                    }
+                }
+                self.occ[set] = w as u16;
+            }
+        }
+        self.join_into(footprint);
+    }
+
+    /// Canonical per-set listing: `None` for a `top` set, otherwise the
+    /// `(tag, age)` pairs sorted by tag — the shape the differential tests
+    /// compare against the reference model (also used by `PartialEq`).
+    fn dump(&self) -> Vec<Option<Vec<(u32, u16)>>> {
+        let cap = self.cap as usize;
+        self.occ
+            .iter()
+            .enumerate()
+            .map(|(set, &n)| {
+                if self.top[set] {
+                    return None;
+                }
+                let base = set * cap;
+                let mut v: Vec<(u32, u16)> = (0..n as usize)
+                    .map(|r| (self.tags[base + r], self.ages[base + r]))
+                    .collect();
+                v.sort_unstable();
+                Some(v)
             })
             .collect()
     }
@@ -388,6 +822,7 @@ pub fn must_fixpoint(cfg: &FuncCfg, ctx: &CacheCtx) -> BTreeMap<u32, AbstractCac
     crate::fixpoint::must_fixpoint(
         cfg,
         || AbstractCache::top(ctx.cache),
+        AbstractCache::top(ctx.cache),
         AbstractCache::join_into,
         |s, block| transfer_block(s, block, ctx),
         64 * ctx.cache.assoc as usize,
@@ -395,6 +830,15 @@ pub fn must_fixpoint(cfg: &FuncCfg, ctx: &CacheCtx) -> BTreeMap<u32, AbstractCac
 }
 
 /// Classification statistics for one function.
+///
+/// The multi-level analysis buckets every access by its L1 cache-hit/miss
+/// classification (CHMC): **Always-Hit** (`fetch_hits`/`data_hits`),
+/// **Always-Miss** (`fetch_always_miss`/`data_always_miss`, proven by the
+/// MAY analysis), or **Not-Classified** (`*_unclassified`). `l2_hits`
+/// counts the accesses that continue past the L1 (Always-Miss or
+/// Not-Classified at L1, or L1-less traffic) whose line is additionally
+/// *guaranteed* in the L2 — the classifications the Hardy–Puaut filter
+/// exists to recover.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ClassifyStats {
     /// Fetches classified always-hit.
@@ -407,7 +851,12 @@ pub struct ClassifyStats {
     pub data_unclassified: u64,
     /// Accesses classified persistent (first-miss).
     pub persistent: u64,
-    /// Accesses not classifiable at L1 but guaranteed to hit the L2
+    /// Fetches proven Always-Miss at their L1 by the MAY analysis
+    /// (multi-level analyses only) — these *certainly* access the L2.
+    pub fetch_always_miss: u64,
+    /// Data reads proven Always-Miss at their L1.
+    pub data_always_miss: u64,
+    /// Accesses continuing past the L1 that are guaranteed to hit the L2
     /// (multi-level analyses only).
     pub l2_hits: u64,
 }
@@ -420,6 +869,8 @@ impl ClassifyStats {
         self.data_hits += o.data_hits;
         self.data_unclassified += o.data_unclassified;
         self.persistent += o.persistent;
+        self.fetch_always_miss += o.fetch_always_miss;
+        self.data_always_miss += o.data_always_miss;
         self.l2_hits += o.l2_hits;
     }
 }
@@ -557,16 +1008,40 @@ fn mark_dirty(dirty: &mut [bool], lo: u32, hi: u32, cfg: &CacheConfig) {
     }
 }
 
-/// Per-address classification record: which instruction addresses were
-/// proven *always-hit* by the MUST analysis. The soundness test-suite
-/// checks these against the simulator's per-instruction miss counters —
-/// an always-hit access must never miss in any concrete run.
+/// Per-address classification record: which instruction addresses carry a
+/// *proof* from the abstract analyses. The soundness test-suite checks
+/// every set against the simulator's per-instruction counters:
+///
+/// * `*_always_hit` — MUST proofs: the access can never miss its first
+///   cache level in any concrete run;
+/// * `*_l1_always_miss` — MAY proofs (multi-level analyses only): the
+///   access can never *hit* its L1, so it always continues to the next
+///   level — the Hardy–Puaut Always-Miss filter;
+/// * `*_l2_always_hit` — combined proofs (multi-level analyses only):
+///   whenever the access consults the L2, the line is guaranteed there,
+///   so the access can never miss the L2.
+///
+/// An instruction address enters a set only when *every* access it
+/// performs of that kind carries the proof (e.g. both halfword fetches of
+/// a 32-bit `BL`), which is what makes the per-instruction simulator
+/// counters directly comparable.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Classification {
     /// Instruction addresses whose fetch is always-hit.
     pub fetch_always_hit: BTreeSet<u32>,
     /// Instruction addresses whose (exact-address) data read is always-hit.
     pub data_always_hit: BTreeSet<u32>,
+    /// Instruction addresses whose every fetch is Always-Miss at the L1.
+    pub fetch_l1_always_miss: BTreeSet<u32>,
+    /// Instruction addresses whose every data read is Always-Miss at the
+    /// L1.
+    pub data_l1_always_miss: BTreeSet<u32>,
+    /// Instruction addresses whose every L2-consulting fetch is guaranteed
+    /// to hit the L2.
+    pub fetch_l2_always_hit: BTreeSet<u32>,
+    /// Instruction addresses whose every L2-consulting data read is
+    /// guaranteed to hit the L2.
+    pub data_l2_always_hit: BTreeSet<u32>,
 }
 
 use std::collections::BTreeSet;
@@ -578,6 +1053,14 @@ impl Classification {
             .extend(o.fetch_always_hit.iter().copied());
         self.data_always_hit
             .extend(o.data_always_hit.iter().copied());
+        self.fetch_l1_always_miss
+            .extend(o.fetch_l1_always_miss.iter().copied());
+        self.data_l1_always_miss
+            .extend(o.data_l1_always_miss.iter().copied());
+        self.fetch_l2_always_hit
+            .extend(o.fetch_l2_always_hit.iter().copied());
+        self.data_l2_always_hit
+            .extend(o.data_l2_always_hit.iter().copied());
     }
 }
 
@@ -881,6 +1364,154 @@ pub(crate) mod reference {
                 .collect()
         }
     }
+
+    /// The reference MAY cache: per set, either `Top` (anything may be
+    /// cached) or tag → minimal age. The executable specification the
+    /// packed [`super::MayCache`] is differentially tested against; it
+    /// mirrors the packed domain's widening (sets overflowing
+    /// `assoc + MAY_EXTRA_SLOTS` lines go to `Top`) so the two stay
+    /// bit-comparable.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct RefMayCache {
+        assoc: u16,
+        cap: usize,
+        num_sets: u32,
+        line: u32,
+        /// `None` = top.
+        sets: Vec<Option<BTreeMap<u32, u16>>>,
+    }
+
+    impl RefMayCache {
+        pub fn cold(cfg: &CacheConfig) -> RefMayCache {
+            let assoc = cfg.assoc.min(u16::MAX as u32) as u16;
+            RefMayCache {
+                assoc,
+                cap: assoc as usize + super::MAY_EXTRA_SLOTS as usize,
+                num_sets: cfg.num_sets(),
+                line: cfg.line,
+                sets: vec![Some(BTreeMap::new()); cfg.num_sets() as usize],
+            }
+        }
+
+        fn set_of(&self, addr: u32) -> usize {
+            ((addr / self.line) % self.num_sets) as usize
+        }
+
+        fn tag_of(&self, addr: u32) -> u32 {
+            (addr / self.line) / self.num_sets
+        }
+
+        pub fn contains(&self, addr: u32) -> bool {
+            match &self.sets[self.set_of(addr)] {
+                None => true,
+                Some(lines) => lines.contains_key(&self.tag_of(addr)),
+            }
+        }
+
+        pub fn access_read_exact(&mut self, addr: u32, lru: bool) -> bool {
+            let set = self.set_of(addr);
+            let tag = self.tag_of(addr);
+            let (assoc, cap) = (self.assoc, self.cap);
+            let Some(lines) = &mut self.sets[set] else {
+                return true;
+            };
+            let hit_age = lines.get(&tag).copied();
+            if lru {
+                let mut next = BTreeMap::new();
+                for (&t, &g) in lines.iter() {
+                    if t == tag {
+                        continue;
+                    }
+                    // Best case: the line keeps its age only when it may
+                    // already be older than the accessed line.
+                    let g2 = match hit_age {
+                        Some(ha) if g > ha => g,
+                        _ => g + 1,
+                    };
+                    if g2 < assoc {
+                        next.insert(t, g2);
+                    }
+                }
+                *lines = next;
+            } else {
+                lines.remove(&tag);
+            }
+            lines.insert(tag, 0);
+            if lines.len() > cap {
+                self.sets[set] = None;
+            }
+            hit_age.is_some()
+        }
+
+        /// The uncertain update by its *definition*: clone, update, join.
+        pub fn access_read_uncertain(&mut self, addr: u32) -> bool {
+            let before = self.contains(addr);
+            let mut updated = self.clone();
+            updated.access_read_exact(addr, true);
+            // The policy is irrelevant under the min-age join: both
+            // branches keep every pre-access line at its pre-access age
+            // and add the accessed line at 0 — but compute it honestly.
+            *self = self.join(&updated);
+            before
+        }
+
+        pub fn join(&self, other: &RefMayCache) -> RefMayCache {
+            let mut out = self.clone();
+            for (set, (a, b)) in out.sets.iter_mut().zip(&other.sets).enumerate() {
+                let _ = set;
+                let merged = match (a.take(), b) {
+                    (None, _) | (_, None) => None,
+                    (Some(mut m), Some(bl)) => {
+                        for (&t, &g) in bl {
+                            m.entry(t)
+                                .and_modify(|cur| *cur = (*cur).min(g))
+                                .or_insert(g);
+                        }
+                        (m.len() <= self.cap).then_some(m)
+                    }
+                };
+                *a = merged;
+            }
+            out
+        }
+
+        pub fn weaken_range(&mut self, lo: u32, hi: u32) {
+            if hi <= lo {
+                return;
+            }
+            let first_line = lo / self.line;
+            let last_line = (hi - 1) / self.line;
+            if (last_line - first_line) as u64 + 1 >= self.num_sets as u64 {
+                self.make_top();
+                return;
+            }
+            let mut line = first_line;
+            loop {
+                self.sets[(line % self.num_sets) as usize] = None;
+                if line == last_line {
+                    break;
+                }
+                line += 1;
+            }
+        }
+
+        pub fn make_top(&mut self) {
+            for s in &mut self.sets {
+                *s = None;
+            }
+        }
+
+        /// Canonical per-set listing matching the packed domain's.
+        pub fn dump(&self) -> Vec<Option<Vec<(u32, u16)>>> {
+            self.sets
+                .iter()
+                .map(|s| {
+                    s.as_ref()
+                        .map(|lines| lines.iter().map(|(&t, &g)| (t, g)).collect())
+                })
+                .collect()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -981,6 +1612,86 @@ mod tests {
     }
 
     #[test]
+    fn may_cold_start_gives_always_miss_then_possible_hit() {
+        let cfg = CacheConfig::unified(64);
+        let mut m = MayCache::cold(&cfg);
+        assert!(!m.contains(0x0010_0000), "boot: provable Always-Miss");
+        assert!(!m.access_read_exact(0x0010_0000, true));
+        assert!(m.contains(0x0010_0000), "loaded: may now hit");
+        assert!(m.access_read_exact(0x0010_0004, true), "same line");
+    }
+
+    #[test]
+    fn may_join_is_union_with_min_age() {
+        let cfg = CacheConfig::set_assoc(64, 2, Replacement::Lru);
+        let mut a = MayCache::cold(&cfg);
+        let mut b = MayCache::cold(&cfg);
+        a.access_read_exact(0x100, true); // in a only
+        b.access_read_exact(0x110, true); // in b only (the other set)
+        b.access_read_exact(0x100, true);
+        b.access_read_exact(0x120, true); // ages 0x100 to 1 in b
+        let changed = a.join_into(&b);
+        assert!(changed);
+        assert!(a.contains(0x100) && a.contains(0x110) && a.contains(0x120));
+        // 0x100 keeps the *minimum* age (0 from a), so a later conflicting
+        // access cannot evict it one step early.
+        a.access_read_exact(0x120, true);
+        assert!(a.contains(0x100), "min age 0 + 1 < assoc 2");
+    }
+
+    #[test]
+    fn may_definite_conflicts_evict_direct_mapped_lines() {
+        let cfg = CacheConfig::unified(64); // direct-mapped
+        let mut m = MayCache::cold(&cfg);
+        m.access_read_exact(0x0010_0000, true);
+        m.access_read_exact(0x0010_0040, true); // same set, other tag
+        assert!(!m.contains(0x0010_0000), "definitely evicted");
+        assert!(m.contains(0x0010_0040));
+    }
+
+    #[test]
+    fn may_random_replacement_never_proves_eviction() {
+        let cfg = CacheConfig::set_assoc(64, 2, Replacement::Random { seed: 1 });
+        let mut m = MayCache::cold(&cfg);
+        m.access_read_exact(0x100, false);
+        m.access_read_exact(0x140, false);
+        m.access_read_exact(0x180, false); // 3 lines, one set, 2 ways
+        assert!(
+            m.contains(0x100) && m.contains(0x140) && m.contains(0x180),
+            "any of them may have survived the random evictions"
+        );
+    }
+
+    #[test]
+    fn may_unknown_access_widens_to_top() {
+        let cfg = CacheConfig::unified(64);
+        let mut m = MayCache::cold(&cfg);
+        m.weaken_range(0, u32::MAX);
+        assert!(m.contains(0x0010_0000), "anything may now be cached");
+    }
+
+    #[test]
+    fn may_overflow_widens_only_the_set() {
+        let cfg = CacheConfig::unified(64); // 4 sets, assoc 1, cap 1 + MAY_EXTRA_SLOTS = 25
+        let mut m = MayCache::cold(&cfg);
+        let mut probes = Vec::new();
+        for i in 0..40u32 {
+            // 40 distinct tags, all set 0, via uncertain accesses (which
+            // never evict): overflows the stride.
+            let a = 0x0010_0000 + i * 64;
+            m.access_read_uncertain(a);
+            probes.push(a);
+        }
+        for a in probes {
+            assert!(m.contains(a));
+        }
+        assert!(
+            !m.contains(0x0010_0010),
+            "set 1 untouched: still provably absent"
+        );
+    }
+
+    #[test]
     fn ranged_write_does_not_change_state() {
         let (cache, map, annot) = ctx_parts();
         let ctx = CacheCtx {
@@ -1011,7 +1722,7 @@ mod tests {
 /// 32-byte-line configs, associativities 1–4, all replacement policies).
 #[cfg(test)]
 mod differential {
-    use super::reference::RefCache;
+    use super::reference::{RefCache, RefMayCache};
     use super::*;
     use proptest::prelude::*;
 
@@ -1121,6 +1832,113 @@ mod differential {
                 for probe in [0x0010_0000u32, 0x0010_0040, 0x0010_0800, 0x0010_17F0] {
                     prop_assert_eq!(packed.contains(probe), reference.contains(probe));
                 }
+            }
+        }
+
+        /// The packed MAY domain agrees with its reference model on every
+        /// operation: possible-hit classification and full state
+        /// (including which sets widened to top).
+        #[test]
+        fn packed_may_domain_matches_reference(
+            cfg_bits in any::<u32>(),
+            ops in prop::collection::vec((any::<u8>(), any::<u32>(), any::<u32>()), 1..60),
+        ) {
+            let cfg = decode_config(cfg_bits);
+            let lru = matches!(cfg.replacement, Replacement::Lru);
+            let mut packed = MayCache::cold(&cfg);
+            let mut reference = RefMayCache::cold(&cfg);
+            for (i, &(kind, a, b)) in ops.iter().enumerate() {
+                let op = decode_op(kind, a, b);
+                match op {
+                    Op::Exact(addr) => {
+                        let hp = packed.access_read_exact(addr, lru);
+                        let hr = reference.access_read_exact(addr, lru);
+                        prop_assert_eq!(hp, hr, "may exact mismatch at op {} {:?}", i, op);
+                    }
+                    Op::Uncertain(addr) => {
+                        let hp = packed.access_read_uncertain(addr);
+                        let hr = reference.access_read_uncertain(addr);
+                        prop_assert_eq!(hp, hr, "may uncertain mismatch at op {} {:?}", i, op);
+                    }
+                    Op::WeakenRange(lo, hi) => {
+                        packed.weaken_range(lo, hi);
+                        reference.weaken_range(lo, hi);
+                    }
+                    Op::WeakenAll => {
+                        packed.weaken_range(0, u32::MAX);
+                        reference.weaken_range(0, u32::MAX);
+                    }
+                    Op::Clear => {
+                        // The MAY dual of the call clobber.
+                        packed.make_top();
+                        reference.make_top();
+                    }
+                }
+                prop_assert_eq!(
+                    packed.dump(),
+                    reference.dump(),
+                    "may state diverged after op {} {:?} (cfg {:?})",
+                    i,
+                    op,
+                    &cfg
+                );
+                for probe in [0x0010_0000u32, 0x0010_0040, 0x0010_0800, 0x0010_17F0] {
+                    prop_assert_eq!(packed.contains(probe), reference.contains(probe));
+                }
+            }
+        }
+
+        /// The packed MAY join agrees with the reference join, reports
+        /// change exactly, and — the property the Always-Miss filter's
+        /// soundness rests on — never *loses* a line: anything possible in
+        /// either operand stays possible in the join.
+        #[test]
+        fn packed_may_join_matches_reference(
+            cfg_bits in any::<u32>(),
+            ops_a in prop::collection::vec((any::<u8>(), any::<u32>(), any::<u32>()), 0..30),
+            ops_b in prop::collection::vec((any::<u8>(), any::<u32>(), any::<u32>()), 0..30),
+        ) {
+            let cfg = decode_config(cfg_bits);
+            let lru = matches!(cfg.replacement, Replacement::Lru);
+            let mut pa = MayCache::cold(&cfg);
+            let mut ra = RefMayCache::cold(&cfg);
+            let mut pb = MayCache::cold(&cfg);
+            let mut rb = RefMayCache::cold(&cfg);
+            for &(kind, a, b) in &ops_a {
+                match decode_op(kind, a, b) {
+                    Op::Exact(addr) => {
+                        pa.access_read_exact(addr, lru);
+                        ra.access_read_exact(addr, lru);
+                    }
+                    Op::Uncertain(addr) => {
+                        pa.access_read_uncertain(addr);
+                        ra.access_read_uncertain(addr);
+                    }
+                    _ => {}
+                }
+            }
+            for &(kind, a, b) in &ops_b {
+                if let Op::Exact(addr) = decode_op(kind, a, b) {
+                    pb.access_read_exact(addr, lru);
+                    rb.access_read_exact(addr, lru);
+                }
+            }
+            let before = pa.dump();
+            let changed = pa.join_into(&pb);
+            let joined_ref = ra.join(&rb);
+            prop_assert_eq!(pa.dump(), joined_ref.dump(), "may join diverged");
+            prop_assert_eq!(
+                changed,
+                before != pa.dump(),
+                "may join_into change report must match actual change"
+            );
+            // Union property at a few probes: possible in an operand ⇒
+            // possible in the join.
+            for probe in [0x0010_0000u32, 0x0010_0040, 0x0010_0800] {
+                prop_assert!(
+                    !pb.contains(probe) || pa.contains(probe),
+                    "join lost a possible line at {probe:#x}"
+                );
             }
         }
 

@@ -20,12 +20,17 @@ use crate::cfg::{BasicBlock, FuncCfg};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 
-/// Computes the per-block *in*-states of a forward MUST analysis.
+/// Computes the per-block *in*-states of a forward MUST-style analysis.
 ///
-/// * `top` — the analysis start state (nothing guaranteed), used at the
-///   function entry;
+/// * `top` — the *conservative* state (nothing guaranteed / anything
+///   possible), used for the defensive budget-cap fallback;
+/// * `entry` — the in-state of the function's entry block. Intraprocedural
+///   analyses pass `top()` here; the interprocedural multi-level analysis
+///   passes the join of the caller states at every call site (or the
+///   cold-boot state for the program entry);
 /// * `join_into` — the in-place control-flow merge (in MUST domains:
-///   intersection), returning whether the left state changed;
+///   intersection; in product MUST×MAY domains: per-component), returning
+///   whether the left state changed;
 /// * `transfer` — applies one block's effect to a state;
 /// * `budget_factor` — iterations allowed per block before the solver
 ///   gives up and returns `top` everywhere (a defensive cap; real inputs
@@ -33,9 +38,41 @@ use std::collections::{BTreeMap, BinaryHeap};
 ///
 /// Blocks unreachable from the entry receive no in-state (callers fall
 /// back to `top` for them), exactly like the previous solver.
+///
+/// ```
+/// use spmlab_wcet::fixpoint::must_fixpoint;
+/// # use spmlab_wcet::cfg::{BasicBlock, FuncCfg};
+/// # use std::collections::BTreeMap;
+/// # let block = |start: u32, succs: Vec<u32>| BasicBlock {
+/// #     start, insns: vec![], succs, calls: vec![], is_exit: false,
+/// # };
+/// // A two-block function; the domain is "set of block ids definitely
+/// // traversed", join = intersection — a toy MUST analysis.
+/// let cfg = FuncCfg {
+///     name: "f".into(),
+///     entry: 0,
+///     blocks: BTreeMap::from([(0, block(0, vec![2])), (2, block(2, vec![]))]),
+/// };
+/// use std::collections::BTreeSet;
+/// let states = must_fixpoint(
+///     &cfg,
+///     BTreeSet::new,                         // conservative fallback
+///     BTreeSet::from([99u32]),               // interprocedural entry fact
+///     |a: &mut BTreeSet<u32>, b: &BTreeSet<u32>| {
+///         let n = a.len();
+///         a.retain(|x| b.contains(x));
+///         a.len() != n
+///     },
+///     |s, b| { s.insert(b.start); },
+///     64,
+/// );
+/// assert!(states[&0].contains(&99), "the entry fact reaches the entry block");
+/// assert!(states[&2].contains(&99) && states[&2].contains(&0));
+/// ```
 pub fn must_fixpoint<S, T, J, F>(
     cfg: &FuncCfg,
     top: T,
+    entry: S,
     join_into: J,
     mut transfer: F,
     budget_factor: usize,
@@ -49,7 +86,7 @@ where
     let rpo = crate::loops::reverse_postorder(cfg);
     let index: BTreeMap<u32, usize> = rpo.iter().enumerate().map(|(i, &b)| (b, i)).collect();
     let mut in_states: BTreeMap<u32, S> = BTreeMap::new();
-    in_states.insert(cfg.entry, top());
+    in_states.insert(cfg.entry, entry);
     let mut heap: BinaryHeap<Reverse<usize>> = BinaryHeap::with_capacity(rpo.len());
     let mut queued = vec![false; rpo.len()];
     heap.push(Reverse(0));
@@ -138,6 +175,7 @@ mod tests {
         let states = must_fixpoint(
             &cfg,
             BTreeSet::<u32>::new,
+            BTreeSet::new(),
             |a: &mut BTreeSet<u32>, b: &BTreeSet<u32>| {
                 let before = a.len();
                 a.retain(|x| b.contains(x));
@@ -167,6 +205,7 @@ mod tests {
         let states = must_fixpoint(
             &cfg,
             BTreeSet::<u32>::new,
+            BTreeSet::new(),
             |a: &mut BTreeSet<u32>, b: &BTreeSet<u32>| {
                 let before = a.len();
                 a.retain(|x| b.contains(x));
@@ -191,6 +230,7 @@ mod tests {
         let states = must_fixpoint(
             &cfg,
             BTreeSet::<u32>::new,
+            BTreeSet::new(),
             |a: &mut BTreeSet<u32>, b: &BTreeSet<u32>| {
                 let before = a.len();
                 a.retain(|x| b.contains(x));
@@ -213,6 +253,7 @@ mod tests {
         let states = must_fixpoint(
             &cfg,
             || 0u64,
+            0u64,
             |a: &mut u64, b: &u64| {
                 *a = a.wrapping_add(*b).wrapping_add(1);
                 true // Claims to change forever.

@@ -304,11 +304,20 @@ fn hierarchy_matrix_is_sound_and_monotone() {
     }
 }
 
-/// Hierarchy always-hit proofs must hold in the simulator's trace: an
-/// instruction the multi-level analysis classifies always-hit can never
-/// miss its first level in any concrete run.
+/// Every per-address proof of the multi-level analysis must hold in the
+/// simulator's per-instruction counters, for every benchmark and a matrix
+/// of hierarchies:
+///
+/// * **always-hit** (MUST proof) — the access never misses its first
+///   cache level;
+/// * **L1 always-miss** (MAY proof, the Hardy–Puaut `A` filter) — the
+///   access never *hits* its L1;
+/// * **L2 always-hit** (combined proof) — whenever the access consults
+///   the L2, it hits there (zero L2 misses).
 #[test]
-fn hierarchy_always_hit_proofs_hold_in_simulator_traces() {
+fn hierarchy_classification_proofs_hold_in_simulator_traces() {
+    let mut total_am = 0u64;
+    let mut total_l2_ah = 0u64;
     for b in all() {
         let input = small_input(b);
         let module = b.compile().unwrap();
@@ -322,8 +331,10 @@ fn hierarchy_always_hit_proofs_hold_in_simulator_traces() {
             .unwrap();
         for h in [
             MemHierarchyConfig::split_l1(256, 256).with_l2(CacheConfig::l2(2048)),
+            MemHierarchyConfig::split_l1(512, 512).with_l2(CacheConfig::l2(16384)),
             MemHierarchyConfig::l1_only(CacheConfig::instr_only(512))
                 .with_l2(CacheConfig::l2(4096)),
+            MemHierarchyConfig::l1_only(CacheConfig::unified(512)),
         ] {
             let sim = simulate(
                 &linked.exe,
@@ -337,7 +348,8 @@ fn hierarchy_always_hit_proofs_hold_in_simulator_traces() {
                 &linked.annotations,
             )
             .unwrap();
-            for &addr in &wcet.classification.fetch_always_hit {
+            let cls = &wcet.classification;
+            for &addr in &cls.fetch_always_hit {
                 if let Some(stat) = sim.insn_stats.get(&addr) {
                     assert_eq!(
                         stat.fetch_misses,
@@ -348,7 +360,7 @@ fn hierarchy_always_hit_proofs_hold_in_simulator_traces() {
                     );
                 }
             }
-            for &addr in &wcet.classification.data_always_hit {
+            for &addr in &cls.data_always_hit {
                 if let Some(stat) = sim.insn_stats.get(&addr) {
                     assert_eq!(
                         stat.data_misses,
@@ -359,6 +371,119 @@ fn hierarchy_always_hit_proofs_hold_in_simulator_traces() {
                     );
                 }
             }
+            // The MAY proofs: an Always-Miss access can never *hit* its
+            // L1 in any concrete run.
+            for &addr in &cls.fetch_l1_always_miss {
+                if let Some(stat) = sim.insn_stats.get(&addr) {
+                    total_am += stat.execs;
+                    assert_eq!(
+                        stat.fetch_hits,
+                        0,
+                        "{} {}: fetch at {addr:#x} classified L1 always-miss \
+                         but hit {} times over {} executions",
+                        b.name,
+                        h.label(),
+                        stat.fetch_hits,
+                        stat.execs
+                    );
+                }
+            }
+            for &addr in &cls.data_l1_always_miss {
+                if let Some(stat) = sim.insn_stats.get(&addr) {
+                    total_am += stat.execs;
+                    assert_eq!(
+                        stat.data_hits,
+                        0,
+                        "{} {}: data at {addr:#x} classified L1 always-miss but hit",
+                        b.name,
+                        h.label()
+                    );
+                }
+            }
+            // The guaranteed-L2 proofs: whenever such an access consults
+            // the L2, the line must be there.
+            for &addr in &cls.fetch_l2_always_hit {
+                if let Some(stat) = sim.insn_stats.get(&addr) {
+                    total_l2_ah += stat.execs;
+                    assert_eq!(
+                        stat.fetch_l2_misses,
+                        0,
+                        "{} {}: fetch at {addr:#x} classified guaranteed-L2-hit \
+                         but missed the L2",
+                        b.name,
+                        h.label()
+                    );
+                }
+            }
+            for &addr in &cls.data_l2_always_hit {
+                if let Some(stat) = sim.insn_stats.get(&addr) {
+                    total_l2_ah += stat.execs;
+                    assert_eq!(
+                        stat.data_l2_misses,
+                        0,
+                        "{} {}: data at {addr:#x} classified guaranteed-L2-hit \
+                         but missed the L2",
+                        b.name,
+                        h.label()
+                    );
+                }
+            }
+        }
+    }
+    // The matrix must actually exercise the new classifications — a
+    // vacuous pass (no AM, no guaranteed L2 hits anywhere) would mean the
+    // MAY analysis silently stopped classifying.
+    assert!(
+        total_am > 0,
+        "no executed access was classified Always-Miss"
+    );
+    assert!(
+        total_l2_ah > 0,
+        "no executed access carried a guaranteed-L2-hit proof"
+    );
+}
+
+/// The interprocedural MAY/CAC analysis can only tighten: at every point
+/// of the hierarchy matrix the new bound is ≤ the pre-MAY baseline
+/// (per-function TOP entries, no Always-Miss filter).
+#[test]
+fn interprocedural_may_analysis_never_loosens() {
+    for b in all() {
+        let input = small_input(b);
+        let module = b.compile().unwrap();
+        let linked = b
+            .link_with_input(
+                &module,
+                &MemoryMap::no_spm(),
+                &SpmAssignment::none(),
+                &input,
+            )
+            .unwrap();
+        for h in [
+            MemHierarchyConfig::l1_only(CacheConfig::unified(512)),
+            MemHierarchyConfig::split_l1(256, 256).with_l2(CacheConfig::l2(4096)),
+            MemHierarchyConfig::split_l1(512, 512).with_l2(CacheConfig::l2(16384)),
+        ] {
+            let new = analyze(
+                &linked.exe,
+                &WcetConfig::with_hierarchy(h.clone()),
+                &linked.annotations,
+            )
+            .unwrap();
+            let base = analyze(
+                &linked.exe,
+                &WcetConfig::with_hierarchy_baseline(h.clone()),
+                &linked.annotations,
+            )
+            .unwrap();
+            assert!(
+                new.wcet_cycles <= base.wcet_cycles,
+                "{} {}: interprocedural MAY analysis loosened the bound ({} > {})",
+                b.name,
+                h.label(),
+                new.wcet_cycles,
+                base.wcet_cycles
+            );
         }
     }
 }
@@ -458,6 +583,35 @@ proptest! {
             wcet.wcet_cycles <= l1_only.wcet_cycles,
             "{} {}: L2 analysis loosened the bound", b.name, h.label()
         );
+        // Every per-address proof holds in this draw's trace: always-hit
+        // never misses, L1-always-miss never hits, guaranteed-L2 never
+        // misses the L2.
+        let cls = &wcet.classification;
+        for &addr in &cls.fetch_always_hit {
+            if let Some(stat) = sim.insn_stats.get(&addr) {
+                prop_assert_eq!(stat.fetch_misses, 0, "{:#x} AH fetch missed", addr);
+            }
+        }
+        for &addr in &cls.fetch_l1_always_miss {
+            if let Some(stat) = sim.insn_stats.get(&addr) {
+                prop_assert_eq!(stat.fetch_hits, 0, "{:#x} AM fetch hit L1", addr);
+            }
+        }
+        for &addr in &cls.data_l1_always_miss {
+            if let Some(stat) = sim.insn_stats.get(&addr) {
+                prop_assert_eq!(stat.data_hits, 0, "{:#x} AM data hit L1", addr);
+            }
+        }
+        for &addr in &cls.fetch_l2_always_hit {
+            if let Some(stat) = sim.insn_stats.get(&addr) {
+                prop_assert_eq!(stat.fetch_l2_misses, 0, "{:#x} fetch missed L2", addr);
+            }
+        }
+        for &addr in &cls.data_l2_always_hit {
+            if let Some(stat) = sim.insn_stats.get(&addr) {
+                prop_assert_eq!(stat.data_l2_misses, 0, "{:#x} data missed L2", addr);
+            }
+        }
     }
 }
 
