@@ -26,7 +26,7 @@ use spmlab::report;
 use spmlab::sweep::{cache_sweep_with, spec_sweep};
 use spmlab::{
     cache_axis, hierarchy_axis, hierarchy_spec_axis, hierarchy_spm_axis, hierarchy_spm_machines,
-    spm_axis, CoreError, MemArchSpec, SpmAllocation, PAPER_SIZES,
+    spm_axis, write_policy_axis, CoreError, MemArchSpec, SpmAllocation, PAPER_SIZES,
 };
 use spmlab_isa::cachecfg::{CacheConfig, Replacement};
 use spmlab_workloads::{paper_benchmarks, Benchmark, ADPCM, G721, INSERTSORT, MULTISORT};
@@ -371,6 +371,164 @@ pub fn exp_multilevel_precision(quick: bool) -> Result<String, CoreError> {
     Ok(out)
 }
 
+/// One write-through/write-back pair of the `write-policy` experiment.
+#[derive(Debug, Clone)]
+pub struct WritePolicyPoint {
+    /// Label of the write-through reference machine.
+    pub wt_label: String,
+    /// Label of the write-back (or store-buffered) twin.
+    pub wb_label: String,
+    /// Simulated cycles, write-through.
+    pub wt_sim: u64,
+    /// WCET bound, write-through.
+    pub wt_wcet: u64,
+    /// Simulated cycles, write-back twin.
+    pub wb_sim: u64,
+    /// WCET bound, write-back twin.
+    pub wb_wcet: u64,
+}
+
+impl WritePolicyPoint {
+    /// Simulated-cycle change of the write-back twin vs write-through
+    /// (negative = faster).
+    pub fn sim_delta_pct(&self) -> f64 {
+        (self.wb_sim as f64 / self.wt_sim.max(1) as f64 - 1.0) * 100.0
+    }
+
+    /// WCET-bound change of the write-back twin vs write-through.
+    pub fn wcet_delta_pct(&self) -> f64 {
+        (self.wb_wcet as f64 / self.wt_wcet.max(1) as f64 - 1.0) * 100.0
+    }
+}
+
+/// Measures the write-policy axis ([`write_policy_axis`]) on the G.721
+/// benchmark (ADPCM for quick runs): each machine shape under the
+/// paper's write-through policy and its write-back / store-buffered
+/// twin, simulated in full (write-policy-dependent machines are not
+/// trace-replayable) and bounded by the charge-at-store analyzer.
+///
+/// # Errors
+///
+/// Pipeline failures.
+pub fn write_policy_points(quick: bool) -> Result<Vec<WritePolicyPoint>, CoreError> {
+    let bench = if quick { &ADPCM } else { &G721 };
+    let l1 = hierarchy_l1_size(quick);
+    let pipeline = Pipeline::new(bench)?;
+    let specs = write_policy_axis(l1);
+    let results = spec_sweep(&pipeline, &specs)?;
+    Ok(results
+        .chunks(2)
+        .map(|pair| WritePolicyPoint {
+            wt_label: pair[0].result.label.clone(),
+            wb_label: pair[1].result.label.clone(),
+            wt_sim: pair[0].result.sim_cycles,
+            wt_wcet: pair[0].result.wcet_cycles,
+            wb_sim: pair[1].result.sim_cycles,
+            wb_wcet: pair[1].result.wcet_cycles,
+        })
+        .collect())
+}
+
+/// Whether every point of the write-policy comparison is sound
+/// (WCET ≥ simulation on both sides of every pair) — the acceptance
+/// criterion `verify` checks as a claim.
+pub fn write_policy_sound(points: &[WritePolicyPoint]) -> bool {
+    points
+        .iter()
+        .all(|p| p.wt_wcet >= p.wt_sim && p.wb_wcet >= p.wb_sim)
+}
+
+/// Serialises the write-policy comparison as the
+/// `BENCH_write_policy.json` artifact (hand-rolled JSON; the build
+/// environment has no serde_json).
+pub fn write_policy_json(points: &[WritePolicyPoint], quick: bool) -> String {
+    let mut rows = String::new();
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            rows.push(',');
+        }
+        rows.push_str(&format!(
+            "\n    {{\"write_through\": \"{}\", \"write_back\": \"{}\", \
+             \"wt_sim\": {}, \"wt_wcet\": {}, \"wb_sim\": {}, \"wb_wcet\": {}}}",
+            p.wt_label.replace('"', "'"),
+            p.wb_label.replace('"', "'"),
+            p.wt_sim,
+            p.wt_wcet,
+            p.wb_sim,
+            p.wb_wcet,
+        ));
+    }
+    format!(
+        "{{\n  \"benchmark\": \"{}\",\n  \"quick\": {quick},\n  \"sound\": {},\n  \
+         \"points\": [{rows}\n  ]\n}}\n",
+        if quick { ADPCM.name } else { G721.name },
+        write_policy_sound(points)
+    )
+}
+
+/// Write-policy scenario: write-through vs write-back (and a store
+/// buffer) across the standard machine shapes — simulated cycles, WCET
+/// bounds, and the per-pair deltas. Full runs also rewrite the tracked
+/// `BENCH_write_policy.json` artifact in the workspace root (quick smoke
+/// runs leave it untouched).
+///
+/// # Errors
+///
+/// Pipeline failures; artifact IO errors are reported inline, not fatal.
+pub fn exp_write_policy(quick: bool) -> Result<String, CoreError> {
+    let points = write_policy_points(quick)?;
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.wb_label.clone(),
+                p.wt_sim.to_string(),
+                p.wt_wcet.to_string(),
+                p.wb_sim.to_string(),
+                p.wb_wcet.to_string(),
+                format!("{:+.1}%", p.sim_delta_pct()),
+                format!("{:+.1}%", p.wcet_delta_pct()),
+            ]
+        })
+        .collect();
+    let mut out = format!(
+        "Write policies: write-through (paper's machine) vs write-back / store buffer\n{}",
+        report::render_table(
+            &[
+                "write-back twin",
+                "wt sim",
+                "wt wcet",
+                "wb sim",
+                "wb wcet",
+                "sim Δ",
+                "wcet Δ"
+            ],
+            &rows
+        )
+    );
+    out.push_str(&format!(
+        "sound (wcet >= sim) at every point, both policies: {}\n",
+        if write_policy_sound(&points) {
+            "yes"
+        } else {
+            "NO — BUG"
+        }
+    ));
+    // Only full runs refresh the tracked artifact — a --quick smoke run
+    // (CI) must not clobber the committed full-axis numbers, mirroring
+    // the hierarchy experiment's convention.
+    if quick {
+        out.push_str("quick axis: BENCH_write_policy.json left untouched\n");
+    } else {
+        let path = workspace_root().join("BENCH_write_policy.json");
+        match std::fs::write(&path, write_policy_json(&points, quick)) {
+            Ok(()) => out.push_str(&format!("wrote {}\n", path.display())),
+            Err(e) => out.push_str(&format!("could not write {}: {e}\n", path.display())),
+        }
+    }
+    Ok(out)
+}
+
 /// Ablation: MUST-only vs MUST+persistence cache analysis (paper §5:
 /// "the full scale of cache analysis techniques … would probably lead to
 /// improved cache results").
@@ -623,6 +781,7 @@ pub fn dump_specs(quick: bool) -> Vec<(String, MemArchSpec)> {
             &spm_sizes,
             &hierarchy_spm_machines(spm_l1),
         ))
+        .chain(write_policy_axis(l1))
         .map(|s| (s.label(), s))
         .collect()
 }
@@ -683,6 +842,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Result<String, CoreError> {
         "hierarchy" => exp_hierarchy(quick),
         "hierarchy-spm" => exp_hierarchy_spm(quick),
         "multilevel-precision" => exp_multilevel_precision(quick),
+        "write-policy" => exp_write_policy(quick),
         "bench-history" => Ok(exp_bench_history(false)),
         "ablation-persistence" => exp_ablation_persistence(quick),
         "ablation-icache" => exp_ablation_icache(quick),
@@ -701,7 +861,7 @@ pub fn workspace_root() -> std::path::PathBuf {
 }
 
 /// All experiment ids in report order.
-pub const EXPERIMENTS: [&str; 14] = [
+pub const EXPERIMENTS: [&str; 15] = [
     "table1",
     "table2",
     "fig3",
@@ -711,6 +871,7 @@ pub const EXPERIMENTS: [&str; 14] = [
     "hierarchy",
     "hierarchy-spm",
     "multilevel-precision",
+    "write-policy",
     "bench-history",
     "ablation-persistence",
     "ablation-icache",
@@ -831,6 +992,15 @@ pub fn verify_claims(quick: bool) -> Result<Vec<(String, bool)>, CoreError> {
             spm_hier.benchmark
         ),
         spm_hier.aware_never_worse() && spm_hier.all_sound(),
+    ));
+
+    // Claim 11 (the write-policy axis): the charge-at-store write-back
+    // rule keeps the bound sound when levels turn write-back and a store
+    // buffer appears — sim ≤ bound at every point, both policies.
+    let wp = write_policy_points(quick)?;
+    claims.push((
+        "write-policy: WCET ≥ simulation at every write-through AND write-back point".into(),
+        write_policy_sound(&wp),
     ));
 
     Ok(claims)

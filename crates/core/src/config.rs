@@ -6,7 +6,7 @@
 
 use spmlab_isa::archspec::{MemArchSpec, SpmAllocation};
 use spmlab_isa::cachecfg::CacheConfig;
-use spmlab_isa::hierarchy::{MainMemoryTiming, MemHierarchyConfig};
+use spmlab_isa::hierarchy::{MainMemoryTiming, MemHierarchyConfig, StoreBuffer, L1};
 
 /// The paper's capacity sweep: "scratchpad sizes from 64 bytes to 8k" and
 /// "cache capacities from 64 bytes to 8k".
@@ -94,6 +94,50 @@ pub fn hierarchy_spm_axis(spm_sizes: &[u32], machines: &[MemHierarchyConfig]) ->
     specs
 }
 
+/// Store-buffer parameters of the write-policy axis: 4 entries, 6-cycle
+/// drain (a word write to Table-1 main takes 4 cycles; the drain models
+/// the buffered write plus arbitration).
+pub const STORE_BUFFER: StoreBuffer = StoreBuffer::new(4, 6);
+
+/// The write-policy axis: for each machine shape of the standard
+/// hierarchy experiment, the paper's write-through/no-allocate
+/// configuration next to its write-back/write-allocate twin (and, for
+/// the uncached shape, a store-buffered twin). Pairs are adjacent:
+/// `[write-through, write-back, …]` — the `write-policy` experiment and
+/// verify claim compare them point by point.
+pub fn write_policy_axis(l1_size: u32) -> Vec<MemArchSpec> {
+    let half = l1_size / 2;
+    let split_wt = || MemHierarchyConfig::split_l1(half, half);
+    let split_wb = || MemHierarchyConfig {
+        l1: L1::Split {
+            i: Some(CacheConfig::instr_only(half)),
+            d: Some(CacheConfig::data_only(half).write_back()),
+        },
+        l2: None,
+        main: MainMemoryTiming::table1(),
+    };
+    vec![
+        // Bare split L1: WB data half vs the WT one.
+        MemArchSpec::from_hierarchy(&split_wt()),
+        MemArchSpec::from_hierarchy(&split_wb()),
+        // Split L1 over a unified L2: all-WT vs WB at both levels.
+        MemArchSpec::from_hierarchy(&split_wt().with_l2(CacheConfig::l2(4 * l1_size))),
+        MemArchSpec::from_hierarchy(&split_wb().with_l2(CacheConfig::l2(4 * l1_size).write_back())),
+        // WT L1 in front of a WB L2 (the L2 absorbs what the L1 forwards).
+        MemArchSpec::from_hierarchy(&split_wt().with_l2(CacheConfig::l2(4 * l1_size))),
+        MemArchSpec::from_hierarchy(&split_wt().with_l2(CacheConfig::l2(4 * l1_size).write_back())),
+        // The paper's unified L1, both policies.
+        MemArchSpec::single_cache(CacheConfig::unified(l1_size)),
+        MemArchSpec::single_cache(CacheConfig::unified(l1_size).write_back()),
+        // Uncached main memory without and with a store buffer.
+        MemArchSpec::uncached(),
+        MemArchSpec {
+            main: MainMemoryTiming::table1().with_store_buffer(STORE_BUFFER),
+            ..MemArchSpec::uncached()
+        },
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,8 +152,28 @@ mod tests {
                 &[512, 1024],
                 &hierarchy_spm_machines(1024),
             ))
+            .chain(write_policy_axis(1024))
         {
             spec.validate().unwrap_or_else(|e| panic!("{e}: {spec:?}"));
+        }
+    }
+
+    #[test]
+    fn write_policy_axis_pairs_policies() {
+        let specs = write_policy_axis(1024);
+        assert_eq!(specs.len() % 2, 0);
+        for pair in specs.chunks(2) {
+            let (wt, wb) = (&pair[0], &pair[1]);
+            assert!(
+                !wt.hierarchy().write_policy_dependent(),
+                "{}: left of a pair is the write-through reference",
+                wt.label()
+            );
+            assert!(
+                wb.hierarchy().write_policy_dependent(),
+                "{}: right of a pair carries write-back state or a store buffer",
+                wb.label()
+            );
         }
     }
 

@@ -52,7 +52,7 @@ pub mod sweep;
 
 pub use config::{
     cache_axis, hierarchy_axis, hierarchy_spec_axis, hierarchy_spm_axis, hierarchy_spm_machines,
-    spm_axis, DRAM_LATENCY, PAPER_SIZES,
+    spm_axis, write_policy_axis, DRAM_LATENCY, PAPER_SIZES, STORE_BUFFER,
 };
 pub use pipeline::{ConfigResult, Pipeline};
 pub use spmlab_isa::archspec::{MemArchSpec, SpecError, SpmAllocation, SpmSpec};

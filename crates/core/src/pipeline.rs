@@ -232,6 +232,13 @@ impl Pipeline {
     /// | single unified-descriptor L1, Table-1  | single-level MUST (+persistence on request) |
     /// | anything else with cache levels        | multi-level (Hardy–Puaut) MUST |
     ///
+    /// Write-policy-dependent shapes (any write-back level, or a store
+    /// buffer) always take the multi-level path — it carries the
+    /// charge-at-store write-back rule (`spmlab_wcet::dirty`) the
+    /// single-level analyzer lacks — and are simulated in full instead of
+    /// replayed (recorded traces hold write-through traffic only; see
+    /// `MemTrace::supports`).
+    ///
     /// (The single-level analyzer is kept for the paper's exact ARM7
     /// setup — its numbers are pinned by `tests/spec_differential.rs`.
     /// Since the interprocedural MAY/CAC upgrade the multi-level analyzer
@@ -265,7 +272,11 @@ impl Pipeline {
                 WcetConfig::region_timing_with(canon.main)
             };
         }
-        if canon.spm.is_none() && canon.l2.is_none() && canon.main == MainMemoryTiming::table1() {
+        if canon.spm.is_none()
+            && canon.l2.is_none()
+            && canon.main == MainMemoryTiming::table1()
+            && !canon.hierarchy().write_policy_dependent()
+        {
             if let L1::Unified(c) = &canon.l1 {
                 return WcetConfig::with_cache(c.clone());
             }
@@ -315,12 +326,16 @@ impl Pipeline {
     fn measure_no_spm(&self, canon: &MemArchSpec) -> Result<ArchMeasurement, CoreError> {
         let linked = &self.no_spm_link;
         let hierarchy = canon.hierarchy();
+        // Recorded traces carry write-through traffic only: a
+        // write-policy-dependent machine (write-back level / store
+        // buffer) falls back to full simulation instead of silently
+        // replaying the wrong write timing.
         let (sim_cycles, mem_stats, checksum) = match &self.trace {
-            Some(trace) => {
+            Some(trace) if trace.supports(&hierarchy) => {
                 let (cycles, stats) = trace.replay(&hierarchy)?;
                 (cycles, stats, self.expected_checksum)
             }
-            None => {
+            _ => {
                 let sim = simulate(
                     &linked.exe,
                     &MachineConfig::with_hierarchy(hierarchy.clone()),
@@ -363,7 +378,7 @@ impl Pipeline {
         let (sim_cycles, mem_stats) = if recording_is_target {
             // The recording machine *is* the uncached Table-1 machine.
             (arts.recorded_cycles, arts.recorded_stats.clone())
-        } else if let Some(trace) = &arts.trace {
+        } else if let Some(trace) = arts.trace.as_ref().filter(|t| t.supports(&hierarchy)) {
             trace.replay(&hierarchy)?
         } else {
             let sim = simulate(

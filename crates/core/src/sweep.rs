@@ -218,8 +218,11 @@ pub(crate) fn sweep_footprint(pipeline: &Pipeline) -> Option<Footprint> {
     let linked = pipeline.no_spm_link();
     // Unannotated loads default to `AddrInfo::Unknown`; walking the real
     // instruction stream (not just the annotation set, which omits them)
-    // is the only way to see these. Writes are exempt: they never touch a
-    // tag store and their cost depends only on the access width.
+    // is the only way to see these. Writes are exempt because the memo
+    // only ever collapses all-write-through specs (see
+    // `effective_spec_key`): write-through stores never touch a tag
+    // store and their cost depends only on the access width, while
+    // write-policy-dependent machines keep exact keys.
     let cfgs = spmlab_wcet::cfg::build_all(&linked.exe).ok()?;
     for cfg in cfgs.values() {
         for block in cfg.blocks.values() {
@@ -331,11 +334,18 @@ fn level_key(cfg: &CacheConfig, fp: Option<&Footprint>) -> String {
 /// The effective-configuration memo key of one **canonical** spec: two
 /// specs with equal keys produce identical simulations *and* identical
 /// WCET analyses for this program, so one measurement serves both sweep
-/// points. The footprint collapse only applies to no-scratchpad specs —
-/// the footprint describes the shared no-scratchpad link, and scratchpad
-/// specs run their own image.
+/// points. The footprint collapse only applies to no-scratchpad,
+/// all-write-through specs — the footprint describes the shared
+/// no-scratchpad link, scratchpad specs run their own image, and the
+/// footprint enumerates *read* targets only (write-through stores never
+/// touch a tag store), so write-policy-dependent machines — where
+/// write-allocate makes store addresses load-bearing — keep exact keys.
 pub(crate) fn effective_spec_key(canon: &MemArchSpec, fp: Option<&Footprint>) -> String {
-    let fp = if canon.spm.is_some() { None } else { fp };
+    let fp = if canon.spm.is_some() || canon.hierarchy().write_policy_dependent() {
+        None
+    } else {
+        fp
+    };
     let l1 = match &canon.l1 {
         L1::None => String::from("none"),
         L1::Unified(c) => format!("u[{}]", level_key(c, fp)),

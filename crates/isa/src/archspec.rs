@@ -54,8 +54,8 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-use crate::cachecfg::{CacheConfig, CacheScope, Replacement};
-use crate::hierarchy::{MainMemoryTiming, MemHierarchyConfig, L1};
+use crate::cachecfg::{CacheConfig, CacheScope, Replacement, WritePolicy};
+use crate::hierarchy::{MainMemoryTiming, MemHierarchyConfig, StoreBuffer, L1};
 use crate::mem::{MAIN_BASE, SPM_BASE};
 use serde::{Deserialize, Serialize};
 
@@ -330,6 +330,16 @@ impl MemArchSpec {
         if self.main.beat_cycles < 1 {
             return Err(SpecError::BadMain("a beat takes at least one cycle"));
         }
+        if let Some(sb) = &self.main.store_buffer {
+            if sb.depth < 1 {
+                return Err(SpecError::BadMain("store buffer needs at least one entry"));
+            }
+            if sb.drain_cycles < 1 {
+                return Err(SpecError::BadMain(
+                    "a store-buffer drain takes at least one cycle",
+                ));
+            }
+        }
         if self.persistence {
             let canon = self.canonical();
             if canon.spm.is_some() {
@@ -337,14 +347,28 @@ impl MemArchSpec {
                     "not supported together with a scratchpad",
                 ));
             }
-            if canon.l2.is_some() || !matches!(canon.l1, L1::Unified(_)) {
+            match &canon.l1 {
+                L1::Unified(c) if !c.write_policy.is_write_back() => {}
+                L1::Unified(_) => {
+                    return Err(SpecError::PersistenceShape(
+                        "requires a write-through L1 (the single-level analyzer \
+                         has no write-back model)",
+                    ));
+                }
+                _ => {
+                    return Err(SpecError::PersistenceShape(
+                        "requires exactly one single-level L1",
+                    ));
+                }
+            }
+            if canon.l2.is_some() {
                 return Err(SpecError::PersistenceShape(
                     "requires exactly one single-level L1",
                 ));
             }
             if canon.main != MainMemoryTiming::table1() {
                 return Err(SpecError::PersistenceShape(
-                    "requires Table-1 main-memory timing",
+                    "requires Table-1 main-memory timing (no store buffer)",
                 ));
             }
         }
@@ -366,13 +390,25 @@ impl MemArchSpec {
     ///   (scratchpad placement is order-independent);
     /// * [`SpmAllocation::WcetAware`] degrades to
     ///   [`SpmAllocation::WcetRegion`] when no cache level is enabled and
-    ///   main memory is Table-1 (the two objectives coincide there).
+    ///   main memory is Table-1 (the two objectives coincide there);
+    /// * a write-back policy on a level that never sees store traffic (an
+    ///   instruction-only unified L1, or the instruction half of a split
+    ///   L1) normalises to write-through — no store can ever dirty a line
+    ///   there, so the two policies describe the same machine.
     pub fn canonical(&self) -> MemArchSpec {
-        let keep = |c: &Option<CacheConfig>| c.clone().filter(|c| c.size > 0);
+        // Levels that serve no data traffic can hold no dirty lines: their
+        // write policy is behaviourally irrelevant and canonicalises away.
+        let instr_wt = |mut c: CacheConfig| {
+            if c.scope == CacheScope::InstrOnly {
+                c.write_policy = WritePolicy::WriteThrough;
+            }
+            c
+        };
+        let keep = |c: &Option<CacheConfig>| c.clone().filter(|c| c.size > 0).map(instr_wt);
         let l1 = match &self.l1 {
             L1::None => L1::None,
             L1::Unified(c) if c.size == 0 => L1::None,
-            L1::Unified(c) => L1::Unified(c.clone()),
+            L1::Unified(c) => L1::Unified(instr_wt(c.clone())),
             L1::Split { i, d } => {
                 let (i, d) = (keep(i), keep(d));
                 if i.is_none() && d.is_none() {
@@ -799,9 +835,13 @@ fn cache_to_json(c: &CacheConfig) -> String {
         CacheScope::InstrOnly => "instr",
         CacheScope::DataOnly => "data",
     };
+    let write_policy = match c.write_policy {
+        WritePolicy::WriteThrough => "write-through",
+        WritePolicy::WriteBack => "write-back",
+    };
     format!(
         "{{\"size\": {}, \"line\": {}, \"assoc\": {}, \"replacement\": {replacement}, \
-         \"scope\": \"{scope}\", \"hit_latency\": {}}}",
+         \"scope\": \"{scope}\", \"hit_latency\": {}, \"write_policy\": \"{write_policy}\"}}",
         c.size, c.line, c.assoc, c.hit_latency
     )
 }
@@ -848,6 +888,11 @@ fn cache_from_json(v: &json::Value, level: &str) -> Result<CacheConfig, SpecJson
         Some("data") => CacheScope::DataOnly,
         Some(_) => return Err(err("bad `scope`")),
     };
+    let write_policy = match v.get("write_policy").and_then(json::Value::as_str) {
+        None | Some("write-through") | Some("wt") => WritePolicy::WriteThrough,
+        Some("write-back") | Some("wb") => WritePolicy::WriteBack,
+        Some(_) => return Err(err("bad `write_policy`")),
+    };
     Ok(CacheConfig {
         size,
         line: num("line", 16)?,
@@ -855,6 +900,7 @@ fn cache_from_json(v: &json::Value, level: &str) -> Result<CacheConfig, SpecJson
         replacement,
         scope,
         hit_latency: num("hit_latency", 1)?,
+        write_policy,
     })
 }
 
@@ -866,10 +912,13 @@ impl MemArchSpec {
     /// {
     ///   "spm": {"size": 1024, "alloc": "knapsack"},
     ///   "l1": {"unified": {"size": 1024, "line": 16, "assoc": 1,
-    ///          "replacement": "lru", "scope": "unified", "hit_latency": 1}},
+    ///          "replacement": "lru", "scope": "unified", "hit_latency": 1,
+    ///          "write_policy": "write-through"}},
     ///   "l2": {"size": 4096, "line": 32, "assoc": 4, "replacement": "lru",
-    ///          "scope": "unified", "hit_latency": 3},
-    ///   "main": {"latency": 0, "beat_cycles": 2, "bus_bytes": 2},
+    ///          "scope": "unified", "hit_latency": 3,
+    ///          "write_policy": "write-back"},
+    ///   "main": {"latency": 0, "beat_cycles": 2, "bus_bytes": 2,
+    ///            "store_buffer": {"depth": 4, "drain_cycles": 6}},
     ///   "persistence": false
     /// }
     /// ```
@@ -877,7 +926,10 @@ impl MemArchSpec {
     /// `l1` may instead be `{"split": {"i": cache|null, "d": cache|null}}`;
     /// `alloc` is `"empty"`, `"knapsack"`, `"wcet"`, `"wcet-region"` or
     /// `{"fixed": ["name", …]}`. Replacement is `"lru"`, `"round-robin"`
-    /// or `{"random": seed}`; scope is `"unified"`, `"instr"` or `"data"`.
+    /// or `{"random": seed}`; scope is `"unified"`, `"instr"` or `"data"`;
+    /// `write_policy` is `"write-through"` (alias `"wt"`, the default) or
+    /// `"write-back"` (`"wb"`); `store_buffer` is `null` (default) or
+    /// `{"depth", "drain_cycles"}`.
     pub fn to_json(&self) -> String {
         let spm = match &self.spm {
             None => "null".to_string(),
@@ -909,9 +961,17 @@ impl MemArchSpec {
             }
         };
         let l2 = self.l2.as_ref().map_or("null".to_string(), cache_to_json);
+        let store_buffer = match &self.main.store_buffer {
+            None => "null".to_string(),
+            Some(sb) => format!(
+                "{{\"depth\": {}, \"drain_cycles\": {}}}",
+                sb.depth, sb.drain_cycles
+            ),
+        };
         format!(
             "{{\n  \"spm\": {spm},\n  \"l1\": {l1},\n  \"l2\": {l2},\n  \"main\": \
-             {{\"latency\": {}, \"beat_cycles\": {}, \"bus_bytes\": {}}},\n  \
+             {{\"latency\": {}, \"beat_cycles\": {}, \"bus_bytes\": {}, \
+             \"store_buffer\": {store_buffer}}},\n  \
              \"persistence\": {}\n}}",
             self.main.latency, self.main.beat_cycles, self.main.bus_bytes, self.persistence
         )
@@ -1008,10 +1068,27 @@ impl MemArchSpec {
                         }),
                     }
                 };
+                let store_buffer = match m.get("store_buffer") {
+                    None => None,
+                    Some(sb) => {
+                        let field = |key: &str| -> Result<u64, SpecJsonError> {
+                            sb.get(key).and_then(json::Value::as_u64).ok_or_else(|| {
+                                SpecJsonError(format!(
+                                    "main.store_buffer: `{key}` must be a non-negative integer"
+                                ))
+                            })
+                        };
+                        Some(StoreBuffer {
+                            depth: to_u32(field("depth")?, "main.store_buffer", "depth")?,
+                            drain_cycles: field("drain_cycles")?,
+                        })
+                    }
+                };
                 MainMemoryTiming {
                     latency: num("latency", 0)?,
                     beat_cycles: num("beat_cycles", 2)?,
                     bus_bytes: to_u32(num("bus_bytes", 2)?, "main", "bus_bytes")?,
+                    store_buffer,
                 }
             }
         };
@@ -1163,10 +1240,84 @@ mod tests {
     }
 
     #[test]
+    fn write_policy_canonicalises_on_storeless_levels() {
+        // A write-back instruction-only L1 describes the same machine as
+        // the write-through one: no store ever reaches it.
+        let noisy = MemArchSpec::single_cache(CacheConfig::instr_only(512).write_back());
+        let plain = MemArchSpec::single_cache(CacheConfig::instr_only(512));
+        assert_eq!(noisy.canonical(), plain.canonical());
+        assert_eq!(noisy.label(), plain.label());
+        // Same for the instruction half of a split L1 — while the data
+        // half's policy is load-bearing and survives.
+        let split = MemArchSpec::builder()
+            .split_l1(
+                Some(CacheConfig::instr_only(512).write_back()),
+                Some(CacheConfig::data_only(512).write_back()),
+            )
+            .build()
+            .unwrap();
+        match &split.canonical().l1 {
+            L1::Split { i, d } => {
+                assert_eq!(i.as_ref().unwrap().write_policy, WritePolicy::WriteThrough);
+                assert_eq!(d.as_ref().unwrap().write_policy, WritePolicy::WriteBack);
+            }
+            other => panic!("{other:?}"),
+        }
+        // A data-serving write-back level is a *different* machine.
+        let wb = MemArchSpec::single_cache(CacheConfig::unified(512).write_back());
+        let wt = MemArchSpec::single_cache(CacheConfig::unified(512));
+        assert_ne!(wb.canonical(), wt.canonical());
+        assert_ne!(wb.label(), wt.label());
+    }
+
+    #[test]
+    fn store_buffer_validation() {
+        let ok = MemArchSpec {
+            main: MainMemoryTiming::table1().with_store_buffer(StoreBuffer::new(4, 6)),
+            ..MemArchSpec::uncached()
+        };
+        ok.validate().unwrap();
+        let bad = MemArchSpec {
+            main: MainMemoryTiming::table1().with_store_buffer(StoreBuffer::new(0, 6)),
+            ..MemArchSpec::uncached()
+        };
+        assert!(matches!(bad.validate(), Err(SpecError::BadMain(_))));
+        let bad = MemArchSpec {
+            main: MainMemoryTiming::table1().with_store_buffer(StoreBuffer::new(4, 0)),
+            ..MemArchSpec::uncached()
+        };
+        assert!(matches!(bad.validate(), Err(SpecError::BadMain(_))));
+        // Persistence needs the paper's exact machine: no store buffer,
+        // no write-back L1.
+        let bad = MemArchSpec {
+            persistence: true,
+            main: ok.main,
+            ..MemArchSpec::single_cache(CacheConfig::unified(1024))
+        };
+        assert!(matches!(
+            bad.validate(),
+            Err(SpecError::PersistenceShape(_))
+        ));
+        let bad = MemArchSpec {
+            persistence: true,
+            ..MemArchSpec::single_cache(CacheConfig::unified(1024).write_back())
+        };
+        assert!(matches!(
+            bad.validate(),
+            Err(SpecError::PersistenceShape(_))
+        ));
+    }
+
+    #[test]
     fn json_roundtrip_fixed_cases() {
         let specs = vec![
             MemArchSpec::uncached(),
             MemArchSpec::spm(1024),
+            MemArchSpec::single_cache(CacheConfig::unified(1024).write_back()),
+            MemArchSpec {
+                main: MainMemoryTiming::dram(8).with_store_buffer(StoreBuffer::new(4, 6)),
+                ..MemArchSpec::single_cache(CacheConfig::data_only(512).write_back())
+            },
             MemArchSpec::spm_with(64, SpmAllocation::Empty),
             MemArchSpec::spm_with(256, SpmAllocation::Fixed(vec!["a b".into(), "c\"d".into()])),
             MemArchSpec::single_cache(CacheConfig::set_assoc(
@@ -1207,6 +1358,20 @@ mod tests {
         // typo'd 2^32+1024 must not parse as a 1 KiB scratchpad).
         assert!(MemArchSpec::from_json("{\"spm\": {\"size\": 4294968320}}").is_err());
         assert!(MemArchSpec::from_json("{\"l1\": {\"unified\": {\"size\": 4294968320}}}").is_err());
+        // Unknown write policies and malformed store buffers are schema
+        // errors, not silently defaulted.
+        assert!(MemArchSpec::from_json(
+            "{\"l1\": {\"unified\": {\"size\": 512, \"write_policy\": \"copy-back\"}}}"
+        )
+        .is_err());
+        assert!(MemArchSpec::from_json("{\"main\": {\"store_buffer\": {\"depth\": 4}}}").is_err());
+        assert!(
+            MemArchSpec::from_json(
+                "{\"main\": {\"store_buffer\": {\"depth\": 0, \"drain_cycles\": 6}}}"
+            )
+            .is_err(),
+            "zero-depth buffer fails validation"
+        );
     }
 
     #[test]
@@ -1233,8 +1398,8 @@ mod tests {
         ]
     }
 
-    /// A valid (enabled or disabled) cache level.
-    fn arb_cache() -> impl Strategy<Value = CacheConfig> {
+    /// A valid (enabled or disabled) cache level geometry.
+    fn arb_cache_geom() -> impl Strategy<Value = CacheConfig> {
         (
             0u32..6,
             2u32..6,
@@ -1256,10 +1421,26 @@ mod tests {
                         replacement,
                         scope,
                         hit_latency,
+                        write_policy: WritePolicy::WriteThrough,
                     };
                     (size == 0 || (line <= size && assoc <= size / line)).then_some(cfg)
                 },
             )
+    }
+
+    /// A valid cache level with either write policy.
+    fn arb_cache() -> impl Strategy<Value = CacheConfig> {
+        (
+            arb_cache_geom(),
+            prop_oneof![
+                Just(WritePolicy::WriteThrough),
+                Just(WritePolicy::WriteBack)
+            ],
+        )
+            .prop_map(|(mut c, wp)| {
+                c.write_policy = wp;
+                c
+            })
     }
 
     /// `Option<T>` strategy (the vendored proptest has no `option::of`).
@@ -1309,10 +1490,20 @@ mod tests {
                 c.scope = CacheScope::Unified;
                 c
             })),
-            (0u64..20, 1u64..4, 1u32..5),
+            (
+                0u64..20,
+                1u64..4,
+                1u32..5,
+                opt(
+                    (1u32..6, 1u64..12).prop_map(|(depth, drain_cycles)| StoreBuffer {
+                        depth,
+                        drain_cycles,
+                    }),
+                ),
+            ),
         )
             .prop_map(
-                |(spm, l1, l2, (latency, beat_cycles, bus_bytes))| MemArchSpec {
+                |(spm, l1, l2, (latency, beat_cycles, bus_bytes, store_buffer))| MemArchSpec {
                     spm: spm.map(|(size, alloc)| SpmSpec { size, alloc }),
                     l1,
                     l2,
@@ -1320,6 +1511,7 @@ mod tests {
                         latency,
                         beat_cycles,
                         bus_bytes,
+                        store_buffer,
                     },
                     persistence: false,
                 },

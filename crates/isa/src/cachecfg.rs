@@ -31,6 +31,47 @@ pub enum CacheScope {
     DataOnly,
 }
 
+/// How a cache level handles stores — the policy axis this repository adds
+/// on top of the paper's machine (which is [`WritePolicy::WriteThrough`]
+/// at every level). See the README's "Write policies and store buffers"
+/// section for the cost model, the analyzer's charging rule and measured
+/// numbers.
+///
+/// ```
+/// use spmlab_isa::cachecfg::{CacheConfig, WritePolicy};
+///
+/// // The paper's machine: every level write-through by construction.
+/// assert_eq!(CacheConfig::unified(1024).write_policy, WritePolicy::WriteThrough);
+/// // The write-back variant of the same geometry.
+/// let wb = CacheConfig::unified(1024).write_back();
+/// assert_eq!(wb.write_policy, WritePolicy::WriteBack);
+/// assert_eq!(wb.size, 1024);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum WritePolicy {
+    /// Write-through with **no write-allocate**: stores update main memory
+    /// directly, never touch the tag store, and the cache holds no dirty
+    /// state (the paper's machine, and this workspace's default). Memory
+    /// is always current, so a tag-only model is exact.
+    #[default]
+    WriteThrough,
+    /// Write-back with **write-allocate**: a store hit dirties the line in
+    /// place, a store miss fills the line from the next level (like a read
+    /// miss) and then dirties it, and an evicted dirty victim pays a full
+    /// line write-back to the next level *at eviction time* — the
+    /// unpredictable-write-instant trade the paper's predictability
+    /// argument is about.
+    WriteBack,
+}
+
+impl WritePolicy {
+    /// Whether this level allocates on store misses and carries dirty
+    /// lines.
+    pub fn is_write_back(self) -> bool {
+        self == WritePolicy::WriteBack
+    }
+}
+
 /// Cache geometry and behaviour.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheConfig {
@@ -47,6 +88,9 @@ pub struct CacheConfig {
     /// Cycles to serve a hit from this level (1 for an L1 next to the core;
     /// larger for an L2 further away).
     pub hit_latency: u32,
+    /// How the level handles stores (write-through/no-allocate — the
+    /// paper's machine — or write-back/write-allocate).
+    pub write_policy: WritePolicy,
 }
 
 impl CacheConfig {
@@ -59,7 +103,14 @@ impl CacheConfig {
             replacement: Replacement::Lru,
             scope: CacheScope::Unified,
             hit_latency: 1,
+            write_policy: WritePolicy::WriteThrough,
         }
+    }
+
+    /// The write-back/write-allocate variant of this geometry.
+    pub fn write_back(mut self) -> CacheConfig {
+        self.write_policy = WritePolicy::WriteBack;
+        self
     }
 
     /// Instruction-only variant of the same geometry.
@@ -97,6 +148,7 @@ impl CacheConfig {
             replacement: Replacement::Lru,
             scope: CacheScope::Unified,
             hit_latency: 3,
+            write_policy: WritePolicy::WriteThrough,
         }
     }
 
@@ -231,6 +283,19 @@ impl SetIndexer {
             (line % self.num_sets, line / self.num_sets)
         }
     }
+
+    /// The base address of the line identified by `(set, tag)` — the
+    /// inverse of [`SetIndexer::set_and_tag`], used to reconstruct the
+    /// address of an evicted victim line (write-back caches report it for
+    /// the write-back transfer).
+    pub fn line_addr(&self, set: u32, tag: u32) -> u32 {
+        let line = if self.set_mask != 0 {
+            (tag << self.set_shift) | set
+        } else {
+            tag * self.num_sets + set
+        };
+        line << self.line_shift
+    }
 }
 
 #[cfg(test)]
@@ -252,6 +317,8 @@ mod tests {
                 assert_eq!(ix.tag_of(addr), line / cfg.num_sets(), "{addr:#x}");
                 assert_eq!(ix.set_and_tag(addr), (ix.set_of(addr), ix.tag_of(addr)));
                 assert_eq!(ix.line_of(addr), line);
+                let (s, t) = ix.set_and_tag(addr);
+                assert_eq!(ix.line_addr(s, t), addr & !(cfg.line - 1), "round-trips");
             }
         }
     }
@@ -269,6 +336,7 @@ mod tests {
             replacement: Replacement::Lru,
             scope: CacheScope::Unified,
             hit_latency: 1,
+            write_policy: WritePolicy::WriteThrough,
         };
         assert_eq!(cfg.num_sets(), 12);
         let ix = cfg.indexer();

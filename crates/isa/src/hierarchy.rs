@@ -10,8 +10,11 @@
 //!
 //! * **Multi-level caches** (Hardy & Puaut, RTSS'08): an optional L1 —
 //!   unified, or split into instruction and data halves — backed by an
-//!   optional unified L2. All levels are write-through / no-write-allocate,
-//!   like the original single-level model.
+//!   optional unified L2. Each level carries its own
+//!   [`WritePolicy`](crate::cachecfg::WritePolicy): write-through /
+//!   no-write-allocate (the paper's machine, the default) or write-back /
+//!   write-allocate with eviction write-backs charged at the victim's next
+//!   level — see the README's "Write policies and store buffers" section.
 //! * **Parametric main memory** (Hassan, RTAS'18-style): the flat Table-1
 //!   access constants generalise to [`MainMemoryTiming`] — a per-burst
 //!   `latency` plus `beat_cycles` per `bus_bytes` transferred. The default
@@ -30,13 +33,69 @@
 //!
 //! (`+ 1` is the delivery cycle the single-level model already charged;
 //! `l1.line/4` is the word-per-cycle refill of the L1 line out of on-chip
-//! L2 SRAM.) Writes are write-through straight to main memory and cost
-//! `main.access(width)` regardless of the cache levels, exactly like the
-//! single-level model.
+//! L2 SRAM.)
+//!
+//! Writes are routed by the per-level write policies: the first
+//! write-back level in the data path *absorbs* the store (hit = dirty the
+//! line in place; miss = write-allocate fill like a read miss), and a
+//! dirty victim evicted from any level pays a full line write-back to the
+//! *victim's* next level at eviction time. With no write-back level in
+//! the path, stores go through to main memory exactly like the
+//! single-level model — costing `main.access(width)`, or `1` cycle when a
+//! [`StoreBuffer`] accepts them (worst case `1 + drain_cycles` when the
+//! buffer is full). See [`MemHierarchyConfig::store_absorb`] and the
+//! write-cost helpers below.
 
 use crate::cachecfg::{CacheConfig, CacheScope};
 use crate::mem::AccessWidth;
 use serde::{Deserialize, Serialize};
+
+/// A store buffer in front of main memory: core stores that would
+/// otherwise pay the full main-memory write cost are accepted in one
+/// cycle and drained in the background, one entry per `drain_cycles`.
+/// When all `depth` entries are in flight the core stalls until the
+/// oldest drains.
+///
+/// Timing contract (what makes the buffer analyzable): the per-store cost
+/// is `1` cycle when a slot is free, and at most `1 + drain_cycles` when
+/// the buffer is full — the oldest in-flight entry always completes
+/// within `drain_cycles` of the stall's start, because every earlier
+/// entry had already retired when it reached the drain port. The WCET
+/// analyzer charges exactly this `1 + drain_cycles` worst case per
+/// buffered store ([`MainMemoryTiming::store_cycles_worst`]).
+///
+/// The buffer holds **core stores only**: line write-backs of dirty
+/// victims bypass it (they are burst transfers between memory levels, not
+/// core traffic), and reads do not interact with it.
+///
+/// ```
+/// use spmlab_isa::hierarchy::{MainMemoryTiming, StoreBuffer};
+/// use spmlab_isa::mem::AccessWidth;
+///
+/// let main = MainMemoryTiming::table1().with_store_buffer(StoreBuffer::new(4, 6));
+/// // Worst case: buffer full, wait one full drain, then the 1-cycle accept.
+/// assert_eq!(main.store_cycles_worst(AccessWidth::Word), 1 + 6);
+/// // Without a buffer a word store pays the Table-1 main write cost.
+/// assert_eq!(MainMemoryTiming::table1().store_cycles_worst(AccessWidth::Word), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreBuffer {
+    /// Number of in-flight stores the buffer holds (≥ 1).
+    pub depth: u32,
+    /// Cycles to retire one entry to main memory (≥ 1).
+    pub drain_cycles: u64,
+}
+
+impl StoreBuffer {
+    /// A store buffer of `depth` entries draining one entry per
+    /// `drain_cycles`.
+    pub const fn new(depth: u32, drain_cycles: u64) -> StoreBuffer {
+        StoreBuffer {
+            depth,
+            drain_cycles,
+        }
+    }
+}
 
 /// Parametric main-memory (DRAM) timing: each access or line fill is one
 /// burst costing `latency + beats * beat_cycles`, where a beat moves
@@ -50,6 +109,9 @@ pub struct MainMemoryTiming {
     pub beat_cycles: u64,
     /// Bytes moved per beat (the paper's board: a 16-bit = 2-byte bus).
     pub bus_bytes: u32,
+    /// Optional store buffer in front of main memory (`None` = the
+    /// paper's machine: every store pays the full write cost in line).
+    pub store_buffer: Option<StoreBuffer>,
 }
 
 impl MainMemoryTiming {
@@ -61,6 +123,7 @@ impl MainMemoryTiming {
             latency: 0,
             beat_cycles: 2,
             bus_bytes: 2,
+            store_buffer: None,
         }
     }
 
@@ -71,7 +134,14 @@ impl MainMemoryTiming {
             latency,
             beat_cycles: 2,
             bus_bytes: 2,
+            store_buffer: None,
         }
+    }
+
+    /// Adds a store buffer in front of this main memory.
+    pub const fn with_store_buffer(mut self, sb: StoreBuffer) -> MainMemoryTiming {
+        self.store_buffer = Some(sb);
+        self
     }
 
     /// Number of beats to move `bytes` bytes (at least one).
@@ -92,6 +162,17 @@ impl MainMemoryTiming {
     /// The worst-case access cost over all widths.
     pub fn worst_access(&self) -> u64 {
         self.access(AccessWidth::Word)
+    }
+
+    /// Worst-case cycles for one core store that reaches main memory:
+    /// the full write cost without a store buffer, or the 1-cycle accept
+    /// plus one full drain when a [`StoreBuffer`] is configured (the
+    /// buffer-full stall bound — see [`StoreBuffer`] for the argument).
+    pub fn store_cycles_worst(&self, width: AccessWidth) -> u64 {
+        match &self.store_buffer {
+            None => self.access(width),
+            Some(sb) => 1 + sb.drain_cycles,
+        }
     }
 }
 
@@ -118,6 +199,25 @@ pub enum L1 {
         /// Data half.
         d: Option<CacheConfig>,
     },
+}
+
+/// Which memory level absorbs a data store to main-memory space — the
+/// first write-back level in the data path, or main memory itself when
+/// every level in the path is write-through (the paper's machine). One
+/// routing rule shared by the simulator's write path and the analyzer's
+/// charging rule, so the two can never disagree about where store cost
+/// accrues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreAbsorb {
+    /// The data-serving L1 is write-back: stores hit or write-allocate
+    /// there.
+    L1,
+    /// No write-back L1, but the L2 is write-back: stores pass the (absent
+    /// or write-through) L1 untouched and hit or write-allocate in the L2.
+    L2,
+    /// All-write-through path: stores go to main memory (via the store
+    /// buffer when one is configured).
+    Main,
 }
 
 /// A full memory-system configuration shared by the simulator and the WCET
@@ -297,6 +397,115 @@ impl MemHierarchyConfig {
         }
     }
 
+    // -----------------------------------------------------------------
+    // The write path. One routing rule shared by the simulator and the
+    // WCET analyzer: the first write-back level in the data path absorbs
+    // the store; with no write-back level the store goes through to main
+    // memory (optionally via the store buffer).
+    // -----------------------------------------------------------------
+
+    /// Where a data store to main-memory space lands (see
+    /// [`StoreAbsorb`]). A write-back data-serving L1 absorbs first; a
+    /// write-back L2 absorbs what passes the L1 (a write-through L1
+    /// forwards every store untouched — no-allocate means its tag store
+    /// never changes); otherwise the store goes through to main memory.
+    pub fn store_absorb(&self) -> StoreAbsorb {
+        if self
+            .l1_for(false)
+            .is_some_and(|c| c.write_policy.is_write_back())
+        {
+            StoreAbsorb::L1
+        } else if self
+            .l2
+            .as_ref()
+            .is_some_and(|c| c.write_policy.is_write_back())
+        {
+            StoreAbsorb::L2
+        } else {
+            StoreAbsorb::Main
+        }
+    }
+
+    /// Whether this machine's *timing of recorded read/fetch traffic plus
+    /// counted writes* can be reproduced from a write-through access
+    /// trace: `false` as soon as any level is write-back (store addresses
+    /// and their interleaving with reads then change cache state) or a
+    /// store buffer is configured (write cost then depends on arrival
+    /// times). Trace replay refuses such machines and the sweep falls
+    /// back to full simulation — see `spmlab_sim::trace`.
+    pub fn write_policy_dependent(&self) -> bool {
+        let wb = |c: &CacheConfig| c.size > 0 && c.write_policy.is_write_back();
+        let l1 = match &self.l1 {
+            L1::None => false,
+            L1::Unified(c) => wb(c),
+            L1::Split { i, d } => i.as_ref().is_some_and(wb) || d.as_ref().is_some_and(wb),
+        };
+        l1 || self.l2.as_ref().is_some_and(wb) || self.main.store_buffer.is_some()
+    }
+
+    /// Cycles to write one dirty line back from the data-serving L1 to
+    /// its next level: into a write-back L2 at a word per cycle behind
+    /// the L2 lookup, or as a main-memory burst when the L2 is
+    /// write-through (which forwards the line) or absent.
+    pub fn l1_writeback_cycles(&self) -> u64 {
+        let l1 = self
+            .l1_for(false)
+            .expect("L1 write-back cost needs a data-serving L1");
+        match &self.l2 {
+            Some(l2) if l2.write_policy.is_write_back() => l2.hit_cycles() + (l1.line as u64) / 4,
+            _ => self.main.burst(l1.line),
+        }
+    }
+
+    /// Cycles to write one dirty L2 line back to main memory.
+    pub fn l2_writeback_cycles(&self) -> u64 {
+        let l2 = self.l2.as_ref().expect("L2 write-back cost needs an L2");
+        self.main.burst(l2.line)
+    }
+
+    /// Worst-case cycles for one data store to main-memory space,
+    /// **excluding** the write-back obligation (covered separately by
+    /// [`MemHierarchyConfig::worst_store_writeback_cycles`]): the absorb
+    /// level's worst of hit and write-allocate fill, or the
+    /// (store-buffered) main write cost when nothing absorbs.
+    pub fn worst_store_cycles(&self, width: AccessWidth) -> u64 {
+        match self.store_absorb() {
+            StoreAbsorb::L1 => {
+                let l1 = self.l1_for(false).expect("absorb picked an L1");
+                let fill = if self.l2.is_some() {
+                    self.l1_miss_l2_miss_cycles(false)
+                } else {
+                    self.l1_miss_no_l2_cycles(false)
+                };
+                fill.max(l1.hit_cycles())
+            }
+            StoreAbsorb::L2 => self
+                .l2_direct_miss_cycles()
+                .max(self.l2_direct_hit_cycles()),
+            StoreAbsorb::Main => self.main.store_cycles_worst(width),
+        }
+    }
+
+    /// The write-back obligation a sound analysis charges per store whose
+    /// target line is not provably dirty already: the eventual eviction
+    /// of the line it dirties (one L1 write-back), plus — when that
+    /// write-back lands in a write-back L2 — the eventual eviction of the
+    /// L2 line *it* dirties (one L2 write-back). Zero on all-write-through
+    /// paths. See `spmlab_wcet::dirty` for the full soundness argument.
+    pub fn worst_store_writeback_cycles(&self) -> u64 {
+        match self.store_absorb() {
+            StoreAbsorb::L1 => {
+                let l2_wb = self
+                    .l2
+                    .as_ref()
+                    .is_some_and(|c| c.write_policy.is_write_back());
+                self.l1_writeback_cycles() + if l2_wb { self.l2_writeback_cycles() } else { 0 }
+            }
+            StoreAbsorb::L2 => self.l2_writeback_cycles(),
+            StoreAbsorb::Main => 0,
+        }
+    }
+
     /// Validates every level's geometry.
     ///
     /// # Panics
@@ -339,32 +548,53 @@ impl MemHierarchyConfig {
             self.main.beat_cycles >= 1,
             "a beat takes at least one cycle"
         );
+        if let Some(sb) = &self.main.store_buffer {
+            assert!(sb.depth >= 1, "store buffer needs at least one entry");
+            assert!(
+                sb.drain_cycles >= 1,
+                "a store-buffer drain takes at least one cycle"
+            );
+        }
     }
 
-    /// Short human-readable label (`spm`, `l1 1024`, `l1i512+l1d512+l2 4096`…)
-    /// used by sweep reports.
+    /// Short human-readable label (`spm`, `l1 1024`, `l1i512+l1d512+l2 4096`,
+    /// `l1 1024-wb`, `uncached (sb 4x6)`…) used by sweep reports.
+    /// Write-through levels label exactly as before the write-policy axis
+    /// existed; write-back levels append `-wb` and a store buffer appends
+    /// `(sb depth×drain)`.
     pub fn label(&self) -> String {
+        let wb = |c: &CacheConfig| {
+            if c.write_policy.is_write_back() {
+                "-wb"
+            } else {
+                ""
+            }
+        };
         let l1 = match &self.l1 {
             L1::None => String::from("uncached"),
             // Scope-restricted "unified" caches are different machines —
             // keep them distinguishable in reports and artifacts.
             L1::Unified(c) => match c.scope {
-                CacheScope::Unified => format!("l1 {}", c.size),
+                CacheScope::Unified => format!("l1 {}{}", c.size, wb(c)),
                 CacheScope::InstrOnly => format!("l1i {}", c.size),
-                CacheScope::DataOnly => format!("l1d {}", c.size),
+                CacheScope::DataOnly => format!("l1d {}{}", c.size, wb(c)),
             },
             L1::Split { i, d } => match (i, d) {
-                (Some(i), Some(d)) => format!("l1i{}+l1d{}", i.size, d.size),
+                (Some(i), Some(d)) => format!("l1i{}+l1d{}{}", i.size, d.size, wb(d)),
                 (Some(i), None) => format!("l1i{}", i.size),
-                (None, Some(d)) => format!("l1d{}", d.size),
+                (None, Some(d)) => format!("l1d{}{}", d.size, wb(d)),
                 (None, None) => String::from("uncached"),
             },
         };
         let l2 = match &self.l2 {
-            Some(l2) => format!("+l2 {}", l2.size),
+            Some(l2) => format!("+l2 {}{}", l2.size, wb(l2)),
             None => String::new(),
         };
-        let main = if self.main == MainMemoryTiming::table1() {
+        let timing_only = MainMemoryTiming {
+            store_buffer: None,
+            ..self.main
+        };
+        let mut main = if timing_only == MainMemoryTiming::table1() {
             String::new()
         } else {
             format!(
@@ -372,6 +602,9 @@ impl MemHierarchyConfig {
                 self.main.latency, self.main.beat_cycles, self.main.bus_bytes
             )
         };
+        if let Some(sb) = &self.main.store_buffer {
+            main.push_str(&format!(" (sb {}x{})", sb.depth, sb.drain_cycles));
+        }
         format!("{l1}{l2}{main}")
     }
 }
@@ -444,6 +677,87 @@ mod tests {
     }
 
     #[test]
+    fn store_absorb_routing() {
+        // All write-through (the paper's machine): stores go to main.
+        let wt = MemHierarchyConfig::split_l1(512, 512).with_l2(CacheConfig::l2(4096));
+        assert_eq!(wt.store_absorb(), StoreAbsorb::Main);
+        assert!(!wt.write_policy_dependent());
+        // A write-back L1D absorbs first.
+        let mut wb_l1 = wt.clone();
+        wb_l1.l1 = L1::Split {
+            i: Some(CacheConfig::instr_only(512)),
+            d: Some(CacheConfig::data_only(512).write_back()),
+        };
+        assert_eq!(wb_l1.store_absorb(), StoreAbsorb::L1);
+        assert!(wb_l1.write_policy_dependent());
+        // A write-through L1D in front of a write-back L2: the L2 absorbs.
+        let wb_l2 =
+            MemHierarchyConfig::split_l1(512, 512).with_l2(CacheConfig::l2(4096).write_back());
+        assert_eq!(wb_l2.store_absorb(), StoreAbsorb::L2);
+        // An instruction-only L1 never absorbs data stores.
+        let icache = MemHierarchyConfig::l1_only(CacheConfig::instr_only(512).write_back());
+        assert_eq!(icache.store_absorb(), StoreAbsorb::Main);
+        // A store buffer alone makes the machine write-policy-dependent.
+        let sb = MemHierarchyConfig::uncached_with(
+            MainMemoryTiming::table1().with_store_buffer(StoreBuffer::new(4, 6)),
+        );
+        assert_eq!(sb.store_absorb(), StoreAbsorb::Main);
+        assert!(sb.write_policy_dependent());
+        assert!(!MemHierarchyConfig::uncached().write_policy_dependent());
+    }
+
+    #[test]
+    fn writeback_costs() {
+        // WB L1D over a WB L2: victim line streams into the L2 at a word
+        // per cycle behind the 3-cycle L2 lookup.
+        let h = MemHierarchyConfig {
+            l1: L1::Split {
+                i: Some(CacheConfig::instr_only(512)),
+                d: Some(CacheConfig::data_only(512).write_back()),
+            },
+            l2: Some(CacheConfig::l2(4096).write_back()),
+            main: MainMemoryTiming::table1(),
+        };
+        h.validate();
+        assert_eq!(h.l1_writeback_cycles(), 3 + 16 / 4);
+        // L2 victim: a 32-byte burst to Table-1 main memory.
+        assert_eq!(h.l2_writeback_cycles(), 32);
+        // Per-store obligation covers both eventual evictions.
+        assert_eq!(h.worst_store_writeback_cycles(), 7 + 32);
+        // The store's own worst case is the write-allocate fill path.
+        assert_eq!(
+            h.worst_store_cycles(AccessWidth::Word),
+            h.l1_miss_l2_miss_cycles(false)
+        );
+        // WB L1 over a write-through L2: the forwarded line pays the main
+        // burst (the WT L2 does not absorb lines).
+        let wt_l2 = MemHierarchyConfig {
+            l2: Some(CacheConfig::l2(4096)),
+            ..h.clone()
+        };
+        assert_eq!(wt_l2.l1_writeback_cycles(), 16);
+        assert_eq!(wt_l2.worst_store_writeback_cycles(), 16);
+        // All-write-through machines owe nothing.
+        assert_eq!(
+            MemHierarchyConfig::split_l1(512, 512).worst_store_writeback_cycles(),
+            0
+        );
+    }
+
+    #[test]
+    fn store_buffer_timing() {
+        let sb = MainMemoryTiming::table1().with_store_buffer(StoreBuffer::new(2, 9));
+        assert_eq!(sb.store_cycles_worst(AccessWidth::Byte), 10);
+        let h = MemHierarchyConfig::uncached_with(sb);
+        h.validate();
+        assert_eq!(h.worst_store_cycles(AccessWidth::Word), 10);
+        assert_eq!(
+            MemHierarchyConfig::uncached().worst_store_cycles(AccessWidth::Word),
+            4
+        );
+    }
+
+    #[test]
     fn labels() {
         assert_eq!(MemHierarchyConfig::uncached().label(), "uncached");
         assert_eq!(
@@ -456,6 +770,26 @@ mod tests {
             MemHierarchyConfig::uncached_with(MainMemoryTiming::dram(10))
                 .label()
                 .contains("dram 10")
+        );
+        // Write-back levels and store buffers are visible; write-through
+        // labels are byte-identical to the pre-policy format.
+        assert_eq!(
+            MemHierarchyConfig::l1_only(CacheConfig::unified(1024).write_back()).label(),
+            "l1 1024-wb"
+        );
+        let mut wb =
+            MemHierarchyConfig::split_l1(512, 512).with_l2(CacheConfig::l2(4096).write_back());
+        wb.l1 = L1::Split {
+            i: Some(CacheConfig::instr_only(512)),
+            d: Some(CacheConfig::data_only(512).write_back()),
+        };
+        assert_eq!(wb.label(), "l1i512+l1d512-wb+l2 4096-wb");
+        assert_eq!(
+            MemHierarchyConfig::uncached_with(
+                MainMemoryTiming::table1().with_store_buffer(StoreBuffer::new(4, 6))
+            )
+            .label(),
+            "uncached (sb 4x6)"
         );
     }
 }

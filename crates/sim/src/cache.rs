@@ -1,17 +1,25 @@
-//! Cache model: tag store only.
+//! Cache model: tag store plus per-line dirty bits.
 //!
-//! The cache is write-through with no write-allocate, so main memory always
-//! holds current data and the model only needs tags + replacement state.
-//! This exactly matches the timing the WCET analyzer assumes and keeps the
-//! simulated data path trivially correct. Geometry and timing come from
-//! [`spmlab_isa::cachecfg::CacheConfig`], shared with the WCET analyzer.
+//! Under the default write-through / no-write-allocate policy the cache
+//! needs tags only — main memory always holds current data, exactly like
+//! the paper's machine. With [`WritePolicy::WriteBack`] the tag store
+//! additionally carries one dirty bit per way: store hits dirty the line
+//! in place, store misses write-allocate, and a fill that evicts a dirty
+//! victim reports the victim's line address so the memory system can
+//! charge the write-back at the victim's next level. The *data* path
+//! stays trivially correct either way, because the simulator keeps the
+//! backing store current on every store and models write-back purely as
+//! timing (see the README's "Write policies and store buffers" section).
+//! Geometry and timing come from [`spmlab_isa::cachecfg::CacheConfig`],
+//! shared with the WCET analyzer.
 
 use spmlab_isa::cachecfg::SetIndexer;
-pub use spmlab_isa::cachecfg::{CacheConfig, CacheScope, Replacement};
+pub use spmlab_isa::cachecfg::{CacheConfig, CacheScope, Replacement, WritePolicy};
 
 #[derive(Debug, Clone, Copy, Default)]
 struct Way {
     valid: bool,
+    dirty: bool,
     tag: u32,
     /// Higher = more recently used (LRU); insertion order (round-robin).
     stamp: u64,
@@ -34,13 +42,30 @@ pub struct Cache {
     rng: u64,
 }
 
-/// Result of a cache lookup.
+/// Result of one cache access: whether the line was present, plus — when
+/// a fill evicted a dirty victim — the victim line's base address (only
+/// ever `Some` for write-back caches; write-through caches hold no dirty
+/// state).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Lookup {
-    /// Line present.
-    Hit,
-    /// Line absent (and filled, for reads).
-    Miss,
+pub struct AccessResult {
+    /// Line was present.
+    pub hit: bool,
+    /// Base address of the dirty line this access evicted, if any.
+    pub writeback: Option<u32>,
+}
+
+impl AccessResult {
+    /// A plain hit (no eviction possible).
+    pub const HIT: AccessResult = AccessResult {
+        hit: true,
+        writeback: None,
+    };
+
+    /// A miss whose fill evicted nothing dirty.
+    pub const MISS: AccessResult = AccessResult {
+        hit: false,
+        writeback: None,
+    };
 }
 
 impl Cache {
@@ -82,33 +107,18 @@ impl Cache {
         x
     }
 
-    /// A read access: returns hit/miss and fills the line on a miss.
-    #[inline]
-    pub fn read(&mut self, addr: u32) -> Lookup {
-        let (set, tag) = self.set_and_tag(addr);
-        if self.assoc == 1 {
-            // Direct-mapped fast path: no recency bookkeeping, no victim
-            // search — the way either holds the tag or is replaced.
-            let w = &mut self.ways[set];
-            if w.valid && w.tag == tag {
-                return Lookup::Hit;
-            }
-            *w = Way {
-                valid: true,
-                tag,
-                stamp: 0,
-            };
-            return Lookup::Miss;
-        }
-        self.tick += 1;
-        let tick = self.tick;
+    /// The dirty victim's line address, if the way about to be replaced
+    /// holds a modified line.
+    fn victim_writeback(&self, set: usize, w: &Way) -> Option<u32> {
+        (w.valid && w.dirty).then(|| self.idx.line_addr(set as u32, w.tag))
+    }
+
+    /// Fills `addr`'s line into its set, `dirty` flagged per the access
+    /// kind, returning the evicted dirty victim's line address (if any).
+    /// `stamp` is the recency value of the new line.
+    fn fill(&mut self, set: usize, tag: u32, dirty: bool, stamp: u64) -> Option<u32> {
         let base = set * self.assoc;
-        let ways = &mut self.ways[base..base + self.assoc];
-        if let Some(w) = ways.iter_mut().find(|w| w.valid && w.tag == tag) {
-            w.stamp = tick; // LRU touch (harmless for other policies).
-            return Lookup::Hit;
-        }
-        // Miss: pick a victim way and fill.
+        let ways = &self.ways[base..base + self.assoc];
         let victim = if let Some(inv) = ways.iter().position(|w| !w.valid) {
             inv
         } else {
@@ -130,28 +140,103 @@ impl Cache {
                 }
             }
         };
+        let wb = self.victim_writeback(set, &self.ways[base + victim]);
         self.ways[base + victim] = Way {
             valid: true,
+            dirty,
             tag,
-            stamp: tick,
+            stamp,
         };
-        Lookup::Miss
+        wb
+    }
+
+    /// A read access: returns hit/miss and fills the line (clean) on a
+    /// miss, reporting a dirty victim's address for the write-back charge.
+    #[inline]
+    pub fn read(&mut self, addr: u32) -> AccessResult {
+        self.access(addr, false)
+    }
+
+    /// A read or allocate-on-store access (`dirty` distinguishes them):
+    /// the shared lookup-then-fill path.
+    fn access(&mut self, addr: u32, dirty: bool) -> AccessResult {
+        let (set, tag) = self.set_and_tag(addr);
+        if self.assoc == 1 {
+            // Direct-mapped fast path: no recency bookkeeping, no victim
+            // search — the way either holds the tag or is replaced.
+            let w = &mut self.ways[set];
+            if w.valid && w.tag == tag {
+                w.dirty |= dirty;
+                return AccessResult::HIT;
+            }
+            let wb = (w.valid && w.dirty).then(|| self.idx.line_addr(set as u32, w.tag));
+            *w = Way {
+                valid: true,
+                dirty,
+                tag,
+                stamp: 0,
+            };
+            return AccessResult {
+                hit: false,
+                writeback: wb,
+            };
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        let base = set * self.assoc;
+        let ways = &mut self.ways[base..base + self.assoc];
+        if let Some(w) = ways.iter_mut().find(|w| w.valid && w.tag == tag) {
+            w.stamp = tick; // LRU touch (harmless for other policies).
+            w.dirty |= dirty;
+            return AccessResult::HIT;
+        }
+        // Miss: pick a victim way and fill.
+        let wb = self.fill(set, tag, dirty, tick);
+        AccessResult {
+            hit: false,
+            writeback: wb,
+        }
     }
 
     fn set_ways(&self, set: usize) -> &[Way] {
         &self.ways[set * self.assoc..(set + 1) * self.assoc]
     }
 
-    /// A write access: write-through, no allocate, no recency update.
-    /// Returns whether the line was present (timing is unaffected either
-    /// way; the write always pays the main-memory cost).
-    pub fn write(&mut self, addr: u32) -> Lookup {
-        let (set, tag) = self.set_and_tag(addr);
-        if self.set_ways(set).iter().any(|w| w.valid && w.tag == tag) {
-            Lookup::Hit
-        } else {
-            Lookup::Miss
+    /// A data store, routed by the level's [`WritePolicy`]:
+    ///
+    /// * **write-through / no-allocate** (the paper's machine): the tag
+    ///   store is untouched — no allocation, no recency update, no dirty
+    ///   state — and only the hit/miss outcome is reported;
+    /// * **write-back / write-allocate**: a hit dirties the line in place
+    ///   (with a recency touch, like a read); a miss write-allocates the
+    ///   line dirty, possibly evicting a dirty victim whose address is
+    ///   reported for the write-back charge.
+    pub fn write(&mut self, addr: u32) -> AccessResult {
+        match self.cfg.write_policy {
+            WritePolicy::WriteThrough => {
+                let (set, tag) = self.set_and_tag(addr);
+                AccessResult {
+                    hit: self.set_ways(set).iter().any(|w| w.valid && w.tag == tag),
+                    writeback: None,
+                }
+            }
+            WritePolicy::WriteBack => self.access(addr, true),
         }
+    }
+
+    /// Installs a line arriving from an upper level's write-back
+    /// (write-back L2 only): a present line is overwritten (and dirtied)
+    /// in place, an absent line is allocated dirty with **no fill read
+    /// charged** — a sector-write simplification: when this level's lines
+    /// are larger than the incoming one (16-byte L1 lines into 32-byte L2
+    /// lines by default), real write-allocate hardware would fetch the
+    /// remainder, while this model allocates the containing line dirty
+    /// for free. The WCET analyzer charges the *same* constant
+    /// (`l1_writeback_cycles` = L2 lookup + word-per-cycle transfer), so
+    /// the two sides agree and soundness is unaffected. Returns the
+    /// evicted dirty victim's address, if any (the cascade charge).
+    pub fn install_writeback(&mut self, addr: u32) -> Option<u32> {
+        self.access(addr, true).writeback
     }
 
     /// Whether the line containing `addr` is currently present (no state
@@ -159,6 +244,15 @@ impl Cache {
     pub fn probe(&self, addr: u32) -> bool {
         let (set, tag) = self.set_and_tag(addr);
         self.set_ways(set).iter().any(|w| w.valid && w.tag == tag)
+    }
+
+    /// Whether the line containing `addr` is present *and dirty* (no
+    /// state change; tests only).
+    pub fn probe_dirty(&self, addr: u32) -> bool {
+        let (set, tag) = self.set_and_tag(addr);
+        self.set_ways(set)
+            .iter()
+            .any(|w| w.valid && w.dirty && w.tag == tag)
     }
 }
 
@@ -169,12 +263,12 @@ mod tests {
     #[test]
     fn direct_mapped_conflict() {
         let mut c = Cache::new(CacheConfig::unified(64)); // 4 sets of 16B
-        assert_eq!(c.read(0x100), Lookup::Miss);
-        assert_eq!(c.read(0x100), Lookup::Hit);
-        assert_eq!(c.read(0x104), Lookup::Hit, "same line");
+        assert!(!c.read(0x100).hit);
+        assert!(c.read(0x100).hit);
+        assert!(c.read(0x104).hit, "same line");
         // 0x140 maps to the same set (64-byte stride), evicts.
-        assert_eq!(c.read(0x140), Lookup::Miss);
-        assert_eq!(c.read(0x100), Lookup::Miss, "evicted by conflict");
+        assert!(!c.read(0x140).hit);
+        assert!(!c.read(0x100).hit, "evicted by conflict");
     }
 
     #[test]
@@ -183,15 +277,14 @@ mod tests {
         let mut c = Cache::new(cfg); // 2 sets × 2 ways
         c.read(0x000);
         c.read(0x040); // same set, second way
-        assert_eq!(c.read(0x000), Lookup::Hit);
-        assert_eq!(c.read(0x040), Lookup::Hit);
+        assert!(c.read(0x000).hit);
+        assert!(c.read(0x040).hit);
         // Third conflicting line evicts the LRU one (0x000 touched last ⇒
         // 0x040 is LRU... we touched 0x040 after 0x000, then 0x000, so LRU
         // is 0x040).
         c.read(0x080);
-        assert_eq!(
-            c.read(0x000),
-            Lookup::Miss,
+        assert!(
+            !c.read(0x000).hit,
             "0x000 was LRU after 0x040 hit? order check"
         );
     }
@@ -210,13 +303,58 @@ mod tests {
     }
 
     #[test]
-    fn writes_do_not_allocate() {
+    fn write_through_does_not_allocate() {
         let mut c = Cache::new(CacheConfig::unified(64));
-        assert_eq!(c.write(0x200), Lookup::Miss);
+        assert!(!c.write(0x200).hit);
         assert!(!c.probe(0x200), "no write-allocate");
         c.read(0x200);
-        assert_eq!(c.write(0x200), Lookup::Hit);
+        assert!(c.write(0x200).hit);
         assert!(c.probe(0x200));
+        assert!(!c.probe_dirty(0x200), "write-through holds no dirty state");
+    }
+
+    #[test]
+    fn write_back_allocates_and_dirties() {
+        let mut c = Cache::new(CacheConfig::unified(64).write_back());
+        // Store miss: write-allocate, line dirty, no victim yet.
+        let w = c.write(0x200);
+        assert!(!w.hit);
+        assert_eq!(w.writeback, None);
+        assert!(c.probe(0x200) && c.probe_dirty(0x200));
+        // Store hit: stays dirty.
+        assert!(c.write(0x204).hit);
+        // A conflicting read evicts the dirty line and reports it.
+        let r = c.read(0x240); // same 4-set cache: 0x240 maps with 0x200
+        assert!(!r.hit);
+        assert_eq!(r.writeback, Some(0x200));
+        assert!(!c.probe_dirty(0x240), "read fills are clean");
+        // Evicting the clean line reports nothing.
+        assert_eq!(c.read(0x280).writeback, None);
+    }
+
+    #[test]
+    fn read_fill_then_store_dirties_then_eviction_reports() {
+        let mut c = Cache::new(CacheConfig::unified(64).write_back());
+        c.read(0x100); // clean fill
+        assert!(!c.probe_dirty(0x100));
+        assert!(c.write(0x100).hit); // dirtied in place
+        assert!(c.probe_dirty(0x100));
+        assert_eq!(c.read(0x140).writeback, Some(0x100));
+    }
+
+    #[test]
+    fn install_writeback_cascades() {
+        let cfg = CacheConfig {
+            line: 16,
+            ..CacheConfig::l2(64).write_back()
+        }; // 1 set × 4 ways of 16 B
+        let mut c = Cache::new(cfg);
+        for a in [0x000u32, 0x040, 0x080, 0x0C0] {
+            assert_eq!(c.install_writeback(a), None);
+        }
+        // Fifth dirty line evicts the LRU dirty one.
+        assert_eq!(c.install_writeback(0x100), Some(0x000));
+        assert!(c.probe_dirty(0x100));
     }
 
     #[test]
@@ -240,7 +378,7 @@ mod tests {
             let mut c = Cache::new(cfg);
             let mut pattern = Vec::new();
             for i in 0..64u32 {
-                pattern.push(c.read(i * 16 * 7) == Lookup::Hit);
+                pattern.push(c.read(i * 16 * 7).hit);
             }
             pattern
         };

@@ -7,15 +7,24 @@
 //! analyzer charges — the two sides can therefore never disagree about the
 //! machine.
 //!
-//! Invariants mirrored from the single-level model: all levels are
-//! write-through with no write-allocate (so the data path needs no cache
-//! storage, only tags), and an access that has no cache configured for its
-//! kind bypasses the hierarchy entirely.
+//! Each level carries its own write policy
+//! ([`spmlab_isa::cachecfg::WritePolicy`]): write-through levels need no
+//! cache storage, only tags, exactly like the paper's single-level
+//! machine; write-back levels additionally track dirty bits, stores are
+//! absorbed by the first write-back level in the data path
+//! ([`MemHierarchyConfig::store_absorb`]), and dirty victims pay a line
+//! write-back to the victim's next level at eviction time. Core stores
+//! that reach main memory may pass through an optional
+//! [`spmlab_isa::hierarchy::StoreBuffer`]. See the README's "Write
+//! policies and store buffers" section for the full cost model. An access
+//! that has no cache configured for its kind still bypasses the hierarchy
+//! entirely.
 
-use crate::cache::{Cache, Lookup};
+use crate::cache::Cache;
 use crate::memsys::{AccessKind, MemStats};
-use spmlab_isa::hierarchy::{MemHierarchyConfig, L1};
+use spmlab_isa::hierarchy::{MemHierarchyConfig, StoreAbsorb, L1};
 use spmlab_isa::mem::AccessWidth;
+use std::collections::VecDeque;
 
 /// Which tag store serves one access kind (resolved once at build time so
 /// the per-access path never re-matches the `L1` enum).
@@ -54,6 +63,78 @@ struct Route {
     bypass: [u64; 3],
 }
 
+/// Precomputed write-path routing and cycle constants — the store-absorb
+/// rule plus every write-back transfer cost, all from the shared model in
+/// [`MemHierarchyConfig`] (see its `store_absorb` / `worst_store_cycles`
+/// helpers for the analyzer's side of the same constants).
+#[derive(Debug, Clone, Copy)]
+struct WriteRoute {
+    absorb: StoreAbsorb,
+    /// Absorb-at-L1 constants: store hit, write-allocate fill via L2 hit,
+    /// write-allocate fill worst (L2 miss or no L2).
+    l1_store_hit: u64,
+    l1_fill_l2_hit: u64,
+    l1_fill_worst: u64,
+    /// Absorb-at-L2 constants: store hit, write-allocate fill from main.
+    l2_store_hit: u64,
+    l2_fill: u64,
+    /// Dirty-victim write-back transfer cycles out of the L1 / the L2.
+    l1_wb: u64,
+    l2_wb: u64,
+    /// Whether the L2 absorbs written-back L1 lines (write-back L2).
+    l2_accepts_lines: bool,
+    /// 32-bit words of an L1 / L2 line (fill accounting).
+    l1_line_words: u64,
+    /// Main-memory write cycles per width (no store buffer).
+    main_write: [u64; 3],
+    /// Whether any cache level sits in the data path (the write-through
+    /// counter's condition, unchanged from the all-write-through model).
+    data_cached: bool,
+}
+
+/// Concrete store-buffer state: completion times of the in-flight
+/// entries, drained front-to-back. `clock` enforces that successive
+/// stores observe a time at least one cycle past the previous store's
+/// accept-plus-stall, which is what bounds any single stall by one drain
+/// period (see [`spmlab_isa::hierarchy::StoreBuffer`]).
+#[derive(Debug, Clone)]
+struct StoreBufferState {
+    depth: usize,
+    drain: u64,
+    clock: u64,
+    pending: VecDeque<u64>,
+}
+
+impl StoreBufferState {
+    fn new(sb: &spmlab_isa::hierarchy::StoreBuffer) -> StoreBufferState {
+        StoreBufferState {
+            depth: sb.depth.max(1) as usize,
+            drain: sb.drain_cycles.max(1),
+            clock: 0,
+            pending: VecDeque::with_capacity(sb.depth as usize),
+        }
+    }
+
+    /// Accepts one store at time `now`, returning its cycles (1, plus the
+    /// buffer-full stall) and accounting the stall.
+    fn push(&mut self, now: u64, stats: &mut MemStats) -> u64 {
+        let now = now.max(self.clock);
+        while self.pending.front().is_some_and(|&c| c <= now) {
+            self.pending.pop_front();
+        }
+        let mut stall = 0;
+        if self.pending.len() >= self.depth {
+            let head = self.pending.pop_front().expect("depth >= 1");
+            stall = head - now;
+        }
+        let start = (now + stall).max(self.pending.back().copied().unwrap_or(0));
+        self.pending.push_back(start + self.drain);
+        stats.store_buffer_stalls += stall;
+        self.clock = now + stall + 1;
+        1 + stall
+    }
+}
+
 /// Per-level outcome of one read, alongside its cycle charge.
 ///
 /// `first_miss` reports the outcome at the first cache level in the
@@ -89,6 +170,8 @@ pub struct HierarchyCaches {
     l2: Option<Cache>,
     fetch_route: Route,
     data_route: Route,
+    write_route: WriteRoute,
+    store_buffer: Option<StoreBufferState>,
     /// Words per L2 line fill (0 when no L2).
     l2_fill_words: u64,
 }
@@ -147,7 +230,59 @@ impl HierarchyCaches {
         }
     }
 
-    /// Builds empty (all-invalid) tag stores for `cfg`.
+    fn write_route_for(cfg: &MemHierarchyConfig) -> WriteRoute {
+        let absorb = cfg.store_absorb();
+        let data_l1 = cfg.l1_for(false);
+        let has_l2 = cfg.l2.is_some();
+        let l2_wb_policy = cfg
+            .l2
+            .as_ref()
+            .is_some_and(|c| c.write_policy.is_write_back());
+        WriteRoute {
+            absorb,
+            l1_store_hit: if data_l1.is_some() {
+                cfg.l1_hit_cycles(false)
+            } else {
+                0
+            },
+            l1_fill_l2_hit: if data_l1.is_some() && has_l2 {
+                cfg.l1_miss_l2_hit_cycles(false)
+            } else {
+                0
+            },
+            l1_fill_worst: match (data_l1.is_some(), has_l2) {
+                (true, true) => cfg.l1_miss_l2_miss_cycles(false),
+                (true, false) => cfg.l1_miss_no_l2_cycles(false),
+                _ => 0,
+            },
+            l2_store_hit: if has_l2 {
+                cfg.l2_direct_hit_cycles()
+            } else {
+                0
+            },
+            l2_fill: if has_l2 {
+                cfg.l2_direct_miss_cycles()
+            } else {
+                0
+            },
+            l1_wb: if data_l1.is_some() {
+                cfg.l1_writeback_cycles()
+            } else {
+                0
+            },
+            l2_wb: if has_l2 { cfg.l2_writeback_cycles() } else { 0 },
+            l2_accepts_lines: l2_wb_policy,
+            l1_line_words: data_l1.map_or(0, |c| (c.line / 4) as u64),
+            main_write: [
+                cfg.main.access(AccessWidth::Byte),
+                cfg.main.access(AccessWidth::Half),
+                cfg.main.access(AccessWidth::Word),
+            ],
+            data_cached: data_l1.is_some() || has_l2,
+        }
+    }
+
+    /// Builds empty (all-invalid, all-clean) tag stores for `cfg`.
     pub fn new(cfg: MemHierarchyConfig) -> HierarchyCaches {
         cfg.validate();
         let (l1u, l1i, l1d) = match &cfg.l1 {
@@ -158,6 +293,8 @@ impl HierarchyCaches {
         let l2 = cfg.l2.clone().map(Cache::new);
         let fetch_route = Self::route_for(&cfg, true);
         let data_route = Self::route_for(&cfg, false);
+        let write_route = Self::write_route_for(&cfg);
+        let store_buffer = cfg.main.store_buffer.as_ref().map(StoreBufferState::new);
         let l2_fill_words = cfg.l2.as_ref().map_or(0, |c| (c.line / 4) as u64);
         HierarchyCaches {
             cfg,
@@ -167,6 +304,8 @@ impl HierarchyCaches {
             l2,
             fetch_route,
             data_route,
+            write_route,
+            store_buffer,
             l2_fill_words,
         }
     }
@@ -176,11 +315,35 @@ impl HierarchyCaches {
         &self.cfg
     }
 
+    /// Retires one dirty victim line evicted from the L1: into a
+    /// write-back L2 (possibly cascading into an L2 victim's burst to
+    /// main), or as a burst straight to main memory when the L2 is
+    /// write-through (which forwards the line) or absent. Returns the
+    /// transfer's cycles.
+    fn retire_l1_victim(&mut self, victim: u32, stats: &mut MemStats) -> u64 {
+        let wr = &self.write_route;
+        let (l1_wb, l2_wb, into_l2) = (wr.l1_wb, wr.l2_wb, wr.l2_accepts_lines);
+        stats.dirty_evictions += 1;
+        let mut cycles = l1_wb;
+        if into_l2 {
+            let l2 = self.l2.as_mut().expect("write-back L2 accepts lines");
+            if let Some(_victim2) = l2.install_writeback(victim) {
+                stats.dirty_evictions += 1;
+                stats.write_backs += 1;
+                cycles += l2_wb;
+            }
+        } else {
+            stats.write_backs += 1;
+        }
+        cycles
+    }
+
     /// A read or fetch of `width` at `addr` in main-memory space. Returns
     /// `(cycles, outcome)`; see [`ReadOutcome`] for the per-level report.
     /// All routing decisions and cycle constants were resolved at
     /// construction time; the per-access work is one or two tag-store
-    /// lookups plus counter updates.
+    /// lookups plus counter updates — plus, on write-back configurations,
+    /// the dirty-victim retirement a fill can trigger.
     pub fn read(
         &mut self,
         addr: u32,
@@ -207,9 +370,11 @@ impl HierarchyCaches {
                     &self.data_route
                 };
                 let (l2_direct_hit, l2_direct_miss) = (route.l2_direct_hit, route.l2_direct_miss);
+                let l2_wb = self.write_route.l2_wb;
                 return match &mut self.l2 {
-                    Some(l2) => match l2.read(addr) {
-                        Lookup::Hit => {
+                    Some(l2) => {
+                        let r = l2.read(addr);
+                        if r.hit {
                             stats.l2_hits += 1;
                             (
                                 l2_direct_hit,
@@ -218,19 +383,24 @@ impl HierarchyCaches {
                                     l2_hit: Some(true),
                                 },
                             )
-                        }
-                        Lookup::Miss => {
+                        } else {
                             stats.l2_misses += 1;
                             stats.fill_words += self.l2_fill_words;
+                            let mut cycles = l2_direct_miss;
+                            if r.writeback.is_some() {
+                                stats.dirty_evictions += 1;
+                                stats.write_backs += 1;
+                                cycles += l2_wb;
+                            }
                             (
-                                l2_direct_miss,
+                                cycles,
                                 ReadOutcome {
                                     first_miss: Some(true),
                                     l2_hit: Some(false),
                                 },
                             )
                         }
-                    },
+                    }
                     None => {
                         let w = match width {
                             AccessWidth::Byte => 0,
@@ -245,24 +415,24 @@ impl HierarchyCaches {
             L1Pick::Instr => self.l1i.as_mut().expect("route picked split L1I"),
             L1Pick::Data => self.l1d.as_mut().expect("route picked split L1D"),
         };
-        let l1_hit = l1.read(addr) == Lookup::Hit;
+        let l1r = l1.read(addr);
         let route = if fetch {
             &self.fetch_route
         } else {
             &self.data_route
         };
         if fetch {
-            if l1_hit {
+            if l1r.hit {
                 stats.l1i_hits += 1;
             } else {
                 stats.l1i_misses += 1;
             }
-        } else if l1_hit {
+        } else if l1r.hit {
             stats.l1d_hits += 1;
         } else {
             stats.l1d_misses += 1;
         }
-        if l1_hit {
+        if l1r.hit {
             stats.cache_hits += 1;
             return (
                 route.l1_hit,
@@ -275,23 +445,36 @@ impl HierarchyCaches {
         stats.cache_misses += 1;
         let (l1_miss_l2_hit, l1_miss_worst, fill_words) =
             (route.l1_miss_l2_hit, route.l1_miss_worst, route.fill_words);
-        let (cycles, l2_hit) = match &mut self.l2 {
-            Some(l2) => match l2.read(addr) {
-                Lookup::Hit => {
+        let l2_wb = self.write_route.l2_wb;
+        let (mut cycles, l2_hit) = match &mut self.l2 {
+            Some(l2) => {
+                let r = l2.read(addr);
+                if r.hit {
                     stats.l2_hits += 1;
                     (l1_miss_l2_hit, Some(true))
-                }
-                Lookup::Miss => {
+                } else {
                     stats.l2_misses += 1;
                     stats.fill_words += fill_words;
-                    (l1_miss_worst, Some(false))
+                    let mut c = l1_miss_worst;
+                    if r.writeback.is_some() {
+                        stats.dirty_evictions += 1;
+                        stats.write_backs += 1;
+                        c += l2_wb;
+                    }
+                    (c, Some(false))
                 }
-            },
+            }
             None => {
                 stats.fill_words += fill_words;
                 (l1_miss_worst, None)
             }
         };
+        // The fill's victim: only write-back L1s ever hold dirty lines
+        // (a unified write-back L1's fetch misses can evict lines the
+        // data side dirtied).
+        if let Some(victim) = l1r.writeback {
+            cycles += self.retire_l1_victim(victim, stats);
+        }
         (
             cycles,
             ReadOutcome {
@@ -301,14 +484,99 @@ impl HierarchyCaches {
         )
     }
 
-    /// A data write: write-through with no allocation and no recency
-    /// update at every level, so the tag stores are untouched and timing
-    /// is unaffected (the write always pays the main-memory cost) — only
-    /// the statistics change. Counted as a write-through when any cache
-    /// level sits in the data path (an L1D, a unified L1, or a direct L2).
-    pub fn write(&mut self, _addr: u32, stats: &mut MemStats) {
-        if self.cfg.l1_for(false).is_some() || self.l2.is_some() {
-            stats.write_throughs += 1;
+    /// A data write to main-memory space at time `now`, routed by the
+    /// store-absorb rule ([`MemHierarchyConfig::store_absorb`]):
+    ///
+    /// * **absorbed by a write-back L1**: hit = dirty the line in place at
+    ///   the L1 hit cost; miss = write-allocate (fill from L2/main like a
+    ///   read miss, then dirty), retiring any dirty victim;
+    /// * **absorbed by a write-back L2** (write-through or absent L1D in
+    ///   front): hit = dirty in place at the direct-L2 cost; miss =
+    ///   write-allocate from main, retiring any dirty L2 victim;
+    /// * **all-write-through path**: the tag stores are untouched and the
+    ///   store pays the main-memory cost — or the store buffer's 1-cycle
+    ///   accept (plus the buffer-full stall) when one is configured —
+    ///   exactly like the single-level model.
+    ///
+    /// Returns the store's cycles.
+    pub fn write(&mut self, addr: u32, width: AccessWidth, now: u64, stats: &mut MemStats) -> u64 {
+        let wr = self.write_route;
+        match wr.absorb {
+            StoreAbsorb::L1 => {
+                let l1 = match (&mut self.l1u, &mut self.l1d) {
+                    (Some(l1u), _) => l1u,
+                    (None, Some(l1d)) => l1d,
+                    (None, None) => unreachable!("store absorb picked an L1"),
+                };
+                let w = l1.write(addr);
+                if w.hit {
+                    return wr.l1_store_hit;
+                }
+                // Write-allocate: fill the line from the next level.
+                let mut cycles = match &mut self.l2 {
+                    Some(l2) => {
+                        let r = l2.read(addr);
+                        if r.hit {
+                            stats.l2_hits += 1;
+                            wr.l1_fill_l2_hit
+                        } else {
+                            stats.l2_misses += 1;
+                            stats.fill_words += self.l2_fill_words;
+                            let mut c = wr.l1_fill_worst;
+                            if r.writeback.is_some() {
+                                stats.dirty_evictions += 1;
+                                stats.write_backs += 1;
+                                c += wr.l2_wb;
+                            }
+                            c
+                        }
+                    }
+                    None => {
+                        stats.fill_words += wr.l1_line_words;
+                        wr.l1_fill_worst
+                    }
+                };
+                if let Some(victim) = w.writeback {
+                    cycles += self.retire_l1_victim(victim, stats);
+                }
+                cycles
+            }
+            StoreAbsorb::L2 => {
+                let l2 = self.l2.as_mut().expect("write-back L2 absorbs");
+                let w = l2.write(addr);
+                if w.hit {
+                    wr.l2_store_hit
+                } else {
+                    stats.fill_words += self.l2_fill_words;
+                    let mut cycles = wr.l2_fill;
+                    if w.writeback.is_some() {
+                        stats.dirty_evictions += 1;
+                        stats.write_backs += 1;
+                        cycles += wr.l2_wb;
+                    }
+                    cycles
+                }
+            }
+            StoreAbsorb::Main => {
+                // Write-through straight to main memory: no tag-store
+                // change at any level, byte-identical to the paper's
+                // machine — the store buffer, when present, only changes
+                // *when* the cycles are paid.
+                if wr.data_cached {
+                    stats.write_throughs += 1;
+                }
+                match &mut self.store_buffer {
+                    Some(sb) => sb.push(now, stats),
+                    None => {
+                        let w = match width {
+                            AccessWidth::Byte => 0,
+                            AccessWidth::Half => 1,
+                            AccessWidth::Word => 2,
+                        };
+                        wr.main_write[w]
+                    }
+                }
+            }
         }
     }
 
@@ -333,13 +601,24 @@ impl HierarchyCaches {
     pub fn probe_l2(&self, addr: u32) -> Option<bool> {
         self.l2.as_ref().map(|c| c.probe(addr))
     }
+
+    /// Whether `addr`'s line is dirty in the L1 serving data traffic
+    /// (tests only).
+    pub fn probe_l1_dirty(&self, addr: u32) -> Option<bool> {
+        self.l1_ref(false).map(|c| c.probe_dirty(addr))
+    }
+
+    /// Whether `addr`'s line is dirty in the L2 (tests only).
+    pub fn probe_l2_dirty(&self, addr: u32) -> Option<bool> {
+        self.l2.as_ref().map(|c| c.probe_dirty(addr))
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use spmlab_isa::cachecfg::CacheConfig;
-    use spmlab_isa::hierarchy::MainMemoryTiming;
+    use spmlab_isa::hierarchy::{MainMemoryTiming, StoreBuffer};
 
     const A: u32 = 0x0010_0000;
 
@@ -347,6 +626,12 @@ mod tests {
         let mut stats = MemStats::default();
         let (cyc, out) = h.read(addr, kind, AccessWidth::Half, &mut stats);
         (cyc, out.first_miss)
+    }
+
+    fn wr(h: &mut HierarchyCaches, addr: u32, now: u64) -> (u64, MemStats) {
+        let mut stats = MemStats::default();
+        let cyc = h.write(addr, AccessWidth::Word, now, &mut stats);
+        (cyc, stats)
     }
 
     #[test]
@@ -418,13 +703,111 @@ mod tests {
     }
 
     #[test]
-    fn writes_do_not_allocate_anywhere() {
+    fn write_through_writes_do_not_allocate_anywhere() {
         let cfg = MemHierarchyConfig::split_l1(64, 64).with_l2(CacheConfig::l2(4096));
         let mut h = HierarchyCaches::new(cfg);
-        let mut stats = MemStats::default();
-        h.write(A, &mut stats);
+        let (cyc, stats) = wr(&mut h, A, 0);
+        assert_eq!(cyc, 4, "write-through pays the Table-1 main word cost");
         assert_eq!(h.probe_l1(A, false), Some(false));
         assert_eq!(h.probe_l2(A), Some(false));
         assert_eq!(stats.write_throughs, 1);
+        assert_eq!(stats.write_backs + stats.dirty_evictions, 0);
+    }
+
+    #[test]
+    fn write_back_l1_absorbs_and_retires_victims() {
+        let cfg = MemHierarchyConfig {
+            l1: L1::Split {
+                i: Some(CacheConfig::instr_only(64)),
+                d: Some(CacheConfig::data_only(64).write_back()),
+            },
+            l2: None,
+            main: MainMemoryTiming::table1(),
+        };
+        let mut h = HierarchyCaches::new(cfg.clone());
+        // Store miss: write-allocate at the read-fill cost.
+        let (cyc, stats) = wr(&mut h, A, 0);
+        assert_eq!(cyc, cfg.l1_miss_no_l2_cycles(false));
+        assert_eq!(stats.write_throughs, 0, "absorbed, not written through");
+        assert_eq!(h.probe_l1_dirty(A), Some(true));
+        // Store hit: 1 cycle, stays dirty.
+        let (cyc, _) = wr(&mut h, A + 4, 0);
+        assert_eq!(cyc, cfg.l1_hit_cycles(false));
+        // A conflicting *read* evicts the dirty line: fill + write-back
+        // burst to main.
+        let mut stats = MemStats::default();
+        let (cyc, _) = h.read(A + 64, AccessKind::Read, AccessWidth::Word, &mut stats);
+        assert_eq!(
+            cyc,
+            cfg.l1_miss_no_l2_cycles(false) + cfg.l1_writeback_cycles()
+        );
+        assert_eq!((stats.dirty_evictions, stats.write_backs), (1, 1));
+        assert_eq!(h.probe_l1_dirty(A), Some(false));
+    }
+
+    #[test]
+    fn write_back_l1_victim_lands_in_write_back_l2() {
+        let cfg = MemHierarchyConfig {
+            l1: L1::Split {
+                i: Some(CacheConfig::instr_only(64)),
+                d: Some(CacheConfig::data_only(64).write_back()),
+            },
+            l2: Some(CacheConfig::l2(4096).write_back()),
+            main: MainMemoryTiming::table1(),
+        };
+        let mut h = HierarchyCaches::new(cfg.clone());
+        let mut stats = MemStats::default();
+        // Dirty A in L1 (store miss allocates via the L2 path).
+        h.write(A, AccessWidth::Word, 0, &mut stats);
+        assert_eq!(h.probe_l1_dirty(A), Some(true));
+        // Conflicting store evicts A: the dirty line lands in the L2
+        // (dirty there), no burst to main.
+        let mut stats = MemStats::default();
+        let cyc = h.write(A + 64, AccessWidth::Word, 0, &mut stats);
+        assert_eq!(
+            cyc,
+            cfg.l1_miss_l2_miss_cycles(false) + cfg.l1_writeback_cycles()
+        );
+        assert_eq!((stats.dirty_evictions, stats.write_backs), (1, 0));
+        assert_eq!(h.probe_l2_dirty(A), Some(true));
+    }
+
+    #[test]
+    fn write_back_l2_absorbs_behind_write_through_l1() {
+        let cfg = MemHierarchyConfig::split_l1(64, 64).with_l2(CacheConfig::l2(4096).write_back());
+        let mut h = HierarchyCaches::new(cfg.clone());
+        let (cyc, stats) = wr(&mut h, A, 0);
+        assert_eq!(cyc, cfg.l2_direct_miss_cycles(), "write-allocate in L2");
+        assert_eq!(stats.write_throughs, 0);
+        assert_eq!(h.probe_l1(A, false), Some(false), "WT L1 untouched");
+        assert_eq!(h.probe_l2_dirty(A), Some(true));
+        let (cyc, _) = wr(&mut h, A + 4, 0);
+        assert_eq!(cyc, cfg.l2_direct_hit_cycles(), "store hit in L2");
+    }
+
+    #[test]
+    fn store_buffer_accepts_then_stalls() {
+        let cfg = MemHierarchyConfig::uncached_with(
+            MainMemoryTiming::table1().with_store_buffer(StoreBuffer::new(2, 10)),
+        );
+        let mut h = HierarchyCaches::new(cfg);
+        let mut stats = MemStats::default();
+        // Two stores fill the buffer at 1 cycle each.
+        assert_eq!(h.write(A, AccessWidth::Word, 0, &mut stats), 1);
+        assert_eq!(h.write(A + 4, AccessWidth::Word, 1, &mut stats), 1);
+        // Third store at t=2: the oldest entry completes at t=10 → 8-cycle
+        // stall plus the accept.
+        assert_eq!(h.write(A + 8, AccessWidth::Word, 2, &mut stats), 1 + 8);
+        assert_eq!(stats.store_buffer_stalls, 8);
+        // Much later the buffer has drained: back to 1 cycle.
+        assert_eq!(h.write(A + 12, AccessWidth::Word, 100, &mut stats), 1);
+        // No stall may ever exceed one drain period (the analyzability
+        // contract the WCET charge relies on).
+        let mut worst = 0;
+        for i in 0..64u32 {
+            let c = h.write(A + 16 + i * 4, AccessWidth::Word, 101, &mut stats);
+            worst = worst.max(c);
+        }
+        assert!(worst <= 1 + 10, "stall bound violated: {worst}");
     }
 }

@@ -11,7 +11,11 @@
 //! * optionally a unified or instruction-only cache (direct-mapped or
 //!   set-associative; LRU, round-robin or random replacement) with 1-cycle
 //!   hits and 17-cycle misses (4 × 4-cycle line-fill reads + 1 delivery),
-//!   write-through and no write-allocate.
+//!   each level write-through/no-write-allocate (the paper's machine) or
+//!   write-back/write-allocate with dirty-victim write-backs, plus an
+//!   optional store buffer in front of main memory (see
+//!   [`spmlab_isa::cachecfg::WritePolicy`] and the README's "Write
+//!   policies and store buffers" section).
 //!
 //! Beyond cycles it produces everything the rest of the toolchain needs:
 //! per-symbol access profiles (the allocator's benefit function), raw
@@ -40,7 +44,7 @@ pub mod memsys;
 pub mod profile;
 pub mod trace;
 
-pub use cache::{CacheConfig, CacheScope, Replacement};
+pub use cache::{AccessResult, CacheConfig, CacheScope, Replacement, WritePolicy};
 pub use hierarchy::{HierarchyCaches, ReadOutcome};
 pub use machine::{simulate, ExitReason, SimOptions, SimResult};
 pub use memsys::{AccessKind, MemStats};

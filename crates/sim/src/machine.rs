@@ -307,14 +307,17 @@ impl Machine {
     }
 
     fn data_read(&mut self, insn_pc: u32, addr: u32, width: AccessWidth) -> Result<u32, SimError> {
+        let evictions_before = self.mem.stats.dirty_evictions;
         let (v, cyc, outcome) = self.mem.read(insn_pc, addr, width, AccessKind::Read)?;
         self.cycles += cyc;
         if self.profile_on {
             self.profile.record_read(addr, width);
         }
         if self.stats_on {
+            let evicted = self.mem.stats.dirty_evictions - evictions_before;
             let s = self.stat(insn_pc);
             s.data_accesses += 1;
+            s.write_backs += evicted;
             match outcome.first_miss {
                 Some(true) => s.data_misses += 1,
                 Some(false) => s.data_hits += 1,
@@ -334,6 +337,7 @@ impl Machine {
         width: AccessWidth,
         value: u32,
     ) -> Result<(), SimError> {
+        let evictions_before = self.mem.stats.dirty_evictions;
         let cyc = self.mem.write(insn_pc, addr, width, value)?;
         self.decoded.invalidate(addr, width.bytes());
         self.cycles += cyc;
@@ -341,7 +345,10 @@ impl Machine {
             self.profile.record_write(addr, width);
         }
         if self.stats_on {
-            self.stat(insn_pc).data_accesses += 1;
+            let evicted = self.mem.stats.dirty_evictions - evictions_before;
+            let s = self.stat(insn_pc);
+            s.data_accesses += 1;
+            s.write_backs += evicted;
         }
         Ok(())
     }

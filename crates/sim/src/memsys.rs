@@ -1,4 +1,12 @@
 //! The memory system: region timing, the cache hierarchy, MMIO, statistics.
+//!
+//! Reads route through the per-kind cache hierarchy; writes route through
+//! the per-level [`spmlab_isa::cachecfg::WritePolicy`] — absorbed by the
+//! first write-back level in the data path, or written through to main
+//! memory (optionally via a store buffer) on all-write-through machines,
+//! exactly like the paper's. See [`crate::hierarchy::HierarchyCaches`]
+//! and the README's "Write policies and store buffers" section for the
+//! full write-traffic cost model.
 
 use crate::hierarchy::{HierarchyCaches, ReadOutcome};
 use crate::SimError;
@@ -20,6 +28,16 @@ pub enum AccessKind {
 }
 
 /// Per-region, per-width access counters plus per-level cache statistics.
+///
+/// Counter semantics on write-back machines: `cache_hits`/`cache_misses`/
+/// `l1i_*`/`l1d_*` cover **read and fetch lookups only** (the semantics
+/// the classification soundness checks compare against), while
+/// `l2_hits`/`l2_misses` count **L2 read lookups** — which include the
+/// write-allocate *fills* an absorbed store miss performs, since those
+/// read the L2 exactly like a read miss's fill. Store lookups at the
+/// absorbing level itself are not hit/miss-counted; their footprint
+/// shows up in `write_backs`/`dirty_evictions` (and `write_throughs` on
+/// all-write-through paths).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MemStats {
     /// Scratchpad accesses by width (byte, half, word).
@@ -36,8 +54,19 @@ pub struct MemStats {
     /// 32-bit main-memory reads performed by line fills (from the level
     /// that actually talked to main memory).
     pub fill_words: u64,
-    /// Writes that went through the cache path (write-through).
+    /// Writes that went through the cache path (write-through): stores
+    /// to main-memory space with at least one cache level in the data
+    /// path and **no** write-back level absorbing them.
     pub write_throughs: u64,
+    /// Dirty lines written back to main memory (an evicted write-back L1
+    /// victim with no write-back L2 behind it, or an evicted write-back
+    /// L2 victim). Always 0 on all-write-through machines.
+    pub write_backs: u64,
+    /// Dirty victims evicted from **any** cache level (an L1 victim
+    /// absorbed by a write-back L2 counts here but not in `write_backs`).
+    pub dirty_evictions: u64,
+    /// Cycles the core stalled because the store buffer was full.
+    pub store_buffer_stalls: u64,
     /// Instruction-fetch hits in the L1 serving fetches.
     pub l1i_hits: u64,
     /// Instruction-fetch misses in the L1 serving fetches.
@@ -325,10 +354,15 @@ impl MemSystem {
                 };
                 r.main_writes[w] += 1;
             }
-            self.caches.write(addr, &mut self.stats);
+            // The write path is policy-routed (see `HierarchyCaches::write`):
+            // absorbed by the first write-back level, or written through to
+            // main memory (via the store buffer when one is configured).
+            // The backing store was already updated above, so write-back is
+            // purely a timing model over always-current memory.
+            let now = self.now;
+            return Ok(self.caches.write(addr, width, now, &mut self.stats));
         }
-        // Write-through: always pays the main-memory (or scratchpad) cost,
-        // with the hierarchy's main-memory timing.
+        // Scratchpad (single-cycle) and MMIO writes bypass the hierarchy.
         Ok(access_cycles_with(
             region,
             width,

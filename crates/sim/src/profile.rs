@@ -55,6 +55,12 @@ pub struct InsnStat {
     pub data_misses: u64,
     /// Data reads that consulted the L2 and missed it.
     pub data_l2_misses: u64,
+    /// Dirty-victim evictions this instruction's *data* accesses
+    /// triggered (write-back configurations only; fetch-triggered
+    /// evictions in a unified write-back L1 are counted in
+    /// [`crate::MemStats::dirty_evictions`] but not attributed to an
+    /// instruction).
+    pub write_backs: u64,
 }
 
 /// Sentinel for "no symbol" in the dense attribution table.

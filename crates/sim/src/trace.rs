@@ -95,6 +95,19 @@ impl MemTrace {
         self.replayable
     }
 
+    /// Whether this trace can price `hierarchy` specifically. Recorded
+    /// traces carry **write-through** traffic only — the read/fetch event
+    /// stream plus per-width write *counts*, with no store addresses or
+    /// read/write interleaving — so a machine whose timing depends on the
+    /// write policy (any write-back level, or a store buffer, where store
+    /// addresses change cache state and store cost depends on arrival
+    /// times) cannot be replayed and must be simulated in full; see
+    /// [`MemHierarchyConfig::write_policy_dependent`]. Re-recording with
+    /// write events would lift this — tracked as a ROADMAP follow-up.
+    pub fn supports(&self, hierarchy: &MemHierarchyConfig) -> bool {
+        self.replayable && !hierarchy.write_policy_dependent()
+    }
+
     /// Number of recorded hierarchy-sensitive access events.
     pub fn events(&self) -> usize {
         self.events.len()
@@ -109,13 +122,24 @@ impl MemTrace {
     ///
     /// [`SimError::Watchdog`] when the replayed cycle count exceeds the
     /// recording's limit; [`SimError::Fault`] when the trace is not
-    /// replayable.
+    /// replayable, or when `hierarchy` is write-policy-dependent (the
+    /// recorded trace holds write-through traffic only — see
+    /// [`MemTrace::supports`]); callers should check `supports` and fall
+    /// back to full simulation instead of treating this as fatal.
     pub fn replay(&self, hierarchy: &MemHierarchyConfig) -> Result<(u64, MemStats), SimError> {
         if !self.replayable {
             return Err(SimError::Fault {
                 pc: 0,
                 addr: spmlab_isa::mem::MMIO_CYCLES,
                 what: "timing-dependent program cannot be replayed from a trace",
+            });
+        }
+        if hierarchy.write_policy_dependent() {
+            return Err(SimError::Fault {
+                pc: 0,
+                addr: 0,
+                what: "write-policy-dependent hierarchy cannot be replayed from a \
+                       write-through trace",
             });
         }
         let mut stats = self.stats_template.clone();
@@ -261,6 +285,35 @@ mod tests {
         // The recording itself is the uncached result.
         let uncached = simulate(&l.exe, &MachineConfig::uncached(), &options).unwrap();
         assert_eq!(recorded.cycles, uncached.cycles);
+    }
+
+    /// A write-policy-dependent machine (write-back level or store
+    /// buffer) cannot be priced from a write-through trace: `supports`
+    /// says so and `replay` refuses rather than silently replaying
+    /// write-through traffic — the sweep falls back to full simulation.
+    #[test]
+    fn write_policy_dependent_hierarchies_refuse_replay() {
+        use spmlab_isa::hierarchy::StoreBuffer;
+        let l = link(
+            &compile(SRC).unwrap(),
+            &MemoryMap::no_spm(),
+            &SpmAssignment::none(),
+        )
+        .unwrap();
+        let (_, trace) = simulate_with_trace(&l.exe, &SimOptions::default()).unwrap();
+        assert!(trace.replayable());
+        let wb = MemHierarchyConfig::l1_only(CacheConfig::unified(256).write_back());
+        assert!(!trace.supports(&wb));
+        assert!(trace.replay(&wb).is_err());
+        let sb = MemHierarchyConfig::uncached_with(
+            MainMemoryTiming::table1().with_store_buffer(StoreBuffer::new(4, 6)),
+        );
+        assert!(!trace.supports(&sb));
+        assert!(trace.replay(&sb).is_err());
+        // Write-through machines replay as before.
+        let wt = MemHierarchyConfig::l1_only(CacheConfig::unified(256));
+        assert!(trace.supports(&wt));
+        assert!(trace.replay(&wt).is_ok());
     }
 
     /// Reading the MMIO cycle register poisons the trace.

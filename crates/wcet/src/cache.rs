@@ -859,6 +859,14 @@ pub struct ClassifyStats {
     /// Accesses continuing past the L1 that are guaranteed to hit the L2
     /// (multi-level analyses only).
     pub l2_hits: u64,
+    /// Stores absorbed by a write-back level whose target line was
+    /// **provably dirty already** — charged without a fresh write-back
+    /// obligation (write-back configurations only; see
+    /// [`crate::dirty`]).
+    pub store_always_dirty: u64,
+    /// Stores charged the worst-case write-back obligation (not provably
+    /// dirty; write-back configurations only).
+    pub store_write_backs: u64,
 }
 
 impl ClassifyStats {
@@ -872,6 +880,8 @@ impl ClassifyStats {
         self.fetch_always_miss += o.fetch_always_miss;
         self.data_always_miss += o.data_always_miss;
         self.l2_hits += o.l2_hits;
+        self.store_always_dirty += o.store_always_dirty;
+        self.store_write_backs += o.store_write_backs;
     }
 }
 
@@ -1773,6 +1783,7 @@ mod differential {
             replacement,
             scope: CacheScope::Unified,
             hit_latency: 1,
+            write_policy: spmlab_isa::cachecfg::WritePolicy::WriteThrough,
         };
         cfg.validate();
         cfg

@@ -1,0 +1,203 @@
+//! Dirty-line upper-bound analysis for write-back caches — the piece that
+//! makes the analyzer's **charge-at-store rule** both sound and less than
+//! maximally pessimistic.
+//!
+//! # The charging rule
+//!
+//! In a write-back cache the expensive event — a dirty victim's line
+//! write-back — happens at an *eviction*, which can be triggered by any
+//! later read, fetch or store mapping to the same set: exactly the
+//! "unpredictable instant" the paper's predictability argument is about.
+//! Instead of predicting eviction instants, the analyzer moves the charge
+//! to the instruction that *creates* the obligation: **every store to a
+//! line not provably dirty already pays the worst-case write-back of the
+//! line it dirties**
+//! ([`spmlab_isa::hierarchy::MemHierarchyConfig::worst_store_writeback_cycles`]
+//! — one L1 line transfer, plus one L2 line burst when the transfer lands
+//! in a write-back L2). Reads and fetches are charged exactly as on the
+//! write-through machine.
+//!
+//! # Soundness argument
+//!
+//! Map every concrete dirty eviction to the store that *began* the
+//! victim's current dirty episode (the dynamic store that flipped the
+//! line clean→dirty; a line leaves "dirty" only by being evicted, and
+//! re-enters only through another such store). This mapping is injective:
+//! one dirty episode ends in at most one eviction, and each dynamic store
+//! begins at most one episode. The episode-beginning store is always one
+//! the analyzer charged: a store goes uncharged only when this analysis
+//! proves the line **already dirty on every path** — in which case, in
+//! every execution, the episode began at some earlier store, and by
+//! induction that earlier episode-beginner was charged. Hence the sum of
+//! per-store charges covers every write-back the simulator can ever
+//! perform, on every path — which is the per-path inequality IPET needs.
+//! (Lines still dirty at program exit were charged but never evicted:
+//! pure over-approximation.)
+//!
+//! # The abstract domain
+//!
+//! [`DirtyBound`] is a *lower* bound on dirtiness used as an upper bound
+//! on charging: the set of lines **provably present and dirty** in the
+//! store-absorbing level, maintained as a subset of that level's packed
+//! MUST state (`dirty ⊆ MUST` is the invariant everything hangs on — a
+//! line evicted from the MUST state may have been evicted concretely, so
+//! it must leave the dirty set *immediately*, lest a later clean re-fill
+//! plus store be mistaken for "already dirty"):
+//!
+//! * a provably-absorbed exact store **marks** its line (the store leaves
+//!   the line guaranteed present — MUST insertion at age 0 — and dirty);
+//! * every operation that can shrink or age the absorb level's MUST
+//!   state (reads, uncertain updates, range weakening, call effects)
+//!   **prunes** the dirty set against the surviving MUST lines;
+//! * the control-flow join is **intersection** (dirty on every path);
+//!   since a MUST join only keeps lines guaranteed on both sides, the
+//!   subset invariant is preserved for free;
+//! * calls keep surviving lines: a line still in MUST after
+//!   [`AbstractCache::apply_call`] was provably never evicted inside the
+//!   callee, and a resident line can only *stay* dirty (nothing cleans
+//!   without evicting), so pruning — not clearing — is sound.
+//!
+//! ```
+//! use spmlab_isa::cachecfg::CacheConfig;
+//! use spmlab_wcet::cache::AbstractCache;
+//! use spmlab_wcet::dirty::DirtyBound;
+//!
+//! let cfg = CacheConfig::data_only(64).write_back();
+//! let mut must = AbstractCache::top(&cfg);
+//! let mut dirty = DirtyBound::new(&cfg);
+//! // A store: the line becomes guaranteed present — and provably dirty.
+//! must.access_read_exact(0x100, true);
+//! dirty.mark(0x100);
+//! assert!(dirty.is_dirty(0x100));
+//! // A second store to the resident dirty line owes no new write-back.
+//! // But once the MUST state can no longer guarantee the line...
+//! must.weaken_range(0, u32::MAX, true);
+//! dirty.prune(&must);
+//! // ...the proof is gone: the next store pays the write-back again.
+//! assert!(!dirty.is_dirty(0x100));
+//! ```
+
+use crate::cache::AbstractCache;
+use spmlab_isa::cachecfg::{CacheConfig, SetIndexer};
+use std::collections::BTreeSet;
+
+/// The provably-present-and-dirty line set of one write-back cache level
+/// (see the [module docs](self) for the invariant and the soundness
+/// argument it backs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirtyBound {
+    idx: SetIndexer,
+    /// Base addresses of lines provably present **and** dirty.
+    lines: BTreeSet<u32>,
+}
+
+impl DirtyBound {
+    /// The empty bound (nothing provably dirty) for one level geometry.
+    pub fn new(cfg: &CacheConfig) -> DirtyBound {
+        DirtyBound {
+            idx: cfg.indexer(),
+            lines: BTreeSet::new(),
+        }
+    }
+
+    /// The line base address of `addr` in this geometry.
+    fn line_of(&self, addr: u32) -> u32 {
+        let (set, tag) = self.idx.set_and_tag(addr);
+        self.idx.line_addr(set, tag)
+    }
+
+    /// Whether `addr`'s line is provably dirty (and therefore present).
+    pub fn is_dirty(&self, addr: u32) -> bool {
+        self.lines.contains(&self.line_of(addr))
+    }
+
+    /// Records that a store definitely dirtied `addr`'s line. Only call
+    /// when the line is guaranteed present afterwards (an exact absorbed
+    /// store inserts it into the MUST state at age 0).
+    pub fn mark(&mut self, addr: u32) {
+        let line = self.line_of(addr);
+        self.lines.insert(line);
+    }
+
+    /// Re-establishes `dirty ⊆ MUST` after any operation that may have
+    /// evicted lines from the absorb level's MUST state: every line no
+    /// longer guaranteed present loses its dirty proof.
+    pub fn prune(&mut self, must: &AbstractCache) {
+        self.lines.retain(|&line| must.contains(line));
+    }
+
+    /// Drops every proof (the conservative call-clobber companion).
+    pub fn clear(&mut self) {
+        self.lines.clear();
+    }
+
+    /// Control-flow join: a line is provably dirty after a merge only if
+    /// it is provably dirty on **both** incoming paths (intersection).
+    /// Returns whether `self` changed.
+    pub fn join_into(&mut self, other: &DirtyBound) -> bool {
+        let before = self.lines.len();
+        self.lines.retain(|l| other.lines.contains(l));
+        self.lines.len() != before
+    }
+
+    /// Number of provably dirty lines (diagnostics).
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Whether nothing is provably dirty.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmlab_isa::cachecfg::CacheConfig;
+
+    fn cfg() -> CacheConfig {
+        CacheConfig::data_only(64).write_back() // 4 sets × 16 B, direct-mapped
+    }
+
+    #[test]
+    fn mark_and_query_are_line_granular() {
+        let mut d = DirtyBound::new(&cfg());
+        d.mark(0x104);
+        assert!(d.is_dirty(0x100) && d.is_dirty(0x10C), "whole line dirty");
+        assert!(!d.is_dirty(0x110), "next line unaffected");
+    }
+
+    #[test]
+    fn prune_follows_the_must_state() {
+        let c = cfg();
+        let mut must = AbstractCache::top(&c);
+        let mut d = DirtyBound::new(&c);
+        must.access_read_exact(0x100, true);
+        must.access_read_exact(0x140, true); // other set in a 4-set cache? 0x140>>4=0x14, set 0 — conflict!
+        d.mark(0x140);
+        // 0x140 evicted 0x100 in the direct-mapped MUST state; 0x140
+        // itself is guaranteed, so its proof survives pruning.
+        d.prune(&must);
+        assert!(d.is_dirty(0x140));
+        // An unknown-address access destroys every guarantee.
+        must.weaken_range(0, u32::MAX, true);
+        d.prune(&must);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn join_is_intersection() {
+        let c = cfg();
+        let mut a = DirtyBound::new(&c);
+        let mut b = DirtyBound::new(&c);
+        a.mark(0x100);
+        a.mark(0x110);
+        b.mark(0x110);
+        assert!(a.join_into(&b));
+        assert!(!a.is_dirty(0x100) && a.is_dirty(0x110));
+        assert_eq!(a.len(), 1);
+        // Joining with an equal set changes nothing.
+        assert!(!a.join_into(&b.clone()));
+    }
+}

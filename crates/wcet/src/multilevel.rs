@@ -47,6 +47,20 @@
 //! state never gains a line, and no L2 hit is ever classified — the
 //! precision gap this module closes.
 //!
+//! # The write path
+//!
+//! Stores are routed by the same absorb rule as the simulator
+//! ([`MemHierarchyConfig::store_absorb`]): on an all-write-through data
+//! path they are region-timed exactly as before the write-policy axis
+//! existed (optionally through the store buffer's `1 + drain` worst
+//! case); when a write-back level absorbs them they behave like reads
+//! for the MUST/MAY domains (write-allocate), and every store to a line
+//! not provably dirty additionally pays the worst-case write-back of the
+//! line it dirties — the charge-at-store rule whose soundness argument
+//! lives in [`crate::dirty`], along with the per-set dirty upper bound
+//! ([`crate::dirty::DirtyBound`]) that keeps resident-dirty stores from
+//! being charged twice.
+//!
 //! # Interprocedural entry states
 //!
 //! Functions are analyzed in call-graph reverse-postorder (callers first):
@@ -119,9 +133,10 @@
 use crate::addrinfo::{data_accesses, DataAccess};
 use crate::cache::{span_region, AbstractCache, Classification, ClassifyStats, MayCache};
 use crate::cfg::{BasicBlock, FuncCfg};
+use crate::dirty::DirtyBound;
 use spmlab_isa::annot::{AddrInfo, AnnotationSet};
 use spmlab_isa::cachecfg::{CacheConfig, Replacement};
-use spmlab_isa::hierarchy::MemHierarchyConfig;
+use spmlab_isa::hierarchy::{MemHierarchyConfig, StoreAbsorb};
 use spmlab_isa::insn::Insn;
 use spmlab_isa::mem::{access_cycles_with, AccessWidth, MemoryMap, RegionKind};
 use std::collections::BTreeMap;
@@ -182,6 +197,14 @@ pub struct MultiState {
     l2: Option<AbstractCache>,
     l1i_may: Option<MayCache>,
     l1d_may: Option<MayCache>,
+    /// Provably-dirty lines of the store-absorbing write-back level
+    /// (`None` on all-write-through machines — the write-through path
+    /// carries no extra state and stays byte-identical). Invariant:
+    /// `dirty ⊆` the absorb level's MUST state — see [`crate::dirty`].
+    dirty: Option<DirtyBound>,
+    /// Whether `dirty` tracks the L2 (write-back L2 behind a
+    /// write-through or absent L1D) instead of the data-serving L1.
+    dirty_on_l2: bool,
 }
 
 impl MultiState {
@@ -190,6 +213,11 @@ impl MultiState {
         let unified = h.l1_unified();
         let l1i = h.l1_for(true);
         let l1d = if unified { None } else { h.l1_for(false) };
+        let (dirty, dirty_on_l2) = match h.store_absorb() {
+            StoreAbsorb::Main => (None, false),
+            StoreAbsorb::L1 => (h.l1_for(false).map(DirtyBound::new), false),
+            StoreAbsorb::L2 => (h.l2.as_ref().map(DirtyBound::new), true),
+        };
         MultiState {
             unified_l1: unified,
             l1i: l1i.map(AbstractCache::top),
@@ -197,6 +225,35 @@ impl MultiState {
             l2: h.l2.as_ref().map(AbstractCache::top),
             l1i_may: ctx.may_analysis.then(|| l1i.map(&may)).flatten(),
             l1d_may: ctx.may_analysis.then(|| l1d.map(&may)).flatten(),
+            dirty,
+            dirty_on_l2,
+        }
+    }
+
+    /// Re-establishes the `dirty ⊆ MUST` invariant after any operation
+    /// that may have evicted lines from the absorb level's MUST state
+    /// (no-op on write-through machines).
+    fn prune_dirty(&mut self) {
+        let MultiState {
+            unified_l1,
+            l1i,
+            l1d,
+            l2,
+            dirty,
+            dirty_on_l2,
+            ..
+        } = self;
+        let Some(d) = dirty.as_mut() else { return };
+        let must = if *dirty_on_l2 {
+            l2.as_ref()
+        } else if *unified_l1 {
+            l1i.as_ref()
+        } else {
+            l1d.as_ref()
+        };
+        match must {
+            Some(m) => d.prune(m),
+            None => d.clear(),
         }
     }
 
@@ -263,6 +320,12 @@ impl MultiState {
         changed |= j(&mut self.l2, &other.l2);
         changed |= jm(&mut self.l1i_may, &other.l1i_may);
         changed |= jm(&mut self.l1d_may, &other.l1d_may);
+        // Dirty proofs merge by intersection (dirty on every path); the
+        // MUST join only kept lines guaranteed on both sides, so the
+        // subset invariant survives without a prune.
+        if let (Some(a), Some(b)) = (&mut self.dirty, &other.dirty) {
+            changed |= a.join_into(b);
+        }
         changed
     }
 
@@ -279,6 +342,9 @@ impl MultiState {
         }
         for s in [&mut self.l1i_may, &mut self.l1d_may].into_iter().flatten() {
             s.make_top();
+        }
+        if let Some(d) = &mut self.dirty {
+            d.clear();
         }
     }
 
@@ -316,6 +382,11 @@ impl MultiState {
         must(&mut self.l2, &summary.l2, &summary.exit.l2, l2_lru);
         may(&mut self.l1i_may, &summary.l1i, l1i_lru);
         may(&mut self.l1d_may, &summary.l1d, l1d_lru);
+        // A dirty line still guaranteed resident after the call was
+        // provably never evicted inside the callee — and a resident line
+        // only stays dirty (nothing cleans without evicting) — so the
+        // surviving proofs are kept; everything else is pruned.
+        self.prune_dirty();
     }
 
     /// The L2 MUST state (tests and diagnostics).
@@ -428,7 +499,42 @@ pub fn summarize_function(cfg: &FuncCfg, ctx: &MultiCtx) -> CallSummary {
                 }
                 for dacc in data_accesses(insn, *addr, ctx.annot) {
                     if dacc.is_write {
-                        continue; // No-allocate: writes load nothing.
+                        match ctx.hierarchy.store_absorb() {
+                            // All-write-through: no-allocate, writes load
+                            // nothing at any level.
+                            StoreAbsorb::Main => continue,
+                            // A write-back L1D write-allocates: the store
+                            // loads lines exactly like a read — fall
+                            // through to the shared recording below.
+                            StoreAbsorb::L1 => {}
+                            // A write-back L2 behind a write-through (or
+                            // absent) L1D: only the L2 sees the
+                            // write-allocation.
+                            StoreAbsorb::L2 => {
+                                match dacc.info {
+                                    AddrInfo::Exact(a) => {
+                                        if ctx.map.region_of(a) == RegionKind::Main {
+                                            apply(&mut l2, false, &|m: &mut MayCache| {
+                                                m.add_line(a)
+                                            });
+                                        }
+                                    }
+                                    AddrInfo::Range { lo, hi } => {
+                                        if span_region(ctx.map, lo, hi) != RegionKind::Scratchpad {
+                                            apply(&mut l2, false, &|m: &mut MayCache| {
+                                                m.weaken_range(lo, hi)
+                                            });
+                                        }
+                                    }
+                                    AddrInfo::Stack | AddrInfo::Unknown => {
+                                        apply(&mut l2, false, &|m: &mut MayCache| {
+                                            m.weaken_range(0, u32::MAX)
+                                        });
+                                    }
+                                }
+                                continue;
+                            }
+                        }
                     }
                     match dacc.info {
                         AddrInfo::Exact(a) => {
@@ -619,7 +725,7 @@ fn exact_read(
     let may_hit = state
         .l1_may_mut(fetch)
         .map(|m| m.access_read_exact(addr, lru));
-    match ah {
+    let out = match ah {
         None => {
             let (cycles, l2_hit) = l2_read(state, addr, fetch, width, L2Cac::Direct, ctx);
             (ReadClass::NoL1 { l2_hit }, cycles)
@@ -634,7 +740,11 @@ fn exact_read(
             let (cycles, l2_hit) = l2_read(state, addr, fetch, width, L2Cac::Uncertain, ctx);
             (ReadClass::Unclassified { l2_hit }, cycles)
         }
-    }
+    };
+    // The access may have aged lines out of the absorb level's MUST state
+    // (a unified write-back L1 loses dirty data lines to fetch fills too).
+    state.prune_dirty();
+    out
 }
 
 /// Per-instruction classification flags, accumulated over every access of
@@ -834,17 +944,34 @@ fn walk_data_access(
     let h = ctx.hierarchy;
     let main = &h.main;
     if dacc.is_write {
-        // Write-through straight to the backing store; no cache state
-        // changes at any level (no-allocate), no recency update, no
-        // lookup — writes carry no classification.
         let region = match dacc.info {
             AddrInfo::Exact(a) => ctx.map.region_of(a),
             AddrInfo::Range { lo, hi } => span_region(ctx.map, lo, hi),
             AddrInfo::Stack | AddrInfo::Unknown => RegionKind::Main,
         };
-        if let Some(c) = acc.as_deref_mut() {
-            c.cost += access_cycles_with(region, dacc.width, main);
+        let absorb = h.store_absorb();
+        if region != RegionKind::Main || absorb == StoreAbsorb::Main {
+            // All-write-through data path (or a scratchpad/MMIO store):
+            // no cache state changes at any level (no-allocate), no
+            // recency update, no lookup — writes carry no classification.
+            // Byte-identical to the pre-policy analyzer, except that a
+            // main-region store may be store-buffered (worst case:
+            // 1-cycle accept plus one full drain).
+            if let Some(c) = acc.as_deref_mut() {
+                c.cost += if region == RegionKind::Main {
+                    main.store_cycles_worst(dacc.width)
+                } else {
+                    access_cycles_with(region, dacc.width, main)
+                };
+            }
+            return;
         }
+        // A write-back level absorbs the store. The charging rule (see
+        // `crate::dirty` for the soundness argument): the store pays its
+        // own hit-or-write-allocate worst case, plus — unless the target
+        // line is provably dirty already — the worst-case write-back of
+        // the line it dirties.
+        walk_absorbed_store(state, dacc, absorb, ctx, acc);
         return;
     }
     match dacc.info {
@@ -920,6 +1047,78 @@ fn walk_data_access(
     }
 }
 
+/// One store absorbed by a write-back level (`absorb` is [`StoreAbsorb::L1`]
+/// or [`StoreAbsorb::L2`]; the all-write-through case never reaches here).
+/// Applies the write-allocate state updates and — in costing passes — the
+/// charge-at-store rule of [`crate::dirty`].
+fn walk_absorbed_store(
+    state: &mut MultiState,
+    dacc: &DataAccess,
+    absorb: StoreAbsorb,
+    ctx: &MultiCtx,
+    acc: &mut Option<&mut CostAcc>,
+) {
+    let h = ctx.hierarchy;
+    match dacc.info {
+        AddrInfo::Exact(a) => {
+            let already_dirty = state.dirty.as_ref().is_some_and(|d| d.is_dirty(a));
+            let cycles = match absorb {
+                StoreAbsorb::L1 => {
+                    // Write-allocate makes the store behave like a read at
+                    // every level it can touch: the L1 MUST/MAY states take
+                    // the access, the L2 is consulted per the induced CAC,
+                    // and hit/fill cost the read-path constants
+                    // ([`MemHierarchyConfig::worst_store_cycles`] is the
+                    // worst case of exactly this path).
+                    exact_read(state, a, false, dacc.width, ctx).1
+                }
+                _ => {
+                    // A write-through (or absent) L1D forwards the store
+                    // untouched — no-allocate means its tag store never
+                    // changes — and the store *certainly* reaches the
+                    // write-back L2: CAC `A`, direct L2 costs, certain
+                    // MUST update.
+                    let (cycles, _) = l2_read(state, a, false, dacc.width, L2Cac::Direct, ctx);
+                    state.prune_dirty();
+                    cycles
+                }
+            };
+            // The exact access left the line guaranteed present in the
+            // absorb level (MUST insertion at age 0) — and now dirty.
+            if let Some(d) = state.dirty.as_mut() {
+                d.mark(a);
+            }
+            if let Some(c) = acc.as_deref_mut() {
+                c.cost += cycles;
+                if already_dirty {
+                    // The line was provably dirty on every path: the store
+                    // that began this dirty episode already paid for its
+                    // eventual eviction.
+                    c.stats.store_always_dirty += 1;
+                } else {
+                    c.stats.store_write_backs += 1;
+                    c.cost += h.worst_store_writeback_cycles();
+                }
+            }
+        }
+        AddrInfo::Range { .. } | AddrInfo::Stack | AddrInfo::Unknown => {
+            // The store may write-allocate any line of the range: weaken
+            // the data path's MUST/MAY states (which also prunes the
+            // dirty proofs), charge the worst store path plus the
+            // write-back obligation.
+            let range = match dacc.info {
+                AddrInfo::Range { lo, hi } => Some((lo, hi)),
+                _ => None,
+            };
+            weaken_all(state, range, ctx);
+            if let Some(c) = acc.as_deref_mut() {
+                c.stats.store_write_backs += 1;
+                c.cost += h.worst_store_cycles(dacc.width) + h.worst_store_writeback_cycles();
+            }
+        }
+    }
+}
+
 /// Weakens the data-serving L1 (MUST and MAY) and the L2 for a read
 /// somewhere in `range` (`None` = anywhere). The access may or may not
 /// reach each level; aging/clearing the MUST states and widening the MAY
@@ -938,6 +1137,7 @@ fn weaken_all(state: &mut MultiState, range: Option<(u32, u32)>, ctx: &MultiCtx)
     if let Some(l2s) = &mut state.l2 {
         l2s.weaken_range(lo, hi, l2_lru);
     }
+    state.prune_dirty();
 }
 
 /// MUST/MAY-analysis fixpoint over the product state, starting the
@@ -1021,6 +1221,7 @@ pub fn block_cost(
 mod tests {
     use super::*;
     use spmlab_isa::cachecfg::CacheConfig;
+    use spmlab_isa::hierarchy::L1;
     use spmlab_isa::insn::Insn;
     use spmlab_isa::reg::{R0, R1};
 
@@ -1289,6 +1490,123 @@ mod tests {
             e2.l1i_may.as_ref().unwrap().contains(MAIN),
             "…but the line may still be cached (union)"
         );
+    }
+
+    fn str_word(addr: u32) -> (u32, Insn) {
+        (
+            addr,
+            Insn::StrImm {
+                width: AccessWidth::Word,
+                rd: R0,
+                rn: R1,
+                off: 0,
+            },
+        )
+    }
+
+    #[test]
+    fn absorbed_store_pays_writeback_once() {
+        // Write-back L1D, no L2: the first store to a line pays its
+        // write-allocate fill plus the write-back obligation; a later
+        // store to the provably dirty resident line pays the hit only.
+        let h = MemHierarchyConfig {
+            l1: L1::Split {
+                i: Some(CacheConfig::instr_only(512)),
+                d: Some(CacheConfig::data_only(512).write_back()),
+            },
+            l2: None,
+            main: spmlab_isa::hierarchy::MainMemoryTiming::table1(),
+        };
+        let map = MemoryMap::no_spm();
+        let mut annot = AnnotationSet::new();
+        let target = MAIN + 0x800;
+        annot.set_access(MAIN, AccessWidth::Word, AddrInfo::Exact(target));
+        let ctx = ctx(&h, &map, &annot);
+        let mut s = MultiState::cold(&ctx);
+        let st = block(MAIN, vec![str_word(MAIN)]);
+        let (c1, _) = cost(&st, &s, &ctx);
+        // 1 base + AM fetch (17) + AM store write-allocate (17) + the
+        // 16-byte line's eventual write-back burst (16).
+        assert_eq!(c1, 1 + 17 + 17 + h.worst_store_writeback_cycles());
+        assert_eq!(h.worst_store_writeback_cycles(), 16);
+        walk_block(&mut s, &st, &ctx, None, None);
+        // Second execution: fetch hits, store hits a provably dirty line.
+        let (c2, _) = cost(&st, &s, &ctx);
+        assert_eq!(c2, 1 + 1 + 1, "resident dirty line owes nothing new");
+    }
+
+    #[test]
+    fn store_absorbed_by_write_back_l2_skips_the_l1() {
+        // Write-through L1D in front of a write-back L2: stores pass the
+        // L1 untouched (its MUST state must NOT gain the line) and
+        // write-allocate in the L2 with a certain update.
+        let h = MemHierarchyConfig::split_l1(512, 512).with_l2(CacheConfig::l2(4096).write_back());
+        let map = MemoryMap::no_spm();
+        let mut annot = AnnotationSet::new();
+        let target = MAIN + 0x800;
+        annot.set_access(MAIN, AccessWidth::Word, AddrInfo::Exact(target));
+        let ctx = ctx(&h, &map, &annot);
+        let mut s = MultiState::cold(&ctx);
+        let st = block(MAIN, vec![str_word(MAIN)]);
+        let (c1, _) = cost(&st, &s, &ctx);
+        // 1 base + AM fetch (l1-miss→l2-miss = 40) + store write-allocate
+        // from main (35) + the 32-byte L2 line's write-back burst (32).
+        assert_eq!(c1, 1 + 40 + 35 + 32);
+        walk_block(&mut s, &st, &ctx, None, None);
+        assert!(
+            !s.l1d.as_ref().unwrap().contains(target),
+            "a write-through L1D never allocates on stores"
+        );
+        assert!(
+            s.l2.as_ref().unwrap().contains(target),
+            "the absorbed store certainly updated the L2 MUST state"
+        );
+        // Re-execution: fetch AH, store = guaranteed dirty L2 hit.
+        let (c2, _) = cost(&st, &s, &ctx);
+        assert_eq!(c2, 1 + 1 + h.l2_direct_hit_cycles());
+    }
+
+    #[test]
+    fn eviction_revokes_the_dirty_proof() {
+        let h = MemHierarchyConfig {
+            l1: L1::Split {
+                i: Some(CacheConfig::instr_only(512)),
+                d: Some(CacheConfig::data_only(512).write_back()),
+            },
+            l2: None,
+            main: spmlab_isa::hierarchy::MainMemoryTiming::table1(),
+        };
+        let map = MemoryMap::no_spm();
+        let mut annot = AnnotationSet::new();
+        let target = MAIN + 0x800;
+        annot.set_access(MAIN, AccessWidth::Word, AddrInfo::Exact(target));
+        // A conflicting load 512 bytes away (same set of the 512 B
+        // direct-mapped L1D) definitely evicts the dirty line.
+        annot.set_access(MAIN + 2, AccessWidth::Word, AddrInfo::Exact(target + 512));
+        annot.set_access(MAIN + 4, AccessWidth::Word, AddrInfo::Exact(target));
+        let ctx = ctx(&h, &map, &annot);
+        let mut s = MultiState::cold(&ctx);
+        let st1 = block(MAIN, vec![str_word(MAIN)]);
+        let ld = block(
+            MAIN + 2,
+            vec![(
+                MAIN + 2,
+                Insn::LdrImm {
+                    width: AccessWidth::Word,
+                    rd: R0,
+                    rn: R1,
+                    off: 0,
+                },
+            )],
+        );
+        let st2 = block(MAIN + 4, vec![str_word(MAIN + 4)]);
+        walk_block(&mut s, &st1, &ctx, None, None);
+        walk_block(&mut s, &ld, &ctx, None, None);
+        // The conflict evicted the dirty line: the next store to it pays
+        // the full write-allocate plus a fresh write-back obligation
+        // (fetch hits — all three instructions share one I-line).
+        let (c3, _) = cost(&st2, &s, &ctx);
+        assert_eq!(c3, 1 + 1 + 17 + 16);
     }
 
     #[test]

@@ -6,8 +6,8 @@
 
 use proptest::prelude::*;
 use spmlab_cc::SpmAssignment;
-use spmlab_isa::cachecfg::{CacheConfig, CacheScope, Replacement};
-use spmlab_isa::hierarchy::{MainMemoryTiming, MemHierarchyConfig, L1};
+use spmlab_isa::cachecfg::{CacheConfig, CacheScope, Replacement, WritePolicy};
+use spmlab_isa::hierarchy::{MainMemoryTiming, MemHierarchyConfig, StoreBuffer, L1};
 use spmlab_isa::mem::MemoryMap;
 use spmlab_sim::{simulate, MachineConfig, SimOptions};
 use spmlab_wcet::{analyze, WcetConfig};
@@ -488,6 +488,70 @@ fn interprocedural_may_analysis_never_loosens() {
     }
 }
 
+/// The write-policy acceptance matrix: under every write-back machine
+/// shape (WB L1D, WB at both levels, WT L1 in front of a WB L2, a
+/// unified WB L1, and DRAM-backed and store-buffered variants), the
+/// static bound still covers the simulation for every benchmark.
+#[test]
+fn write_back_matrix_is_sound() {
+    let split_wb = || MemHierarchyConfig {
+        l1: L1::Split {
+            i: Some(CacheConfig::instr_only(256)),
+            d: Some(CacheConfig::data_only(256).write_back()),
+        },
+        l2: None,
+        main: MainMemoryTiming::table1(),
+    };
+    let machines = [
+        split_wb(),
+        split_wb().with_l2(CacheConfig::l2(2048).write_back()),
+        MemHierarchyConfig::split_l1(256, 256).with_l2(CacheConfig::l2(2048).write_back()),
+        MemHierarchyConfig::l1_only(CacheConfig::unified(512).write_back()),
+        split_wb()
+            .with_l2(CacheConfig::l2(4096).write_back())
+            .with_main(MainMemoryTiming::dram(10)),
+        MemHierarchyConfig::uncached_with(
+            MainMemoryTiming::table1().with_store_buffer(StoreBuffer::new(4, 6)),
+        ),
+        MemHierarchyConfig::l1_only(CacheConfig::unified(512).write_back())
+            .with_main(MainMemoryTiming::table1().with_store_buffer(StoreBuffer::new(2, 9))),
+    ];
+    for b in all() {
+        let input = small_input(b);
+        let module = b.compile().unwrap();
+        let linked = b
+            .link_with_input(
+                &module,
+                &MemoryMap::no_spm(),
+                &SpmAssignment::none(),
+                &input,
+            )
+            .unwrap();
+        for h in &machines {
+            let sim = simulate(
+                &linked.exe,
+                &MachineConfig::with_hierarchy(h.clone()),
+                &SimOptions::default(),
+            )
+            .unwrap_or_else(|e| panic!("{} {}: {e}", b.name, h.label()));
+            let wcet = analyze(
+                &linked.exe,
+                &WcetConfig::with_hierarchy(h.clone()),
+                &linked.annotations,
+            )
+            .unwrap_or_else(|e| panic!("{} {}: {e}", b.name, h.label()));
+            assert!(
+                wcet.wcet_cycles >= sim.cycles,
+                "{} {}: wcet {} < sim {}",
+                b.name,
+                h.label(),
+                wcet.wcet_cycles,
+                sim.cycles
+            );
+        }
+    }
+}
+
 /// Decodes an arbitrary 32-bit seed into a valid hierarchy configuration —
 /// the deterministic bridge between proptest's random bits and the
 /// constrained configuration space (power-of-two sizes, per-level
@@ -505,10 +569,19 @@ fn decode_hierarchy(bits: u32) -> MemHierarchyConfig {
     let l1_size = l1_sizes[pick(bits, l1_sizes.len())];
     let assoc = assocs[pick(bits >> 3, assocs.len())];
     let replacement = replacements[pick(bits >> 5, replacements.len())];
+    // Write policies ride on two more bits: data-serving L1 levels and
+    // the L2 independently flip to write-back/write-allocate.
+    let wb_l1 = (bits >> 19) & 1 == 1;
+    let wb_l2 = (bits >> 20) & 1 == 1;
     let mk_l1 = |scope: CacheScope| CacheConfig {
         assoc: assoc.min(l1_size / 16),
         replacement,
         scope,
+        write_policy: if wb_l1 && scope != CacheScope::InstrOnly {
+            WritePolicy::WriteBack
+        } else {
+            WritePolicy::WriteThrough
+        },
         ..CacheConfig::unified(l1_size)
     };
     let l1 = match pick(bits >> 7, 4) {
@@ -520,19 +593,25 @@ fn decode_hierarchy(bits: u32) -> MemHierarchyConfig {
             d: Some(mk_l1(CacheScope::DataOnly)),
         },
     };
+    let wb = |c: CacheConfig| if wb_l2 { c.write_back() } else { c };
     let l2 = match pick(bits >> 9, 3) {
         0 => None,
-        1 => Some(CacheConfig::l2(1024)),
-        _ => Some(CacheConfig {
+        1 => Some(wb(CacheConfig::l2(1024))),
+        _ => Some(wb(CacheConfig {
             assoc: 2,
             hit_latency: 2 + (bits >> 11) % 3,
             ..CacheConfig::l2(4096)
-        }),
+        })),
     };
     let main = MainMemoryTiming {
         latency: ((bits >> 13) % 3) as u64 * 8,
         beat_cycles: 1 + ((bits >> 15) % 2) as u64,
         bus_bytes: if (bits >> 16).is_multiple_of(2) { 2 } else { 4 },
+        store_buffer: match (bits >> 17) % 3 {
+            0 => None,
+            1 => Some(StoreBuffer::new(2, 6)),
+            _ => Some(StoreBuffer::new(4, 11)),
+        },
     };
     let h = MemHierarchyConfig { l1, l2, main };
     h.validate();
@@ -612,6 +691,114 @@ proptest! {
                 prop_assert_eq!(stat.data_l2_misses, 0, "{:#x} data missed L2", addr);
             }
         }
+    }
+}
+
+/// The write-policy twin of a machine: every level write-through, no
+/// store buffer. On a store-free program the two must be
+/// cycle-identical — write policies only ever act on store traffic.
+fn strip_write_policy(mut h: MemHierarchyConfig) -> MemHierarchyConfig {
+    fn wt(c: &mut CacheConfig) {
+        c.write_policy = WritePolicy::WriteThrough;
+    }
+    match &mut h.l1 {
+        L1::None => {}
+        L1::Unified(c) => wt(c),
+        L1::Split { i, d } => {
+            if let Some(c) = i {
+                wt(c);
+            }
+            if let Some(c) = d {
+                wt(c);
+            }
+        }
+    }
+    if let Some(c) = &mut h.l2 {
+        wt(c);
+    }
+    h.main.store_buffer = None;
+    h
+}
+
+/// A hand-assembled program that performs **no data write at all** (100
+/// iterations of literal-pool load + add + counted branch): the
+/// construction-level guarantee the write-policy-identity property needs.
+fn store_free_exe() -> spmlab_isa::image::Executable {
+    use spmlab_isa::image::{Executable, LoadRegion, Symbol, SymbolKind};
+    use spmlab_isa::insn::Insn;
+    use spmlab_isa::mem::MAIN_BASE;
+    use spmlab_isa::reg::{R0, R1, R2};
+    let insns = [
+        Insn::MovImm { rd: R0, imm: 100 },
+        // Literal-pool-style read of the code bytes at MAIN_BASE + 8.
+        Insn::LdrLit { rd: R1, imm: 1 },
+        Insn::AddReg {
+            rd: R2,
+            rn: R2,
+            rm: R1,
+        },
+        Insn::SubImm { rd: R0, imm: 1 },
+        Insn::BCond {
+            cond: spmlab_isa::cond::Cond::Ne,
+            off: -10,
+        },
+        Insn::Swi { imm: 0 },
+    ];
+    let halfwords = spmlab_isa::encode::encode_all(&insns);
+    let mut bytes = Vec::new();
+    for hw in &halfwords {
+        bytes.extend(hw.to_le_bytes());
+    }
+    let size = bytes.len() as u32;
+    Executable {
+        regions: vec![LoadRegion {
+            addr: MAIN_BASE,
+            bytes,
+        }],
+        symbols: vec![Symbol {
+            name: "_start".into(),
+            addr: MAIN_BASE,
+            size,
+            kind: SymbolKind::Func { code_size: size },
+        }],
+        entry: MAIN_BASE,
+        memory_map: MemoryMap::no_spm(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Write policies act on store traffic only: on a store-free program
+    /// every randomly drawn write-back/store-buffered machine is
+    /// cycle-identical (and statistics-identical) to its all-write-through
+    /// twin, and no write-back activity is ever recorded.
+    #[test]
+    fn write_policies_identical_on_store_free_programs(bits in any::<u32>()) {
+        let wb = decode_hierarchy(bits);
+        let wt = strip_write_policy(wb.clone());
+        let exe = store_free_exe();
+        let s_wb = simulate(
+            &exe,
+            &MachineConfig::with_hierarchy(wb.clone()),
+            &SimOptions::default(),
+        )
+        .unwrap();
+        let s_wt = simulate(
+            &exe,
+            &MachineConfig::with_hierarchy(wt),
+            &SimOptions::default(),
+        )
+        .unwrap();
+        prop_assert_eq!(s_wb.cycles, s_wt.cycles, "{} diverged", wb.label());
+        prop_assert_eq!(&s_wb.mem_stats, &s_wt.mem_stats);
+        prop_assert_eq!(
+            s_wb.mem_stats.write_backs
+                + s_wb.mem_stats.dirty_evictions
+                + s_wb.mem_stats.store_buffer_stalls,
+            0,
+            "store-free program triggered write-back machinery"
+        );
     }
 }
 

@@ -213,6 +213,68 @@ fn baseline_and_fixed_assignment_specs_work() {
     assert_eq!(fixed.spm_objects, picks);
 }
 
+/// The write-policy axis joined the spec vocabulary without disturbing a
+/// single write-through number: explicitly-write-through specs
+/// canonicalise to the same machine as the pre-policy defaults and cost
+/// byte-identically to the seed pins, while write-back twins are distinct
+/// machines that stay sound.
+#[test]
+fn write_through_specs_cost_byte_identically_to_seed() {
+    use spmlab_isa::cachecfg::WritePolicy;
+    let p = pipeline();
+    // Explicit write-through == the default (the seed's implicit policy):
+    // same canonical form, same golden numbers.
+    let mut explicit = CacheConfig::unified(1024);
+    explicit.write_policy = WritePolicy::WriteThrough;
+    let spec = MemArchSpec::single_cache(explicit);
+    assert_eq!(
+        spec.canonical(),
+        MemArchSpec::single_cache(CacheConfig::unified(1024)).canonical()
+    );
+    let r = p.run(&spec).unwrap();
+    let (_, sim, wcet) = GOLDEN_CACHE[4]; // the 1024-byte pin
+    assert_eq!(
+        r.sim_cycles, sim,
+        "explicit write-through drifted from seed"
+    );
+    assert_eq!(r.wcet_cycles, wcet);
+    // The write-back twin is a different machine: distinct label, sound
+    // result, and a *tighter or equal* simulated store path is not
+    // guaranteed — only soundness is.
+    let wb = p
+        .run(&MemArchSpec::single_cache(
+            CacheConfig::unified(1024).write_back(),
+        ))
+        .unwrap();
+    assert_eq!(wb.label, "l1 1024-wb");
+    assert!(wb.wcet_cycles >= wb.sim_cycles);
+    assert_ne!(wb.sim_cycles, sim, "write-back must change store timing");
+}
+
+/// A store-buffered machine runs through the full pipeline (no trace
+/// replay — the trace is write-through) and stays sound; the unbuffered
+/// uncached numbers are untouched.
+#[test]
+fn store_buffered_spec_is_sound_and_leaves_baseline_pinned() {
+    use spmlab_isa::hierarchy::StoreBuffer;
+    let p = pipeline();
+    let base = p.run(&MemArchSpec::uncached()).unwrap();
+    let sb = p
+        .run(&MemArchSpec {
+            main: MainMemoryTiming::table1().with_store_buffer(StoreBuffer::new(4, 6)),
+            ..MemArchSpec::uncached()
+        })
+        .unwrap();
+    assert!(sb.wcet_cycles >= sb.sim_cycles);
+    assert!(
+        sb.sim_cycles < base.sim_cycles,
+        "buffered stores must be faster on G.721 ({} vs {})",
+        sb.sim_cycles,
+        base.sim_cycles
+    );
+    assert_eq!(sb.label, "uncached (sb 4x6)");
+}
+
 #[test]
 fn persistence_spec_tightens_must_only() {
     let p = pipeline();
