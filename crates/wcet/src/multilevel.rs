@@ -1622,4 +1622,66 @@ mod tests {
         // 1 base + (10 latency + 1 beat × 2) fetch.
         assert_eq!(c, 1 + 12);
     }
+
+    #[test]
+    fn repro_dirty_proof_survives_callee_evict_and_reload() {
+        use crate::cfg::FuncCfg;
+        let h = MemHierarchyConfig {
+            l1: L1::Split {
+                i: Some(CacheConfig::instr_only(512)),
+                d: Some(CacheConfig::data_only(512).write_back()),
+            },
+            l2: None,
+            main: spmlab_isa::hierarchy::MainMemoryTiming::table1(),
+        };
+        let map = MemoryMap::no_spm();
+        let mut annot = AnnotationSet::new();
+        let x = MAIN + 0x800;
+        let y = x + 512; // same set of the 512 B direct-mapped L1D
+        let callee = MAIN + 0x100;
+        annot.set_access(MAIN, AccessWidth::Word, AddrInfo::Exact(x));
+        annot.set_access(callee, AccessWidth::Word, AddrInfo::Exact(y));
+        annot.set_access(callee + 2, AccessWidth::Word, AddrInfo::Exact(x));
+        annot.set_access(MAIN + 4, AccessWidth::Word, AddrInfo::Exact(x));
+        let ctx = ctx(&h, &map, &annot);
+        // Callee: reads Y (evicting dirty X — this write-back was paid by
+        // the caller's first store), then re-reads X (now CLEAN).
+        let ld = |pc: u32| {
+            (
+                pc,
+                Insn::LdrImm {
+                    width: AccessWidth::Word,
+                    rd: R0,
+                    rn: R1,
+                    off: 0,
+                },
+            )
+        };
+        let mut cb = block(callee, vec![ld(callee), ld(callee + 2)]);
+        cb.is_exit = true;
+        let cfg = FuncCfg {
+            name: "f".into(),
+            entry: callee,
+            blocks: [(callee, cb)].into_iter().collect(),
+        };
+        let summary = summarize_function(&cfg, &ctx);
+        let mut s = MultiState::cold(&ctx);
+        // Caller: store X (dirty, pays the write-back obligation)...
+        walk_block(&mut s, &block(MAIN, vec![str_word(MAIN)]), &ctx, None, None);
+        // ...then the call.
+        s.apply_call(&summary, &ctx);
+        // Concretely X is now present but CLEAN; the next store to it
+        // begins a NEW dirty episode whose eventual eviction must be
+        // charged. If the dirty proof wrongly survived, the store costs
+        // hit-only (no +16 write-back obligation).
+        let st2 = block(MAIN + 4, vec![str_word(MAIN + 4)]);
+        let (c, _) = cost(&st2, &s, &ctx);
+        let fetch = 1; // same I-line as MAIN, AH after the call summary? (printed)
+        println!("cost after call = {c} (hit-only would be {})", 1 + fetch + 1);
+        assert!(
+            c >= 1 + 1 + h.worst_store_writeback_cycles(),
+            "dirty proof survived a callee that may evict and cleanly \
+             reload the line: store charged {c}, write-back obligation unpaid"
+        );
+    }
 }
