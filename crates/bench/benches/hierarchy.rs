@@ -5,10 +5,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use spmlab::pipeline::Pipeline;
-use spmlab::{MemArchSpec, MemHierarchyConfig};
+use spmlab::{hierarchy_axis, MemArchSpec, MemHierarchyConfig};
 use spmlab_bench::{
-    append_history, hierarchy_figure, hierarchy_json, hierarchy_l1_size, workspace_root,
-    BenchRecord,
+    append_history, fnv1a64, hierarchy_figure, hierarchy_json_with_provenance, hierarchy_l1_size,
+    workspace_root, BenchRecord, Provenance,
 };
 use spmlab_isa::cachecfg::CacheConfig;
 use spmlab_workloads::ADPCM;
@@ -51,11 +51,24 @@ fn bench_full_axis_and_emit_artifact(c: &mut Criterion) {
     let start = std::time::Instant::now();
     let fig = hierarchy_figure(false).unwrap();
     let wall = start.elapsed().as_secs_f64();
-    let json = hierarchy_json(&fig, wall);
+    // Same provenance the `experiments hierarchy` path records: the
+    // spec-axis hash always; counters/phases only under --profile (the
+    // bench never profiles, so those stay absent).
+    let provenance = Provenance {
+        spec_hash: fnv1a64(
+            &hierarchy_axis(hierarchy_l1_size(false))
+                .iter()
+                .map(|h| MemArchSpec::from_hierarchy(h).label())
+                .collect::<Vec<_>>()
+                .join("|"),
+        ),
+        ..Provenance::default()
+    };
+    let json = hierarchy_json_with_provenance(&fig, wall, Some(&provenance));
     let root = workspace_root();
     let path = root.join("BENCH_hierarchy.json");
     std::fs::write(&path, json).expect("write BENCH_hierarchy.json");
-    let record = BenchRecord::summarise(&fig, false, wall);
+    let record = BenchRecord::summarise(&fig, false, wall).with_provenance(provenance);
     append_history(&root.join("bench_history.jsonl"), &record).expect("append bench history");
     println!(
         "wrote {} ({} points, l1 = {} B, {:.3}s) and appended bench_history.jsonl @ {}",

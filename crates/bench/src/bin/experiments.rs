@@ -6,6 +6,8 @@
 //! experiments verify                     # check the paper's claims hold
 //! experiments list                       # available ids
 //! experiments bench-history --figure     # + plottable CSV/gnuplot artifacts
+//! experiments --profile[=out.jsonl] <id> # instrumented run + phase table
+//! experiments check-profile <file.jsonl> # validate a recorded stream
 //! experiments --dump-spec [--quick]      # every axis point as reusable JSON
 //! experiments --spec <file.json> [--bench <name>]
 //!                                        # reproduce one sweep point
@@ -15,20 +17,63 @@
 //! JSON document; saving one to a file and feeding it back with `--spec`
 //! reproduces that exact point (machine *and* analysis method) from the
 //! command line.
+//!
+//! `--profile` records every span/counter/gauge event to a JSON-lines file
+//! (default `profile.jsonl`, `=-` streams to stderr) and prints a flat
+//! per-phase breakdown when the run finishes. Profiled sweeps run
+//! single-threaded so phase self-times add up to the wall time.
+
+use std::sync::Arc;
 
 use spmlab_bench::{
     dump_specs, exp_bench_history, exp_hierarchy_with_artifacts, run_experiment, run_spec_on,
     verify_claims, workspace_root, EXPERIMENTS,
 };
+use spmlab_obs::collector::MemorySink;
+use spmlab_obs::jsonl::{check_stream, JsonlSink};
 
 fn usage() -> String {
     format!(
-        "usage: experiments [--quick] <all|verify|{}>\n\
+        "usage: experiments [--quick] [--profile[=out.jsonl|=-]] <all|verify|{}>\n\
          \x20      experiments bench-history --figure\n\
+         \x20      experiments check-profile <file.jsonl>\n\
          \x20      experiments --dump-spec [--quick]\n\
          \x20      experiments --spec <file.json> [--bench <name>]",
         EXPERIMENTS.join("|")
     )
+}
+
+/// Renders the flat per-phase breakdown collected during a profiled run.
+fn render_profile(mem: &MemorySink) -> String {
+    let rows = mem.flat_profile();
+    let total: u64 = rows.iter().map(|r| r.self_ns).sum();
+    let mut out = String::from("\nper-phase breakdown (self time):\n");
+    out.push_str(&format!(
+        "  {:<20} {:>8} {:>12} {:>12} {:>7}\n",
+        "phase", "count", "incl ms", "self ms", "self %"
+    ));
+    for r in &rows {
+        out.push_str(&format!(
+            "  {:<20} {:>8} {:>12.3} {:>12.3} {:>6.1}%\n",
+            r.name,
+            r.count,
+            r.inclusive_ns as f64 / 1e6,
+            r.self_ns as f64 / 1e6,
+            100.0 * r.self_ns as f64 / total.max(1) as f64
+        ));
+    }
+    out.push_str(&format!(
+        "  total attributed: {:.3} ms over {} phases\n",
+        total as f64 / 1e6,
+        rows.len()
+    ));
+    for (name, total) in mem.counters() {
+        out.push_str(&format!("  counter {name} = {total}\n"));
+    }
+    if let Err(e) = mem.validate() {
+        out.push_str(&format!("  WARNING: span tree malformed: {e}\n"));
+    }
+    out
 }
 
 /// The value following `--flag`, if present.
@@ -43,6 +88,42 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let figure = args.iter().any(|a| a == "--figure");
+    let profile: Option<String> = args.iter().find_map(|a| {
+        if a == "--profile" {
+            Some("profile.jsonl".to_string())
+        } else {
+            a.strip_prefix("--profile=").map(str::to_string)
+        }
+    });
+
+    // Stream-verification mode: sanity-check a recorded profile.
+    if let Some(pos) = args.iter().position(|a| a == "check-profile") {
+        let Some(path) = args.get(pos + 1) else {
+            eprintln!("error: check-profile needs a file argument");
+            std::process::exit(2);
+        };
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read `{path}`: {e}");
+                std::process::exit(1);
+            }
+        };
+        match check_stream(&text) {
+            Ok(s) => {
+                println!(
+                    "{path}: OK — {} lines ({} span opens, {} closes, {} counters, \
+                     {} gauges, {} progress)",
+                    s.lines, s.span_opens, s.span_closes, s.counters, s.gauges, s.progress
+                );
+                return;
+            }
+            Err(e) => {
+                eprintln!("{path}: INVALID — {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 
     // Single-spec reproduction mode.
     if let Some(spec_path) = flag_value(&args, "--spec") {
@@ -119,17 +200,41 @@ fn main() {
     } else {
         ids
     };
-    for id in selected {
+
+    // --profile: record the run to a JSON-lines stream and collect an
+    // in-memory copy for the breakdown table. The guards keep the sinks
+    // installed until the end of main.
+    let mut profile_state = None;
+    if let Some(dest) = &profile {
+        let stream_guard = if dest == "-" {
+            spmlab_obs::add_sink(Arc::new(JsonlSink::new(std::io::stderr())))
+        } else {
+            match std::fs::File::create(dest) {
+                Ok(f) => spmlab_obs::add_sink(Arc::new(JsonlSink::new(std::io::BufWriter::new(f)))),
+                Err(e) => {
+                    eprintln!("error: cannot create profile `{dest}`: {e}");
+                    std::process::exit(1);
+                }
+            }
+        };
+        let mem = Arc::new(MemorySink::default());
+        let mem_guard = spmlab_obs::add_sink(mem.clone());
+        profile_state = Some((mem, [stream_guard, mem_guard]));
+    }
+
+    for id in &selected {
+        let span = spmlab_obs::span_labeled("experiment", id);
         // The hierarchy scenario additionally maintains the tracked bench
         // artifacts (BENCH_hierarchy.json + bench_history.jsonl), and
         // bench-history honours --figure.
-        let result = if id == "hierarchy" {
+        let result = if *id == "hierarchy" {
             exp_hierarchy_with_artifacts(quick, &workspace_root())
-        } else if id == "bench-history" {
+        } else if *id == "bench-history" {
             Ok(exp_bench_history(figure))
         } else {
             run_experiment(id, quick)
         };
+        drop(span);
         match result {
             Ok(text) => {
                 println!("==== {id} ====");
@@ -138,6 +243,16 @@ fn main() {
             Err(e) => {
                 eprintln!("error in `{id}`: {e}");
                 std::process::exit(1);
+            }
+        }
+    }
+
+    if let Some((mem, guards)) = profile_state {
+        drop(guards); // flush + close the stream before reporting
+        print!("{}", render_profile(&mem));
+        if let Some(dest) = &profile {
+            if dest != "-" {
+                println!("profile stream written to {dest}");
             }
         }
     }

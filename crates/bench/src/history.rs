@@ -10,6 +10,20 @@
 //! {"rev":"8a63b2c","benchmark":"g721","quick":false,"wall_seconds":1.370,
 //!  "points":8,"max_ratio":9.028,"sound":true}
 //! ```
+//!
+//! Since the observability release each line may additionally carry a
+//! flat *provenance* block — canonical spec-axis hash, replay vs full-sim
+//! point counts, sweep memo hit rates, and per-phase self times:
+//!
+//! ```text
+//! {...,"sound":true,"spec_hash":"a1b2c3d4e5f60718","replay_points":6,
+//!  "full_sim_points":0,"memo_hits":2,"memo_misses":6,
+//!  "phases":"simulate=1200;analyze=3400"}
+//! ```
+//!
+//! The reader tolerates lines both with and without the block (pre-PR-6
+//! history keeps parsing), and the renderer shows `-` where a run
+//! predates it.
 
 use spmlab::figures::FigureHierarchy;
 use spmlab::report::render_table;
@@ -32,6 +46,90 @@ pub struct BenchRecord {
     pub max_ratio: f64,
     /// Whether WCET ≥ simulation held at every point.
     pub sound: bool,
+    /// Run provenance (absent on lines recorded before the observability
+    /// release).
+    pub provenance: Option<Provenance>,
+}
+
+/// Where a recorded run's numbers came from: the canonical hash of the
+/// swept spec axis plus — when the run was profiled — the replay/full-sim
+/// split, the sweep memo hit rate, and per-phase self times.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Provenance {
+    /// FNV-1a 64 hash (hex) of the canonical spec axis swept.
+    pub spec_hash: String,
+    /// Points priced by trace replay (profiled runs only).
+    pub replay_points: Option<u64>,
+    /// Points that fell back to full simulation (profiled runs only).
+    pub full_sim_points: Option<u64>,
+    /// Sweep points served from the effective-spec memo.
+    pub memo_hits: Option<u64>,
+    /// Sweep points actually measured.
+    pub memo_misses: Option<u64>,
+    /// Per-phase self time `(name, ns)`, largest first (profiled runs
+    /// only; empty otherwise).
+    pub phase_ns: Vec<(String, u64)>,
+}
+
+impl Provenance {
+    /// Serialises the flat provenance fields (leading comma included).
+    fn json_fields(&self) -> String {
+        let mut out = format!(",\"spec_hash\":\"{}\"", self.spec_hash.replace('"', "'"));
+        for (key, v) in [
+            ("replay_points", self.replay_points),
+            ("full_sim_points", self.full_sim_points),
+            ("memo_hits", self.memo_hits),
+            ("memo_misses", self.memo_misses),
+        ] {
+            if let Some(v) = v {
+                out.push_str(&format!(",\"{key}\":{v}"));
+            }
+        }
+        if !self.phase_ns.is_empty() {
+            let phases: Vec<String> = self
+                .phase_ns
+                .iter()
+                .map(|(name, ns)| format!("{}={ns}", name.replace(['=', ';', '"'], "_")))
+                .collect();
+            out.push_str(&format!(",\"phases\":\"{}\"", phases.join(";")));
+        }
+        out
+    }
+
+    /// Parses the provenance fields out of a history line; `None` when
+    /// the line predates the block (no `spec_hash` key).
+    fn from_json_line(line: &str) -> Option<Provenance> {
+        let spec_hash = json_str(line, "spec_hash")?;
+        let phase_ns = json_str(line, "phases")
+            .map(|p| {
+                p.split(';')
+                    .filter_map(|kv| {
+                        let (name, ns) = kv.split_once('=')?;
+                        Some((name.to_string(), ns.parse().ok()?))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        Some(Provenance {
+            spec_hash,
+            replay_points: json_raw(line, "replay_points").and_then(|v| v.parse().ok()),
+            full_sim_points: json_raw(line, "full_sim_points").and_then(|v| v.parse().ok()),
+            memo_hits: json_raw(line, "memo_hits").and_then(|v| v.parse().ok()),
+            memo_misses: json_raw(line, "memo_misses").and_then(|v| v.parse().ok()),
+            phase_ns,
+        })
+    }
+}
+
+/// FNV-1a 64 over `data` — the canonical spec-axis hash recorded in the
+/// provenance block (stable, dependency-free, not cryptographic).
+pub fn fnv1a64(data: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in data.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
 }
 
 impl BenchRecord {
@@ -51,26 +149,39 @@ impl BenchRecord {
             points: fig.rows().len(),
             max_ratio,
             sound: fig.all_sound(),
+            provenance: None,
         }
+    }
+
+    /// Attaches a provenance block (builder style).
+    #[must_use]
+    pub fn with_provenance(mut self, provenance: Provenance) -> BenchRecord {
+        self.provenance = Some(provenance);
+        self
     }
 
     /// The JSON line for this record (no trailing newline).
     pub fn to_json_line(&self) -> String {
         format!(
             "{{\"rev\":\"{}\",\"benchmark\":\"{}\",\"quick\":{},\"wall_seconds\":{:.3},\
-             \"points\":{},\"max_ratio\":{:.4},\"sound\":{}}}",
+             \"points\":{},\"max_ratio\":{:.4},\"sound\":{}{}}}",
             self.rev.replace('"', "'"),
             self.benchmark.replace('"', "'"),
             self.quick,
             self.wall_seconds,
             self.points,
             self.max_ratio,
-            self.sound
+            self.sound,
+            self.provenance
+                .as_ref()
+                .map(Provenance::json_fields)
+                .unwrap_or_default()
         )
     }
 
-    /// Parses one line written by [`BenchRecord::to_json_line`]. Returns
-    /// `None` for malformed or foreign lines.
+    /// Parses one line written by [`BenchRecord::to_json_line`] — with or
+    /// without the provenance block, so pre-observability history lines
+    /// keep parsing. Returns `None` for malformed or foreign lines.
     pub fn from_json_line(line: &str) -> Option<BenchRecord> {
         Some(BenchRecord {
             rev: json_str(line, "rev")?,
@@ -80,6 +191,7 @@ impl BenchRecord {
             points: json_raw(line, "points")?.parse().ok()?,
             max_ratio: json_raw(line, "max_ratio")?.parse().ok()?,
             sound: json_raw(line, "sound")? == "true",
+            provenance: Provenance::from_json_line(line),
         })
     }
 }
@@ -148,9 +260,14 @@ pub fn render_history(records: &[BenchRecord]) -> String {
     if records.is_empty() {
         return String::from("bench history: no recorded runs (bench_history.jsonl is empty)\n");
     }
+    let pair = |a: Option<u64>, b: Option<u64>| match (a, b) {
+        (Some(a), Some(b)) => format!("{a}/{b}"),
+        _ => String::from("-"),
+    };
     let rows: Vec<Vec<String>> = records
         .iter()
         .map(|r| {
+            let p = r.provenance.as_ref();
             vec![
                 r.rev.clone(),
                 r.benchmark.clone(),
@@ -158,6 +275,11 @@ pub fn render_history(records: &[BenchRecord]) -> String {
                 format!("{:.3}", r.wall_seconds),
                 format!("{:.4}", r.max_ratio),
                 if r.sound { "yes" } else { "NO" }.to_string(),
+                p.map_or_else(|| String::from("-"), |p| pair(p.memo_hits, p.memo_misses)),
+                p.map_or_else(
+                    || String::from("-"),
+                    |p| pair(p.replay_points, p.full_sim_points),
+                ),
             ]
         })
         .collect();
@@ -165,7 +287,16 @@ pub fn render_history(records: &[BenchRecord]) -> String {
         "Bench history: hierarchy-sweep trajectory ({} runs)\n{}",
         records.len(),
         render_table(
-            &["rev", "benchmark", "axis", "wall s", "max ratio", "sound"],
+            &[
+                "rev",
+                "benchmark",
+                "axis",
+                "wall s",
+                "max ratio",
+                "sound",
+                "memo h/m",
+                "replay/sim"
+            ],
             &rows
         )
     )
@@ -243,10 +374,76 @@ mod tests {
             points: 8,
             max_ratio: 9.0281,
             sound: true,
+            provenance: None,
         };
         let line = r.to_json_line();
         let back = BenchRecord::from_json_line(&line).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn provenance_roundtrips_through_json_line() {
+        let r = BenchRecord {
+            rev: "abc1234".into(),
+            benchmark: "g721".into(),
+            quick: false,
+            wall_seconds: 1.375,
+            points: 8,
+            max_ratio: 9.0281,
+            sound: true,
+            provenance: None,
+        }
+        .with_provenance(Provenance {
+            spec_hash: fnv1a64("g721 hierarchy axis"),
+            replay_points: Some(6),
+            full_sim_points: Some(2),
+            memo_hits: Some(0),
+            memo_misses: Some(8),
+            phase_ns: vec![("simulate".into(), 1_200_000), ("analyze".into(), 950_000)],
+        });
+        let line = r.to_json_line();
+        let back = BenchRecord::from_json_line(&line).unwrap();
+        assert_eq!(back, r);
+        let p = back.provenance.unwrap();
+        assert_eq!(p.spec_hash.len(), 16, "fnv1a64 renders 16 hex digits");
+        assert_eq!(p.phase_ns[0], ("simulate".to_string(), 1_200_000));
+    }
+
+    /// Satellite: `bench-history` must keep parsing lines written before the
+    /// provenance block existed. These fixtures are verbatim pre-provenance
+    /// history lines (the old `to_json_line` layout).
+    #[test]
+    fn pre_provenance_history_lines_still_parse() {
+        let fixtures = [
+            "{\"rev\":\"8a63b2c\",\"benchmark\":\"g721\",\"quick\":false,\
+             \"wall_seconds\":1.370,\"points\":8,\"max_ratio\":9.0281,\"sound\":true}",
+            "{\"rev\":\"unknown\",\"benchmark\":\"adpcm\",\"quick\":true,\
+             \"wall_seconds\":0.042,\"points\":8,\"max_ratio\":7.9797,\"sound\":true}",
+        ];
+        let recs: Vec<BenchRecord> = fixtures
+            .iter()
+            .filter_map(|l| BenchRecord::from_json_line(l))
+            .collect();
+        assert_eq!(recs.len(), 2, "every old-format line parses");
+        assert!(recs.iter().all(|r| r.provenance.is_none()));
+        assert_eq!(recs[0].benchmark, "g721");
+        assert_eq!(recs[1].points, 8);
+        // Mixed old/new histories render with a placeholder memo column.
+        let with_new = vec![
+            recs[0].clone(),
+            recs[1].clone().with_provenance(Provenance {
+                spec_hash: fnv1a64("adpcm"),
+                replay_points: Some(7),
+                full_sim_points: Some(1),
+                memo_hits: Some(3),
+                memo_misses: Some(5),
+                phase_ns: Vec::new(),
+            }),
+        ];
+        let table = render_history(&with_new);
+        assert!(table.contains("memo h/m"));
+        assert!(table.contains("3/5") && table.contains("7/1"));
+        assert!(table.contains(" - "), "old rows show a placeholder");
     }
 
     #[test]
@@ -270,6 +467,7 @@ mod tests {
             points: 8,
             max_ratio: 7.9797,
             sound: true,
+            provenance: None,
         };
         append_history(&path, &r).unwrap();
         r.rev = "bbbbbbb".into();
@@ -295,6 +493,7 @@ mod tests {
                 points: 8,
                 max_ratio: 9.0281,
                 sound: true,
+                provenance: None,
             },
             BenchRecord {
                 rev: "bbbbbbb".into(),
@@ -304,6 +503,7 @@ mod tests {
                 points: 8,
                 max_ratio: 8.5,
                 sound: true,
+                provenance: None,
             },
         ];
         let csv = render_history_csv(&recs);

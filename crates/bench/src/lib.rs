@@ -16,8 +16,8 @@
 pub mod history;
 
 pub use history::{
-    append_history, git_revision, read_history, render_history, render_history_csv,
-    render_history_gnuplot, write_history_figure, BenchRecord,
+    append_history, fnv1a64, git_revision, read_history, render_history, render_history_csv,
+    render_history_gnuplot, write_history_figure, BenchRecord, Provenance,
 };
 
 use spmlab::figures::{table1, table2, Figure3, FigureHierarchy, FigureSpmHierarchy, Tightness};
@@ -163,9 +163,53 @@ pub fn exp_hierarchy_with_artifacts(
     quick: bool,
     root: &std::path::Path,
 ) -> Result<String, CoreError> {
+    // The spec hash fingerprints the canonical sweep axis, so two history
+    // lines with the same hash measured the same configurations even across
+    // axis-definition refactors. Cheap enough to compute on every run.
+    let spec_hash = fnv1a64(
+        &hierarchy_axis(hierarchy_l1_size(quick))
+            .iter()
+            .map(|h| MemArchSpec::from_hierarchy(h).label())
+            .collect::<Vec<_>>()
+            .join("|"),
+    );
+    // Counter/phase provenance needs a collector listening during the run.
+    // Only ride along when profiling is already active: installing a sink
+    // unconditionally would flip `spmlab_obs::enabled()` and serialise the
+    // sweep, costing far more than the provenance is worth on plain runs.
+    let collector = if spmlab_obs::enabled() {
+        let sink = std::sync::Arc::new(spmlab_obs::collector::MemorySink::default());
+        Some((spmlab_obs::add_sink(sink.clone()), sink))
+    } else {
+        None
+    };
     let start = std::time::Instant::now();
     let fig = hierarchy_figure(quick)?;
     let wall = start.elapsed().as_secs_f64();
+    let mut provenance = Provenance {
+        spec_hash,
+        replay_points: None,
+        full_sim_points: None,
+        memo_hits: None,
+        memo_misses: None,
+        phase_ns: Vec::new(),
+    };
+    if let Some((guard, sink)) = collector {
+        // Stop recording before reading the totals back. Replay-eligible =
+        // served from a recorded trace (replayed, or the recording machine
+        // itself); full-sim = fell back to the interpreter.
+        drop(guard);
+        provenance.replay_points =
+            Some(sink.counter_total("sweep_replay") + sink.counter_total("sweep_recorded_reuse"));
+        provenance.full_sim_points = Some(sink.counter_total("sweep_full_sim"));
+        provenance.memo_hits = Some(sink.counter_total("sweep_memo_hit"));
+        provenance.memo_misses = Some(sink.counter_total("sweep_memo_miss"));
+        provenance.phase_ns = sink
+            .flat_profile()
+            .into_iter()
+            .map(|row| (row.name.to_string(), row.self_ns))
+            .collect();
+    }
     let mut out = report::render_hierarchy(&fig);
     out.push_str(&format!(
         "sound (wcet >= sim) at every point: {}\n",
@@ -178,12 +222,15 @@ pub fn exp_hierarchy_with_artifacts(
         out.push_str("quick axis: BENCH_hierarchy.json left untouched\n");
     } else {
         let json_path = root.join("BENCH_hierarchy.json");
-        match std::fs::write(&json_path, hierarchy_json(&fig, wall)) {
+        match std::fs::write(
+            &json_path,
+            hierarchy_json_with_provenance(&fig, wall, Some(&provenance)),
+        ) {
             Ok(()) => out.push_str(&format!("wrote {}\n", json_path.display())),
             Err(e) => out.push_str(&format!("could not write {}: {e}\n", json_path.display())),
         }
     }
-    let record = BenchRecord::summarise(&fig, quick, wall);
+    let record = BenchRecord::summarise(&fig, quick, wall).with_provenance(provenance);
     let history_path = root.join("bench_history.jsonl");
     match append_history(&history_path, &record) {
         Ok(()) => out.push_str(&format!("appended {}\n", history_path.display())),
@@ -200,6 +247,17 @@ pub fn exp_hierarchy_with_artifacts(
 /// Serialises the hierarchy comparison as the `BENCH_hierarchy.json`
 /// artifact (hand-rolled JSON: the build environment has no serde_json).
 pub fn hierarchy_json(fig: &FigureHierarchy, wall_seconds: f64) -> String {
+    hierarchy_json_with_provenance(fig, wall_seconds, None)
+}
+
+/// [`hierarchy_json`] plus an optional `"provenance"` block recording the
+/// git revision, canonical spec-axis hash and — when the run was profiled —
+/// replay/memo counters and per-phase self times.
+pub fn hierarchy_json_with_provenance(
+    fig: &FigureHierarchy,
+    wall_seconds: f64,
+    provenance: Option<&Provenance>,
+) -> String {
     let mut rows = String::new();
     for (i, (label, sim, wcet)) in fig.rows().into_iter().enumerate() {
         if i > 0 {
@@ -212,9 +270,39 @@ pub fn hierarchy_json(fig: &FigureHierarchy, wall_seconds: f64) -> String {
             wcet as f64 / sim.max(1) as f64
         ));
     }
+    let prov = provenance.map_or_else(String::new, |p| {
+        let opt = |name: &str, v: Option<u64>| {
+            v.map_or_else(String::new, |v| format!(",\n    \"{name}\": {v}"))
+        };
+        let mut phases = String::new();
+        for (i, (name, ns)) in p.phase_ns.iter().enumerate() {
+            if i > 0 {
+                phases.push(',');
+            }
+            phases.push_str(&format!(
+                "\n      {{\"phase\": \"{}\", \"self_ns\": {ns}}}",
+                name.replace('"', "'")
+            ));
+        }
+        let phases = if phases.is_empty() {
+            String::new()
+        } else {
+            format!(",\n    \"phases\": [{phases}\n    ]")
+        };
+        format!(
+            ",\n  \"provenance\": {{\n    \"rev\": \"{}\",\n    \"spec_hash\": \"{}\"{}{}{}{}{}\n  }}",
+            git_revision().replace('"', "'"),
+            p.spec_hash.replace('"', "'"),
+            opt("replay_points", p.replay_points),
+            opt("full_sim_points", p.full_sim_points),
+            opt("memo_hits", p.memo_hits),
+            opt("memo_misses", p.memo_misses),
+            phases
+        )
+    });
     format!(
         "{{\n  \"benchmark\": \"{}\",\n  \"wall_seconds\": {wall_seconds:.3},\n  \
-         \"sound\": {},\n  \"points\": [{rows}\n  ]\n}}\n",
+         \"sound\": {}{prov},\n  \"points\": [{rows}\n  ]\n}}\n",
         fig.benchmark,
         fig.all_sound()
     )

@@ -127,14 +127,21 @@ impl Pipeline {
         benchmark: &'static Benchmark,
         input: Vec<i32>,
     ) -> Result<Pipeline, CoreError> {
-        let module = benchmark.compile()?;
+        let _prep = spmlab_obs::span_labeled("prepare", benchmark.name);
+        let module = {
+            let _s = spmlab_obs::span("compile");
+            benchmark.compile()?
+        };
         let sim_options = SimOptions::default();
-        let baseline = benchmark.link_with_input(
-            &module,
-            &MemoryMap::no_spm(),
-            &SpmAssignment::none(),
-            &input,
-        )?;
+        let baseline = {
+            let _s = spmlab_obs::span("link");
+            benchmark.link_with_input(
+                &module,
+                &MemoryMap::no_spm(),
+                &SpmAssignment::none(),
+                &input,
+            )?
+        };
         // The baseline run feeds the allocator's profile and records the
         // memory trace the hierarchy sweep replays; per-instruction
         // statistics are only needed by the soundness tests, not here.
@@ -257,6 +264,16 @@ impl Pipeline {
         Ok(self.package_spec(spec, &m))
     }
 
+    /// Wraps a call to the WCET analyzer in an `"analyze"` span.
+    fn analyzed(
+        exe: &spmlab_isa::Executable,
+        wcfg: &WcetConfig,
+        annot: &spmlab_isa::annot::AnnotationSet,
+    ) -> Result<spmlab_wcet::WcetResult, CoreError> {
+        let _s = spmlab_obs::span("analyze");
+        Ok(analyze(exe, wcfg, annot)?)
+    }
+
     /// The analyzer configuration for a canonical spec (see
     /// [`Pipeline::run`]'s routing table).
     pub(crate) fn wcet_config_for(canon: &MemArchSpec) -> WcetConfig {
@@ -288,6 +305,7 @@ impl Pipeline {
     /// spec. Label-free and energy-free so sweep points whose canonical
     /// specs are effectively identical can share one measurement.
     pub(crate) fn measure_spec(&self, canon: &MemArchSpec) -> Result<ArchMeasurement, CoreError> {
+        let _s = spmlab_obs::span_with("measure-spec", || canon.label());
         match &canon.spm {
             Some(spm) => self.measure_spm(canon, spm),
             None => self.measure_no_spm(canon),
@@ -332,10 +350,12 @@ impl Pipeline {
         // replaying the wrong write timing.
         let (sim_cycles, mem_stats, checksum) = match &self.trace {
             Some(trace) if trace.supports(&hierarchy) => {
+                spmlab_obs::counter("sweep_replay", 1);
                 let (cycles, stats) = trace.replay(&hierarchy)?;
                 (cycles, stats, self.expected_checksum)
             }
             _ => {
+                spmlab_obs::counter("sweep_full_sim", 1);
                 let sim = simulate(
                     &linked.exe,
                     &MachineConfig::with_hierarchy(hierarchy.clone()),
@@ -345,7 +365,7 @@ impl Pipeline {
                 (sim.cycles, sim.mem_stats, checksum)
             }
         };
-        let wcet = analyze(
+        let wcet = Pipeline::analyzed(
             &linked.exe,
             &Pipeline::wcet_config_for(canon),
             &linked.annotations,
@@ -370,17 +390,23 @@ impl Pipeline {
         spm: &SpmSpec,
     ) -> Result<ArchMeasurement, CoreError> {
         let wcfg = Pipeline::wcet_config_for(canon);
-        let assignment = self.resolve_assignment(spm, &wcfg)?;
+        let assignment = {
+            let _s = spmlab_obs::span("alloc");
+            self.resolve_assignment(spm, &wcfg)?
+        };
         let arts = self.spm_artifacts(spm.size, &assignment)?;
         let hierarchy = canon.hierarchy();
         let recording_is_target =
             !canon.has_cache_levels() && canon.main == MainMemoryTiming::table1();
         let (sim_cycles, mem_stats) = if recording_is_target {
             // The recording machine *is* the uncached Table-1 machine.
+            spmlab_obs::counter("sweep_recorded_reuse", 1);
             (arts.recorded_cycles, arts.recorded_stats.clone())
         } else if let Some(trace) = arts.trace.as_ref().filter(|t| t.supports(&hierarchy)) {
+            spmlab_obs::counter("sweep_replay", 1);
             trace.replay(&hierarchy)?
         } else {
+            spmlab_obs::counter("sweep_full_sim", 1);
             let sim = simulate(
                 &arts.linked.exe,
                 &MachineConfig::with_hierarchy(hierarchy.clone()),
@@ -389,7 +415,7 @@ impl Pipeline {
             self.check(&sim, &arts.linked.exe)?;
             (sim.cycles, sim.mem_stats)
         };
-        let wcet = analyze(&arts.linked.exe, &wcfg, &arts.linked.annotations)?;
+        let wcet = Pipeline::analyzed(&arts.linked.exe, &wcfg, &arts.linked.annotations)?;
         Ok(ArchMeasurement {
             sim_cycles,
             wcet_cycles: wcet.wcet_cycles,
@@ -456,8 +482,10 @@ impl Pipeline {
         compute: impl FnOnce() -> Result<SpmAssignment, CoreError>,
     ) -> Result<SpmAssignment, CoreError> {
         if let Some(a) = self.wcet_allocs.lock().expect("alloc memo").get(&key) {
+            spmlab_obs::counter("alloc_memo_hit", 1);
             return Ok(a.clone());
         }
+        spmlab_obs::counter("alloc_memo_miss", 1);
         let a = compute()?;
         Ok(self
             .wcet_allocs
@@ -479,8 +507,11 @@ impl Pipeline {
     ) -> Result<Arc<SpmArtifacts>, CoreError> {
         let key = format!("{size}|{assignment:?}");
         if let Some(a) = self.spm_links.lock().expect("spm memo").get(&key) {
+            spmlab_obs::counter("spm_link_memo_hit", 1);
             return Ok(a.clone());
         }
+        spmlab_obs::counter("spm_link_memo_miss", 1);
+        let _s = spmlab_obs::span("spm-link");
         let map = MemoryMap::with_spm(size);
         let linked = self
             .benchmark

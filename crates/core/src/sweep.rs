@@ -53,10 +53,20 @@ where
     F: Fn(&T) -> Result<R, CoreError> + Sync,
 {
     let n = items.len();
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n);
+    // Profiled runs execute sequentially: spans opened on worker threads
+    // would be parentless roots, breaking the per-phase breakdown's
+    // self-time accounting (the `--profile` contract is that phase totals
+    // sum to wall time). Observability trades parallelism for
+    // attributable timings; with no sink installed this branch is one
+    // relaxed atomic load.
+    let threads = if spmlab_obs::enabled() {
+        1
+    } else {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n)
+    };
     if threads <= 1 {
         return items.iter().map(f).collect();
     }
@@ -94,6 +104,7 @@ where
 /// [`CoreError::Spec`] for invalid specs, else the first pipeline failure
 /// (in input order).
 pub fn spec_sweep(pipeline: &Pipeline, specs: &[MemArchSpec]) -> Result<Vec<SpecPoint>, CoreError> {
+    let _sweep = spmlab_obs::span("sweep");
     for spec in specs {
         spec.validate().map_err(CoreError::Spec)?;
     }
@@ -112,8 +123,25 @@ pub fn spec_sweep(pipeline: &Pipeline, specs: &[MemArchSpec]) -> Result<Vec<Spec
             reps.len() - 1
         });
     }
+    if spmlab_obs::enabled() {
+        spmlab_obs::counter("sweep_points", specs.len() as u64);
+        spmlab_obs::counter("sweep_memo_miss", reps.len() as u64);
+        spmlab_obs::counter("sweep_memo_hit", (specs.len() - reps.len()) as u64);
+    }
     let rep_canons: Vec<&MemArchSpec> = reps.iter().map(|&i| &canons[i]).collect();
-    let measured = par_try_map(&rep_canons, |c| pipeline.measure_spec(c))?;
+    let total = rep_canons.len() as u64;
+    let start_ns = spmlab_obs::now_ns();
+    let measured_count = AtomicUsize::new(0);
+    let measured = par_try_map(&rep_canons, |c| {
+        let m = pipeline.measure_spec(c)?;
+        if spmlab_obs::enabled() {
+            let done = measured_count.fetch_add(1, Ordering::Relaxed) as u64 + 1;
+            let secs = (spmlab_obs::now_ns() - start_ns) as f64 / 1e9;
+            let rate = if secs > 0.0 { done as f64 / secs } else { 0.0 };
+            spmlab_obs::progress(done, total, &format!("{rate:.2} points/s"));
+        }
+        Ok(m)
+    })?;
     Ok(specs
         .iter()
         .zip(&keys)

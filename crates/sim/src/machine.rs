@@ -99,7 +99,13 @@ pub fn simulate(
     config: &MachineConfig,
     options: &SimOptions,
 ) -> Result<SimResult, SimError> {
-    Machine::new(exe, config, options.clone()).run()
+    let _span = spmlab_obs::span("simulate");
+    let result = Machine::new(exe, config, options.clone()).run()?;
+    if spmlab_obs::enabled() {
+        spmlab_obs::gauge("sim_instructions", result.instructions);
+        spmlab_obs::counter("sim_instructions_total", result.instructions);
+    }
+    Ok(result)
 }
 
 /// Runs `exe` on the uncached recording machine with the memory-trace
@@ -112,6 +118,7 @@ pub(crate) fn simulate_recorded(
     exe: &Executable,
     options: &SimOptions,
 ) -> Result<(SimResult, crate::trace::TraceRecorder), SimError> {
+    let _span = spmlab_obs::span("sim-record");
     let mut machine = Machine::new(exe, &MachineConfig::uncached(), options.clone());
     machine.mem.recorder = Some(crate::trace::TraceRecorder::default());
     let mut result = machine.run()?;

@@ -127,6 +127,10 @@ impl MemTrace {
     /// [`MemTrace::supports`]); callers should check `supports` and fall
     /// back to full simulation instead of treating this as fatal.
     pub fn replay(&self, hierarchy: &MemHierarchyConfig) -> Result<(u64, MemStats), SimError> {
+        let _span = spmlab_obs::span("replay");
+        if spmlab_obs::enabled() {
+            spmlab_obs::counter("replay_events", self.events.len() as u64);
+        }
         if !self.replayable {
             return Err(SimError::Fault {
                 pc: 0,

@@ -222,6 +222,7 @@ pub fn analyze(
     let mut wcet_by_addr: BTreeMap<u32, u64> = BTreeMap::new();
     let mut per_function = Vec::with_capacity(order.len());
     let mut classification = cache::Classification::default();
+    let mut widened = false;
 
     // Hierarchy path, pass 0 — interprocedural call summaries in
     // call-graph topological order (callees first): each function's
@@ -229,6 +230,7 @@ pub fn analyze(
     // MUST states, folding in the summaries of everything it calls.
     let summaries: BTreeMap<u32, multilevel::CallSummary> = match &config.hierarchy {
         Some(hierarchy) if config.interprocedural => {
+            let _pass = spmlab_obs::span("wcet-pass-summaries");
             let mut summaries = BTreeMap::new();
             for &faddr in &order {
                 let ctx = MultiCtx {
@@ -239,7 +241,9 @@ pub fn analyze(
                     may_analysis: config.may_analysis,
                     summaries: Some(&summaries),
                 };
+                let _f = spmlab_obs::span_with("wcet-fn-summary", || cfgs[&faddr].name.clone());
                 let s = multilevel::summarize_function(&cfgs[&faddr], &ctx);
+                widened |= s.widened;
                 summaries.insert(faddr, s);
             }
             summaries
@@ -256,6 +260,7 @@ pub fn analyze(
     // reuses the converged in-states.
     let hierarchy_states: BTreeMap<u32, BTreeMap<u32, MultiState>> =
         if let Some(hierarchy) = &config.hierarchy {
+            let _pass = spmlab_obs::span("wcet-pass-fixpoints");
             let ctx = MultiCtx {
                 hierarchy,
                 map: &exe.memory_map,
@@ -283,7 +288,10 @@ pub fn analyze(
                         .remove(&faddr)
                         .unwrap_or_else(|| MultiState::top(&ctx))
                 };
-                let in_states = multilevel::must_fixpoint(cfg, &ctx, entry);
+                let _f = spmlab_obs::span_with("wcet-fn-fixpoint", || cfg.name.clone());
+                let fp = multilevel::must_fixpoint(cfg, &ctx, entry);
+                widened |= fp.widened;
+                let in_states = fp.in_states;
                 if config.interprocedural {
                     multilevel::propagate_entry_states(cfg, &in_states, &ctx, &mut entries);
                 }
@@ -294,8 +302,10 @@ pub fn analyze(
             BTreeMap::new()
         };
 
+    let costing_span = spmlab_obs::span("wcet-pass-costing");
     for &faddr in &order {
         let cfg = &cfgs[&faddr];
+        let _f = spmlab_obs::span_with("wcet-fn-cost", || cfg.name.clone());
         let loops = natural_loops(cfg)?;
         let loop_bounds = bounds::loop_bounds(cfg, &loops, &annot, config.auto_loop_bounds)?;
 
@@ -354,7 +364,9 @@ pub fn analyze(
                     } else {
                         Persistence::disabled()
                     };
-                    let in_states = cache::must_fixpoint(cfg, &ctx);
+                    let fp = cache::must_fixpoint(cfg, &ctx);
+                    widened |= fp.widened;
+                    let in_states = fp.in_states;
                     let top = cache::AbstractCache::top(cache_cfg);
                     let costs: BTreeMap<u32, u64> = cfg
                         .blocks
@@ -402,14 +414,20 @@ pub fn analyze(
         });
     }
 
+    drop(costing_span);
+
     let entry_wcet = *wcet_by_addr
         .get(&entry_addr)
         .ok_or_else(|| WcetError::MissingFunction(format!("entry {entry_addr:#x}")))?;
+    if widened {
+        spmlab_obs::counter("wcet_widened_results", 1);
+    }
     Ok(WcetResult {
         wcet_cycles: entry_wcet,
         per_function,
         stack_bytes: entry_depth,
         classification,
+        widened,
     })
 }
 

@@ -817,8 +817,12 @@ fn apply_data_access(state: &mut AbstractCache, acc: &DataAccess, ctx: &CacheCtx
     }
 }
 
-/// MUST-analysis fixpoint: in-state per block.
-pub fn must_fixpoint(cfg: &FuncCfg, ctx: &CacheCtx) -> BTreeMap<u32, AbstractCache> {
+/// MUST-analysis fixpoint: in-state per block, plus the solver accounting
+/// (`widened` when the iteration budget forced the top-state fallback).
+pub fn must_fixpoint(
+    cfg: &FuncCfg,
+    ctx: &CacheCtx,
+) -> crate::fixpoint::FixpointResult<AbstractCache> {
     crate::fixpoint::must_fixpoint(
         cfg,
         || AbstractCache::top(ctx.cache),

@@ -20,6 +20,33 @@ use crate::cfg::{BasicBlock, FuncCfg};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 
+/// Outcome of a [`must_fixpoint`] run: the per-block in-states plus the
+/// solver's own accounting, so callers can distinguish a genuine fixpoint
+/// from the defensive budget fallback instead of silently consuming `top`
+/// states.
+#[derive(Debug, Clone)]
+pub struct FixpointResult<S> {
+    /// Per-block *in*-states (blocks unreachable from the entry absent).
+    pub in_states: BTreeMap<u32, S>,
+    /// `true` when the iteration budget ran out and every state was
+    /// widened to `top`. The result is still *sound* (top is the
+    /// conservative state) but maximally imprecise — callers should
+    /// surface this instead of silently proceeding.
+    pub widened: bool,
+    /// Worklist pops performed (= block transfers executed).
+    pub iterations: usize,
+    /// Successor joins that reported a state change.
+    pub joins_changed: usize,
+}
+
+impl<S> FixpointResult<S> {
+    /// The in-states, discarding the accounting — for callers that have
+    /// already recorded `widened`.
+    pub fn into_states(self) -> BTreeMap<u32, S> {
+        self.in_states
+    }
+}
+
 /// Computes the per-block *in*-states of a forward MUST-style analysis.
 ///
 /// * `top` — the *conservative* state (nothing guaranteed / anything
@@ -34,7 +61,9 @@ use std::collections::{BTreeMap, BinaryHeap};
 /// * `transfer` — applies one block's effect to a state;
 /// * `budget_factor` — iterations allowed per block before the solver
 ///   gives up and returns `top` everywhere (a defensive cap; real inputs
-///   converge in a handful of passes per block).
+///   converge in a handful of passes per block). Exhausting the budget is
+///   *not* silent: the result's `widened` flag is set and a
+///   `fixpoint_budget_exhausted` counter is emitted.
 ///
 /// Blocks unreachable from the entry receive no in-state (callers fall
 /// back to `top` for them), exactly like the previous solver.
@@ -54,7 +83,7 @@ use std::collections::{BTreeMap, BinaryHeap};
 ///     blocks: BTreeMap::from([(0, block(0, vec![2])), (2, block(2, vec![]))]),
 /// };
 /// use std::collections::BTreeSet;
-/// let states = must_fixpoint(
+/// let result = must_fixpoint(
 ///     &cfg,
 ///     BTreeSet::new,                         // conservative fallback
 ///     BTreeSet::from([99u32]),               // interprocedural entry fact
@@ -66,6 +95,8 @@ use std::collections::{BTreeMap, BinaryHeap};
 ///     |s, b| { s.insert(b.start); },
 ///     64,
 /// );
+/// assert!(!result.widened, "a two-block chain converges well within budget");
+/// let states = result.in_states;
 /// assert!(states[&0].contains(&99), "the entry fact reaches the entry block");
 /// assert!(states[&2].contains(&99) && states[&2].contains(&0));
 /// ```
@@ -76,7 +107,7 @@ pub fn must_fixpoint<S, T, J, F>(
     join_into: J,
     mut transfer: F,
     budget_factor: usize,
-) -> BTreeMap<u32, S>
+) -> FixpointResult<S>
 where
     S: Clone,
     T: Fn() -> S,
@@ -92,6 +123,8 @@ where
     heap.push(Reverse(0));
     queued[0] = true;
     let mut iterations = 0usize;
+    let mut joins_changed = 0usize;
+    let mut widened = false;
     let budget = budget_factor * cfg.blocks.len().max(1);
     while let Some(Reverse(i)) = heap.pop() {
         queued[i] = false;
@@ -101,6 +134,7 @@ where
             for (_, s) in in_states.iter_mut() {
                 *s = top();
             }
+            widened = true;
             break;
         }
         let b = rpo[i];
@@ -116,6 +150,7 @@ where
                 }
             };
             if changed {
+                joins_changed += 1;
                 let si = index[&succ];
                 if !queued[si] {
                     queued[si] = true;
@@ -124,7 +159,20 @@ where
             }
         }
     }
-    in_states
+    if spmlab_obs::enabled() {
+        spmlab_obs::counter("fixpoint_runs", 1);
+        spmlab_obs::counter("fixpoint_iterations", iterations as u64);
+        spmlab_obs::counter("fixpoint_joins_changed", joins_changed as u64);
+        if widened {
+            spmlab_obs::counter("fixpoint_budget_exhausted", 1);
+        }
+    }
+    FixpointResult {
+        in_states,
+        widened,
+        iterations,
+        joins_changed,
+    }
 }
 
 #[cfg(test)]
@@ -172,7 +220,7 @@ mod tests {
         let transfers = Cell::new(0usize);
         // Set-union-free MUST-ish domain: a set of "guaranteed" markers,
         // join = intersection, transfer inserts the block id.
-        let states = must_fixpoint(
+        let result = must_fixpoint(
             &cfg,
             BTreeSet::<u32>::new,
             BTreeSet::new(),
@@ -192,9 +240,11 @@ mod tests {
             cfg.blocks.len(),
             "diamond must converge in exactly one transfer per block"
         );
+        assert!(!result.widened);
+        assert_eq!(result.iterations, cfg.blocks.len());
         // The join block's in-state is the intersection of both arms: only
         // the entry marker survives.
-        assert_eq!(states[&6], BTreeSet::from([0]));
+        assert_eq!(result.in_states[&6], BTreeSet::from([0]));
     }
 
     /// A loop converges and the back-edge join weakens the header in-state.
@@ -202,7 +252,7 @@ mod tests {
     fn loop_reaches_fixpoint() {
         // entry → header → body → header; header → exit.
         let cfg = cfg_of(&[(0, &[2][..]), (2, &[4, 6][..]), (4, &[2][..]), (6, &[][..])]);
-        let states = must_fixpoint(
+        let result = must_fixpoint(
             &cfg,
             BTreeSet::<u32>::new,
             BTreeSet::new(),
@@ -218,8 +268,10 @@ mod tests {
         );
         // The header is entered from 0 (giving {0}) and from 4 (giving
         // {0, 2, 4}); the intersection keeps only {0}.
-        assert_eq!(states[&2], BTreeSet::from([0]));
-        assert_eq!(states[&6], BTreeSet::from([0, 2]));
+        assert!(!result.widened);
+        assert!(result.joins_changed > 0);
+        assert_eq!(result.in_states[&2], BTreeSet::from([0]));
+        assert_eq!(result.in_states[&6], BTreeSet::from([0, 2]));
     }
 
     /// Unreachable blocks get no in-state (callers substitute top).
@@ -227,7 +279,69 @@ mod tests {
     fn unreachable_blocks_left_out() {
         let mut cfg = cfg_of(&[(0, &[2][..]), (2, &[][..])]);
         cfg.blocks.insert(100, block(100, vec![2], false));
-        let states = must_fixpoint(
+        let states = must_fixpoint::<BTreeSet<u32>, _, _, _>(
+            &cfg,
+            BTreeSet::<u32>::new,
+            BTreeSet::new(),
+            |a: &mut BTreeSet<u32>, b: &BTreeSet<u32>| {
+                let before = a.len();
+                a.retain(|x| b.contains(x));
+                a.len() != before
+            },
+            |s, block| {
+                s.insert(block.start);
+            },
+            64,
+        )
+        .into_states();
+        assert!(states.contains_key(&0) && states.contains_key(&2));
+        assert!(!states.contains_key(&100));
+    }
+
+    /// The defensive cap falls back to top everywhere (a domain whose join
+    /// always reports change never converges) — and the bail-out is no
+    /// longer silent: the result reports `widened` and the
+    /// `fixpoint_budget_exhausted` counter fires.
+    #[test]
+    fn budget_cap_falls_back_to_top_and_reports_widening() {
+        let _x = spmlab_obs::exclusive();
+        let sink = std::sync::Arc::new(spmlab_obs::collector::MemorySink::default());
+        let guard = spmlab_obs::add_sink(sink.clone());
+        let cfg = cfg_of(&[(0, &[2][..]), (2, &[0][..])]);
+        let result = must_fixpoint(
+            &cfg,
+            || 0u64,
+            0u64,
+            |a: &mut u64, b: &u64| {
+                *a = a.wrapping_add(*b).wrapping_add(1);
+                true // Claims to change forever.
+            },
+            |s, _| *s += 1,
+            1,
+        );
+        drop(guard);
+        assert!(result.widened, "exhausting the budget must be observable");
+        assert!(result.iterations > 4096, "the cap is the 4096 floor here");
+        for (_, v) in result.in_states {
+            assert_eq!(v, 0, "cap must reset every state to top");
+        }
+        assert_eq!(
+            sink.counter_total("fixpoint_budget_exhausted"),
+            1,
+            "bail-out must emit the exhaustion counter"
+        );
+        assert_eq!(sink.counter_total("fixpoint_runs"), 1);
+    }
+
+    /// A converging run reports `widened == false` and no exhaustion
+    /// counter.
+    #[test]
+    fn converging_run_is_not_widened() {
+        let _x = spmlab_obs::exclusive();
+        let sink = std::sync::Arc::new(spmlab_obs::collector::MemorySink::default());
+        let guard = spmlab_obs::add_sink(sink.clone());
+        let cfg = cfg_of(&[(0, &[2][..]), (2, &[][..])]);
+        let result = must_fixpoint(
             &cfg,
             BTreeSet::<u32>::new,
             BTreeSet::new(),
@@ -241,28 +355,12 @@ mod tests {
             },
             64,
         );
-        assert!(states.contains_key(&0) && states.contains_key(&2));
-        assert!(!states.contains_key(&100));
-    }
-
-    /// The defensive cap falls back to top everywhere (a domain whose join
-    /// always reports change never converges).
-    #[test]
-    fn budget_cap_falls_back_to_top() {
-        let cfg = cfg_of(&[(0, &[2][..]), (2, &[0][..])]);
-        let states = must_fixpoint(
-            &cfg,
-            || 0u64,
-            0u64,
-            |a: &mut u64, b: &u64| {
-                *a = a.wrapping_add(*b).wrapping_add(1);
-                true // Claims to change forever.
-            },
-            |s, _| *s += 1,
-            1,
+        drop(guard);
+        assert!(!result.widened);
+        assert_eq!(sink.counter_total("fixpoint_budget_exhausted"), 0);
+        assert_eq!(
+            sink.counter_total("fixpoint_iterations"),
+            result.iterations as u64
         );
-        for (_, v) in states {
-            assert_eq!(v, 0, "cap must reset every state to top");
-        }
     }
 }

@@ -430,6 +430,8 @@ pub struct CallSummary {
     l1d: Option<Interference>,
     /// Interference against the unified L2 (code and data combined).
     l2: Option<Interference>,
+    /// The summary's exit fixpoint exhausted its budget and was widened.
+    pub widened: bool,
 }
 
 /// Builds the [`CallSummary`] of `cfg`. Must be called in call-graph
@@ -590,7 +592,9 @@ pub fn summarize_function(cfg: &FuncCfg, ctx: &MultiCtx) -> CallSummary {
     }
 
     // Exit MUST states from a TOP entry: sound in any calling context.
-    let in_states = must_fixpoint(cfg, ctx, MultiState::top(ctx));
+    let fp = must_fixpoint(cfg, ctx, MultiState::top(ctx));
+    let widened = fp.widened;
+    let in_states = fp.in_states;
     let mut exit: Option<MultiState> = None;
     for e in &exits {
         let mut s = in_states
@@ -610,6 +614,7 @@ pub fn summarize_function(cfg: &FuncCfg, ctx: &MultiCtx) -> CallSummary {
         l1i,
         l1d,
         l2,
+        widened,
     }
 }
 
@@ -1150,7 +1155,7 @@ pub fn must_fixpoint(
     cfg: &FuncCfg,
     ctx: &MultiCtx,
     entry: MultiState,
-) -> BTreeMap<u32, MultiState> {
+) -> crate::fixpoint::FixpointResult<MultiState> {
     let max_assoc = [
         ctx.hierarchy.l1_for(true),
         ctx.hierarchy.l1_for(false),
@@ -1677,7 +1682,10 @@ mod tests {
         let st2 = block(MAIN + 4, vec![str_word(MAIN + 4)]);
         let (c, _) = cost(&st2, &s, &ctx);
         let fetch = 1; // same I-line as MAIN, AH after the call summary? (printed)
-        println!("cost after call = {c} (hit-only would be {})", 1 + fetch + 1);
+        println!(
+            "cost after call = {c} (hit-only would be {})",
+            1 + fetch + 1
+        );
         assert!(
             c >= 1 + 1 + h.worst_store_writeback_cycles(),
             "dirty proof survived a callee that may evict and cleanly \

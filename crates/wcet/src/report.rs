@@ -34,6 +34,11 @@ pub struct WcetResult {
     /// region timing). Soundness tests check these against simulator
     /// traces.
     pub classification: crate::cache::Classification,
+    /// `true` when any abstract-interpretation fixpoint exhausted its
+    /// iteration budget and fell back (was *widened*) to the conservative
+    /// top state. The bound is still sound but maximally imprecise for
+    /// the affected function — previously this happened silently.
+    pub widened: bool,
 }
 
 impl WcetResult {
@@ -59,6 +64,12 @@ impl std::fmt::Display for WcetResult {
             "WCET bound: {} cycles (stack {} bytes)",
             self.wcet_cycles, self.stack_bytes
         )?;
+        if self.widened {
+            writeln!(
+                f,
+                "WARNING: a fixpoint exhausted its iteration budget; states were widened to top (sound but maximally imprecise)"
+            )?;
+        }
         writeln!(
             f,
             "{:<16} {:>12} {:>7} {:>6} {:>6}",
