@@ -11,7 +11,20 @@
 //! experiments --dump-spec [--quick]      # every axis point as reusable JSON
 //! experiments --spec <file.json> [--bench <name>]
 //!                                        # reproduce one sweep point
+//! experiments --checkpoint c.jsonl hierarchy  # stream per-point checkpoints
+//! experiments --resume c.jsonl hierarchy      # replay missing points only
+//! experiments check-checkpoint <c.jsonl>      # validate a checkpoint stream
 //! ```
+//!
+//! `--checkpoint` streams one JSON line per completed sweep point of the
+//! hierarchy scenario; a run killed mid-sweep loses at most its in-flight
+//! points. `--resume` validates the checkpoint's header (git revision,
+//! benchmark, spec-axis hash) against the current build, reuses the stored
+//! points bit-identically, and measures only the missing ones — when the
+//! file does not exist yet it starts a fresh checkpoint, so a retry loop
+//! needs only the one flag. `check-checkpoint` is the strict stream gate:
+//! every line must parse, and the run counts as complete only when every
+//! axis point has a non-failed record.
 //!
 //! `--dump-spec` prints each standard sweep point as one `MemArchSpec`
 //! JSON document; saving one to a file and feeding it back with `--spec`
@@ -26,8 +39,8 @@
 use std::sync::Arc;
 
 use spmlab_bench::{
-    dump_specs, exp_bench_history, exp_hierarchy_with_artifacts, run_experiment, run_spec_on,
-    verify_claims, workspace_root, EXPERIMENTS,
+    dump_specs, exp_bench_history, exp_hierarchy_with_artifacts_ckpt, run_experiment, run_spec_on,
+    verify_claims, workspace_root, CheckpointMode, EXPERIMENTS,
 };
 use spmlab_obs::collector::MemorySink;
 use spmlab_obs::jsonl::{check_stream, JsonlSink};
@@ -37,6 +50,9 @@ fn usage() -> String {
         "usage: experiments [--quick] [--profile[=out.jsonl|=-]] <all|verify|{}>\n\
          \x20      experiments bench-history --figure\n\
          \x20      experiments check-profile <file.jsonl>\n\
+         \x20      experiments check-checkpoint <ckpt.jsonl>\n\
+         \x20      experiments [--quick] --checkpoint <ckpt.jsonl> hierarchy\n\
+         \x20      experiments [--quick] --resume <ckpt.jsonl> hierarchy\n\
          \x20      experiments --dump-spec [--quick]\n\
          \x20      experiments --spec <file.json> [--bench <name>]",
         EXPERIMENTS.join("|")
@@ -125,6 +141,41 @@ fn main() {
         }
     }
 
+    // Checkpoint-stream verification mode: the CI gate for resumable
+    // sweeps. Exit 0 only for a valid stream covering every point with a
+    // non-failed record.
+    if let Some(pos) = args.iter().position(|a| a == "check-checkpoint") {
+        let Some(path) = args.get(pos + 1) else {
+            eprintln!("error: check-checkpoint needs a file argument");
+            std::process::exit(2);
+        };
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read `{path}`: {e}");
+                std::process::exit(1);
+            }
+        };
+        match spmlab::check_checkpoint(&text) {
+            Ok(s) => {
+                println!(
+                    "{path}: {} points declared, {} covered ({} ok, {} degraded, {} failed)",
+                    s.points, s.covered, s.ok, s.degraded, s.failed
+                );
+                if s.covered == s.points && s.failed == 0 {
+                    println!("{path}: OK — complete");
+                    return;
+                }
+                eprintln!("{path}: INCOMPLETE — resume the run to finish it");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("{path}: INVALID — {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     // Single-spec reproduction mode.
     if let Some(spec_path) = flag_value(&args, "--spec") {
         let bench = flag_value(&args, "--bench").unwrap_or_else(|| "g721".into());
@@ -156,6 +207,20 @@ fn main() {
         return;
     }
 
+    // Checkpoint/resume flags (hierarchy scenario only).
+    let ckpt_mode = match (
+        flag_value(&args, "--checkpoint"),
+        flag_value(&args, "--resume"),
+    ) {
+        (Some(_), Some(_)) => {
+            eprintln!("error: --checkpoint and --resume are mutually exclusive");
+            std::process::exit(2);
+        }
+        (Some(p), None) => CheckpointMode::Fresh(p.into()),
+        (None, Some(p)) => CheckpointMode::Resume(p.into()),
+        (None, None) => CheckpointMode::Off,
+    };
+
     // Skip the values of value-taking flags when collecting experiment ids.
     let mut ids: Vec<&str> = Vec::new();
     let mut skip_next = false;
@@ -164,7 +229,7 @@ fn main() {
             skip_next = false;
             continue;
         }
-        if a == "--spec" || a == "--bench" {
+        if a == "--spec" || a == "--bench" || a == "--checkpoint" || a == "--resume" {
             skip_next = true;
             continue;
         }
@@ -228,7 +293,7 @@ fn main() {
         // artifacts (BENCH_hierarchy.json + bench_history.jsonl), and
         // bench-history honours --figure.
         let result = if *id == "hierarchy" {
-            exp_hierarchy_with_artifacts(quick, &workspace_root())
+            exp_hierarchy_with_artifacts_ckpt(quick, &workspace_root(), &ckpt_mode)
         } else if *id == "bench-history" {
             Ok(exp_bench_history(figure))
         } else {

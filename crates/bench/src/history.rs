@@ -122,14 +122,11 @@ impl Provenance {
 }
 
 /// FNV-1a 64 over `data` — the canonical spec-axis hash recorded in the
-/// provenance block (stable, dependency-free, not cryptographic).
+/// provenance block (stable, dependency-free, not cryptographic). The one
+/// implementation lives in [`spmlab::checkpoint`], shared with the sweep
+/// checkpoint format so the two artifact families can never drift.
 pub fn fnv1a64(data: &str) -> String {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in data.as_bytes() {
-        h ^= u64::from(*b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    format!("{h:016x}")
+    spmlab::checkpoint::fnv1a64(data)
 }
 
 impl BenchRecord {
@@ -200,16 +197,18 @@ impl BenchRecord {
 fn json_raw(line: &str, key: &str) -> Option<String> {
     let pat = format!("\"{key}\":");
     let start = line.find(&pat)? + pat.len();
-    let rest = &line[start..];
+    let rest = line.get(start..)?;
     let end = rest
         .find([',', '}'])
         .filter(|_| !rest.starts_with('"'))
         .or_else(|| {
-            // Quoted value: find the closing quote.
-            let inner = &rest[1..];
+            // Quoted value: find the closing quote. `get` (not slicing)
+            // keeps a line truncated right after the key — untrusted
+            // input — a parse failure instead of a panic.
+            let inner = rest.get(1..)?;
             inner.find('"').map(|i| i + 2)
         })?;
-    Some(rest[..end].to_string())
+    Some(rest.get(..end)?.to_string())
 }
 
 /// Extracts a quoted string value.

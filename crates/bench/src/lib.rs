@@ -23,10 +23,11 @@ pub use history::{
 use spmlab::figures::{table1, table2, Figure3, FigureHierarchy, FigureSpmHierarchy, Tightness};
 use spmlab::pipeline::Pipeline;
 use spmlab::report;
-use spmlab::sweep::{cache_sweep_with, spec_sweep};
+use spmlab::sweep::{cache_sweep_with, spec_sweep, SweepSession};
 use spmlab::{
     cache_axis, hierarchy_axis, hierarchy_spec_axis, hierarchy_spm_axis, hierarchy_spm_machines,
-    spm_axis, write_policy_axis, CoreError, MemArchSpec, SpmAllocation, PAPER_SIZES,
+    spm_axis, write_policy_axis, CheckpointHeader, CoreError, MemArchSpec, SpmAllocation,
+    PAPER_SIZES,
 };
 use spmlab_isa::cachecfg::{CacheConfig, Replacement};
 use spmlab_workloads::{paper_benchmarks, Benchmark, ADPCM, G721, INSERTSORT, MULTISORT};
@@ -131,6 +132,75 @@ pub fn hierarchy_figure(quick: bool) -> Result<FigureHierarchy, CoreError> {
     FigureHierarchy::run(bench, l1, &hierarchy_axis(l1))
 }
 
+/// The benchmark behind the hierarchy scenario.
+pub fn hierarchy_benchmark(quick: bool) -> &'static Benchmark {
+    if quick {
+        &ADPCM
+    } else {
+        &G721
+    }
+}
+
+/// The checkpoint header binding a hierarchy-scenario checkpoint to this
+/// build (git revision) and the scenario's exact spec axis — a resume with
+/// a different revision, benchmark, or axis is rejected up front.
+pub fn hierarchy_checkpoint_header(quick: bool) -> CheckpointHeader {
+    let l1 = hierarchy_l1_size(quick);
+    let axis = FigureHierarchy::spec_axis(l1, &hierarchy_axis(l1));
+    CheckpointHeader::new(&git_revision(), hierarchy_benchmark(quick).name, &axis)
+}
+
+/// How (or whether) a hierarchy run persists per-point checkpoints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointMode {
+    /// No checkpointing (the default).
+    Off,
+    /// Stream a fresh checkpoint to the path (`--checkpoint`), truncating
+    /// any existing file.
+    Fresh(std::path::PathBuf),
+    /// Resume from the path (`--resume`): reuse completed points and
+    /// re-measure only the missing ones. A missing file starts a fresh
+    /// checkpoint, so one flag serves a retry loop end to end.
+    Resume(std::path::PathBuf),
+}
+
+/// Builds the [`SweepSession`] for a hierarchy run under `mode`.
+///
+/// # Errors
+///
+/// Checkpoint I/O failures; header mismatches on resume.
+pub fn hierarchy_session(quick: bool, mode: &CheckpointMode) -> Result<SweepSession, CoreError> {
+    match mode {
+        CheckpointMode::Off => Ok(SweepSession::none()),
+        CheckpointMode::Fresh(path) => {
+            SweepSession::checkpoint_to(path, &hierarchy_checkpoint_header(quick))
+        }
+        CheckpointMode::Resume(path) => {
+            let header = hierarchy_checkpoint_header(quick);
+            if path.exists() {
+                SweepSession::resume_from(path, &header)
+            } else {
+                SweepSession::checkpoint_to(path, &header)
+            }
+        }
+    }
+}
+
+/// Fault-isolated hierarchy comparison: failures are contained per point
+/// (reported in [`FigureHierarchy::failed`]) and `session` can checkpoint
+/// and resume the whole figure.
+///
+/// # Errors
+///
+/// Pipeline construction and checkpoint I/O failures.
+pub fn hierarchy_figure_with_session(
+    quick: bool,
+    session: &SweepSession,
+) -> Result<FigureHierarchy, CoreError> {
+    let l1 = hierarchy_l1_size(quick);
+    FigureHierarchy::run_with_session(hierarchy_benchmark(quick), l1, &hierarchy_axis(l1), session)
+}
+
 /// Hierarchy scenario: the WCET-vs-simulation comparison across memory
 /// hierarchies — scratchpad (both main-memory timings), unified/split L1,
 /// and split L1 backed by a unified L2 at two capacities and two
@@ -163,6 +233,25 @@ pub fn exp_hierarchy_with_artifacts(
     quick: bool,
     root: &std::path::Path,
 ) -> Result<String, CoreError> {
+    exp_hierarchy_with_artifacts_ckpt(quick, root, &CheckpointMode::Off)
+}
+
+/// [`exp_hierarchy_with_artifacts`] with per-point checkpointing: under
+/// [`CheckpointMode::Fresh`]/[`CheckpointMode::Resume`] every completed
+/// point streams to the checkpoint file as it finishes, and a resumed run
+/// reuses the stored points bit-identically, re-measuring only the missing
+/// ones. Per-point failures are contained and reported (in the table, the
+/// JSON artifact, and the checkpoint) instead of aborting the run.
+///
+/// # Errors
+///
+/// Pipeline construction and checkpoint I/O failures; artifact IO errors
+/// are reported inline, not fatal.
+pub fn exp_hierarchy_with_artifacts_ckpt(
+    quick: bool,
+    root: &std::path::Path,
+    mode: &CheckpointMode,
+) -> Result<String, CoreError> {
     // The spec hash fingerprints the canonical sweep axis, so two history
     // lines with the same hash measured the same configurations even across
     // axis-definition refactors. Cheap enough to compute on every run.
@@ -183,8 +272,9 @@ pub fn exp_hierarchy_with_artifacts(
     } else {
         None
     };
+    let session = hierarchy_session(quick, mode)?;
     let start = std::time::Instant::now();
-    let fig = hierarchy_figure(quick)?;
+    let fig = hierarchy_figure_with_session(quick, &session)?;
     let wall = start.elapsed().as_secs_f64();
     let mut provenance = Provenance {
         spec_hash,
@@ -215,6 +305,19 @@ pub fn exp_hierarchy_with_artifacts(
         "sound (wcet >= sim) at every point: {}\n",
         if fig.all_sound() { "yes" } else { "NO — BUG" }
     ));
+    match mode {
+        CheckpointMode::Off => {}
+        CheckpointMode::Fresh(p) => {
+            out.push_str(&format!("checkpoint streamed to {}\n", p.display()));
+        }
+        CheckpointMode::Resume(p) => {
+            out.push_str(&format!(
+                "resume: reused {} completed points from {}\n",
+                session.resumed_points(),
+                p.display()
+            ));
+        }
+    }
     // Only full runs refresh the tracked sweep artifact — a --quick smoke
     // run must not clobber the committed full-axis numbers (the history
     // line below still records it, flagged as quick).
@@ -258,6 +361,15 @@ pub fn hierarchy_json_with_provenance(
     wall_seconds: f64,
     provenance: Option<&Provenance>,
 ) -> String {
+    // Degraded flags in `rows()` order (SPM pairs first, then hierarchy
+    // points) — a widened-but-sound bound is marked, never passed off as
+    // precise.
+    let mut degraded: Vec<bool> = Vec::new();
+    for p in &fig.spm {
+        degraded.push(p.table1.degraded);
+        degraded.push(p.dram.degraded);
+    }
+    degraded.extend(fig.points.iter().map(|p| p.result.degraded));
     let mut rows = String::new();
     for (i, (label, sim, wcet)) in fig.rows().into_iter().enumerate() {
         if i > 0 {
@@ -265,11 +377,32 @@ pub fn hierarchy_json_with_provenance(
         }
         rows.push_str(&format!(
             "\n    {{\"config\": \"{}\", \"sim_cycles\": {sim}, \"wcet_cycles\": {wcet}, \
-             \"ratio\": {:.4}}}",
+             \"ratio\": {:.4}, \"degraded\": {}}}",
             label.replace('"', "'"),
-            wcet as f64 / sim.max(1) as f64
+            wcet as f64 / sim.max(1) as f64,
+            degraded.get(i).copied().unwrap_or(false)
         ));
     }
+    // Failed points are part of the artifact, never silently dropped.
+    let failed = if fig.failed.is_empty() {
+        String::new()
+    } else {
+        let mut entries = String::new();
+        for (i, fp) in fig.failed.iter().enumerate() {
+            if i > 0 {
+                entries.push(',');
+            }
+            entries.push_str(&format!(
+                "\n    {{\"index\": {}, \"config\": \"{}\", \"error\": \"{}\", \
+                 \"panicked\": {}}}",
+                fp.index,
+                fp.label.replace('"', "'"),
+                fp.error.replace('"', "'").replace('\n', " "),
+                fp.panicked
+            ));
+        }
+        format!(",\n  \"failed\": [{entries}\n  ]")
+    };
     let prov = provenance.map_or_else(String::new, |p| {
         let opt = |name: &str, v: Option<u64>| {
             v.map_or_else(String::new, |v| format!(",\n    \"{name}\": {v}"))
@@ -302,7 +435,7 @@ pub fn hierarchy_json_with_provenance(
     });
     format!(
         "{{\n  \"benchmark\": \"{}\",\n  \"wall_seconds\": {wall_seconds:.3},\n  \
-         \"sound\": {}{prov},\n  \"points\": [{rows}\n  ]\n}}\n",
+         \"sound\": {}{prov}{failed},\n  \"points\": [{rows}\n  ]\n}}\n",
         fig.benchmark,
         fig.all_sound()
     )

@@ -4,7 +4,8 @@
 use crate::config::DRAM_LATENCY;
 use crate::pipeline::{ConfigResult, Pipeline};
 use crate::sweep::{
-    cache_sweep, hierarchy_sweep, ratios, spec_sweep, spm_sweep, HierarchyPoint, SweepPoint,
+    cache_sweep, collect_points, ratios, spec_sweep, spec_sweep_with_session, spm_sweep,
+    FailedPoint, HierarchyPoint, PointOutcome, SpecOutcome, SweepPoint, SweepSession,
 };
 use crate::CoreError;
 use spmlab_isa::archspec::MemArchSpec;
@@ -153,6 +154,10 @@ pub struct FigureHierarchy {
     pub spm: Vec<SpmHierarchyPoint>,
     /// Cache-hierarchy points.
     pub points: Vec<HierarchyPoint>,
+    /// Points that failed under fault isolation — carried into the report
+    /// explicitly, never silently dropped. Empty for [`FigureHierarchy::run`],
+    /// which turns any failure into an error instead.
+    pub failed: Vec<FailedPoint>,
 }
 
 /// One scratchpad reference point of the hierarchy figure: the same
@@ -168,34 +173,120 @@ pub struct SpmHierarchyPoint {
 }
 
 impl FigureHierarchy {
+    /// The figure as one `Vec<MemArchSpec>` axis: the SPM capacity under
+    /// both main-memory timings first, then every hierarchy in `configs`.
+    /// One axis means one sweep — and therefore one checkpoint stream
+    /// covering *every* point of the figure, SPM references included.
+    pub fn spec_axis(spm_size: u32, configs: &[MemHierarchyConfig]) -> Vec<MemArchSpec> {
+        let mut axis = vec![
+            MemArchSpec::spm(spm_size),
+            MemArchSpec {
+                main: MainMemoryTiming::dram(DRAM_LATENCY),
+                ..MemArchSpec::spm(spm_size)
+            },
+        ];
+        axis.extend(configs.iter().map(MemArchSpec::from_hierarchy));
+        axis
+    }
+
     /// Runs the hierarchy comparison for `benchmark`: SPM at `spm_size`
     /// under both main-memory timings, plus every hierarchy in `configs`.
     ///
     /// # Errors
     ///
-    /// Propagates pipeline failures.
+    /// Propagates pipeline failures; when individual points fail, the
+    /// error is [`CoreError::Sweep`] carrying the completed points.
     pub fn run(
         benchmark: &'static Benchmark,
         spm_size: u32,
         configs: &[MemHierarchyConfig],
     ) -> Result<FigureHierarchy, CoreError> {
         let pipeline = Pipeline::new(benchmark)?;
-        // Both main-memory timings share one allocation/link/execution —
-        // the pipeline memoises the scratchpad artifacts per assignment.
-        let spm_fast = pipeline.run(&MemArchSpec::spm(spm_size))?;
-        let spm_slow = pipeline.run(&MemArchSpec {
-            main: MainMemoryTiming::dram(DRAM_LATENCY),
-            ..MemArchSpec::spm(spm_size)
-        })?;
-        Ok(FigureHierarchy {
-            benchmark: benchmark.name.to_string(),
-            spm: vec![SpmHierarchyPoint {
+        let axis = FigureHierarchy::spec_axis(spm_size, configs);
+        let outcomes = spec_sweep_with_session(&pipeline, &axis, &SweepSession::none())?;
+        if outcomes.iter().any(|o| o.outcome.is_failed()) {
+            // All-or-nothing contract: surface the failures, carrying the
+            // completed points inside the error.
+            return Err(collect_points(outcomes).expect_err("failed points present"));
+        }
+        Ok(FigureHierarchy::from_outcomes(
+            benchmark.name.to_string(),
+            spm_size,
+            outcomes,
+        ))
+    }
+
+    /// Fault-isolated variant of [`FigureHierarchy::run`]: every point of
+    /// the figure runs under one [`spec_sweep_with_session`] axis, so
+    /// failures are contained per point (reported in
+    /// [`FigureHierarchy::failed`]) and the `session` can checkpoint and
+    /// resume the whole figure.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError`] for failures outside point isolation: pipeline
+    /// construction and checkpoint I/O.
+    pub fn run_with_session(
+        benchmark: &'static Benchmark,
+        spm_size: u32,
+        configs: &[MemHierarchyConfig],
+        session: &SweepSession,
+    ) -> Result<FigureHierarchy, CoreError> {
+        let pipeline = Pipeline::new(benchmark)?;
+        let axis = FigureHierarchy::spec_axis(spm_size, configs);
+        let outcomes = spec_sweep_with_session(&pipeline, &axis, session)?;
+        Ok(FigureHierarchy::from_outcomes(
+            benchmark.name.to_string(),
+            spm_size,
+            outcomes,
+        ))
+    }
+
+    /// Assembles the figure from per-point outcomes (axis order per
+    /// [`FigureHierarchy::spec_axis`]). The SPM pair only forms a
+    /// [`SpmHierarchyPoint`] when both timings completed; otherwise the
+    /// failures land in `failed` (and any surviving half stays available
+    /// in the checkpoint, if one was written).
+    fn from_outcomes(
+        benchmark: String,
+        spm_size: u32,
+        mut outcomes: Vec<SpecOutcome>,
+    ) -> FigureHierarchy {
+        let mut failed = Vec::new();
+        let rest = outcomes.split_off(2.min(outcomes.len()));
+        let mut spm_results = Vec::new();
+        for so in outcomes {
+            match so.outcome {
+                PointOutcome::Ok(r) | PointOutcome::Degraded(r) => spm_results.push(r),
+                PointOutcome::Failed(fp) => failed.push(fp),
+            }
+        }
+        let spm = if spm_results.len() == 2 {
+            let mut it = spm_results.into_iter();
+            vec![SpmHierarchyPoint {
                 spm_size,
-                table1: spm_fast,
-                dram: spm_slow,
-            }],
-            points: hierarchy_sweep(&pipeline, configs)?,
-        })
+                table1: it.next().expect("two results"),
+                dram: it.next().expect("two results"),
+            }]
+        } else {
+            Vec::new()
+        };
+        let mut points = Vec::new();
+        for so in rest {
+            match so.outcome {
+                PointOutcome::Ok(r) | PointOutcome::Degraded(r) => points.push(HierarchyPoint {
+                    config: so.spec.hierarchy(),
+                    result: r,
+                }),
+                PointOutcome::Failed(fp) => failed.push(fp),
+            }
+        }
+        FigureHierarchy {
+            benchmark,
+            spm,
+            points,
+            failed,
+        }
     }
 
     /// Every `(label, sim, wcet)` triple of the figure, SPM points first.

@@ -44,12 +44,15 @@
 //! # Ok::<(), spmlab::CoreError>(())
 //! ```
 
+pub mod checkpoint;
 pub mod config;
+pub mod faults;
 pub mod figures;
 pub mod pipeline;
 pub mod report;
 pub mod sweep;
 
+pub use checkpoint::{check_checkpoint, CheckpointHeader, CheckpointStats};
 pub use config::{
     cache_axis, hierarchy_axis, hierarchy_spec_axis, hierarchy_spm_axis, hierarchy_spm_machines,
     spm_axis, write_policy_axis, DRAM_LATENCY, PAPER_SIZES, STORE_BUFFER,
@@ -57,6 +60,7 @@ pub use config::{
 pub use pipeline::{ConfigResult, Pipeline};
 pub use spmlab_isa::archspec::{MemArchSpec, SpecError, SpmAllocation, SpmSpec};
 pub use spmlab_isa::hierarchy::{MainMemoryTiming, MemHierarchyConfig};
+pub use sweep::{FailedPoint, PointOutcome, SpecOutcome, SweepFailure, SweepSession};
 
 /// Errors from the experiment pipeline.
 #[derive(Debug)]
@@ -78,6 +82,14 @@ pub enum CoreError {
         expected: i32,
         got: i32,
     },
+    /// A fault injected by the test-only [`faults`] harness (never
+    /// produced outside `--features fault-injection` builds).
+    Injected(String),
+    /// A checkpoint file could not be written, read, or validated.
+    Checkpoint(String),
+    /// One or more sweep points failed; the completed points are carried
+    /// alongside the failures instead of being discarded.
+    Sweep(Box<sweep::SweepFailure>),
 }
 
 impl std::fmt::Display for CoreError {
@@ -98,6 +110,9 @@ impl std::fmt::Display for CoreError {
                     "{benchmark}: checksum mismatch (expected {expected}, got {got})"
                 )
             }
+            CoreError::Injected(m) => write!(f, "injected fault: {m}"),
+            CoreError::Checkpoint(m) => write!(f, "checkpoint: {m}"),
+            CoreError::Sweep(fail) => write!(f, "{fail}"),
         }
     }
 }
@@ -110,7 +125,10 @@ impl std::error::Error for CoreError {
             CoreError::Wcet(e) => Some(e),
             CoreError::Spec(e) => Some(e),
             CoreError::Alloc(e) => Some(e),
-            CoreError::ChecksumMismatch { .. } => None,
+            CoreError::ChecksumMismatch { .. }
+            | CoreError::Injected(_)
+            | CoreError::Checkpoint(_)
+            | CoreError::Sweep(_) => None,
         }
     }
 }

@@ -19,7 +19,7 @@ use spmlab_sim::{
     SimResult,
 };
 use spmlab_wcet::cache::ClassifyStats;
-use spmlab_wcet::{analyze, WcetConfig};
+use spmlab_wcet::{analyze, AnalysisBudget, WcetConfig};
 use spmlab_workloads::Benchmark;
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
@@ -45,6 +45,10 @@ pub struct ConfigResult {
     pub spm_objects: Vec<String>,
     /// Cache classification statistics (cache configurations only).
     pub classify: ClassifyStats,
+    /// `true` when the WCET analysis exhausted its [`AnalysisBudget`] and
+    /// widened to a conservative (still sound, less precise) bound — the
+    /// sweep layer reports such points as `Degraded`.
+    pub degraded: bool,
 }
 
 impl ConfigResult {
@@ -67,6 +71,8 @@ pub(crate) struct ArchMeasurement {
     pub classify: ClassifyStats,
     pub spm_used: u32,
     pub spm_objects: Vec<String>,
+    /// The analyzer widened under its budget (see [`ConfigResult::degraded`]).
+    pub widened: bool,
 }
 
 /// Link + recording of one scratchpad configuration, shared by every spec
@@ -106,6 +112,10 @@ pub struct Pipeline {
     wcet_allocs: Mutex<BTreeMap<String, SpmAssignment>>,
     /// Memoised scratchpad links/recordings, keyed by capacity + assignment.
     spm_links: Mutex<BTreeMap<String, Arc<SpmArtifacts>>>,
+    /// Per-point resource budget stamped onto every analyzer config; the
+    /// default imposes no limits. Exhausting it degrades precision (the
+    /// point is tagged `degraded`), never soundness.
+    analysis_budget: AnalysisBudget,
 }
 
 impl Pipeline {
@@ -130,11 +140,13 @@ impl Pipeline {
         let _prep = spmlab_obs::span_labeled("prepare", benchmark.name);
         let module = {
             let _s = spmlab_obs::span("compile");
+            crate::faults::fault_point("compile")?;
             benchmark.compile()?
         };
         let sim_options = SimOptions::default();
         let baseline = {
             let _s = spmlab_obs::span("link");
+            crate::faults::fault_point("link")?;
             benchmark.link_with_input(
                 &module,
                 &MemoryMap::no_spm(),
@@ -173,7 +185,20 @@ impl Pipeline {
             sim_options,
             wcet_allocs: Mutex::new(BTreeMap::new()),
             spm_links: Mutex::new(BTreeMap::new()),
+            analysis_budget: AnalysisBudget::unlimited(),
         })
+    }
+
+    /// Sets the per-point [`AnalysisBudget`] every subsequent analysis
+    /// runs under. Exhausting it yields a widened-but-sound bound tagged
+    /// `degraded`, never an unsound one.
+    pub fn set_analysis_budget(&mut self, budget: AnalysisBudget) {
+        self.analysis_budget = budget;
+    }
+
+    /// The per-point analysis budget in force.
+    pub fn analysis_budget(&self) -> AnalysisBudget {
+        self.analysis_budget
     }
 
     /// Simulation options for sweep points: identical timing, but with the
@@ -271,12 +296,22 @@ impl Pipeline {
         annot: &spmlab_isa::annot::AnnotationSet,
     ) -> Result<spmlab_wcet::WcetResult, CoreError> {
         let _s = spmlab_obs::span("analyze");
+        crate::faults::fault_point("analyze")?;
         Ok(analyze(exe, wcfg, annot)?)
     }
 
     /// The analyzer configuration for a canonical spec (see
-    /// [`Pipeline::run`]'s routing table).
-    pub(crate) fn wcet_config_for(canon: &MemArchSpec) -> WcetConfig {
+    /// [`Pipeline::run`]'s routing table), stamped with the pipeline's
+    /// [`AnalysisBudget`].
+    pub(crate) fn wcet_config_for(&self, canon: &MemArchSpec) -> WcetConfig {
+        WcetConfig {
+            budget: self.analysis_budget,
+            ..Pipeline::routed_config(canon)
+        }
+    }
+
+    /// The budget-free routing decision for a canonical spec.
+    fn routed_config(canon: &MemArchSpec) -> WcetConfig {
         if canon.persistence {
             if let L1::Unified(c) = &canon.l1 {
                 return WcetConfig::with_cache_persistence(c.clone());
@@ -306,6 +341,7 @@ impl Pipeline {
     /// specs are effectively identical can share one measurement.
     pub(crate) fn measure_spec(&self, canon: &MemArchSpec) -> Result<ArchMeasurement, CoreError> {
         let _s = spmlab_obs::span_with("measure-spec", || canon.label());
+        crate::faults::fault_point("measure-spec")?;
         match &canon.spm {
             Some(spm) => self.measure_spm(canon, spm),
             None => self.measure_no_spm(canon),
@@ -332,6 +368,7 @@ impl Pipeline {
             spm_used: m.spm_used,
             spm_objects: m.spm_objects.clone(),
             classify: m.classify,
+            degraded: m.widened,
         }
     }
 
@@ -367,7 +404,7 @@ impl Pipeline {
         };
         let wcet = Pipeline::analyzed(
             &linked.exe,
-            &Pipeline::wcet_config_for(canon),
+            &self.wcet_config_for(canon),
             &linked.annotations,
         )?;
         Ok(ArchMeasurement {
@@ -378,6 +415,7 @@ impl Pipeline {
             classify: wcet.total_classify(),
             spm_used: 0,
             spm_objects: Vec::new(),
+            widened: wcet.widened,
         })
     }
 
@@ -389,9 +427,10 @@ impl Pipeline {
         canon: &MemArchSpec,
         spm: &SpmSpec,
     ) -> Result<ArchMeasurement, CoreError> {
-        let wcfg = Pipeline::wcet_config_for(canon);
+        let wcfg = self.wcet_config_for(canon);
         let assignment = {
             let _s = spmlab_obs::span("alloc");
+            crate::faults::fault_point("alloc")?;
             self.resolve_assignment(spm, &wcfg)?
         };
         let arts = self.spm_artifacts(spm.size, &assignment)?;
@@ -424,6 +463,7 @@ impl Pipeline {
             classify: wcet.total_classify(),
             spm_used: arts.spm_used,
             spm_objects: assignment.iter().map(str::to_string).collect(),
+            widened: wcet.widened,
         })
     }
 
@@ -512,6 +552,7 @@ impl Pipeline {
         }
         spmlab_obs::counter("spm_link_memo_miss", 1);
         let _s = spmlab_obs::span("spm-link");
+        crate::faults::fault_point("link")?;
         let map = MemoryMap::with_spm(size);
         let linked = self
             .benchmark

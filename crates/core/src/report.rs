@@ -153,8 +153,13 @@ pub fn render_hierarchy(fig: &crate::figures::FigureHierarchy) -> String {
         row[5] = (c.fetch_always_miss + c.data_always_miss).to_string();
         row[6] = c.l2_hits.to_string();
         row[7] = (c.fetch_unclassified + c.data_unclassified).to_string();
+        // A widened-but-sound bound from an exhausted analysis budget is
+        // flagged in place, never passed off as a precise result.
+        if p.result.degraded {
+            row[0] = format!("{} [degraded]", row[0]);
+        }
     }
-    format!(
+    let mut out = format!(
         "Hierarchy comparison — {} benchmark\n{}",
         fig.benchmark,
         render_table(
@@ -170,7 +175,19 @@ pub fn render_hierarchy(fig: &crate::figures::FigureHierarchy) -> String {
             ],
             &body
         )
-    )
+    );
+    // Failed points are part of the report, never silently dropped.
+    if !fig.failed.is_empty() {
+        out.push_str(&format!(
+            "{} of {} points FAILED:\n",
+            fig.failed.len(),
+            fig.rows().len() + fig.failed.len()
+        ));
+        for fp in &fig.failed {
+            out.push_str(&format!("  {fp}\n"));
+        }
+    }
+    out
 }
 
 /// Renders the SPM×hierarchy allocator comparison: one row per

@@ -13,14 +13,31 @@
 //! The capacity sweeps of the paper ([`spm_sweep`], [`cache_sweep`]) and
 //! the hierarchy axis ([`hierarchy_sweep`]) are thin wrappers enumerating
 //! spec axes.
+//!
+//! ## Fault isolation and resume
+//!
+//! Every point runs under `catch_unwind`: a panic or typed error in one
+//! point becomes a [`PointOutcome::Failed`] record for that point (and its
+//! memo-sharing dependents) while the rest of the axis completes.
+//! [`spec_sweep_outcomes`] exposes the per-point outcomes directly;
+//! [`spec_sweep`] keeps the historical all-or-nothing contract but carries
+//! the completed points *inside* its [`SweepFailure`] error instead of
+//! discarding them. A [`SweepSession`] additionally streams one JSONL
+//! [`PointRecord`] per completed point to
+//! a checkpoint file and, on resume, replays only the missing points —
+//! reusing stored results bit-identically.
 
+use crate::checkpoint::{spec_hash, CheckpointHeader, CheckpointWriter, PointRecord, PointStatus};
 use crate::pipeline::{ConfigResult, Pipeline};
 use crate::CoreError;
 use spmlab_isa::archspec::MemArchSpec;
 use spmlab_isa::cachecfg::{CacheConfig, Replacement};
 use spmlab_isa::hierarchy::{MemHierarchyConfig, L1};
 use spmlab_wcet::{analyze, WcetConfig};
+use std::collections::btree_map::Entry;
 use std::collections::{BTreeMap, BTreeSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -42,17 +59,225 @@ pub struct SpecPoint {
     pub result: ConfigResult,
 }
 
-/// Applies `f` to every item across scoped worker threads, preserving
-/// input order. On failure the error of the lowest-indexed failing item is
-/// returned (the same one a sequential loop would surface), keeping the
-/// function deterministic regardless of scheduling.
-fn par_try_map<T, R, F>(items: &[T], f: F) -> Result<Vec<R>, CoreError>
+/// A sweep point that failed — contained, reported, never silently
+/// dropped.
+#[derive(Debug, Clone)]
+pub struct FailedPoint {
+    /// Index within the swept axis.
+    pub index: usize,
+    /// Configuration label of the failed point.
+    pub label: String,
+    /// Rendered failure cause.
+    pub error: String,
+    /// `true` when the failure was a contained panic rather than a typed
+    /// error.
+    pub panicked: bool,
+}
+
+impl std::fmt::Display for FailedPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = if self.panicked { "panicked" } else { "failed" };
+        write!(
+            f,
+            "point {} ({}) {kind}: {}",
+            self.index, self.label, self.error
+        )
+    }
+}
+
+/// Per-point result of a fault-isolated sweep.
+#[derive(Debug, Clone)]
+pub enum PointOutcome {
+    /// Measured normally.
+    Ok(ConfigResult),
+    /// Measured under an exhausted
+    /// [`AnalysisBudget`](spmlab_wcet::AnalysisBudget): the WCET bound is
+    /// widened but still sound.
+    Degraded(ConfigResult),
+    /// The point failed; the error (or contained panic) is reported here
+    /// instead of aborting the sweep.
+    Failed(FailedPoint),
+}
+
+impl PointOutcome {
+    fn from_result(result: ConfigResult) -> PointOutcome {
+        if result.degraded {
+            PointOutcome::Degraded(result)
+        } else {
+            PointOutcome::Ok(result)
+        }
+    }
+
+    /// The measurement, for completed (ok or degraded) points.
+    pub fn result(&self) -> Option<&ConfigResult> {
+        match self {
+            PointOutcome::Ok(r) | PointOutcome::Degraded(r) => Some(r),
+            PointOutcome::Failed(_) => None,
+        }
+    }
+
+    /// The failure report, for failed points.
+    pub fn failure(&self) -> Option<&FailedPoint> {
+        match self {
+            PointOutcome::Failed(fp) => Some(fp),
+            _ => None,
+        }
+    }
+
+    /// Whether this point completed with a widened (degraded) bound.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, PointOutcome::Degraded(_))
+    }
+
+    /// Whether this point failed.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, PointOutcome::Failed(_))
+    }
+}
+
+/// One spec point of a fault-isolated sweep.
+#[derive(Debug, Clone)]
+pub struct SpecOutcome {
+    /// The spec of this axis point.
+    pub spec: MemArchSpec,
+    /// What happened to it.
+    pub outcome: PointOutcome,
+}
+
+/// The error payload of [`CoreError::Sweep`]: which points failed, plus
+/// every point that *did* complete — callers that want partial results on
+/// failure read them from here instead of losing the whole axis.
+#[derive(Debug)]
+pub struct SweepFailure {
+    /// Points that completed (ok or degraded), in axis order.
+    pub completed: Vec<SpecPoint>,
+    /// Points that failed, in axis order.
+    pub failed: Vec<FailedPoint>,
+    /// Total points in the axis.
+    pub total: usize,
+}
+
+impl std::fmt::Display for SweepFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} of {} sweep points failed ({} completed points retained)",
+            self.failed.len(),
+            self.total,
+            self.completed.len(),
+        )?;
+        if let Some(first) = self.failed.first() {
+            write!(f, "; first: {first}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Checkpointing/resume context for one sweep. [`SweepSession::none`] runs
+/// without persistence; [`SweepSession::checkpoint_to`] streams one record
+/// per completed point; [`SweepSession::resume_from`] additionally replays
+/// the completed points of an interrupted run.
+#[derive(Debug)]
+pub struct SweepSession {
+    writer: Option<Mutex<CheckpointWriter>>,
+    resumed: BTreeMap<usize, PointRecord>,
+}
+
+impl SweepSession {
+    /// No checkpointing, no resume.
+    pub fn none() -> SweepSession {
+        SweepSession {
+            writer: None,
+            resumed: BTreeMap::new(),
+        }
+    }
+
+    /// Starts a fresh checkpoint at `path` (truncating any existing file)
+    /// and streams one record per completed point into it.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Checkpoint`] when the file cannot be created.
+    pub fn checkpoint_to(
+        path: &Path,
+        header: &CheckpointHeader,
+    ) -> Result<SweepSession, CoreError> {
+        Ok(SweepSession {
+            writer: Some(Mutex::new(CheckpointWriter::create(path, header)?)),
+            resumed: BTreeMap::new(),
+        })
+    }
+
+    /// Resumes from an existing checkpoint: validates that its header
+    /// matches `expected` exactly (git revision, benchmark, spec-axis hash,
+    /// point count), loads the completed points for reuse, and opens the
+    /// file for appending (truncating a partial final line first). `Failed`
+    /// records are *not* reused — those points re-run.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Checkpoint`] on I/O failure, corruption, or a header
+    /// mismatch (the file belongs to a different run — delete it to
+    /// restart from scratch).
+    pub fn resume_from(
+        path: &Path,
+        expected: &CheckpointHeader,
+    ) -> Result<SweepSession, CoreError> {
+        let file = crate::checkpoint::read_checkpoint(path)?;
+        if file.header != *expected {
+            return Err(CoreError::Checkpoint(format!(
+                "{}: header mismatch — file was written by rev {} for `{}` \
+                 ({} points, axis {}), this run is rev {} for `{}` ({} points, \
+                 axis {}); delete the checkpoint to restart from scratch",
+                path.display(),
+                file.header.rev,
+                file.header.benchmark,
+                file.header.points,
+                file.header.axis_hash,
+                expected.rev,
+                expected.benchmark,
+                expected.points,
+                expected.axis_hash,
+            )));
+        }
+        let resumed = file
+            .records
+            .into_iter()
+            .filter(|(_, r)| r.status != PointStatus::Failed)
+            .collect();
+        let writer = CheckpointWriter::append(path)?;
+        Ok(SweepSession {
+            writer: Some(Mutex::new(writer)),
+            resumed,
+        })
+    }
+
+    /// How many completed points were loaded for reuse.
+    pub fn resumed_points(&self) -> usize {
+        self.resumed.len()
+    }
+
+    fn write(&self, record: &PointRecord) -> Result<(), CoreError> {
+        if let Some(w) = &self.writer {
+            w.lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .write_record(record)?;
+        }
+        Ok(())
+    }
+}
+
+/// Applies `f` to every index in `0..n` across scoped worker threads,
+/// preserving input order. Infallible by construction: the caller's `f`
+/// converts its own errors and panics into outcome values
+/// ([`PointOutcome::Failed`]), so no point can abort another — the
+/// previous `par_try_map` short-circuited on the first error and threw the
+/// surviving measurements away.
+fn par_map<R, F>(n: usize, f: F) -> Vec<R>
 where
-    T: Sync,
     R: Send,
-    F: Fn(&T) -> Result<R, CoreError> + Sync,
+    F: Fn(usize) -> R + Sync,
 {
-    let n = items.len();
     // Profiled runs execute sequentially: spans opened on worker threads
     // would be parentless roots, breaking the per-phase breakdown's
     // self-time accounting (the `--profile` contract is that phase totals
@@ -68,10 +293,10 @@ where
             .min(n)
     };
     if threads <= 1 {
-        return items.iter().map(f).collect();
+        return (0..n).map(f).collect();
     }
     let next = AtomicUsize::new(0);
-    let done: Mutex<Vec<(usize, Result<R, CoreError>)>> = Mutex::new(Vec::with_capacity(n));
+    let done: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
     std::thread::scope(|s| {
         for _ in 0..threads {
             s.spawn(|| loop {
@@ -79,12 +304,12 @@ where
                 if i >= n {
                     break;
                 }
-                let r = f(&items[i]);
+                let r = f(i);
                 done.lock().expect("worker poisoned results").push((i, r));
             });
         }
     });
-    let mut slots: Vec<Option<Result<R, CoreError>>> = (0..n).map(|_| None).collect();
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
     for (i, r) in done.into_inner().expect("results lock") {
         slots[i] = Some(r);
     }
@@ -94,6 +319,261 @@ where
         .collect()
 }
 
+/// Renders a caught panic payload (the `&str`/`String` forms `panic!`
+/// produces; anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        String::from("panic with non-string payload")
+    }
+}
+
+/// The fault-isolated sweep engine: runs one spec per point of `specs`,
+/// one measurement per *distinct effective* configuration fanned out
+/// across scoped threads, each point still getting its own label and
+/// capacity-dependent energy figure. Every point is contained: invalid
+/// specs, typed pipeline errors, and panics all become
+/// [`PointOutcome::Failed`] entries for the affected points while the rest
+/// of the axis completes. When `session` checkpoints, one record per
+/// completed point is streamed (and flushed) the moment it finishes; when
+/// it resumes, stored points are reused bit-identically and only the
+/// missing ones are measured.
+///
+/// A caveat on panic containment: an injected or genuine panic can poison
+/// the pipeline's internal memo locks, in which case *later* points that
+/// share them also surface as `Failed` (never as wrong numbers) — resume
+/// in a fresh process recovers them.
+///
+/// # Errors
+///
+/// [`CoreError::Checkpoint`] when checkpoint I/O fails or a resumed record
+/// does not match this axis. Per-point failures are *not* errors here —
+/// they are `Failed` outcomes.
+pub fn spec_sweep_with_session(
+    pipeline: &Pipeline,
+    specs: &[MemArchSpec],
+    session: &SweepSession,
+) -> Result<Vec<SpecOutcome>, CoreError> {
+    let _sweep = spmlab_obs::span("sweep");
+    let n = specs.len();
+    let canons: Vec<MemArchSpec> = specs.iter().map(MemArchSpec::canonical).collect();
+    let hashes: Vec<String> = canons.iter().map(spec_hash).collect();
+    let mut slots: Vec<Option<PointOutcome>> = (0..n).map(|_| None).collect();
+
+    // Per-point validation: an invalid spec fails its own point only.
+    for (i, spec) in specs.iter().enumerate() {
+        if let Err(e) = spec.validate() {
+            let failed = FailedPoint {
+                index: i,
+                label: spec.label(),
+                error: CoreError::Spec(e).to_string(),
+                panicked: false,
+            };
+            session.write(&PointRecord::from_failure(
+                i,
+                hashes[i].clone(),
+                &failed.label,
+                &failed.error,
+                false,
+            ))?;
+            slots[i] = Some(PointOutcome::Failed(failed));
+        }
+    }
+
+    // Resume reuse: completed records short-circuit their points, after a
+    // per-point hash cross-check (the header check already matched the
+    // axis as a whole; this guards individual records).
+    let mut reused = 0u64;
+    for (i, slot) in slots.iter_mut().enumerate() {
+        if slot.is_some() {
+            continue;
+        }
+        if let Some(rec) = session.resumed.get(&i) {
+            if rec.spec_hash != hashes[i] {
+                return Err(CoreError::Checkpoint(format!(
+                    "resume: point {i} was checkpointed for spec {} but this \
+                     axis has {} — delete the checkpoint to restart",
+                    rec.spec_hash, hashes[i]
+                )));
+            }
+            if let Some(result) = rec.to_config_result() {
+                reused += 1;
+                *slot = Some(PointOutcome::from_result(result));
+            }
+        }
+    }
+
+    // Memoisation over the points that still need measuring: first spec
+    // per distinct effective key measures; its dependents share.
+    let footprint = sweep_footprint(pipeline);
+    let mut rep_of_key: BTreeMap<String, usize> = BTreeMap::new();
+    let mut reps: Vec<usize> = Vec::new();
+    let mut dependents: Vec<Vec<usize>> = Vec::new();
+    let mut needed = 0usize;
+    for i in 0..n {
+        if slots[i].is_some() {
+            continue;
+        }
+        needed += 1;
+        match rep_of_key.entry(effective_spec_key(&canons[i], footprint.as_ref())) {
+            Entry::Vacant(v) => {
+                v.insert(reps.len());
+                reps.push(i);
+                dependents.push(vec![i]);
+            }
+            Entry::Occupied(o) => dependents[*o.get()].push(i),
+        }
+    }
+    if spmlab_obs::enabled() {
+        spmlab_obs::counter("sweep_points", n as u64);
+        spmlab_obs::counter("sweep_memo_miss", reps.len() as u64);
+        spmlab_obs::counter("sweep_memo_hit", (needed - reps.len()) as u64);
+        spmlab_obs::counter("sweep_resume_reused", reused);
+    }
+
+    let total = reps.len() as u64;
+    let start_ns = spmlab_obs::now_ns();
+    let measured_count = AtomicUsize::new(0);
+    // Checkpoint I/O failures inside workers are remembered (first one
+    // wins) and surfaced after the scope — they must not tear down
+    // in-flight measurements.
+    let write_err: Mutex<Option<CoreError>> = Mutex::new(None);
+    let batches: Vec<Vec<(usize, PointOutcome)>> = par_map(reps.len(), |j| {
+        let gi = reps[j];
+        let attempt = catch_unwind(AssertUnwindSafe(
+            || -> Result<Vec<(usize, ConfigResult)>, CoreError> {
+                let m = pipeline.measure_spec(&canons[gi])?;
+                Ok(dependents[j]
+                    .iter()
+                    .map(|&i| (i, pipeline.package_spec(&specs[i], &m)))
+                    .collect())
+            },
+        ));
+        let (error, panicked) = match &attempt {
+            Ok(Ok(_)) => (String::new(), false),
+            Ok(Err(e)) => (e.to_string(), false),
+            Err(payload) => (panic_message(payload.as_ref()), true),
+        };
+        let batch: Vec<(usize, PointOutcome)> = match attempt {
+            Ok(Ok(results)) => results
+                .into_iter()
+                .map(|(i, r)| (i, PointOutcome::from_result(r)))
+                .collect(),
+            _ => dependents[j]
+                .iter()
+                .map(|&i| {
+                    (
+                        i,
+                        PointOutcome::Failed(FailedPoint {
+                            index: i,
+                            label: specs[i].label(),
+                            error: error.clone(),
+                            panicked,
+                        }),
+                    )
+                })
+                .collect(),
+        };
+        for (i, outcome) in &batch {
+            let record = match outcome {
+                PointOutcome::Ok(r) | PointOutcome::Degraded(r) => {
+                    PointRecord::from_result(*i, hashes[*i].clone(), r)
+                }
+                PointOutcome::Failed(fp) => PointRecord::from_failure(
+                    *i,
+                    hashes[*i].clone(),
+                    &fp.label,
+                    &fp.error,
+                    fp.panicked,
+                ),
+            };
+            if let Err(e) = session.write(&record) {
+                let mut slot = write_err.lock().unwrap_or_else(|p| p.into_inner());
+                slot.get_or_insert(e);
+                break;
+            }
+        }
+        if spmlab_obs::enabled() {
+            let done = measured_count.fetch_add(1, Ordering::Relaxed) as u64 + 1;
+            let secs = (spmlab_obs::now_ns() - start_ns) as f64 / 1e9;
+            let rate = if secs > 0.0 { done as f64 / secs } else { 0.0 };
+            spmlab_obs::progress(done, total, &format!("{rate:.2} points/s"));
+        }
+        batch
+    });
+    if let Some(e) = write_err.into_inner().unwrap_or_else(|p| p.into_inner()) {
+        return Err(e);
+    }
+    for batch in batches {
+        for (i, outcome) in batch {
+            slots[i] = Some(outcome);
+        }
+    }
+
+    let outcomes: Vec<SpecOutcome> = specs
+        .iter()
+        .zip(slots)
+        .map(|(spec, slot)| SpecOutcome {
+            spec: spec.clone(),
+            outcome: slot.expect("every sweep point resolves to an outcome"),
+        })
+        .collect();
+    if spmlab_obs::enabled() {
+        let failed = outcomes.iter().filter(|o| o.outcome.is_failed()).count();
+        let degraded = outcomes.iter().filter(|o| o.outcome.is_degraded()).count();
+        spmlab_obs::counter("sweep_point_failed", failed as u64);
+        spmlab_obs::counter("sweep_point_degraded", degraded as u64);
+    }
+    Ok(outcomes)
+}
+
+/// Fault-isolated sweep without checkpointing: per-point outcomes, never
+/// aborted by a single failing point.
+///
+/// # Errors
+///
+/// Never fails on per-point faults; see [`spec_sweep_with_session`].
+pub fn spec_sweep_outcomes(
+    pipeline: &Pipeline,
+    specs: &[MemArchSpec],
+) -> Result<Vec<SpecOutcome>, CoreError> {
+    spec_sweep_with_session(pipeline, specs, &SweepSession::none())
+}
+
+/// Partitions per-point outcomes into the historical all-or-nothing shape:
+/// all completed points on success, or [`CoreError::Sweep`] carrying both
+/// the failures *and* every completed point.
+///
+/// # Errors
+///
+/// [`CoreError::Sweep`] when any point failed.
+pub fn collect_points(outcomes: Vec<SpecOutcome>) -> Result<Vec<SpecPoint>, CoreError> {
+    let total = outcomes.len();
+    let mut completed = Vec::new();
+    let mut failed = Vec::new();
+    for so in outcomes {
+        match so.outcome {
+            PointOutcome::Ok(r) | PointOutcome::Degraded(r) => completed.push(SpecPoint {
+                spec: so.spec,
+                result: r,
+            }),
+            PointOutcome::Failed(fp) => failed.push(fp),
+        }
+    }
+    if failed.is_empty() {
+        Ok(completed)
+    } else {
+        Err(CoreError::Sweep(Box::new(SweepFailure {
+            completed,
+            failed,
+            total,
+        })))
+    }
+}
+
 /// Runs one spec per point of `specs`: validation up front, one
 /// measurement per *distinct effective* configuration fanned out across
 /// scoped threads, each point still getting its own label and
@@ -101,58 +581,14 @@ where
 ///
 /// # Errors
 ///
-/// [`CoreError::Spec`] for invalid specs, else the first pipeline failure
-/// (in input order).
+/// [`CoreError::Spec`] for invalid specs (checked before anything runs),
+/// else [`CoreError::Sweep`] when any point fails — carrying the completed
+/// points alongside the failures rather than discarding them.
 pub fn spec_sweep(pipeline: &Pipeline, specs: &[MemArchSpec]) -> Result<Vec<SpecPoint>, CoreError> {
-    let _sweep = spmlab_obs::span("sweep");
     for spec in specs {
         spec.validate().map_err(CoreError::Spec)?;
     }
-    let canons: Vec<MemArchSpec> = specs.iter().map(MemArchSpec::canonical).collect();
-    let footprint = sweep_footprint(pipeline);
-    let keys: Vec<String> = canons
-        .iter()
-        .map(|c| effective_spec_key(c, footprint.as_ref()))
-        .collect();
-    // First spec per distinct key measures; the rest share.
-    let mut rep_of_key: BTreeMap<&str, usize> = BTreeMap::new();
-    let mut reps: Vec<usize> = Vec::new();
-    for (i, k) in keys.iter().enumerate() {
-        rep_of_key.entry(k.as_str()).or_insert_with(|| {
-            reps.push(i);
-            reps.len() - 1
-        });
-    }
-    if spmlab_obs::enabled() {
-        spmlab_obs::counter("sweep_points", specs.len() as u64);
-        spmlab_obs::counter("sweep_memo_miss", reps.len() as u64);
-        spmlab_obs::counter("sweep_memo_hit", (specs.len() - reps.len()) as u64);
-    }
-    let rep_canons: Vec<&MemArchSpec> = reps.iter().map(|&i| &canons[i]).collect();
-    let total = rep_canons.len() as u64;
-    let start_ns = spmlab_obs::now_ns();
-    let measured_count = AtomicUsize::new(0);
-    let measured = par_try_map(&rep_canons, |c| {
-        let m = pipeline.measure_spec(c)?;
-        if spmlab_obs::enabled() {
-            let done = measured_count.fetch_add(1, Ordering::Relaxed) as u64 + 1;
-            let secs = (spmlab_obs::now_ns() - start_ns) as f64 / 1e9;
-            let rate = if secs > 0.0 { done as f64 / secs } else { 0.0 };
-            spmlab_obs::progress(done, total, &format!("{rate:.2} points/s"));
-        }
-        Ok(m)
-    })?;
-    Ok(specs
-        .iter()
-        .zip(&keys)
-        .map(|(spec, k)| {
-            let m = &measured[rep_of_key[k.as_str()]];
-            SpecPoint {
-                spec: spec.clone(),
-                result: pipeline.package_spec(spec, m),
-            }
-        })
-        .collect())
+    collect_points(spec_sweep_outcomes(pipeline, specs)?)
 }
 
 /// Runs the scratchpad branch over `sizes` (the paper's Figure 3a series).
@@ -572,6 +1008,94 @@ mod tests {
             effective_spec_key(&spm_a.canonical(), Some(&fp)),
             effective_spec_key(&spm_b.canonical(), Some(&fp))
         );
+    }
+
+    #[test]
+    fn failed_points_are_contained_and_reported() {
+        // An invalid spec fails its own point; every other point of the
+        // axis still completes, and the all-or-nothing wrapper carries the
+        // completed points inside its error instead of dropping them.
+        let p = Pipeline::new(&INSERTSORT).unwrap();
+        let specs = vec![
+            MemArchSpec::spm(256),
+            MemArchSpec::spm(1 << 30), // larger than the SPM region: invalid
+            MemArchSpec::single_cache(CacheConfig::unified(256)),
+        ];
+        let outcomes = spec_sweep_outcomes(&p, &specs).unwrap();
+        assert_eq!(outcomes.len(), 3);
+        assert!(outcomes[0].outcome.result().is_some());
+        let fp = outcomes[1].outcome.failure().expect("invalid point fails");
+        assert_eq!(fp.index, 1);
+        assert!(!fp.panicked);
+        assert!(fp.error.contains("invalid spec"), "{}", fp.error);
+        assert!(outcomes[2].outcome.result().is_some(), "later points run");
+        match collect_points(outcomes).unwrap_err() {
+            CoreError::Sweep(f) => {
+                assert_eq!(f.completed.len(), 2);
+                assert_eq!(f.failed.len(), 1);
+                assert_eq!(f.total, 3);
+            }
+            other => panic!("expected CoreError::Sweep, got {other}"),
+        }
+    }
+
+    #[test]
+    fn exhausted_budget_degrades_points_without_failing_them() {
+        let mut p = Pipeline::new(&INSERTSORT).unwrap();
+        p.set_analysis_budget(spmlab_wcet::AnalysisBudget {
+            max_fixpoint_iters: Some(1),
+            deadline_ms: None,
+        });
+        let specs = vec![MemArchSpec::single_cache(CacheConfig::unified(256))];
+        let outcomes = spec_sweep_outcomes(&p, &specs).unwrap();
+        assert!(outcomes[0].outcome.is_degraded(), "budget of 1 must widen");
+        let r = outcomes[0].outcome.result().unwrap();
+        assert!(r.degraded);
+        assert!(r.wcet_cycles >= r.sim_cycles, "degraded bound stays sound");
+    }
+
+    #[test]
+    fn checkpoint_resume_reuses_points_bit_identically() {
+        let p = Pipeline::new(&INSERTSORT).unwrap();
+        let specs = vec![
+            MemArchSpec::spm(128),
+            MemArchSpec::spm(256),
+            MemArchSpec::single_cache(CacheConfig::unified(256)),
+        ];
+        let dir = std::env::temp_dir().join(format!("spmlab-sweep-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("resume.jsonl");
+        let header = CheckpointHeader::new("testrev", "insertsort", &specs);
+        let session = SweepSession::checkpoint_to(&path, &header).unwrap();
+        let full = spec_sweep_with_session(&p, &specs, &session).unwrap();
+        drop(session);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4, "header + one record per point");
+        crate::checkpoint::check_checkpoint(&text).expect("stream validates");
+        // Simulate a kill after the first completed point.
+        std::fs::write(&path, lines[..2].join("\n") + "\n").unwrap();
+        let resumed = SweepSession::resume_from(&path, &header).unwrap();
+        assert_eq!(resumed.resumed_points(), 1);
+        let replay = spec_sweep_with_session(&p, &specs, &resumed).unwrap();
+        for (a, b) in full.iter().zip(&replay) {
+            let (ra, rb) = (a.outcome.result().unwrap(), b.outcome.result().unwrap());
+            assert_eq!(ra.label, rb.label);
+            assert_eq!(ra.sim_cycles, rb.sim_cycles);
+            assert_eq!(ra.wcet_cycles, rb.wcet_cycles);
+            assert_eq!(
+                ra.energy_nj.to_bits(),
+                rb.energy_nj.to_bits(),
+                "bit-identical energy"
+            );
+            assert_eq!(ra.classify, rb.classify);
+            assert_eq!(ra.spm_objects, rb.spm_objects);
+        }
+        // A checkpoint from a different run must be rejected, not merged.
+        let other = CheckpointHeader::new("otherrev", "insertsort", &specs);
+        let err = SweepSession::resume_from(&path, &other).unwrap_err();
+        assert!(matches!(err, CoreError::Checkpoint(_)), "{err}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::cache::{self, CacheCtx, ClassifyStats, Persistence};
 use crate::cfg::{build_all, FuncCfg};
+use crate::fixpoint::FixpointBudget;
 use crate::ipet;
 use crate::loops::natural_loops;
 use crate::multilevel::{self, MultiCtx, MultiState};
@@ -13,6 +14,50 @@ use spmlab_isa::cachecfg::CacheConfig;
 use spmlab_isa::hierarchy::{MainMemoryTiming, MemHierarchyConfig};
 use spmlab_isa::image::Executable;
 use std::collections::BTreeMap;
+
+/// Resource budget for one [`analyze`] call, expressed in wall-clock
+/// milliseconds and fixpoint iterations so the config stays `Eq`-able and
+/// serializable (the absolute [`std::time::Instant`] deadline is derived
+/// at `analyze` entry).
+///
+/// Exhausting either limit is *sound*: the affected fixpoints widen to the
+/// conservative `top` state, the bound can only go up, and the result is
+/// tagged `widened` — the caller surfaces it as a `Degraded` outcome
+/// instead of a silent lie or an unbounded hang.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AnalysisBudget {
+    /// Cap on worklist iterations per fixpoint solve (`None` = only the
+    /// structural defensive cap applies).
+    pub max_fixpoint_iters: Option<u64>,
+    /// Wall-clock budget for the whole analysis, in milliseconds, measured
+    /// from [`analyze`] entry (`None` = no deadline).
+    pub deadline_ms: Option<u64>,
+}
+
+impl AnalysisBudget {
+    /// No caller-imposed limits — the default for every stock config.
+    pub const fn unlimited() -> AnalysisBudget {
+        AnalysisBudget {
+            max_fixpoint_iters: None,
+            deadline_ms: None,
+        }
+    }
+
+    /// Whether any limit is set.
+    pub fn is_limited(&self) -> bool {
+        self.max_fixpoint_iters.is_some() || self.deadline_ms.is_some()
+    }
+
+    /// The per-solve [`FixpointBudget`], anchoring `deadline_ms` at `now`.
+    fn fixpoint_budget(&self) -> FixpointBudget {
+        FixpointBudget {
+            max_iterations: self.max_fixpoint_iters,
+            deadline: self
+                .deadline_ms
+                .map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms)),
+        }
+    }
+}
 
 /// Analyzer configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -48,6 +93,9 @@ pub struct WcetConfig {
     /// recorded caller (and everything when this is false) fall back to
     /// TOP.
     pub interprocedural: bool,
+    /// Resource budget; exhausting it degrades precision (widening to the
+    /// conservative state, `widened = true`), never soundness.
+    pub budget: AnalysisBudget,
 }
 
 impl WcetConfig {
@@ -61,6 +109,7 @@ impl WcetConfig {
             l2_must_analysis: true,
             may_analysis: true,
             interprocedural: true,
+            budget: AnalysisBudget::unlimited(),
         }
     }
 
@@ -208,6 +257,9 @@ pub fn analyze(
         }
     }
     let config = &config;
+    // Anchor the wall-clock deadline once, here, so `deadline_ms` budgets
+    // the whole analysis rather than each individual fixpoint solve.
+    let fx_budget = config.budget.fixpoint_budget();
     let cfgs = build_all(exe)?;
     let order = topo_order(&cfgs)?;
     let depths = total_depths(&cfgs, &order)?;
@@ -240,6 +292,7 @@ pub fn analyze(
                     l2_analysis: config.l2_must_analysis,
                     may_analysis: config.may_analysis,
                     summaries: Some(&summaries),
+                    budget: fx_budget,
                 };
                 let _f = spmlab_obs::span_with("wcet-fn-summary", || cfgs[&faddr].name.clone());
                 let s = multilevel::summarize_function(&cfgs[&faddr], &ctx);
@@ -268,6 +321,7 @@ pub fn analyze(
                 l2_analysis: config.l2_must_analysis,
                 may_analysis: config.may_analysis,
                 summaries: config.interprocedural.then_some(&summaries),
+                budget: fx_budget,
             };
             let mut entries: BTreeMap<u32, MultiState> = BTreeMap::new();
             let mut states = BTreeMap::new();
@@ -318,6 +372,7 @@ pub fn analyze(
                 l2_analysis: config.l2_must_analysis,
                 may_analysis: config.may_analysis,
                 summaries: config.interprocedural.then_some(&summaries),
+                budget: fx_budget,
             };
             let in_states = &hierarchy_states[&faddr];
             let top = MultiState::top(&ctx);
@@ -358,6 +413,7 @@ pub fn analyze(
                         cache: cache_cfg,
                         map: &exe.memory_map,
                         annot: &annot,
+                        budget: fx_budget,
                     };
                     let persistence_info = if config.persistence {
                         cache::persistence(cfg, &loops, &ctx)
@@ -614,6 +670,67 @@ mod tests {
         )
         .unwrap();
         assert!(with_pers.wcet_cycles >= s.cycles);
+    }
+
+    #[test]
+    fn exhausted_budget_degrades_but_stays_sound() {
+        let l = linked(LOOP_SRC, MemoryMap::no_spm(), SpmAssignment::none());
+        let cache = spmlab_isa::cachecfg::CacheConfig::unified(1024);
+        let s = simulate(
+            &l.exe,
+            &MachineConfig::with_cache(cache.clone()),
+            &SimOptions::default(),
+        )
+        .unwrap();
+        let unlimited = analyze(
+            &l.exe,
+            &WcetConfig::with_cache(cache.clone()),
+            &l.annotations,
+        )
+        .unwrap();
+        // Iteration cap of 1 on the single-level path: every fixpoint
+        // widens to top, the result is flagged, and the bound can only
+        // grow.
+        let capped = analyze(
+            &l.exe,
+            &WcetConfig {
+                budget: AnalysisBudget {
+                    max_fixpoint_iters: Some(1),
+                    deadline_ms: None,
+                },
+                ..WcetConfig::with_cache(cache.clone())
+            },
+            &l.annotations,
+        )
+        .unwrap();
+        assert!(capped.widened, "iteration cap of 1 must widen");
+        assert!(capped.wcet_cycles >= s.cycles, "degraded must stay sound");
+        assert!(capped.wcet_cycles >= unlimited.wcet_cycles);
+        // Expired deadline on the hierarchy path: same story.
+        let h = spmlab_isa::hierarchy::MemHierarchyConfig::l1_only(cache.clone());
+        let hs = simulate(
+            &l.exe,
+            &MachineConfig::with_hierarchy(h.clone()),
+            &SimOptions::default(),
+        )
+        .unwrap();
+        let deadlined = analyze(
+            &l.exe,
+            &WcetConfig {
+                budget: AnalysisBudget {
+                    max_fixpoint_iters: None,
+                    deadline_ms: Some(0),
+                },
+                ..WcetConfig::with_hierarchy(h)
+            },
+            &l.annotations,
+        )
+        .unwrap();
+        assert!(deadlined.widened, "deadline 0 must widen");
+        assert!(
+            deadlined.wcet_cycles >= hs.cycles,
+            "degraded must stay sound"
+        );
     }
 
     #[test]

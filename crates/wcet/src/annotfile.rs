@@ -55,14 +55,14 @@ fn parse_addr(tok: &str, exe: &Executable, line: u32) -> Result<u32, AnnotError>
     }
     let (sym, off) = match tok.split_once('+') {
         Some((s, o)) => {
-            let off = o
-                .strip_prefix("0x")
-                .map(|h| u32::from_str_radix(h, 16))
-                .unwrap_or_else(|| o.parse::<u32>().map_err(|_| "".parse::<u32>().unwrap_err()))
-                .map_err(|_| AnnotError {
-                    line,
-                    msg: format!("bad offset in `{tok}`"),
-                })?;
+            let off = match o.strip_prefix("0x") {
+                Some(h) => u32::from_str_radix(h, 16).ok(),
+                None => o.parse::<u32>().ok(),
+            }
+            .ok_or_else(|| AnnotError {
+                line,
+                msg: format!("bad offset in `{tok}`"),
+            })?;
             (s, off)
         }
         None => (tok, 0),

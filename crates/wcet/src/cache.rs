@@ -31,6 +31,9 @@ pub struct CacheCtx<'a> {
     pub map: &'a MemoryMap,
     /// Access annotations.
     pub annot: &'a AnnotationSet,
+    /// Caller-imposed fixpoint budget (iteration cap / deadline); the
+    /// default imposes nothing beyond the structural cap.
+    pub budget: crate::fixpoint::FixpointBudget,
 }
 
 impl CacheCtx<'_> {
@@ -830,6 +833,7 @@ pub fn must_fixpoint(
         AbstractCache::join_into,
         |s, block| transfer_block(s, block, ctx),
         64 * ctx.cache.assoc as usize,
+        ctx.budget,
     )
 }
 
@@ -874,6 +878,40 @@ pub struct ClassifyStats {
 }
 
 impl ClassifyStats {
+    /// The stats as a fixed-order array — the checkpoint wire format.
+    /// Order matches the field declaration order; [`ClassifyStats::from_array`]
+    /// is the inverse.
+    pub fn to_array(&self) -> [u64; 10] {
+        [
+            self.fetch_hits,
+            self.fetch_unclassified,
+            self.data_hits,
+            self.data_unclassified,
+            self.persistent,
+            self.fetch_always_miss,
+            self.data_always_miss,
+            self.l2_hits,
+            self.store_always_dirty,
+            self.store_write_backs,
+        ]
+    }
+
+    /// Rebuilds stats from the [`ClassifyStats::to_array`] wire order.
+    pub fn from_array(a: [u64; 10]) -> ClassifyStats {
+        ClassifyStats {
+            fetch_hits: a[0],
+            fetch_unclassified: a[1],
+            data_hits: a[2],
+            data_unclassified: a[3],
+            persistent: a[4],
+            fetch_always_miss: a[5],
+            data_always_miss: a[6],
+            l2_hits: a[7],
+            store_always_dirty: a[8],
+            store_write_backs: a[9],
+        }
+    }
+
     /// Merges another function's stats in.
     pub fn absorb(&mut self, o: ClassifyStats) {
         self.fetch_hits += o.fetch_hits;
@@ -1547,6 +1585,7 @@ mod tests {
             cache: &cache,
             map: &map,
             annot: &annot,
+            budget: crate::fixpoint::FixpointBudget::UNLIMITED,
         };
         let mut s = AbstractCache::top(ctx.cache);
         assert!(!s.access_read_exact(0x0010_0000, true), "cold");
@@ -1712,6 +1751,7 @@ mod tests {
             cache: &cache,
             map: &map,
             annot: &annot,
+            budget: crate::fixpoint::FixpointBudget::UNLIMITED,
         };
         let mut s = AbstractCache::top(&cache);
         s.access_read_exact(0x0010_0000, true);

@@ -1,0 +1,108 @@
+//! Malformed-input hardening: the parsers that read *untrusted* text —
+//! spec JSON from `--spec` files, bench-history lines from the tracked
+//! JSONL log, checkpoint streams from `--resume` files — must reject
+//! arbitrary garbage with an error (or `None`), never a panic.
+//!
+//! Every strategy here feeds raw bytes (lossily decoded) and truncated or
+//! spliced variants of *valid* documents through the parsers; the property
+//! is simply "the call returns".
+
+use proptest::prelude::*;
+use spmlab::{check_checkpoint, MemArchSpec};
+use spmlab_bench::{BenchRecord, Provenance};
+use spmlab_isa::cachecfg::CacheConfig;
+
+/// Arbitrary bytes decoded to a (possibly replacement-charactered) string.
+fn garbage(max: usize) -> impl Strategy<Value = String> {
+    prop::collection::vec(0u8..=255u8, 0..max)
+        .prop_map(|b| String::from_utf8_lossy(&b).into_owned())
+}
+
+/// A pool of valid spec documents to truncate and splice.
+fn sample_spec_json(which: usize) -> String {
+    match which % 4 {
+        0 => MemArchSpec::spm(1024).to_json(),
+        1 => MemArchSpec::single_cache(CacheConfig::unified(256)).to_json(),
+        2 => MemArchSpec::uncached().to_json(),
+        _ => MemArchSpec::builder()
+            .spm(512)
+            .l1(CacheConfig::unified(256))
+            .build()
+            .expect("valid spec")
+            .to_json(),
+    }
+}
+
+/// A valid bench-history line with a full provenance block.
+fn sample_history_line() -> String {
+    BenchRecord {
+        rev: "f508d87".into(),
+        benchmark: "g721".into(),
+        quick: false,
+        wall_seconds: 0.371,
+        points: 10,
+        max_ratio: 8.7878,
+        sound: true,
+        provenance: Some(Provenance {
+            spec_hash: "fe618877c985f45f".into(),
+            replay_points: Some(6),
+            full_sim_points: Some(2),
+            memo_hits: Some(2),
+            memo_misses: Some(8),
+            phase_ns: vec![("measure-spec".into(), 123456), ("analyze".into(), 99)],
+        }),
+    }
+    .to_json_line()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn arbitrary_spec_json_never_panics(text in garbage(160)) {
+        let _ = MemArchSpec::from_json(&text);
+    }
+
+    #[test]
+    fn truncated_spliced_spec_json_never_panics(
+        which in 0usize..4,
+        cut in 0usize..512,
+        tail in garbage(24),
+    ) {
+        let base = sample_spec_json(which);
+        // The emitted JSON is pure ASCII, so any byte index is a char
+        // boundary.
+        let mut text = base[..cut.min(base.len())].to_string();
+        text.push_str(&tail);
+        let _ = MemArchSpec::from_json(&text);
+    }
+
+    #[test]
+    fn arbitrary_history_lines_never_panic(text in garbage(160)) {
+        let _ = BenchRecord::from_json_line(&text);
+    }
+
+    #[test]
+    fn truncated_history_lines_never_panic(cut in 0usize..512, tail in garbage(16)) {
+        let base = sample_history_line();
+        let mut text = base[..cut.min(base.len())].to_string();
+        text.push_str(&tail);
+        let _ = BenchRecord::from_json_line(&text);
+    }
+
+    #[test]
+    fn arbitrary_checkpoint_streams_never_panic(text in garbage(240)) {
+        let _ = check_checkpoint(&text);
+    }
+
+    #[test]
+    fn intact_documents_still_round_trip(which in 0usize..4) {
+        // The hardening must not have cost any accepting power.
+        let base = sample_spec_json(which);
+        let spec = MemArchSpec::from_json(&base).expect("valid spec parses");
+        prop_assert_eq!(spec.to_json(), base);
+        let line = sample_history_line();
+        let rec = BenchRecord::from_json_line(&line).expect("valid line parses");
+        prop_assert_eq!(rec.to_json_line(), line);
+    }
+}
