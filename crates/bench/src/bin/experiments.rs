@@ -14,6 +14,10 @@
 //! experiments --checkpoint c.jsonl hierarchy  # stream per-point checkpoints
 //! experiments --resume c.jsonl hierarchy      # replay missing points only
 //! experiments check-checkpoint <c.jsonl>      # validate a checkpoint stream
+//! experiments sweep --spec-grid grid.json --shard 0/2 --checkpoint dir
+//!                                        # run one shard of a DSE grid
+//! experiments sweep --spec-grid grid.json --dry-run  # count, don't run
+//! experiments merge-shards out.jsonl a.jsonl b.jsonl # reassemble + frontier
 //! ```
 //!
 //! `--checkpoint` streams one JSON line per completed sweep point of the
@@ -30,6 +34,16 @@
 //! JSON document; saving one to a file and feeding it back with `--spec`
 //! reproduces that exact point (machine *and* analysis method) from the
 //! command line.
+//!
+//! `sweep` runs one shard of a design-space grid (see the
+//! `spmlab::dse` module docs): the grid JSON enumerates the space, `--shard
+//! k/n` selects every n-th point, `--checkpoint <dir>` streams (and on a
+//! second run resumes) `<dir>/shard-k-of-n.jsonl`, and `--dry-run` prints
+//! the grid arithmetic without measuring anything. `merge-shards`
+//! validates that its inputs are the complete shard set of one run,
+//! writes the reassembled unsharded stream, and reports the 3-objective
+//! Pareto frontier — exiting non-zero unless the merged run is complete,
+//! the frontier is non-empty, and every frontier point is sound.
 //!
 //! `--profile` records every span/counter/gauge event to a JSON-lines file
 //! (default `profile.jsonl`, `=-` streams to stderr) and prints a flat
@@ -54,7 +68,10 @@ fn usage() -> String {
          \x20      experiments [--quick] --checkpoint <ckpt.jsonl> hierarchy\n\
          \x20      experiments [--quick] --resume <ckpt.jsonl> hierarchy\n\
          \x20      experiments --dump-spec [--quick]\n\
-         \x20      experiments --spec <file.json> [--bench <name>]",
+         \x20      experiments --spec <file.json> [--bench <name>]\n\
+         \x20      experiments sweep --spec-grid <grid.json> [--shard k/n] \
+         [--checkpoint <dir>] [--dry-run]\n\
+         \x20      experiments merge-shards <out.jsonl> <shard.jsonl>...",
         EXPERIMENTS.join("|")
     )
 }
@@ -98,6 +115,26 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .cloned()
+}
+
+/// Installs the `--profile` sinks: a JSONL stream to `dest` (`-` =
+/// stderr) plus an in-memory collector for the breakdown table. The
+/// guards keep the sinks installed while held.
+fn install_profile(dest: &str) -> (Arc<MemorySink>, [spmlab_obs::SinkGuard; 2]) {
+    let stream_guard = if dest == "-" {
+        spmlab_obs::add_sink(Arc::new(JsonlSink::new(std::io::stderr())))
+    } else {
+        match std::fs::File::create(dest) {
+            Ok(f) => spmlab_obs::add_sink(Arc::new(JsonlSink::new(std::io::BufWriter::new(f)))),
+            Err(e) => {
+                eprintln!("error: cannot create profile `{dest}`: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+    let mem = Arc::new(MemorySink::default());
+    let mem_guard = spmlab_obs::add_sink(mem.clone());
+    (mem, [stream_guard, mem_guard])
 }
 
 fn main() {
@@ -171,6 +208,71 @@ fn main() {
             }
             Err(e) => {
                 eprintln!("{path}: INVALID — {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    // DSE shard run: `sweep --spec-grid grid.json [--shard k/n]
+    // [--checkpoint dir] [--dry-run]`.
+    if args.iter().any(|a| a == "sweep") {
+        let Some(grid_path) = flag_value(&args, "--spec-grid") else {
+            eprintln!("error: sweep needs --spec-grid <grid.json>");
+            std::process::exit(2);
+        };
+        let shard = match spmlab::Shard::parse(
+            &flag_value(&args, "--shard").unwrap_or_else(|| "0/1".into()),
+        ) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        };
+        let dry_run = args.iter().any(|a| a == "--dry-run");
+        let ckpt_dir = flag_value(&args, "--checkpoint").map(std::path::PathBuf::from);
+        let grid_json = match std::fs::read_to_string(&grid_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read `{grid_path}`: {e}");
+                std::process::exit(1);
+            }
+        };
+        let profile_state = profile.as_deref().map(install_profile);
+        let result = spmlab_bench::dse::run_sweep(&grid_json, shard, ckpt_dir.as_deref(), dry_run);
+        if let Some((mem, guards)) = profile_state {
+            drop(guards);
+            print!("{}", render_profile(&mem));
+        }
+        match result {
+            Ok(text) => {
+                print!("{text}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    // DSE shard reassembly: `merge-shards out.jsonl a.jsonl b.jsonl ...`.
+    if let Some(pos) = args.iter().position(|a| a == "merge-shards") {
+        let rest: Vec<std::path::PathBuf> = args[pos + 1..]
+            .iter()
+            .map(std::path::PathBuf::from)
+            .collect();
+        if rest.len() < 2 {
+            eprintln!("error: merge-shards needs an output path and at least one input");
+            std::process::exit(2);
+        }
+        match spmlab_bench::dse::run_merge(&rest[0], &rest[1..]) {
+            Ok((report, ok)) => {
+                print!("{report}");
+                std::process::exit(i32::from(!ok));
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
                 std::process::exit(1);
             }
         }
@@ -269,23 +371,7 @@ fn main() {
     // --profile: record the run to a JSON-lines stream and collect an
     // in-memory copy for the breakdown table. The guards keep the sinks
     // installed until the end of main.
-    let mut profile_state = None;
-    if let Some(dest) = &profile {
-        let stream_guard = if dest == "-" {
-            spmlab_obs::add_sink(Arc::new(JsonlSink::new(std::io::stderr())))
-        } else {
-            match std::fs::File::create(dest) {
-                Ok(f) => spmlab_obs::add_sink(Arc::new(JsonlSink::new(std::io::BufWriter::new(f)))),
-                Err(e) => {
-                    eprintln!("error: cannot create profile `{dest}`: {e}");
-                    std::process::exit(1);
-                }
-            }
-        };
-        let mem = Arc::new(MemorySink::default());
-        let mem_guard = spmlab_obs::add_sink(mem.clone());
-        profile_state = Some((mem, [stream_guard, mem_guard]));
-    }
+    let profile_state = profile.as_deref().map(install_profile);
 
     for id in &selected {
         let span = spmlab_obs::span_labeled("experiment", id);

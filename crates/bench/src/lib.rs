@@ -13,6 +13,7 @@
 //! The Criterion benches in `benches/` time the same artefact generators
 //! on reduced inputs, one group per paper artefact.
 
+pub mod dse;
 pub mod history;
 
 pub use history::{

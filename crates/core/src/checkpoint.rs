@@ -62,10 +62,20 @@ pub struct CheckpointHeader {
     pub rev: String,
     /// Benchmark name.
     pub benchmark: String,
-    /// [`axis_hash`] of the swept spec axis.
+    /// [`axis_hash`] of the swept spec axis. For a sharded DSE stream
+    /// this is the hash of the **full** grid axis (shared by every
+    /// shard), not the shard's sub-axis — so shard streams of one grid
+    /// are mutually recognisable at merge time.
     pub axis_hash: String,
-    /// Number of points in the axis.
+    /// Number of points in the axis — for a shard stream, the number of
+    /// points *this shard* owns (its records cover exactly `0..points`).
     pub points: usize,
+    /// `Some((k, n))` when this stream is shard `k` of an `n`-way split
+    /// (shard `k` owns every global index `g` with `g % n == k`, stored
+    /// under local index `g / n`). `None` for unsharded streams —
+    /// serialised only when present, so pre-DSE checkpoints round-trip
+    /// byte-identically.
+    pub shard: Option<(usize, usize)>,
 }
 
 impl CheckpointHeader {
@@ -79,13 +89,17 @@ impl CheckpointHeader {
             benchmark: benchmark.to_string(),
             axis_hash: axis_hash(&canons),
             points: specs.len(),
+            shard: None,
         }
     }
 
     /// The JSON line (no trailing newline).
     pub fn to_json_line(&self) -> String {
+        let shard = self
+            .shard
+            .map_or_else(String::new, |(k, n)| format!("\"shard\":\"{k}/{n}\","));
         format!(
-            "{{\"ckpt_version\":{},\"rev\":\"{}\",\"benchmark\":\"{}\",\"axis_hash\":\"{}\",\"points\":{}}}",
+            "{{\"ckpt_version\":{},\"rev\":\"{}\",\"benchmark\":\"{}\",\"axis_hash\":\"{}\",{shard}\"points\":{}}}",
             self.version,
             escape(&self.rev),
             escape(&self.benchmark),
@@ -96,12 +110,27 @@ impl CheckpointHeader {
 
     /// Parses a header line; `None` when malformed or not a header.
     pub fn from_json_line(line: &str) -> Option<CheckpointHeader> {
+        let shard = if line.contains("\"shard\":") {
+            // A present-but-malformed shard designator rejects the line —
+            // silently reading a shard stream as unsharded would merge it
+            // under the wrong indices.
+            let raw = json_str(line, "shard")?;
+            let (k, n) = raw.split_once('/')?;
+            let (k, n) = (k.parse().ok()?, n.parse::<usize>().ok()?);
+            if n == 0 || k >= n {
+                return None;
+            }
+            Some((k, n))
+        } else {
+            None
+        };
         Some(CheckpointHeader {
             version: json_raw(line, "ckpt_version")?.parse().ok()?,
             rev: json_str(line, "rev")?,
             benchmark: json_str(line, "benchmark")?,
             axis_hash: json_str(line, "axis_hash")?,
             points: json_raw(line, "points")?.parse().ok()?,
+            shard,
         })
     }
 }
@@ -357,19 +386,26 @@ fn ckpt_err(path: &Path, msg: impl std::fmt::Display) -> CoreError {
 /// corruption before the final line, or an out-of-range point index.
 pub fn read_checkpoint(path: &Path) -> Result<CheckpointFile, CoreError> {
     let text = std::fs::read_to_string(path).map_err(|e| ckpt_err(path, e))?;
+    parse_checkpoint_text(&text).map_err(|e| ckpt_err(path, e))
+}
+
+/// [`read_checkpoint`] on already-loaded text (same tolerance: exactly one
+/// truncated final line is dropped, anything else malformed is an error).
+/// The DSE shard merger reads many streams through this without touching
+/// the filesystem layer.
+///
+/// # Errors
+///
+/// A human-readable description of the first violation.
+pub fn parse_checkpoint_text(text: &str) -> Result<CheckpointFile, String> {
     let mut lines = text.lines().enumerate();
-    let (_, first) = lines
-        .next()
-        .ok_or_else(|| ckpt_err(path, "empty checkpoint"))?;
-    let header = CheckpointHeader::from_json_line(first)
-        .ok_or_else(|| ckpt_err(path, "first line is not a checkpoint header"))?;
+    let (_, first) = lines.next().ok_or("empty checkpoint")?;
+    let header =
+        CheckpointHeader::from_json_line(first).ok_or("first line is not a checkpoint header")?;
     if header.version != CHECKPOINT_VERSION {
-        return Err(ckpt_err(
-            path,
-            format!(
-                "checkpoint version {} unsupported (expected {CHECKPOINT_VERSION})",
-                header.version
-            ),
+        return Err(format!(
+            "checkpoint version {} unsupported (expected {CHECKPOINT_VERSION})",
+            header.version
         ));
     }
     let rest: Vec<(usize, &str)> = lines.filter(|(_, l)| !l.trim().is_empty()).collect();
@@ -378,14 +414,11 @@ pub fn read_checkpoint(path: &Path) -> Result<CheckpointFile, CoreError> {
         match PointRecord::from_json_line(line) {
             Some(rec) => {
                 if rec.index >= header.points {
-                    return Err(ckpt_err(
-                        path,
-                        format!(
-                            "line {}: point index {} out of range (axis has {} points)",
-                            lineno + 1,
-                            rec.index,
-                            header.points
-                        ),
+                    return Err(format!(
+                        "line {}: point index {} out of range (axis has {} points)",
+                        lineno + 1,
+                        rec.index,
+                        header.points
                     ));
                 }
                 records.insert(rec.index, rec);
@@ -394,10 +427,7 @@ pub fn read_checkpoint(path: &Path) -> Result<CheckpointFile, CoreError> {
                 // Truncated final line: the kill artifact; drop it.
             }
             None => {
-                return Err(ckpt_err(
-                    path,
-                    format!("line {}: malformed point record", lineno + 1),
-                ));
+                return Err(format!("line {}: malformed point record", lineno + 1));
             }
         }
     }
@@ -600,6 +630,7 @@ mod tests {
             benchmark: "g721".into(),
             axis_hash: fnv1a64("axis"),
             points: 8,
+            shard: None,
         };
         assert_eq!(CheckpointHeader::from_json_line(&h.to_json_line()), Some(h));
     }
@@ -615,6 +646,7 @@ mod tests {
             benchmark: "b".into(),
             axis_hash: fnv1a64("a"),
             points: 4,
+            shard: None,
         };
         let rec = PointRecord::from_result(0, fnv1a64("s"), &sample_result(false));
         let full = format!(
@@ -654,6 +686,7 @@ mod tests {
             benchmark: "b".into(),
             axis_hash: fnv1a64("a"),
             points: 4,
+            shard: None,
         };
         let rec0 = PointRecord::from_result(0, fnv1a64("s0"), &sample_result(false));
         std::fs::write(
@@ -687,6 +720,7 @@ mod tests {
             benchmark: "b".into(),
             axis_hash: fnv1a64("a"),
             points: 2,
+            shard: None,
         };
         let failed = PointRecord::from_failure(0, fnv1a64("s"), "l", "boom", false);
         let fixed = PointRecord::from_result(0, fnv1a64("s"), &sample_result(false));

@@ -1,0 +1,35 @@
+//! Design-space exploration: sharded sweeps over grid-enumerated spec
+//! spaces.
+//!
+//! The paper's exercise — trading simulated cycles against WCET
+//! predictability across memory hierarchies — is a design-space
+//! exploration; this module scales it from hand-picked axes to
+//! enumerated grids:
+//!
+//! - [`grid`]: a [`GridSpec`] JSON document lazily
+//!   enumerates the Cartesian product of its dimensions into the
+//!   deduplicated valid axis of canonical specs.
+//! - [`executor`]: the work-stealing fan-out primitive
+//!   ([`execute`], shared with every sweep in the
+//!   workspace) and the [`Shard`] stride arithmetic that
+//!   splits an axis across processes.
+//! - [`stream`]: reassembles the per-shard checkpoint streams
+//!   ([`merge_texts`]) into one normal-form run.
+//! - [`frontier`]: the exact, deterministic 3-objective Pareto frontier
+//!   (sim cycles, WCET bound, bound/sim ratio) over the merged records.
+//!
+//! Execution itself is the PR 7 sweep engine
+//! ([`spec_sweep_with_session`](crate::sweep::spec_sweep_with_session)):
+//! a shard is just an ordinary checkpointed sweep over its stride of the
+//! grid axis, so every fault-isolation, memoisation, and kill/resume
+//! property carries over unchanged.
+
+pub mod executor;
+pub mod frontier;
+pub mod grid;
+pub mod stream;
+
+pub use executor::{execute, shard_header, Shard};
+pub use frontier::{dominates, Frontier, FrontierPoint};
+pub use grid::{GridSpec, GridStats, L1Shape};
+pub use stream::{merge_texts, MergedSweep};

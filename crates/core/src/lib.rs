@@ -46,6 +46,7 @@
 
 pub mod checkpoint;
 pub mod config;
+pub mod dse;
 pub mod faults;
 pub mod figures;
 pub mod pipeline;
@@ -57,6 +58,7 @@ pub use config::{
     cache_axis, hierarchy_axis, hierarchy_spec_axis, hierarchy_spm_axis, hierarchy_spm_machines,
     spm_axis, write_policy_axis, DRAM_LATENCY, PAPER_SIZES, STORE_BUFFER,
 };
+pub use dse::{Frontier, FrontierPoint, GridSpec, GridStats, MergedSweep, Shard};
 pub use pipeline::{ConfigResult, Pipeline};
 pub use spmlab_isa::archspec::{MemArchSpec, SpecError, SpmAllocation, SpmSpec};
 pub use spmlab_isa::hierarchy::{MainMemoryTiming, MemHierarchyConfig};

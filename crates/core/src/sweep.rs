@@ -28,6 +28,7 @@
 //! reusing stored results bit-identically.
 
 use crate::checkpoint::{spec_hash, CheckpointHeader, CheckpointWriter, PointRecord, PointStatus};
+use crate::dse::executor::execute;
 use crate::pipeline::{ConfigResult, Pipeline};
 use crate::CoreError;
 use spmlab_isa::archspec::MemArchSpec;
@@ -267,58 +268,6 @@ impl SweepSession {
     }
 }
 
-/// Applies `f` to every index in `0..n` across scoped worker threads,
-/// preserving input order. Infallible by construction: the caller's `f`
-/// converts its own errors and panics into outcome values
-/// ([`PointOutcome::Failed`]), so no point can abort another — the
-/// previous `par_try_map` short-circuited on the first error and threw the
-/// surviving measurements away.
-fn par_map<R, F>(n: usize, f: F) -> Vec<R>
-where
-    R: Send,
-    F: Fn(usize) -> R + Sync,
-{
-    // Profiled runs execute sequentially: spans opened on worker threads
-    // would be parentless roots, breaking the per-phase breakdown's
-    // self-time accounting (the `--profile` contract is that phase totals
-    // sum to wall time). Observability trades parallelism for
-    // attributable timings; with no sink installed this branch is one
-    // relaxed atomic load.
-    let threads = if spmlab_obs::enabled() {
-        1
-    } else {
-        std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-            .min(n)
-    };
-    if threads <= 1 {
-        return (0..n).map(f).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let done: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let r = f(i);
-                done.lock().expect("worker poisoned results").push((i, r));
-            });
-        }
-    });
-    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    for (i, r) in done.into_inner().expect("results lock") {
-        slots[i] = Some(r);
-    }
-    slots
-        .into_iter()
-        .map(|s| s.expect("every index was claimed by a worker"))
-        .collect()
-}
-
 /// Renders a caught panic payload (the `&str`/`String` forms `panic!`
 /// produces; anything else gets a placeholder).
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -441,7 +390,7 @@ pub fn spec_sweep_with_session(
     // wins) and surfaced after the scope — they must not tear down
     // in-flight measurements.
     let write_err: Mutex<Option<CoreError>> = Mutex::new(None);
-    let batches: Vec<Vec<(usize, PointOutcome)>> = par_map(reps.len(), |j| {
+    let batches: Vec<Vec<(usize, PointOutcome)>> = execute(reps.len(), |j| {
         let gi = reps[j];
         let attempt = catch_unwind(AssertUnwindSafe(
             || -> Result<Vec<(usize, ConfigResult)>, CoreError> {

@@ -583,22 +583,37 @@ impl std::fmt::Display for SpecJsonError {
 
 impl std::error::Error for SpecJsonError {}
 
-mod json {
-    //! Minimal JSON value parser/printer for the spec wire format.
+pub mod json {
+    //! Minimal JSON value parser/printer for the spec wire format — and
+    //! for every other hand-rolled JSON document in the workspace that
+    //! wants a real recursive parser instead of flat key scanning (the
+    //! DSE grid format in `spmlab-core` reuses it). The vendored serde
+    //! stand-in provides no `serde_json`, so this is the one shared
+    //! implementation.
 
     use std::collections::BTreeMap;
 
+    /// A parsed JSON value.
     #[derive(Debug, Clone, PartialEq)]
     pub enum Value {
+        /// `null`.
         Null,
+        /// `true` / `false`.
         Bool(bool),
+        /// Any JSON number (always parsed as `f64`).
         Num(f64),
+        /// A string.
         Str(String),
+        /// An array.
         Arr(Vec<Value>),
+        /// An object (key order normalised by the map).
         Obj(BTreeMap<String, Value>),
     }
 
     impl Value {
+        /// Object field lookup; `None` for non-objects, missing keys, and
+        /// explicit `null` values (absent and `null` are equivalent in
+        /// every schema built on this parser).
         pub fn get<'a>(&'a self, key: &str) -> Option<&'a Value> {
             match self {
                 Value::Obj(m) => m.get(key).filter(|v| !matches!(v, Value::Null)),
@@ -606,6 +621,7 @@ mod json {
             }
         }
 
+        /// The value as a non-negative integer, if it is one exactly.
         pub fn as_u64(&self) -> Option<u64> {
             match self {
                 Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
@@ -613,6 +629,7 @@ mod json {
             }
         }
 
+        /// The value as a string slice, if it is a string.
         pub fn as_str(&self) -> Option<&str> {
             match self {
                 Value::Str(s) => Some(s),
@@ -621,6 +638,7 @@ mod json {
         }
     }
 
+    /// Escapes `s` for embedding in a JSON string literal.
     pub fn escape(s: &str) -> String {
         let mut out = String::with_capacity(s.len() + 2);
         for c in s.chars() {
@@ -637,6 +655,11 @@ mod json {
         out
     }
 
+    /// Parses one complete JSON document (trailing data is an error).
+    ///
+    /// # Errors
+    ///
+    /// A byte-positioned description of the first syntax error.
     pub fn parse(text: &str) -> Result<Value, String> {
         let mut p = Parser {
             bytes: text.as_bytes(),

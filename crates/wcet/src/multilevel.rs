@@ -381,15 +381,38 @@ impl MultiState {
                 _ => {}
             }
         }
+        // A dirty proof survives the call only if the line was provably
+        // never evicted *inside* the callee. Residency in the post-call
+        // MUST state is not enough: the exit-guarantee union can
+        // re-establish a line the callee evicted (writing the dirty
+        // victim back) and cleanly reloaded. Prune against the
+        // aged-only survival state — footprint interference, no exit
+        // union — before the full call effect is applied.
+        if let Some(d) = &mut self.dirty {
+            let (state, interf, lru) = if self.dirty_on_l2 {
+                (&self.l2, &summary.l2, l2_lru)
+            } else if self.unified_l1 {
+                (&self.l1i, &summary.l1i, l1i_lru)
+            } else {
+                (&self.l1d, &summary.l1d, l1d_lru)
+            };
+            match (state, interf) {
+                (Some(st), Some(i)) => {
+                    let mut survived = st.clone();
+                    survived.apply_call(&i.footprint, None, lru);
+                    d.prune(&survived);
+                }
+                _ => d.clear(),
+            }
+        }
         must(&mut self.l1i, &summary.l1i, &summary.exit.l1i, l1i_lru);
         must(&mut self.l1d, &summary.l1d, &summary.exit.l1d, l1d_lru);
         must(&mut self.l2, &summary.l2, &summary.exit.l2, l2_lru);
         may(&mut self.l1i_may, &summary.l1i, l1i_lru);
         may(&mut self.l1d_may, &summary.l1d, l1d_lru);
-        // A dirty line still guaranteed resident after the call was
-        // provably never evicted inside the callee — and a resident line
-        // only stays dirty (nothing cleans without evicting) — so the
-        // surviving proofs are kept; everything else is pruned.
+        // Re-establish `dirty ⊆ MUST` against the final post-call state
+        // (the surviving proofs are a subset of the aged lines, which the
+        // exit union only extends, so this cannot resurrect anything).
         self.prune_dirty();
     }
 

@@ -1,13 +1,16 @@
 //! Malformed-input hardening: the parsers that read *untrusted* text —
-//! spec JSON from `--spec` files, bench-history lines from the tracked
-//! JSONL log, checkpoint streams from `--resume` files — must reject
-//! arbitrary garbage with an error (or `None`), never a panic.
+//! spec JSON from `--spec` files, grid documents from `--spec-grid`
+//! files, bench-history lines from the tracked JSONL log, checkpoint
+//! streams from `--resume` files, shard streams fed to `merge-shards` —
+//! must reject arbitrary garbage with an error (or `None`), never a
+//! panic.
 //!
 //! Every strategy here feeds raw bytes (lossily decoded) and truncated or
 //! spliced variants of *valid* documents through the parsers; the property
 //! is simply "the call returns".
 
 use proptest::prelude::*;
+use spmlab::dse::{merge_texts, GridSpec};
 use spmlab::{check_checkpoint, MemArchSpec};
 use spmlab_bench::{BenchRecord, Provenance};
 use spmlab_isa::cachecfg::CacheConfig;
@@ -31,6 +34,41 @@ fn sample_spec_json(which: usize) -> String {
             .expect("valid spec")
             .to_json(),
     }
+}
+
+/// A pool of valid grid documents to truncate and splice.
+fn sample_grid_json(which: usize) -> String {
+    match which % 3 {
+        0 => GridSpec::default().to_json(),
+        1 => GridSpec::from_json(
+            r#"{"spm_size":[0,1024],"l1_shape":["unified","split"],
+                "l1_size":{"from":256,"to":1024,"factor":2},"l1_policy":["wt","wb"]}"#,
+        )
+        .expect("valid grid")
+        .to_json(),
+        _ => GridSpec::from_json(
+            r#"{"benchmark":"insertsort","l2_size":[0,4096],
+                "main_latency":{"from":0,"to":10,"step":5},
+                "store_buffer":["none",{"depth":4,"drain":6}]}"#,
+        )
+        .expect("valid grid")
+        .to_json(),
+    }
+}
+
+/// A valid (tiny) shard checkpoint stream: header plus one record.
+fn sample_shard_stream() -> String {
+    use spmlab::dse::executor::{shard_header, Shard};
+    let axis = [MemArchSpec::uncached(), MemArchSpec::spm(1024)];
+    let header = shard_header("rev", "g721", &axis, Shard { index: 0, count: 2 });
+    let rec = spmlab::checkpoint::PointRecord::from_failure(
+        0,
+        spmlab::checkpoint::spec_hash(&axis[0].canonical()),
+        "uncached",
+        "synthetic",
+        false,
+    );
+    format!("{}\n{}\n", header.to_json_line(), rec.to_json_line())
 }
 
 /// A valid bench-history line with a full provenance block.
@@ -96,6 +134,46 @@ proptest! {
     }
 
     #[test]
+    fn arbitrary_grid_json_never_panics(text in garbage(240)) {
+        let _ = GridSpec::from_json(&text);
+    }
+
+    #[test]
+    fn truncated_spliced_grid_json_never_panics(
+        which in 0usize..3,
+        cut in 0usize..512,
+        tail in garbage(24),
+    ) {
+        let base = sample_grid_json(which);
+        // The emitted JSON is pure ASCII, so any byte index is a char
+        // boundary.
+        let mut text = base[..cut.min(base.len())].to_string();
+        text.push_str(&tail);
+        let _ = GridSpec::from_json(&text);
+    }
+
+    #[test]
+    fn arbitrary_shard_streams_never_panic_in_merge(
+        a in garbage(240),
+        b in garbage(240),
+    ) {
+        let _ = merge_texts(&[&a]);
+        let _ = merge_texts(&[&a, &b]);
+    }
+
+    #[test]
+    fn truncated_spliced_shard_streams_never_panic_in_merge(
+        cut in 0usize..512,
+        tail in garbage(24),
+    ) {
+        let base = sample_shard_stream();
+        let mut text = base[..cut.min(base.len())].to_string();
+        text.push_str(&tail);
+        let _ = merge_texts(&[&text]);
+        let _ = merge_texts(&[&text, &base]);
+    }
+
+    #[test]
     fn intact_documents_still_round_trip(which in 0usize..4) {
         // The hardening must not have cost any accepting power.
         let base = sample_spec_json(which);
@@ -104,5 +182,12 @@ proptest! {
         let line = sample_history_line();
         let rec = BenchRecord::from_json_line(&line).expect("valid line parses");
         prop_assert_eq!(rec.to_json_line(), line);
+    }
+
+    #[test]
+    fn intact_grids_still_round_trip(which in 0usize..3) {
+        let base = sample_grid_json(which);
+        let grid = GridSpec::from_json(&base).expect("valid grid parses");
+        prop_assert_eq!(grid.to_json(), base);
     }
 }
