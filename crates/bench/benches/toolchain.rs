@@ -20,12 +20,14 @@ use spmlab_workloads::{inputs, ADPCM, G721, INSERTSORT};
 fn bench_compile(c: &mut Criterion) {
     let mut g = c.benchmark_group("compiler");
     g.throughput(Throughput::Bytes(G721.source.len() as u64));
-    g.bench_function("compile_g721", |b| b.iter(|| compile(G721.source).unwrap()));
+    g.bench_function("compile_g721", |b| {
+        b.iter(|| compile(&G721.source).unwrap())
+    });
     g.finish();
 }
 
 fn bench_link(c: &mut Criterion) {
-    let module = compile(G721.source).unwrap();
+    let module = compile(&G721.source).unwrap();
     c.bench_function("link_g721", |b| {
         b.iter(|| link(&module, &MemoryMap::no_spm(), &SpmAssignment::none()).unwrap())
     });
@@ -70,7 +72,7 @@ fn bench_simulate(c: &mut Criterion) {
 }
 
 fn bench_wcet(c: &mut Criterion) {
-    let input = (INSERTSORT.typical_input)();
+    let input = INSERTSORT.typical_input();
     let linked = INSERTSORT
         .build(&MemoryMap::no_spm(), &SpmAssignment::none(), &input)
         .unwrap();
@@ -101,7 +103,7 @@ fn bench_wcet(c: &mut Criterion) {
 }
 
 fn bench_alloc(c: &mut Criterion) {
-    let module = compile(G721.source).unwrap();
+    let module = compile(&G721.source).unwrap();
     let input = inputs::speech_like(64, 1);
     let linked = G721
         .link_with_input(

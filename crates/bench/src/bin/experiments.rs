@@ -18,6 +18,9 @@
 //!                                        # run one shard of a DSE grid
 //! experiments sweep --spec-grid grid.json --dry-run  # count, don't run
 //! experiments merge-shards out.jsonl a.jsonl b.jsonl # reassemble + frontier
+//! experiments fuzz --seed-range 0..500               # differential fuzzing
+//! experiments fuzz --seed-range 0..64 --inject-miscompile
+//!                                        # prove the harness catches bugs
 //! ```
 //!
 //! `--checkpoint` streams one JSON line per completed sweep point of the
@@ -45,6 +48,15 @@
 //! Pareto frontier — exiting non-zero unless the merged run is complete,
 //! the frontier is non-empty, and every frontier point is sound.
 //!
+//! `fuzz` drives the seeded MiniC generator through every differential the
+//! toolchain supports (interpreter oracle, printer round-trip, simulator
+//! checksum, WCET soundness at the default spec points); the first failing
+//! seed is delta-debugged to a minimal `.mc` repro written to
+//! `--repro-out` (default `fuzz-repro.mc`). `--inject-miscompile` plants a
+//! wrong strength-reduction into the compiled side only and demands the
+//! harness catch and shrink it — the end-to-end proof the differentials
+//! have teeth.
+//!
 //! `--profile` records every span/counter/gauge event to a JSON-lines file
 //! (default `profile.jsonl`, `=-` streams to stderr) and prints a flat
 //! per-phase breakdown when the run finishes. Profiled sweeps run
@@ -71,7 +83,9 @@ fn usage() -> String {
          \x20      experiments --spec <file.json> [--bench <name>]\n\
          \x20      experiments sweep --spec-grid <grid.json> [--shard k/n] \
          [--checkpoint <dir>] [--dry-run]\n\
-         \x20      experiments merge-shards <out.jsonl> <shard.jsonl>...",
+         \x20      experiments merge-shards <out.jsonl> <shard.jsonl>...\n\
+         \x20      experiments fuzz --seed-range <a..b> [--spec <file.json>] \
+         [--inject-miscompile] [--repro-out <f.mc>]",
         EXPERIMENTS.join("|")
     )
 }
@@ -208,6 +222,92 @@ fn main() {
             }
             Err(e) => {
                 eprintln!("{path}: INVALID — {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    // Differential fuzzing over generated workloads: `fuzz --seed-range
+    // a..b [--spec file.json] [--inject-miscompile] [--repro-out f.mc]`.
+    if args.iter().any(|a| a == "fuzz") {
+        let range = flag_value(&args, "--seed-range").unwrap_or_else(|| "0..64".into());
+        let (start, end) = match spmlab_bench::fuzz::parse_seed_range(&range) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        };
+        let spec = flag_value(&args, "--spec").map(|path| {
+            let json = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                eprintln!("error: cannot read `{path}`: {e}");
+                std::process::exit(1);
+            });
+            spmlab_isa::archspec::MemArchSpec::from_json(&json).unwrap_or_else(|e| {
+                eprintln!("error: bad spec `{path}`: {e}");
+                std::process::exit(1);
+            })
+        });
+        let repro_out = flag_value(&args, "--repro-out").unwrap_or_else(|| "fuzz-repro.mc".into());
+        let write_repro = |repro: &str| {
+            if let Err(e) = std::fs::write(&repro_out, repro) {
+                eprintln!("warning: cannot write repro `{repro_out}`: {e}");
+            } else {
+                eprintln!("shrunk repro written to {repro_out}");
+            }
+        };
+        if args.iter().any(|a| a == "--inject-miscompile") {
+            match spmlab_bench::fuzz::run_inject_demo(start, end, spec.as_ref()) {
+                Ok(f) => {
+                    println!(
+                        "inject demo: caught the planted miscompile at seed {} — {}",
+                        f.seed, f.detail
+                    );
+                    println!(
+                        "minimal repro ({} lines):\n{}",
+                        f.repro.lines().count(),
+                        f.repro
+                    );
+                    write_repro(&f.repro);
+                    return;
+                }
+                Err(e) => {
+                    eprintln!("inject demo FAILED: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        let mut specs = spmlab_bench::fuzz::default_fuzz_specs();
+        if let Some(s) = &spec {
+            specs.push(("spec-file".into(), s.clone()));
+        }
+        let outcome = spmlab_bench::fuzz::run_fuzz(start, end, spec.as_ref(), &specs);
+        print!(
+            "{}",
+            spmlab_bench::fuzz::render_fuzz_report(start, end, &outcome)
+        );
+        if let Some(f) = &outcome.failure {
+            write_repro(&f.repro);
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    // Golden-corpus regeneration: `gen-corpus <dir>` rewrites the pinned
+    // generated programs + manifest (run after intentional generator or
+    // timing-model changes; the corpus test diffs against these files).
+    if let Some(pos) = args.iter().position(|a| a == "gen-corpus") {
+        let Some(dir) = args.get(pos + 1) else {
+            eprintln!("error: gen-corpus needs a directory argument");
+            std::process::exit(2);
+        };
+        match spmlab_bench::fuzz::write_corpus(std::path::Path::new(dir)) {
+            Ok(report) => {
+                print!("{report}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
                 std::process::exit(1);
             }
         }

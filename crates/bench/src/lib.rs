@@ -14,6 +14,7 @@
 //! on reduced inputs, one group per paper artefact.
 
 pub mod dse;
+pub mod fuzz;
 pub mod history;
 
 pub use history::{
@@ -148,7 +149,7 @@ pub fn hierarchy_benchmark(quick: bool) -> &'static Benchmark {
 pub fn hierarchy_checkpoint_header(quick: bool) -> CheckpointHeader {
     let l1 = hierarchy_l1_size(quick);
     let axis = FigureHierarchy::spec_axis(l1, &hierarchy_axis(l1));
-    CheckpointHeader::new(&git_revision(), hierarchy_benchmark(quick).name, &axis)
+    CheckpointHeader::new(&git_revision(), &hierarchy_benchmark(quick).name, &axis)
 }
 
 /// How (or whether) a hierarchy run persists per-point checkpoints.
@@ -487,7 +488,7 @@ pub fn multilevel_precision_points(quick: bool) -> Result<Vec<PrecisionPoint>, C
     let l1 = hierarchy_l1_size(quick);
     let bench = if quick { &ADPCM } else { &G721 };
     let module = bench.compile().map_err(CoreError::Cc)?;
-    let input = (bench.typical_input)();
+    let input = bench.typical_input();
     let linked = bench
         .link_with_input(
             &module,
@@ -683,7 +684,7 @@ pub fn write_policy_json(points: &[WritePolicyPoint], quick: bool) -> String {
     format!(
         "{{\n  \"benchmark\": \"{}\",\n  \"quick\": {quick},\n  \"sound\": {},\n  \
          \"points\": [{rows}\n  ]\n}}\n",
-        if quick { ADPCM.name } else { G721.name },
+        if quick { &ADPCM.name } else { &G721.name },
         write_policy_sound(points)
     )
 }
@@ -1021,7 +1022,7 @@ pub fn run_spec_on(bench_name: &str, spec_json: &str) -> Result<String, String> 
             "unknown benchmark `{bench_name}`; try one of: {}",
             spmlab_workloads::all_benchmarks()
                 .iter()
-                .map(|b| b.name)
+                .map(|b| b.name.as_ref())
                 .collect::<Vec<_>>()
                 .join(", ")
         )

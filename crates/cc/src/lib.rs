@@ -47,11 +47,13 @@ pub mod lexer;
 pub mod link;
 pub mod module;
 pub mod parser;
+pub mod print;
 pub mod sema;
 pub mod token;
 
 pub use link::{link, LinkedProgram, SpmAssignment};
 pub use module::{GlobalDef, ObjModule};
+pub use print::print;
 
 use std::fmt;
 
@@ -67,6 +69,20 @@ pub fn compile(source: &str) -> Result<ObjModule, CcError> {
     let program = parser::parse(&tokens)?;
     let typed = sema::check(&program)?;
     codegen::generate(&typed)
+}
+
+/// Lexes and parses MiniC source into an AST without semantic checking.
+///
+/// Used by round-trip tests (`parse_source(print(ast))`) and by callers
+/// that want to interpret or transform a program before committing to
+/// [`sema::check`].
+///
+/// # Errors
+///
+/// Returns lexer or parser errors with source positions.
+pub fn parse_source(source: &str) -> Result<ast::Program, CcError> {
+    let tokens = lexer::lex(source)?;
+    parser::parse(&tokens)
 }
 
 /// A position in MiniC source (1-based line and column).

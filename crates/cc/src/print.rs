@@ -1,0 +1,353 @@
+//! MiniC pretty-printer — the inverse of the parser.
+//!
+//! [`fn@print`] renders an AST back to `.mc` source text that the real lexer
+//! and parser accept. Nested expressions are fully parenthesised, so the
+//! output is a *fixed point* of `print ∘ parse`: for any program `p`
+//! produced by [`crate::parse_source`] or by the workload generator,
+//!
+//! ```text
+//! print(parse(print(p))) == print(p)
+//! ```
+//!
+//! That property (checked string-wise, since [`crate::Pos`] takes part in
+//! AST equality) is what the round-trip differential tests lean on: the
+//! printed source must re-parse, re-check and compile to the *same object
+//! module* as the direct AST path.
+//!
+//! Two deliberate normalisations keep the fixed point exact:
+//!
+//! * `-(literal)` folds to a negative literal, mirroring the parser's
+//!   constant folding of unary minus;
+//! * every statement body prints with braces, mirroring how the parser
+//!   desugars single-statement bodies into `Vec<Stmt>`.
+
+use crate::ast::{BinOp, Expr, Func, Global, Program, Stmt, Type, UnOp};
+use std::fmt::Write;
+
+/// Renders a program as parseable `.mc` source text.
+#[must_use]
+pub fn print(program: &Program) -> String {
+    let mut out = String::new();
+    for g in &program.globals {
+        print_global(&mut out, g);
+    }
+    if !program.globals.is_empty() && !program.funcs.is_empty() {
+        out.push('\n');
+    }
+    for (i, f) in program.funcs.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        print_func(&mut out, f);
+    }
+    out
+}
+
+fn type_str(ty: Type) -> &'static str {
+    match ty {
+        Type::Int => "int",
+        Type::Short => "short",
+        Type::Char => "char",
+        Type::Void => "void",
+    }
+}
+
+fn print_global(out: &mut String, g: &Global) {
+    let _ = write!(out, "{} {}", type_str(g.ty), g.name);
+    if let Some(len) = g.array_len {
+        let _ = write!(out, "[{len}]");
+    }
+    if !g.init.is_empty() {
+        if g.array_len.is_some() {
+            out.push_str(" = {");
+            for (i, v) in g.init.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{v}");
+            }
+            out.push('}');
+        } else {
+            let _ = write!(out, " = {}", g.init[0]);
+        }
+    }
+    out.push_str(";\n");
+}
+
+fn print_func(out: &mut String, f: &Func) {
+    let _ = write!(out, "{} {}(", type_str(f.ret), f.name);
+    for (i, (name, ty)) in f.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{} {}", type_str(*ty), name);
+    }
+    out.push_str(") {\n");
+    for s in &f.body {
+        print_stmt(out, s, 1);
+    }
+    out.push_str("}\n");
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("    ");
+    }
+}
+
+fn print_body(out: &mut String, body: &[Stmt], depth: usize) {
+    out.push_str("{\n");
+    for s in body {
+        print_stmt(out, s, depth + 1);
+    }
+    indent(out, depth);
+    out.push('}');
+}
+
+fn print_stmt(out: &mut String, s: &Stmt, depth: usize) {
+    indent(out, depth);
+    match s {
+        Stmt::Decl { name, ty, init, .. } => {
+            let _ = write!(out, "{} {}", type_str(*ty), name);
+            if let Some(e) = init {
+                let _ = write!(out, " = {}", expr_str(e));
+            }
+            out.push_str(";\n");
+        }
+        Stmt::Expr(e) => {
+            let _ = writeln!(out, "{};", expr_str(e));
+        }
+        Stmt::If {
+            cond, then, else_, ..
+        } => {
+            let _ = write!(out, "if ({}) ", expr_str(cond));
+            print_body(out, then, depth);
+            if else_.is_empty() {
+                out.push('\n');
+            } else {
+                out.push_str(" else ");
+                print_body(out, else_, depth);
+                out.push('\n');
+            }
+        }
+        Stmt::While { cond, body, .. } => {
+            let _ = write!(out, "while ({}) ", expr_str(cond));
+            print_body(out, body, depth);
+            out.push('\n');
+        }
+        Stmt::DoWhile { body, cond, .. } => {
+            out.push_str("do ");
+            print_body(out, body, depth);
+            let _ = writeln!(out, " while ({});", expr_str(cond));
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            ..
+        } => {
+            out.push_str("for (");
+            if let Some(init) = init {
+                print_for_init(out, init);
+            }
+            out.push(';');
+            if let Some(c) = cond {
+                let _ = write!(out, " {}", expr_str(c));
+            }
+            out.push(';');
+            if let Some(st) = step {
+                let _ = write!(out, " {}", expr_str(st));
+            }
+            out.push_str(") ");
+            print_body(out, body, depth);
+            out.push('\n');
+        }
+        Stmt::Return { value, .. } => match value {
+            Some(e) => {
+                let _ = writeln!(out, "return {};", expr_str(e));
+            }
+            None => out.push_str("return;\n"),
+        },
+        Stmt::Break { .. } => out.push_str("break;\n"),
+        Stmt::Continue { .. } => out.push_str("continue;\n"),
+        Stmt::LoopBound { bound, .. } => {
+            let _ = writeln!(out, "__loopbound({bound});");
+        }
+        Stmt::LoopTotal { total, .. } => {
+            let _ = writeln!(out, "__looptotal({total});");
+        }
+        Stmt::Block(body) => {
+            print_body(out, body, depth);
+            out.push('\n');
+        }
+    }
+}
+
+/// A `for`-header initialiser is a bare statement without the trailing
+/// `;` (the parser only ever puts an expression statement here).
+fn print_for_init(out: &mut String, s: &Stmt) {
+    match s {
+        Stmt::Expr(e) => {
+            let _ = write!(out, "{}", expr_str(e));
+        }
+        other => {
+            // Defensive: no parser or generator path produces this.
+            let mut tmp = String::new();
+            print_stmt(&mut tmp, other, 0);
+            out.push_str(tmp.trim_end().trim_end_matches(';'));
+        }
+    }
+}
+
+fn bin_op_str(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Rem => "%",
+        BinOp::And => "&",
+        BinOp::Or => "|",
+        BinOp::Xor => "^",
+        BinOp::Shl => "<<",
+        BinOp::Shr => ">>",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::LogAnd => "&&",
+        BinOp::LogOr => "||",
+    }
+}
+
+fn un_op_str(op: UnOp) -> &'static str {
+    match op {
+        UnOp::Neg => "-",
+        UnOp::Not => "!",
+        UnOp::BitNot => "~",
+    }
+}
+
+/// Prints an expression without outer parentheses (statement/condition/
+/// index/argument position).
+fn expr_str(e: &Expr) -> String {
+    match e {
+        Expr::Num { value, .. } => value.to_string(),
+        Expr::Var { name, .. } => name.clone(),
+        Expr::Index { name, index, .. } => format!("{}[{}]", name, expr_str(index)),
+        Expr::Assign { lhs, rhs, .. } => {
+            // Assignment is right-associative and lowest-precedence, so
+            // the rhs needs no parentheses even when it is itself an
+            // assignment or binary expression.
+            format!("{} = {}", expr_str(lhs), expr_str(rhs))
+        }
+        Expr::Bin { op, lhs, rhs, .. } => {
+            format!("{} {} {}", atom_str(lhs), bin_op_str(*op), atom_str(rhs))
+        }
+        Expr::Un { op, operand, .. } => match (op, operand.as_ref()) {
+            // Mirror the parser's folding of unary minus on literals so
+            // the printed text is a fixed point of print ∘ parse.
+            (UnOp::Neg, Expr::Num { value, .. }) => (-value).to_string(),
+            _ => format!("{}{}", un_op_str(*op), atom_str(operand)),
+        },
+        Expr::Call { name, args, .. } => {
+            let args: Vec<String> = args.iter().map(expr_str).collect();
+            format!("{}({})", name, args.join(", "))
+        }
+    }
+}
+
+/// Prints an expression as an operand: composite expressions get
+/// parenthesised so re-parsing cannot reassociate them.
+fn atom_str(e: &Expr) -> String {
+    match e {
+        Expr::Num { .. } | Expr::Var { .. } | Expr::Index { .. } | Expr::Call { .. } => expr_str(e),
+        Expr::Un {
+            op: UnOp::Neg,
+            operand,
+            ..
+        } if matches!(operand.as_ref(), Expr::Num { .. }) => expr_str(e),
+        Expr::Assign { .. } | Expr::Bin { .. } | Expr::Un { .. } => format!("({})", expr_str(e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{codegen, parse_source, sema};
+
+    fn roundtrip(src: &str) {
+        let p1 = parse_source(src).expect("parse original");
+        let text1 = print(&p1);
+        let p2 = parse_source(&text1)
+            .unwrap_or_else(|e| panic!("printed source does not re-parse: {e}\n{text1}"));
+        let text2 = print(&p2);
+        assert_eq!(text1, text2, "print ∘ parse is not a fixed point");
+        // Both ASTs must compile to the same object module.
+        let m1 = codegen::generate(&sema::check(&p1).expect("sema original")).expect("gen 1");
+        let m2 = codegen::generate(&sema::check(&p2).expect("sema reparsed")).expect("gen 2");
+        assert_eq!(m1, m2, "reparsed AST compiles differently");
+    }
+
+    #[test]
+    fn roundtrips_globals_and_initialisers() {
+        roundtrip(
+            "int a;\nshort b = -3;\nchar c[8] = {1, -2, 127};\nint d[16];\n\
+             void main() { a = c[0] + b; }",
+        );
+    }
+
+    #[test]
+    fn roundtrips_control_flow() {
+        roundtrip(
+            "int total; int data[8] = {5, 3, 1};\n\
+             int sum(int lo, int hi) {\n\
+               int i; int acc;\n\
+               acc = 0;\n\
+               for (i = lo; i < hi; i = i + 1) { __loopbound(8); acc = acc + data[i & 7]; }\n\
+               i = 0;\n\
+               do { __loopbound(3); acc = acc - 1; i = i + 1; } while (i < 3);\n\
+               while (acc > 100) { __loopbound(4); acc = acc >> 1; }\n\
+               if (acc < 0) { acc = -acc; } else { acc = acc + 1; }\n\
+               return acc;\n\
+             }\n\
+             void main() { total = sum(0, 8); if (total) { total = total ^ 21; } }",
+        );
+    }
+
+    #[test]
+    fn roundtrips_expression_zoo() {
+        roundtrip(
+            "int g;\n\
+             void main() {\n\
+               int x; int y;\n\
+               x = 3; y = -2147483648;\n\
+               g = ((x + y) * 3 - ~x) / (y | 1) % 7;\n\
+               g = (x << 2) >> (y & 31);\n\
+               g = !(x == y) + (x != y) && (x <= y) || (x >= y);\n\
+               g = x = y = 5;\n\
+               { g = g + 1; }\n\
+               ;\n\
+             }",
+        );
+    }
+
+    #[test]
+    fn folds_negated_literals() {
+        use crate::ast::{Expr, UnOp};
+        use crate::Pos;
+        let e = Expr::Un {
+            op: UnOp::Neg,
+            operand: Box::new(Expr::Num {
+                value: 5,
+                pos: Pos::default(),
+            }),
+            pos: Pos::default(),
+        };
+        assert_eq!(expr_str(&e), "-5");
+        assert_eq!(atom_str(&e), "-5");
+    }
+}

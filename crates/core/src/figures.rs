@@ -52,7 +52,7 @@ pub struct Table2Row {
 /// # Errors
 ///
 /// Propagates compiler failures.
-pub fn table2(benchmarks: &[&'static Benchmark]) -> Result<Vec<Table2Row>, CoreError> {
+pub fn table2(benchmarks: &[&Benchmark]) -> Result<Vec<Table2Row>, CoreError> {
     benchmarks
         .iter()
         .map(|b| {
@@ -87,7 +87,7 @@ impl Figure3 {
     /// # Errors
     ///
     /// Propagates pipeline failures.
-    pub fn run(benchmark: &'static Benchmark, sizes: &[u32]) -> Result<Figure3, CoreError> {
+    pub fn run(benchmark: &Benchmark, sizes: &[u32]) -> Result<Figure3, CoreError> {
         let pipeline = Pipeline::new(benchmark)?;
         Ok(Figure3 {
             benchmark: benchmark.name.to_string(),
@@ -120,11 +120,15 @@ impl Tightness {
     ///
     /// # Errors
     ///
-    /// Pipeline failures, or a panic if the benchmark has no worst input.
-    pub fn run(benchmark: &'static Benchmark, spm_size: u32) -> Result<Tightness, CoreError> {
-        let worst = (benchmark
-            .worst_input
-            .expect("benchmark has a worst-case input"))();
+    /// [`CoreError::NoWorstInput`] when the benchmark defines no
+    /// worst-case input (e.g. every generated benchmark), and pipeline
+    /// failures otherwise.
+    pub fn run(benchmark: &Benchmark, spm_size: u32) -> Result<Tightness, CoreError> {
+        let worst = benchmark
+            .worst_input()
+            .ok_or_else(|| CoreError::NoWorstInput {
+                benchmark: benchmark.name.to_string(),
+            })?;
         let pipeline = Pipeline::with_input(benchmark, worst)?;
         let r = pipeline.run(&MemArchSpec::spm(spm_size))?;
         Ok(Tightness {
@@ -197,7 +201,7 @@ impl FigureHierarchy {
     /// Propagates pipeline failures; when individual points fail, the
     /// error is [`CoreError::Sweep`] carrying the completed points.
     pub fn run(
-        benchmark: &'static Benchmark,
+        benchmark: &Benchmark,
         spm_size: u32,
         configs: &[MemHierarchyConfig],
     ) -> Result<FigureHierarchy, CoreError> {
@@ -227,7 +231,7 @@ impl FigureHierarchy {
     /// [`CoreError`] for failures outside point isolation: pipeline
     /// construction and checkpoint I/O.
     pub fn run_with_session(
-        benchmark: &'static Benchmark,
+        benchmark: &Benchmark,
         spm_size: u32,
         configs: &[MemHierarchyConfig],
         session: &SweepSession,
@@ -354,7 +358,7 @@ impl FigureSpmHierarchy {
     ///
     /// Propagates pipeline failures.
     pub fn run(
-        benchmark: &'static Benchmark,
+        benchmark: &Benchmark,
         spm_sizes: &[u32],
         machines: &[MemHierarchyConfig],
     ) -> Result<FigureSpmHierarchy, CoreError> {
@@ -396,6 +400,23 @@ impl FigureSpmHierarchy {
 mod tests {
     use super::*;
     use spmlab_workloads::{paper_benchmarks, INSERTSORT};
+
+    #[test]
+    fn tightness_without_worst_input_is_a_typed_error() {
+        // Generated benchmarks never define a worst-case input; asking
+        // for the tightness experiment must yield the typed error, not a
+        // panic.
+        let g =
+            spmlab_workloads::gen::generate_for_seed(0, &spmlab_workloads::gen::reference_arch());
+        let b = g.benchmark();
+        match Tightness::run(&b, 0) {
+            Err(CoreError::NoWorstInput { benchmark }) => {
+                assert_eq!(benchmark, b.name.as_ref());
+            }
+            Err(e) => panic!("expected NoWorstInput, got: {e}"),
+            Ok(_) => panic!("expected NoWorstInput, got a result"),
+        }
+    }
 
     #[test]
     fn table1_matches_paper() {

@@ -84,6 +84,21 @@ pub enum CoreError {
         expected: i32,
         got: i32,
     },
+    /// [`figures::Tightness`] needs a worst-case input the benchmark
+    /// does not define (generated benchmarks never do).
+    NoWorstInput {
+        /// The benchmark without a worst-case input.
+        benchmark: String,
+    },
+    /// The benchmark's reference oracle failed to produce a checksum
+    /// (an interpreter oracle hit its step budget or the program has no
+    /// `checksum` global).
+    Oracle {
+        /// The benchmark whose oracle failed.
+        benchmark: String,
+        /// What went wrong.
+        reason: String,
+    },
     /// A fault injected by the test-only [`faults`] harness (never
     /// produced outside `--features fault-injection` builds).
     Injected(String),
@@ -112,6 +127,12 @@ impl std::fmt::Display for CoreError {
                     "{benchmark}: checksum mismatch (expected {expected}, got {got})"
                 )
             }
+            CoreError::NoWorstInput { benchmark } => {
+                write!(f, "{benchmark}: no worst-case input defined")
+            }
+            CoreError::Oracle { benchmark, reason } => {
+                write!(f, "{benchmark}: reference oracle failed: {reason}")
+            }
             CoreError::Injected(m) => write!(f, "injected fault: {m}"),
             CoreError::Checkpoint(m) => write!(f, "checkpoint: {m}"),
             CoreError::Sweep(fail) => write!(f, "{fail}"),
@@ -128,6 +149,8 @@ impl std::error::Error for CoreError {
             CoreError::Spec(e) => Some(e),
             CoreError::Alloc(e) => Some(e),
             CoreError::ChecksumMismatch { .. }
+            | CoreError::NoWorstInput { .. }
+            | CoreError::Oracle { .. }
             | CoreError::Injected(_)
             | CoreError::Checkpoint(_)
             | CoreError::Sweep(_) => None,

@@ -94,7 +94,7 @@ struct SpmArtifacts {
 /// (exactly the paper's workflow — the knapsack uses the same access
 /// counts for every capacity).
 pub struct Pipeline {
-    benchmark: &'static Benchmark,
+    benchmark: Benchmark,
     module: ObjModule,
     input: Vec<i32>,
     expected_checksum: i32,
@@ -124,20 +124,20 @@ impl Pipeline {
     /// # Errors
     ///
     /// Compile, link or baseline-simulation failures.
-    pub fn new(benchmark: &'static Benchmark) -> Result<Pipeline, CoreError> {
-        Pipeline::with_input(benchmark, (benchmark.typical_input)())
+    pub fn new(benchmark: &Benchmark) -> Result<Pipeline, CoreError> {
+        Pipeline::with_input(benchmark, benchmark.typical_input())
     }
 
     /// Prepares `benchmark` with a custom input (e.g. the worst case).
     ///
+    /// The pipeline clones the benchmark, so generated (owned) benchmark
+    /// values work exactly like the shipped statics.
+    ///
     /// # Errors
     ///
     /// Compile, link or baseline-simulation failures.
-    pub fn with_input(
-        benchmark: &'static Benchmark,
-        input: Vec<i32>,
-    ) -> Result<Pipeline, CoreError> {
-        let _prep = spmlab_obs::span_labeled("prepare", benchmark.name);
+    pub fn with_input(benchmark: &Benchmark, input: Vec<i32>) -> Result<Pipeline, CoreError> {
+        let _prep = spmlab_obs::span_labeled("prepare", &benchmark.name);
         let module = {
             let _s = spmlab_obs::span("compile");
             crate::faults::fault_point("compile")?;
@@ -162,7 +162,13 @@ impl Pipeline {
             ..sim_options.clone()
         };
         let (res, trace) = simulate_with_trace(&baseline.exe, &baseline_options)?;
-        let expected_checksum = (benchmark.reference_checksum)(&input);
+        let expected_checksum =
+            benchmark
+                .try_reference_checksum(&input)
+                .map_err(|e| CoreError::Oracle {
+                    benchmark: benchmark.name.to_string(),
+                    reason: e,
+                })?;
         let got = res
             .read_global(&baseline.exe, "checksum")
             .unwrap_or(expected_checksum.wrapping_add(1));
@@ -174,7 +180,7 @@ impl Pipeline {
             });
         }
         Ok(Pipeline {
-            benchmark,
+            benchmark: benchmark.clone(),
             module,
             input,
             expected_checksum,
@@ -214,8 +220,8 @@ impl Pipeline {
     }
 
     /// The benchmark under test.
-    pub fn benchmark(&self) -> &'static Benchmark {
-        self.benchmark
+    pub fn benchmark(&self) -> &Benchmark {
+        &self.benchmark
     }
 
     /// The compiled module (for size accounting).

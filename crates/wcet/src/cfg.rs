@@ -232,7 +232,15 @@ pub fn build_cfg(exe: &Executable, sym: &Symbol) -> Result<FuncCfg, WcetError> {
                 Insn::B { off } => b.succs = vec![addr.wrapping_add(4).wrapping_add(*off as u32)],
                 Insn::BCond { off, .. } => {
                     let t = addr.wrapping_add(4).wrapping_add(*off as u32);
-                    b.succs = vec![t, addr + size];
+                    // A conditional branch targeting its own fallthrough
+                    // (e.g. from short-circuit lowering of `(x || 1) && y`)
+                    // has one real successor; a duplicated edge would
+                    // double-count flow in the IPET model.
+                    b.succs = if t == addr + size {
+                        vec![t]
+                    } else {
+                        vec![t, addr + size]
+                    };
                 }
                 Insn::Ret | Insn::Pop { pc: true, .. } | Insn::Swi { imm: 0 } => {
                     b.is_exit = true;

@@ -1,0 +1,1679 @@
+//! Seeded random MiniC program generator + delta-debugging shrinker.
+//!
+//! [`generate`] turns `(seed, FootprintClass, MemArchSpec)` into a
+//! well-typed MiniC program emitted three ways from the one seed:
+//!
+//! 1. an AST ([`GeneratedProgram::program`]) interpreted via
+//!    [`spmlab_cc::interp`] for reference semantics,
+//! 2. `.mc` source text ([`GeneratedProgram::source`], exactly
+//!    [`fn@spmlab_cc::print`] of the AST) that round-trips through the real
+//!    lexer/parser, and
+//! 3. a synthetic [`Benchmark`] ([`GeneratedProgram::benchmark`]) that
+//!    flows through the whole pipeline — `Pipeline::run(&spec)`, WCET
+//!    analysis, sweeps — like any shipped kernel.
+//!
+//! ## Guaranteed invariants (the exact-bound annotation contract)
+//!
+//! * Every loop is a counter loop `i = 0; …; i < N; i = i + 1` over a
+//!   reserved counter the body never writes, with no `break`/`continue`,
+//!   so each loop executes **exactly** its `__loopbound(N)` per entry —
+//!   the annotation is exact, not just an upper bound. `__looptotal` is
+//!   only emitted on non-nested loops, where the per-call total equals N.
+//! * Every array index is masked `expr & (len - 1)` with a power-of-two
+//!   length, so accesses are in bounds for any expression value.
+//! * The call graph is acyclic by construction: functions are generated
+//!   deepest level first and only ever call already-generated functions.
+//! * Calls appear only in statement position (`x = f(…);`) with pure
+//!   argument expressions, so evaluation-order differences cannot masquerade
+//!   as miscompiles.
+//! * The input array's initialiser holds the same values
+//!   [`Benchmark::link_with_input`] patches into the image, so interp,
+//!   reparsed source, and simulation observe identical data.
+//!
+//! Array footprints are sized from the [`FootprintClass`] knob against a
+//! [`MemArchSpec`], so generated programs deliberately fit in, straddle,
+//! or exceed each cache level.
+//!
+//! [`shrink`] is a generic greedy delta-debugger over any failure
+//! predicate: it drops statements and functions, halves trip counts
+//! (keeping `__loopbound` in sync), narrows arrays (re-masking their
+//! indices), and prunes unused globals until a fixed point.
+//! [`inject_miscompile`] plants a classic wrong "optimisation"
+//! (`x / 2^k` → `x >> k`, incorrect for negative `x`) used to prove the
+//! fuzzing harness end to end.
+
+use crate::{Benchmark, InputGen, Reference};
+use spmlab_cc::ast::{BinOp, Expr, Func, Global, Program, Stmt, Type, UnOp};
+use spmlab_cc::{print, sema, Pos};
+use spmlab_isa::archspec::MemArchSpec;
+use spmlab_isa::cachecfg::CacheConfig;
+use spmlab_isa::hierarchy::MemHierarchyConfig;
+use std::borrow::Cow;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------
+// Deterministic RNG (SplitMix64).
+// ---------------------------------------------------------------------
+
+#[derive(Clone)]
+struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng {
+            state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+
+    fn range_i32(&mut self, lo: i32, hi: i32) -> i32 {
+        // i64 arithmetic: the span can exceed i32::MAX (e.g. ±2^30).
+        let span = (i64::from(hi) - i64::from(lo) + 1) as u64;
+        (i64::from(lo) + self.below(span) as i64) as i32
+    }
+
+    fn chance(&mut self, pct: u64) -> bool {
+        self.below(100) < pct
+    }
+
+    fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.below(xs.len() as u64) as usize]
+    }
+}
+
+// ---------------------------------------------------------------------
+// Footprint classes.
+// ---------------------------------------------------------------------
+
+/// Sizes a generated program's global-array footprint relative to the
+/// cache levels of a [`MemArchSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FootprintClass {
+    /// Data fits comfortably inside the (data-serving) L1.
+    FitsL1,
+    /// Data exceeds the L1 but fits inside the L2.
+    StraddlesL1,
+    /// Data exceeds the L2 capacity by half.
+    StraddlesL2,
+    /// Data is several times the L2 capacity.
+    ExceedsL2,
+}
+
+impl FootprintClass {
+    /// All classes, in increasing footprint order.
+    pub const ALL: [FootprintClass; 4] = [
+        FootprintClass::FitsL1,
+        FootprintClass::StraddlesL1,
+        FootprintClass::StraddlesL2,
+        FootprintClass::ExceedsL2,
+    ];
+
+    /// Deterministic class for a seed (cycles through [`Self::ALL`]).
+    #[must_use]
+    pub fn for_seed(seed: u64) -> FootprintClass {
+        Self::ALL[(seed % 4) as usize]
+    }
+
+    /// Kebab-case label (used in generated benchmark names).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FootprintClass::FitsL1 => "fits-l1",
+            FootprintClass::StraddlesL1 => "straddles-l1",
+            FootprintClass::StraddlesL2 => "straddles-l2",
+            FootprintClass::ExceedsL2 => "exceeds-l2",
+        }
+    }
+
+    /// Target global-array bytes for this class under `arch`. Nominal
+    /// level sizes (L1 1 KiB, L2 8×L1) stand in for absent levels so the
+    /// knob stays meaningful on uncached machines; the result is capped
+    /// so folds and simulation stay fast.
+    #[must_use]
+    pub fn data_budget(self, arch: &MemArchSpec) -> u32 {
+        let h = arch.hierarchy();
+        let l1d = h.l1_for(false).map_or(1024, |c| c.size).max(256);
+        let l2 = arch.l2.as_ref().map_or(l1d * 8, |c| c.size).max(l1d);
+        let bytes = match self {
+            FootprintClass::FitsL1 => (l1d / 2).max(128),
+            FootprintClass::StraddlesL1 => (l1d * 2).min(l2),
+            FootprintClass::StraddlesL2 => l2 + l2 / 2,
+            FootprintClass::ExceedsL2 => l2 * 4,
+        };
+        bytes.clamp(128, 64 * 1024)
+    }
+}
+
+/// The fixed architecture the golden corpus and the default test matrix
+/// size footprints against: split 512 B L1 halves over a 4 KiB L2.
+#[must_use]
+pub fn reference_arch() -> MemArchSpec {
+    let h = MemHierarchyConfig::split_l1(512, 512).with_l2(CacheConfig::l2(4096));
+    MemArchSpec::from_hierarchy(&h)
+}
+
+// ---------------------------------------------------------------------
+// Generated program.
+// ---------------------------------------------------------------------
+
+/// One seeded program, emitted as AST + source + synthetic benchmark.
+#[derive(Clone)]
+pub struct GeneratedProgram {
+    /// The generating seed.
+    pub seed: u64,
+    /// The footprint class the arrays were sized for.
+    pub class: FootprintClass,
+    /// The AST (reference semantics via [`spmlab_cc::interp`]).
+    pub program: Program,
+    /// `.mc` source text — exactly `print(&self.program)`.
+    pub source: String,
+    /// The pinned input vector (also baked into the AST's `input` init).
+    pub input: Arc<Vec<i32>>,
+    /// Estimated interpreter steps for one run (loops multiplied out).
+    pub steps_estimate: u64,
+}
+
+impl GeneratedProgram {
+    /// The benchmark name, e.g. `gen-002a-exceeds-l2`.
+    #[must_use]
+    pub fn name(&self) -> String {
+        format!("gen-{:04x}-{}", self.seed, self.class.label())
+    }
+
+    /// Packages the program as a pipeline-ready [`Benchmark`] with a
+    /// fixed input and the interpreter as its semantic oracle.
+    #[must_use]
+    pub fn benchmark(&self) -> Benchmark {
+        Benchmark {
+            name: Cow::Owned(self.name()),
+            description: Cow::Owned(format!(
+                "seeded MiniC program (seed {}, {} footprint)",
+                self.seed,
+                self.class.label()
+            )),
+            source: Cow::Owned(self.source.clone()),
+            input_global: Cow::Borrowed(INPUT_GLOBAL),
+            count_global: Cow::Borrowed(COUNT_GLOBAL),
+            typical_input: InputGen::Fixed(Arc::clone(&self.input)),
+            worst_input: None,
+            reference_checksum: Reference::Interp {
+                program: Arc::new(self.program.clone()),
+                max_steps: self.steps_estimate * 4 + 100_000,
+            },
+        }
+    }
+}
+
+/// The input-array global every generated program declares.
+pub const INPUT_GLOBAL: &str = "input";
+/// The element-count global every generated program declares.
+pub const COUNT_GLOBAL: &str = "n_samples";
+/// Elements in the pinned input vector.
+const INPUT_LEN: u32 = 64;
+/// Per-call dynamic step budget for a generated helper function.
+const FUNC_BUDGET: u64 = 4_000;
+/// Dynamic step budget for `main`'s own statements (before the folds).
+const MAIN_BUDGET: u64 = 10_000;
+/// Longest loop the generator emits (fold/walk loops are capped here).
+const MAX_TRIP: u32 = 4_096;
+
+// ---------------------------------------------------------------------
+// AST construction helpers (all positions defaulted).
+// ---------------------------------------------------------------------
+
+fn num(v: i64) -> Expr {
+    Expr::Num {
+        value: v,
+        pos: Pos::default(),
+    }
+}
+
+fn var(name: &str) -> Expr {
+    Expr::Var {
+        name: name.to_string(),
+        pos: Pos::default(),
+    }
+}
+
+fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+    Expr::Bin {
+        op,
+        lhs: Box::new(lhs),
+        rhs: Box::new(rhs),
+        pos: Pos::default(),
+    }
+}
+
+fn assign(lhs: Expr, rhs: Expr) -> Expr {
+    Expr::Assign {
+        lhs: Box::new(lhs),
+        rhs: Box::new(rhs),
+        pos: Pos::default(),
+    }
+}
+
+/// `name[(inner) & mask]` — the only array-access shape the generator
+/// emits; the shrinker's array narrowing rewrites exactly this shape.
+fn index_masked(name: &str, inner: Expr, mask: i64) -> Expr {
+    Expr::Index {
+        name: name.to_string(),
+        index: Box::new(bin(BinOp::And, inner, num(mask))),
+        pos: Pos::default(),
+    }
+}
+
+fn estmt(e: Expr) -> Stmt {
+    Stmt::Expr(e)
+}
+
+fn decl(name: &str, ty: Type, init: i64) -> Stmt {
+    Stmt::Decl {
+        name: name.to_string(),
+        ty,
+        init: Some(num(init)),
+        pos: Pos::default(),
+    }
+}
+
+/// `for (c = 0; c < trip; c = c + 1) { __loopbound(trip); body… }`.
+fn counter_for(counter: &str, trip: u32, body: Vec<Stmt>) -> Stmt {
+    let mut full = vec![Stmt::LoopBound {
+        bound: trip,
+        pos: Pos::default(),
+    }];
+    full.extend(body);
+    Stmt::For {
+        init: Some(Box::new(estmt(assign(var(counter), num(0))))),
+        cond: Some(bin(BinOp::Lt, var(counter), num(i64::from(trip)))),
+        step: Some(assign(var(counter), bin(BinOp::Add, var(counter), num(1)))),
+        body: full,
+        pos: Pos::default(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// The generator.
+// ---------------------------------------------------------------------
+
+#[derive(Clone)]
+struct ArrayInfo {
+    name: String,
+    len: u32,
+    writable: bool,
+}
+
+#[derive(Clone)]
+struct FuncSig {
+    name: String,
+    n_params: usize,
+    cost: u64,
+}
+
+struct Ctx<'a> {
+    callable: &'a [FuncSig],
+    params: Vec<String>,
+    depth: usize,
+    trip_product: u64,
+    budget: u64,
+}
+
+impl Ctx<'_> {
+    fn spend(&mut self, per_iteration_cost: u64) {
+        self.budget = self
+            .budget
+            .saturating_sub(per_iteration_cost * self.trip_product);
+    }
+}
+
+struct Gen {
+    rng: Rng,
+    arrays: Vec<ArrayInfo>,
+    scalars: Vec<String>,
+}
+
+const LOCALS: [&str; 3] = ["x0", "x1", "x2"];
+const COUNTERS: [&str; 3] = ["i0", "i1", "i2"];
+
+impl Gen {
+    // ---- expressions -------------------------------------------------
+
+    fn gen_leaf(&mut self, ctx: &Ctx) -> Expr {
+        match self.rng.below(10) {
+            0..=3 => {
+                if self.rng.chance(10) {
+                    num(i64::from(self.rng.range_i32(-(1 << 30), 1 << 30)))
+                } else {
+                    num(i64::from(self.rng.range_i32(-64, 64)))
+                }
+            }
+            4..=7 => {
+                let mut pool: Vec<&str> = ctx.params.iter().map(String::as_str).collect();
+                pool.extend(LOCALS);
+                pool.extend(self.scalars.iter().map(String::as_str));
+                pool.push("checksum");
+                pool.extend(&COUNTERS[..ctx.depth.min(COUNTERS.len())]);
+                let i = self.rng.below(pool.len() as u64) as usize;
+                var(pool[i])
+            }
+            _ => {
+                let a = self.rng.pick(&self.arrays).clone();
+                let inner = if self.rng.chance(50) {
+                    num(i64::from(self.rng.range_i32(0, 255)))
+                } else {
+                    let mut pool: Vec<&str> = ctx.params.iter().map(String::as_str).collect();
+                    pool.extend(LOCALS);
+                    pool.extend(&COUNTERS[..ctx.depth.min(COUNTERS.len())]);
+                    if pool.is_empty() {
+                        num(1)
+                    } else {
+                        let i = self.rng.below(pool.len() as u64) as usize;
+                        var(pool[i])
+                    }
+                };
+                index_masked(&a.name, inner, i64::from(a.len - 1))
+            }
+        }
+    }
+
+    fn gen_expr(&mut self, ctx: &Ctx, depth: u32) -> Expr {
+        if depth == 0 || self.rng.chance(30) {
+            return self.gen_leaf(ctx);
+        }
+        match self.rng.below(10) {
+            0..=6 => {
+                const OPS: [BinOp; 18] = [
+                    BinOp::Add,
+                    BinOp::Sub,
+                    BinOp::Mul,
+                    BinOp::Div,
+                    BinOp::Rem,
+                    BinOp::And,
+                    BinOp::Or,
+                    BinOp::Xor,
+                    BinOp::Shl,
+                    BinOp::Shr,
+                    BinOp::Eq,
+                    BinOp::Ne,
+                    BinOp::Lt,
+                    BinOp::Le,
+                    BinOp::Gt,
+                    BinOp::Ge,
+                    BinOp::LogAnd,
+                    BinOp::LogOr,
+                ];
+                let op = *self.rng.pick(&OPS);
+                let lhs = self.gen_expr(ctx, depth - 1);
+                let rhs = match op {
+                    // Divisions by power-of-two constants are the trigger
+                    // material for `inject_miscompile`.
+                    BinOp::Div if self.rng.chance(60) => {
+                        num(i64::from(*self.rng.pick(&[2, 4, 8, 16, 32])))
+                    }
+                    BinOp::Rem if self.rng.chance(50) => {
+                        num(i64::from(*self.rng.pick(&[3, 5, 7, 10])))
+                    }
+                    // Shift amounts past 31 exercise the saturation rule.
+                    BinOp::Shl | BinOp::Shr if self.rng.chance(70) => {
+                        num(self.rng.below(35) as i64)
+                    }
+                    _ => self.gen_expr(ctx, depth - 1),
+                };
+                bin(op, lhs, rhs)
+            }
+            7 | 8 => {
+                let op = *self.rng.pick(&[UnOp::Neg, UnOp::Not, UnOp::BitNot]);
+                let operand = self.gen_expr(ctx, depth - 1);
+                // Fold -literal like the parser does, so the direct AST
+                // and the reparsed printed source compile identically.
+                if let (UnOp::Neg, Expr::Num { value, .. }) = (op, &operand) {
+                    num(-*value)
+                } else {
+                    Expr::Un {
+                        op,
+                        operand: Box::new(operand),
+                        pos: Pos::default(),
+                    }
+                }
+            }
+            _ => {
+                let a = self.rng.pick(&self.arrays).clone();
+                let inner = self.gen_leaf(ctx);
+                index_masked(&a.name, inner, i64::from(a.len - 1))
+            }
+        }
+    }
+
+    fn assign_target(&mut self) -> Expr {
+        let mut pool: Vec<&str> = LOCALS.to_vec();
+        pool.extend(self.scalars.iter().map(String::as_str));
+        pool.push("checksum");
+        let i = self.rng.below(pool.len() as u64) as usize;
+        var(pool[i])
+    }
+
+    // ---- statements --------------------------------------------------
+
+    fn gen_stmts(&mut self, ctx: &mut Ctx<'_>, n: usize) -> Vec<Stmt> {
+        let mut out = Vec::new();
+        for _ in 0..n {
+            out.extend(self.gen_stmt(ctx));
+        }
+        out
+    }
+
+    fn gen_stmt(&mut self, ctx: &mut Ctx<'_>) -> Vec<Stmt> {
+        let roll = self.rng.below(100);
+        match roll {
+            0..=24 => {
+                ctx.spend(2);
+                let tgt = self.assign_target();
+                let rhs = self.gen_expr(ctx, 2);
+                vec![estmt(assign(tgt, rhs))]
+            }
+            25..=39 => {
+                ctx.spend(2);
+                let writable: Vec<ArrayInfo> =
+                    self.arrays.iter().filter(|a| a.writable).cloned().collect();
+                let a = self.rng.pick(&writable).clone();
+                let inner = self.gen_expr(ctx, 1);
+                let rhs = self.gen_expr(ctx, 2);
+                vec![estmt(assign(
+                    index_masked(&a.name, inner, i64::from(a.len - 1)),
+                    rhs,
+                ))]
+            }
+            40..=49 => {
+                ctx.spend(2);
+                let k = i64::from(*self.rng.pick(&[17, 31, 33]));
+                let mixed = self.gen_expr(ctx, 1);
+                vec![estmt(assign(
+                    var("checksum"),
+                    bin(BinOp::Add, bin(BinOp::Mul, var("checksum"), num(k)), mixed),
+                ))]
+            }
+            50..=61 => {
+                ctx.spend(3);
+                let cond = self.gen_expr(ctx, 2);
+                let n_then = 1 + self.rng.below(2) as usize;
+                let then = self.gen_stmts(ctx, n_then);
+                let else_ = if self.rng.chance(50) {
+                    self.gen_stmts(ctx, 1)
+                } else {
+                    Vec::new()
+                };
+                vec![Stmt::If {
+                    cond,
+                    then,
+                    else_,
+                    pos: Pos::default(),
+                }]
+            }
+            62..=79 if ctx.depth < 2 && ctx.budget > 300 * ctx.trip_product => self.gen_loop(ctx),
+            80..=87 if ctx.depth == 0 && ctx.budget > 1_000 => self.gen_walk(ctx),
+            _ => self.gen_call_or_assign(ctx),
+        }
+    }
+
+    /// A constant-trip counter loop in one of the three syntactic forms;
+    /// all three execute exactly `trip` iterations.
+    fn gen_loop(&mut self, ctx: &mut Ctx<'_>) -> Vec<Stmt> {
+        let trip = u32::from(*self.rng.pick(&[2u8, 3, 4, 6, 8]));
+        let counter = COUNTERS[ctx.depth];
+        let style = self.rng.below(10);
+        let emit_total = ctx.depth == 0 && self.rng.chance(30);
+
+        ctx.depth += 1;
+        ctx.trip_product *= u64::from(trip);
+        ctx.spend(2);
+        let mut body = vec![Stmt::LoopBound {
+            bound: trip,
+            pos: Pos::default(),
+        }];
+        if emit_total {
+            body.push(Stmt::LoopTotal {
+                total: trip,
+                pos: Pos::default(),
+            });
+        }
+        let n_body = 1 + self.rng.below(2) as usize;
+        body.extend(self.gen_stmts(ctx, n_body));
+        ctx.trip_product /= u64::from(trip);
+        ctx.depth -= 1;
+
+        let cond = bin(BinOp::Lt, var(counter), num(i64::from(trip)));
+        let incr = assign(var(counter), bin(BinOp::Add, var(counter), num(1)));
+        match style {
+            0..=5 => {
+                let mut loop_body = body;
+                loop_body.rotate_left(0);
+                vec![Stmt::For {
+                    init: Some(Box::new(estmt(assign(var(counter), num(0))))),
+                    cond: Some(cond),
+                    step: Some(incr),
+                    body: loop_body,
+                    pos: Pos::default(),
+                }]
+            }
+            6 | 7 => {
+                let mut loop_body = body;
+                loop_body.push(estmt(incr));
+                vec![
+                    estmt(assign(var(counter), num(0))),
+                    Stmt::While {
+                        cond,
+                        body: loop_body,
+                        pos: Pos::default(),
+                    },
+                ]
+            }
+            _ => {
+                let mut loop_body = body;
+                loop_body.push(estmt(incr));
+                vec![
+                    estmt(assign(var(counter), num(0))),
+                    Stmt::DoWhile {
+                        body: loop_body,
+                        cond,
+                        pos: Pos::default(),
+                    },
+                ]
+            }
+        }
+    }
+
+    /// A strided masked walk over one array — the footprint stressor.
+    fn gen_walk(&mut self, ctx: &mut Ctx<'_>) -> Vec<Stmt> {
+        let a = self.rng.pick(&self.arrays).clone();
+        let mut trip = a.len.min(MAX_TRIP);
+        while u64::from(trip) * 4 > ctx.budget && trip > 16 {
+            trip /= 2;
+        }
+        let counter = COUNTERS[0];
+        let stride = i64::from(*self.rng.pick(&[1, 3, 5, 7]));
+        let offset = self.rng.below(8) as i64;
+        let idx = bin(
+            BinOp::Add,
+            bin(BinOp::Mul, var(counter), num(stride)),
+            num(offset),
+        );
+        let cell = index_masked(&a.name, idx, i64::from(a.len - 1));
+        let body_stmt = if a.writable && self.rng.chance(50) {
+            ctx.depth += 1;
+            let rhs = self.gen_expr(ctx, 2);
+            ctx.depth -= 1;
+            estmt(assign(cell, rhs))
+        } else {
+            estmt(assign(
+                var("checksum"),
+                bin(BinOp::Add, bin(BinOp::Mul, var("checksum"), num(31)), cell),
+            ))
+        };
+        ctx.budget = ctx.budget.saturating_sub(u64::from(trip) * 3);
+        vec![counter_for(counter, trip, vec![body_stmt])]
+    }
+
+    fn gen_call_or_assign(&mut self, ctx: &mut Ctx<'_>) -> Vec<Stmt> {
+        let affordable: Vec<FuncSig> = ctx
+            .callable
+            .iter()
+            .filter(|f| (f.cost + 2) * ctx.trip_product * 2 <= ctx.budget)
+            .cloned()
+            .collect();
+        if affordable.is_empty() || ctx.trip_product > 8 {
+            ctx.spend(2);
+            let tgt = self.assign_target();
+            let rhs = self.gen_expr(ctx, 2);
+            return vec![estmt(assign(tgt, rhs))];
+        }
+        let f = self.rng.pick(&affordable).clone();
+        ctx.spend(f.cost + 2);
+        let args: Vec<Expr> = (0..f.n_params).map(|_| self.gen_expr(ctx, 1)).collect();
+        let x = *self.rng.pick(&LOCALS);
+        vec![
+            estmt(assign(
+                var(x),
+                Expr::Call {
+                    name: f.name,
+                    args,
+                    pos: Pos::default(),
+                },
+            )),
+            estmt(assign(
+                var("checksum"),
+                bin(
+                    BinOp::Add,
+                    bin(BinOp::Mul, var("checksum"), num(31)),
+                    var(x),
+                ),
+            )),
+        ]
+    }
+
+    // ---- functions ---------------------------------------------------
+
+    fn prologue(&mut self) -> Vec<Stmt> {
+        let mut body = Vec::new();
+        for x in LOCALS {
+            body.push(decl(x, Type::Int, i64::from(self.rng.range_i32(-20, 20))));
+        }
+        for c in COUNTERS {
+            body.push(decl(c, Type::Int, 0));
+        }
+        body
+    }
+
+    fn gen_func(&mut self, name: &str, callable: &[FuncSig]) -> Func {
+        let n_params = self.rng.below(4) as usize;
+        let params: Vec<(String, Type)> = (0..n_params)
+            .map(|i| (format!("p{i}"), Type::Int))
+            .collect();
+        let mut ctx = Ctx {
+            callable,
+            params: params.iter().map(|(n, _)| n.clone()).collect(),
+            depth: 0,
+            trip_product: 1,
+            budget: FUNC_BUDGET,
+        };
+        let mut body = self.prologue();
+        let n = 3 + self.rng.below(4) as usize;
+        body.extend(self.gen_stmts(&mut ctx, n));
+        let ret = self.gen_expr(&ctx, 2);
+        body.push(Stmt::Return {
+            value: Some(ret),
+            pos: Pos::default(),
+        });
+        Func {
+            name: name.to_string(),
+            ret: Type::Int,
+            params,
+            body,
+            pos: Pos::default(),
+        }
+    }
+
+    fn gen_main(&mut self, level1: &[FuncSig]) -> Func {
+        let mut ctx = Ctx {
+            callable: level1,
+            params: Vec::new(),
+            depth: 0,
+            trip_product: 1,
+            budget: MAIN_BUDGET,
+        };
+        let mut body = self.prologue();
+        // Every top-level function is called at least once so the whole
+        // call tree is live.
+        for f in level1 {
+            let args: Vec<Expr> = (0..f.n_params).map(|_| self.gen_expr(&ctx, 1)).collect();
+            let x = *self.rng.pick(&LOCALS);
+            body.push(estmt(assign(
+                var(x),
+                Expr::Call {
+                    name: f.name.clone(),
+                    args,
+                    pos: Pos::default(),
+                },
+            )));
+            body.push(estmt(assign(
+                var("checksum"),
+                bin(
+                    BinOp::Add,
+                    bin(BinOp::Mul, var("checksum"), num(31)),
+                    var(x),
+                ),
+            )));
+            ctx.budget = ctx.budget.saturating_sub(f.cost + 2);
+        }
+        let n = 2 + self.rng.below(3) as usize;
+        let extra = self.gen_stmts(&mut ctx, n);
+        body.extend(extra);
+        // One walk over each large array guarantees the class's footprint
+        // is actually touched even if the random statements missed it.
+        let big: Vec<ArrayInfo> = self
+            .arrays
+            .iter()
+            .filter(|a| a.len >= 256)
+            .cloned()
+            .collect();
+        for a in big {
+            ctx.budget = ctx.budget.saturating_add(u64::from(a.len) * 3);
+            body.extend(self.gen_walk_over(&a));
+        }
+        // Final folds make every array element and scalar observable in
+        // the checksum.
+        for a in self.arrays.clone() {
+            let trip = a.len.min(MAX_TRIP);
+            body.push(counter_for(
+                COUNTERS[0],
+                trip,
+                vec![estmt(assign(
+                    var("checksum"),
+                    bin(
+                        BinOp::Add,
+                        bin(BinOp::Mul, var("checksum"), num(17)),
+                        index_masked(&a.name, var(COUNTERS[0]), i64::from(a.len - 1)),
+                    ),
+                ))],
+            ));
+        }
+        for g in self.scalars.clone() {
+            body.push(estmt(assign(
+                var("checksum"),
+                bin(BinOp::Xor, var("checksum"), var(&g)),
+            )));
+        }
+        Func {
+            name: "main".to_string(),
+            ret: Type::Void,
+            params: Vec::new(),
+            body,
+            pos: Pos::default(),
+        }
+    }
+
+    /// A deterministic full-coverage walk used by `gen_main` (odd stride
+    /// over a power-of-two length visits every element).
+    fn gen_walk_over(&mut self, a: &ArrayInfo) -> Vec<Stmt> {
+        let trip = a.len.min(MAX_TRIP);
+        let stride = i64::from(*self.rng.pick(&[1, 3, 5]));
+        let idx = bin(BinOp::Mul, var(COUNTERS[1]), num(stride));
+        let cell = index_masked(&a.name, idx, i64::from(a.len - 1));
+        let stmt = if a.writable {
+            estmt(assign(
+                cell,
+                bin(
+                    BinOp::Xor,
+                    var(COUNTERS[1]),
+                    num(i64::from(self.rng.range_i32(-128, 127))),
+                ),
+            ))
+        } else {
+            estmt(assign(
+                var("checksum"),
+                bin(BinOp::Add, bin(BinOp::Mul, var("checksum"), num(31)), cell),
+            ))
+        };
+        vec![counter_for(COUNTERS[1], trip, vec![stmt])]
+    }
+}
+
+/// Generates the program for `(seed, class)` sized against `arch`.
+///
+/// Deterministic: the same arguments always produce byte-identical
+/// source. The result is guaranteed to pass [`spmlab_cc::sema::check`].
+///
+/// # Panics
+///
+/// Panics if the generator emits a semantically invalid program — a bug
+/// in this module, caught eagerly so fuzzing never chases it downstream.
+#[must_use]
+pub fn generate(seed: u64, class: FootprintClass, arch: &MemArchSpec) -> GeneratedProgram {
+    let mut rng = Rng::new(seed);
+    // Pinned input vector, baked into the `input` initialiser below and
+    // re-patched (identically) by `Benchmark::link_with_input`.
+    let input: Vec<i32> = (0..INPUT_LEN)
+        .map(|_| rng.range_i32(-30_000, 30_000))
+        .collect();
+
+    let mut globals = vec![
+        Global {
+            name: INPUT_GLOBAL.to_string(),
+            ty: Type::Int,
+            array_len: Some(INPUT_LEN),
+            init: input.iter().map(|&v| i64::from(v)).collect(),
+            pos: Pos::default(),
+        },
+        Global {
+            name: COUNT_GLOBAL.to_string(),
+            ty: Type::Int,
+            array_len: None,
+            init: vec![i64::from(INPUT_LEN)],
+            pos: Pos::default(),
+        },
+        Global {
+            name: "checksum".to_string(),
+            ty: Type::Int,
+            array_len: None,
+            init: Vec::new(),
+            pos: Pos::default(),
+        },
+    ];
+
+    let mut arrays = vec![ArrayInfo {
+        name: INPUT_GLOBAL.to_string(),
+        len: INPUT_LEN,
+        writable: false,
+    }];
+
+    // Scalar globals over all three widths.
+    let scalar_types = [Type::Int, Type::Short, Type::Char];
+    let mut scalars = Vec::new();
+    for (i, ty) in scalar_types.iter().enumerate() {
+        let name = format!("g{i}");
+        globals.push(Global {
+            name: name.clone(),
+            ty: *ty,
+            array_len: None,
+            init: vec![i64::from(rng.range_i32(-100, 100))],
+            pos: Pos::default(),
+        });
+        scalars.push(name);
+    }
+
+    // Scratch arrays sized to the class's byte budget, mixing element
+    // widths; lengths are powers of two so masked indexing stays exact.
+    let budget_bytes = class.data_budget(arch);
+    let mut remaining = budget_bytes;
+    let n_arrays = 2 + rng.below(3) as usize;
+    for idx in 0..n_arrays {
+        if remaining < 64 {
+            break;
+        }
+        let ty = *rng.pick(&[Type::Int, Type::Int, Type::Short, Type::Char]);
+        let share = if idx + 1 == n_arrays {
+            remaining
+        } else {
+            (remaining / 2 + rng.below(u64::from(remaining / 4).max(1)) as u32).max(64)
+        };
+        let len = pow2_floor((share / ty.bytes()).clamp(16, MAX_TRIP));
+        remaining = remaining.saturating_sub(len * ty.bytes());
+        let name = format!("a{idx}");
+        let init: Vec<i64> = if len <= 64 {
+            (0..len)
+                .map(|_| i64::from(rng.range_i32(-120, 120)))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        globals.push(Global {
+            name: name.clone(),
+            ty,
+            array_len: Some(len),
+            init,
+            pos: Pos::default(),
+        });
+        arrays.push(ArrayInfo {
+            name,
+            len,
+            writable: true,
+        });
+    }
+
+    let mut g = Gen {
+        rng,
+        arrays,
+        scalars,
+    };
+
+    // Acyclic call tree, deepest level first: a function only ever calls
+    // functions generated before it (the level below).
+    let depth_below_main = 1 + g.rng.below(3) as usize; // call tree 2–4 deep incl. main
+    let mut funcs: Vec<Func> = Vec::new();
+    let mut func_costs: HashMap<String, u64> = HashMap::new();
+    let mut below: Vec<FuncSig> = Vec::new();
+    let mut next_id = 0usize;
+    for _level in 0..depth_below_main {
+        let n_funcs = 1 + g.rng.below(2) as usize;
+        let mut this_level = Vec::new();
+        for _ in 0..n_funcs {
+            let name = format!("f{next_id}");
+            next_id += 1;
+            let f = g.gen_func(&name, &below);
+            let cost = func_dynamic_cost(&f, &func_costs);
+            func_costs.insert(name.clone(), cost);
+            this_level.push(FuncSig {
+                name,
+                n_params: f.params.len(),
+                cost,
+            });
+            funcs.push(f);
+        }
+        below = this_level;
+    }
+    funcs.push(g.gen_main(&below));
+
+    let program = Program { globals, funcs };
+    let source = print(&program);
+    sema::check(&program).unwrap_or_else(|e| {
+        panic!("generator produced invalid program (seed {seed}): {e}\n{source}")
+    });
+    let steps_estimate = estimate_steps(&program);
+    GeneratedProgram {
+        seed,
+        class,
+        program,
+        source,
+        input: Arc::new(input),
+        steps_estimate,
+    }
+}
+
+/// [`generate`] with the class derived from the seed
+/// ([`FootprintClass::for_seed`]).
+#[must_use]
+pub fn generate_for_seed(seed: u64, arch: &MemArchSpec) -> GeneratedProgram {
+    generate(seed, FootprintClass::for_seed(seed), arch)
+}
+
+fn pow2_floor(x: u32) -> u32 {
+    let x = x.max(1);
+    1 << (31 - x.leading_zeros())
+}
+
+// ---------------------------------------------------------------------
+// Dynamic-step estimation (mirrors the interpreter's tick accounting:
+// one tick per executed statement plus one per loop iteration).
+// ---------------------------------------------------------------------
+
+/// Estimates the interpreter steps one run of `main` takes, multiplying
+/// loop bodies by their `__loopbound` and inlining call costs. An upper
+/// bound for generated programs (`if` branches count the larger arm).
+#[must_use]
+pub fn estimate_steps(p: &Program) -> u64 {
+    let mut memo: HashMap<String, u64> = HashMap::new();
+    // Generated call graphs only reference earlier functions, but iterate
+    // to a fixed point so hand-written orderings work too (MiniC has no
+    // recursion, so this converges).
+    for _ in 0..p.funcs.len() {
+        for f in &p.funcs {
+            let c = func_dynamic_cost(f, &memo);
+            memo.insert(f.name.clone(), c);
+        }
+    }
+    memo.get("main").copied().unwrap_or(0)
+}
+
+fn func_dynamic_cost(f: &Func, costs: &HashMap<String, u64>) -> u64 {
+    block_cost(&f.body, costs)
+}
+
+fn block_cost(stmts: &[Stmt], costs: &HashMap<String, u64>) -> u64 {
+    stmts.iter().map(|s| stmt_cost(s, costs)).sum()
+}
+
+fn loop_bound_of(body: &[Stmt]) -> u64 {
+    body.iter()
+        .find_map(|s| match s {
+            Stmt::LoopBound { bound, .. } => Some(u64::from(*bound)),
+            _ => None,
+        })
+        .unwrap_or(1)
+}
+
+fn stmt_cost(s: &Stmt, costs: &HashMap<String, u64>) -> u64 {
+    match s {
+        Stmt::Decl { init, .. } => 1 + init.as_ref().map_or(0, |e| expr_cost(e, costs)),
+        Stmt::Expr(e) => 1 + expr_cost(e, costs),
+        Stmt::If {
+            cond, then, else_, ..
+        } => 1 + expr_cost(cond, costs) + block_cost(then, costs).max(block_cost(else_, costs)),
+        Stmt::While { cond, body, .. } | Stmt::DoWhile { body, cond, .. } => {
+            let trips = loop_bound_of(body);
+            1 + trips * (2 + expr_cost(cond, costs) + block_cost(body, costs))
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            ..
+        } => {
+            let trips = loop_bound_of(body);
+            let per = 2
+                + cond.as_ref().map_or(0, |e| expr_cost(e, costs))
+                + step.as_ref().map_or(0, |e| expr_cost(e, costs))
+                + block_cost(body, costs);
+            1 + init.as_ref().map_or(0, |s| stmt_cost(s, costs)) + trips * per
+        }
+        Stmt::Return { value, .. } => 1 + value.as_ref().map_or(0, |e| expr_cost(e, costs)),
+        Stmt::Break { .. }
+        | Stmt::Continue { .. }
+        | Stmt::LoopBound { .. }
+        | Stmt::LoopTotal { .. } => 1,
+        Stmt::Block(b) => 1 + block_cost(b, costs),
+    }
+}
+
+fn expr_cost(e: &Expr, costs: &HashMap<String, u64>) -> u64 {
+    match e {
+        Expr::Num { .. } | Expr::Var { .. } => 0,
+        Expr::Index { index, .. } => expr_cost(index, costs),
+        Expr::Assign { lhs, rhs, .. } | Expr::Bin { lhs, rhs, .. } => {
+            expr_cost(lhs, costs) + expr_cost(rhs, costs)
+        }
+        Expr::Un { operand, .. } => expr_cost(operand, costs),
+        Expr::Call { name, args, .. } => {
+            1 + costs.get(name).copied().unwrap_or(0)
+                + args.iter().map(|a| expr_cost(a, costs)).sum::<u64>()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Generic AST walkers (shared by the shrinker and the fault injector).
+// ---------------------------------------------------------------------
+
+fn map_exprs_in_stmt(s: &mut Stmt, f: &mut dyn FnMut(&mut Expr)) {
+    match s {
+        Stmt::Decl { init, .. } => {
+            if let Some(e) = init {
+                map_expr(e, f);
+            }
+        }
+        Stmt::Expr(e) => map_expr(e, f),
+        Stmt::If {
+            cond, then, else_, ..
+        } => {
+            map_expr(cond, f);
+            for s in then.iter_mut().chain(else_.iter_mut()) {
+                map_exprs_in_stmt(s, f);
+            }
+        }
+        Stmt::While { cond, body, .. } | Stmt::DoWhile { body, cond, .. } => {
+            map_expr(cond, f);
+            for s in body {
+                map_exprs_in_stmt(s, f);
+            }
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            ..
+        } => {
+            if let Some(s) = init {
+                map_exprs_in_stmt(s, f);
+            }
+            if let Some(e) = cond {
+                map_expr(e, f);
+            }
+            if let Some(e) = step {
+                map_expr(e, f);
+            }
+            for s in body {
+                map_exprs_in_stmt(s, f);
+            }
+        }
+        Stmt::Return { value, .. } => {
+            if let Some(e) = value {
+                map_expr(e, f);
+            }
+        }
+        Stmt::Block(b) => {
+            for s in b {
+                map_exprs_in_stmt(s, f);
+            }
+        }
+        Stmt::Break { .. }
+        | Stmt::Continue { .. }
+        | Stmt::LoopBound { .. }
+        | Stmt::LoopTotal { .. } => {}
+    }
+}
+
+/// Post-order: children first, then the node itself (so `f` sees final
+/// children and may replace the whole node).
+fn map_expr(e: &mut Expr, f: &mut dyn FnMut(&mut Expr)) {
+    match e {
+        Expr::Num { .. } | Expr::Var { .. } => {}
+        Expr::Index { index, .. } => map_expr(index, f),
+        Expr::Assign { lhs, rhs, .. } | Expr::Bin { lhs, rhs, .. } => {
+            map_expr(lhs, f);
+            map_expr(rhs, f);
+        }
+        Expr::Un { operand, .. } => map_expr(operand, f),
+        Expr::Call { args, .. } => {
+            for a in args {
+                map_expr(a, f);
+            }
+        }
+    }
+    f(e);
+}
+
+fn map_program_exprs(p: &mut Program, f: &mut dyn FnMut(&mut Expr)) {
+    for func in &mut p.funcs {
+        for s in &mut func.body {
+            map_exprs_in_stmt(s, f);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Injected miscompile (for harness end-to-end proof).
+// ---------------------------------------------------------------------
+
+/// Plants a classic wrong strength reduction: every `x / 2^k` with a
+/// constant power-of-two divisor becomes `x >> k`. Correct for
+/// non-negative `x`, wrong for negative `x` (truncating division vs
+/// flooring shift: `-7 / 4 == -1` but `-7 >> 2 == -2`). Compiling the
+/// transformed AST while interpreting the original models a real
+/// miscompile for the fuzz harness and the shrinker demo.
+#[must_use]
+pub fn inject_miscompile(p: &Program) -> Program {
+    let mut out = p.clone();
+    map_program_exprs(&mut out, &mut |e| {
+        if let Expr::Bin { op, rhs, .. } = e {
+            if *op == BinOp::Div {
+                if let Expr::Num { value, .. } = rhs.as_ref() {
+                    let v = *value;
+                    if v >= 2 && (v as u64).is_power_of_two() {
+                        *op = BinOp::Shr;
+                        **rhs = num(i64::from((v as u64).trailing_zeros()));
+                    }
+                }
+            }
+        }
+    });
+    out
+}
+
+// ---------------------------------------------------------------------
+// Delta-debugging shrinker.
+// ---------------------------------------------------------------------
+
+/// Greedily minimises `program` while `still_fails` keeps returning
+/// `true`. The predicate must return `false` for candidates that error
+/// (fail to compile, exceed step budgets, …) — "can't reproduce" and
+/// "fixed" are the same answer to a shrinker.
+///
+/// Transformations, applied to a fixed point:
+/// 1. drop whole functions (calls to them become `0`),
+/// 2. drop individual statements (recursively, innermost included),
+/// 3. halve constant trip counts (updating the matching `__loopbound`,
+///    dropping now-stale `__looptotal` facts),
+/// 4. narrow power-of-two arrays (halving `& (len-1)` masks with them),
+/// 5. drop globals no expression references.
+///
+/// Every accepted step strictly shrinks the program, so this terminates.
+pub fn shrink<F: FnMut(&Program) -> bool>(program: &Program, mut still_fails: F) -> Program {
+    let mut cur = program.clone();
+    loop {
+        let mut improved = false;
+
+        // 1. Whole functions.
+        loop {
+            let names: Vec<String> = cur
+                .funcs
+                .iter()
+                .filter(|f| f.name != "main")
+                .map(|f| f.name.clone())
+                .collect();
+            let mut any = false;
+            for name in names {
+                let cand = drop_function(&cur, &name);
+                if still_fails(&cand) {
+                    cur = cand;
+                    any = true;
+                    improved = true;
+                    break;
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+
+        // 2. Individual statements.
+        'stmts: loop {
+            let n = count_stmts(&cur);
+            for i in 0..n {
+                let mut cand = cur.clone();
+                if remove_stmt(&mut cand, i) && still_fails(&cand) {
+                    cur = cand;
+                    improved = true;
+                    continue 'stmts;
+                }
+            }
+            break;
+        }
+
+        // 3. Trip counts.
+        'trips: loop {
+            let n = count_loops(&cur);
+            for i in 0..n {
+                if let Some(cand) = halve_loop(&cur, i) {
+                    if still_fails(&cand) {
+                        cur = cand;
+                        improved = true;
+                        continue 'trips;
+                    }
+                }
+            }
+            break;
+        }
+
+        // 4. Array lengths.
+        'arrays: loop {
+            let arrs: Vec<(String, u32)> = cur
+                .globals
+                .iter()
+                .filter_map(|g| match g.array_len {
+                    Some(len) if len >= 2 && len.is_power_of_two() => Some((g.name.clone(), len)),
+                    _ => None,
+                })
+                .collect();
+            for (name, len) in arrs {
+                let cand = narrow_array(&cur, &name, len);
+                if still_fails(&cand) {
+                    cur = cand;
+                    improved = true;
+                    continue 'arrays;
+                }
+            }
+            break;
+        }
+
+        // 5. Unreferenced globals.
+        'globals: loop {
+            let referenced = referenced_names(&cur);
+            let unused: Vec<String> = cur
+                .globals
+                .iter()
+                .filter(|g| !referenced.contains(&g.name))
+                .map(|g| g.name.clone())
+                .collect();
+            for name in unused {
+                let mut cand = cur.clone();
+                cand.globals.retain(|g| g.name != name);
+                if still_fails(&cand) {
+                    cur = cand;
+                    improved = true;
+                    continue 'globals;
+                }
+            }
+            break;
+        }
+
+        if !improved {
+            return cur;
+        }
+    }
+}
+
+fn drop_function(p: &Program, name: &str) -> Program {
+    let mut out = p.clone();
+    out.funcs.retain(|f| f.name != name);
+    map_program_exprs(&mut out, &mut |e| {
+        if let Expr::Call { name: n, .. } = e {
+            if n == name {
+                *e = num(0);
+            }
+        }
+    });
+    out
+}
+
+fn count_stmts(p: &Program) -> usize {
+    fn count_block(stmts: &[Stmt]) -> usize {
+        stmts
+            .iter()
+            .map(|s| {
+                1 + match s {
+                    Stmt::If { then, else_, .. } => count_block(then) + count_block(else_),
+                    Stmt::While { body, .. }
+                    | Stmt::DoWhile { body, .. }
+                    | Stmt::For { body, .. } => count_block(body),
+                    Stmt::Block(b) => count_block(b),
+                    _ => 0,
+                }
+            })
+            .sum()
+    }
+    p.funcs.iter().map(|f| count_block(&f.body)).sum()
+}
+
+fn remove_stmt(p: &mut Program, target: usize) -> bool {
+    fn remove_in_block(stmts: &mut Vec<Stmt>, target: usize, idx: &mut usize) -> bool {
+        let mut i = 0;
+        while i < stmts.len() {
+            if *idx == target {
+                stmts.remove(i);
+                return true;
+            }
+            *idx += 1;
+            let found = match &mut stmts[i] {
+                Stmt::If { then, else_, .. } => {
+                    remove_in_block(then, target, idx) || remove_in_block(else_, target, idx)
+                }
+                Stmt::While { body, .. } | Stmt::DoWhile { body, .. } | Stmt::For { body, .. } => {
+                    remove_in_block(body, target, idx)
+                }
+                Stmt::Block(b) => remove_in_block(b, target, idx),
+                _ => false,
+            };
+            if found {
+                return true;
+            }
+            i += 1;
+        }
+        false
+    }
+    let mut idx = 0usize;
+    for f in &mut p.funcs {
+        if remove_in_block(&mut f.body, target, &mut idx) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Halves the `k`-th loop's trip count (preorder over all loops),
+/// rewriting its `counter < N` condition, its `__loopbound`, and
+/// dropping `__looptotal` facts that the change would invalidate.
+fn halve_loop(p: &Program, target: usize) -> Option<Program> {
+    fn patch_cond(cond: &mut Expr, old: i64, new: i64) -> bool {
+        if let Expr::Bin { rhs, .. } = cond {
+            if let Expr::Num { value, .. } = rhs.as_mut() {
+                if *value == old {
+                    *value = new;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+    fn patch_body(body: &mut Vec<Stmt>, old: u32, new: u32) {
+        body.retain(|s| !matches!(s, Stmt::LoopTotal { .. }));
+        for s in body {
+            if let Stmt::LoopBound { bound, .. } = s {
+                if *bound == old {
+                    *bound = new;
+                }
+            }
+        }
+    }
+    fn visit(stmts: &mut [Stmt], target: usize, idx: &mut usize) -> Option<bool> {
+        for s in stmts {
+            match s {
+                Stmt::While { cond, body, .. } | Stmt::DoWhile { body, cond, .. } => {
+                    if *idx == target {
+                        let old = loop_bound_of(body);
+                        if old < 2 {
+                            return Some(false);
+                        }
+                        let new = old / 2;
+                        if !patch_cond(cond, old as i64, new as i64) {
+                            return Some(false);
+                        }
+                        patch_body(body, old as u32, new as u32);
+                        return Some(true);
+                    }
+                    *idx += 1;
+                    if let Some(r) = visit(body, target, idx) {
+                        return Some(r);
+                    }
+                }
+                Stmt::For { cond, body, .. } => {
+                    if *idx == target {
+                        let old = loop_bound_of(body);
+                        if old < 2 {
+                            return Some(false);
+                        }
+                        let new = old / 2;
+                        let patched = cond
+                            .as_mut()
+                            .is_some_and(|c| patch_cond(c, old as i64, new as i64));
+                        if !patched {
+                            return Some(false);
+                        }
+                        patch_body(body, old as u32, new as u32);
+                        return Some(true);
+                    }
+                    *idx += 1;
+                    if let Some(r) = visit(body, target, idx) {
+                        return Some(r);
+                    }
+                }
+                Stmt::If { then, else_, .. } => {
+                    if let Some(r) = visit(then, target, idx) {
+                        return Some(r);
+                    }
+                    if let Some(r) = visit(else_, target, idx) {
+                        return Some(r);
+                    }
+                }
+                Stmt::Block(b) => {
+                    if let Some(r) = visit(b, target, idx) {
+                        return Some(r);
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+    let mut out = p.clone();
+    let mut idx = 0usize;
+    for f in &mut out.funcs {
+        match visit(&mut f.body, target, &mut idx) {
+            Some(true) => return Some(out),
+            Some(false) => return None,
+            None => {}
+        }
+    }
+    None
+}
+
+fn count_loops(p: &Program) -> usize {
+    fn count_block(stmts: &[Stmt]) -> usize {
+        stmts
+            .iter()
+            .map(|s| match s {
+                Stmt::While { body, .. } | Stmt::DoWhile { body, .. } | Stmt::For { body, .. } => {
+                    1 + count_block(body)
+                }
+                Stmt::If { then, else_, .. } => count_block(then) + count_block(else_),
+                Stmt::Block(b) => count_block(b),
+                _ => 0,
+            })
+            .sum()
+    }
+    p.funcs.iter().map(|f| count_block(&f.body)).sum()
+}
+
+/// Halves `name`'s length, truncating its initialiser and rewriting the
+/// `& (len-1)` masks of its indices (the only access shape the generator
+/// emits) to the new length.
+fn narrow_array(p: &Program, name: &str, len: u32) -> Program {
+    let mut out = p.clone();
+    let new_len = len / 2;
+    for g in &mut out.globals {
+        if g.name == name {
+            g.array_len = Some(new_len);
+            g.init.truncate(new_len as usize);
+        }
+    }
+    let old_mask = i64::from(len - 1);
+    let new_mask = i64::from(new_len - 1);
+    map_program_exprs(&mut out, &mut |e| {
+        if let Expr::Index { name: n, index, .. } = e {
+            if n == name {
+                if let Expr::Bin {
+                    op: BinOp::And,
+                    rhs,
+                    ..
+                } = index.as_mut()
+                {
+                    if let Expr::Num { value, .. } = rhs.as_mut() {
+                        if *value == old_mask {
+                            *value = new_mask;
+                        }
+                    }
+                }
+            }
+        }
+    });
+    out
+}
+
+fn referenced_names(p: &Program) -> std::collections::HashSet<String> {
+    let mut names = std::collections::HashSet::new();
+    let mut q = p.clone();
+    map_program_exprs(&mut q, &mut |e| match e {
+        Expr::Var { name, .. } | Expr::Index { name, .. } => {
+            names.insert(name.clone());
+        }
+        _ => {}
+    });
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spmlab_cc::interp;
+    use spmlab_cc::link::SpmAssignment;
+    use spmlab_isa::mem::MemoryMap;
+    use spmlab_sim::{simulate, MachineConfig, SimOptions};
+
+    fn interp_checksum(p: &Program) -> Option<i32> {
+        let out = interp::run(p, 10_000_000).ok()?;
+        out.globals.get("checksum").and_then(|v| v.first().copied())
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let arch = reference_arch();
+        let a = generate(7, FootprintClass::StraddlesL1, &arch);
+        let b = generate(7, FootprintClass::StraddlesL1, &arch);
+        assert_eq!(a.source, b.source);
+        assert_eq!(a.input, b.input);
+        let c = generate(8, FootprintClass::StraddlesL1, &arch);
+        assert_ne!(a.source, c.source);
+    }
+
+    #[test]
+    fn generated_programs_compile_and_roundtrip() {
+        let arch = reference_arch();
+        for seed in 0..8u64 {
+            let g = generate_for_seed(seed, &arch);
+            assert_eq!(g.source, print(&g.program), "seed {seed}: source drift");
+            let reparsed = spmlab_cc::parse_source(&g.source)
+                .unwrap_or_else(|e| panic!("seed {seed}: reparse failed: {e}"));
+            assert_eq!(
+                print(&reparsed),
+                g.source,
+                "seed {seed}: print∘parse not a fixed point"
+            );
+            spmlab_cc::compile(&g.source)
+                .unwrap_or_else(|e| panic!("seed {seed}: compile failed: {e}\n{}", g.source));
+        }
+    }
+
+    #[test]
+    fn interp_oracle_matches_simulator() {
+        let arch = reference_arch();
+        for seed in 0..4u64 {
+            let g = generate_for_seed(seed, &arch);
+            let b = g.benchmark();
+            let input = b.typical_input();
+            let expected = b.reference_checksum(&input);
+            let linked = b
+                .build(&MemoryMap::no_spm(), &SpmAssignment::none(), &input)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            let res = simulate(
+                &linked.exe,
+                &MachineConfig::uncached(),
+                &SimOptions::default(),
+            )
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            let got = res
+                .read_global(&linked.exe, "checksum")
+                .expect("checksum global");
+            assert_eq!(got, expected, "seed {seed}: interp vs sim divergence");
+        }
+    }
+
+    #[test]
+    fn footprint_classes_scale_with_arch() {
+        let arch = reference_arch();
+        let bytes = |class: FootprintClass| -> u32 {
+            let g = generate(3, class, &arch);
+            g.program
+                .globals
+                .iter()
+                .filter(|gl| gl.name.starts_with('a'))
+                .map(|gl| gl.array_len.unwrap_or(1) * gl.ty.bytes())
+                .sum()
+        };
+        let fits = bytes(FootprintClass::FitsL1);
+        let exceeds = bytes(FootprintClass::ExceedsL2);
+        assert!(fits <= 512, "fits-l1 footprint {fits} exceeds the L1");
+        assert!(
+            exceeds > 4096,
+            "exceeds-l2 footprint {exceeds} does not exceed the L2"
+        );
+    }
+
+    #[test]
+    fn step_estimate_bounds_the_interpreter() {
+        let arch = reference_arch();
+        for seed in 0..4u64 {
+            let g = generate_for_seed(seed, &arch);
+            let out = interp::run(&g.program, g.steps_estimate * 4 + 100_000)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(
+                out.steps <= g.steps_estimate * 4 + 100_000,
+                "seed {seed}: {} steps vs estimate {}",
+                out.steps,
+                g.steps_estimate
+            );
+        }
+    }
+
+    #[test]
+    fn injected_miscompile_is_found_and_shrunk() {
+        let arch = reference_arch();
+        // Scan seeds for one where the planted div→shr bug actually
+        // diverges (needs a negative dividend reaching a /2^k).
+        let mut found = None;
+        for seed in 0..64u64 {
+            let g = generate_for_seed(seed, &arch);
+            let buggy = inject_miscompile(&g.program);
+            if buggy == g.program {
+                continue;
+            }
+            let good = interp_checksum(&g.program);
+            let bad = interp_checksum(&buggy);
+            if good.is_some() && good != bad {
+                found = Some(g);
+                break;
+            }
+        }
+        let g = found.expect("no seed in 0..64 triggers the planted miscompile");
+        let fails = |p: &Program| -> bool {
+            let buggy = inject_miscompile(p);
+            match (interp_checksum(p), interp_checksum(&buggy)) {
+                (Some(a), Some(b)) => a != b,
+                _ => false,
+            }
+        };
+        let small = shrink(&g.program, fails);
+        assert!(fails(&small), "shrunk program no longer reproduces");
+        assert!(
+            count_stmts(&small) < count_stmts(&g.program),
+            "shrinker made no progress"
+        );
+        let src = print(&small);
+        assert!(
+            src.lines().count() <= 40,
+            "shrunk repro still {} lines:\n{src}",
+            src.lines().count()
+        );
+    }
+}

@@ -12,46 +12,101 @@
 //! | `crc32` | extra | bitwise CRC-32 |
 //!
 //! Each [`Benchmark`] bundles the MiniC source, the name of its input
-//! array, deterministic typical/worst-case input generators, and a Rust
-//! twin ([`mod@reference`]) computing the expected checksum — the basis of the
-//! differential tests that validate compiler, linker and simulator.
+//! array, deterministic typical/worst-case input generators, and a
+//! reference oracle computing the expected checksum — the basis of the
+//! differential tests that validate compiler, linker and simulator. The
+//! hand-written kernels use a host Rust twin ([`mod@reference`]); programs
+//! produced by the seeded generator ([`mod@gen`]) use the MiniC
+//! interpreter on their own AST instead, so every benchmark — shipped or
+//! generated — carries an independent semantic oracle.
 //!
 //! ```
 //! use spmlab_workloads::{benchmark, paper_benchmarks};
 //!
 //! let g721 = benchmark("g721").unwrap();
-//! let input = (g721.typical_input)();
-//! let expected = (g721.reference_checksum)(&input);
+//! let input = g721.typical_input();
+//! let expected = g721.reference_checksum(&input);
 //! assert_ne!(expected, 0);
 //! assert_eq!(paper_benchmarks().len(), 3);
 //! ```
 
+pub mod gen;
 pub mod inputs;
 pub mod reference;
 
-use spmlab_cc::{compile, link, CcError, LinkedProgram, ObjModule, SpmAssignment};
+use std::borrow::Cow;
+use std::sync::Arc;
+
+use spmlab_cc::ast::Program;
+use spmlab_cc::{compile, interp, link, CcError, LinkedProgram, ObjModule, SpmAssignment};
 use spmlab_isa::mem::MemoryMap;
 
+/// How a benchmark produces an input data set.
+///
+/// The shipped kernels use const-constructible function pointers; the
+/// seeded generator pins one concrete input per seed so the `.mc` source,
+/// the interpreted AST, and the linked image all observe identical data.
+#[derive(Clone)]
+pub enum InputGen {
+    /// Deterministic generator function (the shipped statics).
+    Fn(fn() -> Vec<i32>),
+    /// A fixed input vector (generated benchmarks).
+    Fixed(Arc<Vec<i32>>),
+}
+
+impl InputGen {
+    /// Produces the input vector.
+    #[must_use]
+    pub fn generate(&self) -> Vec<i32> {
+        match self {
+            InputGen::Fn(f) => f(),
+            InputGen::Fixed(v) => v.as_ref().clone(),
+        }
+    }
+}
+
+/// The semantic oracle computing a benchmark's expected `checksum`.
+#[derive(Clone)]
+pub enum Reference {
+    /// Host Rust twin (the shipped kernels).
+    Host(fn(&[i32]) -> i32),
+    /// The MiniC interpreter run on the benchmark's own AST with the
+    /// input patched into its globals — reference semantics for
+    /// generated programs, independent of codegen/linker/simulator.
+    Interp {
+        /// The program to interpret (input/count globals get patched).
+        program: Arc<Program>,
+        /// Interpreter step budget (generated programs carry a
+        /// generation-time estimate with headroom).
+        max_steps: u64,
+    },
+}
+
 /// A benchmark program with everything needed to run experiments on it.
+///
+/// String fields are [`Cow`] and the input/oracle fields are enums so the
+/// six shipped kernels stay `static` (const-constructed from borrowed
+/// strings and function pointers) while [`gen`] builds owned `Benchmark`
+/// values for seeded programs at runtime.
 #[derive(Clone)]
 pub struct Benchmark {
     /// Short name (also the experiment id).
-    pub name: &'static str,
+    pub name: Cow<'static, str>,
     /// Table-2-style description.
-    pub description: &'static str,
+    pub description: Cow<'static, str>,
     /// MiniC source text.
-    pub source: &'static str,
+    pub source: Cow<'static, str>,
     /// Name of the global array the harness patches with input data.
-    pub input_global: &'static str,
+    pub input_global: Cow<'static, str>,
     /// Name of the scalar holding the element count, patched to the
     /// input's length (the loop-bound annotations cover the maximum).
-    pub count_global: &'static str,
+    pub count_global: Cow<'static, str>,
     /// Generates the "typical input data set" (paper terminology).
-    pub typical_input: fn() -> Vec<i32>,
+    pub typical_input: InputGen,
     /// Generates a known worst-case input, when one is known.
-    pub worst_input: Option<fn() -> Vec<i32>>,
-    /// Host twin computing the expected `checksum` global.
-    pub reference_checksum: fn(&[i32]) -> i32,
+    pub worst_input: Option<InputGen>,
+    /// Oracle computing the expected `checksum` global.
+    pub reference_checksum: Reference,
 }
 
 impl std::fmt::Debug for Benchmark {
@@ -63,14 +118,84 @@ impl std::fmt::Debug for Benchmark {
     }
 }
 
+/// Overwrites the input/count global initialisers of an AST so the
+/// interpreter observes exactly the data the linker patches into the
+/// executable image.
+pub(crate) fn patch_program_input(
+    program: &mut Program,
+    input_global: &str,
+    count_global: &str,
+    input: &[i32],
+) {
+    for g in &mut program.globals {
+        if g.name == input_global {
+            g.init = input.iter().map(|&v| i64::from(v)).collect();
+        } else if g.name == count_global {
+            g.init = vec![input.len() as i64];
+        }
+    }
+}
+
 impl Benchmark {
+    /// Produces the typical input data set.
+    #[must_use]
+    pub fn typical_input(&self) -> Vec<i32> {
+        self.typical_input.generate()
+    }
+
+    /// Produces the known worst-case input, when one is known.
+    #[must_use]
+    pub fn worst_input(&self) -> Option<Vec<i32>> {
+        self.worst_input.as_ref().map(InputGen::generate)
+    }
+
+    /// Computes the expected `checksum` for the given input via the
+    /// benchmark's oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an [`Reference::Interp`] oracle fails to execute — for
+    /// generated benchmarks the generator guarantees in-bounds accesses
+    /// and a sufficient step budget, so a panic here means the benchmark
+    /// value was constructed by hand with a broken program. Callers
+    /// holding arbitrary (e.g. shrinker-mutated) programs should use
+    /// [`Benchmark::try_reference_checksum`].
+    #[must_use]
+    pub fn reference_checksum(&self, input: &[i32]) -> i32 {
+        self.try_reference_checksum(input)
+            .unwrap_or_else(|e| panic!("{}: {e}", self.name))
+    }
+
+    /// Fallible form of [`Benchmark::reference_checksum`]: an
+    /// [`Reference::Interp`] oracle that fails to execute (or a program
+    /// without a `checksum` global) becomes an error instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// A description of the oracle failure.
+    pub fn try_reference_checksum(&self, input: &[i32]) -> Result<i32, String> {
+        match &self.reference_checksum {
+            Reference::Host(f) => Ok(f(input)),
+            Reference::Interp { program, max_steps } => {
+                let mut p = (**program).clone();
+                patch_program_input(&mut p, &self.input_global, &self.count_global, input);
+                let out = interp::run(&p, *max_steps)
+                    .map_err(|e| format!("interpreter oracle failed: {e}"))?;
+                out.globals
+                    .get("checksum")
+                    .and_then(|v| v.first().copied())
+                    .ok_or_else(|| "no `checksum` global".to_string())
+            }
+        }
+    }
+
     /// Compiles the benchmark to a relocatable module.
     ///
     /// # Errors
     ///
     /// Propagates compiler errors (should not happen for shipped sources).
     pub fn compile(&self) -> Result<ObjModule, CcError> {
-        compile(self.source)
+        compile(&self.source)
     }
 
     /// Compiles, links and patches the given input in one step.
@@ -102,10 +227,10 @@ impl Benchmark {
         input: &[i32],
     ) -> Result<LinkedProgram, CcError> {
         let mut linked = link(module, map, assignment)?;
-        linked.exe.patch_global(self.input_global, input)?;
+        linked.exe.patch_global(&self.input_global, input)?;
         linked
             .exe
-            .patch_global(self.count_global, &[input.len() as i32])?;
+            .patch_global(&self.count_global, &[input.len() as i32])?;
         Ok(linked)
     }
 }
@@ -113,76 +238,78 @@ impl Benchmark {
 /// G.721 speech transcoder (Table 2: "Speech encoding and decoding,
 /// reference implementation of the CCITT standard").
 pub static G721: Benchmark = Benchmark {
-    name: "g721",
-    description: "G.721 speech encoding and decoding, CCITT-reference style",
-    source: include_str!("mc/g721.mc"),
-    input_global: "input",
-    count_global: "n_samples",
-    typical_input: || inputs::speech_like(256, 0xC0FFEE),
+    name: Cow::Borrowed("g721"),
+    description: Cow::Borrowed("G.721 speech encoding and decoding, CCITT-reference style"),
+    source: Cow::Borrowed(include_str!("mc/g721.mc")),
+    input_global: Cow::Borrowed("input"),
+    count_global: Cow::Borrowed("n_samples"),
+    typical_input: InputGen::Fn(|| inputs::speech_like(256, 0xC0FFEE)),
     worst_input: None,
-    reference_checksum: |i| reference::g721(i),
+    reference_checksum: Reference::Host(reference::g721),
 };
 
 /// IMA ADPCM encoder/decoder (Table 2: "Adaptive Diff. PCM").
 pub static ADPCM: Benchmark = Benchmark {
-    name: "adpcm",
-    description: "IMA/DVI ADPCM speech encoder and decoder",
-    source: include_str!("mc/adpcm.mc"),
-    input_global: "input",
-    count_global: "n_samples",
-    typical_input: || inputs::speech_like(256, 0xBEEF),
+    name: Cow::Borrowed("adpcm"),
+    description: Cow::Borrowed("IMA/DVI ADPCM speech encoder and decoder"),
+    source: Cow::Borrowed(include_str!("mc/adpcm.mc")),
+    input_global: Cow::Borrowed("input"),
+    count_global: Cow::Borrowed("n_samples"),
+    typical_input: InputGen::Fn(|| inputs::speech_like(256, 0xBEEF)),
     worst_input: None,
-    reference_checksum: |i| reference::adpcm(i),
+    reference_checksum: Reference::Host(reference::adpcm),
 };
 
 /// MultiSort (Table 2: "mix of sorting algorithms commonly found in many
 /// algorithms").
 pub static MULTISORT: Benchmark = Benchmark {
-    name: "multisort",
-    description: "Mix of sorting algorithms (bubble, insertion, selection, merge, heap)",
-    source: include_str!("mc/multisort.mc"),
-    input_global: "input",
-    count_global: "n",
-    typical_input: || inputs::random_ints(64, 0x5EED, -1000, 1000),
-    worst_input: Some(|| inputs::descending(64)),
-    reference_checksum: |i| reference::multisort(i),
+    name: Cow::Borrowed("multisort"),
+    description: Cow::Borrowed(
+        "Mix of sorting algorithms (bubble, insertion, selection, merge, heap)",
+    ),
+    source: Cow::Borrowed(include_str!("mc/multisort.mc")),
+    input_global: Cow::Borrowed("input"),
+    count_global: Cow::Borrowed("n"),
+    typical_input: InputGen::Fn(|| inputs::random_ints(64, 0x5EED, -1000, 1000)),
+    worst_input: Some(InputGen::Fn(|| inputs::descending(64))),
+    reference_checksum: Reference::Host(reference::multisort),
 };
 
 /// Insertion sort with a known worst case (the paper's §4 tightness
 /// experiment).
 pub static INSERTSORT: Benchmark = Benchmark {
-    name: "insertsort",
-    description: "Insertion sort, tightness check with known worst-case input",
-    source: include_str!("mc/insertsort.mc"),
-    input_global: "data",
-    count_global: "n",
-    typical_input: || inputs::random_ints(32, 0xAB, -500, 500),
-    worst_input: Some(|| inputs::descending(32)),
-    reference_checksum: |i| reference::insertsort(i),
+    name: Cow::Borrowed("insertsort"),
+    description: Cow::Borrowed("Insertion sort, tightness check with known worst-case input"),
+    source: Cow::Borrowed(include_str!("mc/insertsort.mc")),
+    input_global: Cow::Borrowed("data"),
+    count_global: Cow::Borrowed("n"),
+    typical_input: InputGen::Fn(|| inputs::random_ints(32, 0xAB, -500, 500)),
+    worst_input: Some(InputGen::Fn(|| inputs::descending(32))),
+    reference_checksum: Reference::Host(reference::insertsort),
 };
 
 /// FIR filter (extra kernel, branch-free).
 pub static FIR: Benchmark = Benchmark {
-    name: "fir",
-    description: "16-tap FIR filter over a speech-like buffer",
-    source: include_str!("mc/fir.mc"),
-    input_global: "input",
-    count_global: "n_samples",
-    typical_input: || inputs::speech_like(256, 0xF1A),
+    name: Cow::Borrowed("fir"),
+    description: Cow::Borrowed("16-tap FIR filter over a speech-like buffer"),
+    source: Cow::Borrowed(include_str!("mc/fir.mc")),
+    input_global: Cow::Borrowed("input"),
+    count_global: Cow::Borrowed("n_samples"),
+    typical_input: InputGen::Fn(|| inputs::speech_like(256, 0xF1A)),
     worst_input: None,
-    reference_checksum: |i| reference::fir(i),
+    reference_checksum: Reference::Host(reference::fir),
 };
 
 /// CRC-32 (extra kernel, balanced data-dependent branches).
 pub static CRC32: Benchmark = Benchmark {
-    name: "crc32",
-    description: "Bitwise CRC-32 over a byte buffer",
-    source: include_str!("mc/crc32.mc"),
-    input_global: "data",
-    count_global: "n_bytes",
-    typical_input: || inputs::random_bytes(256, 0xCAFE),
+    name: Cow::Borrowed("crc32"),
+    description: Cow::Borrowed("Bitwise CRC-32 over a byte buffer"),
+    source: Cow::Borrowed(include_str!("mc/crc32.mc")),
+    input_global: Cow::Borrowed("data"),
+    count_global: Cow::Borrowed("n_bytes"),
+    typical_input: InputGen::Fn(|| inputs::random_bytes(256, 0xCAFE)),
     worst_input: None,
-    reference_checksum: |i| reference::crc32(i),
+    reference_checksum: Reference::Host(reference::crc32),
 };
 
 /// The three benchmarks of the paper's Table 2.
@@ -228,7 +355,7 @@ mod tests {
 
     #[test]
     fn adpcm_matches_reference() {
-        let input = (ADPCM.typical_input)();
+        let input = ADPCM.typical_input();
         assert_eq!(run_checksum(&ADPCM, &input), reference::adpcm(&input));
     }
 
@@ -242,17 +369,17 @@ mod tests {
 
     #[test]
     fn multisort_matches_reference_typical_and_worst() {
-        let t = (MULTISORT.typical_input)();
+        let t = MULTISORT.typical_input();
         assert_eq!(run_checksum(&MULTISORT, &t), reference::multisort(&t));
-        let w = (MULTISORT.worst_input.unwrap())();
+        let w = MULTISORT.worst_input().unwrap();
         assert_eq!(run_checksum(&MULTISORT, &w), reference::multisort(&w));
     }
 
     #[test]
     fn insertsort_matches_reference() {
         for input in [
-            (INSERTSORT.typical_input)(),
-            (INSERTSORT.worst_input.unwrap())(),
+            INSERTSORT.typical_input(),
+            INSERTSORT.worst_input().unwrap(),
         ] {
             assert_eq!(
                 run_checksum(&INSERTSORT, &input),
@@ -263,13 +390,13 @@ mod tests {
 
     #[test]
     fn fir_matches_reference() {
-        let input = (FIR.typical_input)();
+        let input = FIR.typical_input();
         assert_eq!(run_checksum(&FIR, &input), reference::fir(&input));
     }
 
     #[test]
     fn crc32_matches_reference() {
-        let input = (CRC32.typical_input)();
+        let input = CRC32.typical_input();
         assert_eq!(run_checksum(&CRC32, &input), reference::crc32(&input));
     }
 
@@ -278,5 +405,33 @@ mod tests {
         assert!(benchmark("g721").is_some());
         assert!(benchmark("nope").is_none());
         assert_eq!(all_benchmarks().len(), 6);
+    }
+
+    #[test]
+    fn fixed_input_and_interp_oracle_roundtrip() {
+        // A hand-rolled generated-style benchmark: fixed input + interp
+        // oracle must agree with the simulated checksum.
+        let src = "int input[4] = {0}; int n_samples = 4; int checksum;\n\
+                   void main() { int i; for (i = 0; i < 4; i = i + 1) { __loopbound(4); \
+                   checksum = checksum * 17 + input[i]; } }";
+        let program = spmlab_cc::parse_source(src).expect("parse");
+        let b = Benchmark {
+            name: Cow::Owned("gen-smoke".to_string()),
+            description: Cow::Borrowed("interp-oracle smoke test"),
+            source: Cow::Owned(src.to_string()),
+            input_global: Cow::Borrowed("input"),
+            count_global: Cow::Borrowed("n_samples"),
+            typical_input: InputGen::Fixed(Arc::new(vec![3, -7, 11, 100])),
+            worst_input: None,
+            reference_checksum: Reference::Interp {
+                program: Arc::new(program),
+                max_steps: 100_000,
+            },
+        };
+        let input = b.typical_input();
+        assert_eq!(input, vec![3, -7, 11, 100]);
+        assert!(b.worst_input().is_none());
+        let expected = b.reference_checksum(&input);
+        assert_eq!(run_checksum(&b, &input), expected);
     }
 }

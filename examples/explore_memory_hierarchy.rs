@@ -32,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "unknown benchmark `{name}`; try one of: {}",
             spmlab_workloads::all_benchmarks()
                 .iter()
-                .map(|b| b.name)
+                .map(|b| b.name.as_ref())
                 .collect::<Vec<_>>()
                 .join(", ")
         )

@@ -1,0 +1,59 @@
+//! Golden-corpus regression test: `tests/corpus/` pins twelve generated
+//! programs (three per footprint class) with their simulated checksums,
+//! uncached cycle counts and WCET bounds.
+//!
+//! The generator must reproduce each pinned `.mc` byte-for-byte from its
+//! seed (determinism across refactors), and the toolchain must reproduce
+//! the recorded numbers exactly (timing-model drift detection). After an
+//! *intentional* generator or timing change, regenerate the corpus with
+//! `experiments gen-corpus tests/corpus` and review the diff.
+
+use spmlab_bench::fuzz::{corpus_entry, CORPUS_SEEDS};
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+#[test]
+fn corpus_matches_pinned_sources_and_measurements() {
+    let dir = corpus_dir();
+    let manifest = std::fs::read_to_string(dir.join("manifest.tsv")).expect("manifest.tsv");
+    let mut pinned = 0;
+    for line in manifest.lines().filter(|l| !l.starts_with('#')) {
+        let fields: Vec<&str> = line.split('\t').collect();
+        assert_eq!(fields.len(), 5, "malformed manifest line: {line}");
+        let seed: u64 = fields[0].parse().expect("seed");
+        let name = fields[1];
+        let checksum: i32 = fields[2].parse().expect("checksum");
+        let cycles: u64 = fields[3].parse().expect("cycles");
+        let wcet: u64 = fields[4].parse().expect("wcet");
+
+        let e = corpus_entry(seed).expect("corpus entry regenerates");
+        assert_eq!(e.name, name, "seed {seed}: benchmark name changed");
+
+        let pinned_src =
+            std::fs::read_to_string(dir.join(format!("{name}.mc"))).expect("pinned source");
+        assert_eq!(
+            e.source, pinned_src,
+            "seed {seed}: generator no longer reproduces the pinned source — \
+             if intentional, rerun `experiments gen-corpus tests/corpus`"
+        );
+        assert_eq!(e.checksum, checksum, "seed {seed}: checksum drifted");
+        assert_eq!(
+            e.uncached_cycles, cycles,
+            "seed {seed}: uncached cycle count drifted"
+        );
+        assert_eq!(e.wcet_cycles, wcet, "seed {seed}: WCET bound drifted");
+        assert!(
+            e.wcet_cycles >= e.uncached_cycles,
+            "seed {seed}: pinned point is unsound"
+        );
+        pinned += 1;
+    }
+    assert_eq!(
+        pinned,
+        CORPUS_SEEDS.len(),
+        "manifest does not cover every corpus seed"
+    );
+}

@@ -81,7 +81,7 @@ fn knapsack_allocation_is_input_independent() {
             )
             .unwrap();
         let r = simulate(&l.exe, &MachineConfig::uncached(), &SimOptions::default()).unwrap();
-        let expected = (MULTISORT.reference_checksum)(&input);
+        let expected = MULTISORT.reference_checksum(&input);
         assert_eq!(
             r.read_global(&l.exe, "checksum"),
             Some(expected),

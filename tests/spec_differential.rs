@@ -119,7 +119,7 @@ fn baseline_flags_reproduce_seed_bounds() {
     use spmlab_isa::mem::MemoryMap;
     use spmlab_wcet::{analyze, WcetConfig};
     let module = G721.compile().unwrap();
-    let input = (G721.typical_input)();
+    let input = G721.typical_input();
     let linked = G721
         .link_with_input(
             &module,
