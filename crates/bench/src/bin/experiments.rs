@@ -50,7 +50,9 @@
 //!
 //! `fuzz` drives the seeded MiniC generator through every differential the
 //! toolchain supports (interpreter oracle, printer round-trip, simulator
-//! checksum, WCET soundness at the default spec points); the first failing
+//! checksum, v2-trace replay vs fresh simulation, WCET soundness — the
+//! latter two at the default spec points *plus* a random machine drawn
+//! deterministically per seed); the first failing
 //! seed is delta-debugged to a minimal `.mc` repro written to
 //! `--repro-out` (default `fuzz-repro.mc`). `--inject-miscompile` plants a
 //! wrong strength-reduction into the compiled side only and demands the
@@ -85,7 +87,8 @@ fn usage() -> String {
          [--checkpoint <dir>] [--dry-run]\n\
          \x20      experiments merge-shards <out.jsonl> <shard.jsonl>...\n\
          \x20      experiments fuzz --seed-range <a..b> [--spec <file.json>] \
-         [--inject-miscompile] [--repro-out <f.mc>]",
+         [--inject-miscompile] [--repro-out <f.mc>]\n\
+         \x20      experiments [--quick] dump-trace <out.bin>",
         EXPERIMENTS.join("|")
     )
 }
@@ -296,6 +299,26 @@ fn main() {
     // Golden-corpus regeneration: `gen-corpus <dir>` rewrites the pinned
     // generated programs + manifest (run after intentional generator or
     // timing-model changes; the corpus test diffs against these files).
+    // v2-trace artifact: `dump-trace <out.bin>` serializes the G.721
+    // (ADPCM with --quick) baseline's ordered trace, round-trip-verified.
+    if let Some(pos) = args.iter().position(|a| a == "dump-trace") {
+        let Some(out) = args.get(pos + 1) else {
+            eprintln!("error: dump-trace needs an output path argument");
+            std::process::exit(2);
+        };
+        let quick = args.iter().any(|a| a == "--quick");
+        match spmlab_bench::dump_trace(quick, std::path::Path::new(out)) {
+            Ok(report) => {
+                print!("{report}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     if let Some(pos) = args.iter().position(|a| a == "gen-corpus") {
         let Some(dir) = args.get(pos + 1) else {
             eprintln!("error: gen-corpus needs a directory argument");

@@ -10,10 +10,22 @@
 //!    same object module as the direct AST path.
 //! 3. **Simulator differential** — the program links and runs on the
 //!    uncached machine; the simulated `checksum` must equal the oracle.
-//! 4. **Soundness** — a [`Pipeline`] over the generated benchmark runs
+//! 4. **Replay differential** — the run is re-recorded as an ordered
+//!    (v2) event trace and replayed on every spec machine; replay must
+//!    be bit-identical to fresh simulation (cycles and every
+//!    [`spmlab_sim::MemStats`] counter) on each.
+//! 5. **Soundness** — a [`Pipeline`] over the generated benchmark runs
 //!    at every default spec point (uncached, unified L1, split L1 + L2,
 //!    and a write-back variant); `sim_cycles ≤ wcet_cycles` must hold at
 //!    each, and the pipeline's own checksum verification must pass.
+//!
+//! Stages 4 and 5 also cover a **per-seed random machine**
+//! ([`random_spec_for_seed`]): a splitmix64 stream keyed by the seed
+//! draws a fresh `MemArchSpec` — random L1 shape/size/associativity/
+//! replacement/write policy, optional (possibly write-back) L2, random
+//! main-memory timing with an optional store buffer — so the fuzzer
+//! explores the machine space alongside the program space while staying
+//! reproducible from the seed alone.
 //!
 //! On the first failing seed the integrated delta-debugging shrinker
 //! ([`spmlab_workloads::gen::shrink`]) minimises the program under "same
@@ -30,11 +42,11 @@ use spmlab::pipeline::Pipeline;
 use spmlab_cc::ast::Program;
 use spmlab_cc::{codegen, compile, interp, link, parse_source, print, sema, SpmAssignment};
 use spmlab_isa::archspec::MemArchSpec;
-use spmlab_isa::cachecfg::CacheConfig;
-use spmlab_isa::hierarchy::{MemHierarchyConfig, L1};
+use spmlab_isa::cachecfg::{CacheConfig, CacheScope, Replacement, WritePolicy};
+use spmlab_isa::hierarchy::{MainMemoryTiming, MemHierarchyConfig, StoreBuffer, L1};
 use spmlab_isa::mem::MemoryMap;
 use spmlab_sim::machine::{simulate, SimOptions};
-use spmlab_sim::MachineConfig;
+use spmlab_sim::{simulate_with_trace, MachineConfig};
 use spmlab_workloads::gen::{
     estimate_steps, generate_for_seed, inject_miscompile, reference_arch, shrink, FootprintClass,
     GeneratedProgram,
@@ -122,6 +134,79 @@ pub fn default_fuzz_specs() -> Vec<(String, MemArchSpec)> {
     ]
 }
 
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn random_cache(state: &mut u64, scope: CacheScope) -> CacheConfig {
+    let size = 64u32 << (splitmix64(state) % 5); // 64..=1024
+    let assoc = 1u32 << (splitmix64(state) % 3); // 1/2/4-way; 64/16 = 4 lines
+    let replacement = match splitmix64(state) % 3 {
+        0 => Replacement::Lru,
+        1 => Replacement::RoundRobin,
+        _ => Replacement::Random {
+            seed: splitmix64(state) % 1024,
+        },
+    };
+    let write_policy = if splitmix64(state).is_multiple_of(2) {
+        WritePolicy::WriteThrough
+    } else {
+        WritePolicy::WriteBack
+    };
+    CacheConfig {
+        scope,
+        write_policy,
+        ..CacheConfig::set_assoc(size, assoc, replacement)
+    }
+}
+
+/// A deterministic per-seed machine: a splitmix64 stream keyed by the
+/// fuzz seed draws every choice, so a failing seed rebuilds the same
+/// machine on re-run with no state outside the seed. Roughly half the
+/// drawn machines are write-policy-dependent (write-back levels or
+/// store buffers), which keeps the replay differential exercising the
+/// ordered-event half of the v2 trace format.
+#[must_use]
+pub fn random_spec_for_seed(seed: u64) -> (String, MemArchSpec) {
+    let mut state = seed ^ 0xA076_1D64_78BD_642F;
+    let s = &mut state;
+    let l1 = match splitmix64(s) % 3 {
+        0 => L1::None,
+        1 => L1::Unified(random_cache(s, CacheScope::Unified)),
+        _ => L1::Split {
+            i: Some(random_cache(s, CacheScope::InstrOnly)),
+            d: Some(random_cache(s, CacheScope::DataOnly)),
+        },
+    };
+    let l2 = (splitmix64(s).is_multiple_of(2)).then(|| {
+        let mut l2 = CacheConfig::l2(512 << (splitmix64(s) % 4));
+        if splitmix64(s).is_multiple_of(2) {
+            l2 = l2.write_back();
+        }
+        l2
+    });
+    let mut main = if splitmix64(s).is_multiple_of(2) {
+        MainMemoryTiming::table1()
+    } else {
+        MainMemoryTiming::dram(2 + splitmix64(s) % 10)
+    };
+    if splitmix64(s).is_multiple_of(3) {
+        main = main.with_store_buffer(StoreBuffer::new(
+            1 + (splitmix64(s) % 4) as u32,
+            1 + splitmix64(s) % 9,
+        ));
+    }
+    let h = MemHierarchyConfig { l1, l2, main };
+    (
+        format!("random[{}]", h.label()),
+        MemArchSpec::from_hierarchy(&h),
+    )
+}
+
 /// Interprets a program and reads its `checksum` global.
 fn interp_checksum(p: &Program) -> Result<i32, String> {
     let max_steps = estimate_steps(p) * 4 + 100_000;
@@ -133,13 +218,19 @@ fn interp_checksum(p: &Program) -> Result<i32, String> {
         .ok_or_else(|| "program has no checksum global".into())
 }
 
-/// Compiles `.mc` source, links it uncached, simulates it and reads the
-/// `checksum` global. The generator bakes the input vector into the
-/// `input` array's initialiser, so no link-time patching is needed.
-fn sim_checksum_of_source(source: &str) -> Result<i32, String> {
+/// Compiles and links `.mc` source without a scratchpad. The generator
+/// bakes the input vector into the `input` array's initialiser, so no
+/// link-time patching is needed.
+fn link_source(source: &str) -> Result<spmlab_cc::LinkedProgram, String> {
     let module = compile(source).map_err(|e| format!("compile failed: {e}"))?;
-    let linked = link(&module, &MemoryMap::no_spm(), &SpmAssignment::none())
-        .map_err(|e| format!("link failed: {e}"))?;
+    link(&module, &MemoryMap::no_spm(), &SpmAssignment::none())
+        .map_err(|e| format!("link failed: {e}"))
+}
+
+/// Compiles `.mc` source, links it uncached, simulates it and reads the
+/// `checksum` global.
+fn sim_checksum_of_source(source: &str) -> Result<i32, String> {
+    let linked = link_source(source)?;
     let res = simulate(
         &linked.exe,
         &MachineConfig::uncached(),
@@ -188,7 +279,16 @@ fn check_program(
     }
 
     // 3. Simulator differential against the interp oracle.
-    let got = sim_checksum_of_source(&g.source).map_err(|e| ("sim", e))?;
+    let linked = link_source(&g.source).map_err(|e| ("sim", e))?;
+    let uncached = simulate(
+        &linked.exe,
+        &MachineConfig::uncached(),
+        &SimOptions::default(),
+    )
+    .map_err(|e| ("sim", format!("simulation failed: {e}")))?;
+    let got = uncached
+        .read_global(&linked.exe, "checksum")
+        .ok_or_else(|| ("sim", "no checksum symbol in image".to_string()))?;
     if got != expected {
         return Err((
             "sim-vs-interp",
@@ -196,7 +296,50 @@ fn check_program(
         ));
     }
 
-    // 4. Pipeline soundness at every spec point (the pipeline re-verifies
+    // 4. Replay differential: the ordered (v2) trace recorded on the
+    // uncached machine must replay bit-identically to fresh simulation
+    // on every spec machine — cycles and all MemStats counters,
+    // write-back/store-buffer machinery included.
+    let (_, trace) = simulate_with_trace(&linked.exe, &SimOptions::default())
+        .map_err(|e| ("trace-record", format!("trace recording failed: {e}")))?;
+    for (label, spec) in specs {
+        let h = spec.hierarchy();
+        if !trace.supports(&h) {
+            return Err((
+                "replay-unsupported",
+                format!("[{label}] v2 trace refuses {}", h.label()),
+            ));
+        }
+        let (cycles, stats) = trace
+            .replay(&h)
+            .map_err(|e| ("replay-vs-sim", format!("[{label}] replay failed: {e}")))?;
+        let fresh = simulate(
+            &linked.exe,
+            &MachineConfig::with_hierarchy(h.clone()),
+            &SimOptions::default(),
+        )
+        .map_err(|e| ("replay-vs-sim", format!("[{label}] simulation failed: {e}")))?;
+        if cycles != fresh.cycles {
+            return Err((
+                "replay-vs-sim",
+                format!(
+                    "[{label}] replay {} cycles, fresh simulation {} cycles",
+                    cycles, fresh.cycles
+                ),
+            ));
+        }
+        if stats != fresh.mem_stats {
+            return Err((
+                "replay-vs-sim",
+                format!(
+                    "[{label}] replay stats {stats:?} differ from fresh {:?}",
+                    fresh.mem_stats
+                ),
+            ));
+        }
+    }
+
+    // 5. Pipeline soundness at every spec point (the pipeline re-verifies
     // the simulated checksum against the interp oracle internally).
     let bench = g.benchmark();
     let pipeline = Pipeline::new(&bench).map_err(|e| ("pipeline", e.to_string()))?;
@@ -231,8 +374,9 @@ fn rebuild(g: &GeneratedProgram, p: &Program) -> GeneratedProgram {
 }
 
 /// Fuzzes seeds `start..end` (generated against `arch`, or the
-/// [`reference_arch`] if `None`), pipelining each through `specs`. Stops
-/// at the first failure and shrinks it to a minimal repro.
+/// [`reference_arch`] if `None`), pipelining each through `specs` plus
+/// a per-seed random machine ([`random_spec_for_seed`]). Stops at the
+/// first failure and shrinks it to a minimal repro.
 #[must_use]
 pub fn run_fuzz(
     start: u64,
@@ -248,10 +392,12 @@ pub fn run_fuzz(
         let g = generate_for_seed(seed, arch);
         seeds_run += 1;
         class_counts[(seed % 4) as usize] += 1;
-        if let Err((stage, detail)) = check_program(&g, specs) {
+        let mut seed_specs = specs.to_vec();
+        seed_specs.push(random_spec_for_seed(seed));
+        if let Err((stage, detail)) = check_program(&g, &seed_specs) {
             let small = shrink(
                 &g.program,
-                |p| matches!(check_program(&rebuild(&g, p), specs), Err((s, _)) if s == stage),
+                |p| matches!(check_program(&rebuild(&g, p), &seed_specs), Err((s, _)) if s == stage),
             );
             return FuzzOutcome {
                 seeds_run,
@@ -476,6 +622,31 @@ mod tests {
         assert!(parse_seed_range("5").is_err());
         assert!(parse_seed_range("9..3").is_err());
         assert!(parse_seed_range("a..b").is_err());
+    }
+
+    #[test]
+    fn random_specs_are_deterministic_and_valid() {
+        for seed in 0..64 {
+            let (label_a, a) = random_spec_for_seed(seed);
+            let (label_b, b) = random_spec_for_seed(seed);
+            assert_eq!(label_a, label_b, "seed {seed}: label must be stable");
+            assert_eq!(a, b, "seed {seed}: spec must be stable");
+            a.hierarchy().validate();
+        }
+        // The stream must actually vary the machines and keep a healthy
+        // share of write-policy-dependent ones for the replay stage.
+        let wpd = (0..64)
+            .filter(|&s| {
+                random_spec_for_seed(s)
+                    .1
+                    .hierarchy()
+                    .write_policy_dependent()
+            })
+            .count();
+        assert!(
+            (8..64).contains(&wpd),
+            "expected a mixed machine population, got {wpd}/64 write-policy-dependent"
+        );
     }
 
     #[test]

@@ -624,22 +624,118 @@ impl WritePolicyPoint {
     }
 }
 
+/// A measured write-policy axis: the paired points plus the
+/// replay-vs-full-sim provenance the run demonstrated.
+#[derive(Debug, Clone)]
+pub struct WritePolicySweep {
+    /// Write-through/write-back pairs, axis order.
+    pub points: Vec<WritePolicyPoint>,
+    /// Replay/memo counters (from the replay-mode sweep) and the two
+    /// timed phases (`sweep-replay` / `sweep-full-sim`, nanoseconds).
+    pub provenance: Provenance,
+    /// Wall time of the replay-mode sweep, seconds.
+    pub replay_wall: f64,
+    /// Wall time of the full-simulation reference sweep, seconds.
+    pub full_sim_wall: f64,
+}
+
+impl WritePolicySweep {
+    /// Full-simulation wall time over replay wall time (> 1 means
+    /// replay was faster).
+    pub fn speedup(&self) -> f64 {
+        self.full_sim_wall / self.replay_wall.max(1e-9)
+    }
+}
+
 /// Measures the write-policy axis ([`write_policy_axis`]) on the G.721
-/// benchmark (ADPCM for quick runs): each machine shape under the
-/// paper's write-through policy and its write-back / store-buffered
-/// twin, simulated in full (write-policy-dependent machines are not
-/// trace-replayable) and bounded by the charge-at-store analyzer.
+/// benchmark (ADPCM for quick runs) **twice**: once with the baseline's
+/// ordered (v2) trace replayed at every point — write-back and
+/// store-buffered machines included — and once with the trace disabled
+/// as the full-simulation reference. The two sweeps must agree
+/// bit-identically on cycles, bounds, checksums and (stats-derived)
+/// energy at every point; the replay sweep's counters and both phase
+/// times land in the returned provenance.
 ///
 /// # Errors
 ///
-/// Pipeline failures.
-pub fn write_policy_points(quick: bool) -> Result<Vec<WritePolicyPoint>, CoreError> {
+/// Pipeline failures, or [`CoreError::ChecksumMismatch`]-style
+/// divergence mapped to a panic — replay/full-sim disagreement is a
+/// simulator bug, not a reportable measurement.
+pub fn write_policy_sweep(quick: bool) -> Result<WritePolicySweep, CoreError> {
     let bench = if quick { &ADPCM } else { &G721 };
     let l1 = hierarchy_l1_size(quick);
-    let pipeline = Pipeline::new(bench)?;
     let specs = write_policy_axis(l1);
+    let spec_hash = fnv1a64(
+        &specs
+            .iter()
+            .map(MemArchSpec::label)
+            .collect::<Vec<_>>()
+            .join("|"),
+    );
+
+    // Full-simulation reference: same pipeline, trace dropped. A sink
+    // listens here too so both timed phases carry identical
+    // instrumentation overhead — the speedup compares like with like.
+    let mut full_pipeline = Pipeline::new(bench)?;
+    full_pipeline.disable_trace();
+    let full_sink = std::sync::Arc::new(spmlab_obs::collector::MemorySink::default());
+    let full_guard = spmlab_obs::add_sink(full_sink.clone());
+    let start = std::time::Instant::now();
+    let full = spec_sweep(&full_pipeline, &specs)?;
+    let full_sim_wall = start.elapsed().as_secs_f64();
+    drop(full_guard);
+    assert_eq!(
+        full_sink.counter_total("sweep_replay"),
+        0,
+        "trace-disabled reference must not replay"
+    );
+
+    // Replay mode, with a collector listening so the provenance can
+    // prove the flip (every point replayed, zero full-sim fallbacks).
+    let pipeline = Pipeline::new(bench)?;
+    let sink = std::sync::Arc::new(spmlab_obs::collector::MemorySink::default());
+    let guard = spmlab_obs::add_sink(sink.clone());
+    let start = std::time::Instant::now();
     let results = spec_sweep(&pipeline, &specs)?;
-    Ok(results
+    let replay_wall = start.elapsed().as_secs_f64();
+    drop(guard);
+
+    // The differential: replay must be indistinguishable from full
+    // simulation at every point (energy is a pure function of the
+    // per-level memory statistics, so equal energy ⇒ equal stats
+    // weighting on top of the cycle/bound/checksum identity).
+    for (r, f) in results.iter().zip(&full) {
+        assert_eq!(
+            (r.result.sim_cycles, r.result.wcet_cycles, r.result.checksum),
+            (f.result.sim_cycles, f.result.wcet_cycles, f.result.checksum),
+            "replay diverged from full simulation at {}",
+            r.result.label
+        );
+        assert_eq!(
+            r.result.energy_nj.to_bits(),
+            f.result.energy_nj.to_bits(),
+            "replayed memory statistics diverged at {}",
+            r.result.label
+        );
+    }
+
+    let provenance = Provenance {
+        spec_hash,
+        replay_points: Some(
+            sink.counter_total("sweep_replay") + sink.counter_total("sweep_recorded_reuse"),
+        ),
+        full_sim_points: Some(sink.counter_total("sweep_full_sim")),
+        memo_hits: Some(sink.counter_total("sweep_memo_hit")),
+        memo_misses: Some(sink.counter_total("sweep_memo_miss")),
+        phase_ns: vec![
+            ("sweep-replay".into(), (replay_wall * 1e9).round() as u64),
+            (
+                "sweep-full-sim".into(),
+                (full_sim_wall * 1e9).round() as u64,
+            ),
+        ],
+    };
+    let points = results
         .chunks(2)
         .map(|pair| WritePolicyPoint {
             wt_label: pair[0].result.label.clone(),
@@ -649,7 +745,23 @@ pub fn write_policy_points(quick: bool) -> Result<Vec<WritePolicyPoint>, CoreErr
             wb_sim: pair[1].result.sim_cycles,
             wb_wcet: pair[1].result.wcet_cycles,
         })
-        .collect())
+        .collect();
+    Ok(WritePolicySweep {
+        points,
+        provenance,
+        replay_wall,
+        full_sim_wall,
+    })
+}
+
+/// The paired points of the write-policy axis (see
+/// [`write_policy_sweep`] for the full replay-vs-full-sim measurement).
+///
+/// # Errors
+///
+/// Pipeline failures.
+pub fn write_policy_points(quick: bool) -> Result<Vec<WritePolicyPoint>, CoreError> {
+    Ok(write_policy_sweep(quick)?.points)
 }
 
 /// Whether every point of the write-policy comparison is sound
@@ -665,6 +777,18 @@ pub fn write_policy_sound(points: &[WritePolicyPoint]) -> bool {
 /// `BENCH_write_policy.json` artifact (hand-rolled JSON; the build
 /// environment has no serde_json).
 pub fn write_policy_json(points: &[WritePolicyPoint], quick: bool) -> String {
+    write_policy_json_with_provenance(points, quick, None)
+}
+
+/// [`write_policy_json`] plus an optional `"provenance"` block: git
+/// revision, canonical axis hash, the replay/full-sim/memo counters of
+/// the replay-mode sweep, and the timed `sweep-replay` /
+/// `sweep-full-sim` phases that demonstrate the replay speedup.
+pub fn write_policy_json_with_provenance(
+    points: &[WritePolicyPoint],
+    quick: bool,
+    provenance: Option<&Provenance>,
+) -> String {
     let mut rows = String::new();
     for (i, p) in points.iter().enumerate() {
         if i > 0 {
@@ -681,8 +805,38 @@ pub fn write_policy_json(points: &[WritePolicyPoint], quick: bool) -> String {
             p.wb_wcet,
         ));
     }
+    let prov = provenance.map_or_else(String::new, |p| {
+        let opt = |name: &str, v: Option<u64>| {
+            v.map_or_else(String::new, |v| format!(",\n    \"{name}\": {v}"))
+        };
+        let mut phases = String::new();
+        for (i, (name, ns)) in p.phase_ns.iter().enumerate() {
+            if i > 0 {
+                phases.push(',');
+            }
+            phases.push_str(&format!(
+                "\n      {{\"phase\": \"{}\", \"self_ns\": {ns}}}",
+                name.replace('"', "'")
+            ));
+        }
+        let phases = if phases.is_empty() {
+            String::new()
+        } else {
+            format!(",\n    \"phases\": [{phases}\n    ]")
+        };
+        format!(
+            ",\n  \"provenance\": {{\n    \"rev\": \"{}\",\n    \"spec_hash\": \"{}\"{}{}{}{}{}\n  }}",
+            git_revision().replace('"', "'"),
+            p.spec_hash.replace('"', "'"),
+            opt("replay_points", p.replay_points),
+            opt("full_sim_points", p.full_sim_points),
+            opt("memo_hits", p.memo_hits),
+            opt("memo_misses", p.memo_misses),
+            phases
+        )
+    });
     format!(
-        "{{\n  \"benchmark\": \"{}\",\n  \"quick\": {quick},\n  \"sound\": {},\n  \
+        "{{\n  \"benchmark\": \"{}\",\n  \"quick\": {quick},\n  \"sound\": {}{prov},\n  \
          \"points\": [{rows}\n  ]\n}}\n",
         if quick { &ADPCM.name } else { &G721.name },
         write_policy_sound(points)
@@ -691,15 +845,32 @@ pub fn write_policy_json(points: &[WritePolicyPoint], quick: bool) -> String {
 
 /// Write-policy scenario: write-through vs write-back (and a store
 /// buffer) across the standard machine shapes — simulated cycles, WCET
-/// bounds, and the per-pair deltas. Full runs also rewrite the tracked
-/// `BENCH_write_policy.json` artifact in the workspace root (quick smoke
-/// runs leave it untouched).
+/// bounds, and the per-pair deltas. The axis is measured twice (trace
+/// replay vs full simulation, bit-identical by construction); the
+/// report shows the replay speedup and the counter flip, every run
+/// appends a history line to `bench_history.jsonl`, and full runs also
+/// rewrite the tracked `BENCH_write_policy.json` artifact in the
+/// workspace root (quick smoke runs leave it untouched).
 ///
 /// # Errors
 ///
 /// Pipeline failures; artifact IO errors are reported inline, not fatal.
 pub fn exp_write_policy(quick: bool) -> Result<String, CoreError> {
-    let points = write_policy_points(quick)?;
+    exp_write_policy_with_artifacts(quick, &workspace_root())
+}
+
+/// [`exp_write_policy`] against an explicit artifact root (tests point
+/// this at a temp directory).
+///
+/// # Errors
+///
+/// Pipeline failures; artifact IO errors are reported inline, not fatal.
+pub fn exp_write_policy_with_artifacts(
+    quick: bool,
+    root: &std::path::Path,
+) -> Result<String, CoreError> {
+    let sweep = write_policy_sweep(quick)?;
+    let points = sweep.points.clone();
     let rows: Vec<Vec<String>> = points
         .iter()
         .map(|p| {
@@ -737,17 +908,65 @@ pub fn exp_write_policy(quick: bool) -> Result<String, CoreError> {
             "NO — BUG"
         }
     ));
+    out.push_str(&format!(
+        "replay vs full simulation: bit-identical at every point; \
+         {} replayed, {} full-sim fallbacks, {} memo hits; \
+         replay sweep {:.3}s vs full-sim sweep {:.3}s ({:.1}x)\n",
+        sweep.provenance.replay_points.unwrap_or(0),
+        sweep.provenance.full_sim_points.unwrap_or(0),
+        sweep.provenance.memo_hits.unwrap_or(0),
+        sweep.replay_wall,
+        sweep.full_sim_wall,
+        sweep.speedup(),
+    ));
     // Only full runs refresh the tracked artifact — a --quick smoke run
     // (CI) must not clobber the committed full-axis numbers, mirroring
     // the hierarchy experiment's convention.
     if quick {
         out.push_str("quick axis: BENCH_write_policy.json left untouched\n");
     } else {
-        let path = workspace_root().join("BENCH_write_policy.json");
-        match std::fs::write(&path, write_policy_json(&points, quick)) {
+        let path = root.join("BENCH_write_policy.json");
+        match std::fs::write(
+            &path,
+            write_policy_json_with_provenance(&points, quick, Some(&sweep.provenance)),
+        ) {
             Ok(()) => out.push_str(&format!("wrote {}\n", path.display())),
             Err(e) => out.push_str(&format!("could not write {}: {e}\n", path.display())),
         }
+    }
+    // Every run (quick included) records the replay-vs-full-sim split
+    // and both phase times in the tracked history log — the speedup is
+    // a measured, versioned fact, not a claim in prose.
+    let max_ratio = points
+        .iter()
+        .flat_map(|p| {
+            [
+                p.wt_wcet as f64 / p.wt_sim.max(1) as f64,
+                p.wb_wcet as f64 / p.wb_sim.max(1) as f64,
+            ]
+        })
+        .fold(0.0, f64::max);
+    let record = BenchRecord {
+        rev: git_revision(),
+        benchmark: format!(
+            "{}-write-policy",
+            if quick { &ADPCM.name } else { &G721.name }
+        ),
+        quick,
+        wall_seconds: sweep.replay_wall,
+        points: points.len() * 2,
+        max_ratio,
+        sound: write_policy_sound(&points),
+        provenance: None,
+    }
+    .with_provenance(sweep.provenance.clone());
+    let history_path = root.join("bench_history.jsonl");
+    match append_history(&history_path, &record) {
+        Ok(()) => out.push_str(&format!("appended {}\n", history_path.display())),
+        Err(e) => out.push_str(&format!(
+            "could not append {}: {e}\n",
+            history_path.display()
+        )),
     }
     Ok(out)
 }
@@ -868,6 +1087,38 @@ pub fn exp_ablation_assoc(quick: bool) -> Result<String, CoreError> {
         "Ablation: associativity/replacement at {size} B (G.721)\n{}",
         report::render_table(&["configuration", "sim", "wcet", "ratio"], &rows)
     ))
+}
+
+/// Serializes the G.721 (ADPCM for quick runs) baseline's ordered (v2)
+/// memory trace in its versioned wire format to `path` — the CI
+/// artifact proving the recorded stream decodes and replays. The bytes
+/// are round-trip-verified (decode + uncached replay) before writing.
+///
+/// # Errors
+///
+/// Pipeline failures; IO errors are reported in the returned text.
+pub fn dump_trace(quick: bool, path: &std::path::Path) -> Result<String, CoreError> {
+    let bench = if quick { &ADPCM } else { &G721 };
+    let pipeline = Pipeline::new(bench)?;
+    let bytes = pipeline
+        .trace_bytes()
+        .expect("the uncached baseline always records a replayable v2 trace");
+    let decoded =
+        spmlab_sim::MemTrace::from_bytes(&bytes).expect("a freshly serialized trace must decode");
+    assert_eq!(decoded.version(), 2, "the recorder emits ordered traces");
+    decoded
+        .replay(&spmlab::MemHierarchyConfig::uncached())
+        .expect("a decoded v2 trace must replay");
+    match std::fs::write(path, &bytes) {
+        Ok(()) => Ok(format!(
+            "wrote {} ({} bytes, v2, {} events) for benchmark {}\n",
+            path.display(),
+            bytes.len(),
+            decoded.events(),
+            bench.name,
+        )),
+        Err(e) => Ok(format!("could not write {}: {e}\n", path.display())),
+    }
 }
 
 /// Ablation: energy-optimal vs WCET-aware allocation (paper §5 future

@@ -15,8 +15,8 @@ use spmlab_isa::archspec::{MemArchSpec, SpmAllocation, SpmSpec};
 use spmlab_isa::hierarchy::{MainMemoryTiming, L1};
 use spmlab_isa::mem::MemoryMap;
 use spmlab_sim::{
-    simulate, simulate_with_trace, MachineConfig, MemStats, MemTrace, Profile, SimOptions,
-    SimResult,
+    simulate, simulate_with_trace, MachineConfig, MemStats, MemTrace, Profile, SimError,
+    SimOptions, SimResult,
 };
 use spmlab_wcet::cache::ClassifyStats;
 use spmlab_wcet::{analyze, AnalysisBudget, WcetConfig};
@@ -202,6 +202,22 @@ impl Pipeline {
         self.analysis_budget = budget;
     }
 
+    /// Drops the recorded baseline trace: every subsequent point runs
+    /// full simulation (`sweep_full_sim`), never trace replay. The
+    /// reference mode for replay-vs-full-sim differentials and speedup
+    /// measurements — results must be bit-identical either way.
+    pub fn disable_trace(&mut self) {
+        self.trace = None;
+    }
+
+    /// The baseline execution's recorded trace, serialized in the
+    /// versioned wire format (see `spmlab_sim::trace`), if the baseline
+    /// produced a replayable one. The bytes round-trip through
+    /// [`MemTrace::from_bytes`] and replay on any supported hierarchy.
+    pub fn trace_bytes(&self) -> Option<Vec<u8>> {
+        self.trace.as_ref().map(MemTrace::to_bytes)
+    }
+
     /// The per-point analysis budget in force.
     pub fn analysis_budget(&self) -> AnalysisBudget {
         self.analysis_budget
@@ -273,9 +289,9 @@ impl Pipeline {
     /// Write-policy-dependent shapes (any write-back level, or a store
     /// buffer) always take the multi-level path — it carries the
     /// charge-at-store write-back rule (`spmlab_wcet::dirty`) the
-    /// single-level analyzer lacks — and are simulated in full instead of
-    /// replayed (recorded traces hold write-through traffic only; see
-    /// `MemTrace::supports`).
+    /// single-level analyzer lacks. They replay from the ordered (v2)
+    /// trace like every other shape; only count-based (v1) traces force
+    /// them into full simulation (see `MemTrace::supports`).
     ///
     /// (The single-level analyzer is kept for the paper's exact ARM7
     /// setup — its numbers are pinned by `tests/spec_differential.rs`.
@@ -378,36 +394,60 @@ impl Pipeline {
         }
     }
 
+    /// Attempts to price `hierarchy` from `trace`, bumping the
+    /// `sweep_replay` counter on success. Returns `Ok(None)` when no
+    /// trace is available, the trace does not support the hierarchy
+    /// (count-based v1 trace × write-policy-dependent machine), or the
+    /// replay diverged on a recorded cycle-register value — every case
+    /// where the caller should simulate in full instead. Real replay
+    /// failures (watchdog expiry) propagate.
+    fn try_replay(
+        trace: Option<&MemTrace>,
+        hierarchy: &spmlab_isa::hierarchy::MemHierarchyConfig,
+    ) -> Result<Option<(u64, MemStats)>, CoreError> {
+        let Some(trace) = trace.filter(|t| t.supports(hierarchy)) else {
+            return Ok(None);
+        };
+        match trace.replay(hierarchy) {
+            Ok((cycles, stats)) => {
+                spmlab_obs::counter("sweep_replay", 1);
+                Ok(Some((cycles, stats)))
+            }
+            Err(SimError::ReplayDivergence { .. }) => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
     /// Cache/hierarchy branch: runs on the shared no-scratchpad link,
     /// replaying the baseline execution's memory trace under the spec's
     /// hierarchy (bit-identical to a fresh simulation, minus the
-    /// interpreter); falls back to full simulation for timing-dependent
-    /// programs. The replayed memory image equals the baseline's, so its
-    /// validated checksum carries over.
+    /// interpreter); falls back to full simulation when the trace cannot
+    /// price this machine (see [`Pipeline::try_replay`]). The replayed
+    /// memory image equals the baseline's, so its validated checksum
+    /// carries over.
     fn measure_no_spm(&self, canon: &MemArchSpec) -> Result<ArchMeasurement, CoreError> {
         let linked = &self.no_spm_link;
         let hierarchy = canon.hierarchy();
-        // Recorded traces carry write-through traffic only: a
-        // write-policy-dependent machine (write-back level / store
-        // buffer) falls back to full simulation instead of silently
-        // replaying the wrong write timing.
-        let (sim_cycles, mem_stats, checksum) = match &self.trace {
-            Some(trace) if trace.supports(&hierarchy) => {
-                spmlab_obs::counter("sweep_replay", 1);
-                let (cycles, stats) = trace.replay(&hierarchy)?;
-                (cycles, stats, self.expected_checksum)
-            }
-            _ => {
-                spmlab_obs::counter("sweep_full_sim", 1);
-                let sim = simulate(
-                    &linked.exe,
-                    &MachineConfig::with_hierarchy(hierarchy.clone()),
-                    &self.sweep_options(),
-                )?;
-                let checksum = self.check(&sim, &linked.exe)?;
-                (sim.cycles, sim.mem_stats, checksum)
-            }
-        };
+        // Ordered (v2) traces replay any hierarchy, write-back and
+        // store-buffered machines included; count-based (v1) traces
+        // refuse write-policy-dependent shapes via `supports`. A replay
+        // divergence (a recorded MMIO cycle-register value that differs
+        // under the target timing) falls back to full simulation instead
+        // of failing the point.
+        let (sim_cycles, mem_stats, checksum) =
+            match Pipeline::try_replay(self.trace.as_ref(), &hierarchy)? {
+                Some((cycles, stats)) => (cycles, stats, self.expected_checksum),
+                None => {
+                    spmlab_obs::counter("sweep_full_sim", 1);
+                    let sim = simulate(
+                        &linked.exe,
+                        &MachineConfig::with_hierarchy(hierarchy.clone()),
+                        &self.sweep_options(),
+                    )?;
+                    let checksum = self.check(&sim, &linked.exe)?;
+                    (sim.cycles, sim.mem_stats, checksum)
+                }
+            };
         let wcet = Pipeline::analyzed(
             &linked.exe,
             &self.wcet_config_for(canon),
@@ -447,9 +487,8 @@ impl Pipeline {
             // The recording machine *is* the uncached Table-1 machine.
             spmlab_obs::counter("sweep_recorded_reuse", 1);
             (arts.recorded_cycles, arts.recorded_stats.clone())
-        } else if let Some(trace) = arts.trace.as_ref().filter(|t| t.supports(&hierarchy)) {
-            spmlab_obs::counter("sweep_replay", 1);
-            trace.replay(&hierarchy)?
+        } else if let Some(replayed) = Pipeline::try_replay(arts.trace.as_ref(), &hierarchy)? {
+            replayed
         } else {
             spmlab_obs::counter("sweep_full_sim", 1);
             let sim = simulate(

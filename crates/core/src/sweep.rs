@@ -619,6 +619,12 @@ pub struct HierarchyPoint {
 pub(crate) struct Footprint {
     intervals: Vec<(u32, u32)>,
     ranges: Vec<(u32, u32)>,
+    /// Every *store* target is constrained and inside the enumerated
+    /// intervals too. Write-policy-dependent machines (write-allocate
+    /// installs make store addresses tag-store-relevant) may only
+    /// footprint-collapse when this holds; all-write-through machines
+    /// don't care (their stores never touch a tag store).
+    writes_covered: bool,
 }
 
 /// Computes the sweep footprint for `pipeline`'s no-scratchpad link:
@@ -631,18 +637,28 @@ pub(crate) fn sweep_footprint(pipeline: &Pipeline) -> Option<Footprint> {
     let linked = pipeline.no_spm_link();
     // Unannotated loads default to `AddrInfo::Unknown`; walking the real
     // instruction stream (not just the annotation set, which omits them)
-    // is the only way to see these. Writes are exempt because the memo
-    // only ever collapses all-write-through specs (see
-    // `effective_spec_key`): write-through stores never touch a tag
-    // store and their cost depends only on the access width, while
-    // write-policy-dependent machines keep exact keys.
+    // is the only way to see these. An unconstrained *store* merely
+    // clears `writes_covered`: write-through machines collapse anyway
+    // (their stores never touch a tag store and cost only the access
+    // width), while write-policy-dependent machines — where
+    // write-allocate makes store addresses load-bearing — collapse only
+    // with full write coverage (see `effective_spec_key`).
     let cfgs = spmlab_wcet::cfg::build_all(&linked.exe).ok()?;
+    let mut writes_covered = true;
     for cfg in cfgs.values() {
         for block in cfg.blocks.values() {
             for (addr, insn) in &block.insns {
                 for acc in spmlab_wcet::addrinfo::data_accesses(insn, *addr, &linked.annotations) {
-                    if !acc.is_write && matches!(acc.info, spmlab_isa::annot::AddrInfo::Unknown) {
-                        return None;
+                    if matches!(acc.info, spmlab_isa::annot::AddrInfo::Unknown) {
+                        if acc.is_write {
+                            // An unconstrained store only matters on
+                            // machines where store addresses touch a tag
+                            // store: the footprint survives, but loses
+                            // write coverage.
+                            writes_covered = false;
+                        } else {
+                            return None;
+                        }
                     }
                 }
             }
@@ -693,7 +709,11 @@ pub(crate) fn sweep_footprint(pipeline: &Pipeline) -> Option<Footprint> {
     if let Some(iv) = clip(map.stack_top.saturating_sub(stack_bytes), map.stack_top) {
         intervals.push(iv);
     }
-    Some(Footprint { intervals, ranges })
+    Some(Footprint {
+        intervals,
+        ranges,
+        writes_covered,
+    })
 }
 
 /// Whether `cfg` is *conflict-free* over the footprint: every reachable
@@ -747,15 +767,20 @@ fn level_key(cfg: &CacheConfig, fp: Option<&Footprint>) -> String {
 /// The effective-configuration memo key of one **canonical** spec: two
 /// specs with equal keys produce identical simulations *and* identical
 /// WCET analyses for this program, so one measurement serves both sweep
-/// points. The footprint collapse only applies to no-scratchpad,
-/// all-write-through specs — the footprint describes the shared
-/// no-scratchpad link, scratchpad specs run their own image, and the
-/// footprint enumerates *read* targets only (write-through stores never
-/// touch a tag store), so write-policy-dependent machines — where
-/// write-allocate makes store addresses load-bearing — keep exact keys.
+/// points. The footprint collapse only applies to no-scratchpad specs —
+/// the footprint describes the shared no-scratchpad link, while
+/// scratchpad specs run their own image. Write-policy-dependent machines
+/// — where write-allocate makes store addresses load-bearing —
+/// additionally require the footprint to cover every store target
+/// ([`Footprint::writes_covered`]); conflict-freedom then rules out
+/// evictions for dirty lines exactly as it does for clean ones.
 pub(crate) fn effective_spec_key(canon: &MemArchSpec, fp: Option<&Footprint>) -> String {
-    let fp = if canon.spm.is_some() || canon.hierarchy().write_policy_dependent() {
+    let fp = if canon.spm.is_some() {
         None
+    } else if canon.hierarchy().write_policy_dependent() {
+        // Write-allocate makes store addresses load-bearing: the collapse
+        // additionally needs every store target inside the footprint.
+        fp.filter(|f| f.writes_covered)
     } else {
         fp
     };
@@ -879,6 +904,41 @@ mod tests {
     }
 
     #[test]
+    fn write_back_hierarchy_sweep_matches_individual_runs() {
+        // The memoised + replayed sweep must equal point-by-point direct
+        // runs on write-policy-dependent machines too — this exercises
+        // both the ordered-trace replay and the write-covered footprint
+        // collapse (when eligible) end to end.
+        use spmlab_isa::hierarchy::StoreBuffer;
+        let p = Pipeline::new(&INSERTSORT).unwrap();
+        let configs = vec![
+            MemHierarchyConfig::l1_only(CacheConfig::unified(256).write_back()),
+            MemHierarchyConfig::l1_only(CacheConfig::unified(2048).write_back()),
+            MemHierarchyConfig::l1_only(CacheConfig::unified(8192).write_back()),
+            MemHierarchyConfig::split_l1(256, 256).with_l2(CacheConfig::l2(2048).write_back()),
+            MemHierarchyConfig::uncached_with(
+                spmlab_isa::hierarchy::MainMemoryTiming::table1()
+                    .with_store_buffer(StoreBuffer::new(4, 6)),
+            ),
+        ];
+        let swept = hierarchy_sweep(&p, &configs).unwrap();
+        for (point, h) in swept.iter().zip(&configs) {
+            let direct = p.run(&MemArchSpec::from_hierarchy(h)).unwrap();
+            assert_eq!(
+                point.result.sim_cycles, direct.sim_cycles,
+                "{}",
+                direct.label
+            );
+            assert_eq!(
+                point.result.wcet_cycles, direct.wcet_cycles,
+                "{}",
+                direct.label
+            );
+            assert!((point.result.energy_nj - direct.energy_nj).abs() < 1e-9);
+        }
+    }
+
+    #[test]
     fn oversized_levels_share_an_effective_key() {
         // Once a cache level's sets cover the whole footprint one line
         // each, growing it further cannot change behaviour: the memo must
@@ -887,6 +947,7 @@ mod tests {
         let fp = Footprint {
             intervals: vec![(0x0010_0000, 0x0010_0400)], // 1 KiB ⇒ 64 16-B lines
             ranges: vec![],
+            writes_covered: true,
         };
         let small_a = CacheConfig::unified(64);
         let small_b = CacheConfig::unified(128);
@@ -952,10 +1013,28 @@ mod tests {
         let fp = Footprint {
             intervals: vec![(0x0010_0000, 0x0010_0400)],
             ranges: vec![],
+            writes_covered: true,
         };
         assert_ne!(
             effective_spec_key(&spm_a.canonical(), Some(&fp)),
             effective_spec_key(&spm_b.canonical(), Some(&fp))
+        );
+        // Write-policy-dependent specs collapse only with write coverage.
+        let wb_a = MemArchSpec::single_cache(CacheConfig::unified(2048).write_back());
+        let wb_b = MemArchSpec::single_cache(CacheConfig::unified(8192).write_back());
+        assert_eq!(
+            effective_spec_key(&wb_a.canonical(), Some(&fp)),
+            effective_spec_key(&wb_b.canonical(), Some(&fp)),
+            "conflict-free WB levels collapse when stores are covered"
+        );
+        let uncovered = Footprint {
+            writes_covered: false,
+            ..fp.clone()
+        };
+        assert_ne!(
+            effective_spec_key(&wb_a.canonical(), Some(&uncovered)),
+            effective_spec_key(&wb_b.canonical(), Some(&uncovered)),
+            "unconstrained stores keep exact keys on WB machines"
         );
     }
 
@@ -1055,6 +1134,7 @@ mod tests {
         let fp = Footprint {
             intervals: vec![(0x0010_0000, 0x0010_0100)],
             ranges: vec![(0x0010_0000, 0x0010_0100)], // 16 lines
+            writes_covered: true,
         };
         let cfg = CacheConfig::unified(256); // 16 sets ⇒ range covers all
         assert!(!conflict_free(&cfg, &fp));

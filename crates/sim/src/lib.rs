@@ -50,7 +50,7 @@ pub use machine::{simulate, ExitReason, SimOptions, SimResult};
 pub use memsys::{AccessKind, MemStats};
 pub use profile::{InsnStat, Profile, SymbolProfile};
 pub use spmlab_isa::hierarchy::{MainMemoryTiming, MemHierarchyConfig};
-pub use trace::{simulate_with_trace, MemTrace};
+pub use trace::{simulate_with_trace, MemTrace, TraceError};
 
 /// Machine configuration: the memory map comes from the executable; this
 /// selects what sits between the core and main memory.
@@ -121,6 +121,11 @@ pub enum SimError {
     UndefinedInsn { pc: u32, raw: u16 },
     /// The watchdog cycle limit expired (runaway program).
     Watchdog { cycles: u64 },
+    /// A trace replay observed a recorded MMIO cycle-register value that
+    /// differs under the target hierarchy's timing — the trace is valid,
+    /// just not for this machine; callers fall back to full simulation
+    /// (see [`MemTrace`]).
+    ReplayDivergence { recorded: u32, replayed: u32 },
 }
 
 impl std::fmt::Display for SimError {
@@ -133,6 +138,10 @@ impl std::fmt::Display for SimError {
                 write!(f, "undefined instruction {raw:#06x} at pc={pc:#x}")
             }
             SimError::Watchdog { cycles } => write!(f, "watchdog expired after {cycles} cycles"),
+            SimError::ReplayDivergence { recorded, replayed } => write!(
+                f,
+                "trace replay diverged: cycle register recorded {recorded}, replayed {replayed}"
+            ),
         }
     }
 }

@@ -268,7 +268,17 @@ impl Machine {
         })
     }
 
+    /// Tells an armed trace recorder the cycle count the next access
+    /// happens at (the inter-event deltas of the ordered v2 stream).
+    #[inline]
+    fn note_access_cycles(&mut self) {
+        if let Some(r) = &mut self.mem.recorder {
+            r.at(self.cycles);
+        }
+    }
+
     fn fetch(&mut self, pc: u32, insn_pc: u32) -> Result<u16, SimError> {
+        self.note_access_cycles();
         let (v, cyc, outcome) = self
             .mem
             .read(pc, pc, AccessWidth::Half, AccessKind::Fetch)?;
@@ -284,6 +294,7 @@ impl Machine {
 
     /// Fetch timing for a predecoded halfword (no value materialisation).
     fn fetch_timed(&mut self, pc: u32, insn_pc: u32) {
+        self.note_access_cycles();
         let (cyc, outcome) = self.mem.fetch_timing(pc);
         self.cycles += cyc;
         if self.profile_on {
@@ -315,6 +326,7 @@ impl Machine {
 
     fn data_read(&mut self, insn_pc: u32, addr: u32, width: AccessWidth) -> Result<u32, SimError> {
         let evictions_before = self.mem.stats.dirty_evictions;
+        self.note_access_cycles();
         let (v, cyc, outcome) = self.mem.read(insn_pc, addr, width, AccessKind::Read)?;
         self.cycles += cyc;
         if self.profile_on {
@@ -345,6 +357,7 @@ impl Machine {
         value: u32,
     ) -> Result<(), SimError> {
         let evictions_before = self.mem.stats.dirty_evictions;
+        self.note_access_cycles();
         let cyc = self.mem.write(insn_pc, addr, width, value)?;
         self.decoded.invalidate(addr, width.bytes());
         self.cycles += cyc;
@@ -370,6 +383,9 @@ impl Machine {
             });
         }
         self.mem.now = self.cycles;
+        if let Some(r) = &mut self.mem.recorder {
+            r.latch(self.cycles);
+        }
         let (insn, size) = if let Some((insn, size)) = self.decoded.get(pc) {
             // Replay the predecoded instruction; the fetch timing and
             // statistics are still charged per halfword as always.

@@ -245,12 +245,13 @@ impl MemSystem {
             RegionKind::Mmio => {
                 let v = match addr {
                     MMIO_CYCLES => {
+                        let v = self.now as u32;
                         if let Some(r) = &mut self.recorder {
-                            // Timing-dependent value: the recorded trace
-                            // must not be replayed under other timings.
-                            r.cycle_register_read = true;
+                            // Timing-dependent value: recorded so replay
+                            // can validate it under the target timing.
+                            r.record_cycle_read(v);
                         }
-                        self.now as u32
+                        v
                     }
                     _ => 0,
                 };
@@ -263,10 +264,10 @@ impl MemSystem {
                     addr,
                     what: "unmapped read",
                 })?;
-                if let Some(r) = &mut self.recorder {
-                    r.record_read(addr, kind, width);
-                }
                 let (cycles, outcome) = self.caches.read(addr, kind, width, &mut self.stats);
+                if let Some(r) = &mut self.recorder {
+                    r.record_read(addr, kind, width, cycles);
+                }
                 Ok((value, cycles, outcome))
             }
             RegionKind::Scratchpad => {
@@ -296,11 +297,13 @@ impl MemSystem {
         let region = self.map.region_of(addr);
         self.stats.bump(region, AccessWidth::Half);
         if region == RegionKind::Main {
+            let (cycles, outcome) =
+                self.caches
+                    .read(addr, AccessKind::Fetch, AccessWidth::Half, &mut self.stats);
             if let Some(r) = &mut self.recorder {
-                r.record_read(addr, AccessKind::Fetch, AccessWidth::Half);
+                r.record_read(addr, AccessKind::Fetch, AccessWidth::Half, cycles);
             }
-            self.caches
-                .read(addr, AccessKind::Fetch, AccessWidth::Half, &mut self.stats)
+            (cycles, outcome)
         } else {
             // Scratchpad-resident code: single-cycle, never cached. (MMIO
             // is never predecoded — load regions cover main/spm only.)
@@ -346,21 +349,17 @@ impl MemSystem {
             });
         }
         if region == RegionKind::Main {
-            if let Some(r) = &mut self.recorder {
-                let w = match width {
-                    AccessWidth::Byte => 0,
-                    AccessWidth::Half => 1,
-                    AccessWidth::Word => 2,
-                };
-                r.main_writes[w] += 1;
-            }
             // The write path is policy-routed (see `HierarchyCaches::write`):
             // absorbed by the first write-back level, or written through to
             // main memory (via the store buffer when one is configured).
             // The backing store was already updated above, so write-back is
             // purely a timing model over always-current memory.
             let now = self.now;
-            return Ok(self.caches.write(addr, width, now, &mut self.stats));
+            let cycles = self.caches.write(addr, width, now, &mut self.stats);
+            if let Some(r) = &mut self.recorder {
+                r.record_write(addr, width, cycles);
+            }
+            return Ok(cycles);
         }
         // Scratchpad (single-cycle) and MMIO writes bypass the hierarchy.
         Ok(access_cycles_with(

@@ -4,19 +4,41 @@
 //! per memory configuration — but the executed instruction stream and
 //! every data value are identical across configurations, because caches
 //! only change *timing*. The one architectural exception is the MMIO
-//! cycle register, whose value depends on timing; reading it makes a run
-//! timing-dependent and is detected during recording.
+//! cycle register, whose value depends on timing; v2 traces record the
+//! observed values and validate them during replay instead of refusing
+//! outright.
 //!
 //! [`simulate_with_trace`] therefore runs the full interpreter once (on
-//! the uncached machine) and records the sequence of main-memory reads
-//! and fetches — the only accesses whose cost depends on the cache
-//! hierarchy. [`MemTrace::replay`] then prices the recorded sequence
-//! under any [`MemHierarchyConfig`] by driving the *same* concrete tag
-//! stores ([`HierarchyCaches`]) the interpreter would have used, making
-//! the replayed cycle count bit-identical to a fresh simulation while
-//! skipping instruction decode and execution entirely. An eight-point
-//! sweep costs one interpretation plus eight cheap replays instead of
-//! eight interpretations.
+//! the uncached machine) and records an **ordered event stream**: every
+//! main-memory read, fetch *and write* (address, width) in program
+//! order, each annotated with the hierarchy-independent cycles that
+//! elapsed since the previous event and with the position of the
+//! per-instruction `now` latch the store-buffer model samples.
+//! [`MemTrace::replay`] then prices the recorded sequence under any
+//! [`MemHierarchyConfig`] by driving the *same* concrete tag stores
+//! ([`HierarchyCaches`]) the interpreter would have used — dirty bits,
+//! eviction write-backs, write-allocate installs and store-buffer drain
+//! timing included — making the replayed cycle count and statistics
+//! bit-identical to a fresh simulation while skipping instruction decode
+//! and execution entirely. An eight-point sweep costs one interpretation
+//! plus eight cheap replays instead of eight interpretations.
+//!
+//! ## Versioning
+//!
+//! * **v1** (count-based, the original format): read/fetch events plus
+//!   per-width write *counts*. Valid only for machines whose timing does
+//!   not depend on the write policy — write-through stores never touch a
+//!   tag store and cost only their width's main access time. Still
+//!   produced by [`MemTrace::from_bytes`] for v1 byte streams and used
+//!   as the internal fast path for write-through hierarchies.
+//! * **v2** (ordered events, this revision): write events interleaved in
+//!   program order with inter-event cycle deltas and `now`-latch
+//!   positions, so write-back levels and store buffers replay exactly.
+//!   MMIO cycle-register reads carry their recorded value; replay
+//!   re-derives the register value under the target hierarchy and
+//!   returns [`SimError::ReplayDivergence`] when they differ (callers
+//!   fall back to full simulation — the same validity-check pattern as
+//!   [`MemTrace::supports`]).
 
 use crate::hierarchy::HierarchyCaches;
 use crate::machine::{SimOptions, SimResult};
@@ -31,15 +53,33 @@ pub(crate) const EV_FETCH: u8 = 0;
 pub(crate) const EV_READ_BYTE: u8 = 1;
 pub(crate) const EV_READ_HALF: u8 = 2;
 pub(crate) const EV_READ_WORD: u8 = 3;
+pub(crate) const EV_WRITE_BYTE: u8 = 4;
+pub(crate) const EV_WRITE_HALF: u8 = 5;
+pub(crate) const EV_WRITE_WORD: u8 = 6;
+/// MMIO cycle-register read; `addr` holds the recorded register value.
+pub(crate) const EV_CYCLE_READ: u8 = 7;
 
-/// One main-memory read or fetch (the only accesses whose cost depends on
-/// the cache hierarchy).
-#[derive(Debug, Clone, Copy)]
+const EV_KIND_MAX: u8 = EV_CYCLE_READ;
+
+/// One ordered trace event: a main-memory read, fetch or write — the
+/// accesses whose cost depends on the hierarchy — or an MMIO
+/// cycle-register read (whose *value* depends on the hierarchy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AccessEvent {
-    /// Accessed address.
+    /// Accessed address (for `EV_CYCLE_READ`: the recorded value).
     pub addr: u32,
-    /// `EV_FETCH` / `EV_READ_BYTE` / `EV_READ_HALF` / `EV_READ_WORD`.
+    /// `EV_FETCH` … `EV_CYCLE_READ`.
     pub kind: u8,
+    /// Whether the per-instruction `now` latch (sampled by the
+    /// store-buffer model and the cycle register) fired between the
+    /// previous event and this one.
+    pub latched: bool,
+    /// Hierarchy-independent cycles between the previous event's
+    /// completion and the latch (0 when `!latched`).
+    pub delta_before: u32,
+    /// Hierarchy-independent cycles between the latch (or the previous
+    /// event's completion when `!latched`) and this access.
+    pub delta_after: u32,
 }
 
 /// Trace recorder state, embedded in the memory system during a recording
@@ -51,14 +91,67 @@ pub(crate) struct TraceRecorder {
     pub main_reads: [u64; 3],
     /// Main-memory write counts by width.
     pub main_writes: [u64; 3],
-    /// The program read the MMIO cycle register: its execution is
-    /// timing-dependent and the trace must not be replayed.
-    pub cycle_register_read: bool,
+    /// MMIO cycle-register reads observed (their values are recorded as
+    /// `EV_CYCLE_READ` events).
+    pub cycle_reads: u64,
+    /// Recording cycles accounted through the end of the last event's
+    /// access cost.
+    cursor: u64,
+    /// Cycle of the most recent un-consumed `now` latch.
+    latch_at: Option<u64>,
+    /// Cycle count immediately before the access being recorded.
+    pre: u64,
+    /// An inter-event delta overflowed `u32`: the ordered stream is
+    /// unusable and the trace degrades to v1 semantics.
+    pub overflow: bool,
 }
 
 impl TraceRecorder {
+    /// The simulation loop latched `mem.now` (once per instruction).
     #[inline]
-    pub(crate) fn record_read(&mut self, addr: u32, kind: AccessKind, width: AccessWidth) {
+    pub(crate) fn latch(&mut self, cycles: u64) {
+        self.latch_at = Some(cycles);
+    }
+
+    /// The simulation loop is about to perform an access at `cycles`.
+    #[inline]
+    pub(crate) fn at(&mut self, cycles: u64) {
+        self.pre = cycles;
+    }
+
+    fn delta(&mut self, cycles: u64) -> u32 {
+        u32::try_from(cycles).unwrap_or_else(|_| {
+            self.overflow = true;
+            u32::MAX
+        })
+    }
+
+    fn push_event(&mut self, addr: u32, kind: u8, cost: u64) {
+        let (latched, before, after) = match self.latch_at.take() {
+            // Only the *last* latch before an event matters: `now` is
+            // sampled at the event, not at the latch.
+            Some(l) if l >= self.cursor && l <= self.pre => (true, l - self.cursor, self.pre - l),
+            _ => (false, 0, self.pre.saturating_sub(self.cursor)),
+        };
+        let (delta_before, delta_after) = (self.delta(before), self.delta(after));
+        self.events.push(AccessEvent {
+            addr,
+            kind,
+            latched,
+            delta_before,
+            delta_after,
+        });
+        self.cursor = self.pre + cost;
+    }
+
+    #[inline]
+    pub(crate) fn record_read(
+        &mut self,
+        addr: u32,
+        kind: AccessKind,
+        width: AccessWidth,
+        cost: u64,
+    ) {
         let (ev, w) = match (kind, width) {
             (AccessKind::Fetch, _) => (EV_FETCH, 1),
             (_, AccessWidth::Byte) => (EV_READ_BYTE, 0),
@@ -66,51 +159,137 @@ impl TraceRecorder {
             (_, AccessWidth::Word) => (EV_READ_WORD, 2),
         };
         self.main_reads[w] += 1;
-        self.events.push(AccessEvent { addr, kind: ev });
+        self.push_event(addr, ev, cost);
+    }
+
+    #[inline]
+    pub(crate) fn record_write(&mut self, addr: u32, width: AccessWidth, cost: u64) {
+        let (ev, w) = match width {
+            AccessWidth::Byte => (EV_WRITE_BYTE, 0),
+            AccessWidth::Half => (EV_WRITE_HALF, 1),
+            AccessWidth::Word => (EV_WRITE_WORD, 2),
+        };
+        self.main_writes[w] += 1;
+        self.push_event(addr, ev, cost);
+    }
+
+    #[inline]
+    pub(crate) fn record_cycle_read(&mut self, value: u32) {
+        self.cycle_reads += 1;
+        self.push_event(value, EV_CYCLE_READ, 1);
     }
 }
 
+/// Errors decoding a serialized trace ([`MemTrace::from_bytes`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The byte stream does not start with the trace magic.
+    BadMagic,
+    /// The trace was produced by an unknown format version.
+    UnsupportedVersion {
+        /// The version byte found in the stream.
+        found: u8,
+    },
+    /// The stream ends before the declared content.
+    Truncated {
+        /// Bytes required to decode the next field.
+        need: usize,
+        /// Bytes remaining in the stream.
+        have: usize,
+    },
+    /// A structurally invalid field (bad event kind, event count not
+    /// matching the payload, …).
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::BadMagic => write!(f, "not a trace: bad magic"),
+            TraceError::UnsupportedVersion { found } => {
+                write!(f, "unsupported trace version {found}")
+            }
+            TraceError::Truncated { need, have } => {
+                write!(f, "truncated trace: need {need} bytes, have {have}")
+            }
+            TraceError::Corrupt(what) => write!(f, "corrupt trace: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+const TRACE_MAGIC: &[u8; 8] = b"SPMTRACE";
+const EVENT_BYTES: usize = 14;
+
 /// A recorded execution's hierarchy-independent skeleton.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MemTrace {
     events: Vec<AccessEvent>,
     /// Cycles of the recorded run not attributable to main-memory traffic
     /// (instruction base/extra cycles plus scratchpad/MMIO accesses).
     base_cycles: u64,
+    /// Cycles of the recorded run after the last event's completion
+    /// (v2 replay adds them verbatim — they are hierarchy-independent).
+    tail_cycles: u64,
     /// Main read/fetch counts by width (fetches are halfword reads).
     read_counts: [u64; 3],
     main_writes: [u64; 3],
+    /// MMIO cycle-register reads in the stream.
+    cycle_reads: u64,
     /// Region/width access counters with every cache counter zeroed — the
     /// hierarchy-independent part of [`MemStats`].
     stats_template: MemStats,
     /// Watchdog limit the recording ran under.
     max_cycles: u64,
-    replayable: bool,
+    /// Format version: 1 = count-based (reads + write counts), 2 =
+    /// ordered event stream (reads, writes, latches, cycle-read values).
+    version: u8,
 }
 
 impl MemTrace {
     /// Whether the recorded execution may be replayed under other
-    /// hierarchies (false when the program read the MMIO cycle register).
+    /// hierarchies at all. v2 traces always are — timing-dependent MMIO
+    /// cycle-register reads carry their recorded values and are validated
+    /// during replay. v1 traces are replayable only when the program
+    /// never read the cycle register.
     pub fn replayable(&self) -> bool {
-        self.replayable
+        self.version >= 2 || self.cycle_reads == 0
     }
 
-    /// Whether this trace can price `hierarchy` specifically. Recorded
-    /// traces carry **write-through** traffic only — the read/fetch event
-    /// stream plus per-width write *counts*, with no store addresses or
-    /// read/write interleaving — so a machine whose timing depends on the
-    /// write policy (any write-back level, or a store buffer, where store
-    /// addresses change cache state and store cost depends on arrival
-    /// times) cannot be replayed and must be simulated in full; see
-    /// [`MemHierarchyConfig::write_policy_dependent`]. Re-recording with
-    /// write events would lift this — tracked as a ROADMAP follow-up.
+    /// Whether this trace can price `hierarchy` specifically.
+    ///
+    /// * **v2** traces support every hierarchy: the ordered write events
+    ///   drive dirty bits, write-backs, write-allocate installs and
+    ///   store-buffer drains exactly. (For timing-dependent programs the
+    ///   replay may still return [`SimError::ReplayDivergence`] when a
+    ///   recorded cycle-register value differs under the target timing —
+    ///   callers fall back to full simulation.)
+    /// * **v1** traces carry write *counts* only (no store addresses or
+    ///   read/write interleaving), so a machine whose timing depends on
+    ///   the write policy (any write-back level, or a store buffer; see
+    ///   [`MemHierarchyConfig::write_policy_dependent`]) cannot be
+    ///   replayed and must be simulated in full.
     pub fn supports(&self, hierarchy: &MemHierarchyConfig) -> bool {
-        self.replayable && !hierarchy.write_policy_dependent()
+        if self.version >= 2 {
+            return true;
+        }
+        self.cycle_reads == 0 && !hierarchy.write_policy_dependent()
     }
 
     /// Number of recorded hierarchy-sensitive access events.
     pub fn events(&self) -> usize {
         self.events.len()
+    }
+
+    /// The trace format version (1 = count-based, 2 = ordered events).
+    pub fn version(&self) -> u8 {
+        self.version
+    }
+
+    /// MMIO cycle-register reads recorded in the stream.
+    pub fn cycle_reads(&self) -> u64 {
+        self.cycle_reads
     }
 
     /// Prices the recorded execution under `hierarchy`, returning the
@@ -121,33 +300,56 @@ impl MemTrace {
     /// # Errors
     ///
     /// [`SimError::Watchdog`] when the replayed cycle count exceeds the
-    /// recording's limit; [`SimError::Fault`] when the trace is not
-    /// replayable, or when `hierarchy` is write-policy-dependent (the
-    /// recorded trace holds write-through traffic only — see
-    /// [`MemTrace::supports`]); callers should check `supports` and fall
-    /// back to full simulation instead of treating this as fatal.
+    /// recording's limit; [`SimError::ReplayDivergence`] when a recorded
+    /// MMIO cycle-register value differs under the target hierarchy's
+    /// timing; [`SimError::Fault`] when the trace does not support
+    /// `hierarchy` at all (see [`MemTrace::supports`]); callers should
+    /// treat divergence and refusal as "fall back to full simulation",
+    /// not as fatal.
     pub fn replay(&self, hierarchy: &MemHierarchyConfig) -> Result<(u64, MemStats), SimError> {
         let _span = spmlab_obs::span("replay");
         if spmlab_obs::enabled() {
             spmlab_obs::counter("replay_events", self.events.len() as u64);
         }
-        if !self.replayable {
-            return Err(SimError::Fault {
-                pc: 0,
-                addr: spmlab_isa::mem::MMIO_CYCLES,
-                what: "timing-dependent program cannot be replayed from a trace",
+        if !self.supports(hierarchy) {
+            return Err(if self.cycle_reads > 0 {
+                SimError::Fault {
+                    pc: 0,
+                    addr: spmlab_isa::mem::MMIO_CYCLES,
+                    what: "timing-dependent program cannot be replayed from a v1 trace",
+                }
+            } else {
+                SimError::Fault {
+                    pc: 0,
+                    addr: 0,
+                    what: "write-policy-dependent hierarchy cannot be replayed from a \
+                           count-based (v1) trace",
+                }
             });
         }
-        if hierarchy.write_policy_dependent() {
-            return Err(SimError::Fault {
-                pc: 0,
-                addr: 0,
-                what: "write-policy-dependent hierarchy cannot be replayed from a \
-                       write-through trace",
+        let cycles_stats = if hierarchy.write_policy_dependent() || self.cycle_reads > 0 {
+            self.replay_ordered(hierarchy)?
+        } else {
+            self.replay_counts(hierarchy)
+        };
+        if cycles_stats.0 > self.max_cycles {
+            return Err(SimError::Watchdog {
+                cycles: cycles_stats.0,
             });
         }
+        Ok(cycles_stats)
+    }
+
+    /// The count-based pricing path, valid for hierarchies whose write
+    /// timing is policy-independent: write-through stores never touch a
+    /// tag store and cost exactly their width's main access time, so the
+    /// write side prices from the per-width counters while reads/fetches
+    /// drive the concrete tag stores.
+    fn replay_counts(&self, hierarchy: &MemHierarchyConfig) -> (u64, MemStats) {
         let mut stats = self.stats_template.clone();
-        let mut cycles = self.base_cycles + self.write_cycles(&hierarchy.main);
+        let mut cycles = self
+            .base_cycles
+            .saturating_add(self.write_cycles(&hierarchy.main));
         if hierarchy.l1_for(true).is_some()
             || hierarchy.l1_for(false).is_some()
             || hierarchy.l2.is_some()
@@ -158,9 +360,12 @@ impl MemTrace {
                     EV_FETCH => (AccessKind::Fetch, AccessWidth::Half),
                     EV_READ_BYTE => (AccessKind::Read, AccessWidth::Byte),
                     EV_READ_HALF => (AccessKind::Read, AccessWidth::Half),
-                    _ => (AccessKind::Read, AccessWidth::Word),
+                    EV_READ_WORD => (AccessKind::Read, AccessWidth::Word),
+                    // v2 streams interleave write events; their cost is
+                    // already priced from the counters above.
+                    _ => continue,
                 };
-                cycles += caches.read(ev.addr, kind, width, &mut stats).0;
+                cycles = cycles.saturating_add(caches.read(ev.addr, kind, width, &mut stats).0);
             }
             if hierarchy.l1_for(false).is_some() || hierarchy.l2.is_some() {
                 stats.write_throughs = self.main_writes.iter().sum();
@@ -171,23 +376,232 @@ impl MemTrace {
             let m = &hierarchy.main;
             let widths = [AccessWidth::Byte, AccessWidth::Half, AccessWidth::Word];
             for (w, &width) in widths.iter().enumerate() {
-                cycles += self.read_counts()[w] * m.access(width);
+                cycles = cycles.saturating_add(self.read_counts[w].saturating_mul(m.access(width)));
             }
         }
-        if cycles > self.max_cycles {
-            return Err(SimError::Watchdog { cycles });
+        (cycles, stats)
+    }
+
+    /// The ordered replay engine: reconstructs the target machine's cycle
+    /// counter event by event — inter-event deltas are
+    /// hierarchy-independent by construction (every hierarchy-dependent
+    /// cost *is* an event), access costs are recomputed by driving the
+    /// target's concrete tag stores and store buffer, and the
+    /// per-instruction `now` latch is replayed at its recorded position
+    /// so store-buffer arrival times and cycle-register values match a
+    /// fresh simulation exactly.
+    fn replay_ordered(&self, hierarchy: &MemHierarchyConfig) -> Result<(u64, MemStats), SimError> {
+        let mut stats = self.stats_template.clone();
+        let mut caches = HierarchyCaches::new(hierarchy.clone());
+        let mut cycles = 0u64;
+        let mut now = 0u64;
+        for ev in &self.events {
+            cycles = cycles.saturating_add(ev.delta_before as u64);
+            if ev.latched {
+                now = cycles;
+            }
+            cycles = cycles.saturating_add(ev.delta_after as u64);
+            let cost = match ev.kind {
+                EV_FETCH => {
+                    caches
+                        .read(ev.addr, AccessKind::Fetch, AccessWidth::Half, &mut stats)
+                        .0
+                }
+                EV_READ_BYTE => {
+                    caches
+                        .read(ev.addr, AccessKind::Read, AccessWidth::Byte, &mut stats)
+                        .0
+                }
+                EV_READ_HALF => {
+                    caches
+                        .read(ev.addr, AccessKind::Read, AccessWidth::Half, &mut stats)
+                        .0
+                }
+                EV_READ_WORD => {
+                    caches
+                        .read(ev.addr, AccessKind::Read, AccessWidth::Word, &mut stats)
+                        .0
+                }
+                EV_WRITE_BYTE => caches.write(ev.addr, AccessWidth::Byte, now, &mut stats),
+                EV_WRITE_HALF => caches.write(ev.addr, AccessWidth::Half, now, &mut stats),
+                EV_WRITE_WORD => caches.write(ev.addr, AccessWidth::Word, now, &mut stats),
+                EV_CYCLE_READ => {
+                    // The recorded value is only valid if the target
+                    // hierarchy reaches this read at the same cycle.
+                    if now as u32 != ev.addr {
+                        return Err(SimError::ReplayDivergence {
+                            recorded: ev.addr,
+                            replayed: now as u32,
+                        });
+                    }
+                    1
+                }
+                _ => {
+                    return Err(SimError::Fault {
+                        pc: 0,
+                        addr: ev.addr,
+                        what: "corrupt trace event kind",
+                    })
+                }
+            };
+            cycles = cycles.saturating_add(cost);
         }
-        Ok((cycles, stats))
+        Ok((cycles.saturating_add(self.tail_cycles), stats))
     }
 
     fn write_cycles(&self, main: &MainMemoryTiming) -> u64 {
-        self.main_writes[0] * main.access(AccessWidth::Byte)
-            + self.main_writes[1] * main.access(AccessWidth::Half)
-            + self.main_writes[2] * main.access(AccessWidth::Word)
+        self.main_writes[0]
+            .saturating_mul(main.access(AccessWidth::Byte))
+            .saturating_add(self.main_writes[1].saturating_mul(main.access(AccessWidth::Half)))
+            .saturating_add(self.main_writes[2].saturating_mul(main.access(AccessWidth::Word)))
     }
 
-    fn read_counts(&self) -> [u64; 3] {
-        self.read_counts
+    /// Serializes the trace (header, counters, statistics template, then
+    /// the event stream) into a self-describing little-endian byte
+    /// stream. [`MemTrace::from_bytes`] round-trips it exactly.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + 2 + 28 * 8 + self.events.len() * EVENT_BYTES);
+        out.extend_from_slice(TRACE_MAGIC);
+        out.push(self.version);
+        for v in self.header_words() {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.events.len() as u64).to_le_bytes());
+        for ev in &self.events {
+            out.extend_from_slice(&ev.addr.to_le_bytes());
+            out.push(ev.kind);
+            out.push(ev.latched as u8);
+            out.extend_from_slice(&ev.delta_before.to_le_bytes());
+            out.extend_from_slice(&ev.delta_after.to_le_bytes());
+        }
+        out
+    }
+
+    fn header_words(&self) -> [u64; 30] {
+        let s = &self.stats_template;
+        [
+            self.max_cycles,
+            self.base_cycles,
+            self.tail_cycles,
+            self.cycle_reads,
+            self.read_counts[0],
+            self.read_counts[1],
+            self.read_counts[2],
+            self.main_writes[0],
+            self.main_writes[1],
+            self.main_writes[2],
+            s.spm[0],
+            s.spm[1],
+            s.spm[2],
+            s.main[0],
+            s.main[1],
+            s.main[2],
+            s.mmio,
+            s.cache_hits,
+            s.cache_misses,
+            s.fill_words,
+            s.write_throughs,
+            s.write_backs,
+            s.dirty_evictions,
+            s.store_buffer_stalls,
+            s.l1i_hits,
+            s.l1i_misses,
+            s.l1d_hits,
+            s.l1d_misses,
+            s.l2_hits,
+            s.l2_misses,
+        ]
+    }
+
+    /// Decodes a serialized trace. Fully bounds-checked: arbitrary or
+    /// truncated input returns a typed [`TraceError`], never panics, and
+    /// never allocates more than the input length implies.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::BadMagic`] for non-trace input,
+    /// [`TraceError::UnsupportedVersion`] for unknown format versions,
+    /// [`TraceError::Truncated`] / [`TraceError::Corrupt`] for streams
+    /// that end early or declare impossible contents.
+    pub fn from_bytes(bytes: &[u8]) -> Result<MemTrace, TraceError> {
+        let mut at = 0usize;
+        let take = |at: &mut usize, n: usize| -> Result<&[u8], TraceError> {
+            let have = bytes.len() - *at;
+            if have < n {
+                return Err(TraceError::Truncated { need: n, have });
+            }
+            let s = &bytes[*at..*at + n];
+            *at += n;
+            Ok(s)
+        };
+        if take(&mut at, 8)? != TRACE_MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        let version = take(&mut at, 1)?[0];
+        if !(1..=2).contains(&version) {
+            return Err(TraceError::UnsupportedVersion { found: version });
+        }
+        let mut words = [0u64; 30];
+        for w in &mut words {
+            let b = take(&mut at, 8)?;
+            *w = u64::from_le_bytes(b.try_into().expect("8-byte slice"));
+        }
+        let count = u64::from_le_bytes(take(&mut at, 8)?.try_into().expect("8-byte slice"));
+        let remaining = bytes.len() - at;
+        let payload = (count as usize).checked_mul(EVENT_BYTES);
+        if count > usize::MAX as u64 || payload != Some(remaining) {
+            return Err(TraceError::Corrupt("event count does not match payload"));
+        }
+        let mut events = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let b = take(&mut at, EVENT_BYTES)?;
+            let kind = b[4];
+            if kind > EV_KIND_MAX {
+                return Err(TraceError::Corrupt("unknown event kind"));
+            }
+            if version < 2 && kind > EV_READ_WORD {
+                return Err(TraceError::Corrupt("write event in a v1 trace"));
+            }
+            if b[5] > 1 {
+                return Err(TraceError::Corrupt("latch flag out of range"));
+            }
+            events.push(AccessEvent {
+                addr: u32::from_le_bytes(b[0..4].try_into().expect("4-byte slice")),
+                kind,
+                latched: b[5] == 1,
+                delta_before: u32::from_le_bytes(b[6..10].try_into().expect("4-byte slice")),
+                delta_after: u32::from_le_bytes(b[10..14].try_into().expect("4-byte slice")),
+            });
+        }
+        let stats_template = MemStats {
+            spm: [words[10], words[11], words[12]],
+            main: [words[13], words[14], words[15]],
+            mmio: words[16],
+            cache_hits: words[17],
+            cache_misses: words[18],
+            fill_words: words[19],
+            write_throughs: words[20],
+            write_backs: words[21],
+            dirty_evictions: words[22],
+            store_buffer_stalls: words[23],
+            l1i_hits: words[24],
+            l1i_misses: words[25],
+            l1d_hits: words[26],
+            l1d_misses: words[27],
+            l2_hits: words[28],
+            l2_misses: words[29],
+        };
+        Ok(MemTrace {
+            events,
+            base_cycles: words[1],
+            tail_cycles: words[2],
+            cycle_reads: words[3],
+            read_counts: [words[4], words[5], words[6]],
+            main_writes: [words[7], words[8], words[9]],
+            stats_template,
+            max_cycles: words[0],
+            version,
+        })
     }
 }
 
@@ -208,15 +622,21 @@ pub fn simulate_with_trace(
     for (w, &width) in widths.iter().enumerate() {
         main_cost += (recorder.main_reads[w] + recorder.main_writes[w]) * table1.access(width);
     }
+    // A delta that overflowed u32 makes the ordered stream unusable; the
+    // trace degrades to the count-based v1 semantics (practically
+    // unreachable: it needs > 2^32 cycles between two main accesses).
+    let version = if recorder.overflow { 1 } else { 2 };
     let trace = MemTrace {
         base_cycles: result.cycles - main_cost,
+        tail_cycles: result.cycles.saturating_sub(recorder.cursor),
         read_counts: recorder.main_reads,
         main_writes: recorder.main_writes,
+        cycle_reads: recorder.cycle_reads,
         // The recording machine is uncached, so its statistics hold no
         // cache counters — they are exactly the invariant template.
         stats_template: result.mem_stats.clone(),
         max_cycles: options.max_cycles,
-        replayable: !recorder.cycle_register_read,
+        version,
         events: recorder.events,
     };
     Ok((result, trace))
@@ -233,6 +653,7 @@ mod tests {
     use crate::machine::{simulate, SimOptions};
     use spmlab_cc::{compile, link, SpmAssignment};
     use spmlab_isa::cachecfg::CacheConfig;
+    use spmlab_isa::hierarchy::StoreBuffer;
     use spmlab_isa::mem::MemoryMap;
 
     const SRC: &str = "
@@ -260,6 +681,25 @@ mod tests {
         ]
     }
 
+    /// Write-policy-dependent shapes: write-back levels, store buffers,
+    /// and mixed WT-over-WB stacks — replayable from v2 traces only.
+    fn write_policy_dependent_hierarchies() -> Vec<MemHierarchyConfig> {
+        vec![
+            MemHierarchyConfig::l1_only(CacheConfig::unified(256).write_back()),
+            MemHierarchyConfig::split_l1(256, 256).with_l2(CacheConfig::l2(2048).write_back()),
+            MemHierarchyConfig::l1_only(CacheConfig::unified(128).write_back())
+                .with_l2(CacheConfig::l2(1024).write_back()),
+            MemHierarchyConfig::uncached_with(
+                MainMemoryTiming::table1().with_store_buffer(StoreBuffer::new(4, 6)),
+            ),
+            MemHierarchyConfig::l1_only(CacheConfig::unified(256))
+                .with_main(MainMemoryTiming::table1().with_store_buffer(StoreBuffer::new(2, 8))),
+            MemHierarchyConfig::split_l1(128, 128)
+                .with_l2(CacheConfig::l2(1024).write_back())
+                .with_main(MainMemoryTiming::dram(8)),
+        ]
+    }
+
     /// The headline invariant of the replay: bit-identical cycles and
     /// memory statistics versus a fresh simulation, for every hierarchy
     /// shape.
@@ -278,6 +718,7 @@ mod tests {
         };
         let (recorded, trace) = simulate_with_trace(&l.exe, &options).unwrap();
         assert!(trace.replayable());
+        assert_eq!(trace.version(), 2);
         assert!(trace.events() > 0);
         for h in hierarchies() {
             let (cycles, stats) = trace.replay(&h).unwrap();
@@ -291,13 +732,38 @@ mod tests {
         assert_eq!(recorded.cycles, uncached.cycles);
     }
 
-    /// A write-policy-dependent machine (write-back level or store
-    /// buffer) cannot be priced from a write-through trace: `supports`
-    /// says so and `replay` refuses rather than silently replaying
-    /// write-through traffic — the sweep falls back to full simulation.
+    /// The new invariant: the ordered v2 stream replays write-back and
+    /// store-buffered machines bit-identically, including every
+    /// write-policy statistic.
     #[test]
-    fn write_policy_dependent_hierarchies_refuse_replay() {
-        use spmlab_isa::hierarchy::StoreBuffer;
+    fn replay_matches_write_policy_dependent_machines_exactly() {
+        let l = link(
+            &compile(SRC).unwrap(),
+            &MemoryMap::no_spm(),
+            &SpmAssignment::none(),
+        )
+        .unwrap();
+        let options = SimOptions {
+            insn_stats: false,
+            profile: false,
+            ..SimOptions::default()
+        };
+        let (_, trace) = simulate_with_trace(&l.exe, &options).unwrap();
+        for h in write_policy_dependent_hierarchies() {
+            assert!(trace.supports(&h), "{}: v2 must support", h.label());
+            let (cycles, stats) = trace.replay(&h).unwrap();
+            let fresh =
+                simulate(&l.exe, &MachineConfig::with_hierarchy(h.clone()), &options).unwrap();
+            assert_eq!(cycles, fresh.cycles, "{}: cycles diverged", h.label());
+            assert_eq!(stats, fresh.mem_stats, "{}: stats diverged", h.label());
+        }
+    }
+
+    /// v1 traces (decoded from v1 bytes) still refuse write-policy-
+    /// dependent machines: `supports` says so and `replay` returns a
+    /// typed refusal — the sweep falls back to full simulation.
+    #[test]
+    fn v1_traces_refuse_write_policy_dependent_hierarchies() {
         let l = link(
             &compile(SRC).unwrap(),
             &MemoryMap::no_spm(),
@@ -305,24 +771,41 @@ mod tests {
         )
         .unwrap();
         let (_, trace) = simulate_with_trace(&l.exe, &SimOptions::default()).unwrap();
-        assert!(trace.replayable());
+        // Round-trip through bytes, stamping the stream down to v1 (drop
+        // the write events a v1 recorder would never have produced).
+        let mut v1 = trace.clone();
+        v1.version = 1;
+        v1.events.retain(|e| e.kind <= EV_READ_WORD);
+        let v1 = MemTrace::from_bytes(&v1.to_bytes()).unwrap();
+        assert_eq!(v1.version(), 1);
+        assert!(v1.replayable());
         let wb = MemHierarchyConfig::l1_only(CacheConfig::unified(256).write_back());
-        assert!(!trace.supports(&wb));
-        assert!(trace.replay(&wb).is_err());
+        assert!(!v1.supports(&wb));
+        assert!(v1.replay(&wb).is_err());
         let sb = MemHierarchyConfig::uncached_with(
             MainMemoryTiming::table1().with_store_buffer(StoreBuffer::new(4, 6)),
         );
-        assert!(!trace.supports(&sb));
-        assert!(trace.replay(&sb).is_err());
-        // Write-through machines replay as before.
+        assert!(!v1.supports(&sb));
+        assert!(v1.replay(&sb).is_err());
+        // Write-through machines replay from v1 exactly as before.
         let wt = MemHierarchyConfig::l1_only(CacheConfig::unified(256));
-        assert!(trace.supports(&wt));
-        assert!(trace.replay(&wt).is_ok());
+        assert!(v1.supports(&wt));
+        let fresh = simulate(
+            &l.exe,
+            &MachineConfig::with_hierarchy(wt.clone()),
+            &SimOptions::default(),
+        )
+        .unwrap();
+        let (cycles, stats) = v1.replay(&wt).unwrap();
+        assert_eq!(cycles, fresh.cycles);
+        assert_eq!(stats, fresh.mem_stats);
     }
 
-    /// Reading the MMIO cycle register poisons the trace.
+    /// Reading the MMIO cycle register no longer poisons the trace: the
+    /// recorded values replay under hierarchies that reproduce the same
+    /// timing, and divergence is a typed error elsewhere.
     #[test]
-    fn cycle_register_read_blocks_replay() {
+    fn cycle_register_reads_replay_recorded_values() {
         let src = "
             int t;
             void main() { t = __cycles(); }
@@ -331,8 +814,64 @@ mod tests {
             return; // No __cycles intrinsic in this toolchain: nothing to test.
         };
         let l = link(&module, &MemoryMap::no_spm(), &SpmAssignment::none()).unwrap();
+        let (recorded, trace) = simulate_with_trace(&l.exe, &SimOptions::default()).unwrap();
+        assert!(trace.replayable());
+        assert!(trace.cycle_reads() > 0);
+        // Same timing as the recording machine: values match, replay
+        // succeeds bit-identically.
+        let (cycles, _) = trace.replay(&MemHierarchyConfig::uncached()).unwrap();
+        assert_eq!(cycles, recorded.cycles);
+        // Different timing: the recorded value is stale — typed
+        // divergence, so sweeps can fall back to full simulation.
+        let slow = MemHierarchyConfig::uncached_with(MainMemoryTiming::dram(10));
+        assert!(trace.supports(&slow), "v2 supports; validity is dynamic");
+        assert!(matches!(
+            trace.replay(&slow),
+            Err(SimError::ReplayDivergence { .. })
+        ));
+    }
+
+    /// Byte-stream round trip: cycles, stats, events and metadata are
+    /// preserved exactly.
+    #[test]
+    fn trace_bytes_round_trip() {
+        let l = link(
+            &compile(SRC).unwrap(),
+            &MemoryMap::no_spm(),
+            &SpmAssignment::none(),
+        )
+        .unwrap();
         let (_, trace) = simulate_with_trace(&l.exe, &SimOptions::default()).unwrap();
-        assert!(!trace.replayable());
-        assert!(trace.replay(&MemHierarchyConfig::uncached()).is_err());
+        let decoded = MemTrace::from_bytes(&trace.to_bytes()).unwrap();
+        assert_eq!(decoded.version(), trace.version());
+        assert_eq!(decoded.events, trace.events);
+        assert_eq!(decoded.stats_template, trace.stats_template);
+        for h in hierarchies()
+            .into_iter()
+            .chain(write_policy_dependent_hierarchies())
+        {
+            assert_eq!(
+                decoded.replay(&h).unwrap(),
+                trace.replay(&h).unwrap(),
+                "{}: decoded trace diverged",
+                h.label()
+            );
+        }
+    }
+
+    /// Decoding errors are typed, never panics.
+    #[test]
+    fn from_bytes_rejects_malformed_input() {
+        assert_eq!(MemTrace::from_bytes(b"nonsense"), Err(TraceError::BadMagic));
+        assert!(matches!(
+            MemTrace::from_bytes(b"SPM"),
+            Err(TraceError::Truncated { .. })
+        ));
+        let mut versioned = TRACE_MAGIC.to_vec();
+        versioned.push(9);
+        assert_eq!(
+            MemTrace::from_bytes(&versioned),
+            Err(TraceError::UnsupportedVersion { found: 9 })
+        );
     }
 }

@@ -2,18 +2,22 @@
 //! spec JSON from `--spec` files, grid documents from `--spec-grid`
 //! files, bench-history lines from the tracked JSONL log, checkpoint
 //! streams from `--resume` files, shard streams fed to `merge-shards` —
-//! must reject arbitrary garbage with an error (or `None`), never a
-//! panic.
+//! and the binary v2 trace decoder (`MemTrace::from_bytes`) must reject
+//! arbitrary garbage with a typed error (or `None`), never a panic.
 //!
 //! Every strategy here feeds raw bytes (lossily decoded) and truncated or
 //! spliced variants of *valid* documents through the parsers; the property
 //! is simply "the call returns".
+
+use std::sync::OnceLock;
 
 use proptest::prelude::*;
 use spmlab::dse::{merge_texts, GridSpec};
 use spmlab::{check_checkpoint, MemArchSpec};
 use spmlab_bench::{BenchRecord, Provenance};
 use spmlab_isa::cachecfg::CacheConfig;
+use spmlab_isa::hierarchy::MemHierarchyConfig;
+use spmlab_sim::{MemTrace, TraceError};
 
 /// Arbitrary bytes decoded to a (possibly replacement-charactered) string.
 fn garbage(max: usize) -> impl Strategy<Value = String> {
@@ -93,12 +97,77 @@ fn sample_history_line() -> String {
     .to_json_line()
 }
 
+/// A valid serialized v2 event trace (recorded once, truncated and
+/// spliced by the properties below).
+fn sample_trace_bytes() -> &'static [u8] {
+    static CELL: OnceLock<Vec<u8>> = OnceLock::new();
+    CELL.get_or_init(|| {
+        use spmlab_cc::{compile, link, SpmAssignment};
+        let l = link(
+            &compile("int a[12]; void main() { int i; for (i = 0; i < 12; i = i + 1) { __loopbound(12); a[i] = i; } }").unwrap(),
+            &spmlab_isa::mem::MemoryMap::no_spm(),
+            &SpmAssignment::none(),
+        )
+        .unwrap();
+        let (_, trace) =
+            spmlab_sim::simulate_with_trace(&l.exe, &spmlab_sim::SimOptions::default()).unwrap();
+        trace.to_bytes()
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(192))]
 
     #[test]
     fn arbitrary_spec_json_never_panics(text in garbage(160)) {
         let _ = MemArchSpec::from_json(&text);
+    }
+
+    #[test]
+    fn arbitrary_trace_bytes_never_panic(bytes in prop::collection::vec(0u8..=255u8, 0..320)) {
+        let _ = MemTrace::from_bytes(&bytes);
+    }
+
+    /// Truncating or splicing a *valid* v2 stream yields either a typed
+    /// decode error or a structurally valid trace whose replay — on a
+    /// write-through and a write-back machine — returns without
+    /// panicking.
+    #[test]
+    fn truncated_spliced_trace_bytes_never_panic(
+        cut in 0usize..4096,
+        tail in prop::collection::vec(0u8..=255u8, 0..32),
+    ) {
+        let base = sample_trace_bytes();
+        let mut bytes = base[..cut.min(base.len())].to_vec();
+        bytes.extend_from_slice(&tail);
+        if let Ok(trace) = MemTrace::from_bytes(&bytes) {
+            let _ = trace.replay(&MemHierarchyConfig::uncached());
+            let _ = trace.replay(&MemHierarchyConfig::l1_only(
+                CacheConfig::unified(256).write_back(),
+            ));
+        }
+    }
+
+    /// Flipping single bytes anywhere in a valid stream (magic, version,
+    /// header words, event payloads) never panics the decoder, and a
+    /// corrupted version byte specifically is the typed
+    /// [`TraceError::UnsupportedVersion`].
+    #[test]
+    fn bitflipped_trace_bytes_never_panic(pos in 0usize..4096, val in 0u8..=255) {
+        let base = sample_trace_bytes();
+        let mut bytes = base.to_vec();
+        let idx = pos % bytes.len();
+        bytes[idx] = val;
+        match MemTrace::from_bytes(&bytes) {
+            Ok(trace) => {
+                let _ = trace.replay(&MemHierarchyConfig::uncached());
+            }
+            Err(e) => {
+                if idx == 8 && val > 2 {
+                    prop_assert_eq!(e, TraceError::UnsupportedVersion { found: val });
+                }
+            }
+        }
     }
 
     #[test]
@@ -190,4 +259,25 @@ proptest! {
         let grid = GridSpec::from_json(&base).expect("valid grid parses");
         prop_assert_eq!(grid.to_json(), base);
     }
+}
+
+/// A future trace version is a typed error, not a panic or a
+/// misinterpretation: decoders built for v1/v2 must refuse v3 streams.
+#[test]
+fn trace_version_mismatch_is_typed() {
+    let mut bytes = sample_trace_bytes().to_vec();
+    assert_eq!(bytes[8], 2, "sample stream is v2");
+    bytes[8] = 3;
+    assert_eq!(
+        MemTrace::from_bytes(&bytes),
+        Err(TraceError::UnsupportedVersion { found: 3 })
+    );
+    bytes[8] = 0;
+    assert_eq!(
+        MemTrace::from_bytes(&bytes),
+        Err(TraceError::UnsupportedVersion { found: 0 })
+    );
+    // And the hardening cost no accepting power: the intact stream
+    // still decodes.
+    assert!(MemTrace::from_bytes(sample_trace_bytes()).is_ok());
 }
